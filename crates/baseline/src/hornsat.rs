@@ -1,0 +1,350 @@
+//! HORNSAT-based incremental simulation (Shukla et al. 1997).
+//!
+//! Shukla et al. decide simulation by reducing it to HORN-SAT: a variable
+//! `fail(u, v)` states that data node `v` does *not* simulate pattern node
+//! `u`, and for every pattern edge `(u, u')` and candidate `v` there is a Horn
+//! clause
+//!
+//! ```text
+//!   fail(u', w_1) ∧ ... ∧ fail(u', w_k)  ->  fail(u, v)
+//! ```
+//!
+//! over the children `w_1..w_k` of `v` (if every child fails to simulate `u'`,
+//! then `v` fails to simulate `u`). Unit propagation of the least model yields
+//! exactly the complement of the maximum simulation. The incremental variant
+//! keeps the clause database and the derived facts between updates:
+//!
+//! * **edge deletions** shrink clause bodies, which can only derive *new*
+//!   failures — handled by incremental unit propagation;
+//! * **edge insertions** grow clause bodies and may invalidate previously
+//!   derived failures — the affected clauses are rebuilt and the least model
+//!   is re-derived from the facts, which is the expensive part that the paper
+//!   observes ("it requires to update reflections and to construct an instance
+//!   of size O(|E|²)", Related Work / Figure 18).
+
+use igpm_graph::hash::{FastHashMap, FastHashSet};
+use igpm_graph::{BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, Update};
+
+/// Identifier of the variable `fail(u, v)`.
+type VarId = (u32, u32);
+
+/// A Horn clause `body -> head` with a counter of body literals not yet true.
+#[derive(Debug, Clone)]
+struct Clause {
+    head: VarId,
+    body: Vec<VarId>,
+    /// Number of body literals not yet derived true.
+    pending: usize,
+}
+
+/// HORNSAT-based incremental simulation engine.
+#[derive(Debug, Clone)]
+pub struct HornSatSimulation {
+    pattern: Pattern,
+    /// Candidate sets (nodes satisfying each pattern node's predicate).
+    candidates: Vec<FastHashSet<NodeId>>,
+    /// All clauses, indexed densely.
+    clauses: Vec<Clause>,
+    /// For each variable, the clauses in whose body it appears.
+    watch: FastHashMap<VarId, Vec<usize>>,
+    /// Variables derived true (`fail(u, v)` holds).
+    failed: FastHashSet<VarId>,
+}
+
+impl HornSatSimulation {
+    /// Builds the Horn instance for `pattern` over `graph` and derives the
+    /// least model.
+    ///
+    /// # Panics
+    /// Panics if the pattern is not normal.
+    pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
+        assert!(pattern.is_normal(), "HORNSAT simulation needs a normal pattern");
+        let candidates: Vec<FastHashSet<NodeId>> = pattern
+            .nodes()
+            .map(|u| {
+                let pred = pattern.predicate(u);
+                graph.nodes().filter(|&v| pred.satisfied_by(graph.attrs(v))).collect()
+            })
+            .collect();
+        let mut engine = HornSatSimulation {
+            pattern: pattern.clone(),
+            candidates,
+            clauses: Vec::new(),
+            watch: FastHashMap::default(),
+            failed: FastHashSet::default(),
+        };
+        engine.rebuild(graph);
+        engine
+    }
+
+    /// The pattern this engine maintains.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Number of Horn clauses currently in the instance (the auxiliary
+    /// structure whose size the paper criticises).
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The current maximum simulation: all candidate pairs not derived failed,
+    /// or the empty relation if some pattern node has no surviving match.
+    pub fn matches(&self) -> MatchRelation {
+        let lists: Vec<Vec<NodeId>> = self
+            .pattern
+            .nodes()
+            .map(|u| {
+                self.candidates[u.index()]
+                    .iter()
+                    .copied()
+                    .filter(|v| !self.failed.contains(&(u.0, v.0)))
+                    .collect()
+            })
+            .collect();
+        if lists.iter().any(Vec::is_empty) {
+            return MatchRelation::empty(self.pattern.node_count());
+        }
+        MatchRelation::from_lists(lists)
+    }
+
+    /// Applies a single edge insertion (rebuilds the affected clauses and
+    /// re-derives the least model — the non-monotone, expensive case).
+    pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) {
+        if graph.add_edge(from, to) {
+            self.rebuild(graph);
+        }
+    }
+
+    /// Applies a single edge deletion using incremental unit propagation.
+    pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) {
+        if !graph.remove_edge(from, to) {
+            return;
+        }
+        // For each pattern edge (u, u') with `from` a candidate of `u` and
+        // `to` a candidate of `u'`, the literal fail(u', to) leaves the body
+        // of the clause whose head is fail(u, from).
+        let pattern_edges: Vec<(u32, u32)> = self
+            .pattern
+            .edges()
+            .iter()
+            .map(|e| (e.from.0, e.to.0))
+            .collect();
+        let mut newly_true: Vec<VarId> = Vec::new();
+        for (u, u_child) in pattern_edges {
+            let lit: VarId = (u_child, to.0);
+            let head: VarId = (u, from.0);
+            let Some(watchers) = self.watch.get_mut(&lit) else { continue };
+            let mut i = 0;
+            while i < watchers.len() {
+                let idx = watchers[i];
+                if self.clauses[idx].head != head {
+                    i += 1;
+                    continue;
+                }
+                // Detach the literal from both the clause body and the watch list.
+                if let Some(pos) = self.clauses[idx].body.iter().position(|&l| l == lit) {
+                    self.clauses[idx].body.remove(pos);
+                }
+                watchers.swap_remove(i);
+                let pending = self.clauses[idx]
+                    .body
+                    .iter()
+                    .filter(|l| !self.failed.contains(*l))
+                    .count();
+                self.clauses[idx].pending = pending;
+                if pending == 0 && !self.failed.contains(&head) {
+                    newly_true.push(head);
+                }
+            }
+        }
+        for var in newly_true {
+            self.derive(var);
+        }
+    }
+
+    /// Applies a batch of updates.
+    pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) {
+        let mut needs_rebuild = false;
+        // Apply deletions incrementally; any effective insertion forces a rebuild.
+        for update in batch.iter() {
+            match *update {
+                Update::DeleteEdge { from, to } => {
+                    if !needs_rebuild {
+                        self.delete_edge(graph, from, to);
+                    } else {
+                        graph.remove_edge(from, to);
+                    }
+                }
+                Update::InsertEdge { from, to } => {
+                    if graph.add_edge(from, to) {
+                        needs_rebuild = true;
+                    }
+                }
+            }
+        }
+        if needs_rebuild {
+            self.rebuild(graph);
+        }
+    }
+
+    /// Rebuilds the clause database from the current graph and re-derives the
+    /// least model by unit propagation.
+    fn rebuild(&mut self, graph: &DataGraph) {
+        self.clauses.clear();
+        self.watch.clear();
+        self.failed.clear();
+
+        let mut initial_facts: Vec<VarId> = Vec::new();
+        for edge in self.pattern.edges() {
+            let u = edge.from;
+            let u_child = edge.to;
+            for &v in &self.candidates[u.index()] {
+                let body: Vec<VarId> = graph
+                    .children(v)
+                    .iter()
+                    .filter(|w| self.candidates[u_child.index()].contains(w))
+                    .map(|w| (u_child.0, w.0))
+                    .collect();
+                let head = (u.0, v.0);
+                if body.is_empty() {
+                    // No candidate child at all: fail(u, v) is a fact.
+                    initial_facts.push(head);
+                    continue;
+                }
+                let idx = self.clauses.len();
+                for lit in &body {
+                    self.watch.entry(*lit).or_default().push(idx);
+                }
+                let pending = body.len();
+                self.clauses.push(Clause { head, body, pending });
+            }
+        }
+        for fact in initial_facts {
+            self.derive(fact);
+        }
+    }
+
+    /// Unit propagation from a newly derived `fail` fact.
+    fn derive(&mut self, var: VarId) {
+        let mut stack = vec![var];
+        while let Some(current) = stack.pop() {
+            if !self.failed.insert(current) {
+                continue;
+            }
+            if let Some(clause_indices) = self.watch.get(&current).cloned() {
+                for idx in clause_indices {
+                    let clause = &mut self.clauses[idx];
+                    if clause.pending > 0 {
+                        clause.pending -= 1;
+                        if clause.pending == 0 && !self.failed.contains(&clause.head) {
+                            stack.push(clause.head);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_core::{match_simulation, SimulationIndex};
+    use igpm_generator::{
+        generate_pattern, mixed_batch, synthetic_graph, PatternGenConfig, PatternShape,
+        SyntheticConfig,
+    };
+    use igpm_graph::Predicate;
+
+    fn check_against_batch(engine: &HornSatSimulation, pattern: &Pattern, graph: &DataGraph, context: &str) {
+        assert_eq!(engine.matches(), match_simulation(pattern, graph), "{context}");
+    }
+
+    #[test]
+    fn agrees_with_simulation_on_a_small_graph() {
+        let mut g = DataGraph::new();
+        let labels = ["CTO", "DB", "Bio", "DB", "Bio"];
+        let nodes: Vec<NodeId> = labels.iter().map(|l| g.add_labeled_node(*l)).collect();
+        for (a, b) in [(0, 1), (1, 2), (0, 3), (3, 4), (1, 0)] {
+            g.add_edge(nodes[a], nodes[b]);
+        }
+        let mut p = Pattern::new();
+        let cto = p.add_node(Predicate::label("CTO"));
+        let db = p.add_node(Predicate::label("DB"));
+        let bio = p.add_node(Predicate::label("Bio"));
+        p.add_normal_edge(cto, db);
+        p.add_normal_edge(db, bio);
+
+        let engine = HornSatSimulation::build(&p, &g);
+        check_against_batch(&engine, &p, &g, "initial build");
+        assert!(engine.clause_count() > 0);
+    }
+
+    #[test]
+    fn incremental_deletions_agree_with_batch() {
+        let mut graph = synthetic_graph(&SyntheticConfig::new(120, 360, 4, 55));
+        let pattern = generate_pattern(&graph, &PatternGenConfig::normal(4, 5, 1, 56));
+        let mut engine = HornSatSimulation::build(&pattern, &graph);
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().take(40).collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            engine.delete_edge(&mut graph, a, b);
+            if i % 10 == 0 {
+                check_against_batch(&engine, &pattern, &graph, &format!("after deletion {i}"));
+            }
+        }
+        check_against_batch(&engine, &pattern, &graph, "after all deletions");
+    }
+
+    #[test]
+    fn insertions_and_batches_agree_with_batch() {
+        let mut graph = synthetic_graph(&SyntheticConfig::new(100, 300, 4, 77));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::normal(4, 6, 1, 78).with_shape(PatternShape::General),
+        );
+        let mut engine = HornSatSimulation::build(&pattern, &graph);
+        for round in 0..3 {
+            let batch = mixed_batch(&graph, 15, 15, 100 + round);
+            engine.apply_batch(&mut graph, &batch);
+            check_against_batch(&engine, &pattern, &graph, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn agrees_with_inc_match_over_the_same_updates() {
+        let mut g1 = synthetic_graph(&SyntheticConfig::new(80, 240, 3, 9));
+        let mut g2 = g1.clone();
+        let pattern = generate_pattern(&g1, &PatternGenConfig::normal(3, 4, 1, 10));
+        let mut horn = HornSatSimulation::build(&pattern, &g1);
+        let mut inc = SimulationIndex::build(&pattern, &g2);
+        let batch = mixed_batch(&g1, 20, 20, 11);
+        horn.apply_batch(&mut g1, &batch);
+        inc.apply_batch(&mut g2, &batch);
+        assert_eq!(g1, g2);
+        assert_eq!(horn.matches(), inc.matches());
+    }
+
+    #[test]
+    fn noop_updates_change_nothing() {
+        let mut graph = synthetic_graph(&SyntheticConfig::new(50, 150, 3, 12));
+        let pattern = generate_pattern(&graph, &PatternGenConfig::normal(3, 3, 1, 13));
+        let mut engine = HornSatSimulation::build(&pattern, &graph);
+        let before = engine.matches();
+        // Deleting a missing edge and re-inserting an existing edge are no-ops.
+        let (a, b) = graph.edges().next().unwrap();
+        engine.insert_edge(&mut graph, a, b);
+        let mut missing = None;
+        'outer: for x in graph.nodes() {
+            for y in graph.nodes() {
+                if x != y && !graph.has_edge(x, y) {
+                    missing = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        let (x, y) = missing.unwrap();
+        engine.delete_edge(&mut graph, x, y);
+        assert_eq!(engine.matches(), before);
+    }
+}

@@ -1,0 +1,27 @@
+//! # igpm-baseline
+//!
+//! The comparison systems evaluated against the paper's algorithms in
+//! Section 8:
+//!
+//! * [`vf2`] — subgraph isomorphism via VF2-style backtracking (the `VF2`
+//!   baseline of Exp-1, Figures 16(b,c));
+//! * [`hornsat`] — the HORNSAT-based incremental simulation of Shukla et al.
+//!   1997 (the `HornSat` baseline of Figure 18);
+//! * [`naive`] — `IncMatchn`, the naive incremental algorithm that processes a
+//!   batch one unit update at a time without `minDelta` (Figure 18);
+//! * [`matrix_inc`] — `IncBMatchm`, incremental bounded simulation backed by a
+//!   (candidate-row) distance matrix in the style of Fan et al. 2010
+//!   (Figure 19).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hornsat;
+pub mod matrix_inc;
+pub mod naive;
+pub mod vf2;
+
+pub use hornsat::HornSatSimulation;
+pub use matrix_inc::MatrixBoundedIndex;
+pub use naive::{apply_batch_naive, apply_batch_naive_bounded};
+pub use vf2::{count_isomorphic_matches, find_isomorphic_matches, isomorphic_result_nodes};

@@ -1,0 +1,95 @@
+//! `IncMatchn`: the naive incremental algorithm that processes a batch of
+//! updates one unit update at a time.
+//!
+//! Figure 18 compares the batch algorithm `Matchs`, the naive `IncMatchn`
+//! (which simply invokes `IncMatch+` / `IncMatch-` once per unit update) and
+//! the real `IncMatch` (which reduces the batch with `minDelta` and handles
+//! all deletions, then all insertions, simultaneously). The same comparison is
+//! made for landmark maintenance (`InsLM + DelLM` versus `IncLM`,
+//! Fig. 20(f)) and carries over to bounded simulation.
+
+use igpm_core::{AffStats, BoundedIndex, SimulationIndex};
+use igpm_graph::{BatchUpdate, DataGraph, Update};
+
+/// Applies `batch` to a [`SimulationIndex`] one unit update at a time
+/// (no `minDelta`, no simultaneous processing). Returns the merged statistics.
+pub fn apply_batch_naive(
+    index: &mut SimulationIndex,
+    graph: &mut DataGraph,
+    batch: &BatchUpdate,
+) -> AffStats {
+    let mut stats = AffStats::default();
+    for update in batch.iter() {
+        let unit = match *update {
+            Update::InsertEdge { from, to } => index.insert_edge(graph, from, to),
+            Update::DeleteEdge { from, to } => index.delete_edge(graph, from, to),
+        };
+        stats.merge(unit);
+    }
+    stats
+}
+
+/// Applies `batch` to a [`BoundedIndex`] one unit update at a time.
+pub fn apply_batch_naive_bounded(
+    index: &mut BoundedIndex,
+    graph: &mut DataGraph,
+    batch: &BatchUpdate,
+) -> AffStats {
+    let mut stats = AffStats::default();
+    for update in batch.iter() {
+        let unit = match *update {
+            Update::InsertEdge { from, to } => index.insert_edge(graph, from, to),
+            Update::DeleteEdge { from, to } => index.delete_edge(graph, from, to),
+        };
+        stats.merge(unit);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_core::{match_bounded_with_matrix, match_simulation};
+    use igpm_generator::{
+        generate_pattern, mixed_batch, synthetic_graph, PatternGenConfig, PatternShape,
+        SyntheticConfig,
+    };
+
+    #[test]
+    fn naive_and_min_delta_reach_the_same_simulation() {
+        let base = synthetic_graph(&SyntheticConfig::new(150, 500, 4, 501));
+        let pattern = generate_pattern(
+            &base,
+            &PatternGenConfig::normal(4, 6, 1, 502).with_shape(PatternShape::General),
+        );
+        let batch = mixed_batch(&base, 40, 40, 503);
+
+        let mut g_naive = base.clone();
+        let mut idx_naive = SimulationIndex::build(&pattern, &g_naive);
+        let naive_stats = apply_batch_naive(&mut idx_naive, &mut g_naive, &batch);
+
+        let mut g_smart = base.clone();
+        let mut idx_smart = SimulationIndex::build(&pattern, &g_smart);
+        idx_smart.apply_batch(&mut g_smart, &batch);
+
+        assert_eq!(g_naive, g_smart);
+        assert_eq!(idx_naive.matches(), idx_smart.matches());
+        assert_eq!(idx_naive.matches(), match_simulation(&pattern, &g_naive));
+        assert_eq!(naive_stats.delta_g, batch.len());
+    }
+
+    #[test]
+    fn naive_bounded_matches_batch_recomputation() {
+        let base = synthetic_graph(&SyntheticConfig::new(90, 270, 4, 601));
+        let pattern = generate_pattern(
+            &base,
+            &PatternGenConfig::new(4, 5, 1, 2, 602).with_shape(PatternShape::Dag),
+        );
+        let batch = mixed_batch(&base, 10, 10, 603);
+
+        let mut graph = base.clone();
+        let mut index = BoundedIndex::build(&pattern, &graph);
+        apply_batch_naive_bounded(&mut index, &mut graph, &batch);
+        assert_eq!(index.matches(), match_bounded_with_matrix(&pattern, &graph));
+    }
+}

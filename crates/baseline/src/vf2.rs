@@ -1,0 +1,314 @@
+//! Subgraph isomorphism via VF2-style backtracking.
+//!
+//! The paper's Exp-1 compares bounded simulation against `VF2` (Cordella et
+//! al. 2004): finding all subgraphs of `G` isomorphic to a normal pattern `P`.
+//! A match here is an *injective* mapping `f` from pattern nodes to data nodes
+//! such that `f(u)` satisfies the predicate of `u` and every pattern edge
+//! `(u, u')` is realised by the data edge `(f(u), f(u'))` — the edge-to-edge,
+//! one-to-one semantics that Example 1.1 shows to be too rigid for community
+//! detection.
+//!
+//! The search uses the standard VF2 ingredients: extend a partial mapping one
+//! pattern node at a time, choose the next pattern node as one adjacent to the
+//! already-mapped core when possible, and prune candidates by predicate,
+//! degree and consistency with already-mapped neighbours.
+
+use igpm_graph::hash::FastHashSet;
+use igpm_graph::{DataGraph, NodeId, Pattern, PatternNodeId};
+
+/// An embedding: `embedding[u] = v` maps pattern node `u` to data node `v`.
+pub type Embedding = Vec<NodeId>;
+
+/// Finds up to `limit` isomorphic embeddings of `pattern` in `graph`
+/// (`limit = usize::MAX` enumerates all of them).
+///
+/// # Panics
+/// Panics if the pattern is not normal (subgraph isomorphism is defined for
+/// normal patterns only, Section 2.3).
+pub fn find_isomorphic_matches(pattern: &Pattern, graph: &DataGraph, limit: usize) -> Vec<Embedding> {
+    assert!(pattern.is_normal(), "subgraph isomorphism needs a normal pattern");
+    let np = pattern.node_count();
+    if np == 0 {
+        return Vec::new();
+    }
+
+    // Static candidate sets per pattern node (predicate + degree pruning).
+    let candidates: Vec<Vec<NodeId>> = pattern
+        .nodes()
+        .map(|u| {
+            let pred = pattern.predicate(u);
+            graph
+                .nodes()
+                .filter(|&v| {
+                    pred.satisfied_by(graph.attrs(v))
+                        && graph.out_degree(v) >= pattern.out_degree(u)
+                        && graph.in_degree(v) >= pattern.in_degree(u)
+                })
+                .collect()
+        })
+        .collect();
+    if candidates.iter().any(Vec::is_empty) {
+        return Vec::new();
+    }
+
+    // Matching order: start from the rarest candidate set and grow along
+    // pattern adjacency so each new node is constrained by mapped neighbours.
+    let order = matching_order(pattern, &candidates);
+
+    let mut results = Vec::new();
+    let mut mapping: Vec<Option<NodeId>> = vec![None; np];
+    let mut used: FastHashSet<NodeId> = FastHashSet::default();
+    backtrack(pattern, graph, &candidates, &order, 0, &mut mapping, &mut used, &mut results, limit);
+    results
+}
+
+/// Counts the isomorphic embeddings of `pattern` in `graph`.
+pub fn count_isomorphic_matches(pattern: &Pattern, graph: &DataGraph) -> usize {
+    find_isomorphic_matches(pattern, graph, usize::MAX).len()
+}
+
+/// The set of data nodes participating in at least one isomorphic embedding —
+/// the node set of the union result graph `M_iso(P, G)` (Section 4), used when
+/// comparing how many community members each matching notion identifies.
+pub fn isomorphic_result_nodes(pattern: &Pattern, graph: &DataGraph, limit: usize) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = find_isomorphic_matches(pattern, graph, limit)
+        .into_iter()
+        .flatten()
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+fn matching_order(pattern: &Pattern, candidates: &[Vec<NodeId>]) -> Vec<PatternNodeId> {
+    let np = pattern.node_count();
+    let mut order: Vec<PatternNodeId> = Vec::with_capacity(np);
+    let mut placed = vec![false; np];
+    while order.len() < np {
+        // Prefer nodes adjacent to the already-ordered core; among those, the
+        // one with the fewest candidates.
+        let mut best: Option<PatternNodeId> = None;
+        let mut best_key = (false, usize::MAX);
+        for u in pattern.nodes() {
+            if placed[u.index()] {
+                continue;
+            }
+            let adjacent = order.iter().any(|&o| {
+                pattern.edge_bound(o, u).is_some() || pattern.edge_bound(u, o).is_some()
+            });
+            let key = (adjacent, candidates[u.index()].len());
+            let better = match best {
+                None => true,
+                Some(_) => {
+                    (key.0 && !best_key.0) || (key.0 == best_key.0 && key.1 < best_key.1)
+                }
+            };
+            if better {
+                best = Some(u);
+                best_key = key;
+            }
+        }
+        let chosen = best.expect("some unplaced node exists");
+        placed[chosen.index()] = true;
+        order.push(chosen);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    pattern: &Pattern,
+    graph: &DataGraph,
+    candidates: &[Vec<NodeId>],
+    order: &[PatternNodeId],
+    depth: usize,
+    mapping: &mut Vec<Option<NodeId>>,
+    used: &mut FastHashSet<NodeId>,
+    results: &mut Vec<Embedding>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    if depth == order.len() {
+        results.push(mapping.iter().map(|m| m.expect("complete mapping")).collect());
+        return;
+    }
+    let u = order[depth];
+    'cands: for &v in &candidates[u.index()] {
+        if used.contains(&v) {
+            continue;
+        }
+        // Consistency with already-mapped pattern neighbours.
+        for &(u_child, _) in pattern.children(u) {
+            if let Some(w) = mapping[u_child.index()] {
+                if !graph.has_edge(v, w) {
+                    continue 'cands;
+                }
+            }
+        }
+        for &(u_parent, _) in pattern.parents(u) {
+            if let Some(w) = mapping[u_parent.index()] {
+                if !graph.has_edge(w, v) {
+                    continue 'cands;
+                }
+            }
+        }
+        mapping[u.index()] = Some(v);
+        used.insert(v);
+        backtrack(pattern, graph, candidates, order, depth + 1, mapping, used, results, limit);
+        used.remove(&v);
+        mapping[u.index()] = None;
+        if results.len() >= limit {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_core::match_simulation;
+    use igpm_graph::{Attributes, Predicate};
+
+    /// Triangle pattern a -> b -> c -> a.
+    fn triangle_pattern() -> Pattern {
+        let mut p = Pattern::new();
+        let a = p.add_labeled_node("a");
+        let b = p.add_labeled_node("b");
+        let c = p.add_labeled_node("c");
+        p.add_normal_edge(a, b);
+        p.add_normal_edge(b, c);
+        p.add_normal_edge(c, a);
+        p
+    }
+
+    #[test]
+    fn finds_a_triangle() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let c = g.add_labeled_node("c");
+        let d = g.add_labeled_node("b");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        g.add_edge(a, d); // dangling distraction
+        let p = triangle_pattern();
+        let matches = find_isomorphic_matches(&p, &g, usize::MAX);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0], vec![a, b, c]);
+        assert_eq!(count_isomorphic_matches(&p, &g), 1);
+        assert_eq!(isomorphic_result_nodes(&p, &g, usize::MAX), vec![a, b, c]);
+    }
+
+    #[test]
+    fn no_match_when_an_edge_is_missing() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        let c = g.add_labeled_node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let p = triangle_pattern();
+        assert_eq!(count_isomorphic_matches(&p, &g), 0);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Example 1.1(1): a pattern with two distinct nodes of the same label
+        // cannot map both onto a single data node.
+        let mut p = Pattern::new();
+        let u1 = p.add_labeled_node("AM");
+        let u2 = p.add_labeled_node("AM");
+        p.add_normal_edge(u1, u2);
+
+        let mut g = DataGraph::new();
+        let only = g.add_labeled_node("AM");
+        g.add_edge(only, only);
+        assert_eq!(count_isomorphic_matches(&p, &g), 0, "a bijection cannot collapse two pattern nodes");
+
+        let other = g.add_labeled_node("AM");
+        g.add_edge(only, other);
+        assert_eq!(count_isomorphic_matches(&p, &g), 1);
+    }
+
+    #[test]
+    fn counts_all_embeddings_of_a_star() {
+        // Pattern: hub -> leaf. Graph: hub with 4 leaves => 4 embeddings.
+        let mut p = Pattern::new();
+        let hub = p.add_labeled_node("hub");
+        let leaf = p.add_labeled_node("leaf");
+        p.add_normal_edge(hub, leaf);
+
+        let mut g = DataGraph::new();
+        let h = g.add_labeled_node("hub");
+        for _ in 0..4 {
+            let l = g.add_labeled_node("leaf");
+            g.add_edge(h, l);
+        }
+        assert_eq!(count_isomorphic_matches(&p, &g), 4);
+        let limited = find_isomorphic_matches(&p, &g, 2);
+        assert_eq!(limited.len(), 2, "limit caps the enumeration");
+    }
+
+    #[test]
+    fn predicates_constrain_candidates() {
+        let mut p = Pattern::new();
+        let young = p.add_node(Predicate::any().and("age", igpm_graph::CompareOp::Lt, 30));
+        let old = p.add_node(Predicate::any().and("age", igpm_graph::CompareOp::Ge, 30));
+        p.add_normal_edge(young, old);
+
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::new().with("age", 20));
+        let b = g.add_node(Attributes::new().with("age", 40));
+        let c = g.add_node(Attributes::new().with("age", 25));
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let matches = find_isomorphic_matches(&p, &g, usize::MAX);
+        assert_eq!(matches, vec![vec![a, b]]);
+    }
+
+    #[test]
+    fn isomorphism_is_at_least_as_strict_as_simulation() {
+        // Every node appearing in an isomorphic embedding also appears in the
+        // maximum simulation (the converse fails): spot-check on a small graph.
+        let mut g = DataGraph::new();
+        let labels = ["x", "y", "x", "y", "z"];
+        let nodes: Vec<NodeId> = labels.iter().map(|l| g.add_labeled_node(*l)).collect();
+        for (a, b) in [(0, 1), (2, 1), (2, 3), (1, 4), (3, 4)] {
+            g.add_edge(nodes[a], nodes[b]);
+        }
+        let mut p = Pattern::new();
+        let x = p.add_labeled_node("x");
+        let y = p.add_labeled_node("y");
+        let z = p.add_labeled_node("z");
+        p.add_normal_edge(x, y);
+        p.add_normal_edge(y, z);
+
+        let sim = match_simulation(&p, &g);
+        for embedding in find_isomorphic_matches(&p, &g, usize::MAX) {
+            for (u_idx, &v) in embedding.iter().enumerate() {
+                assert!(sim.contains(PatternNodeId::from_index(u_idx), v));
+            }
+        }
+        assert!(count_isomorphic_matches(&p, &g) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "normal pattern")]
+    fn bounded_patterns_are_rejected() {
+        let mut p = Pattern::new();
+        let a = p.add_labeled_node("a");
+        let b = p.add_labeled_node("b");
+        p.add_edge(a, b, igpm_graph::EdgeBound::Hops(2));
+        let g = DataGraph::new();
+        let _ = find_isomorphic_matches(&p, &g, 1);
+    }
+
+    #[test]
+    fn empty_pattern_has_no_embeddings() {
+        let g = DataGraph::new();
+        assert!(find_isomorphic_matches(&Pattern::new(), &g, usize::MAX).is_empty());
+    }
+}

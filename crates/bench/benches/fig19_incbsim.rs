@@ -1,0 +1,40 @@
+//! Criterion bench for Fig. 19: incremental bounded simulation (`IncBMatch`)
+//! against batch recomputation (`Matchbs`) and the distance-matrix variant
+//! (`IncBMatchm`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use igpm_baseline::MatrixBoundedIndex;
+use igpm_bench::workloads as wl;
+use igpm_core::{match_bounded_with_matrix, BoundedIndex};
+use igpm_generator::mixed_batch;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let graph = wl::synthetic(1_200, 6_000, 0x19);
+    let pattern = wl::dag_bounded_pattern(&graph, 4, 5, 3, 3, 0x19aa);
+    let batch = mixed_batch(&graph, 40, 40, 0x1901);
+    let mut updated = graph.clone();
+    batch.apply(&mut updated);
+
+    let mut group = c.benchmark_group("fig19_incbsim");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group.bench_function("Matchbs_batch", |b| b.iter(|| match_bounded_with_matrix(&pattern, &updated)));
+    group.bench_function("IncBMatch", |b| {
+        b.iter_batched(
+            || (graph.clone(), BoundedIndex::build(&pattern, &graph)),
+            |(mut g, mut index)| index.apply_batch(&mut g, &batch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("IncBMatchm_matrix", |b| {
+        b.iter_batched(
+            || (graph.clone(), MatrixBoundedIndex::build(&pattern, &graph)),
+            |(mut g, mut index)| index.apply_batch(&mut g, &batch),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # igpm-bench
+//!
+//! Benchmark harness reproducing the evaluation of *Incremental Graph Pattern
+//! Matching* (Section 8, Figures 16–20).
+//!
+//! * [`workloads`] builds the datasets, patterns and update streams used by
+//!   every experiment (YouTube-like, Citation-like and synthetic graphs, all
+//!   seeded and scaled by a single `--scale` factor);
+//! * [`report`] renders the measured series in the same shape as the paper's
+//!   figures (one row per x-axis point and algorithm);
+//! * the `experiments` binary (`cargo run -p igpm-bench --release --bin
+//!   experiments -- all`) regenerates every figure and prints the series;
+//! * the Criterion benches (`cargo bench -p igpm-bench`) measure representative
+//!   points of each figure with statistical rigour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,69 @@
+//! Rendering of experiment results as paper-style series.
+
+use std::fmt;
+use std::time::Instant;
+
+/// One measured point of a figure: a named series (algorithm), an x-axis
+/// label (graph size, pattern size, #updates, ...) and a value.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Series name, e.g. `"IncMatch"` or `"Matchs"`.
+    pub series: String,
+    /// X-axis label, e.g. `"|E|=84K"` or `"(4,4)"`.
+    pub x: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of the value, e.g. `"ms"`, `"#matches"`, `"MB"`.
+    pub unit: String,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(series: impl Into<String>, x: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+        Row { series: series.into(), x: x.into(), value, unit: unit.into() }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<28} {:<18} {:>12.3} {}", self.series, self.x, self.value, self.unit)
+    }
+}
+
+/// Prints a figure's rows as an aligned table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!("{:<28} {:<18} {:>12} unit", "series", "x", "value");
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+/// Measures the wall-clock time of `f` in milliseconds and returns it together
+/// with the closure's result.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed().as_secs_f64() * 1e3, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formatting() {
+        let row = Row::new("IncMatch", "|E|=84K", 12.5, "ms");
+        let text = row.to_string();
+        assert!(text.contains("IncMatch"));
+        assert!(text.contains("12.500"));
+        print_table("demo", &[row]);
+    }
+
+    #[test]
+    fn time_ms_returns_value_and_positive_time() {
+        let (ms, value) = time_ms(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499_500);
+        assert!(ms >= 0.0);
+    }
+}

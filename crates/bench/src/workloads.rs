@@ -1,0 +1,113 @@
+//! Workload builders shared by the `experiments` binary and the Criterion
+//! benches.
+//!
+//! Every workload follows Section 8.1/8.2 of the paper:
+//!
+//! * the **YouTube** and **Citation** datasets are replaced by seeded
+//!   generators with the same size and attribute schema
+//!   (`igpm-generator::{youtube, citation}`, see `DESIGN.md` §4);
+//! * **synthetic** graphs follow the densification law;
+//! * patterns come from the `(|V_p|, |E_p|, |pred|, k)` generator;
+//! * updates are degree-biased or reconstructed from timestamp snapshots.
+//!
+//! All sizes are multiplied by a single `scale` factor so the full paper-scale
+//! experiment (`scale = 1.0`) and a laptop-quick smoke run (`scale = 0.05`)
+//! use exactly the same code paths.
+
+use igpm_generator::{
+    citation_like, degree_biased_deletions, degree_biased_insertions, generate_pattern,
+    synthetic_graph, youtube_like, CitationConfig, PatternGenConfig, PatternShape,
+    SyntheticConfig, UpdateGenConfig, YouTubeConfig,
+};
+use igpm_graph::{BatchUpdate, DataGraph, Pattern};
+
+/// Default scale used when none is given on the command line: large enough to
+/// show the crossovers, small enough for a two-core CI box.
+pub const DEFAULT_SCALE: f64 = 0.10;
+
+/// The YouTube-like dataset at the given scale (scale 1.0 ≈ 14 829 nodes /
+/// 58 901 edges, the size reported in Section 8.1).
+pub fn youtube(scale: f64) -> DataGraph {
+    youtube_like(&YouTubeConfig::scaled(scale, 0x59_54))
+}
+
+/// The Citation-like dataset at the given scale (scale 1.0 ≈ 17 292 nodes /
+/// 61 351 edges).
+pub fn citation(scale: f64) -> DataGraph {
+    citation_like(&CitationConfig::scaled(scale, 0x43_49))
+}
+
+/// A synthetic graph with `nodes` nodes and `edges` edges (already scaled by
+/// the caller), 8 labels, fixed seed.
+pub fn synthetic(nodes: usize, edges: usize, seed: u64) -> DataGraph {
+    synthetic_graph(&SyntheticConfig::new(nodes.max(8), edges.max(16), 8, seed))
+}
+
+/// A b-pattern with the paper's `(|V_p|, |E_p|, |pred|, k)` parameters, seeded
+/// from the given data graph so its predicates are satisfiable.
+pub fn bounded_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds: usize, k: u32, seed: u64) -> Pattern {
+    generate_pattern(graph, &PatternGenConfig::new(nodes, edges, preds, k, seed))
+}
+
+/// A DAG b-pattern (required by `IncBMatchm`).
+pub fn dag_bounded_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds: usize, k: u32, seed: u64) -> Pattern {
+    generate_pattern(
+        graph,
+        &PatternGenConfig::new(nodes, edges, preds, k, seed).with_shape(PatternShape::Dag),
+    )
+}
+
+/// A normal pattern (all bounds 1) for the simulation / isomorphism experiments.
+pub fn normal_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds: usize, seed: u64) -> Pattern {
+    generate_pattern(graph, &PatternGenConfig::normal(nodes, edges, preds, seed))
+}
+
+/// Degree-biased insertions, as in Section 8.2.
+pub fn insertions(graph: &DataGraph, count: usize, seed: u64) -> BatchUpdate {
+    degree_biased_insertions(graph, UpdateGenConfig::new(count, seed))
+}
+
+/// Degree-biased deletions, as in Section 8.2.
+pub fn deletions(graph: &DataGraph, count: usize, seed: u64) -> BatchUpdate {
+    degree_biased_deletions(graph, UpdateGenConfig::new(count, seed))
+}
+
+/// Scales an absolute count from the paper by `scale`, keeping at least `min`.
+pub fn scaled(count: usize, scale: f64, min: usize) -> usize {
+    ((count as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_scale() {
+        let g = youtube(0.01);
+        assert!(g.node_count() >= 100);
+        let c = citation(0.01);
+        assert!(c.node_count() >= 100);
+        let s = synthetic(500, 1500, 3);
+        assert_eq!(s.node_count(), 500);
+        assert_eq!(s.edge_count(), 1500);
+    }
+
+    #[test]
+    fn patterns_have_requested_shape() {
+        let g = youtube(0.01);
+        let p = bounded_pattern(&g, 4, 6, 3, 3, 1);
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 6);
+        assert!(dag_bounded_pattern(&g, 4, 6, 3, 3, 2).is_dag());
+        assert!(normal_pattern(&g, 4, 6, 3, 3).is_normal());
+    }
+
+    #[test]
+    fn update_workloads_have_requested_sizes() {
+        let g = synthetic(300, 900, 5);
+        assert_eq!(insertions(&g, 50, 6).len(), 50);
+        assert_eq!(deletions(&g, 50, 7).len(), 50);
+        assert_eq!(scaled(1000, 0.1, 10), 100);
+        assert_eq!(scaled(10, 0.001, 5), 5);
+    }
+}

@@ -1,0 +1,720 @@
+//! Incremental bounded simulation (Section 6): `IncBMatch+`, `IncBMatch-` and
+//! the batch `IncBMatch`.
+//!
+//! The auxiliary structures follow Section 6.2/6.3:
+//!
+//! * a [`LandmarkIndex`] (landmark vector + distance vectors) maintained
+//!   incrementally by `InsLM` / `DelLM` / `IncLM`
+//!   ([`igpm_distance::landmark_inc`]);
+//! * for every pattern edge, the set of **cc/cs/ss pairs** (Table III): pairs
+//!   of candidate nodes whose distance satisfies the edge bound. Unlike plain
+//!   simulation, these are node *pairs* connected by bounded paths rather than
+//!   single graph edges.
+//!
+//! After an update only the pairs with an endpoint in the affected area (the
+//! nodes whose distance vectors changed, plus the update endpoints) can change
+//! (see the covering argument in `DESIGN.md`), so `IncBMatch` re-evaluates
+//! exactly those pairs and then propagates match promotions/demotions through
+//! them — the reduction of bounded simulation to simulation over the result
+//! pairs stated by Proposition 6.1.
+
+use crate::simulation::candidates;
+use crate::stats::AffStats;
+use igpm_distance::landmark_inc::inc_lm_tracked;
+use igpm_distance::{satisfies_bound, LandmarkIndex, LandmarkSelection};
+use igpm_graph::hash::{FastHashMap, FastHashSet};
+use igpm_graph::{
+    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
+    StronglyConnectedComponents, Update,
+};
+
+/// Auxiliary state for incremental bounded simulation over one b-pattern.
+#[derive(Debug, Clone)]
+pub struct BoundedIndex {
+    pattern: Pattern,
+    landmarks: LandmarkIndex,
+    /// All nodes satisfying each pattern node's predicate (static under edge updates).
+    cand_all: Vec<FastHashSet<NodeId>>,
+    /// `pairs[e][v]` = targets `v'` such that `(v, v')` satisfies pattern edge `e`.
+    pairs: Vec<FastHashMap<NodeId, FastHashSet<NodeId>>>,
+    /// `rev_pairs[e][v']` = sources `v` such that `(v, v')` satisfies pattern edge `e`.
+    rev_pairs: Vec<FastHashMap<NodeId, FastHashSet<NodeId>>>,
+    /// `match(u)`: current bounded-simulation matches.
+    match_sets: Vec<FastHashSet<NodeId>>,
+    scc: StronglyConnectedComponents,
+    has_cycle: bool,
+}
+
+impl BoundedIndex {
+    /// Builds the index: landmark vectors, cc/cs/ss pair sets and the initial
+    /// maximum match (the batch `Matchbs` step).
+    pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
+        let landmarks = LandmarkIndex::build(graph, LandmarkSelection::VertexCover);
+        Self::build_with_landmarks(pattern, graph, landmarks)
+    }
+
+    /// Builds the index reusing an existing landmark index (must be exact for
+    /// the current graph).
+    pub fn build_with_landmarks(pattern: &Pattern, graph: &DataGraph, landmarks: LandmarkIndex) -> Self {
+        let cand_all: Vec<FastHashSet<NodeId>> = candidates(pattern, graph)
+            .into_iter()
+            .map(|list| list.into_iter().collect())
+            .collect();
+        let scc = StronglyConnectedComponents::of_pattern(pattern);
+        let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
+        let edge_count = pattern.edge_count();
+
+        let mut index = BoundedIndex {
+            pattern: pattern.clone(),
+            landmarks,
+            cand_all,
+            pairs: vec![FastHashMap::default(); edge_count],
+            rev_pairs: vec![FastHashMap::default(); edge_count],
+            match_sets: Vec::new(),
+            scc,
+            has_cycle,
+        };
+        index.rebuild_all_pairs(graph);
+        index.match_sets = index.compute_matches_from_pairs();
+        index
+    }
+
+    /// The pattern the index maintains matches for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The landmark index currently backing distance queries.
+    pub fn landmarks(&self) -> &LandmarkIndex {
+        &self.landmarks
+    }
+
+    /// The current maximum bounded-simulation match.
+    pub fn matches(&self) -> MatchRelation {
+        if self.match_sets.iter().any(FastHashSet::is_empty) {
+            return MatchRelation::empty(self.pattern.node_count());
+        }
+        MatchRelation::from_lists(
+            self.match_sets.iter().map(|s| s.iter().copied().collect::<Vec<_>>()),
+        )
+    }
+
+    /// True if every pattern node currently has at least one match.
+    pub fn is_match(&self) -> bool {
+        !self.match_sets.is_empty() && self.match_sets.iter().all(|s| !s.is_empty())
+    }
+
+    /// The current matches of one pattern node (partial information).
+    pub fn match_set(&self, u: PatternNodeId) -> &FastHashSet<NodeId> {
+        &self.match_sets[u.index()]
+    }
+
+    /// Builds the result graph `G_r` for the current match.
+    pub fn result_graph(&self) -> ResultGraph {
+        let mut result = ResultGraph::new();
+        let matches = self.matches();
+        for (_, v) in matches.pairs() {
+            result.add_node(v);
+        }
+        for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+            for &v in matches.matches(edge.from) {
+                if let Some(targets) = self.pairs[e_idx].get(&v) {
+                    for &w in targets {
+                        if matches.contains(edge.to, w) {
+                            result.add_edge(v, w, e_idx as u32);
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// `IncBMatch+`: single edge insertion.
+    pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        let batch = BatchUpdate::from_updates(vec![Update::insert(from, to)]);
+        self.apply_batch(graph, &batch)
+    }
+
+    /// `IncBMatch-`: single edge deletion.
+    pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        let batch = BatchUpdate::from_updates(vec![Update::delete(from, to)]);
+        self.apply_batch(graph, &batch)
+    }
+
+    /// `IncBMatch`: batch updates. The graph is updated, the landmark and
+    /// distance vectors are maintained by `IncLM`, the affected cc/cs/ss pairs
+    /// are re-evaluated, and the match is repaired by demotion/promotion
+    /// propagation over the pairs.
+    pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
+        let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
+
+        // Step 1: maintain the landmark/distance vectors (IncLM) and collect
+        // the nodes whose distance information changed.
+        let mut affected: FastHashSet<NodeId> = FastHashSet::default();
+        let lm_stats = inc_lm_tracked(&mut self.landmarks, graph, batch, &mut affected);
+        stats.reduced_delta_g = lm_stats.updates_processed;
+        stats.aux_changes += lm_stats.affected_entries;
+
+        if lm_stats.updates_processed == 0 {
+            return stats;
+        }
+
+        // Step 2: re-evaluate the pairs whose endpoints are affected.
+        let (broken, created) = self.refresh_pairs(graph, &affected, &mut stats);
+
+        // Step 3: repair the match — demotions first (broken pairs), then
+        // promotions (created pairs), mirroring IncMatch.
+        if !broken.is_empty() {
+            self.process_demotions(&broken, &mut stats);
+        }
+        if !created.is_empty() || self.has_cycle {
+            self.process_promotions(&created, &mut stats);
+        }
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // Pair maintenance
+    // ------------------------------------------------------------------
+
+    fn rebuild_all_pairs(&mut self, graph: &DataGraph) {
+        for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+            let sources: Vec<NodeId> = self.cand_all[edge.from.index()].iter().copied().collect();
+            let targets: Vec<NodeId> = self.cand_all[edge.to.index()].iter().copied().collect();
+            let mut forward: FastHashMap<NodeId, FastHashSet<NodeId>> = FastHashMap::default();
+            let mut backward: FastHashMap<NodeId, FastHashSet<NodeId>> = FastHashMap::default();
+            for &v in &sources {
+                for &w in &targets {
+                    if satisfies_bound(graph, &self.landmarks, v, w, edge.bound) {
+                        forward.entry(v).or_default().insert(w);
+                        backward.entry(w).or_default().insert(v);
+                    }
+                }
+            }
+            self.pairs[e_idx] = forward;
+            self.rev_pairs[e_idx] = backward;
+        }
+    }
+
+    /// Re-evaluates every pair with an affected endpoint. Returns the pairs
+    /// that disappeared and the pairs that appeared, per pattern edge.
+    #[allow(clippy::type_complexity)]
+    fn refresh_pairs(
+        &mut self,
+        graph: &DataGraph,
+        affected: &FastHashSet<NodeId>,
+        stats: &mut AffStats,
+    ) -> (Vec<(usize, NodeId, NodeId)>, Vec<(usize, NodeId, NodeId)>) {
+        let mut broken = Vec::new();
+        let mut created = Vec::new();
+        for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+            let from_cands = &self.cand_all[edge.from.index()];
+            let to_cands = &self.cand_all[edge.to.index()];
+            // Pairs whose *source* is affected.
+            for &x in affected.iter().filter(|x| from_cands.contains(x)) {
+                for &w in to_cands {
+                    let now = satisfies_bound(graph, &self.landmarks, x, w, edge.bound);
+                    let before = self.pairs[e_idx].get(&x).map(|s| s.contains(&w)).unwrap_or(false);
+                    if now == before {
+                        continue;
+                    }
+                    stats.aux_changes += 1;
+                    if now {
+                        self.pairs[e_idx].entry(x).or_default().insert(w);
+                        self.rev_pairs[e_idx].entry(w).or_default().insert(x);
+                        created.push((e_idx, x, w));
+                    } else {
+                        if let Some(set) = self.pairs[e_idx].get_mut(&x) {
+                            set.remove(&w);
+                        }
+                        if let Some(set) = self.rev_pairs[e_idx].get_mut(&w) {
+                            set.remove(&x);
+                        }
+                        broken.push((e_idx, x, w));
+                    }
+                }
+            }
+            // Pairs whose *target* is affected (skip sources already handled above).
+            for &x in affected.iter().filter(|x| to_cands.contains(x)) {
+                for &v in from_cands {
+                    if affected.contains(&v) {
+                        continue;
+                    }
+                    let now = satisfies_bound(graph, &self.landmarks, v, x, edge.bound);
+                    let before = self.pairs[e_idx].get(&v).map(|s| s.contains(&x)).unwrap_or(false);
+                    if now == before {
+                        continue;
+                    }
+                    stats.aux_changes += 1;
+                    if now {
+                        self.pairs[e_idx].entry(v).or_default().insert(x);
+                        self.rev_pairs[e_idx].entry(x).or_default().insert(v);
+                        created.push((e_idx, v, x));
+                    } else {
+                        if let Some(set) = self.pairs[e_idx].get_mut(&v) {
+                            set.remove(&x);
+                        }
+                        if let Some(set) = self.rev_pairs[e_idx].get_mut(&x) {
+                            set.remove(&v);
+                        }
+                        broken.push((e_idx, v, x));
+                    }
+                }
+            }
+        }
+        (broken, created)
+    }
+
+    // ------------------------------------------------------------------
+    // Match maintenance over the pair sets
+    // ------------------------------------------------------------------
+
+    /// Does `v` (as a match of `u`) have, for every pattern edge `(u, u2)`, a
+    /// pair target currently matching `u2`?
+    fn has_full_support(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.pattern.edges().iter().enumerate().all(|(e_idx, edge)| {
+            if edge.from != u {
+                return true;
+            }
+            match self.pairs[e_idx].get(&v) {
+                Some(targets) => targets.iter().any(|w| self.match_sets[edge.to.index()].contains(w)),
+                None => false,
+            }
+        })
+    }
+
+    /// Demotion propagation seeded by broken pairs.
+    fn process_demotions(&mut self, broken: &[(usize, NodeId, NodeId)], stats: &mut AffStats) {
+        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for &(e_idx, v, w) in broken {
+            let edge = self.pattern.edges()[e_idx];
+            if self.match_sets[edge.from.index()].contains(&v)
+                && self.match_sets[edge.to.index()].contains(&w)
+            {
+                worklist.push((edge.from, v));
+            }
+        }
+        while let Some((u, v)) = worklist.pop() {
+            stats.nodes_visited += 1;
+            if !self.match_sets[u.index()].contains(&v) {
+                continue;
+            }
+            if self.has_full_support(u, v) {
+                continue;
+            }
+            self.match_sets[u.index()].remove(&v);
+            stats.matches_removed += 1;
+            stats.aux_changes += 1;
+            // Every match that used v as a pair target for a pattern edge
+            // ending in u must be re-checked.
+            for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+                if edge.to != u {
+                    continue;
+                }
+                if let Some(sources) = self.rev_pairs[e_idx].get(&v) {
+                    for &p in sources {
+                        if self.match_sets[edge.from.index()].contains(&p) {
+                            worklist.push((edge.from, p));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Promotion propagation seeded by created pairs, with a joint pass for
+    /// pattern SCCs (the bounded-simulation analogue of propCS / propCC).
+    fn process_promotions(&mut self, created: &[(usize, NodeId, NodeId)], stats: &mut AffStats) {
+        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for &(e_idx, v, _) in created {
+            let edge = self.pattern.edges()[e_idx];
+            if !self.match_sets[edge.from.index()].contains(&v) {
+                worklist.push((edge.from, v));
+            }
+        }
+        let mut run_cc = self.has_cycle;
+        loop {
+            let promoted_cs = self.promote_from_worklist(&mut worklist, stats);
+            if promoted_cs {
+                run_cc = self.has_cycle;
+            }
+            if !run_cc {
+                break;
+            }
+            run_cc = false;
+            let promoted_cc = self.promote_sccs(stats, &mut worklist);
+            if !promoted_cc && worklist.is_empty() {
+                break;
+            }
+            if promoted_cc {
+                run_cc = true;
+            }
+        }
+    }
+
+    fn promote_from_worklist(
+        &mut self,
+        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+        stats: &mut AffStats,
+    ) -> bool {
+        let mut promoted_any = false;
+        while let Some((u, v)) = worklist.pop() {
+            stats.nodes_visited += 1;
+            if self.match_sets[u.index()].contains(&v) || !self.cand_all[u.index()].contains(&v) {
+                continue;
+            }
+            if !self.has_full_support(u, v) {
+                continue;
+            }
+            self.match_sets[u.index()].insert(v);
+            stats.matches_added += 1;
+            stats.aux_changes += 1;
+            promoted_any = true;
+            for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+                if edge.to != u {
+                    continue;
+                }
+                if let Some(sources) = self.rev_pairs[e_idx].get(&v) {
+                    for &p in sources {
+                        if !self.match_sets[edge.from.index()].contains(&p) {
+                            worklist.push((edge.from, p));
+                        }
+                    }
+                }
+            }
+        }
+        promoted_any
+    }
+
+    fn promote_sccs(&mut self, stats: &mut AffStats, worklist: &mut Vec<(PatternNodeId, NodeId)>) -> bool {
+        let mut promoted_any = false;
+        let components: Vec<_> = self.scc.components().collect();
+        for comp in components {
+            if !self.scc.is_nontrivial(comp) {
+                continue;
+            }
+            let members: Vec<PatternNodeId> = self
+                .scc
+                .members(comp)
+                .iter()
+                .map(|&i| PatternNodeId::from_index(i))
+                .collect();
+            let in_scc = |u: PatternNodeId| members.contains(&u);
+
+            let mut tentative: Vec<FastHashSet<NodeId>> = vec![FastHashSet::default(); self.pattern.node_count()];
+            for &u in &members {
+                tentative[u.index()] = self.cand_all[u.index()]
+                    .iter()
+                    .copied()
+                    .filter(|v| !self.match_sets[u.index()].contains(v))
+                    .collect();
+            }
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &u in &members {
+                    let survivors: Vec<NodeId> = tentative[u.index()]
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            stats.nodes_visited += 1;
+                            self.pattern.edges().iter().enumerate().all(|(e_idx, edge)| {
+                                if edge.from != u {
+                                    return true;
+                                }
+                                match self.pairs[e_idx].get(&v) {
+                                    Some(targets) => targets.iter().any(|w| {
+                                        self.match_sets[edge.to.index()].contains(w)
+                                            || (in_scc(edge.to) && tentative[edge.to.index()].contains(w))
+                                    }),
+                                    None => false,
+                                }
+                            })
+                        })
+                        .collect();
+                    if survivors.len() != tentative[u.index()].len() {
+                        changed = true;
+                        tentative[u.index()] = survivors.into_iter().collect();
+                    }
+                }
+            }
+            for &u in &members {
+                let survivors: Vec<NodeId> = tentative[u.index()].iter().copied().collect();
+                for v in survivors {
+                    self.match_sets[u.index()].insert(v);
+                    stats.matches_added += 1;
+                    stats.aux_changes += 1;
+                    promoted_any = true;
+                    for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+                        if edge.to != u {
+                            continue;
+                        }
+                        if let Some(sources) = self.rev_pairs[e_idx].get(&v) {
+                            for &p in sources {
+                                if !self.match_sets[edge.from.index()].contains(&p) {
+                                    worklist.push((edge.from, p));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        promoted_any
+    }
+
+    /// Full greatest-fixpoint computation over the pair sets (initial build).
+    fn compute_matches_from_pairs(&self) -> Vec<FastHashSet<NodeId>> {
+        let mut sets: Vec<FastHashSet<NodeId>> = self.cand_all.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in self.pattern.nodes() {
+                let to_remove: Vec<NodeId> = sets[u.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        !self.pattern.edges().iter().enumerate().all(|(e_idx, edge)| {
+                            if edge.from != u {
+                                return true;
+                            }
+                            match self.pairs[e_idx].get(&v) {
+                                Some(targets) => targets.iter().any(|w| sets[edge.to.index()].contains(w)),
+                                None => false,
+                            }
+                        })
+                    })
+                    .collect();
+                if !to_remove.is_empty() {
+                    changed = true;
+                    for v in to_remove {
+                        sets[u.index()].remove(&v);
+                    }
+                }
+            }
+        }
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::match_bounded_with_matrix;
+    use igpm_generator::{
+        degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
+        synthetic_graph, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
+    };
+    use igpm_graph::{Attributes, EdgeBound, Predicate};
+
+    /// The FriendFeed graph of Fig. 4 and the b-pattern P3 of Example 4.1:
+    /// CTO -[2]-> DB, CTO -[1]-> Bio, DB -[1]-> Bio, DB -[*]-> CTO.
+    struct Fixture {
+        graph: DataGraph,
+        pattern: Pattern,
+        ann: NodeId,
+        pat: NodeId,
+        dan: NodeId,
+        bill: NodeId,
+        mat: NodeId,
+        don: NodeId,
+        tom: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut g = DataGraph::new();
+        let mut person = |g: &mut DataGraph, name: &str, job: &str| {
+            g.add_node(Attributes::new().with("name", name).with("job", job).with("label", job))
+        };
+        let ann = person(&mut g, "Ann", "CTO");
+        let pat = person(&mut g, "Pat", "DB");
+        let dan = person(&mut g, "Dan", "DB");
+        let bill = person(&mut g, "Bill", "Bio");
+        let mat = person(&mut g, "Mat", "Bio");
+        let don = person(&mut g, "Don", "CTO");
+        let tom = person(&mut g, "Tom", "Bio");
+        let ross = person(&mut g, "Ross", "Med");
+        g.add_edge(ann, pat);
+        g.add_edge(pat, ann);
+        g.add_edge(pat, bill);
+        g.add_edge(ann, bill);
+        g.add_edge(ann, dan);
+        g.add_edge(dan, ann);
+        g.add_edge(dan, mat);
+        g.add_edge(mat, dan);
+        g.add_edge(ross, tom);
+
+        let mut p = Pattern::new();
+        let cto = p.add_node(Predicate::label("CTO"));
+        let db = p.add_node(Predicate::label("DB"));
+        let bio = p.add_node(Predicate::label("Bio"));
+        p.add_edge(cto, db, EdgeBound::Hops(2));
+        p.add_edge(cto, bio, EdgeBound::Hops(1));
+        p.add_edge(db, bio, EdgeBound::Hops(1));
+        p.add_edge(db, cto, EdgeBound::Unbounded);
+        Fixture { graph: g, pattern: p, ann, pat, dan, bill, mat, don, tom }
+    }
+
+    fn assert_consistent(index: &BoundedIndex, pattern: &Pattern, graph: &DataGraph, context: &str) {
+        let expected = match_bounded_with_matrix(pattern, graph);
+        assert_eq!(index.matches(), expected, "{context}: incremental result diverged from batch");
+    }
+
+    #[test]
+    fn example_4_1_initial_match() {
+        let f = fixture();
+        let index = BoundedIndex::build(&f.pattern, &f.graph);
+        assert!(index.is_match());
+        // M^k_sim(P3, G3) = {(CTO, Ann), (DB, Pat), (DB, Dan), (Bio, Bill), (Bio, Mat)}.
+        assert_eq!(index.matches().matches(PatternNodeId(0)), &[f.ann]);
+        assert_eq!(index.matches().matches(PatternNodeId(1)), &[f.pat, f.dan]);
+        // Every Bio node (including the isolated Tom) matches the childless
+        // pattern node Bio.
+        assert_eq!(index.matches().matches(PatternNodeId(2)), &[f.bill, f.mat, f.tom]);
+        assert_consistent(&index, &f.pattern, &f.graph, "initial build");
+    }
+
+    #[test]
+    fn example_4_2_inserting_e2_adds_don_and_tom() {
+        // Inserting e2 = (Don, Pat) gives Don a DB neighbour within 2 hops;
+        // Example 4.2 expects Don (CTO) and Tom (Bio) to join the match once
+        // the remaining insertions arrive. With e2, e1 = (Don, Tom) and
+        // e4 = (Pat, Don) the new matches are exactly Don and Tom.
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        index.insert_edge(&mut f.graph, f.don, f.pat);
+        assert_consistent(&index, &f.pattern, &f.graph, "after e2");
+        let stats_e1 = index.insert_edge(&mut f.graph, f.don, f.tom);
+        assert_consistent(&index, &f.pattern, &f.graph, "after e1");
+        let stats_e4 = index.insert_edge(&mut f.graph, f.pat, f.don);
+        assert_consistent(&index, &f.pattern, &f.graph, "after e4");
+        assert!(index.matches().contains(PatternNodeId(0), f.don), "Don becomes a CTO match");
+        assert!(index.matches().contains(PatternNodeId(2), f.tom), "Tom becomes a Bio match");
+        // Don is promoted once both e2 and e1 are present; e4 changes nothing.
+        assert!(stats_e1.matches_added >= 1);
+        assert_eq!(stats_e4.matches_added, 0);
+    }
+
+    #[test]
+    fn deletions_shrink_the_match() {
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        // Removing (Pat, Bill) leaves Pat without a Bio node within 1 hop.
+        let stats = index.delete_edge(&mut f.graph, f.pat, f.bill);
+        assert!(stats.matches_removed >= 1);
+        assert!(!index.matches().contains(PatternNodeId(1), f.pat));
+        assert_consistent(&index, &f.pattern, &f.graph, "after deleting (Pat, Bill)");
+        // Removing (Dan, Mat) as well destroys every DB match and hence the whole match.
+        index.delete_edge(&mut f.graph, f.dan, f.mat);
+        assert!(!index.is_match());
+        assert_consistent(&index, &f.pattern, &f.graph, "after deleting (Dan, Mat)");
+    }
+
+    #[test]
+    fn unboundedness_gadget_for_bounded_simulation() {
+        // Theorem 6.1(1) gadget: pattern u -[*]-> t, graph made of three
+        // chains; the match appears only when both bridging edges exist.
+        let mut p = Pattern::new();
+        let u = p.add_labeled_node("u");
+        let t = p.add_labeled_node("t");
+        p.add_edge(u, t, EdgeBound::Unbounded);
+
+        let mut g = DataGraph::new();
+        let us: Vec<NodeId> = (0..4).map(|_| g.add_labeled_node("u")).collect();
+        let vs: Vec<NodeId> = (0..4).map(|_| g.add_labeled_node("v")).collect();
+        let ts: Vec<NodeId> = (0..4).map(|_| g.add_labeled_node("t")).collect();
+        for w in us.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        for w in ts.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g.add_edge(*ts.last().unwrap(), us[0]);
+
+        let mut index = BoundedIndex::build(&p, &g);
+        assert!(!index.is_match());
+        index.insert_edge(&mut g, *us.last().unwrap(), vs[0]);
+        assert!(!index.is_match(), "u-chain still cannot reach a t node");
+        assert_consistent(&index, &p, &g, "after first bridge");
+        let stats = index.insert_edge(&mut g, *vs.last().unwrap(), ts[0]);
+        assert!(index.is_match(), "now every u node reaches every t node");
+        assert_consistent(&index, &p, &g, "after second bridge");
+        // All four u-labelled nodes become matches of the pattern node u.
+        assert!(stats.matches_added >= 4);
+    }
+
+    #[test]
+    fn batch_updates_agree_with_batch_recomputation() {
+        for seed in 0..2u64 {
+            let mut graph = synthetic_graph(&SyntheticConfig::new(120, 360, 4, seed + 300));
+            let pattern = generate_pattern(
+                &graph,
+                &PatternGenConfig::new(4, 5, 1, 3, seed + 310).with_shape(PatternShape::General),
+            );
+            let mut index = BoundedIndex::build(&pattern, &graph);
+            assert_consistent(&index, &pattern, &graph, &format!("seed {seed}: initial"));
+            for round in 0..3 {
+                let batch = mixed_batch(&graph, 15, 15, seed * 31 + round);
+                index.apply_batch(&mut graph, &batch);
+                assert_consistent(&index, &pattern, &graph, &format!("seed {seed}, round {round}: batch"));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_updates_agree_with_batch_recomputation() {
+        for seed in 0..2u64 {
+            let mut graph = synthetic_graph(&SyntheticConfig::new(100, 300, 4, seed + 400));
+            let pattern = generate_pattern(
+                &graph,
+                &PatternGenConfig::new(4, 5, 1, 2, seed + 410).with_shape(PatternShape::Dag),
+            );
+            let mut index = BoundedIndex::build(&pattern, &graph);
+            let ins = degree_biased_insertions(&graph, UpdateGenConfig::new(12, seed + 420));
+            let del = degree_biased_deletions(&graph, UpdateGenConfig::new(12, seed + 430));
+            for (i, update) in ins.iter().chain(del.iter()).enumerate() {
+                let (a, b) = update.endpoints();
+                if update.is_insert() {
+                    index.insert_edge(&mut graph, a, b);
+                } else {
+                    index.delete_edge(&mut graph, a, b);
+                }
+                if i % 6 == 0 {
+                    assert_consistent(&index, &pattern, &graph, &format!("seed {seed}, step {i}"));
+                }
+            }
+            assert_consistent(&index, &pattern, &graph, &format!("seed {seed}: final"));
+        }
+    }
+
+    #[test]
+    fn result_graph_uses_pair_edges() {
+        let f = fixture();
+        let index = BoundedIndex::build(&f.pattern, &f.graph);
+        let gr = index.result_graph();
+        // Ann reaches the DB nodes within 2 hops and the Bio nodes within 1 hop.
+        assert!(gr.has_edge(f.ann, f.pat));
+        assert!(gr.has_edge(f.ann, f.dan));
+        assert!(gr.has_edge(f.ann, f.bill));
+        // Pat reaches Ann via an unbounded path.
+        assert!(gr.has_edge(f.pat, f.ann));
+        assert!(!gr.contains_node(f.don));
+    }
+
+    #[test]
+    fn no_op_updates_do_not_touch_the_match() {
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        let before = index.matches();
+        // Inserting an existing edge / deleting a missing edge are no-ops.
+        let stats = index.insert_edge(&mut f.graph, f.ann, f.pat);
+        assert_eq!(stats.reduced_delta_g, 0);
+        let stats = index.delete_edge(&mut f.graph, f.don, f.tom);
+        assert_eq!(stats.reduced_delta_g, 0);
+        assert_eq!(index.matches(), before);
+    }
+}

@@ -1,0 +1,12 @@
+//! Incremental graph pattern matching (Sections 5 and 6).
+//!
+//! * [`sim`] — incremental **graph simulation**: the auxiliary
+//!   `match()`/`candt()` structures, `IncMatch-` (unit deletions),
+//!   `IncMatch+`/`IncMatch+dag` (unit insertions) and the batch `IncMatch`
+//!   with the `minDelta` update reduction.
+//! * [`bsim`] — incremental **bounded simulation**: landmark/distance vectors
+//!   as the distance-side auxiliary structure, cc/cs/ss *pairs* instead of
+//!   edges, and the `IncBMatch+`/`IncBMatch-`/`IncBMatch` procedures.
+
+pub mod bsim;
+pub mod sim;

@@ -1,0 +1,753 @@
+//! Incremental graph simulation (Section 5): `IncMatch-`, `IncMatch+`,
+//! `IncMatch+dag` and the batch `IncMatch` with `minDelta`.
+//!
+//! The auxiliary structures are exactly the ones the paper identifies as
+//! *necessary local information* (Section 4): for every pattern node `u`, the
+//! set `match(u)` of current matches and the set `candt(u)` of candidates
+//! (nodes that satisfy the predicate of `u` but do not currently match it).
+//! Updates are classified per pattern edge into `ss`, `cs` and `cc` edges
+//! (Table II):
+//!
+//! * only deletions of **ss** edges can invalidate matches
+//!   (Proposition 5.1) — handled by [`SimulationIndex::delete_edge`], which
+//!   propagates invalidations through the affected area only;
+//! * only insertions of **cs** or **cc** edges can create matches
+//!   (Proposition 5.2) — handled by [`SimulationIndex::insert_edge`]; `cc`
+//!   edges matter only inside strongly connected components of the pattern,
+//!   which is where the `propCC` phase runs;
+//! * batch updates go through [`SimulationIndex::apply_batch`], which first
+//!   reduces `ΔG` (`minDelta`): updates with no net effect on the graph and
+//!   updates that are not `ss`/`cs`/`cc` edges for any pattern edge are
+//!   discarded before any matching work happens.
+
+use crate::simulation::{candidates, simulation_result_graph};
+use crate::stats::AffStats;
+use igpm_distance::landmark_inc::reduce_batch;
+use igpm_graph::hash::FastHashSet;
+use igpm_graph::{
+    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
+    StronglyConnectedComponents, Update,
+};
+
+/// Auxiliary state for incremental simulation over one pattern.
+#[derive(Debug, Clone)]
+pub struct SimulationIndex {
+    pattern: Pattern,
+    /// `match(u)`: data nodes currently simulating pattern node `u`.
+    match_sets: Vec<FastHashSet<NodeId>>,
+    /// `candt(u)`: data nodes satisfying the predicate of `u` but not matching it.
+    candt_sets: Vec<FastHashSet<NodeId>>,
+    /// Pattern SCC information, used to decide when `propCC` must run.
+    scc: StronglyConnectedComponents,
+    /// True if the pattern contains a nontrivial SCC (a cycle).
+    has_cycle: bool,
+}
+
+impl SimulationIndex {
+    /// Builds the index by computing the maximum simulation from scratch (the
+    /// batch `Matchs` step that seeds every incremental session).
+    ///
+    /// # Panics
+    /// Panics if `pattern` is not a normal pattern.
+    pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
+        assert!(pattern.is_normal(), "incremental simulation needs a normal pattern");
+        let all_candidates = candidates(pattern, graph);
+        let scc = StronglyConnectedComponents::of_pattern(pattern);
+        let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
+
+        let mut index = SimulationIndex {
+            pattern: pattern.clone(),
+            match_sets: all_candidates
+                .iter()
+                .map(|list| list.iter().copied().collect())
+                .collect(),
+            candt_sets: vec![FastHashSet::default(); pattern.node_count()],
+            scc,
+            has_cycle,
+        };
+        // Refine the candidate sets down to the greatest fixpoint.
+        index.refine_all(graph);
+        // candt(u) = candidates \ match(u).
+        for (u_idx, list) in all_candidates.into_iter().enumerate() {
+            for v in list {
+                if !index.match_sets[u_idx].contains(&v) {
+                    index.candt_sets[u_idx].insert(v);
+                }
+            }
+        }
+        index
+    }
+
+    /// The pattern the index maintains matches for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The current maximum match `M_sim(P, G)`. Empty if some pattern node has
+    /// no match (i.e. `P ⋬_sim G`).
+    pub fn matches(&self) -> MatchRelation {
+        if self.match_sets.iter().any(FastHashSet::is_empty) {
+            return MatchRelation::empty(self.pattern.node_count());
+        }
+        MatchRelation::from_lists(
+            self.match_sets.iter().map(|set| set.iter().copied().collect::<Vec<_>>()),
+        )
+    }
+
+    /// True if every pattern node currently has at least one match.
+    pub fn is_match(&self) -> bool {
+        !self.match_sets.is_empty() && self.match_sets.iter().all(|s| !s.is_empty())
+    }
+
+    /// The current matches of one pattern node (may be nonempty even when the
+    /// overall pattern does not match — this is the partial information that
+    /// makes the problem semi-bounded rather than bounded, cf. Example 4.3).
+    pub fn match_set(&self, u: PatternNodeId) -> &FastHashSet<NodeId> {
+        &self.match_sets[u.index()]
+    }
+
+    /// The current candidates of one pattern node.
+    pub fn candidate_set(&self, u: PatternNodeId) -> &FastHashSet<NodeId> {
+        &self.candt_sets[u.index()]
+    }
+
+    /// Builds the result graph `G_r` for the current match.
+    pub fn result_graph(&self, graph: &DataGraph) -> ResultGraph {
+        simulation_result_graph(&self.pattern, graph, &self.matches())
+    }
+
+    // ------------------------------------------------------------------
+    // Unit updates
+    // ------------------------------------------------------------------
+
+    /// `IncMatch-`: deletes the edge `(from, to)` from `graph` and maintains
+    /// the match (optimal, `O(|AFF|)`, Theorem 5.1(2a)).
+    pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        if !graph.remove_edge(from, to) {
+            return stats;
+        }
+        if !self.is_ss_edge(from, to) {
+            // Proposition 5.1: non-ss deletions cannot change the match.
+            return stats;
+        }
+        stats.reduced_delta_g = 1;
+        self.process_deletions(graph, &[(from, to)], &mut stats);
+        stats
+    }
+
+    /// `IncMatch+` (general patterns) / `IncMatch+dag` (DAG patterns — the
+    /// `propCC` phase simply never fires): inserts the edge `(from, to)` into
+    /// `graph` and maintains the match.
+    pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        if !graph.add_edge(from, to) {
+            return stats;
+        }
+        if !self.is_cs_or_cc_edge(from, to) {
+            // Proposition 5.2: only cs/cc insertions can add matches.
+            return stats;
+        }
+        stats.reduced_delta_g = 1;
+        self.process_insertions(graph, &[(from, to)], &mut stats);
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // Batch updates: IncMatch with minDelta
+    // ------------------------------------------------------------------
+
+    /// `IncMatch`: applies a batch of updates after reducing it with
+    /// `minDelta`, processing all deletions simultaneously and then all
+    /// insertions simultaneously (Fig. 10).
+    pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
+        let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
+
+        // minDelta step 1: drop updates whose net effect on the graph is nil.
+        let (effective, _) = reduce_batch(graph, batch);
+
+        // minDelta step 2: drop updates that are irrelevant to the pattern
+        // (not ss edges for deletions, not cs/cc edges for insertions). They
+        // are still applied to the graph below.
+        let mut relevant_deletions: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut relevant_insertions: Vec<(NodeId, NodeId)> = Vec::new();
+        for update in &effective {
+            let (a, b) = update.endpoints();
+            match update {
+                Update::DeleteEdge { .. } if self.is_ss_edge(a, b) => relevant_deletions.push((a, b)),
+                Update::InsertEdge { .. } if self.is_cs_or_cc_edge(a, b) => relevant_insertions.push((a, b)),
+                _ => {}
+            }
+        }
+        stats.reduced_delta_g = relevant_deletions.len() + relevant_insertions.len();
+
+        // Apply the whole (net) batch to the graph before any matching work so
+        // that every support check sees the final graph.
+        for update in &effective {
+            update.apply(graph);
+        }
+
+        // Deletions first (they can only shrink), then insertions.
+        if !relevant_deletions.is_empty() {
+            self.process_deletions(graph, &relevant_deletions, &mut stats);
+        }
+        if !relevant_insertions.is_empty() {
+            self.process_insertions(graph, &relevant_insertions, &mut stats);
+        }
+        stats
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// True if `(from, to)` is an ss edge for some pattern edge: both
+    /// endpoints currently match the edge's endpoints.
+    fn is_ss_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.pattern.edges().iter().any(|e| {
+            self.match_sets[e.from.index()].contains(&from)
+                && self.match_sets[e.to.index()].contains(&to)
+        })
+    }
+
+    /// True if `(from, to)` is a cs or cc edge for some pattern edge: the
+    /// source is a candidate and the target is a candidate or a match.
+    fn is_cs_or_cc_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.pattern.edges().iter().any(|e| {
+            self.candt_sets[e.from.index()].contains(&from)
+                && (self.match_sets[e.to.index()].contains(&to)
+                    || self.candt_sets[e.to.index()].contains(&to))
+        })
+    }
+
+    /// Does `v` (as a match of `u`) still have, for every pattern edge
+    /// `(u, u2)`, a graph child matching `u2`?
+    fn has_full_support(&self, graph: &DataGraph, u: PatternNodeId, v: NodeId) -> bool {
+        self.pattern.children(u).iter().all(|&(u2, _)| {
+            graph
+                .children(v)
+                .iter()
+                .any(|w| self.match_sets[u2.index()].contains(w))
+        })
+    }
+
+    /// Deletion propagation: seeds are deleted ss edges; every invalidated
+    /// match is demoted to a candidate and its graph parents are re-checked.
+    fn process_deletions(&mut self, graph: &DataGraph, deleted: &[(NodeId, NodeId)], stats: &mut AffStats) {
+        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for &(a, b) in deleted {
+            for edge in self.pattern.edges() {
+                if self.match_sets[edge.from.index()].contains(&a)
+                    && self.match_sets[edge.to.index()].contains(&b)
+                {
+                    worklist.push((edge.from, a));
+                }
+            }
+        }
+        while let Some((u, v)) = worklist.pop() {
+            stats.nodes_visited += 1;
+            if !self.match_sets[u.index()].contains(&v) {
+                continue;
+            }
+            if self.has_full_support(graph, u, v) {
+                continue;
+            }
+            // v no longer matches u: demote it to a candidate.
+            self.match_sets[u.index()].remove(&v);
+            self.candt_sets[u.index()].insert(v);
+            stats.matches_removed += 1;
+            stats.aux_changes += 1;
+            // Parents of v that matched a pattern parent of u must be re-checked.
+            for &(u_parent, _) in self.pattern.parents(u) {
+                for &p in graph.parents(v) {
+                    if self.match_sets[u_parent.index()].contains(&p) {
+                        worklist.push((u_parent, p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insertion propagation: the `propCS` / `propCC` loop of `IncMatch+`.
+    fn process_insertions(&mut self, graph: &DataGraph, inserted: &[(NodeId, NodeId)], stats: &mut AffStats) {
+        // propCS seeds: sources of the inserted cs/cc edges.
+        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for &(a, b) in inserted {
+            for edge in self.pattern.edges() {
+                let source_is_cand = self.candt_sets[edge.from.index()].contains(&a);
+                let target_known = self.match_sets[edge.to.index()].contains(&b)
+                    || self.candt_sets[edge.to.index()].contains(&b);
+                if source_is_cand && target_known {
+                    worklist.push((edge.from, a));
+                }
+            }
+        }
+        // Does some inserted edge fall inside a nontrivial pattern SCC
+        // (Proposition 5.2(3))? If so propCC must run at least once even if
+        // propCS promotes nothing.
+        let mut run_cc = self.has_cycle && self.inserted_touches_scc(inserted);
+
+        loop {
+            let promoted_cs = self.prop_cs(graph, &mut worklist, stats);
+            if promoted_cs {
+                // New matches may wake SCC candidates that depend on them.
+                run_cc = self.has_cycle;
+            }
+            if !run_cc {
+                break;
+            }
+            run_cc = false;
+            let promoted_cc = self.prop_cc(graph, stats, &mut worklist);
+            if !promoted_cc && worklist.is_empty() {
+                break;
+            }
+            if promoted_cc {
+                // Another round: promotions can cascade through propCS and may
+                // re-enable further SCC candidates.
+                run_cc = true;
+            }
+        }
+    }
+
+    /// True if some inserted edge is a cs/cc/ss edge for a pattern edge lying
+    /// inside a nontrivial SCC of the pattern.
+    fn inserted_touches_scc(&self, inserted: &[(NodeId, NodeId)]) -> bool {
+        inserted.iter().any(|&(a, b)| {
+            self.pattern.edges().iter().any(|e| {
+                let same_comp = self.scc.component_of(e.from.index()) == self.scc.component_of(e.to.index());
+                if !same_comp || !self.scc.is_nontrivial(self.scc.component_of(e.from.index())) {
+                    return false;
+                }
+                (self.candt_sets[e.from.index()].contains(&a) || self.match_sets[e.from.index()].contains(&a))
+                    && (self.candt_sets[e.to.index()].contains(&b) || self.match_sets[e.to.index()].contains(&b))
+            })
+        })
+    }
+
+    /// Promotes candidates from a worklist; every promotion re-enqueues the
+    /// candidate parents of the promoted node. Returns true if anything was
+    /// promoted.
+    fn prop_cs(
+        &mut self,
+        graph: &DataGraph,
+        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+        stats: &mut AffStats,
+    ) -> bool {
+        let mut promoted_any = false;
+        while let Some((u, v)) = worklist.pop() {
+            stats.nodes_visited += 1;
+            if !self.candt_sets[u.index()].contains(&v) {
+                continue;
+            }
+            if !self.has_full_support(graph, u, v) {
+                continue;
+            }
+            self.candt_sets[u.index()].remove(&v);
+            self.match_sets[u.index()].insert(v);
+            stats.matches_added += 1;
+            stats.aux_changes += 1;
+            promoted_any = true;
+            for &(u_parent, _) in self.pattern.parents(u) {
+                for &p in graph.parents(v) {
+                    if self.candt_sets[u_parent.index()].contains(&p) {
+                        worklist.push((u_parent, p));
+                    }
+                }
+            }
+        }
+        promoted_any
+    }
+
+    /// Evaluates candidates of every nontrivial pattern SCC jointly: tentatively
+    /// assume all candidates of the SCC match, refine the assumption down to a
+    /// fixpoint, and promote the survivors. Survivor promotions enqueue their
+    /// candidate parents on `worklist` for the next `propCS` pass. Returns
+    /// true if anything was promoted.
+    fn prop_cc(
+        &mut self,
+        graph: &DataGraph,
+        stats: &mut AffStats,
+        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+    ) -> bool {
+        let mut promoted_any = false;
+        let components: Vec<_> = self.scc.components().collect();
+        for comp in components {
+            if !self.scc.is_nontrivial(comp) {
+                continue;
+            }
+            let members: Vec<PatternNodeId> = self
+                .scc
+                .members(comp)
+                .iter()
+                .map(|&i| PatternNodeId::from_index(i))
+                .collect();
+
+            // tentative(u) = candidates of u still assumed viable (matches are
+            // kept implicitly: they can never be invalidated by insertions).
+            let mut tentative: Vec<FastHashSet<NodeId>> = vec![FastHashSet::default(); self.pattern.node_count()];
+            for &u in &members {
+                tentative[u.index()] = self.candt_sets[u.index()].clone();
+            }
+            let in_scc = |u: PatternNodeId| members.contains(&u);
+
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &u in &members {
+                    let survivors: Vec<NodeId> = tentative[u.index()]
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            stats.nodes_visited += 1;
+                            self.pattern.children(u).iter().all(|&(u2, _)| {
+                                graph.children(v).iter().any(|w| {
+                                    self.match_sets[u2.index()].contains(w)
+                                        || (in_scc(u2) && tentative[u2.index()].contains(w))
+                                })
+                            })
+                        })
+                        .collect();
+                    if survivors.len() != tentative[u.index()].len() {
+                        changed = true;
+                        tentative[u.index()] = survivors.into_iter().collect();
+                    }
+                }
+            }
+
+            for &u in &members {
+                let survivors: Vec<NodeId> = tentative[u.index()].iter().copied().collect();
+                for v in survivors {
+                    self.candt_sets[u.index()].remove(&v);
+                    self.match_sets[u.index()].insert(v);
+                    stats.matches_added += 1;
+                    stats.aux_changes += 1;
+                    promoted_any = true;
+                    // Candidate parents of the new match must be re-checked by
+                    // the next propCS pass.
+                    for &(u_parent, _) in self.pattern.parents(u) {
+                        for &p in graph.parents(v) {
+                            if self.candt_sets[u_parent.index()].contains(&p) {
+                                worklist.push((u_parent, p));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        promoted_any
+    }
+
+    /// Full refinement of `match_sets` down to the greatest fixpoint (used by
+    /// the initial build).
+    fn refine_all(&mut self, graph: &DataGraph) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in self.pattern.nodes() {
+                let to_remove: Vec<NodeId> = self.match_sets[u.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&v| !self.has_full_support(graph, u, v))
+                    .collect();
+                if !to_remove.is_empty() {
+                    changed = true;
+                    for v in to_remove {
+                        self.match_sets[u.index()].remove(&v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::match_simulation;
+    use igpm_generator::{
+        degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
+        synthetic_graph, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
+    };
+    use igpm_graph::{Attributes, EdgeBound, Predicate};
+
+    /// The FriendFeed graph of Fig. 4 (base edges only) plus handles on the
+    /// nodes used by Examples 4.1–5.5.
+    struct FriendFeed {
+        graph: DataGraph,
+        ann: NodeId,
+        pat: NodeId,
+        dan: NodeId,
+        bill: NodeId,
+        mat: NodeId,
+        don: NodeId,
+        tom: NodeId,
+        ross: NodeId,
+    }
+
+    fn friendfeed() -> FriendFeed {
+        let mut g = DataGraph::new();
+        let mut person = |g: &mut DataGraph, name: &str, job: &str| {
+            g.add_node(Attributes::new().with("name", name).with("job", job).with("label", job))
+        };
+        let ann = person(&mut g, "Ann", "CTO");
+        let pat = person(&mut g, "Pat", "DB");
+        let dan = person(&mut g, "Dan", "DB");
+        let bill = person(&mut g, "Bill", "Bio");
+        let mat = person(&mut g, "Mat", "Bio");
+        let don = person(&mut g, "Don", "CTO");
+        let tom = person(&mut g, "Tom", "Bio");
+        let ross = person(&mut g, "Ross", "Med");
+        g.add_edge(ann, pat);
+        g.add_edge(pat, ann);
+        g.add_edge(pat, bill);
+        g.add_edge(ann, bill);
+        g.add_edge(ann, dan);
+        g.add_edge(dan, ann);
+        g.add_edge(dan, mat);
+        g.add_edge(mat, dan);
+        g.add_edge(ross, tom);
+        FriendFeed { graph: g, ann, pat, dan, bill, mat, don, tom, ross }
+    }
+
+    /// Normal pattern P3' of Fig. 4: CTO -> DB, DB -> CTO, DB -> Bio, CTO -> Bio.
+    fn pattern_p3() -> Pattern {
+        let mut p = Pattern::new();
+        let cto = p.add_node(Predicate::label("CTO"));
+        let db = p.add_node(Predicate::label("DB"));
+        let bio = p.add_node(Predicate::label("Bio"));
+        p.add_normal_edge(cto, db);
+        p.add_normal_edge(db, cto);
+        p.add_normal_edge(db, bio);
+        p.add_normal_edge(cto, bio);
+        p
+    }
+
+    fn assert_consistent(index: &SimulationIndex, pattern: &Pattern, graph: &DataGraph, context: &str) {
+        let expected = match_simulation(pattern, graph);
+        assert_eq!(index.matches(), expected, "{context}: incremental result diverged from batch");
+    }
+
+    #[test]
+    fn example_5_2_unit_deletion() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        assert!(index.is_match());
+        assert!(index.match_set(PatternNodeId(1)).contains(&ff.pat));
+
+        // Deleting the ss edge (Pat, Bill) invalidates Pat as a DB match
+        // (Example 5.2 / 5.3).
+        let stats = index.delete_edge(&mut ff.graph, ff.pat, ff.bill);
+        assert_eq!(stats.matches_removed, 1);
+        assert!(!index.match_set(PatternNodeId(1)).contains(&ff.pat));
+        assert!(index.candidate_set(PatternNodeId(1)).contains(&ff.pat));
+        assert_consistent(&index, &p, &ff.graph, "after deleting (Pat, Bill)");
+    }
+
+    #[test]
+    fn example_5_4_unit_insertion_restores_the_match() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        index.delete_edge(&mut ff.graph, ff.pat, ff.bill);
+        assert!(!index.match_set(PatternNodeId(1)).contains(&ff.pat));
+
+        // Inserting the cs edge (Pat, Mat) makes Pat a DB match again
+        // (Example 5.4).
+        let stats = index.insert_edge(&mut ff.graph, ff.pat, ff.mat);
+        assert!(stats.matches_added >= 1);
+        assert!(index.match_set(PatternNodeId(1)).contains(&ff.pat));
+        assert_consistent(&index, &p, &ff.graph, "after inserting (Pat, Mat)");
+    }
+
+    #[test]
+    fn example_4_1_insertions_add_don_as_cto_match() {
+        // Inserting e2 = (Don, Pat), e3 = (Don, Tom), e4 = (Pat, Don) turns Don
+        // into a CTO match (it now has DB and Bio children and the DB child
+        // reaches a CTO), cf. Example 5.5 / Fig. 7.
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        assert!(!index.match_set(PatternNodeId(0)).contains(&ff.don));
+
+        let mut batch = BatchUpdate::new();
+        batch.insert(ff.don, ff.pat);
+        batch.insert(ff.don, ff.tom);
+        batch.insert(ff.pat, ff.don);
+        let stats = index.apply_batch(&mut ff.graph, &batch);
+        assert!(stats.matches_added >= 1);
+        assert!(index.match_set(PatternNodeId(0)).contains(&ff.don));
+        assert_consistent(&index, &p, &ff.graph, "after the Don insertions");
+    }
+
+    #[test]
+    fn irrelevant_updates_are_reduced_away() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        // (Ross, Tom) involves a Med node that matches nothing: deleting it is
+        // irrelevant; inserting (Tom, Ross) likewise.
+        let mut batch = BatchUpdate::new();
+        batch.delete(ff.ross, ff.tom);
+        batch.insert(ff.tom, ff.ross);
+        let stats = index.apply_batch(&mut ff.graph, &batch);
+        assert_eq!(stats.delta_g, 2);
+        assert_eq!(stats.reduced_delta_g, 0, "minDelta removes both updates");
+        assert_eq!(stats.delta_m(), 0);
+        assert_consistent(&index, &p, &ff.graph, "after irrelevant updates");
+    }
+
+    #[test]
+    fn cancelling_updates_have_no_effect() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let before = index.matches();
+        let mut batch = BatchUpdate::new();
+        batch.delete(ff.pat, ff.bill);
+        batch.insert(ff.pat, ff.bill); // cancels the deletion
+        let stats = index.apply_batch(&mut ff.graph, &batch);
+        assert_eq!(stats.reduced_delta_g, 0);
+        assert_eq!(index.matches(), before);
+        assert_consistent(&index, &p, &ff.graph, "after cancelling updates");
+    }
+
+    #[test]
+    fn unboundedness_gadget_insertions() {
+        // The Theorem 5.1(1) gadget: a cyclic pattern over two chains; the
+        // match stays empty until both bridging edges are present.
+        let mut p = Pattern::new();
+        let u1 = p.add_labeled_node("a");
+        let u2 = p.add_labeled_node("a");
+        p.add_normal_edge(u1, u2);
+        p.add_normal_edge(u2, u1);
+
+        let n = 8;
+        let mut g = DataGraph::new();
+        let nodes: Vec<NodeId> = (0..2 * n).map(|_| g.add_labeled_node("a")).collect();
+        for i in 0..n - 1 {
+            g.add_edge(nodes[i], nodes[i + 1]);
+            g.add_edge(nodes[n + i], nodes[n + i + 1]);
+        }
+        let mut index = SimulationIndex::build(&p, &g);
+        assert!(!index.is_match());
+
+        let stats = index.insert_edge(&mut g, nodes[n - 1], nodes[n]);
+        assert!(!index.is_match(), "one bridge is not enough");
+        assert_eq!(stats.matches_added, 0);
+        assert_consistent(&index, &p, &g, "after first bridge");
+
+        let stats = index.insert_edge(&mut g, nodes[2 * n - 1], nodes[0]);
+        assert!(index.is_match(), "closing the cycle matches every node");
+        assert_eq!(stats.matches_added, 4 * n, "both pattern nodes match all 2n nodes");
+        assert_consistent(&index, &p, &g, "after closing the cycle");
+    }
+
+    #[test]
+    fn deleting_and_reinserting_everything_round_trips() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let original = index.matches();
+        let edges: Vec<(NodeId, NodeId)> = ff.graph.edges().collect();
+        for &(a, b) in &edges {
+            index.delete_edge(&mut ff.graph, a, b);
+        }
+        assert!(!index.is_match());
+        assert_consistent(&index, &p, &ff.graph, "after deleting every edge");
+        for &(a, b) in &edges {
+            index.insert_edge(&mut ff.graph, a, b);
+        }
+        assert_eq!(index.matches(), original);
+        assert_consistent(&index, &p, &ff.graph, "after re-inserting every edge");
+    }
+
+    #[test]
+    fn random_unit_updates_agree_with_batch_general_patterns() {
+        for seed in 0..3u64 {
+            let mut graph = synthetic_graph(&SyntheticConfig::new(150, 450, 4, seed));
+            let pattern = generate_pattern(
+                &graph,
+                &PatternGenConfig::normal(4, 6, 1, seed + 10).with_shape(PatternShape::General),
+            );
+            let mut index = SimulationIndex::build(&pattern, &graph);
+            let ins = degree_biased_insertions(&graph, UpdateGenConfig::new(30, seed + 20));
+            let del = degree_biased_deletions(&graph, UpdateGenConfig::new(30, seed + 30));
+            for update in ins.iter().chain(del.iter()) {
+                let (a, b) = update.endpoints();
+                if update.is_insert() {
+                    index.insert_edge(&mut graph, a, b);
+                } else {
+                    index.delete_edge(&mut graph, a, b);
+                }
+            }
+            assert_consistent(&index, &pattern, &graph, &format!("seed {seed}: unit updates"));
+        }
+    }
+
+    #[test]
+    fn random_batch_updates_agree_with_batch_recomputation() {
+        for seed in 0..3u64 {
+            let mut graph = synthetic_graph(&SyntheticConfig::new(200, 700, 4, seed + 100));
+            let pattern = generate_pattern(
+                &graph,
+                &PatternGenConfig::normal(5, 8, 1, seed + 110).with_shape(PatternShape::General),
+            );
+            let mut index = SimulationIndex::build(&pattern, &graph);
+            for round in 0..3 {
+                let batch = mixed_batch(&graph, 40, 40, seed * 17 + round);
+                index.apply_batch(&mut graph, &batch);
+                assert_consistent(
+                    &index,
+                    &pattern,
+                    &graph,
+                    &format!("seed {seed}, round {round}: batch updates"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_pattern_insertions_are_handled_without_prop_cc() {
+        for seed in 0..3u64 {
+            let mut graph = synthetic_graph(&SyntheticConfig::new(150, 500, 4, seed + 200));
+            let pattern = generate_pattern(
+                &graph,
+                &PatternGenConfig::normal(5, 7, 1, seed + 210).with_shape(PatternShape::Dag),
+            );
+            assert!(pattern.is_dag());
+            let mut index = SimulationIndex::build(&pattern, &graph);
+            let ins = degree_biased_insertions(&graph, UpdateGenConfig::new(50, seed + 220));
+            for update in ins.iter() {
+                let (a, b) = update.endpoints();
+                index.insert_edge(&mut graph, a, b);
+            }
+            assert_consistent(&index, &pattern, &graph, &format!("seed {seed}: DAG insertions"));
+        }
+    }
+
+    #[test]
+    fn build_rejects_bounded_patterns() {
+        let ff = friendfeed();
+        let mut p = Pattern::new();
+        let a = p.add_node(Predicate::label("CTO"));
+        let b = p.add_node(Predicate::label("Bio"));
+        p.add_edge(a, b, EdgeBound::Hops(2));
+        let result = std::panic::catch_unwind(|| SimulationIndex::build(&p, &ff.graph));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn result_graph_tracks_current_matches() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let gr_before = index.result_graph(&ff.graph);
+        assert!(gr_before.has_edge(ff.pat, ff.bill));
+        index.delete_edge(&mut ff.graph, ff.pat, ff.bill);
+        let gr_after = index.result_graph(&ff.graph);
+        assert!(!gr_after.has_edge(ff.pat, ff.bill));
+        let delta = gr_before.diff(&gr_after);
+        assert!(delta.removed_nodes.contains(&ff.pat));
+    }
+}

@@ -1,0 +1,41 @@
+//! # igpm-core
+//!
+//! The primary contribution of *Incremental Graph Pattern Matching* (Fan,
+//! Wang, Wu; SIGMOD 2011 / TODS 2013), implemented as a library:
+//!
+//! * **Graph simulation** ([`simulation::match_simulation`]) — the classic
+//!   quadratic-time maximum simulation of a normal pattern in a data graph
+//!   (Henzinger, Henzinger, Kopke 1995), used both as a matching notion in its
+//!   own right and as the `Matchs` batch baseline.
+//! * **Bounded simulation** ([`bounded::match_bounded`]) — the paper's revised
+//!   matching notion (Section 2) and its cubic-time `Match` algorithm
+//!   (Section 3, Fig. 3), generic over a [`igpm_distance::DistanceOracle`] so
+//!   the `Matrix+Match`, `BFS+Match` and `2-hop+Match` variants of Exp-2 are
+//!   all available.
+//! * **Incremental simulation** ([`incremental::sim::SimulationIndex`]) —
+//!   `IncMatch-`, `IncMatch+`, `IncMatch+dag` and the batch `IncMatch` with the
+//!   `minDelta` reduction (Section 5).
+//! * **Incremental bounded simulation**
+//!   ([`incremental::bsim::BoundedIndex`]) — `IncBMatch+`, `IncBMatch-` and the
+//!   batch `IncBMatch` built on landmark/distance vectors (Section 6).
+//!
+//! Every incremental operation reports [`AffStats`] so the semi-boundedness
+//! claims of the paper (costs driven by `|ΔG|`, `|P|` and `|AFF|` rather than
+//! `|G|`) can be observed empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod incremental;
+pub mod simulation;
+pub mod stats;
+
+pub use bounded::{
+    build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
+    match_bounded_with_two_hop,
+};
+pub use incremental::bsim::BoundedIndex;
+pub use incremental::sim::SimulationIndex;
+pub use simulation::{candidates, match_simulation, simulation_result_graph};
+pub use stats::AffStats;

@@ -1,0 +1,290 @@
+//! Batch graph simulation (`Matchs`).
+//!
+//! Graph simulation finds the maximum relation `S ⊆ V_p × V` such that every
+//! pair `(u, v) ∈ S` satisfies the node predicate and, for every pattern edge
+//! `(u, u')`, `v` has a child `v'` with `(u', v') ∈ S` (Section 1). The
+//! implementation follows the counter-based refinement of Henzinger,
+//! Henzinger and Kopke (1995): each candidate keeps, per pattern child, the
+//! number of its graph children still matching that child; when a counter
+//! drops to zero the candidate is discarded and the removal propagates to its
+//! parents. The total cost is `O((|V| + |V_p|)(|E| + |E_p|))`.
+
+use crate::stats::AffStats;
+use igpm_graph::hash::FastHashSet;
+use igpm_graph::{DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph};
+
+/// The candidate sets: for each pattern node, the data nodes satisfying its
+/// predicate (`candt(u) ∪ match(u)` before any structural refinement).
+pub fn candidates(pattern: &Pattern, graph: &DataGraph) -> Vec<Vec<NodeId>> {
+    pattern
+        .nodes()
+        .map(|u| {
+            let pred = pattern.predicate(u);
+            graph.nodes().filter(|&v| pred.satisfied_by(graph.attrs(v))).collect()
+        })
+        .collect()
+}
+
+/// Computes the maximum graph simulation `M_sim(P, G)` of a *normal* pattern.
+///
+/// Returns the empty relation when `P ⋬_sim G`.
+///
+/// # Panics
+/// Panics if the pattern is not normal (has an edge bound other than 1);
+/// bounded patterns are handled by [`crate::bounded::match_bounded`].
+pub fn match_simulation(pattern: &Pattern, graph: &DataGraph) -> MatchRelation {
+    assert!(pattern.is_normal(), "graph simulation is defined on normal patterns only");
+    let (relation, _) = match_simulation_with_stats(pattern, graph);
+    relation
+}
+
+/// [`match_simulation`] variant that also reports work statistics (used by
+/// tests that sanity-check the refinement volume).
+pub fn match_simulation_with_stats(pattern: &Pattern, graph: &DataGraph) -> (MatchRelation, AffStats) {
+    let np = pattern.node_count();
+    let mut stats = AffStats::default();
+
+    // sim(u): candidates of u, refined in place.
+    let mut sim: Vec<FastHashSet<NodeId>> = candidates(pattern, graph)
+        .into_iter()
+        .map(|list| list.into_iter().collect())
+        .collect();
+
+    // If some pattern node has no candidate at all, the match is empty.
+    if sim.iter().any(FastHashSet::is_empty) {
+        return (MatchRelation::empty(np), stats);
+    }
+
+    // cnt[u'][v] = |children(v) ∩ sim(u')|.
+    let mut cnt: Vec<Vec<u32>> = vec![vec![0; graph.node_count()]; np];
+    for (u_idx, members) in sim.iter().enumerate() {
+        for &w in members {
+            for &p in graph.parents(w) {
+                cnt[u_idx][p.index()] += 1;
+            }
+        }
+    }
+
+    // Worklist of (pattern node, data node) pairs to remove from sim.
+    let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+    for edge in pattern.edges() {
+        let u = edge.from;
+        let u_child = edge.to;
+        for &v in &sim[u.index()] {
+            if cnt[u_child.index()][v.index()] == 0 {
+                worklist.push((u, v));
+            }
+        }
+    }
+
+    while let Some((u, v)) = worklist.pop() {
+        if !sim[u.index()].remove(&v) {
+            continue;
+        }
+        stats.nodes_visited += 1;
+        stats.aux_changes += 1;
+        if sim[u.index()].is_empty() {
+            // The pattern node lost all matches: P does not match G.
+            return (MatchRelation::empty(np), stats);
+        }
+        // v no longer simulates u: parents of v lose a witness for u.
+        for &p in graph.parents(v) {
+            let counter = &mut cnt[u.index()][p.index()];
+            *counter -= 1;
+            if *counter == 0 {
+                for &(u_parent, _) in pattern.parents(u) {
+                    if sim[u_parent.index()].contains(&p) {
+                        worklist.push((u_parent, p));
+                    }
+                }
+            }
+        }
+    }
+
+    let relation = MatchRelation::from_lists(sim.into_iter().map(|set| set.into_iter().collect()));
+    (relation, stats)
+}
+
+/// Builds the result graph `G_r` of a simulation match: one edge `(v, v')` per
+/// pattern edge `(u, u')` with `v ∈ match(u)`, `v' ∈ match(u')` and `(v, v')`
+/// an edge of the data graph.
+pub fn simulation_result_graph(
+    pattern: &Pattern,
+    graph: &DataGraph,
+    matches: &MatchRelation,
+) -> ResultGraph {
+    let mut result = ResultGraph::new();
+    for (u, v) in matches.pairs() {
+        let _ = u;
+        result.add_node(v);
+    }
+    for (edge_idx, edge) in pattern.edges().iter().enumerate() {
+        for &v in matches.matches(edge.from) {
+            for &w in graph.children(v) {
+                if matches.contains(edge.to, w) {
+                    result.add_edge(v, w, edge_idx as u32);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_graph::{Attributes, Predicate};
+
+    /// The FriendFeed fragment of Fig. 4 (without the e1..e5 insertions) and
+    /// the normal pattern P3': CTO -> DB -> Bio, CTO -> Bio, DB -> CTO.
+    fn friendfeed() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let ann = g.add_node(Attributes::new().with("name", "Ann").with("job", "CTO").with("label", "CTO"));
+        let pat = g.add_node(Attributes::new().with("name", "Pat").with("job", "DB").with("label", "DB"));
+        let dan = g.add_node(Attributes::new().with("name", "Dan").with("job", "DB").with("label", "DB"));
+        let bill = g.add_node(Attributes::new().with("name", "Bill").with("job", "Bio").with("label", "Bio"));
+        let mat = g.add_node(Attributes::new().with("name", "Mat").with("job", "Bio").with("label", "Bio"));
+        let don = g.add_node(Attributes::new().with("name", "Don").with("job", "CTO").with("label", "CTO"));
+        let tom = g.add_node(Attributes::new().with("name", "Tom").with("job", "Bio").with("label", "Bio"));
+        let ross = g.add_node(Attributes::new().with("name", "Ross").with("job", "Med").with("label", "Med"));
+        // Edges of the base FriendFeed fragment.
+        g.add_edge(ann, pat); // CTO -> DB
+        g.add_edge(pat, ann); // DB -> CTO
+        g.add_edge(pat, bill); // DB -> Bio
+        g.add_edge(ann, bill); // CTO -> Bio
+        g.add_edge(dan, mat); // DB -> Bio
+        g.add_edge(mat, dan);
+        g.add_edge(ann, dan); // CTO -> DB
+        g.add_edge(dan, ann); // DB -> CTO
+        g.add_edge(ross, tom); // Med -> Bio
+        (g, vec![ann, pat, dan, bill, mat, don, tom, ross])
+    }
+
+    fn pattern_p3_normal() -> Pattern {
+        let mut p = Pattern::new();
+        let cto = p.add_node(Predicate::label("CTO"));
+        let db = p.add_node(Predicate::label("DB"));
+        let bio = p.add_node(Predicate::label("Bio"));
+        p.add_normal_edge(cto, db);
+        p.add_normal_edge(db, cto);
+        p.add_normal_edge(db, bio);
+        p.add_normal_edge(cto, bio);
+        p
+    }
+
+    #[test]
+    fn friendfeed_example_5_2_matches() {
+        let (g, nodes) = friendfeed();
+        let p = pattern_p3_normal();
+        let m = match_simulation(&p, &g);
+        let (ann, pat, dan, bill, mat, tom) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[6]);
+        // As in Example 5.2, Ann is the only CTO match (Don has no DB/Bio
+        // children) and Pat/Dan are the DB matches. Every Bio node matches the
+        // childless pattern node Bio.
+        assert_eq!(m.matches(igpm_graph::PatternNodeId(0)), &[ann]);
+        assert_eq!(m.matches(igpm_graph::PatternNodeId(1)), &[pat, dan]);
+        assert_eq!(m.matches(igpm_graph::PatternNodeId(2)), &[bill, mat, tom]);
+        assert!(m.is_total());
+    }
+
+    #[test]
+    fn simulation_fails_when_witness_missing() {
+        let (mut g, nodes) = friendfeed();
+        let p = pattern_p3_normal();
+        // Remove DB -> Bio witnesses: Pat -> Bill and Dan -> Mat.
+        g.remove_edge(nodes[1], nodes[3]);
+        g.remove_edge(nodes[2], nodes[4]);
+        let m = match_simulation(&p, &g);
+        assert!(m.is_empty(), "no DB node can reach a Bio node any more");
+    }
+
+    #[test]
+    fn cycle_pattern_on_acyclic_graph_has_no_match() {
+        // Theorem 5.1(1) gadget: a two-node cycle pattern over label `a`
+        // matched against a path of `a` nodes has no simulation match.
+        let mut p = Pattern::new();
+        let u1 = p.add_labeled_node("a");
+        let u2 = p.add_labeled_node("a");
+        p.add_normal_edge(u1, u2);
+        p.add_normal_edge(u2, u1);
+
+        let mut g = DataGraph::new();
+        let nodes: Vec<NodeId> = (0..6).map(|_| g.add_labeled_node("a")).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        assert!(match_simulation(&p, &g).is_empty());
+
+        // Closing the cycle makes every node a match.
+        g.add_edge(nodes[5], nodes[0]);
+        let m = match_simulation(&p, &g);
+        assert_eq!(m.matches(u1).len(), 6);
+        assert_eq!(m.matches(u2).len(), 6);
+    }
+
+    #[test]
+    fn empty_when_a_pattern_node_has_no_candidates() {
+        let (g, _) = friendfeed();
+        let mut p = Pattern::new();
+        let cto = p.add_node(Predicate::label("CTO"));
+        let ghost = p.add_node(Predicate::label("Ghost"));
+        p.add_normal_edge(cto, ghost);
+        assert!(match_simulation(&p, &g).is_empty());
+    }
+
+    #[test]
+    fn single_node_pattern_matches_all_candidates() {
+        let (g, _) = friendfeed();
+        let mut p = Pattern::new();
+        p.add_node(Predicate::label("Bio"));
+        let m = match_simulation(&p, &g);
+        assert_eq!(m.matches(igpm_graph::PatternNodeId(0)).len(), 3);
+    }
+
+    #[test]
+    fn result_graph_structure() {
+        let (g, nodes) = friendfeed();
+        let p = pattern_p3_normal();
+        let m = match_simulation(&p, &g);
+        let gr = simulation_result_graph(&p, &g, &m);
+        let (ann, pat, dan, bill, mat) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4]);
+        assert_eq!(gr.node_count(), 6);
+        assert!(gr.has_edge(ann, pat));
+        assert!(gr.has_edge(pat, bill));
+        assert!(gr.has_edge(dan, mat));
+        assert!(gr.has_edge(ann, bill));
+        assert!(!gr.has_edge(ann, mat), "Ann has no direct edge to Mat");
+        assert!(gr.contains_node(dan));
+        assert!(!gr.contains_node(nodes[7]), "Ross matches nothing");
+    }
+
+    #[test]
+    fn candidates_lists_satisfying_nodes() {
+        let (g, _) = friendfeed();
+        let p = pattern_p3_normal();
+        let cands = candidates(&p, &g);
+        assert_eq!(cands[0].len(), 2, "two CTO nodes");
+        assert_eq!(cands[1].len(), 2, "two DB nodes");
+        assert_eq!(cands[2].len(), 3, "three Bio nodes");
+    }
+
+    #[test]
+    #[should_panic(expected = "normal patterns")]
+    fn bounded_patterns_are_rejected() {
+        let (g, _) = friendfeed();
+        let mut p = Pattern::new();
+        let a = p.add_node(Predicate::label("CTO"));
+        let b = p.add_node(Predicate::label("Bio"));
+        p.add_edge(a, b, igpm_graph::EdgeBound::Hops(2));
+        let _ = match_simulation(&p, &g);
+    }
+
+    #[test]
+    fn stats_report_refinement_work() {
+        let (g, _) = friendfeed();
+        let p = pattern_p3_normal();
+        let (_, stats) = match_simulation_with_stats(&p, &g);
+        // Don (a CTO with no DB child) must have been refined away.
+        assert!(stats.aux_changes >= 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Statistics reported by the incremental algorithms.
+//!
+//! Section 4 of the paper measures incremental algorithms in terms of
+//! `|CHANGED| = |ΔG| + |ΔM|` and of `|AFF|`, the size of the affected area —
+//! the changes to the match result *plus* the changes to the auxiliary
+//! structures (`match()`, `candt()`, landmark/distance vectors) that any
+//! incremental algorithm must maintain. Every incremental operation in this
+//! crate returns an [`AffStats`] record so that semi-boundedness (cost
+//! polynomial in `|ΔG|`, `|P|` and `|AFF|`, independent of `|G|`) can be
+//! checked empirically, as the experiments of Section 8.2 do.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accounting of one incremental matching operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffStats {
+    /// Number of unit updates handed to the algorithm (`|ΔG|`).
+    pub delta_g: usize,
+    /// Number of unit updates left after `minDelta`-style reduction.
+    pub reduced_delta_g: usize,
+    /// Pairs added to the match relation.
+    pub matches_added: usize,
+    /// Pairs removed from the match relation.
+    pub matches_removed: usize,
+    /// Changes to auxiliary structures other than the match relation
+    /// (candidate-set changes, distance-vector entries, pair-set updates).
+    pub aux_changes: usize,
+    /// Nodes visited (touched) while propagating the change.
+    pub nodes_visited: usize,
+}
+
+impl AffStats {
+    /// `|ΔM|`: total change to the match result.
+    pub fn delta_m(&self) -> usize {
+        self.matches_added + self.matches_removed
+    }
+
+    /// `|CHANGED| = |ΔG| + |ΔM|` (Section 4, Table I).
+    pub fn changed(&self) -> usize {
+        self.delta_g + self.delta_m()
+    }
+
+    /// `|AFF|`: changes in the result and in the auxiliary structures.
+    pub fn aff(&self) -> usize {
+        self.delta_m() + self.aux_changes
+    }
+
+    /// Accumulates another record into this one.
+    pub fn merge(&mut self, other: AffStats) {
+        self.delta_g += other.delta_g;
+        self.reduced_delta_g += other.reduced_delta_g;
+        self.matches_added += other.matches_added;
+        self.matches_removed += other.matches_removed;
+        self.aux_changes += other.aux_changes;
+        self.nodes_visited += other.nodes_visited;
+    }
+}
+
+impl fmt::Display for AffStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|ΔG|={} (reduced {}), |ΔM|={} (+{}/-{}), |AFF|={}, visited={}",
+            self.delta_g,
+            self.reduced_delta_g,
+            self.delta_m(),
+            self.matches_added,
+            self.matches_removed,
+            self.aff(),
+            self.nodes_visited
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let stats = AffStats {
+            delta_g: 5,
+            reduced_delta_g: 3,
+            matches_added: 2,
+            matches_removed: 1,
+            aux_changes: 10,
+            nodes_visited: 20,
+        };
+        assert_eq!(stats.delta_m(), 3);
+        assert_eq!(stats.changed(), 8);
+        assert_eq!(stats.aff(), 13);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = AffStats { delta_g: 1, reduced_delta_g: 1, matches_added: 1, matches_removed: 1, aux_changes: 1, nodes_visited: 1 };
+        let b = AffStats { delta_g: 2, reduced_delta_g: 3, matches_added: 4, matches_removed: 5, aux_changes: 6, nodes_visited: 7 };
+        a.merge(b);
+        assert_eq!(a, AffStats { delta_g: 3, reduced_delta_g: 4, matches_added: 5, matches_removed: 6, aux_changes: 7, nodes_visited: 8 });
+    }
+
+    #[test]
+    fn display_mentions_all_metrics() {
+        let stats = AffStats { delta_g: 1, reduced_delta_g: 1, matches_added: 2, matches_removed: 0, aux_changes: 3, nodes_visited: 4 };
+        let text = stats.to_string();
+        assert!(text.contains("|ΔG|=1"));
+        assert!(text.contains("|ΔM|=2"));
+        assert!(text.contains("|AFF|=5"));
+    }
+}

@@ -1,0 +1,175 @@
+//! On-demand BFS distance oracle (`BFS+Match` in Figure 17).
+//!
+//! For graphs too large to hold a `|V|²` matrix or a landmark index, the
+//! `Match` algorithm falls back to answering each distance query with a
+//! breadth-first search. `within` terminates as soon as the hop budget is
+//! exhausted, which is what makes the `BFS+Match` variant scale to the
+//! million-node graphs of Fig. 17(c,d). A small LRU-ish row cache avoids
+//! repeating identical searches when the same source node is queried many
+//! times in a row (as `Match` does while refining one candidate set).
+
+use crate::oracle::DistanceOracle;
+use igpm_graph::hash::FastHashMap;
+use igpm_graph::traversal::{bfs_distances, bfs_distances_dense, Direction};
+use igpm_graph::{DataGraph, NodeId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A distance oracle that answers queries with (optionally cached) BFS runs.
+pub struct BfsOracle<'g> {
+    graph: &'g DataGraph,
+    cache_capacity: usize,
+    cache: RefCell<RowCache>,
+}
+
+#[derive(Default)]
+struct RowCache {
+    rows: FastHashMap<NodeId, Rc<Vec<u32>>>,
+    order: Vec<NodeId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'g> BfsOracle<'g> {
+    /// Creates an oracle without caching.
+    pub fn new(graph: &'g DataGraph) -> Self {
+        BfsOracle { graph, cache_capacity: 0, cache: RefCell::new(RowCache::default()) }
+    }
+
+    /// Creates an oracle that caches the dense distance rows of up to
+    /// `capacity` distinct source nodes.
+    pub fn with_cache(graph: &'g DataGraph, capacity: usize) -> Self {
+        BfsOracle { graph, cache_capacity: capacity, cache: RefCell::new(RowCache::default()) }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DataGraph {
+        self.graph
+    }
+
+    /// `(hits, misses)` of the row cache, for diagnostics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.cache.borrow();
+        (cache.hits, cache.misses)
+    }
+
+    fn row(&self, source: NodeId) -> Rc<Vec<u32>> {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(row) = cache.rows.get(&source).map(Rc::clone) {
+            cache.hits += 1;
+            return row;
+        }
+        cache.misses += 1;
+        let row = Rc::new(bfs_distances_dense(self.graph, source, Direction::Forward));
+        if self.cache_capacity > 0 {
+            if cache.rows.len() >= self.cache_capacity {
+                // Evict the oldest cached row (FIFO keeps bookkeeping trivial).
+                if let Some(old) = cache.order.first().copied() {
+                    cache.order.remove(0);
+                    cache.rows.remove(&old);
+                }
+            }
+            cache.rows.insert(source, Rc::clone(&row));
+            cache.order.push(source);
+        }
+        row
+    }
+}
+
+impl DistanceOracle for BfsOracle<'_> {
+    fn distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        if self.cache_capacity > 0 {
+            let row = self.row(from);
+            return match row[to.index()] {
+                u32::MAX => None,
+                d => Some(d),
+            };
+        }
+        // Uncached: run a targeted BFS that can stop as soon as `to` is found.
+        let dist = bfs_distances(self.graph, from, Direction::Forward, u32::MAX);
+        dist.get(&to).copied()
+    }
+
+    fn within(&self, from: NodeId, to: NodeId, max_hops: u32) -> bool {
+        if self.cache_capacity > 0 {
+            return self
+                .distance(from, to)
+                .map(|d| d <= max_hops)
+                .unwrap_or(false);
+        }
+        // Bounded BFS terminates early once the hop budget is exhausted.
+        let dist = bfs_distances(self.graph, from, Direction::Forward, max_hops);
+        dist.get(&to).map(|&d| d <= max_hops).unwrap_or(false)
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_graph::Attributes;
+
+    fn chain_with_branch() -> DataGraph {
+        // 0 -> 1 -> 2 -> 3 and 1 -> 4
+        let mut g = DataGraph::new();
+        for i in 0..5 {
+            g.add_node(Attributes::labeled(format!("v{i}")));
+        }
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (1, 4)] {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    #[test]
+    fn uncached_distances() {
+        let g = chain_with_branch();
+        let oracle = BfsOracle::new(&g);
+        assert_eq!(oracle.distance(NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(oracle.distance(NodeId(0), NodeId(4)), Some(2));
+        assert_eq!(oracle.distance(NodeId(3), NodeId(0)), None);
+        assert!(oracle.within(NodeId(0), NodeId(3), 3));
+        assert!(!oracle.within(NodeId(0), NodeId(3), 2));
+        assert_eq!(oracle.name(), "bfs");
+        assert_eq!(oracle.cache_stats(), (0, 0), "no caching requested");
+    }
+
+    #[test]
+    fn cached_distances_agree_and_hit_cache() {
+        let g = chain_with_branch();
+        let oracle = BfsOracle::with_cache(&g, 2);
+        assert_eq!(oracle.distance(NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(oracle.distance(NodeId(0), NodeId(4)), Some(2));
+        assert!(oracle.within(NodeId(0), NodeId(2), 2));
+        let (hits, misses) = oracle.cache_stats();
+        assert_eq!(misses, 1, "only one BFS from node 0");
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn cache_eviction_keeps_capacity() {
+        let g = chain_with_branch();
+        let oracle = BfsOracle::with_cache(&g, 1);
+        let _ = oracle.distance(NodeId(0), NodeId(1));
+        let _ = oracle.distance(NodeId(1), NodeId(2));
+        let _ = oracle.distance(NodeId(0), NodeId(1)); // re-miss after eviction
+        let (_, misses) = oracle.cache_stats();
+        assert_eq!(misses, 3);
+        assert_eq!(oracle.graph().node_count(), 5);
+    }
+
+    #[test]
+    fn agrees_with_matrix() {
+        let g = chain_with_branch();
+        let bfs = BfsOracle::with_cache(&g, 16);
+        let matrix = crate::DistanceMatrix::build(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(bfs.distance(a, b), matrix.distance(a, b), "disagreement at ({a}, {b})");
+            }
+        }
+    }
+}

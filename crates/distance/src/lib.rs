@@ -1,0 +1,39 @@
+//! # igpm-distance
+//!
+//! Distance substrate for the reproduction of *Incremental Graph Pattern
+//! Matching* (Fan, Wang, Wu; SIGMOD 2011 / TODS 2013).
+//!
+//! Bounded simulation maps pattern edges onto data-graph paths whose length is
+//! constrained by a hop bound, so every matching algorithm in `igpm-core`
+//! needs a way to answer *"is there a nonempty path from `v` to `v'` of length
+//! at most `k`?"*. The paper evaluates three ways of answering that query
+//! (Exp-2, Figure 17) and introduces a fourth for incremental matching
+//! (Section 6):
+//!
+//! * an all-pairs **distance matrix** ([`DistanceMatrix`]),
+//! * on-demand bounded **BFS** ([`BfsOracle`]),
+//! * **2-hop labels** ([`TwoHopLabels`], pruned landmark labelling),
+//! * **landmark + distance vectors** ([`LandmarkIndex`]) with incremental
+//!   maintenance (`InsLM`, `DelLM`, `IncLM`; [`landmark_inc`]).
+//!
+//! All of them implement the [`DistanceOracle`] trait consumed by the `Match`
+//! algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod landmark;
+pub mod landmark_inc;
+pub mod matrix;
+pub mod oracle;
+pub mod two_hop;
+pub mod vertex_cover;
+
+pub use bfs::BfsOracle;
+pub use landmark::{LandmarkIndex, LandmarkSelection};
+pub use landmark_inc::LandmarkMaintenanceStats;
+pub use matrix::DistanceMatrix;
+pub use oracle::{nonempty_distance, satisfies_bound, DistanceOracle};
+pub use two_hop::TwoHopLabels;
+pub use vertex_cover::{greedy_vertex_cover, is_vertex_cover};

@@ -1,0 +1,130 @@
+//! All-pairs distance matrices.
+//!
+//! The batch `Match` algorithm (Fig. 3, line 1) starts by computing the
+//! distance matrix of the data graph via one BFS per node, in
+//! `O(|V|(|V| + |E|))` time. This module stores the matrix densely (one row of
+//! `u32` per source node) which makes the oracle query O(1) — the fastest of
+//! the three `Match` variants measured in Figure 17, at the price of `|V|²`
+//! space.
+
+use crate::oracle::DistanceOracle;
+use igpm_graph::traversal::{bfs_distances_dense, Direction};
+use igpm_graph::{DataGraph, NodeId};
+
+/// Sentinel used for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A dense all-pairs shortest-path matrix (hop counts).
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    node_count: usize,
+    rows: Vec<Vec<u32>>,
+}
+
+impl DistanceMatrix {
+    /// Builds the matrix with one BFS per node.
+    pub fn build(graph: &DataGraph) -> Self {
+        let node_count = graph.node_count();
+        let rows = graph
+            .nodes()
+            .map(|v| bfs_distances_dense(graph, v, Direction::Forward))
+            .collect();
+        DistanceMatrix { node_count, rows }
+    }
+
+    /// Builds the matrix only for the given source nodes; queries from other
+    /// sources return `None`. Useful when only candidate nodes of a pattern
+    /// ever appear as query sources.
+    pub fn build_for_sources(graph: &DataGraph, sources: &[NodeId]) -> Self {
+        let node_count = graph.node_count();
+        let mut rows = vec![Vec::new(); node_count];
+        for &source in sources {
+            if rows[source.index()].is_empty() {
+                rows[source.index()] = bfs_distances_dense(graph, source, Direction::Forward);
+            }
+        }
+        DistanceMatrix { node_count, rows }
+    }
+
+    /// Number of nodes the matrix covers.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The raw distance entry (standard semantics, `dist(v, v) = 0`).
+    pub fn get(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        let row = &self.rows[from.index()];
+        if row.is_empty() {
+            return None;
+        }
+        match row[to.index()] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the space experiments).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.iter().map(|r| r.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<Vec<u32>>()
+    }
+}
+
+impl DistanceOracle for DistanceMatrix {
+    fn distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        self.get(from, to)
+    }
+
+    fn name(&self) -> &'static str {
+        "matrix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_graph::Attributes;
+
+    fn diamond() -> DataGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4
+        let mut g = DataGraph::new();
+        for i in 0..5 {
+            g.add_node(Attributes::labeled(format!("v{i}")));
+        }
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
+            g.add_edge(NodeId(a), NodeId(b));
+        }
+        g
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let g = diamond();
+        let m = DistanceMatrix::build(&g);
+        assert_eq!(m.node_count(), 5);
+        assert_eq!(m.get(NodeId(0), NodeId(0)), Some(0));
+        assert_eq!(m.get(NodeId(0), NodeId(3)), Some(2));
+        assert_eq!(m.get(NodeId(0), NodeId(4)), Some(3));
+        assert_eq!(m.get(NodeId(4), NodeId(0)), None);
+        assert_eq!(m.distance(NodeId(1), NodeId(4)), Some(2));
+        assert!(m.within(NodeId(0), NodeId(4), 3));
+        assert!(!m.within(NodeId(0), NodeId(4), 2));
+        assert_eq!(m.name(), "matrix");
+    }
+
+    #[test]
+    fn partial_matrix_only_answers_built_sources() {
+        let g = diamond();
+        let m = DistanceMatrix::build_for_sources(&g, &[NodeId(0), NodeId(0)]);
+        assert_eq!(m.get(NodeId(0), NodeId(4)), Some(3));
+        assert_eq!(m.get(NodeId(1), NodeId(3)), None, "row 1 was not built");
+        assert!(m.memory_bytes() < DistanceMatrix::build(&g).memory_bytes());
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_nodes() {
+        let g = diamond();
+        let m = DistanceMatrix::build(&g);
+        assert!(m.memory_bytes() >= 5 * 5 * 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! # igpm-generator
+//!
+//! Workload generators for the reproduction of *Incremental Graph Pattern
+//! Matching* (Fan, Wang, Wu; SIGMOD 2011 / TODS 2013).
+//!
+//! The paper's evaluation (Section 8) uses two real-life datasets (a YouTube
+//! crawl and a citation network), synthetic graphs produced by a generator
+//! following the densification law, a pattern generator parameterised by
+//! `(|V_p|, |E_p|, |pred|, k)`, and degree-biased update workloads. The real
+//! datasets are not redistributable, so this crate provides **substitutes**
+//! with the same sizes, attribute schemas and degree skew (documented in
+//! `DESIGN.md` §4), plus faithful implementations of the synthetic graph,
+//! pattern and update generators. Everything is seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod citation;
+pub mod pattern_gen;
+pub mod synthetic;
+pub mod update_gen;
+pub mod youtube;
+
+pub use citation::{citation_like, CitationConfig};
+pub use pattern_gen::{generate_pattern, PatternGenConfig, PatternShape};
+pub use synthetic::{synthetic_graph, SyntheticConfig};
+pub use update_gen::{
+    degree_biased_deletions, degree_biased_insertions, evolution_split, mixed_batch, UpdateGenConfig,
+};
+pub use youtube::{youtube_like, YouTubeConfig};

@@ -1,0 +1,285 @@
+//! Pattern generator.
+//!
+//! Section 8.1(3): "We designed a generator to produce meaningful pattern
+//! graphs for both real-life and synthetic data, controlled by 4 parameters:
+//! the number of nodes |V_p|, the number of edges |E_p|, the average number
+//! |pred| of predicates carried by each node, and an upper bound k such that
+//! each pattern edge has a bound k' with k − c ≤ k' ≤ k, for a small constant
+//! c."
+//!
+//! To keep the generated patterns *meaningful* (i.e. likely to have matches),
+//! every pattern node's predicate is seeded from an actual data node: the
+//! first atom is a label-equality test and the remaining atoms are range tests
+//! that the seed node satisfies. Edge structure is a random spanning tree plus
+//! extra edges, shaped as a tree, DAG or general (possibly cyclic) graph.
+
+use igpm_graph::{AttrValue, CompareOp, DataGraph, EdgeBound, NodeId, Pattern, PatternNodeId, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The topology class of generated patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternShape {
+    /// Arbitrary (possibly cyclic) patterns.
+    General,
+    /// Directed acyclic patterns (required by `IncMatch+dag` / `IncBMatchm`).
+    Dag,
+    /// Tree patterns (used by the incremental subgraph-isomorphism analysis).
+    Tree,
+}
+
+/// Configuration of the pattern generator: `(|V_p|, |E_p|, |pred|, k)` plus
+/// shape controls.
+#[derive(Debug, Clone)]
+pub struct PatternGenConfig {
+    /// Number of pattern nodes `|V_p|`.
+    pub nodes: usize,
+    /// Number of pattern edges `|E_p|` (clamped to keep the pattern simple and
+    /// connected).
+    pub edges: usize,
+    /// Average number of predicates per node `|pred|` (at least 1: the label).
+    pub preds_per_node: usize,
+    /// Upper bound `k` on pattern-edge bounds.
+    pub max_bound: u32,
+    /// Bounds are drawn uniformly from `[max(1, k - c), k]`.
+    pub bound_variation: u32,
+    /// Probability that an edge carries the unbounded symbol `*` instead of a
+    /// finite bound (0.0 reproduces the paper's generator exactly).
+    pub unbounded_prob: f64,
+    /// Topology class.
+    pub shape: PatternShape,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PatternGenConfig {
+    /// The paper's `(|V_p|, |E_p|, |pred|, k)` parameterisation with defaults
+    /// for the remaining knobs.
+    pub fn new(nodes: usize, edges: usize, preds_per_node: usize, max_bound: u32, seed: u64) -> Self {
+        PatternGenConfig {
+            nodes,
+            edges,
+            preds_per_node,
+            max_bound,
+            bound_variation: 1,
+            unbounded_prob: 0.0,
+            shape: PatternShape::General,
+            seed,
+        }
+    }
+
+    /// A *normal* pattern (every bound is 1), as used by graph simulation and
+    /// subgraph isomorphism.
+    pub fn normal(nodes: usize, edges: usize, preds_per_node: usize, seed: u64) -> Self {
+        let mut config = Self::new(nodes, edges, preds_per_node, 1, seed);
+        config.bound_variation = 0;
+        config
+    }
+
+    /// Restricts the topology.
+    pub fn with_shape(mut self, shape: PatternShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Sets the probability of `*` edges.
+    pub fn with_unbounded_prob(mut self, prob: f64) -> Self {
+        self.unbounded_prob = prob;
+        self
+    }
+}
+
+/// Generates a pattern whose predicates are satisfiable in `graph`.
+pub fn generate_pattern(graph: &DataGraph, config: &PatternGenConfig) -> Pattern {
+    assert!(config.nodes >= 1, "patterns need at least one node");
+    assert!(graph.node_count() >= 1, "cannot seed predicates from an empty graph");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pattern = Pattern::new();
+
+    // Seed each pattern node's predicate from a random data node.
+    for _ in 0..config.nodes {
+        let seed_node = NodeId(rng.gen_range(0..graph.node_count()) as u32);
+        let predicate = predicate_from_node(graph, seed_node, config.preds_per_node, &mut rng);
+        pattern.add_node(predicate);
+    }
+
+    // Spanning tree for connectivity.
+    let mut edge_budget = config.edges;
+    for i in 1..config.nodes {
+        if edge_budget == 0 {
+            break;
+        }
+        let parent = rng.gen_range(0..i);
+        let (from, to) = match config.shape {
+            PatternShape::Tree | PatternShape::Dag => (parent, i),
+            PatternShape::General => {
+                if rng.gen_bool(0.5) {
+                    (parent, i)
+                } else {
+                    (i, parent)
+                }
+            }
+        };
+        pattern.add_edge(
+            PatternNodeId::from_index(from),
+            PatternNodeId::from_index(to),
+            sample_bound(config, &mut rng),
+        );
+        edge_budget -= 1;
+    }
+
+    // Extra edges beyond the tree (trees stop here by definition).
+    if config.shape != PatternShape::Tree {
+        let mut attempts = 0usize;
+        while edge_budget > 0 && attempts < config.edges * 30 + 100 {
+            attempts += 1;
+            let a = rng.gen_range(0..config.nodes);
+            let b = rng.gen_range(0..config.nodes);
+            if a == b {
+                continue;
+            }
+            let (from, to) = match config.shape {
+                PatternShape::Dag => (a.min(b), a.max(b)),
+                _ => (a, b),
+            };
+            let (from, to) = (PatternNodeId::from_index(from), PatternNodeId::from_index(to));
+            if pattern.edge_bound(from, to).is_some() {
+                continue;
+            }
+            pattern.add_edge(from, to, sample_bound(config, &mut rng));
+            edge_budget -= 1;
+        }
+    }
+    pattern
+}
+
+fn sample_bound(config: &PatternGenConfig, rng: &mut StdRng) -> EdgeBound {
+    if config.unbounded_prob > 0.0 && rng.gen_bool(config.unbounded_prob) {
+        return EdgeBound::Unbounded;
+    }
+    let hi = config.max_bound.max(1);
+    let lo = hi.saturating_sub(config.bound_variation).max(1);
+    EdgeBound::Hops(rng.gen_range(lo..=hi))
+}
+
+/// Builds a predicate satisfied by `seed`, with one label atom and up to
+/// `preds - 1` range atoms over the seed's numeric attributes.
+fn predicate_from_node(graph: &DataGraph, seed: NodeId, preds: usize, rng: &mut StdRng) -> Predicate {
+    let attrs = graph.attrs(seed);
+    let mut predicate = match attrs.label() {
+        Some(label) => Predicate::label(label),
+        None => Predicate::any(),
+    };
+    if preds <= 1 {
+        return predicate;
+    }
+    let numeric: Vec<(&str, i64)> = attrs
+        .iter()
+        .filter_map(|(name, value)| match value {
+            AttrValue::Int(v) if name != "uid" => Some((name, *v)),
+            _ => None,
+        })
+        .collect();
+    if numeric.is_empty() {
+        return predicate;
+    }
+    for _ in 0..preds - 1 {
+        let (name, value) = numeric[rng.gen_range(0..numeric.len())];
+        // A one-sided range the seed satisfies, loose enough to keep the
+        // predicate selective but not empty.
+        let slack = (value.abs() / 4).max(1);
+        if rng.gen_bool(0.5) {
+            predicate = predicate.and(name, CompareOp::Le, value + slack);
+        } else {
+            predicate = predicate.and(name, CompareOp::Ge, value - slack);
+        }
+    }
+    predicate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_graph, SyntheticConfig};
+    use crate::youtube::{youtube_like, YouTubeConfig};
+
+    fn data() -> DataGraph {
+        synthetic_graph(&SyntheticConfig::new(300, 900, 6, 17))
+    }
+
+    #[test]
+    fn respects_node_and_edge_counts() {
+        let g = data();
+        let config = PatternGenConfig::new(5, 7, 2, 3, 1);
+        let p = generate_pattern(&g, &config);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.edge_count(), 7);
+    }
+
+    #[test]
+    fn normal_patterns_have_unit_bounds() {
+        let g = data();
+        let p = generate_pattern(&g, &PatternGenConfig::normal(4, 5, 3, 2));
+        assert!(p.is_normal());
+    }
+
+    #[test]
+    fn bounds_respect_the_k_window() {
+        let g = data();
+        let mut config = PatternGenConfig::new(6, 9, 2, 4, 3);
+        config.bound_variation = 1;
+        let p = generate_pattern(&g, &config);
+        for edge in p.edges() {
+            match edge.bound {
+                EdgeBound::Hops(k) => assert!((3..=4).contains(&k), "bound {k} outside [3, 4]"),
+                EdgeBound::Unbounded => panic!("no * edges requested"),
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_edges_appear_when_requested() {
+        let g = data();
+        let config = PatternGenConfig::new(6, 12, 2, 3, 4).with_unbounded_prob(1.0);
+        let p = generate_pattern(&g, &config);
+        assert!(p.edges().iter().all(|e| e.bound == EdgeBound::Unbounded));
+    }
+
+    #[test]
+    fn dag_and_tree_shapes() {
+        let g = data();
+        let dag = generate_pattern(&g, &PatternGenConfig::new(6, 10, 2, 3, 5).with_shape(PatternShape::Dag));
+        assert!(dag.is_dag());
+        let tree = generate_pattern(&g, &PatternGenConfig::new(6, 10, 2, 3, 6).with_shape(PatternShape::Tree));
+        assert!(tree.is_dag());
+        assert_eq!(tree.edge_count(), 5, "trees have |Vp| - 1 edges");
+    }
+
+    #[test]
+    fn predicates_are_satisfiable_in_the_data_graph() {
+        let g = youtube_like(&YouTubeConfig::scaled(0.02, 8));
+        for seed in 0..10 {
+            let p = generate_pattern(&g, &PatternGenConfig::new(4, 5, 3, 3, seed));
+            for u in p.nodes() {
+                let pred = p.predicate(u);
+                let satisfiable = g.nodes().any(|v| pred.satisfied_by(g.attrs(v)));
+                assert!(satisfiable, "seed {seed}: predicate {pred} has no candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = data();
+        let config = PatternGenConfig::new(5, 8, 2, 3, 42);
+        assert_eq!(generate_pattern(&g, &config), generate_pattern(&g, &config));
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let g = data();
+        let p = generate_pattern(&g, &PatternGenConfig::new(1, 0, 1, 1, 1));
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.edge_count(), 0);
+    }
+}

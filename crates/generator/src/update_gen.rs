@@ -1,0 +1,268 @@
+//! Update workloads `ΔG`.
+//!
+//! Section 8.2: "Updates were selected following the densification law
+//! [Leskovec et al. 2007]: we selected nodes with larger degree with higher
+//! probability for edge deletion (resp. insertion) if they are (resp. not)
+//! connected." For the real-life experiments the updates are "the differences
+//! between snapshots w.r.t. the age (resp. year) attribute", which
+//! [`evolution_split`] reconstructs from the timestamp attributes of the
+//! generated datasets.
+
+use igpm_graph::{AttrValue, BatchUpdate, DataGraph, NodeId, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration shared by the random update generators.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateGenConfig {
+    /// Number of unit updates to produce.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UpdateGenConfig {
+    /// Creates a configuration.
+    pub fn new(count: usize, seed: u64) -> Self {
+        UpdateGenConfig { count, seed }
+    }
+}
+
+/// Builds a degree-weighted sampling pool: each node appears once per incident
+/// edge (plus once unconditionally so isolated nodes stay reachable).
+fn degree_pool(graph: &DataGraph) -> Vec<u32> {
+    let mut pool = Vec::with_capacity(graph.node_count() + 2 * graph.edge_count());
+    for v in graph.nodes() {
+        pool.push(v.0);
+        for _ in 0..graph.degree(v) {
+            pool.push(v.0);
+        }
+    }
+    pool
+}
+
+/// Generates `config.count` edge insertions whose endpoints are chosen with
+/// probability proportional to node degree, avoiding existing edges and
+/// duplicates within the batch.
+pub fn degree_biased_insertions(graph: &DataGraph, config: UpdateGenConfig) -> BatchUpdate {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let pool = degree_pool(graph);
+    let mut batch = BatchUpdate::new();
+    let mut chosen = igpm_graph::hash::set_with_capacity::<(u32, u32)>(config.count);
+    let mut attempts = 0usize;
+    let max_attempts = config.count * 50 + 1000;
+    while batch.len() < config.count && attempts < max_attempts {
+        attempts += 1;
+        let from = NodeId(pool[rng.gen_range(0..pool.len())]);
+        let to = NodeId(pool[rng.gen_range(0..pool.len())]);
+        if from == to || graph.has_edge(from, to) || !chosen.insert((from.0, to.0)) {
+            continue;
+        }
+        batch.insert(from, to);
+    }
+    batch
+}
+
+/// Generates `config.count` edge deletions, preferring edges incident to
+/// high-degree nodes, without repeating an edge within the batch.
+pub fn degree_biased_deletions(graph: &DataGraph, config: UpdateGenConfig) -> BatchUpdate {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    if edges.is_empty() {
+        return BatchUpdate::new();
+    }
+    // Weight each edge by the combined degree of its endpoints.
+    let weights: Vec<usize> = edges
+        .iter()
+        .map(|&(a, b)| graph.degree(a) + graph.degree(b))
+        .collect();
+    let total: usize = weights.iter().sum();
+    let mut batch = BatchUpdate::new();
+    let mut chosen = igpm_graph::hash::set_with_capacity::<(u32, u32)>(config.count);
+    let mut attempts = 0usize;
+    let max_attempts = config.count * 50 + 1000;
+    while batch.len() < config.count.min(edges.len()) && attempts < max_attempts {
+        attempts += 1;
+        // Weighted pick by cumulative scan over a random threshold.
+        let mut threshold = rng.gen_range(0..total.max(1));
+        let mut picked = edges.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if threshold < *w {
+                picked = i;
+                break;
+            }
+            threshold -= w;
+        }
+        let (from, to) = edges[picked];
+        if !chosen.insert((from.0, to.0)) {
+            continue;
+        }
+        batch.delete(from, to);
+    }
+    batch
+}
+
+/// Generates a mixed batch of `insertions` insertions and `deletions`
+/// deletions, interleaved in a random order.
+pub fn mixed_batch(graph: &DataGraph, insertions: usize, deletions: usize, seed: u64) -> BatchUpdate {
+    let ins = degree_biased_insertions(graph, UpdateGenConfig::new(insertions, seed));
+    let del = degree_biased_deletions(graph, UpdateGenConfig::new(deletions, seed.wrapping_add(1)));
+    let mut all: Vec<Update> = ins.into_iter().chain(del).collect();
+    // Deterministic shuffle.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+    for i in (1..all.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        all.swap(i, j);
+    }
+    all.into_iter().collect()
+}
+
+/// Splits a timestamped graph into an older base graph and the batch of edge
+/// insertions that turns it back into the full graph.
+///
+/// Each edge is dated by the `time_attr` attribute of its *source* node (the
+/// newly added video / newly published paper is the one creating the link).
+/// The newest `fraction` of edges become the insertion batch; the base graph
+/// keeps all nodes and the remaining edges. This reconstructs the
+/// snapshot-evolution workloads of Figures 18(c,d) and 19(c,d).
+pub fn evolution_split(graph: &DataGraph, fraction: f64, time_attr: &str) -> (DataGraph, BatchUpdate) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let timestamp = |v: NodeId| -> i64 {
+        match graph.attrs(v).get(time_attr) {
+            Some(AttrValue::Int(t)) => *t,
+            Some(AttrValue::Float(t)) => *t as i64,
+            _ => 0,
+        }
+    };
+    let mut edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    edges.sort_by_key(|&(from, to)| (timestamp(from), from.0, to.0));
+    let cutoff = edges.len() - ((edges.len() as f64) * fraction).round() as usize;
+
+    let mut base = DataGraph::with_capacity(graph.node_count(), cutoff);
+    for v in graph.nodes() {
+        base.add_node(graph.attrs(v).clone());
+    }
+    for &(from, to) in &edges[..cutoff] {
+        base.add_edge(from, to);
+    }
+    let mut batch = BatchUpdate::new();
+    for &(from, to) in &edges[cutoff..] {
+        batch.insert(from, to);
+    }
+    (base, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citation::{citation_like, CitationConfig};
+    use crate::synthetic::{synthetic_graph, SyntheticConfig};
+
+    fn data() -> DataGraph {
+        synthetic_graph(&SyntheticConfig::new(400, 1600, 5, 23))
+    }
+
+    #[test]
+    fn insertions_are_new_distinct_edges() {
+        let g = data();
+        let batch = degree_biased_insertions(&g, UpdateGenConfig::new(200, 1));
+        assert_eq!(batch.len(), 200);
+        let mut seen = std::collections::HashSet::new();
+        for update in batch.iter() {
+            assert!(update.is_insert());
+            let (from, to) = update.endpoints();
+            assert!(!g.has_edge(from, to), "insertion of an existing edge");
+            assert!(seen.insert((from, to)), "duplicate insertion");
+        }
+    }
+
+    #[test]
+    fn deletions_are_existing_distinct_edges() {
+        let g = data();
+        let batch = degree_biased_deletions(&g, UpdateGenConfig::new(150, 2));
+        assert_eq!(batch.len(), 150);
+        let mut seen = std::collections::HashSet::new();
+        for update in batch.iter() {
+            assert!(update.is_delete());
+            let (from, to) = update.endpoints();
+            assert!(g.has_edge(from, to), "deleting a missing edge");
+            assert!(seen.insert((from, to)), "duplicate deletion");
+        }
+    }
+
+    #[test]
+    fn insertions_prefer_high_degree_endpoints() {
+        let g = data();
+        let batch = degree_biased_insertions(&g, UpdateGenConfig::new(500, 3));
+        let avg_graph_degree: f64 =
+            g.nodes().map(|v| g.degree(v) as f64).sum::<f64>() / g.node_count() as f64;
+        let avg_endpoint_degree: f64 = batch
+            .iter()
+            .map(|u| {
+                let (a, b) = u.endpoints();
+                (g.degree(a) + g.degree(b)) as f64 / 2.0
+            })
+            .sum::<f64>()
+            / batch.len() as f64;
+        assert!(
+            avg_endpoint_degree > avg_graph_degree,
+            "degree bias missing: {avg_endpoint_degree:.2} <= {avg_graph_degree:.2}"
+        );
+    }
+
+    #[test]
+    fn mixed_batch_counts_and_determinism() {
+        let g = data();
+        let batch = mixed_batch(&g, 40, 30, 7);
+        assert_eq!(batch.insertion_count(), 40);
+        assert_eq!(batch.deletion_count(), 30);
+        assert_eq!(batch, mixed_batch(&g, 40, 30, 7));
+    }
+
+    #[test]
+    fn applying_generated_updates_changes_the_graph_as_expected() {
+        let g = data();
+        let mut updated = g.clone();
+        let ins = degree_biased_insertions(&g, UpdateGenConfig::new(50, 4));
+        let changed = ins.apply(&mut updated);
+        assert_eq!(changed, 50);
+        assert_eq!(updated.edge_count(), g.edge_count() + 50);
+    }
+
+    #[test]
+    fn evolution_split_reconstructs_the_full_graph() {
+        let g = citation_like(&CitationConfig::scaled(0.02, 5));
+        let (mut base, batch) = evolution_split(&g, 0.2, "year");
+        assert_eq!(base.node_count(), g.node_count());
+        assert_eq!(base.edge_count() + batch.len(), g.edge_count());
+        assert!(batch.len() > 0);
+        batch.apply(&mut base);
+        assert_eq!(base, g);
+    }
+
+    #[test]
+    fn evolution_split_orders_by_time() {
+        let g = citation_like(&CitationConfig::scaled(0.02, 6));
+        let (_, batch) = evolution_split(&g, 0.1, "year");
+        let year = |v: NodeId| match g.attrs(v).get("year") {
+            Some(AttrValue::Int(y)) => *y,
+            _ => 0,
+        };
+        let min_inserted = batch.iter().map(|u| year(u.endpoints().0)).min().unwrap();
+        // All inserted (newest) edges must come from the newer half of the years.
+        let median_year = {
+            let mut years: Vec<i64> = g.nodes().map(year).collect();
+            years.sort_unstable();
+            years[years.len() / 2]
+        };
+        assert!(min_inserted >= median_year - 2, "newest edges should be recent");
+    }
+
+    #[test]
+    fn zero_fraction_split_keeps_everything() {
+        let g = data();
+        let (base, batch) = evolution_split(&g, 0.0, "weight");
+        assert!(batch.is_empty());
+        assert_eq!(base.edge_count(), g.edge_count());
+    }
+}

@@ -1,0 +1,187 @@
+//! YouTube-like dataset substitute.
+//!
+//! The paper evaluates on "a crawled YouTube graph with 14829 nodes and 58901
+//! edges, where each node denotes a video with attributes (e.g., length,
+//! category, age), and edges indicate recommendations" (Section 8.1). The
+//! crawl itself is not redistributable, so this module generates a seeded
+//! scale-free recommendation graph with the same default size and the same
+//! attribute schema (`category`, `uploader`, `age`, `length`, `rate`,
+//! `views`). Category and uploader frequencies are skewed the way the public
+//! crawl statistics are (a few categories and uploaders dominate), which is
+//! what the pattern selectivity of Figures 16–18 depends on.
+
+use igpm_graph::{Attributes, DataGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The category alphabet of the YouTube-like generator.
+pub const CATEGORIES: &[&str] = &[
+    "Music",
+    "Entertainment",
+    "Comedy",
+    "People",
+    "Film",
+    "Sports",
+    "News",
+    "Politics",
+    "Science",
+    "Howto",
+    "Travel",
+    "Games",
+    "Animals",
+    "Autos",
+    "Education",
+    "Nonprofit",
+];
+
+/// Configuration of the YouTube-like generator.
+#[derive(Debug, Clone)]
+pub struct YouTubeConfig {
+    /// Number of videos (nodes). The paper's crawl has 14 829.
+    pub nodes: usize,
+    /// Number of recommendation edges. The paper's crawl has 58 901.
+    pub edges: usize,
+    /// Number of distinct uploaders.
+    pub uploaders: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YouTubeConfig {
+    fn default() -> Self {
+        YouTubeConfig { nodes: 14_829, edges: 58_901, uploaders: 2_000, seed: 0x0907_2011 }
+    }
+}
+
+impl YouTubeConfig {
+    /// Scales the default dataset by `scale` (both nodes and edges), keeping
+    /// the schema; used by the experiment harness's `--scale` flag.
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        let base = YouTubeConfig::default();
+        YouTubeConfig {
+            nodes: ((base.nodes as f64 * scale).round() as usize).max(16),
+            edges: ((base.edges as f64 * scale).round() as usize).max(32),
+            uploaders: ((base.uploaders as f64 * scale).round() as usize).max(8),
+            seed,
+        }
+    }
+}
+
+/// Samples an index in `0..n` with a Zipf-like skew (`rank^-1` weights).
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    // Inverse-CDF sampling over harmonic weights, approximated cheaply:
+    // repeatedly halve the range with probability proportional to the head.
+    let u: f64 = rng.gen::<f64>();
+    let h_n = (n as f64).ln() + 0.5772;
+    let target = u * h_n;
+    // rank r such that H(r) ~ target  =>  r ~ e^(target - gamma)
+    let r = (target - 0.5772).exp().floor() as usize;
+    r.min(n - 1)
+}
+
+/// Generates a YouTube-like recommendation graph.
+pub fn youtube_like(config: &YouTubeConfig) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.nodes;
+    let mut graph = DataGraph::with_capacity(n, config.edges);
+
+    for i in 0..n {
+        let category = CATEGORIES[zipf(&mut rng, CATEGORIES.len())];
+        let uploader = format!("user{}", zipf(&mut rng, config.uploaders.max(1)));
+        let age = rng.gen_range(1..2000i64); // days since upload
+        let length = rng.gen_range(10..3600i64); // seconds
+        let rate = (rng.gen_range(10..50) as f64) / 10.0; // 1.0 - 5.0 stars
+        let views = rng.gen_range(0..5_000_000i64);
+        let attrs = Attributes::new()
+            .with("label", category)
+            .with("category", category)
+            .with("uploader", uploader)
+            .with("age", age)
+            .with("length", length)
+            .with("rate", rate)
+            .with("views", views)
+            .with("uid", i as i64);
+        graph.add_node(attrs);
+    }
+    if n < 2 {
+        return graph;
+    }
+
+    // Recommendation edges: videos recommend other videos, preferentially
+    // popular ones (scale-free in-degree) and with a mild same-category bias,
+    // which is what produces the community structure Exp-1 looks for.
+    let mut popularity_pool: Vec<u32> = (0..n as u32).collect();
+    let mut attempts = 0usize;
+    let max_attempts = config.edges * 20 + 1000;
+    while graph.edge_count() < config.edges && attempts < max_attempts {
+        attempts += 1;
+        let from = rng.gen_range(0..n) as u32;
+        let to = if rng.gen_bool(0.75) {
+            popularity_pool[rng.gen_range(0..popularity_pool.len())]
+        } else {
+            rng.gen_range(0..n) as u32
+        };
+        if from == to {
+            continue;
+        }
+        if graph.add_edge(NodeId(from), NodeId(to)) {
+            popularity_pool.push(to);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_graph::AttrValue;
+
+    #[test]
+    fn default_size_matches_paper_dataset() {
+        let config = YouTubeConfig::default();
+        assert_eq!(config.nodes, 14_829);
+        assert_eq!(config.edges, 58_901);
+    }
+
+    #[test]
+    fn scaled_config_and_generation() {
+        let config = YouTubeConfig::scaled(0.02, 1);
+        let g = youtube_like(&config);
+        assert_eq!(g.node_count(), config.nodes);
+        assert_eq!(g.edge_count(), config.edges);
+        assert!(config.nodes < 500);
+    }
+
+    #[test]
+    fn schema_is_complete() {
+        let g = youtube_like(&YouTubeConfig::scaled(0.01, 2));
+        for v in g.nodes() {
+            let attrs = g.attrs(v);
+            for key in ["category", "uploader", "age", "length", "rate", "views"] {
+                assert!(attrs.get(key).is_some(), "missing attribute {key}");
+            }
+            assert!(CATEGORIES.contains(&attrs.label().unwrap()));
+            match attrs.get("age") {
+                Some(AttrValue::Int(age)) => assert!((1..2000).contains(age)),
+                other => panic!("age should be an int, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn category_distribution_is_skewed() {
+        let g = youtube_like(&YouTubeConfig::scaled(0.05, 3));
+        let music = g.nodes_where(|a| a.get("category") == Some(&AttrValue::from("Music"))).len();
+        let nonprofit = g
+            .nodes_where(|a| a.get("category") == Some(&AttrValue::from("Nonprofit")))
+            .len();
+        assert!(music > nonprofit, "head category must dominate tail category");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = youtube_like(&YouTubeConfig::scaled(0.01, 9));
+        let b = youtube_like(&YouTubeConfig::scaled(0.01, 9));
+        assert_eq!(a, b);
+    }
+}

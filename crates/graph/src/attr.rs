@@ -1,0 +1,340 @@
+//! Node attributes and comparison operators.
+//!
+//! A data-graph node carries a tuple `f_A(v) = (A_1 = a_1, ..., A_n = a_n)` of
+//! attribute/constant pairs (Section 2.1 of the paper). Pattern nodes test
+//! those attributes with atomic formulas `A op a` where
+//! `op ∈ {<, <=, =, !=, >, >=}` (Section 2.1, definition of b-patterns).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant attribute value stored on a data-graph node or compared against
+/// in a pattern predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Integer-valued attribute (ids, years, ages, hop counts, ratings...).
+    Int(i64),
+    /// Floating-point attribute (scores, weights).
+    Float(f64),
+    /// String attribute (labels, names, categories).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Returns a short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Str(_) => "str",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    /// Compares two values if they are of comparable types.
+    ///
+    /// Integers and floats are mutually comparable (promoted to `f64`);
+    /// strings compare lexicographically; booleans compare as `false < true`.
+    /// Values of incomparable types return `None`, which makes every atomic
+    /// formula over them evaluate to `false` (a node that does not carry the
+    /// attribute with a compatible type simply does not satisfy the predicate).
+    pub fn partial_cmp_value(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Int(a), AttrValue::Int(b)) => Some(a.cmp(b)),
+            (AttrValue::Float(a), AttrValue::Float(b)) => a.partial_cmp(b),
+            (AttrValue::Int(a), AttrValue::Float(b)) => (*a as f64).partial_cmp(b),
+            (AttrValue::Float(a), AttrValue::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v:?}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(value: i64) -> Self {
+        AttrValue::Int(value)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(value: i32) -> Self {
+        AttrValue::Int(i64::from(value))
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(value: f64) -> Self {
+        AttrValue::Float(value)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(value: &str) -> Self {
+        AttrValue::Str(value.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(value: String) -> Self {
+        AttrValue::Str(value)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(value: bool) -> Self {
+        AttrValue::Bool(value)
+    }
+}
+
+/// Comparison operator of an atomic formula `A op a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates `lhs op rhs`.
+    ///
+    /// Returns `false` when the two values are of incomparable types, except
+    /// for `!=`, which is `true` for incomparable values (they are certainly
+    /// not equal).
+    pub fn eval(self, lhs: &AttrValue, rhs: &AttrValue) -> bool {
+        match lhs.partial_cmp_value(rhs) {
+            Some(ord) => match self {
+                CompareOp::Lt => ord == Ordering::Less,
+                CompareOp::Le => ord != Ordering::Greater,
+                CompareOp::Eq => ord == Ordering::Equal,
+                CompareOp::Ne => ord != Ordering::Equal,
+                CompareOp::Gt => ord == Ordering::Greater,
+                CompareOp::Ge => ord != Ordering::Less,
+            },
+            None => self == CompareOp::Ne,
+        }
+    }
+
+    /// The textual symbol of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The attribute tuple `f_A(v)` of a data-graph node.
+///
+/// Attributes are stored as a vector sorted by attribute name so that
+/// predicate evaluation is a linear merge over the (typically tiny) tuple,
+/// matching the "attributes sorted in the same order" assumption used in the
+/// paper's complexity analysis of `Match` (Section 3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Attributes {
+    entries: Vec<(String, AttrValue)>,
+}
+
+impl Attributes {
+    /// Creates an empty attribute tuple.
+    pub fn new() -> Self {
+        Attributes { entries: Vec::new() }
+    }
+
+    /// Creates an attribute tuple with a single `label` attribute, the common
+    /// case for normal patterns and label-only graphs (graph simulation).
+    pub fn labeled(label: impl Into<String>) -> Self {
+        let mut attrs = Attributes::new();
+        attrs.set("label", AttrValue::Str(label.into()));
+        attrs
+    }
+
+    /// Sets (or replaces) attribute `name`.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(&name)) {
+            Ok(pos) => self.entries[pos].1 = value,
+            Err(pos) => self.entries.insert(pos, (name, value)),
+        }
+        self
+    }
+
+    /// Builder-style variant of [`Attributes::set`].
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Looks up attribute `name`.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+
+    /// Returns the node label (the `label` attribute) if present.
+    pub fn label(&self) -> Option<&str> {
+        match self.get("label") {
+            Some(AttrValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Number of attributes in the tuple.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the tuple carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Removes attribute `name`, returning its previous value.
+    pub fn remove(&mut self, name: &str) -> Option<AttrValue> {
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(pos) => Some(self.entries.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Attributes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (name, value)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<N: Into<String>, V: Into<AttrValue>> FromIterator<(N, V)> for Attributes {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        let mut attrs = Attributes::new();
+        for (name, value) in iter {
+            attrs.set(name, value);
+        }
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_ints_and_floats() {
+        assert!(CompareOp::Lt.eval(&AttrValue::Int(3), &AttrValue::Int(5)));
+        assert!(CompareOp::Ge.eval(&AttrValue::Float(2.5), &AttrValue::Int(2)));
+        assert!(CompareOp::Eq.eval(&AttrValue::Int(2), &AttrValue::Float(2.0)));
+        assert!(!CompareOp::Gt.eval(&AttrValue::Int(1), &AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn compare_strings_and_bools() {
+        assert!(CompareOp::Eq.eval(&AttrValue::from("CTO"), &AttrValue::from("CTO")));
+        assert!(CompareOp::Ne.eval(&AttrValue::from("CTO"), &AttrValue::from("DB")));
+        assert!(CompareOp::Lt.eval(&AttrValue::from("Apple"), &AttrValue::from("Banana")));
+        assert!(CompareOp::Lt.eval(&AttrValue::Bool(false), &AttrValue::Bool(true)));
+    }
+
+    #[test]
+    fn incomparable_types_fail_except_ne() {
+        let s = AttrValue::from("x");
+        let i = AttrValue::Int(1);
+        assert!(!CompareOp::Eq.eval(&s, &i));
+        assert!(!CompareOp::Lt.eval(&s, &i));
+        assert!(CompareOp::Ne.eval(&s, &i));
+    }
+
+    #[test]
+    fn attributes_set_get_replace() {
+        let mut attrs = Attributes::new();
+        attrs.set("job", "CTO").set("age", 41).set("job", "DB");
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs.get("job"), Some(&AttrValue::from("DB")));
+        assert_eq!(attrs.get("age"), Some(&AttrValue::Int(41)));
+        assert_eq!(attrs.get("missing"), None);
+    }
+
+    #[test]
+    fn attributes_sorted_iteration() {
+        let attrs = Attributes::new().with("z", 1).with("a", 2).with("m", 3);
+        let names: Vec<&str> = attrs.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn labeled_constructor_and_label_accessor() {
+        let attrs = Attributes::labeled("AM");
+        assert_eq!(attrs.label(), Some("AM"));
+        let unlabeled = Attributes::new().with("job", "CTO");
+        assert_eq!(unlabeled.label(), None);
+    }
+
+    #[test]
+    fn remove_attribute() {
+        let mut attrs = Attributes::labeled("x").with("k", 1);
+        assert_eq!(attrs.remove("k"), Some(AttrValue::Int(1)));
+        assert_eq!(attrs.remove("k"), None);
+        assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_builds_sorted_tuple() {
+        let attrs: Attributes = vec![("b", 2), ("a", 1)].into_iter().collect();
+        assert_eq!(attrs.get("a"), Some(&AttrValue::Int(1)));
+        assert_eq!(attrs.get("b"), Some(&AttrValue::Int(2)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let attrs = Attributes::new().with("age", 3).with("name", "Ann");
+        assert_eq!(attrs.to_string(), r#"(age=3, name="Ann")"#);
+        assert_eq!(CompareOp::Le.to_string(), "<=");
+    }
+}

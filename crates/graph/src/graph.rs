@@ -1,0 +1,325 @@
+//! Directed data graphs `G = (V, E, f_A)`.
+
+use crate::attr::Attributes;
+use crate::hash::{set_with_capacity, FastHashSet};
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A directed data graph whose nodes carry attribute tuples.
+///
+/// The graph stores forward and reverse adjacency lists so that both the
+/// children `Cr(v)` and parents `Pr(v)` of a node (Section 2.1) are available
+/// in O(out-degree) / O(in-degree), as required by the incremental algorithms
+/// of Sections 5 and 6. An edge set provides O(1) `has_edge` checks, which the
+/// update machinery uses to ignore redundant insertions/deletions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataGraph {
+    attrs: Vec<Attributes>,
+    out: Vec<Vec<NodeId>>,
+    inc: Vec<Vec<NodeId>>,
+    #[serde(skip, default)]
+    edge_set: FastHashSet<(u32, u32)>,
+    num_edges: usize,
+}
+
+impl DataGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DataGraph::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DataGraph {
+            attrs: Vec::with_capacity(nodes),
+            out: Vec::with_capacity(nodes),
+            inc: Vec::with_capacity(nodes),
+            edge_set: set_with_capacity(edges),
+            num_edges: 0,
+        }
+    }
+
+    /// Adds a node carrying `attrs` and returns its identifier.
+    pub fn add_node(&mut self, attrs: Attributes) -> NodeId {
+        let id = NodeId::from_index(self.attrs.len());
+        self.attrs.push(attrs);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Adds a node with a single `label` attribute.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>) -> NodeId {
+        self.add_node(Attributes::labeled(label))
+    }
+
+    /// Inserts the edge `(from, to)`.
+    ///
+    /// Returns `true` if the edge was newly inserted, `false` if it already
+    /// existed (parallel edges are not stored; the paper's graphs are simple).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a node of the graph.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        assert!(from.index() < self.attrs.len(), "edge source {from} out of bounds");
+        assert!(to.index() < self.attrs.len(), "edge target {to} out of bounds");
+        if !self.edge_set.insert((from.0, to.0)) {
+            return false;
+        }
+        self.out[from.index()].push(to);
+        self.inc[to.index()].push(from);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the edge `(from, to)`.
+    ///
+    /// Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.edge_set.remove(&(from.0, to.0)) {
+            return false;
+        }
+        let out = &mut self.out[from.index()];
+        if let Some(pos) = out.iter().position(|&v| v == to) {
+            out.swap_remove(pos);
+        }
+        let inc = &mut self.inc[to.index()];
+        if let Some(pos) = inc.iter().position(|&v| v == from) {
+            inc.swap_remove(pos);
+        }
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Returns `true` if the edge `(from, to)` is present.
+    #[inline]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edge_set.contains(&(from.0, to.0))
+    }
+
+    /// Returns `true` if `node` is a node of this graph.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.attrs.len()
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The attribute tuple `f_A(v)`.
+    #[inline]
+    pub fn attrs(&self, node: NodeId) -> &Attributes {
+        &self.attrs[node.index()]
+    }
+
+    /// Mutable access to a node's attribute tuple.
+    #[inline]
+    pub fn attrs_mut(&mut self, node: NodeId) -> &mut Attributes {
+        &mut self.attrs[node.index()]
+    }
+
+    /// The children `Cr(v)` of a node (targets of outgoing edges).
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.out[node.index()]
+    }
+
+    /// The parents `Pr(v)` of a node (sources of incoming edges).
+    #[inline]
+    pub fn parents(&self, node: NodeId) -> &[NodeId] {
+        &self.inc[node.index()]
+    }
+
+    /// Out-degree of a node.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out[node.index()].len()
+    }
+
+    /// In-degree of a node.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.inc[node.index()].len()
+    }
+
+    /// Total degree (in + out) of a node.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_degree(node) + self.in_degree(node)
+    }
+
+    /// Iterates over all node identifiers in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.attrs.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(from, targets)| {
+                let from = NodeId::from_index(from);
+                targets.iter().map(move |&to| (from, to))
+            })
+    }
+
+    /// Rebuilds the internal edge set; used after deserialization, where the
+    /// set is skipped to keep snapshots compact.
+    pub fn rebuild_edge_index(&mut self) {
+        let mut set = set_with_capacity(self.num_edges);
+        for (from, targets) in self.out.iter().enumerate() {
+            for &to in targets {
+                set.insert((from as u32, to.0));
+            }
+        }
+        self.edge_set = set;
+    }
+
+    /// Returns the nodes whose attributes satisfy `filter`, in index order.
+    pub fn nodes_where<'a, F>(&'a self, mut filter: F) -> Vec<NodeId>
+    where
+        F: FnMut(&Attributes) -> bool + 'a,
+    {
+        self.nodes().filter(|&v| filter(self.attrs(v))).collect()
+    }
+}
+
+impl PartialEq for DataGraph {
+    fn eq(&self, other: &Self) -> bool {
+        if self.attrs != other.attrs || self.num_edges != other.num_edges {
+            return false;
+        }
+        // Adjacency lists may be in different orders after removals; compare as sets.
+        self.edges_as_sorted() == other.edges_as_sorted()
+    }
+}
+
+impl DataGraph {
+    fn edges_as_sorted(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self.edges().map(|(a, b)| (a.0, b.0)).collect();
+        edges.sort_unstable();
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> DataGraph {
+        let mut g = DataGraph::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| g.add_labeled_node(format!("v{i}"))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = DataGraph::new();
+        let a = g.add_labeled_node("a");
+        let b = g.add_labeled_node("b");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b), "duplicate edges are ignored");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.children(a), &[b]);
+        assert_eq!(g.parents(b), &[a]);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn remove_edges() {
+        let mut g = path_graph(3);
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        assert!(g.remove_edge(a, b));
+        assert!(!g.remove_edge(a, b));
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(a, b));
+        assert!(g.has_edge(b, c));
+        assert!(g.children(a).is_empty());
+        assert!(g.parents(b).is_empty());
+    }
+
+    #[test]
+    fn node_and_edge_iterators() {
+        let g = path_graph(4);
+        assert_eq!(g.nodes().count(), 4);
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(a, b)| (a.0, b.0)).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn attributes_access_and_filtering() {
+        let mut g = DataGraph::new();
+        let ann = g.add_node(Attributes::new().with("name", "Ann").with("job", "CTO"));
+        let bob = g.add_node(Attributes::new().with("name", "Bob").with("job", "DB"));
+        g.attrs_mut(bob).set("job", "Bio");
+        assert_eq!(g.attrs(ann).get("job").unwrap(), &crate::AttrValue::from("CTO"));
+        let bios = g.nodes_where(|a| a.get("job") == Some(&crate::AttrValue::from("Bio")));
+        assert_eq!(bios, vec![bob]);
+    }
+
+    #[test]
+    fn graph_equality_ignores_adjacency_order() {
+        let mut g1 = DataGraph::new();
+        let a = g1.add_labeled_node("a");
+        let b = g1.add_labeled_node("b");
+        let c = g1.add_labeled_node("c");
+        g1.add_edge(a, b);
+        g1.add_edge(a, c);
+
+        let mut g2 = DataGraph::new();
+        let a2 = g2.add_labeled_node("a");
+        let b2 = g2.add_labeled_node("b");
+        let c2 = g2.add_labeled_node("c");
+        g2.add_edge(a2, c2);
+        g2.add_edge(a2, b2);
+
+        assert_eq!(g1, g2);
+        g2.remove_edge(a2, b2);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_edge_index() {
+        let g = path_graph(5);
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: DataGraph = serde_json::from_str(&json).unwrap();
+        back.rebuild_edge_index();
+        assert_eq!(g, back);
+        assert!(back.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(back.edge_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn adding_edge_with_unknown_endpoint_panics() {
+        let mut g = path_graph(2);
+        g.add_edge(NodeId(0), NodeId(7));
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let g = DataGraph::with_capacity(10, 20);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fast, non-cryptographic hashing for integer-keyed maps and sets.
+//!
+//! Pattern-matching workloads hash millions of `NodeId`s and `(NodeId, NodeId)`
+//! pairs; the default SipHash hasher is a measurable bottleneck there. This
+//! module implements the well-known "Fx" multiply–rotate–xor hash (the hasher
+//! used inside rustc) so the rest of the workspace can use [`FastHashMap`] and
+//! [`FastHashSet`] without pulling in extra dependencies.
+//!
+//! The hash is **not** resistant to HashDoS; all keys in this workspace are
+//! internally generated node identifiers, so that is acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hash.
+pub type FastHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hash.
+pub type FastHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Creates an empty [`FastHashMap`] with at least `capacity` slots.
+pub fn map_with_capacity<K, V>(capacity: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+/// Creates an empty [`FastHashSet`] with at least `capacity` slots.
+pub fn set_with_capacity<T>(capacity: usize) -> FastHashSet<T> {
+    FastHashSet::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        assert_eq!(hash_one(&42u32), hash_one(&42u32));
+        assert_eq!(hash_one(&(1u32, 2u32)), hash_one(&(1u32, 2u32)));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+    }
+
+    #[test]
+    fn different_inputs_rarely_collide() {
+        let hashes: std::collections::HashSet<u64> = (0u32..10_000).map(|i| hash_one(&i)).collect();
+        assert_eq!(hashes.len(), 10_000, "unexpected collision among small integers");
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FastHashMap<u32, &str> = map_with_capacity(4);
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        assert_eq!(map.len(), 2);
+
+        let mut set: FastHashSet<(u32, u32)> = set_with_capacity(4);
+        set.insert((1, 2));
+        assert!(set.contains(&(1, 2)));
+        assert!(!set.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn byte_stream_hashing_covers_remainder() {
+        // 11 bytes: one full 8-byte chunk plus a 3-byte remainder.
+        let a = hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let b = hash_one(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,280 @@
+//! Persistence for data graphs and patterns.
+//!
+//! Two formats are provided:
+//!
+//! * **JSON** (via `serde_json`) — human-readable, used for patterns and small
+//!   fixtures checked into examples and tests;
+//! * a **compact binary snapshot** (via `bytes`) — the topology is stored as
+//!   raw `u32` pairs and the attribute table as an embedded JSON blob, which
+//!   keeps multi-hundred-thousand-edge generated datasets cheap to write and
+//!   reload from the experiment harness.
+
+use crate::attr::Attributes;
+use crate::graph::DataGraph;
+use crate::node::NodeId;
+use crate::pattern::Pattern;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised while loading or saving graphs and patterns.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// The binary snapshot is malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Magic tag identifying binary graph snapshots.
+const SNAPSHOT_MAGIC: u32 = 0x4947_504d; // "IGPM"
+/// Snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serializes a graph to a JSON string.
+pub fn graph_to_json(graph: &DataGraph) -> Result<String, IoError> {
+    Ok(serde_json::to_string(graph)?)
+}
+
+/// Deserializes a graph from a JSON string (rebuilding its edge index).
+pub fn graph_from_json(json: &str) -> Result<DataGraph, IoError> {
+    let mut graph: DataGraph = serde_json::from_str(json)?;
+    graph.rebuild_edge_index();
+    Ok(graph)
+}
+
+/// Writes a graph as JSON to `path`.
+pub fn save_graph_json(graph: &DataGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, graph_to_json(graph)?)?;
+    Ok(())
+}
+
+/// Reads a graph from a JSON file.
+pub fn load_graph_json(path: impl AsRef<Path>) -> Result<DataGraph, IoError> {
+    graph_from_json(&fs::read_to_string(path)?)
+}
+
+/// Serializes a pattern to a JSON string.
+pub fn pattern_to_json(pattern: &Pattern) -> Result<String, IoError> {
+    Ok(serde_json::to_string(pattern)?)
+}
+
+/// Deserializes a pattern from a JSON string.
+pub fn pattern_from_json(json: &str) -> Result<Pattern, IoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a pattern as JSON to `path`.
+pub fn save_pattern_json(pattern: &Pattern, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, pattern_to_json(pattern)?)?;
+    Ok(())
+}
+
+/// Reads a pattern from a JSON file.
+pub fn load_pattern_json(path: impl AsRef<Path>) -> Result<Pattern, IoError> {
+    pattern_from_json(&fs::read_to_string(path)?)
+}
+
+/// Encodes a graph as a compact binary snapshot.
+pub fn graph_to_snapshot(graph: &DataGraph) -> Result<Bytes, IoError> {
+    let attrs: Vec<&Attributes> = graph.nodes().map(|v| graph.attrs(v)).collect();
+    let attr_blob = serde_json::to_vec(&attrs)?;
+
+    let mut buf = BytesMut::with_capacity(24 + attr_blob.len() + graph.edge_count() * 8);
+    buf.put_u32_le(SNAPSHOT_MAGIC);
+    buf.put_u32_le(SNAPSHOT_VERSION);
+    buf.put_u32_le(graph.node_count() as u32);
+    buf.put_u32_le(graph.edge_count() as u32);
+    buf.put_u64_le(attr_blob.len() as u64);
+    buf.put_slice(&attr_blob);
+    for (from, to) in graph.edges() {
+        buf.put_u32_le(from.0);
+        buf.put_u32_le(to.0);
+    }
+    Ok(buf.freeze())
+}
+
+/// Decodes a graph from a binary snapshot produced by [`graph_to_snapshot`].
+pub fn graph_from_snapshot(mut bytes: Bytes) -> Result<DataGraph, IoError> {
+    if bytes.remaining() < 24 {
+        return Err(IoError::Corrupt("snapshot too short".into()));
+    }
+    let magic = bytes.get_u32_le();
+    if magic != SNAPSHOT_MAGIC {
+        return Err(IoError::Corrupt(format!("bad magic 0x{magic:08x}")));
+    }
+    let version = bytes.get_u32_le();
+    if version != SNAPSHOT_VERSION {
+        return Err(IoError::Corrupt(format!("unsupported version {version}")));
+    }
+    let node_count = bytes.get_u32_le() as usize;
+    let edge_count = bytes.get_u32_le() as usize;
+    let attr_len = bytes.get_u64_le() as usize;
+    if bytes.remaining() < attr_len + edge_count * 8 {
+        return Err(IoError::Corrupt("truncated snapshot body".into()));
+    }
+    let attr_blob = bytes.split_to(attr_len);
+    let attrs: Vec<Attributes> = serde_json::from_slice(&attr_blob)?;
+    if attrs.len() != node_count {
+        return Err(IoError::Corrupt(format!(
+            "attribute table has {} entries, expected {node_count}",
+            attrs.len()
+        )));
+    }
+    let mut graph = DataGraph::with_capacity(node_count, edge_count);
+    for attr in attrs {
+        graph.add_node(attr);
+    }
+    for _ in 0..edge_count {
+        let from = NodeId(bytes.get_u32_le());
+        let to = NodeId(bytes.get_u32_le());
+        if !graph.contains_node(from) || !graph.contains_node(to) {
+            return Err(IoError::Corrupt(format!("edge ({from}, {to}) out of range")));
+        }
+        graph.add_edge(from, to);
+    }
+    Ok(graph)
+}
+
+/// Writes a binary snapshot of a graph to `path`.
+pub fn save_graph_snapshot(graph: &DataGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, graph_to_snapshot(graph)?)?;
+    Ok(())
+}
+
+/// Reads a binary snapshot of a graph from `path`.
+pub fn load_graph_snapshot(path: impl AsRef<Path>) -> Result<DataGraph, IoError> {
+    let bytes = Bytes::from(fs::read(path)?);
+    graph_from_snapshot(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::EdgeBound;
+    use crate::predicate::Predicate;
+
+    fn sample_graph() -> DataGraph {
+        let mut g = DataGraph::new();
+        let ann = g.add_node(Attributes::new().with("name", "Ann").with("job", "CTO"));
+        let pat = g.add_node(Attributes::new().with("name", "Pat").with("job", "DB"));
+        let bill = g.add_node(Attributes::new().with("name", "Bill").with("job", "Bio"));
+        g.add_edge(ann, pat);
+        g.add_edge(pat, bill);
+        g.add_edge(bill, ann);
+        g
+    }
+
+    fn sample_pattern() -> Pattern {
+        let mut p = Pattern::new();
+        let cto = p.add_node(Predicate::any().and_eq("job", "CTO"));
+        let db = p.add_node(Predicate::any().and_eq("job", "DB"));
+        p.add_edge(cto, db, EdgeBound::Hops(2));
+        p.add_edge(db, cto, EdgeBound::Unbounded);
+        p
+    }
+
+    #[test]
+    fn graph_json_round_trip() {
+        let g = sample_graph();
+        let json = graph_to_json(&g).unwrap();
+        let back = graph_from_json(&json).unwrap();
+        assert_eq!(g, back);
+        assert!(back.has_edge(NodeId(0), NodeId(1)), "edge index rebuilt");
+    }
+
+    #[test]
+    fn pattern_json_round_trip() {
+        let p = sample_pattern();
+        let json = pattern_to_json(&p).unwrap();
+        let back = pattern_from_json(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(back.edge_bound(crate::PatternNodeId(0), crate::PatternNodeId(1)), Some(EdgeBound::Hops(2)));
+    }
+
+    #[test]
+    fn graph_snapshot_round_trip() {
+        let g = sample_graph();
+        let bytes = graph_to_snapshot(&g).unwrap();
+        let back = graph_from_snapshot(bytes).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(matches!(graph_from_snapshot(Bytes::from_static(b"nope")), Err(IoError::Corrupt(_))));
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdeadbeef);
+        buf.put_u32_le(SNAPSHOT_VERSION);
+        buf.put_u32_le(0);
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        assert!(matches!(graph_from_snapshot(buf.freeze()), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_version() {
+        let g = sample_graph();
+        let bytes = graph_to_snapshot(&g).unwrap();
+        let mut raw = bytes.to_vec();
+        raw[4] = 99; // clobber the version field
+        let err = graph_from_snapshot(Bytes::from(raw)).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir().join("igpm-io-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let g = sample_graph();
+        let p = sample_pattern();
+
+        let gpath = dir.join("graph.json");
+        save_graph_json(&g, &gpath).unwrap();
+        assert_eq!(load_graph_json(&gpath).unwrap(), g);
+
+        let ppath = dir.join("pattern.json");
+        save_pattern_json(&p, &ppath).unwrap();
+        assert_eq!(load_pattern_json(&ppath).unwrap(), p);
+
+        let spath = dir.join("graph.bin");
+        save_graph_snapshot(&g, &spath).unwrap();
+        assert_eq!(load_graph_snapshot(&spath).unwrap(), g);
+    }
+
+    #[test]
+    fn error_display() {
+        let err: IoError = serde_json::from_str::<DataGraph>("not json").unwrap_err().into();
+        assert!(err.to_string().contains("json error"));
+        let err: IoError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert!(err.to_string().contains("i/o error"));
+    }
+}

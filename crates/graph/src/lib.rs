@@ -1,0 +1,62 @@
+//! # igpm-graph
+//!
+//! Graph substrate for the reproduction of *Incremental Graph Pattern Matching*
+//! (Fan, Wang, Wu; SIGMOD 2011 / TODS 2013).
+//!
+//! This crate provides every graph-shaped data structure the paper relies on:
+//!
+//! * [`DataGraph`] — directed data graphs `G = (V, E, f_A)` whose nodes carry
+//!   attribute tuples (Section 2.1 of the paper);
+//! * [`Pattern`] — b-patterns `P = (V_p, E_p, f_V, f_E)` whose nodes carry
+//!   search-condition [`Predicate`]s and whose edges carry hop bounds
+//!   ([`EdgeBound::Hops`]) or the unbounded symbol `*` ([`EdgeBound::Unbounded`]);
+//! * [`MatchRelation`] and [`ResultGraph`] — the maximum match `M(P, G)` and its
+//!   graph representation `G_r` used to measure `ΔM` (Section 4);
+//! * [`Update`] / [`BatchUpdate`] — unit and batch edge updates `ΔG`;
+//! * strongly connected components, condensation graphs and topological
+//!   (simulation) ranks used by `propCC` and `minDelta` (Section 5);
+//! * bounded breadth-first traversals shared by the matching algorithms.
+//!
+//! The crate is deliberately free of any matching logic: algorithms live in
+//! `igpm-core` and `igpm-baseline`, distance indices in `igpm-distance`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod graph;
+pub mod hash;
+pub mod io;
+pub mod match_relation;
+pub mod node;
+pub mod pattern;
+pub mod predicate;
+pub mod result_graph;
+pub mod scc;
+pub mod topo;
+pub mod traversal;
+pub mod update;
+
+pub use attr::{AttrValue, Attributes, CompareOp};
+pub use graph::DataGraph;
+pub use hash::{FastHashMap, FastHashSet};
+pub use match_relation::MatchRelation;
+pub use node::NodeId;
+pub use pattern::{EdgeBound, Pattern, PatternEdge, PatternNodeId};
+pub use predicate::{Atom, Predicate};
+pub use result_graph::{DeltaM, ResultGraph};
+pub use scc::{CondensationGraph, SccId, StronglyConnectedComponents};
+pub use topo::{topological_order, topological_ranks, Rank};
+pub use update::{BatchUpdate, Update};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::attr::{AttrValue, Attributes, CompareOp};
+    pub use crate::graph::DataGraph;
+    pub use crate::match_relation::MatchRelation;
+    pub use crate::node::NodeId;
+    pub use crate::pattern::{EdgeBound, Pattern, PatternNodeId};
+    pub use crate::predicate::{Atom, Predicate};
+    pub use crate::result_graph::{DeltaM, ResultGraph};
+    pub use crate::update::{BatchUpdate, Update};
+}

@@ -1,0 +1,248 @@
+//! Match relations `S ⊆ V_p × V`.
+//!
+//! A match for a pattern `P` in a data graph `G` is a binary relation between
+//! pattern nodes and data nodes. Bounded simulation and graph simulation
+//! compute the unique *maximum* match (Proposition 2.1); the empty relation
+//! represents "no match" (`P ⋬ G`).
+
+use crate::node::NodeId;
+use crate::pattern::{Pattern, PatternNodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A match relation: for each pattern node, the sorted set of data nodes
+/// matched to it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchRelation {
+    per_node: Vec<Vec<NodeId>>,
+}
+
+impl MatchRelation {
+    /// Creates an empty relation over `pattern_nodes` pattern nodes.
+    pub fn empty(pattern_nodes: usize) -> Self {
+        MatchRelation { per_node: vec![Vec::new(); pattern_nodes] }
+    }
+
+    /// Creates an empty relation shaped after `pattern`.
+    pub fn for_pattern(pattern: &Pattern) -> Self {
+        MatchRelation::empty(pattern.node_count())
+    }
+
+    /// Builds a relation from per-pattern-node match lists (normalising order
+    /// and removing duplicates).
+    pub fn from_lists<I>(lists: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<NodeId>>,
+    {
+        let mut per_node: Vec<Vec<NodeId>> = lists.into_iter().collect();
+        for list in &mut per_node {
+            list.sort_unstable();
+            list.dedup();
+        }
+        MatchRelation { per_node }
+    }
+
+    /// Number of pattern nodes the relation is defined over.
+    pub fn pattern_node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Adds the pair `(u, v)` to the relation.
+    pub fn add(&mut self, u: PatternNodeId, v: NodeId) {
+        let list = &mut self.per_node[u.index()];
+        match list.binary_search(&v) {
+            Ok(_) => {}
+            Err(pos) => list.insert(pos, v),
+        }
+    }
+
+    /// Removes the pair `(u, v)`; returns `true` if it was present.
+    pub fn remove(&mut self, u: PatternNodeId, v: NodeId) -> bool {
+        let list = &mut self.per_node[u.index()];
+        match list.binary_search(&v) {
+            Ok(pos) => {
+                list.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The sorted matches of pattern node `u`.
+    pub fn matches(&self, u: PatternNodeId) -> &[NodeId] {
+        &self.per_node[u.index()]
+    }
+
+    /// True if `(u, v)` is in the relation.
+    pub fn contains(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.per_node[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Total number of pairs `|S|`.
+    pub fn pair_count(&self) -> usize {
+        self.per_node.iter().map(Vec::len).sum()
+    }
+
+    /// True if the relation contains no pair at all.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.iter().all(Vec::is_empty)
+    }
+
+    /// True if *every* pattern node has at least one match — the condition for
+    /// `P ⊴ G` (a nonempty match must be total on the pattern nodes).
+    pub fn is_total(&self) -> bool {
+        !self.per_node.is_empty() && self.per_node.iter().all(|l| !l.is_empty())
+    }
+
+    /// Iterates over all `(pattern node, data node)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (PatternNodeId, NodeId)> + '_ {
+        self.per_node.iter().enumerate().flat_map(|(u, vs)| {
+            let u = PatternNodeId::from_index(u);
+            vs.iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Clears all pairs, turning this into the empty match.
+    pub fn clear(&mut self) {
+        for list in &mut self.per_node {
+            list.clear();
+        }
+    }
+
+    /// True if `self ⊆ other` (pairwise containment).
+    pub fn is_subset_of(&self, other: &MatchRelation) -> bool {
+        if self.per_node.len() != other.per_node.len() {
+            return false;
+        }
+        self.pairs().all(|(u, v)| other.contains(u, v))
+    }
+
+    /// The union of two relations over the same pattern.
+    pub fn union(&self, other: &MatchRelation) -> MatchRelation {
+        assert_eq!(self.per_node.len(), other.per_node.len(), "pattern size mismatch");
+        let mut result = self.clone();
+        for (u, v) in other.pairs() {
+            result.add(u, v);
+        }
+        result
+    }
+
+    /// Pairs present in `self` but not in `other`.
+    pub fn difference(&self, other: &MatchRelation) -> Vec<(PatternNodeId, NodeId)> {
+        self.pairs().filter(|&(u, v)| !other.contains(u, v)).collect()
+    }
+
+    /// The set of data nodes that match at least one pattern node (the node
+    /// set `V_r` of the result graph).
+    pub fn matched_data_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.per_node.iter().flatten().copied().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+impl fmt::Display for MatchRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        writeln!(f, "{{")?;
+        for (u, vs) in self.per_node.iter().enumerate() {
+            if vs.is_empty() {
+                continue;
+            }
+            let rendered: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  u{u} -> [{}]", rendered.join(", "))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MatchRelation {
+        let mut rel = MatchRelation::empty(3);
+        rel.add(PatternNodeId(0), NodeId(5));
+        rel.add(PatternNodeId(0), NodeId(2));
+        rel.add(PatternNodeId(1), NodeId(7));
+        rel.add(PatternNodeId(2), NodeId(1));
+        rel
+    }
+
+    #[test]
+    fn add_contains_remove() {
+        let mut rel = sample();
+        assert!(rel.contains(PatternNodeId(0), NodeId(5)));
+        assert!(!rel.contains(PatternNodeId(1), NodeId(5)));
+        assert_eq!(rel.matches(PatternNodeId(0)), &[NodeId(2), NodeId(5)], "matches stay sorted");
+        assert_eq!(rel.pair_count(), 4);
+        assert!(rel.remove(PatternNodeId(0), NodeId(5)));
+        assert!(!rel.remove(PatternNodeId(0), NodeId(5)));
+        assert_eq!(rel.pair_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_adds_are_ignored() {
+        let mut rel = MatchRelation::empty(1);
+        rel.add(PatternNodeId(0), NodeId(1));
+        rel.add(PatternNodeId(0), NodeId(1));
+        assert_eq!(rel.pair_count(), 1);
+    }
+
+    #[test]
+    fn totality_and_emptiness() {
+        let mut rel = MatchRelation::empty(2);
+        assert!(rel.is_empty());
+        assert!(!rel.is_total());
+        rel.add(PatternNodeId(0), NodeId(0));
+        assert!(!rel.is_empty());
+        assert!(!rel.is_total(), "one pattern node still unmatched");
+        rel.add(PatternNodeId(1), NodeId(3));
+        assert!(rel.is_total());
+        rel.clear();
+        assert!(rel.is_empty());
+        assert!(MatchRelation::empty(0).is_empty());
+        assert!(!MatchRelation::empty(0).is_total(), "empty pattern has no total match");
+    }
+
+    #[test]
+    fn union_subset_difference() {
+        let a = sample();
+        let mut b = MatchRelation::empty(3);
+        b.add(PatternNodeId(0), NodeId(2));
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        let u = a.union(&b);
+        assert_eq!(u, a);
+        let diff = a.difference(&b);
+        assert_eq!(diff.len(), 3);
+        assert!(diff.contains(&(PatternNodeId(0), NodeId(5))));
+        assert!(!b.is_subset_of(&MatchRelation::empty(1)), "different pattern sizes are incomparable");
+    }
+
+    #[test]
+    fn pairs_and_matched_nodes() {
+        let rel = sample();
+        let pairs: Vec<(PatternNodeId, NodeId)> = rel.pairs().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(rel.matched_data_nodes(), vec![NodeId(1), NodeId(2), NodeId(5), NodeId(7)]);
+    }
+
+    #[test]
+    fn from_lists_normalises() {
+        let rel = MatchRelation::from_lists(vec![vec![NodeId(3), NodeId(1), NodeId(3)], vec![]]);
+        assert_eq!(rel.matches(PatternNodeId(0)), &[NodeId(1), NodeId(3)]);
+        assert!(rel.matches(PatternNodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn display_renders_nonempty_lines() {
+        let rel = sample();
+        let text = rel.to_string();
+        assert!(text.contains("u0 -> [n2, n5]"));
+        assert_eq!(MatchRelation::empty(2).to_string(), "∅");
+    }
+}

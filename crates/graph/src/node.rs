@@ -1,0 +1,75 @@
+//! Node identifiers for data graphs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`DataGraph`](crate::DataGraph).
+///
+/// Node identifiers are dense `u32` indices assigned in insertion order, which
+/// lets adjacency and per-node auxiliary structures be stored in flat vectors
+/// (the paper's complexity analysis assumes O(1) node lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u32::MAX`, i.e. graphs are limited to
+    /// roughly 4.2 billion nodes (far beyond anything exercised here).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index out of range");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let id = NodeId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id, NodeId(17));
+        assert_eq!(u32::from(id), 17);
+        assert_eq!(NodeId::from(17u32), id);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(10) > NodeId(2));
+    }
+}

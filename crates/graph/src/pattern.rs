@@ -1,0 +1,415 @@
+//! Pattern graphs (b-patterns) `P = (V_p, E_p, f_V, f_E)`.
+//!
+//! A b-pattern node carries a [`Predicate`] (its search condition `f_V(u)`);
+//! a b-pattern edge carries an [`EdgeBound`]: either a positive integer `k`
+//! (the pattern edge must map to a path of length at most `k` in the data
+//! graph) or `*` (a path of arbitrary positive length). A *normal pattern* is
+//! one whose edges are all bounded by 1 — the setting of traditional graph
+//! simulation and subgraph isomorphism (Section 2.1).
+
+use crate::predicate::Predicate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a pattern node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PatternNodeId(pub u32);
+
+impl PatternNodeId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PatternNodeId` from a `usize` index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        PatternNodeId(index as u32)
+    }
+}
+
+impl fmt::Display for PatternNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The bound `f_E(u, u')` carried by a pattern edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeBound {
+    /// The edge maps to a path of length at most `k` (k >= 1).
+    Hops(u32),
+    /// The edge maps to a nonempty path of arbitrary length (`*`).
+    Unbounded,
+}
+
+impl EdgeBound {
+    /// Bound of a normal-pattern edge (edge-to-edge mapping).
+    pub const ONE: EdgeBound = EdgeBound::Hops(1);
+
+    /// Returns `true` if a path of length `len` satisfies this bound.
+    ///
+    /// Paths must be nonempty (`len >= 1`), matching the definition of
+    /// bounded simulation (Section 2.2: "a *nonempty* path").
+    #[inline]
+    pub fn admits(self, len: u32) -> bool {
+        if len == 0 {
+            return false;
+        }
+        match self {
+            EdgeBound::Hops(k) => len <= k,
+            EdgeBound::Unbounded => true,
+        }
+    }
+
+    /// The finite bound, if any.
+    #[inline]
+    pub fn finite(self) -> Option<u32> {
+        match self {
+            EdgeBound::Hops(k) => Some(k),
+            EdgeBound::Unbounded => None,
+        }
+    }
+
+    /// True for the bound 1 used by normal patterns.
+    #[inline]
+    pub fn is_unit(self) -> bool {
+        self == EdgeBound::ONE
+    }
+}
+
+impl fmt::Display for EdgeBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeBound::Hops(k) => write!(f, "{k}"),
+            EdgeBound::Unbounded => write!(f, "*"),
+        }
+    }
+}
+
+impl From<u32> for EdgeBound {
+    fn from(k: u32) -> Self {
+        assert!(k >= 1, "edge bounds must be positive");
+        EdgeBound::Hops(k)
+    }
+}
+
+/// A directed pattern edge `(u, u')` with its bound `f_E(u, u')`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatternEdge {
+    /// Source pattern node `u`.
+    pub from: PatternNodeId,
+    /// Target pattern node `u'`.
+    pub to: PatternNodeId,
+    /// Bound on the length of the data-graph path the edge maps to.
+    pub bound: EdgeBound,
+}
+
+/// A b-pattern.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    predicates: Vec<Predicate>,
+    edges: Vec<PatternEdge>,
+    out: Vec<Vec<(PatternNodeId, EdgeBound)>>,
+    inc: Vec<Vec<(PatternNodeId, EdgeBound)>>,
+}
+
+impl Pattern {
+    /// Creates an empty pattern.
+    pub fn new() -> Self {
+        Pattern::default()
+    }
+
+    /// Adds a pattern node carrying `predicate` and returns its identifier.
+    pub fn add_node(&mut self, predicate: Predicate) -> PatternNodeId {
+        let id = PatternNodeId::from_index(self.predicates.len());
+        self.predicates.push(predicate);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Adds a pattern node whose predicate is a label-equality test.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>) -> PatternNodeId {
+        self.add_node(Predicate::label(label))
+    }
+
+    /// Adds a pattern edge `(from, to)` with `bound`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is unknown or if the edge already exists
+    /// (patterns are simple graphs).
+    pub fn add_edge(&mut self, from: PatternNodeId, to: PatternNodeId, bound: EdgeBound) {
+        assert!(from.index() < self.predicates.len(), "pattern edge source out of bounds");
+        assert!(to.index() < self.predicates.len(), "pattern edge target out of bounds");
+        assert!(
+            !self.out[from.index()].iter().any(|&(t, _)| t == to),
+            "duplicate pattern edge ({from}, {to})"
+        );
+        self.edges.push(PatternEdge { from, to, bound });
+        self.out[from.index()].push((to, bound));
+        self.inc[to.index()].push((from, bound));
+    }
+
+    /// Adds a normal (bound 1) pattern edge.
+    pub fn add_normal_edge(&mut self, from: PatternNodeId, to: PatternNodeId) {
+        self.add_edge(from, to, EdgeBound::ONE);
+    }
+
+    /// Number of pattern nodes `|V_p|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Number of pattern edges `|E_p|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pattern size `|P| = |V_p| + |E_p|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// The predicate `f_V(u)` of a pattern node.
+    #[inline]
+    pub fn predicate(&self, node: PatternNodeId) -> &Predicate {
+        &self.predicates[node.index()]
+    }
+
+    /// Iterates over pattern node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = PatternNodeId> + '_ {
+        (0..self.predicates.len()).map(PatternNodeId::from_index)
+    }
+
+    /// All pattern edges.
+    #[inline]
+    pub fn edges(&self) -> &[PatternEdge] {
+        &self.edges
+    }
+
+    /// Children of a pattern node with the bounds of the connecting edges.
+    #[inline]
+    pub fn children(&self, node: PatternNodeId) -> &[(PatternNodeId, EdgeBound)] {
+        &self.out[node.index()]
+    }
+
+    /// Parents of a pattern node with the bounds of the connecting edges.
+    #[inline]
+    pub fn parents(&self, node: PatternNodeId) -> &[(PatternNodeId, EdgeBound)] {
+        &self.inc[node.index()]
+    }
+
+    /// Out-degree of a pattern node.
+    #[inline]
+    pub fn out_degree(&self, node: PatternNodeId) -> usize {
+        self.out[node.index()].len()
+    }
+
+    /// In-degree of a pattern node.
+    #[inline]
+    pub fn in_degree(&self, node: PatternNodeId) -> usize {
+        self.inc[node.index()].len()
+    }
+
+    /// The bound of edge `(from, to)`, if that pattern edge exists.
+    pub fn edge_bound(&self, from: PatternNodeId, to: PatternNodeId) -> Option<EdgeBound> {
+        self.out[from.index()]
+            .iter()
+            .find(|&&(t, _)| t == to)
+            .map(|&(_, b)| b)
+    }
+
+    /// True if every edge bound is 1, i.e. the pattern is a *normal pattern*
+    /// usable with graph simulation and subgraph isomorphism.
+    pub fn is_normal(&self) -> bool {
+        self.edges.iter().all(|e| e.bound.is_unit())
+    }
+
+    /// True if the pattern has no directed cycle.
+    ///
+    /// DAG patterns admit the optimal `IncMatch+dag` insertion algorithm
+    /// (Theorem 5.1(2b)) and are required by the `IncBMatchm` baseline.
+    pub fn is_dag(&self) -> bool {
+        // Kahn's algorithm on the pattern.
+        let n = self.node_count();
+        let mut indegree: Vec<usize> = (0..n).map(|i| self.inc[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &(child, _) in &self.out[u] {
+                let d = &mut indegree[child.index()];
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(child.index());
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// The largest finite bound `k_m` appearing on any edge (Section 6.3/6.4);
+    /// `1` for patterns without finite bounds so that neighbourhood searches
+    /// remain well-defined.
+    pub fn max_finite_bound(&self) -> u32 {
+        self.edges
+            .iter()
+            .filter_map(|e| e.bound.finite())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Returns a copy of this pattern with every edge bound replaced by 1.
+    ///
+    /// Used when a bounded pattern needs to be evaluated under plain graph
+    /// simulation over a result graph (Proposition 6.1 treats `P` "as a
+    /// normal pattern").
+    pub fn as_normal(&self) -> Pattern {
+        let mut normal = Pattern::new();
+        for node in self.nodes() {
+            normal.add_node(self.predicate(node).clone());
+        }
+        for edge in &self.edges {
+            normal.add_edge(edge.from, edge.to, EdgeBound::ONE);
+        }
+        normal
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pattern with {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        for node in self.nodes() {
+            writeln!(f, "  {node}: {}", self.predicate(node))?;
+        }
+        for edge in &self.edges {
+            writeln!(f, "  {} -[{}]-> {}", edge.from, edge.bound, edge.to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The drug-trafficking pattern P0 of Fig. 1: B -> AM (3) -> FW, AM -> B,
+    /// B -> S (1) -> FW, FW -> AM.
+    fn drug_ring_pattern() -> Pattern {
+        let mut p = Pattern::new();
+        let b = p.add_labeled_node("B");
+        let am = p.add_labeled_node("AM");
+        let s = p.add_labeled_node("S");
+        let fw = p.add_labeled_node("FW");
+        p.add_edge(b, am, EdgeBound::ONE);
+        p.add_edge(am, b, EdgeBound::ONE);
+        p.add_edge(b, s, EdgeBound::ONE);
+        p.add_edge(s, fw, EdgeBound::Hops(1));
+        p.add_edge(am, fw, EdgeBound::Hops(3));
+        p.add_edge(fw, am, EdgeBound::Hops(3));
+        p
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let p = drug_ring_pattern();
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 6);
+        assert_eq!(p.size(), 10);
+        let b = PatternNodeId(0);
+        let am = PatternNodeId(1);
+        assert_eq!(p.out_degree(b), 2);
+        assert_eq!(p.in_degree(b), 1);
+        assert_eq!(p.edge_bound(am, PatternNodeId(3)), Some(EdgeBound::Hops(3)));
+        assert_eq!(p.edge_bound(PatternNodeId(3), b), None);
+        assert_eq!(p.predicate(am).as_label(), Some("AM"));
+    }
+
+    #[test]
+    fn normal_and_dag_detection() {
+        let p = drug_ring_pattern();
+        assert!(!p.is_normal(), "P0 has a 3-hop edge");
+        assert!(!p.is_dag(), "P0 has the B <-> AM cycle");
+
+        let mut tree = Pattern::new();
+        let a = tree.add_labeled_node("a");
+        let b = tree.add_labeled_node("b");
+        let c = tree.add_labeled_node("c");
+        tree.add_normal_edge(a, b);
+        tree.add_normal_edge(a, c);
+        assert!(tree.is_normal());
+        assert!(tree.is_dag());
+    }
+
+    #[test]
+    fn edge_bound_admits_paths() {
+        assert!(!EdgeBound::Hops(3).admits(0), "paths must be nonempty");
+        assert!(EdgeBound::Hops(3).admits(1));
+        assert!(EdgeBound::Hops(3).admits(3));
+        assert!(!EdgeBound::Hops(3).admits(4));
+        assert!(EdgeBound::Unbounded.admits(1_000_000));
+        assert!(!EdgeBound::Unbounded.admits(0));
+        assert_eq!(EdgeBound::Hops(5).finite(), Some(5));
+        assert_eq!(EdgeBound::Unbounded.finite(), None);
+        assert!(EdgeBound::ONE.is_unit());
+        assert_eq!(EdgeBound::from(4), EdgeBound::Hops(4));
+    }
+
+    #[test]
+    fn max_finite_bound_and_as_normal() {
+        let p = drug_ring_pattern();
+        assert_eq!(p.max_finite_bound(), 3);
+        let normal = p.as_normal();
+        assert!(normal.is_normal());
+        assert_eq!(normal.node_count(), p.node_count());
+        assert_eq!(normal.edge_count(), p.edge_count());
+
+        let mut unbounded_only = Pattern::new();
+        let a = unbounded_only.add_labeled_node("a");
+        let b = unbounded_only.add_labeled_node("b");
+        unbounded_only.add_edge(a, b, EdgeBound::Unbounded);
+        assert_eq!(unbounded_only.max_finite_bound(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pattern edge")]
+    fn duplicate_edges_rejected() {
+        let mut p = Pattern::new();
+        let a = p.add_labeled_node("a");
+        let b = p.add_labeled_node("b");
+        p.add_normal_edge(a, b);
+        p.add_normal_edge(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bound_rejected() {
+        let _ = EdgeBound::from(0);
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let p = drug_ring_pattern();
+        let text = p.to_string();
+        assert!(text.contains("4 nodes"));
+        assert!(text.contains("-[3]->"));
+        assert!(text.contains(r#"label = "AM""#));
+    }
+
+    #[test]
+    fn single_cycle_pattern_is_not_dag() {
+        let mut p = Pattern::new();
+        let v = p.add_labeled_node("a");
+        let w = p.add_labeled_node("a");
+        p.add_normal_edge(v, w);
+        p.add_normal_edge(w, v);
+        assert!(!p.is_dag());
+    }
+}

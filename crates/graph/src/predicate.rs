@@ -1,0 +1,199 @@
+//! Pattern-node predicates: conjunctions of atomic formulas `A op a`.
+//!
+//! A b-pattern node `u` carries a predicate `f_V(u)` that a data node `v`
+//! must satisfy (`v ~ u`, Section 2.1): for each atom `A op a` of `f_V(u)`
+//! the data node must carry an attribute `A` with `v.A op a`.
+
+use crate::attr::{AttrValue, Attributes, CompareOp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single atomic formula `A op a`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Attribute name `A`.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Constant `a`.
+    pub value: AttrValue,
+}
+
+impl Atom {
+    /// Creates a new atom.
+    pub fn new(attr: impl Into<String>, op: CompareOp, value: impl Into<AttrValue>) -> Self {
+        Atom { attr: attr.into(), op, value: value.into() }
+    }
+
+    /// Evaluates the atom against a node's attribute tuple.
+    pub fn satisfied_by(&self, attrs: &Attributes) -> bool {
+        match attrs.get(&self.attr) {
+            Some(actual) => self.op.eval(actual, &self.value),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// A predicate `f_V(u)`: a conjunction of [`Atom`]s.
+///
+/// The empty conjunction is satisfied by every node (a wildcard pattern node).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    atoms: Vec<Atom>,
+}
+
+impl Predicate {
+    /// The always-true predicate (empty conjunction).
+    pub fn any() -> Self {
+        Predicate { atoms: Vec::new() }
+    }
+
+    /// A label-equality predicate `label = l`, the form used by normal
+    /// patterns (graph simulation / subgraph isomorphism, Section 2.2 remark 2).
+    pub fn label(label: impl Into<String>) -> Self {
+        Predicate::any().and("label", CompareOp::Eq, AttrValue::Str(label.into()))
+    }
+
+    /// Adds an atom to the conjunction (builder style).
+    pub fn and(mut self, attr: impl Into<String>, op: CompareOp, value: impl Into<AttrValue>) -> Self {
+        self.atoms.push(Atom::new(attr, op, value));
+        self
+    }
+
+    /// Convenience: adds an equality atom.
+    pub fn and_eq(self, attr: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.and(attr, CompareOp::Eq, value)
+    }
+
+    /// Adds an already-built atom.
+    pub fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms (the `|pred|` parameter of the pattern generator).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if this is the wildcard predicate.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluates `v ~ u`: does the attribute tuple satisfy every atom?
+    pub fn satisfied_by(&self, attrs: &Attributes) -> bool {
+        self.atoms.iter().all(|atom| atom.satisfied_by(attrs))
+    }
+
+    /// If the predicate is exactly a label-equality test, returns the label.
+    ///
+    /// Used by algorithms that special-case normal patterns (e.g. VF2 and the
+    /// HORNSAT baseline index candidate sets by label).
+    pub fn as_label(&self) -> Option<&str> {
+        if self.atoms.len() != 1 {
+            return None;
+        }
+        let atom = &self.atoms[0];
+        if atom.attr == "label" && atom.op == CompareOp::Eq {
+            if let AttrValue::Str(label) = &atom.value {
+                return Some(label.as_str());
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Atom> for Predicate {
+    fn from(atom: Atom) -> Self {
+        Predicate { atoms: vec![atom] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cto_aged(age: i64) -> Attributes {
+        Attributes::new().with("job", "CTO").with("age", age)
+    }
+
+    #[test]
+    fn empty_predicate_matches_everything() {
+        assert!(Predicate::any().satisfied_by(&Attributes::new()));
+        assert!(Predicate::any().satisfied_by(&cto_aged(10)));
+    }
+
+    #[test]
+    fn conjunction_requires_all_atoms() {
+        let pred = Predicate::any()
+            .and_eq("job", "CTO")
+            .and("age", CompareOp::Lt, 50);
+        assert!(pred.satisfied_by(&cto_aged(41)));
+        assert!(!pred.satisfied_by(&cto_aged(55)));
+        assert!(!pred.satisfied_by(&Attributes::new().with("job", "DB").with("age", 41)));
+    }
+
+    #[test]
+    fn missing_attribute_fails() {
+        let pred = Predicate::any().and_eq("hobby", "golf");
+        assert!(!pred.satisfied_by(&cto_aged(41)));
+    }
+
+    #[test]
+    fn label_predicate_round_trip() {
+        let pred = Predicate::label("AM");
+        assert!(pred.satisfied_by(&Attributes::labeled("AM")));
+        assert!(!pred.satisfied_by(&Attributes::labeled("FW")));
+        assert_eq!(pred.as_label(), Some("AM"));
+        assert_eq!(Predicate::any().as_label(), None);
+        assert_eq!(Predicate::any().and("label", CompareOp::Ne, "AM").as_label(), None);
+        assert_eq!(
+            Predicate::label("AM").and_eq("age", 3).as_label(),
+            None,
+            "multi-atom predicates are not pure label tests"
+        );
+    }
+
+    #[test]
+    fn atom_display_and_predicate_display() {
+        let atom = Atom::new("rating", CompareOp::Gt, 3);
+        assert_eq!(atom.to_string(), "rating > 3");
+        let pred = Predicate::any().and_eq("category", "Music").and("rating", CompareOp::Gt, 3);
+        assert_eq!(pred.to_string(), r#"category = "Music" ∧ rating > 3"#);
+        assert_eq!(Predicate::any().to_string(), "true");
+    }
+
+    #[test]
+    fn predicate_from_atom() {
+        let pred: Predicate = Atom::new("year", CompareOp::Ge, 2005).into();
+        assert_eq!(pred.len(), 1);
+        assert!(pred.satisfied_by(&Attributes::new().with("year", 2010)));
+        assert!(!pred.satisfied_by(&Attributes::new().with("year", 1999)));
+    }
+}

@@ -1,0 +1,388 @@
+//! Result graphs `G_r` and match deltas `ΔM`.
+//!
+//! The result graph of a pattern `P` in a data graph `G` (Section 4) is a
+//! graph representation of the match `M(P, G)`: its nodes are the data nodes
+//! matched by some pattern node, and there is an edge `(v1, v2)` whenever some
+//! pattern edge `(u1, u2)` is mapped to a path from `v1` to `v2` satisfying
+//! its bound. Changes to the match result (`ΔM`) are measured as the nodes and
+//! edges not shared by the old and new result graphs, which is exactly what
+//! [`ResultGraph::diff`] computes.
+//!
+//! Each result-graph edge records *which* pattern edges it supports; the
+//! incremental algorithms need this to classify `ss`/`cs`/`cc` edges per
+//! pattern edge (Tables II and III of the paper).
+
+use crate::hash::{FastHashMap, FastHashSet};
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a pattern edge inside `Pattern::edges()`.
+pub type PatternEdgeIdx = u32;
+
+/// Graph representation of a match relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultGraph {
+    nodes: FastHashSet<NodeId>,
+    /// `(v1, v2)` -> sorted list of pattern edges mapped onto the pair.
+    edges: FastHashMap<(NodeId, NodeId), Vec<PatternEdgeIdx>>,
+    out: FastHashMap<NodeId, Vec<NodeId>>,
+    inc: FastHashMap<NodeId, Vec<NodeId>>,
+}
+
+impl ResultGraph {
+    /// Creates an empty result graph.
+    pub fn new() -> Self {
+        ResultGraph::default()
+    }
+
+    /// Adds a matched data node (idempotent).
+    pub fn add_node(&mut self, v: NodeId) {
+        self.nodes.insert(v);
+    }
+
+    /// True if `v` is a node of the result graph.
+    pub fn contains_node(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Adds support of pattern edge `pe` to the result edge `(v1, v2)`,
+    /// inserting the edge (and its endpoints) if needed. Returns `true` if the
+    /// edge `(v1, v2)` was newly created.
+    pub fn add_edge(&mut self, v1: NodeId, v2: NodeId, pe: PatternEdgeIdx) -> bool {
+        self.add_node(v1);
+        self.add_node(v2);
+        let entry = self.edges.entry((v1, v2)).or_default();
+        let created = entry.is_empty();
+        if let Err(pos) = entry.binary_search(&pe) {
+            entry.insert(pos, pe);
+        }
+        if created {
+            self.out.entry(v1).or_default().push(v2);
+            self.inc.entry(v2).or_default().push(v1);
+        }
+        created
+    }
+
+    /// Removes support of pattern edge `pe` from `(v1, v2)`. If no supporting
+    /// pattern edge remains, the result edge is removed entirely. Returns
+    /// `true` if the result edge disappeared.
+    pub fn remove_edge_support(&mut self, v1: NodeId, v2: NodeId, pe: PatternEdgeIdx) -> bool {
+        let Some(entry) = self.edges.get_mut(&(v1, v2)) else {
+            return false;
+        };
+        if let Ok(pos) = entry.binary_search(&pe) {
+            entry.remove(pos);
+        }
+        if entry.is_empty() {
+            self.edges.remove(&(v1, v2));
+            Self::detach(&mut self.out, v1, v2);
+            Self::detach(&mut self.inc, v2, v1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the edge `(v1, v2)` regardless of its remaining support.
+    /// Returns `true` if it existed.
+    pub fn remove_edge(&mut self, v1: NodeId, v2: NodeId) -> bool {
+        if self.edges.remove(&(v1, v2)).is_some() {
+            Self::detach(&mut self.out, v1, v2);
+            Self::detach(&mut self.inc, v2, v1);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn detach(map: &mut FastHashMap<NodeId, Vec<NodeId>>, key: NodeId, value: NodeId) {
+        if let Some(list) = map.get_mut(&key) {
+            if let Some(pos) = list.iter().position(|&x| x == value) {
+                list.swap_remove(pos);
+            }
+            if list.is_empty() {
+                map.remove(&key);
+            }
+        }
+    }
+
+    /// Removes a node together with all edges attached to it. Returns the
+    /// removed incident edges `(from, to)`.
+    pub fn remove_node(&mut self, v: NodeId) -> Vec<(NodeId, NodeId)> {
+        if !self.nodes.remove(&v) {
+            return Vec::new();
+        }
+        let mut removed = Vec::new();
+        for child in self.out.get(&v).cloned().unwrap_or_default() {
+            if self.remove_edge(v, child) {
+                removed.push((v, child));
+            }
+        }
+        for parent in self.inc.get(&v).cloned().unwrap_or_default() {
+            if self.remove_edge(parent, v) {
+                removed.push((parent, v));
+            }
+        }
+        removed
+    }
+
+    /// True if the result graph has the edge `(v1, v2)`.
+    pub fn has_edge(&self, v1: NodeId, v2: NodeId) -> bool {
+        self.edges.contains_key(&(v1, v2))
+    }
+
+    /// The pattern edges supported by `(v1, v2)` (empty if the edge is absent).
+    pub fn edge_support(&self, v1: NodeId, v2: NodeId) -> &[PatternEdgeIdx] {
+        self.edges.get(&(v1, v2)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Children of `v` in the result graph.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.out.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parents of `v` in the result graph.
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        self.inc.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of nodes `|V_r|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|E_r|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the result graph is empty (the pattern has no match).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Iterates over the matched nodes (unordered).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Iterates over the result edges (unordered).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// The matched nodes in sorted order (deterministic output for tests,
+    /// examples and the experiment harness).
+    pub fn sorted_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.nodes.iter().copied().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The result edges in sorted order.
+    pub fn sorted_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut edges: Vec<(NodeId, NodeId)> = self.edges.keys().copied().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Clears the result graph.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
+        self.out.clear();
+        self.inc.clear();
+    }
+
+    /// Computes `ΔM`: the nodes and edges not shared by `self` (the old result
+    /// graph) and `new` (the updated result graph).
+    pub fn diff(&self, new: &ResultGraph) -> DeltaM {
+        let mut delta = DeltaM::default();
+        for v in new.nodes() {
+            if !self.contains_node(v) {
+                delta.added_nodes.push(v);
+            }
+        }
+        for v in self.nodes() {
+            if !new.contains_node(v) {
+                delta.removed_nodes.push(v);
+            }
+        }
+        for (a, b) in new.edges() {
+            if !self.has_edge(a, b) {
+                delta.added_edges.push((a, b));
+            }
+        }
+        for (a, b) in self.edges() {
+            if !new.has_edge(a, b) {
+                delta.removed_edges.push((a, b));
+            }
+        }
+        delta.normalise();
+        delta
+    }
+}
+
+impl fmt::Display for ResultGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "result graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        for (a, b) in self.sorted_edges() {
+            writeln!(f, "  {a} -> {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The change `ΔM` to a match result, expressed over result graphs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaM {
+    /// Data nodes that became matches.
+    pub added_nodes: Vec<NodeId>,
+    /// Data nodes that are no longer matches.
+    pub removed_nodes: Vec<NodeId>,
+    /// Result-graph edges that appeared.
+    pub added_edges: Vec<(NodeId, NodeId)>,
+    /// Result-graph edges that disappeared.
+    pub removed_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DeltaM {
+    /// `|ΔM|`: total number of changed nodes and edges.
+    pub fn size(&self) -> usize {
+        self.added_nodes.len()
+            + self.removed_nodes.len()
+            + self.added_edges.len()
+            + self.removed_edges.len()
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    fn normalise(&mut self) {
+        self.added_nodes.sort_unstable();
+        self.removed_nodes.sort_unstable();
+        self.added_edges.sort_unstable();
+        self.removed_edges.sort_unstable();
+    }
+}
+
+impl fmt::Display for DeltaM {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ΔM: +{} nodes, -{} nodes, +{} edges, -{} edges",
+            self.added_nodes.len(),
+            self.removed_nodes.len(),
+            self.added_edges.len(),
+            self.removed_edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn add_and_remove_edges_with_support() {
+        let mut gr = ResultGraph::new();
+        assert!(gr.add_edge(n(1), n(2), 0));
+        assert!(!gr.add_edge(n(1), n(2), 1), "second pattern edge reuses the result edge");
+        assert_eq!(gr.edge_support(n(1), n(2)), &[0, 1]);
+        assert_eq!(gr.node_count(), 2);
+        assert_eq!(gr.edge_count(), 1);
+        assert_eq!(gr.children(n(1)), &[n(2)]);
+        assert_eq!(gr.parents(n(2)), &[n(1)]);
+
+        assert!(!gr.remove_edge_support(n(1), n(2), 0), "edge still supported by pattern edge 1");
+        assert!(gr.has_edge(n(1), n(2)));
+        assert!(gr.remove_edge_support(n(1), n(2), 1), "last support removed");
+        assert!(!gr.has_edge(n(1), n(2)));
+        assert!(gr.children(n(1)).is_empty());
+        assert_eq!(gr.node_count(), 2, "nodes persist until removed explicitly");
+    }
+
+    #[test]
+    fn remove_edge_support_on_missing_edge_is_noop() {
+        let mut gr = ResultGraph::new();
+        assert!(!gr.remove_edge_support(n(1), n(2), 0));
+        assert!(!gr.remove_edge(n(1), n(2)));
+    }
+
+    #[test]
+    fn remove_node_drops_incident_edges() {
+        let mut gr = ResultGraph::new();
+        gr.add_edge(n(1), n(2), 0);
+        gr.add_edge(n(2), n(3), 0);
+        gr.add_edge(n(3), n(1), 1);
+        let removed = gr.remove_node(n(2));
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&(n(1), n(2))));
+        assert!(removed.contains(&(n(2), n(3))));
+        assert!(!gr.contains_node(n(2)));
+        assert_eq!(gr.edge_count(), 1);
+        assert!(gr.has_edge(n(3), n(1)));
+        assert!(gr.remove_node(n(3)).contains(&(n(3), n(1))));
+        assert!(gr.remove_node(n(99)).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_symmetric_difference() {
+        let mut old = ResultGraph::new();
+        old.add_edge(n(1), n(2), 0);
+        old.add_node(n(9));
+
+        let mut new = ResultGraph::new();
+        new.add_edge(n(1), n(2), 0);
+        new.add_edge(n(2), n(3), 0);
+
+        let delta = old.diff(&new);
+        assert_eq!(delta.added_nodes, vec![n(3)]);
+        assert_eq!(delta.removed_nodes, vec![n(9)]);
+        assert_eq!(delta.added_edges, vec![(n(2), n(3))]);
+        assert!(delta.removed_edges.is_empty());
+        assert_eq!(delta.size(), 3);
+        assert!(!delta.is_empty());
+
+        let self_delta = new.diff(&new);
+        assert!(self_delta.is_empty());
+        assert_eq!(self_delta.size(), 0);
+    }
+
+    #[test]
+    fn sorted_accessors_are_deterministic() {
+        let mut gr = ResultGraph::new();
+        gr.add_edge(n(5), n(1), 0);
+        gr.add_edge(n(2), n(7), 1);
+        assert_eq!(gr.sorted_nodes(), vec![n(1), n(2), n(5), n(7)]);
+        assert_eq!(gr.sorted_edges(), vec![(n(2), n(7)), (n(5), n(1))]);
+        let text = gr.to_string();
+        assert!(text.contains("2 nodes") || text.contains("4 nodes"));
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut gr = ResultGraph::new();
+        gr.add_edge(n(1), n(2), 0);
+        gr.clear();
+        assert!(gr.is_empty());
+        assert_eq!(gr.node_count(), 0);
+        assert_eq!(gr.edge_count(), 0);
+    }
+
+    #[test]
+    fn delta_display_counts() {
+        let mut old = ResultGraph::new();
+        old.add_edge(n(1), n(2), 0);
+        let new = ResultGraph::new();
+        let delta = old.diff(&new);
+        assert_eq!(delta.to_string(), "ΔM: +0 nodes, -2 nodes, +0 edges, -1 edges");
+    }
+}

@@ -1,0 +1,363 @@
+//! Strongly connected components and condensation graphs.
+//!
+//! The incremental simulation algorithm for general (possibly cyclic)
+//! patterns processes candidate–candidate edges per strongly connected
+//! component of the pattern (`propCC`, Fig. 9), and `minDelta` orders updates
+//! by topological ranks computed over a condensation graph (Section 5.2).
+//! This module provides an iterative Tarjan SCC implementation that works on
+//! any adjacency structure, plus wrappers for [`DataGraph`] and [`Pattern`].
+
+use crate::graph::DataGraph;
+use crate::pattern::Pattern;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SccId(pub u32);
+
+impl SccId {
+    /// Returns the identifier as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The strongly connected components of a directed graph over nodes
+/// `0..n`, together with its condensation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StronglyConnectedComponents {
+    component_of: Vec<SccId>,
+    members: Vec<Vec<usize>>,
+    has_self_loop: Vec<bool>,
+}
+
+impl StronglyConnectedComponents {
+    /// Computes SCCs of the graph with `n` nodes and adjacency `adj`
+    /// (`adj[v]` lists the successors of node `v`).
+    ///
+    /// Components are numbered in *reverse topological order of discovery*
+    /// (Tarjan's invariant): if there is an edge from component `a` to
+    /// component `b` with `a != b`, then `a.0 > b.0`.
+    pub fn compute(n: usize, adj: &[Vec<usize>]) -> Self {
+        assert_eq!(adj.len(), n);
+        const UNVISITED: u32 = u32::MAX;
+
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut component_of = vec![SccId(0); n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0u32;
+
+        // Iterative Tarjan: (node, next-child-position) call frames.
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != UNVISITED {
+                continue;
+            }
+            call_stack.push((start, 0));
+            while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+                if *child_pos == 0 {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let mut recursed = false;
+                while *child_pos < adj[v].len() {
+                    let w = adj[v][*child_pos];
+                    *child_pos += 1;
+                    if index[w] == UNVISITED {
+                        call_stack.push((w, 0));
+                        recursed = true;
+                        break;
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                }
+                if recursed {
+                    continue;
+                }
+                // v is finished.
+                if lowlink[v] == index[v] {
+                    let comp_id = SccId(members.len() as u32);
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        component_of[w] = comp_id;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    members.push(component);
+                }
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+
+        let mut has_self_loop = vec![false; members.len()];
+        for (v, targets) in adj.iter().enumerate() {
+            if targets.contains(&v) {
+                has_self_loop[component_of[v].index()] = true;
+            }
+        }
+
+        StronglyConnectedComponents { component_of, members, has_self_loop }
+    }
+
+    /// Computes the SCCs of a data graph.
+    pub fn of_graph(graph: &DataGraph) -> Self {
+        let adj: Vec<Vec<usize>> = graph
+            .nodes()
+            .map(|v| graph.children(v).iter().map(|c| c.index()).collect())
+            .collect();
+        Self::compute(graph.node_count(), &adj)
+    }
+
+    /// Computes the SCCs of a pattern graph.
+    pub fn of_pattern(pattern: &Pattern) -> Self {
+        let adj: Vec<Vec<usize>> = pattern
+            .nodes()
+            .map(|u| pattern.children(u).iter().map(|&(c, _)| c.index()).collect())
+            .collect();
+        Self::compute(pattern.node_count(), &adj)
+    }
+
+    /// The component containing node `v`.
+    #[inline]
+    pub fn component_of(&self, v: usize) -> SccId {
+        self.component_of[v]
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The (sorted) member nodes of a component.
+    pub fn members(&self, id: SccId) -> &[usize] {
+        &self.members[id.index()]
+    }
+
+    /// True if the component is *nontrivial*: it contains at least two nodes,
+    /// or a single node with a self-loop (i.e. it contains a cycle).
+    pub fn is_nontrivial(&self, id: SccId) -> bool {
+        self.members[id.index()].len() > 1 || self.has_self_loop[id.index()]
+    }
+
+    /// Iterates over all component identifiers.
+    pub fn components(&self) -> impl Iterator<Item = SccId> + '_ {
+        (0..self.members.len() as u32).map(SccId)
+    }
+
+    /// Builds the condensation (SCC graph) given the original adjacency.
+    pub fn condensation(&self, adj: &[Vec<usize>]) -> CondensationGraph {
+        let k = self.component_count();
+        let mut edges: Vec<Vec<SccId>> = vec![Vec::new(); k];
+        for (v, targets) in adj.iter().enumerate() {
+            let cv = self.component_of[v];
+            for &w in targets {
+                let cw = self.component_of[w];
+                if cv != cw && !edges[cv.index()].contains(&cw) {
+                    edges[cv.index()].push(cw);
+                }
+            }
+        }
+        CondensationGraph { out: edges, nontrivial: (0..k as u32).map(|i| self.is_nontrivial(SccId(i))).collect() }
+    }
+}
+
+/// The condensation (SCC graph) of a directed graph: one node per component,
+/// edges between distinct components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CondensationGraph {
+    out: Vec<Vec<SccId>>,
+    nontrivial: Vec<bool>,
+}
+
+impl CondensationGraph {
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Successor components of `id`.
+    pub fn children(&self, id: SccId) -> &[SccId] {
+        &self.out[id.index()]
+    }
+
+    /// True if the component contains a cycle.
+    pub fn is_nontrivial(&self, id: SccId) -> bool {
+        self.nontrivial[id.index()]
+    }
+
+    /// Returns, for every component, whether it can *reach* (via zero or more
+    /// condensation edges) a nontrivial component. Used by the topological
+    /// rank computation of Section 5.2 (rank `∞`).
+    pub fn reaches_nontrivial(&self) -> Vec<bool> {
+        let k = self.component_count();
+        let mut reaches = self.nontrivial.clone();
+        // Components are numbered in reverse topological order (Tarjan), so a
+        // single ascending pass sees every successor before its predecessors.
+        for id in 0..k {
+            if reaches[id] {
+                continue;
+            }
+            if self.out[id].iter().any(|c| reaches[c.index()]) {
+                reaches[id] = true;
+            }
+        }
+        // The ascending pass relies on successor components having smaller
+        // ids; fall back to a fixpoint if that ever fails (defensive).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..k {
+                if !reaches[id] && self.out[id].iter().any(|c| reaches[c.index()]) {
+                    reaches[id] = true;
+                    changed = true;
+                }
+            }
+        }
+        reaches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attributes;
+    use crate::pattern::EdgeBound;
+
+    fn adj(edges: &[(usize, usize)], n: usize) -> Vec<Vec<usize>> {
+        let mut a = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            a[u].push(v);
+        }
+        a
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let a = adj(&[(0, 1), (1, 2), (2, 0)], 3);
+        let scc = StronglyConnectedComponents::compute(3, &a);
+        assert_eq!(scc.component_count(), 1);
+        assert!(scc.is_nontrivial(SccId(0)));
+        assert_eq!(scc.members(SccId(0)), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let a = adj(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let scc = StronglyConnectedComponents::compute(4, &a);
+        assert_eq!(scc.component_count(), 4);
+        for id in scc.components() {
+            assert!(!scc.is_nontrivial(id));
+            assert_eq!(scc.members(id).len(), 1);
+        }
+        // Tarjan numbering: edges go from higher to lower component ids.
+        for (u, targets) in a.iter().enumerate() {
+            for &v in targets {
+                assert!(scc.component_of(u).0 > scc.component_of(v).0);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_makes_component_nontrivial() {
+        let a = adj(&[(0, 0), (0, 1)], 2);
+        let scc = StronglyConnectedComponents::compute(2, &a);
+        assert_eq!(scc.component_count(), 2);
+        assert!(scc.is_nontrivial(scc.component_of(0)));
+        assert!(!scc.is_nontrivial(scc.component_of(1)));
+    }
+
+    #[test]
+    fn two_cycles_connected_by_bridge() {
+        // cycle {0,1}, bridge 1->2, cycle {2,3}
+        let a = adj(&[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)], 4);
+        let scc = StronglyConnectedComponents::compute(4, &a);
+        assert_eq!(scc.component_count(), 2);
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+        assert_ne!(scc.component_of(0), scc.component_of(2));
+
+        let cond = scc.condensation(&a);
+        assert_eq!(cond.component_count(), 2);
+        let top = scc.component_of(0);
+        let bottom = scc.component_of(2);
+        assert_eq!(cond.children(top), &[bottom]);
+        assert!(cond.children(bottom).is_empty());
+        assert!(cond.is_nontrivial(top));
+        let reach = cond.reaches_nontrivial();
+        assert!(reach[top.index()]);
+        assert!(reach[bottom.index()]);
+    }
+
+    #[test]
+    fn reaches_nontrivial_only_upstream_of_cycles() {
+        // 0 -> 1 -> 2 <-> 3, plus isolated 4 and 5 -> 4
+        let a = adj(&[(0, 1), (1, 2), (2, 3), (3, 2), (5, 4)], 6);
+        let scc = StronglyConnectedComponents::compute(6, &a);
+        let cond = scc.condensation(&a);
+        let reach = cond.reaches_nontrivial();
+        assert!(reach[scc.component_of(0).index()]);
+        assert!(reach[scc.component_of(1).index()]);
+        assert!(reach[scc.component_of(2).index()]);
+        assert!(!reach[scc.component_of(4).index()]);
+        assert!(!reach[scc.component_of(5).index()]);
+    }
+
+    #[test]
+    fn wrappers_for_graph_and_pattern() {
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::labeled("a"));
+        let b = g.add_node(Attributes::labeled("b"));
+        let c = g.add_node(Attributes::labeled("c"));
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(b, c);
+        let scc = StronglyConnectedComponents::of_graph(&g);
+        assert_eq!(scc.component_count(), 2);
+        assert_eq!(scc.component_of(a.index()), scc.component_of(b.index()));
+
+        let mut p = Pattern::new();
+        let u0 = p.add_labeled_node("x");
+        let u1 = p.add_labeled_node("y");
+        p.add_edge(u0, u1, EdgeBound::ONE);
+        p.add_edge(u1, u0, EdgeBound::ONE);
+        let pscc = StronglyConnectedComponents::of_pattern(&p);
+        assert_eq!(pscc.component_count(), 1);
+        assert!(pscc.is_nontrivial(SccId(0)));
+    }
+
+    #[test]
+    fn long_path_does_not_overflow_stack() {
+        // 100_000-node path exercises the iterative implementation.
+        let n = 100_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let a = adj(&edges, n);
+        let scc = StronglyConnectedComponents::compute(n, &a);
+        assert_eq!(scc.component_count(), n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let scc = StronglyConnectedComponents::compute(0, &[]);
+        assert_eq!(scc.component_count(), 0);
+        let cond = scc.condensation(&[]);
+        assert_eq!(cond.component_count(), 0);
+        assert!(cond.reaches_nontrivial().is_empty());
+    }
+}

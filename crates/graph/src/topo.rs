@@ -1,0 +1,271 @@
+//! Topological orders and topological (simulation) ranks.
+//!
+//! `minDelta` (Section 5.2) sorts updates by a *topological rank* defined over
+//! the condensation of the graph induced by matches and candidates:
+//!
+//! * `r(v) = 0` if `[v]` is a trivial (acyclic) leaf component,
+//! * `r(v) = ∞` if `[v]` reaches a nontrivial strongly connected component,
+//! * `r(v) = max { 1 + r(v') | ([v], [v']) an edge of the condensation }` otherwise.
+//!
+//! Lemma 5.1: if `(u, v)` is in the maximum simulation then `r(u) ≤ r(v)`.
+
+use crate::graph::DataGraph;
+use crate::pattern::Pattern;
+use crate::scc::StronglyConnectedComponents;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A topological rank: a natural number or `∞`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rank {
+    /// A finite rank.
+    Finite(u32),
+    /// The rank of nodes that reach a cycle.
+    Infinite,
+}
+
+impl Rank {
+    /// Rank zero (trivial leaf).
+    pub const ZERO: Rank = Rank::Finite(0);
+
+    /// `self + 1`, saturating at infinity.
+    pub fn succ(self) -> Rank {
+        match self {
+            Rank::Finite(k) => Rank::Finite(k + 1),
+            Rank::Infinite => Rank::Infinite,
+        }
+    }
+
+    /// True if the rank is `∞`.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Rank::Infinite)
+    }
+}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Rank::Infinite, Rank::Infinite) => Ordering::Equal,
+            (Rank::Infinite, Rank::Finite(_)) => Ordering::Greater,
+            (Rank::Finite(_), Rank::Infinite) => Ordering::Less,
+            (Rank::Finite(a), Rank::Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rank::Finite(k) => write!(f, "{k}"),
+            Rank::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Computes a topological order (Kahn's algorithm) of the graph with
+/// adjacency `adj`; returns `None` if the graph contains a cycle.
+pub fn topological_order(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut indegree = vec![0usize; n];
+    for targets in adj {
+        for &t in targets {
+            indegree[t] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &t in &adj[v] {
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Topological order of a data graph (`None` if cyclic).
+pub fn topological_order_of_graph(graph: &DataGraph) -> Option<Vec<usize>> {
+    let adj: Vec<Vec<usize>> = graph
+        .nodes()
+        .map(|v| graph.children(v).iter().map(|c| c.index()).collect())
+        .collect();
+    topological_order(&adj)
+}
+
+/// Computes the topological rank of every node of the graph with adjacency
+/// `adj`, following the definition of Section 5.2.
+pub fn topological_ranks(adj: &[Vec<usize>]) -> Vec<Rank> {
+    let n = adj.len();
+    let scc = StronglyConnectedComponents::compute(n, adj);
+    let cond = scc.condensation(adj);
+    let reaches_cycle = cond.reaches_nontrivial();
+
+    // Rank per component. Components are numbered in reverse topological
+    // order by Tarjan (children have smaller ids), so iterating ascending ids
+    // sees every successor before its predecessors.
+    let k = cond.component_count();
+    let mut comp_rank = vec![Rank::ZERO; k];
+    for id in 0..k {
+        if reaches_cycle[id] {
+            comp_rank[id] = Rank::Infinite;
+            continue;
+        }
+        let mut rank = Rank::ZERO;
+        for child in cond.children(crate::scc::SccId(id as u32)) {
+            rank = rank.max(comp_rank[child.index()].succ());
+        }
+        comp_rank[id] = rank;
+    }
+
+    (0..n).map(|v| comp_rank[scc.component_of(v).index()]).collect()
+}
+
+/// Topological ranks of the nodes of a data graph.
+pub fn topological_ranks_of_graph(graph: &DataGraph) -> Vec<Rank> {
+    let adj: Vec<Vec<usize>> = graph
+        .nodes()
+        .map(|v| graph.children(v).iter().map(|c| c.index()).collect())
+        .collect();
+    topological_ranks(&adj)
+}
+
+/// Topological ranks of the nodes of a pattern.
+pub fn topological_ranks_of_pattern(pattern: &Pattern) -> Vec<Rank> {
+    let adj: Vec<Vec<usize>> = pattern
+        .nodes()
+        .map(|u| pattern.children(u).iter().map(|&(c, _)| c.index()).collect())
+        .collect();
+    topological_ranks(&adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attributes;
+
+    fn adj(edges: &[(usize, usize)], n: usize) -> Vec<Vec<usize>> {
+        let mut a = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            a[u].push(v);
+        }
+        a
+    }
+
+    #[test]
+    fn rank_ordering_and_succ() {
+        assert!(Rank::Finite(3) < Rank::Infinite);
+        assert!(Rank::Finite(3) < Rank::Finite(4));
+        assert_eq!(Rank::Finite(3).succ(), Rank::Finite(4));
+        assert_eq!(Rank::Infinite.succ(), Rank::Infinite);
+        assert!(Rank::Infinite.is_infinite());
+        assert!(!Rank::ZERO.is_infinite());
+        assert_eq!(Rank::Infinite.to_string(), "∞");
+        assert_eq!(Rank::Finite(2).to_string(), "2");
+        assert_eq!(Rank::Finite(1).max(Rank::Infinite), Rank::Infinite);
+    }
+
+    #[test]
+    fn topological_order_of_dag() {
+        let a = adj(&[(0, 1), (0, 2), (1, 3), (2, 3)], 4);
+        let order = topological_order(&a).expect("DAG must have an order");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn topological_order_detects_cycles() {
+        let a = adj(&[(0, 1), (1, 0)], 2);
+        assert!(topological_order(&a).is_none());
+        assert!(topological_order(&[]).is_some());
+    }
+
+    #[test]
+    fn ranks_on_a_path() {
+        // 0 -> 1 -> 2: leaf has rank 0, then 1, then 2.
+        let a = adj(&[(0, 1), (1, 2)], 3);
+        let ranks = topological_ranks(&a);
+        assert_eq!(ranks, vec![Rank::Finite(2), Rank::Finite(1), Rank::Finite(0)]);
+    }
+
+    #[test]
+    fn ranks_with_cycle_are_infinite_upstream() {
+        // 0 -> 1 -> (2 <-> 3), 4 isolated
+        let a = adj(&[(0, 1), (1, 2), (2, 3), (3, 2)], 5);
+        let ranks = topological_ranks(&a);
+        assert_eq!(ranks[0], Rank::Infinite);
+        assert_eq!(ranks[1], Rank::Infinite);
+        assert_eq!(ranks[2], Rank::Infinite);
+        assert_eq!(ranks[3], Rank::Infinite);
+        assert_eq!(ranks[4], Rank::Finite(0));
+    }
+
+    #[test]
+    fn ranks_downstream_of_cycle_stay_finite() {
+        // (0 <-> 1) -> 2 -> 3: the cycle itself and its ancestors are infinite,
+        // but nodes *below* the cycle are ranked normally.
+        let a = adj(&[(0, 1), (1, 0), (1, 2), (2, 3)], 4);
+        let ranks = topological_ranks(&a);
+        assert_eq!(ranks[0], Rank::Infinite);
+        assert_eq!(ranks[1], Rank::Infinite);
+        assert_eq!(ranks[2], Rank::Finite(1));
+        assert_eq!(ranks[3], Rank::Finite(0));
+    }
+
+    #[test]
+    fn graph_and_pattern_wrappers() {
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::labeled("a"));
+        let b = g.add_node(Attributes::labeled("b"));
+        g.add_edge(a, b);
+        assert_eq!(topological_ranks_of_graph(&g), vec![Rank::Finite(1), Rank::Finite(0)]);
+        assert!(topological_order_of_graph(&g).is_some());
+
+        let mut p = Pattern::new();
+        let u = p.add_labeled_node("a");
+        let w = p.add_labeled_node("b");
+        p.add_normal_edge(u, w);
+        p.add_normal_edge(w, u);
+        assert_eq!(topological_ranks_of_pattern(&p), vec![Rank::Infinite, Rank::Infinite]);
+    }
+
+    #[test]
+    fn lemma_5_1_sanity_on_small_case() {
+        // Pattern: u0 -> u1 (ranks 1, 0). Graph: path a -> b (ranks 1, 0).
+        // The simulation maps u0 -> a (rank 1 <= 1) and u1 -> b (0 <= 0).
+        let mut p = Pattern::new();
+        let u0 = p.add_labeled_node("a");
+        let u1 = p.add_labeled_node("b");
+        p.add_normal_edge(u0, u1);
+        let pranks = topological_ranks_of_pattern(&p);
+
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::labeled("a"));
+        let b = g.add_node(Attributes::labeled("b"));
+        g.add_edge(a, b);
+        let granks = topological_ranks_of_graph(&g);
+
+        assert!(pranks[u0.index()] <= granks[a.index()]);
+        assert!(pranks[u1.index()] <= granks[b.index()]);
+    }
+}

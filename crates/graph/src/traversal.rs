@@ -1,0 +1,240 @@
+//! Breadth-first traversals over data graphs.
+//!
+//! These are the shared primitives behind the `Match` algorithm's
+//! ancestor/descendant sets (`anc`/`desc`, Section 3), the BFS-based distance
+//! oracle, and the affected-area exploration of the incremental algorithms.
+
+use crate::graph::DataGraph;
+use crate::hash::FastHashMap;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Direction of a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges from source to target (children / descendants).
+    Forward,
+    /// Follow edges from target to source (parents / ancestors).
+    Backward,
+}
+
+impl Direction {
+    #[inline]
+    fn neighbours<'a>(self, graph: &'a DataGraph, node: NodeId) -> &'a [NodeId] {
+        match self {
+            Direction::Forward => graph.children(node),
+            Direction::Backward => graph.parents(node),
+        }
+    }
+}
+
+/// Runs a BFS from `source` in the given `direction`, visiting nodes within
+/// `max_hops` hops (use `u32::MAX` for an unbounded traversal), and returns
+/// the distance (number of hops) to every reached node, including the source
+/// at distance 0.
+pub fn bfs_distances(
+    graph: &DataGraph,
+    source: NodeId,
+    direction: Direction,
+    max_hops: u32,
+) -> FastHashMap<NodeId, u32> {
+    let mut dist: FastHashMap<NodeId, u32> = FastHashMap::default();
+    dist.insert(source, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d >= max_hops {
+            continue;
+        }
+        for &w in direction.neighbours(graph, v) {
+            if !dist.contains_key(&w) {
+                dist.insert(w, d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Distances from `source` to every node of the graph, as a dense vector
+/// (`u32::MAX` for unreachable nodes). Faster than [`bfs_distances`] when most
+/// of the graph is reachable, e.g. when building a full distance matrix.
+pub fn bfs_distances_dense(graph: &DataGraph, source: NodeId, direction: Direction) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.node_count()];
+    dist[source.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &w in direction.neighbours(graph, v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The nodes reachable from `source` (following `direction`) within
+/// `max_hops` hops, *excluding* the source itself unless it lies on a cycle
+/// of length ≤ `max_hops` (paths must be nonempty, cf. [`crate::EdgeBound`]).
+pub fn nodes_within(
+    graph: &DataGraph,
+    source: NodeId,
+    direction: Direction,
+    max_hops: u32,
+) -> Vec<NodeId> {
+    // The nonempty-path requirement means the source is included only if it
+    // can be reached from itself by a positive-length path; handle that by
+    // starting the BFS at the source's neighbours.
+    let mut dist: FastHashMap<NodeId, u32> = FastHashMap::default();
+    let mut queue = VecDeque::new();
+    if max_hops == 0 {
+        return Vec::new();
+    }
+    for &w in direction.neighbours(graph, source) {
+        if !dist.contains_key(&w) {
+            dist.insert(w, 1);
+            queue.push_back(w);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        if d >= max_hops {
+            continue;
+        }
+        for &w in direction.neighbours(graph, v) {
+            if !dist.contains_key(&w) {
+                dist.insert(w, d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut nodes: Vec<NodeId> = dist.into_keys().collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+/// The shortest positive-length distance from `from` to `to` (a nonempty
+/// path), or `None` if no such path exists. `from == to` requires a cycle.
+pub fn shortest_path_len(graph: &DataGraph, from: NodeId, to: NodeId) -> Option<u32> {
+    let mut dist: FastHashMap<NodeId, u32> = FastHashMap::default();
+    let mut queue = VecDeque::new();
+    for &w in graph.children(from) {
+        if w == to {
+            return Some(1);
+        }
+        if !dist.contains_key(&w) {
+            dist.insert(w, 1);
+            queue.push_back(w);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[&v];
+        for &w in graph.children(v) {
+            if w == to {
+                return Some(d + 1);
+            }
+            if !dist.contains_key(&w) {
+                dist.insert(w, d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// True if there is a nonempty path from `from` to `to` of length ≤ `max_hops`.
+pub fn reachable_within(graph: &DataGraph, from: NodeId, to: NodeId, max_hops: u32) -> bool {
+    match shortest_path_len(graph, from, to) {
+        Some(d) => d <= max_hops,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attributes;
+
+    /// Builds a graph: 0 -> 1 -> 2 -> 3, 0 -> 4, 3 -> 0 (a cycle of length 4 through 0..3).
+    fn sample() -> DataGraph {
+        let mut g = DataGraph::new();
+        for i in 0..5 {
+            g.add_node(Attributes::labeled(format!("v{i}")));
+        }
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(4));
+        g.add_edge(NodeId(3), NodeId(0));
+        g
+    }
+
+    #[test]
+    fn forward_bfs_distances() {
+        let g = sample();
+        let dist = bfs_distances(&g, NodeId(0), Direction::Forward, u32::MAX);
+        assert_eq!(dist[&NodeId(0)], 0);
+        assert_eq!(dist[&NodeId(1)], 1);
+        assert_eq!(dist[&NodeId(3)], 3);
+        assert_eq!(dist[&NodeId(4)], 1);
+        assert_eq!(dist.len(), 5);
+    }
+
+    #[test]
+    fn backward_bfs_distances() {
+        let g = sample();
+        let dist = bfs_distances(&g, NodeId(3), Direction::Backward, u32::MAX);
+        assert_eq!(dist[&NodeId(2)], 1);
+        assert_eq!(dist[&NodeId(0)], 3);
+        assert!(!dist.contains_key(&NodeId(4)), "4 has no path to 3");
+    }
+
+    #[test]
+    fn bounded_bfs_stops_at_max_hops() {
+        let g = sample();
+        let dist = bfs_distances(&g, NodeId(0), Direction::Forward, 2);
+        assert!(dist.contains_key(&NodeId(2)));
+        assert!(!dist.contains_key(&NodeId(3)));
+    }
+
+    #[test]
+    fn dense_distances_match_sparse() {
+        let g = sample();
+        let dense = bfs_distances_dense(&g, NodeId(0), Direction::Forward);
+        let sparse = bfs_distances(&g, NodeId(0), Direction::Forward, u32::MAX);
+        for v in g.nodes() {
+            match sparse.get(&v) {
+                Some(&d) => assert_eq!(dense[v.index()], d),
+                None => assert_eq!(dense[v.index()], u32::MAX),
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_within_respects_nonempty_paths() {
+        let g = sample();
+        // Within 2 hops forward of node 0: {1, 2, 4}; node 0 itself needs 4 hops.
+        assert_eq!(nodes_within(&g, NodeId(0), Direction::Forward, 2), vec![NodeId(1), NodeId(2), NodeId(4)]);
+        // Within 4 hops the cycle brings node 0 back into view.
+        let within4 = nodes_within(&g, NodeId(0), Direction::Forward, 4);
+        assert!(within4.contains(&NodeId(0)));
+        assert!(nodes_within(&g, NodeId(0), Direction::Forward, 0).is_empty());
+        // Backward within 1 hop of node 0: only node 3.
+        assert_eq!(nodes_within(&g, NodeId(0), Direction::Backward, 1), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn shortest_path_and_reachability() {
+        let g = sample();
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(3)), Some(3));
+        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(0)), Some(4), "self distance uses the cycle");
+        assert_eq!(shortest_path_len(&g, NodeId(4), NodeId(0)), None);
+        assert!(reachable_within(&g, NodeId(0), NodeId(3), 3));
+        assert!(!reachable_within(&g, NodeId(0), NodeId(3), 2));
+        assert!(!reachable_within(&g, NodeId(4), NodeId(1), 10));
+    }
+}

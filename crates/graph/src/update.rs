@@ -1,0 +1,313 @@
+//! Graph updates `ΔG`: unit edge insertions/deletions and batch updates.
+//!
+//! The paper considers *unit updates* (a single edge insertion or deletion)
+//! and *batch updates* (a list of deletions and insertions mixed together,
+//! Section 4). Node insertions can be modelled by adding isolated nodes to the
+//! graph up front and connecting them with edge insertions, which is how the
+//! generators produce evolving graphs.
+
+use crate::graph::DataGraph;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unit update: one edge insertion or deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Update {
+    /// Insert the edge `(from, to)`.
+    InsertEdge {
+        /// Source node.
+        from: NodeId,
+        /// Target node.
+        to: NodeId,
+    },
+    /// Delete the edge `(from, to)`.
+    DeleteEdge {
+        /// Source node.
+        from: NodeId,
+        /// Target node.
+        to: NodeId,
+    },
+}
+
+impl Update {
+    /// Convenience constructor for an insertion.
+    pub fn insert(from: NodeId, to: NodeId) -> Self {
+        Update::InsertEdge { from, to }
+    }
+
+    /// Convenience constructor for a deletion.
+    pub fn delete(from: NodeId, to: NodeId) -> Self {
+        Update::DeleteEdge { from, to }
+    }
+
+    /// The edge `(from, to)` touched by the update.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            Update::InsertEdge { from, to } | Update::DeleteEdge { from, to } => (from, to),
+        }
+    }
+
+    /// True for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::InsertEdge { .. })
+    }
+
+    /// True for deletions.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Update::DeleteEdge { .. })
+    }
+
+    /// The update that undoes this one.
+    pub fn inverse(&self) -> Update {
+        match *self {
+            Update::InsertEdge { from, to } => Update::DeleteEdge { from, to },
+            Update::DeleteEdge { from, to } => Update::InsertEdge { from, to },
+        }
+    }
+
+    /// Applies the update to `graph`.
+    ///
+    /// Returns `true` if the graph actually changed (the inserted edge was
+    /// absent / the deleted edge was present).
+    pub fn apply(&self, graph: &mut DataGraph) -> bool {
+        match *self {
+            Update::InsertEdge { from, to } => graph.add_edge(from, to),
+            Update::DeleteEdge { from, to } => graph.remove_edge(from, to),
+        }
+    }
+
+    /// True if applying the update would change `graph`.
+    pub fn is_effective(&self, graph: &DataGraph) -> bool {
+        let (from, to) = self.endpoints();
+        match self {
+            Update::InsertEdge { .. } => !graph.has_edge(from, to),
+            Update::DeleteEdge { .. } => graph.has_edge(from, to),
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::InsertEdge { from, to } => write!(f, "+({from}, {to})"),
+            Update::DeleteEdge { from, to } => write!(f, "-({from}, {to})"),
+        }
+    }
+}
+
+/// A batch update `ΔG`: an ordered list of unit updates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchUpdate {
+    updates: Vec<Update>,
+}
+
+impl BatchUpdate {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        BatchUpdate::default()
+    }
+
+    /// Wraps an existing list of updates.
+    pub fn from_updates(updates: Vec<Update>) -> Self {
+        BatchUpdate { updates }
+    }
+
+    /// Appends a unit update.
+    pub fn push(&mut self, update: Update) {
+        self.updates.push(update);
+    }
+
+    /// Appends an insertion.
+    pub fn insert(&mut self, from: NodeId, to: NodeId) {
+        self.push(Update::insert(from, to));
+    }
+
+    /// Appends a deletion.
+    pub fn delete(&mut self, from: NodeId, to: NodeId) {
+        self.push(Update::delete(from, to));
+    }
+
+    /// The number of unit updates `|ΔG|`.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Iterates over the unit updates in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Update> {
+        self.updates.iter()
+    }
+
+    /// The underlying updates.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    /// Number of insertions in the batch.
+    pub fn insertion_count(&self) -> usize {
+        self.updates.iter().filter(|u| u.is_insert()).count()
+    }
+
+    /// Number of deletions in the batch.
+    pub fn deletion_count(&self) -> usize {
+        self.updates.iter().filter(|u| u.is_delete()).count()
+    }
+
+    /// Applies all updates in order; returns how many actually changed the graph.
+    pub fn apply(&self, graph: &mut DataGraph) -> usize {
+        self.updates.iter().filter(|u| u.apply(graph)).count()
+    }
+
+    /// The batch that undoes this one (inverted updates in reverse order).
+    pub fn inverse(&self) -> BatchUpdate {
+        BatchUpdate {
+            updates: self.updates.iter().rev().map(Update::inverse).collect(),
+        }
+    }
+
+    /// Splits the batch into `(deletions, insertions)` preserving order within
+    /// each class. `IncMatch` processes deletions before insertions
+    /// (Section 5.2, Fig. 10 lines 2-5).
+    pub fn partition(&self) -> (Vec<Update>, Vec<Update>) {
+        let mut deletions = Vec::new();
+        let mut insertions = Vec::new();
+        for update in &self.updates {
+            if update.is_delete() {
+                deletions.push(*update);
+            } else {
+                insertions.push(*update);
+            }
+        }
+        (deletions, insertions)
+    }
+}
+
+impl FromIterator<Update> for BatchUpdate {
+    fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
+        BatchUpdate { updates: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for BatchUpdate {
+    type Item = Update;
+    type IntoIter = std::vec::IntoIter<Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BatchUpdate {
+    type Item = &'a Update;
+    type IntoIter = std::slice::Iter<'a, Update>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.updates.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attributes;
+
+    fn triangle() -> (DataGraph, NodeId, NodeId, NodeId) {
+        let mut g = DataGraph::new();
+        let a = g.add_node(Attributes::labeled("a"));
+        let b = g.add_node(Attributes::labeled("b"));
+        let c = g.add_node(Attributes::labeled("c"));
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn unit_update_apply_and_inverse() {
+        let (mut g, a, b, c) = triangle();
+        let del = Update::delete(a, b);
+        assert!(del.is_effective(&g));
+        assert!(del.apply(&mut g));
+        assert!(!g.has_edge(a, b));
+        assert!(!del.is_effective(&g));
+        assert!(!del.apply(&mut g), "deleting a missing edge is a no-op");
+
+        let ins = del.inverse();
+        assert_eq!(ins, Update::insert(a, b));
+        assert!(ins.apply(&mut g));
+        assert!(g.has_edge(a, b));
+
+        assert_eq!(Update::insert(b, c).endpoints(), (b, c));
+        assert!(Update::insert(b, c).is_insert());
+        assert!(Update::delete(b, c).is_delete());
+    }
+
+    #[test]
+    fn batch_apply_counts_effective_updates() {
+        let (mut g, a, b, c) = triangle();
+        let mut batch = BatchUpdate::new();
+        batch.delete(a, b); // effective
+        batch.delete(a, b); // no-op: already deleted
+        batch.insert(a, c); // effective
+        batch.insert(b, c); // no-op: already present
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.insertion_count(), 2);
+        assert_eq!(batch.deletion_count(), 2);
+        let changed = batch.apply(&mut g);
+        assert_eq!(changed, 2);
+        assert!(g.has_edge(a, c));
+        assert!(!g.has_edge(a, b));
+    }
+
+    #[test]
+    fn batch_inverse_restores_graph() {
+        let (mut g, a, b, _c) = triangle();
+        let original = g.clone();
+        let mut batch = BatchUpdate::new();
+        batch.delete(a, b);
+        batch.insert(b, a);
+        batch.apply(&mut g);
+        assert_ne!(g, original);
+        batch.inverse().apply(&mut g);
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn partition_preserves_order() {
+        let (_, a, b, c) = triangle();
+        let batch: BatchUpdate = vec![
+            Update::insert(a, c),
+            Update::delete(a, b),
+            Update::insert(c, b),
+            Update::delete(b, c),
+        ]
+        .into_iter()
+        .collect();
+        let (dels, inss) = batch.partition();
+        assert_eq!(dels, vec![Update::delete(a, b), Update::delete(b, c)]);
+        assert_eq!(inss, vec![Update::insert(a, c), Update::insert(c, b)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (_, a, b, _) = triangle();
+        assert_eq!(Update::insert(a, b).to_string(), "+(n0, n1)");
+        assert_eq!(Update::delete(a, b).to_string(), "-(n0, n1)");
+    }
+
+    #[test]
+    fn iteration_over_batch() {
+        let (_, a, b, c) = triangle();
+        let batch: BatchUpdate = vec![Update::insert(a, b), Update::delete(b, c)].into_iter().collect();
+        let collected: Vec<Update> = (&batch).into_iter().copied().collect();
+        assert_eq!(collected.len(), 2);
+        let owned: Vec<Update> = batch.clone().into_iter().collect();
+        assert_eq!(owned, collected);
+        assert_eq!(batch.updates().len(), 2);
+    }
+}

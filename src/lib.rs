@@ -1,0 +1,67 @@
+//! # igpm — Incremental Graph Pattern Matching
+//!
+//! Umbrella crate for the reproduction of *Incremental Graph Pattern Matching*
+//! (Wenfei Fan, Xin Wang, Yinghui Wu; SIGMOD 2011 / TODS 2013). It re-exports
+//! the public API of the member crates so downstream users can depend on a
+//! single crate:
+//!
+//! * [`graph`] — data graphs, b-patterns, updates, result graphs;
+//! * [`distance`] — distance matrices, BFS/2-hop oracles, landmark vectors;
+//! * [`core`] — bounded simulation (`Match`), graph simulation, and the
+//!   incremental algorithms (`IncMatch*`, `IncBMatch*`);
+//! * [`baseline`] — VF2, HORNSAT, `IncMatchn`, `IncBMatchm`;
+//! * [`generator`] — synthetic graphs, dataset substitutes, pattern and
+//!   update generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use igpm::prelude::*;
+//!
+//! // A tiny social graph and a bounded pattern: a CTO within 2 hops of a DB
+//! // person who can in turn reach some CTO.
+//! let mut g = DataGraph::new();
+//! let ann = g.add_node(Attributes::new().with("job", "CTO"));
+//! let pat = g.add_node(Attributes::new().with("job", "DB"));
+//! let bill = g.add_node(Attributes::new().with("job", "Bio"));
+//! g.add_edge(ann, pat);
+//! g.add_edge(pat, bill);
+//! g.add_edge(bill, ann);
+//!
+//! let mut p = Pattern::new();
+//! let cto = p.add_node(Predicate::any().and_eq("job", "CTO"));
+//! let db = p.add_node(Predicate::any().and_eq("job", "DB"));
+//! p.add_edge(cto, db, EdgeBound::Hops(2));
+//! p.add_edge(db, cto, EdgeBound::Unbounded);
+//!
+//! let matches = igpm::core::match_bounded_with_matrix(&p, &g);
+//! assert!(matches.contains(cto, ann));
+//! assert!(matches.contains(db, pat));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use igpm_baseline as baseline;
+pub use igpm_core as core;
+pub use igpm_distance as distance;
+pub use igpm_generator as generator;
+pub use igpm_graph as graph;
+
+/// Commonly used items from every member crate.
+pub mod prelude {
+    pub use igpm_baseline::{count_isomorphic_matches, find_isomorphic_matches, HornSatSimulation, MatrixBoundedIndex};
+    pub use igpm_core::{
+        build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
+        match_bounded_with_two_hop, match_simulation, AffStats, BoundedIndex, SimulationIndex,
+    };
+    pub use igpm_distance::{
+        BfsOracle, DistanceMatrix, DistanceOracle, LandmarkIndex, LandmarkSelection, TwoHopLabels,
+    };
+    pub use igpm_generator::{
+        citation_like, generate_pattern, mixed_batch, synthetic_graph, youtube_like,
+        CitationConfig, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
+        YouTubeConfig,
+    };
+    pub use igpm_graph::prelude::*;
+    pub use igpm_graph::{Attributes, CompareOp};
+}

@@ -1,0 +1,150 @@
+//! Integration tests spanning all crates: every algorithm that is supposed to
+//! compute the same object (the maximum simulation / bounded simulation, the
+//! same distances, the same incremental result) must agree on randomized
+//! workloads produced by `igpm-generator`.
+
+use igpm::prelude::*;
+use igpm_generator::evolution_split;
+
+fn small_graph(seed: u64) -> DataGraph {
+    synthetic_graph(&SyntheticConfig::new(120, 400, 4, seed))
+}
+
+#[test]
+fn bounded_simulation_is_oracle_independent() {
+    for seed in 0..4u64 {
+        let graph = small_graph(seed);
+        let pattern = generate_pattern(&graph, &PatternGenConfig::new(4, 6, 2, 3, seed + 40));
+        let a = igpm::core::match_bounded_with_matrix(&pattern, &graph);
+        let b = igpm::core::match_bounded_with_bfs(&pattern, &graph);
+        let c = igpm::core::match_bounded_with_two_hop(&pattern, &graph);
+        let landmarks = LandmarkIndex::build(&graph, LandmarkSelection::VertexCover);
+        let d = igpm::core::match_bounded(&pattern, &graph, &landmarks);
+        assert_eq!(a, b, "seed {seed}: BFS");
+        assert_eq!(a, c, "seed {seed}: 2-hop");
+        assert_eq!(a, d, "seed {seed}: landmarks");
+    }
+}
+
+#[test]
+fn simulation_equals_bounded_simulation_on_normal_patterns() {
+    for seed in 0..4u64 {
+        let graph = small_graph(seed + 100);
+        let pattern = generate_pattern(&graph, &PatternGenConfig::normal(5, 7, 2, seed + 140));
+        let sim = igpm::core::match_simulation(&pattern, &graph);
+        let bsim = igpm::core::match_bounded_with_matrix(&pattern, &graph);
+        assert_eq!(sim, bsim, "seed {seed}");
+    }
+}
+
+#[test]
+fn hornsat_equals_simulation() {
+    for seed in 0..3u64 {
+        let graph = small_graph(seed + 200);
+        let pattern = generate_pattern(&graph, &PatternGenConfig::normal(4, 6, 1, seed + 240));
+        let horn = HornSatSimulation::build(&pattern, &graph);
+        assert_eq!(horn.matches(), igpm::core::match_simulation(&pattern, &graph), "seed {seed}");
+    }
+}
+
+#[test]
+fn isomorphic_embeddings_are_contained_in_the_simulation() {
+    for seed in 0..3u64 {
+        let graph = small_graph(seed + 300);
+        let pattern = generate_pattern(&graph, &PatternGenConfig::normal(3, 3, 2, seed + 340));
+        let sim = igpm::core::match_simulation(&pattern, &graph);
+        for embedding in find_isomorphic_matches(&pattern, &graph, 500) {
+            for (u_idx, &v) in embedding.iter().enumerate() {
+                assert!(
+                    sim.contains(PatternNodeId::from_index(u_idx), v),
+                    "seed {seed}: isomorphism found a pair outside the simulation"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_simulation_tracks_batch_over_evolution() {
+    let full = youtube_like(&YouTubeConfig::scaled(0.02, 9));
+    let (mut graph, additions) = evolution_split(&full, 0.2, "age");
+    let pattern = generate_pattern(&graph, &PatternGenConfig::normal(4, 5, 2, 901));
+    let mut index = SimulationIndex::build(&pattern, &graph);
+    let updates: Vec<Update> = additions.into_iter().collect();
+    for chunk in updates.chunks(150) {
+        let batch: BatchUpdate = chunk.iter().copied().collect();
+        index.apply_batch(&mut graph, &batch);
+        assert_eq!(index.matches(), igpm::core::match_simulation(&pattern, &graph));
+    }
+    assert_eq!(graph, full);
+}
+
+#[test]
+fn incremental_bounded_simulation_tracks_batch_over_mixed_updates() {
+    let mut graph = small_graph(777);
+    let pattern = generate_pattern(&graph, &PatternGenConfig::new(4, 5, 2, 2, 778));
+    let mut index = BoundedIndex::build(&pattern, &graph);
+    for round in 0..4u64 {
+        let batch = mixed_batch(&graph, 20, 20, 7000 + round);
+        index.apply_batch(&mut graph, &batch);
+        assert_eq!(
+            index.matches(),
+            igpm::core::match_bounded_with_matrix(&pattern, &graph),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn matrix_backed_and_landmark_backed_incremental_bsim_agree() {
+    let base = small_graph(555);
+    let pattern = generate_pattern(
+        &base,
+        &PatternGenConfig::new(4, 5, 2, 3, 556).with_shape(PatternShape::Dag),
+    );
+    let batch = mixed_batch(&base, 25, 25, 557);
+
+    let mut g1 = base.clone();
+    let mut with_matrix = MatrixBoundedIndex::build(&pattern, &g1);
+    with_matrix.apply_batch(&mut g1, &batch);
+
+    let mut g2 = base.clone();
+    let mut with_landmarks = BoundedIndex::build(&pattern, &g2);
+    with_landmarks.apply_batch(&mut g2, &batch);
+
+    assert_eq!(g1, g2);
+    assert_eq!(with_matrix.matches(), with_landmarks.matches());
+}
+
+#[test]
+fn naive_and_min_delta_incremental_agree_on_citation_workload() {
+    let full = citation_like(&CitationConfig::scaled(0.01, 31));
+    let (base, additions) = evolution_split(&full, 0.3, "year");
+    let pattern = generate_pattern(&base, &PatternGenConfig::normal(4, 5, 2, 32));
+    let batch: BatchUpdate = additions;
+
+    let mut g1 = base.clone();
+    let mut naive = SimulationIndex::build(&pattern, &g1);
+    igpm::baseline::apply_batch_naive(&mut naive, &mut g1, &batch);
+
+    let mut g2 = base.clone();
+    let mut smart = SimulationIndex::build(&pattern, &g2);
+    smart.apply_batch(&mut g2, &batch);
+
+    assert_eq!(naive.matches(), smart.matches());
+    assert_eq!(naive.matches(), igpm::core::match_simulation(&pattern, &g1));
+}
+
+#[test]
+fn landmark_maintenance_matches_rebuild_on_generated_workloads() {
+    let mut graph = small_graph(808);
+    let mut index = LandmarkIndex::build(&graph, LandmarkSelection::VertexCover);
+    let batch = mixed_batch(&graph, 30, 30, 809);
+    igpm::distance::landmark_inc::inc_lm(&mut index, &mut graph, &batch);
+    let rebuilt = LandmarkIndex::build(&graph, LandmarkSelection::VertexCover);
+    for a in graph.nodes().step_by(3) {
+        for b in graph.nodes().step_by(5) {
+            assert_eq!(index.distance(a, b), rebuilt.distance(a, b), "({a}, {b})");
+        }
+    }
+}
