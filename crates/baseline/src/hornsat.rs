@@ -124,12 +124,8 @@ impl HornSatSimulation {
         // For each pattern edge (u, u') with `from` a candidate of `u` and
         // `to` a candidate of `u'`, the literal fail(u', to) leaves the body
         // of the clause whose head is fail(u, from).
-        let pattern_edges: Vec<(u32, u32)> = self
-            .pattern
-            .edges()
-            .iter()
-            .map(|e| (e.from.0, e.to.0))
-            .collect();
+        let pattern_edges: Vec<(u32, u32)> =
+            self.pattern.edges().iter().map(|e| (e.from.0, e.to.0)).collect();
         let mut newly_true: Vec<VarId> = Vec::new();
         for (u, u_child) in pattern_edges {
             let lit: VarId = (u_child, to.0);
@@ -147,11 +143,8 @@ impl HornSatSimulation {
                     self.clauses[idx].body.remove(pos);
                 }
                 watchers.swap_remove(i);
-                let pending = self.clauses[idx]
-                    .body
-                    .iter()
-                    .filter(|l| !self.failed.contains(*l))
-                    .count();
+                let pending =
+                    self.clauses[idx].body.iter().filter(|l| !self.failed.contains(*l)).count();
                 self.clauses[idx].pending = pending;
                 if pending == 0 && !self.failed.contains(&head) {
                     newly_true.push(head);
@@ -257,7 +250,12 @@ mod tests {
     };
     use igpm_graph::Predicate;
 
-    fn check_against_batch(engine: &HornSatSimulation, pattern: &Pattern, graph: &DataGraph, context: &str) {
+    fn check_against_batch(
+        engine: &HornSatSimulation,
+        pattern: &Pattern,
+        graph: &DataGraph,
+        context: &str,
+    ) {
         assert_eq!(engine.matches(), match_simulation(pattern, graph), "{context}");
     }
 

@@ -147,7 +147,9 @@ impl MatrixBoundedIndex {
                                 return true;
                             }
                             match self.pairs[e_idx].get(&v) {
-                                Some(targets) => targets.iter().any(|w| sets[edge.to.index()].contains(w)),
+                                Some(targets) => {
+                                    targets.iter().any(|w| sets[edge.to.index()].contains(w))
+                                }
                                 None => false,
                             }
                         })

@@ -25,7 +25,11 @@ pub type Embedding = Vec<NodeId>;
 /// # Panics
 /// Panics if the pattern is not normal (subgraph isomorphism is defined for
 /// normal patterns only, Section 2.3).
-pub fn find_isomorphic_matches(pattern: &Pattern, graph: &DataGraph, limit: usize) -> Vec<Embedding> {
+pub fn find_isomorphic_matches(
+    pattern: &Pattern,
+    graph: &DataGraph,
+    limit: usize,
+) -> Vec<Embedding> {
     assert!(pattern.is_normal(), "subgraph isomorphism needs a normal pattern");
     let np = pattern.node_count();
     if np == 0 {
@@ -71,10 +75,8 @@ pub fn count_isomorphic_matches(pattern: &Pattern, graph: &DataGraph) -> usize {
 /// the node set of the union result graph `M_iso(P, G)` (Section 4), used when
 /// comparing how many community members each matching notion identifies.
 pub fn isomorphic_result_nodes(pattern: &Pattern, graph: &DataGraph, limit: usize) -> Vec<NodeId> {
-    let mut nodes: Vec<NodeId> = find_isomorphic_matches(pattern, graph, limit)
-        .into_iter()
-        .flatten()
-        .collect();
+    let mut nodes: Vec<NodeId> =
+        find_isomorphic_matches(pattern, graph, limit).into_iter().flatten().collect();
     nodes.sort_unstable();
     nodes.dedup();
     nodes
@@ -93,15 +95,13 @@ fn matching_order(pattern: &Pattern, candidates: &[Vec<NodeId>]) -> Vec<PatternN
             if placed[u.index()] {
                 continue;
             }
-            let adjacent = order.iter().any(|&o| {
-                pattern.edge_bound(o, u).is_some() || pattern.edge_bound(u, o).is_some()
-            });
+            let adjacent = order
+                .iter()
+                .any(|&o| pattern.edge_bound(o, u).is_some() || pattern.edge_bound(u, o).is_some());
             let key = (adjacent, candidates[u.index()].len());
             let better = match best {
                 None => true,
-                Some(_) => {
-                    (key.0 && !best_key.0) || (key.0 == best_key.0 && key.1 < best_key.1)
-                }
+                Some(_) => (key.0 && !best_key.0) || (key.0 == best_key.0 && key.1 < best_key.1),
             };
             if better {
                 best = Some(u);
@@ -226,7 +226,11 @@ mod tests {
         let mut g = DataGraph::new();
         let only = g.add_labeled_node("AM");
         g.add_edge(only, only);
-        assert_eq!(count_isomorphic_matches(&p, &g), 0, "a bijection cannot collapse two pattern nodes");
+        assert_eq!(
+            count_isomorphic_matches(&p, &g),
+            0,
+            "a bijection cannot collapse two pattern nodes"
+        );
 
         let other = g.add_labeled_node("AM");
         g.add_edge(only, other);

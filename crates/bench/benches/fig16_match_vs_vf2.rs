@@ -1,32 +1,20 @@
-//! Criterion bench for Fig. 16(b): bounded simulation `Match` vs `VF2`
-//! subgraph isomorphism on the YouTube-like dataset, for a small and a larger
-//! pattern.
+//! Bench for Fig. 16(b): bounded simulation `Match` vs `VF2` subgraph
+//! isomorphism on the YouTube-like dataset, for a small and a larger pattern.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use igpm_baseline::count_isomorphic_matches;
+use igpm_bench::harness::bench;
 use igpm_bench::workloads as wl;
 use igpm_core::match_bounded_with_bfs;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let graph = wl::youtube(0.03);
-    let mut group = c.benchmark_group("fig16b_match_vs_vf2");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    let samples = 10;
+    println!("# fig16b_match_vs_vf2 — YouTube-like, scale 0.03");
     for size in [3usize, 5] {
         let normal = wl::normal_pattern(&graph, size, size, 3, 1650 + size as u64);
         let bounded = wl::bounded_pattern(&graph, size, size, 3, 3, 1650 + size as u64);
-        group.bench_with_input(BenchmarkId::new("VF2", size), &normal, |b, p| {
-            b.iter(|| count_isomorphic_matches(p, &graph))
-        });
-        group.bench_with_input(BenchmarkId::new("Match_k1", size), &normal, |b, p| {
-            b.iter(|| match_bounded_with_bfs(p, &graph))
-        });
-        group.bench_with_input(BenchmarkId::new("Match_k3", size), &bounded, |b, p| {
-            b.iter(|| match_bounded_with_bfs(p, &graph))
-        });
+        bench(&format!("VF2/{size}"), samples, || count_isomorphic_matches(&normal, &graph));
+        bench(&format!("Match_k1/{size}"), samples, || match_bounded_with_bfs(&normal, &graph));
+        bench(&format!("Match_k3/{size}"), samples, || match_bounded_with_bfs(&bounded, &graph));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

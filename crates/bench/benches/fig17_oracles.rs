@@ -1,34 +1,27 @@
-//! Criterion bench for Fig. 17(a,b): `Match` with the three distance oracles
+//! Bench for Fig. 17(a,b): `Match` with the three distance oracles
 //! (pre-built matrix, 2-hop labels, on-demand BFS) on the dataset substitutes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use igpm_bench::harness::bench;
 use igpm_bench::workloads as wl;
 use igpm_core::match_bounded;
 use igpm_distance::{BfsOracle, DistanceMatrix, TwoHopLabels};
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let samples = 10;
     for (name, graph) in [("youtube", wl::youtube(0.03)), ("citation", wl::citation(0.03))] {
         let matrix = DistanceMatrix::build(&graph);
         let two_hop = TwoHopLabels::build(&graph);
         let pattern = wl::bounded_pattern(&graph, 4, 6, 3, 3, 1720);
-        let mut group = c.benchmark_group(format!("fig17_oracles_{name}"));
-        group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-        group.bench_function(BenchmarkId::new("matrix_match", "(4,6,3)"), |b| {
-            b.iter(|| match_bounded(&pattern, &graph, &matrix))
+        println!("# fig17_oracles_{name} — pattern (4,6,3), k=3");
+        bench(&format!("matrix_match/{name}"), samples, || {
+            match_bounded(&pattern, &graph, &matrix)
         });
-        group.bench_function(BenchmarkId::new("two_hop_match", "(4,6,3)"), |b| {
-            b.iter(|| match_bounded(&pattern, &graph, &two_hop))
+        bench(&format!("two_hop_match/{name}"), samples, || {
+            match_bounded(&pattern, &graph, &two_hop)
         });
-        group.bench_function(BenchmarkId::new("bfs_match", "(4,6,3)"), |b| {
-            b.iter(|| {
-                let oracle = BfsOracle::with_cache(&graph, 4096);
-                match_bounded(&pattern, &graph, &oracle)
-            })
+        bench(&format!("bfs_match/{name}"), samples, || {
+            let oracle = BfsOracle::with_cache(&graph, 4096);
+            match_bounded(&pattern, &graph, &oracle)
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

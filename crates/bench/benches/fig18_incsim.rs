@@ -1,47 +1,47 @@
-//! Criterion bench for Fig. 18: incremental simulation (`IncMatch`) against
-//! batch recomputation (`Matchs`), the naive per-update loop (`IncMatchn`) and
-//! the HORNSAT baseline, on a synthetic graph with a mixed update batch.
+//! Bench for Fig. 18: incremental simulation (`IncMatch`) against batch
+//! recomputation (`Matchs`), the naive per-update loop (`IncMatchn`), the
+//! HORNSAT baseline, and the frozen pre-optimisation hash-set engine, on a
+//! synthetic graph with a mixed update batch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use igpm_baseline::{apply_batch_naive, HornSatSimulation};
+use igpm_bench::harness::bench_batched;
+use igpm_bench::legacy::LegacySimulationIndex;
 use igpm_bench::workloads as wl;
 use igpm_core::{match_simulation, SimulationIndex};
 use igpm_generator::mixed_batch;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let graph = wl::synthetic(2_000, 9_000, 0x18);
     let pattern = wl::normal_pattern(&graph, 4, 5, 3, 0x18aa);
     let batch = mixed_batch(&graph, 100, 100, 0x1801);
     let mut updated = graph.clone();
     batch.apply(&mut updated);
+    let samples = 10;
 
-    let mut group = c.benchmark_group("fig18_incsim");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    group.bench_function("Matchs_batch", |b| b.iter(|| match_simulation(&pattern, &updated)));
-    group.bench_function("IncMatch", |b| {
-        b.iter_batched(
-            || (graph.clone(), SimulationIndex::build(&pattern, &graph)),
-            |(mut g, mut index)| index.apply_batch(&mut g, &batch),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("IncMatchn_naive", |b| {
-        b.iter_batched(
-            || (graph.clone(), SimulationIndex::build(&pattern, &graph)),
-            |(mut g, mut index)| apply_batch_naive(&mut index, &mut g, &batch),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("HornSat", |b| {
-        b.iter_batched(
-            || (graph.clone(), HornSatSimulation::build(&pattern, &graph)),
-            |(mut g, mut horn)| horn.apply_batch(&mut g, &batch),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    println!("# fig18_incsim — |V|=2000, |E|=9000, |ΔG|=200 mixed");
+    bench_batched("Matchs_batch", samples, || (), |()| match_simulation(&pattern, &updated));
+    bench_batched(
+        "IncMatch",
+        samples,
+        || (graph.clone(), SimulationIndex::build(&pattern, &graph)),
+        |(mut g, mut index)| index.apply_batch(&mut g, &batch),
+    );
+    bench_batched(
+        "IncMatch_legacy_hashset",
+        samples,
+        || (graph.clone(), LegacySimulationIndex::build(&pattern, &graph)),
+        |(mut g, mut index)| index.apply_batch(&mut g, &batch),
+    );
+    bench_batched(
+        "IncMatchn_naive",
+        samples,
+        || (graph.clone(), SimulationIndex::build(&pattern, &graph)),
+        |(mut g, mut index)| apply_batch_naive(&mut index, &mut g, &batch),
+    );
+    bench_batched(
+        "HornSat",
+        samples,
+        || (graph.clone(), HornSatSimulation::build(&pattern, &graph)),
+        |(mut g, mut horn)| horn.apply_batch(&mut g, &batch),
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,40 +1,38 @@
-//! Criterion bench for Fig. 19: incremental bounded simulation (`IncBMatch`)
-//! against batch recomputation (`Matchbs`) and the distance-matrix variant
+//! Bench for Fig. 19: incremental bounded simulation (`IncBMatch`) against
+//! batch recomputation (`Matchbs`) and the distance-matrix variant
 //! (`IncBMatchm`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use igpm_baseline::MatrixBoundedIndex;
+use igpm_bench::harness::bench_batched;
 use igpm_bench::workloads as wl;
 use igpm_core::{match_bounded_with_matrix, BoundedIndex};
 use igpm_generator::mixed_batch;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let graph = wl::synthetic(1_200, 6_000, 0x19);
     let pattern = wl::dag_bounded_pattern(&graph, 4, 5, 3, 3, 0x19aa);
     let batch = mixed_batch(&graph, 40, 40, 0x1901);
     let mut updated = graph.clone();
     batch.apply(&mut updated);
+    let samples = 10;
 
-    let mut group = c.benchmark_group("fig19_incbsim");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    group.bench_function("Matchbs_batch", |b| b.iter(|| match_bounded_with_matrix(&pattern, &updated)));
-    group.bench_function("IncBMatch", |b| {
-        b.iter_batched(
-            || (graph.clone(), BoundedIndex::build(&pattern, &graph)),
-            |(mut g, mut index)| index.apply_batch(&mut g, &batch),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("IncBMatchm_matrix", |b| {
-        b.iter_batched(
-            || (graph.clone(), MatrixBoundedIndex::build(&pattern, &graph)),
-            |(mut g, mut index)| index.apply_batch(&mut g, &batch),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    println!("# fig19_incbsim — |V|=1200, |E|=6000, |ΔG|=80 mixed");
+    bench_batched(
+        "Matchbs_batch",
+        samples,
+        || (),
+        |()| match_bounded_with_matrix(&pattern, &updated),
+    );
+    bench_batched(
+        "IncBMatch",
+        samples,
+        || (graph.clone(), BoundedIndex::build(&pattern, &graph)),
+        |(mut g, mut index)| index.apply_batch(&mut g, &batch),
+    );
+    bench_batched(
+        "IncBMatchm_matrix",
+        samples,
+        || (graph.clone(), MatrixBoundedIndex::build(&pattern, &graph)),
+        |(mut g, mut index)| index.apply_batch(&mut g, &batch),
+    );
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

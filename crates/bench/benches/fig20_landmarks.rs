@@ -1,78 +1,51 @@
-//! Criterion bench for Fig. 20(c,d,f): incremental landmark maintenance
-//! (`InsLM`, `DelLM`, `IncLM`) against rebuilding the landmark and distance
-//! vectors from scratch (`BatchLM`).
+//! Bench for Fig. 20(c,d,f): incremental landmark maintenance (`InsLM`,
+//! `DelLM`, `IncLM`) against rebuilding the landmark and distance vectors from
+//! scratch (`BatchLM`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use igpm_bench::harness::{bench, bench_batched};
 use igpm_bench::workloads as wl;
 use igpm_distance::landmark_inc::{del_lm, inc_lm, ins_lm};
 use igpm_distance::{LandmarkIndex, LandmarkSelection};
 use igpm_generator::mixed_batch;
 use igpm_graph::Update;
-use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let graph = wl::synthetic(1_500, 4_500, 0x20);
     let insertions = wl::insertions(&graph, 50, 0x2001);
     let deletions = wl::deletions(&graph, 50, 0x2002);
     let mixed = mixed_batch(&graph, 50, 50, 0x2003);
+    let samples = 10;
+    let fresh = || (graph.clone(), LandmarkIndex::build(&graph, LandmarkSelection::VertexCover));
 
-    let mut group = c.benchmark_group("fig20_landmarks");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-
-    group.bench_function("BatchLM_rebuild", |b| {
-        b.iter(|| LandmarkIndex::build(&graph, LandmarkSelection::VertexCover))
+    println!("# fig20_landmarks — |V|=1500, |E|=4500");
+    bench("BatchLM_rebuild", samples, || {
+        LandmarkIndex::build(&graph, LandmarkSelection::VertexCover)
     });
-    group.bench_function("InsLM_50_insertions", |b| {
-        b.iter_batched(
-            || (graph.clone(), LandmarkIndex::build(&graph, LandmarkSelection::VertexCover)),
-            |(mut g, mut index)| {
-                for update in insertions.iter() {
-                    let (a, b2) = update.endpoints();
-                    ins_lm(&mut index, &mut g, a, b2);
+    bench_batched("InsLM_50_insertions", samples, fresh, |(mut g, mut index)| {
+        for update in insertions.iter() {
+            let (a, b) = update.endpoints();
+            ins_lm(&mut index, &mut g, a, b);
+        }
+    });
+    bench_batched("DelLM_50_deletions", samples, fresh, |(mut g, mut index)| {
+        for update in deletions.iter() {
+            let (a, b) = update.endpoints();
+            del_lm(&mut index, &mut g, a, b);
+        }
+    });
+    bench_batched("IncLM_100_mixed", samples, fresh, |(mut g, mut index)| {
+        inc_lm(&mut index, &mut g, &mixed);
+    });
+    bench_batched("InsLM_DelLM_naive_100_mixed", samples, fresh, |(mut g, mut index)| {
+        for update in mixed.iter() {
+            match *update {
+                Update::InsertEdge { from, to } => {
+                    ins_lm(&mut index, &mut g, from, to);
                 }
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("DelLM_50_deletions", |b| {
-        b.iter_batched(
-            || (graph.clone(), LandmarkIndex::build(&graph, LandmarkSelection::VertexCover)),
-            |(mut g, mut index)| {
-                for update in deletions.iter() {
-                    let (a, b2) = update.endpoints();
-                    del_lm(&mut index, &mut g, a, b2);
+                Update::DeleteEdge { from, to } => {
+                    del_lm(&mut index, &mut g, from, to);
                 }
-            },
-            criterion::BatchSize::LargeInput,
-        )
+            }
+        }
     });
-    group.bench_function("IncLM_100_mixed", |b| {
-        b.iter_batched(
-            || (graph.clone(), LandmarkIndex::build(&graph, LandmarkSelection::VertexCover)),
-            |(mut g, mut index)| inc_lm(&mut index, &mut g, &mixed),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("InsLM_DelLM_naive_100_mixed", |b| {
-        b.iter_batched(
-            || (graph.clone(), LandmarkIndex::build(&graph, LandmarkSelection::VertexCover)),
-            |(mut g, mut index)| {
-                for update in mixed.iter() {
-                    match *update {
-                        Update::InsertEdge { from, to } => {
-                            ins_lm(&mut index, &mut g, from, to);
-                        }
-                        Update::DeleteEdge { from, to } => {
-                            del_lm(&mut index, &mut g, from, to);
-                        }
-                    }
-                }
-            },
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -20,7 +20,9 @@ use igpm_core::{
     match_bounded, match_bounded_with_matrix, match_simulation, BoundedIndex, SimulationIndex,
 };
 use igpm_distance::landmark_inc::{del_lm, inc_lm, ins_lm};
-use igpm_distance::{BfsOracle, DistanceMatrix, DistanceOracle, LandmarkIndex, LandmarkSelection, TwoHopLabels};
+use igpm_distance::{
+    BfsOracle, DistanceMatrix, DistanceOracle, LandmarkIndex, LandmarkSelection, TwoHopLabels,
+};
 use igpm_generator::{evolution_split, mixed_batch, synthetic_graph, SyntheticConfig};
 use igpm_graph::{BatchUpdate, DataGraph, Pattern, Update};
 
@@ -162,9 +164,12 @@ fn fig17_oracles(scale: f64, dataset: &str) {
     let matrix = DistanceMatrix::build(&graph);
     let two_hop = TwoHopLabels::build(&graph);
     let mut rows = Vec::new();
-    for (nodes, edges, k) in [(2usize, 3usize, 3u32), (2, 3, 4), (4, 6, 3), (4, 6, 4), (6, 9, 3), (6, 9, 4)] {
+    for (nodes, edges, k) in
+        [(2usize, 3usize, 3u32), (2, 3, 4), (4, 6, 3), (4, 6, 4), (6, 9, 3), (6, 9, 4)]
+    {
         let x = format!("({nodes},{edges},{k})");
-        let pattern = wl::bounded_pattern(&graph, nodes, edges, 3, k, 1720 + nodes as u64 * 10 + k as u64);
+        let pattern =
+            wl::bounded_pattern(&graph, nodes, edges, 3, k, 1720 + nodes as u64 * 10 + k as u64);
         let (t_matrix, _) = time_ms(|| match_bounded(&pattern, &graph, &matrix));
         let (t_two_hop, _) = time_ms(|| match_bounded(&pattern, &graph, &two_hop));
         let (t_bfs, _) = time_ms(|| match_bounded_with_bfs_cached(&pattern, &graph));
@@ -386,14 +391,29 @@ fn fig20a(scale: f64) {
     let mut rows = Vec::new();
     for alpha_step in 0..=4usize {
         let alpha = 1.0 + 0.05 * alpha_step as f64;
-        let graph = synthetic_graph(&SyntheticConfig::densification(nodes, alpha, 8, 0x20a + alpha_step as u64));
+        let graph = synthetic_graph(&SyntheticConfig::densification(
+            nodes,
+            alpha,
+            8,
+            0x20a + alpha_step as u64,
+        ));
         let pattern = wl::normal_pattern(&graph, 4, 5, 3, 0x20aa);
         let batch = mixed_batch(&graph, update_count / 2, update_count / 2, 0x20ab);
         let mut g = graph.clone();
         let mut index = SimulationIndex::build(&pattern, &g);
         let stats = index.apply_batch(&mut g, &batch);
-        rows.push(Row::new("original updates", format!("α={alpha:.2}"), stats.delta_g as f64, "#updates"));
-        rows.push(Row::new("reduced updates", format!("α={alpha:.2}"), stats.reduced_delta_g as f64, "#updates"));
+        rows.push(Row::new(
+            "original updates",
+            format!("α={alpha:.2}"),
+            stats.delta_g as f64,
+            "#updates",
+        ));
+        rows.push(Row::new(
+            "reduced updates",
+            format!("α={alpha:.2}"),
+            stats.reduced_delta_g as f64,
+            "#updates",
+        ));
     }
     print_table("Fig. 20(a) — minDelta update reduction (synthetic, varying α)", &rows);
 }
@@ -417,7 +437,12 @@ fn fig20b(scale: f64) {
         total_inserted += count;
         let rebuilt = LandmarkIndex::build(&incremental_graph, LandmarkSelection::VertexCover);
         let x = format!("+{total_inserted} edges");
-        rows.push(Row::new("InsLM (maintained)", x.clone(), incremental.memory_bytes() as f64 / 1e6, "MB"));
+        rows.push(Row::new(
+            "InsLM (maintained)",
+            x.clone(),
+            incremental.memory_bytes() as f64 / 1e6,
+            "MB",
+        ));
         rows.push(Row::new("BatchLM (rebuilt)", x, rebuilt.memory_bytes() as f64 / 1e6, "MB"));
     }
     print_table("Fig. 20(b) — landmark + distance vector space (synthetic |V|=10K·scale)", &rows);
@@ -439,7 +464,8 @@ fn fig20c(scale: f64) {
                 ins_lm(&mut index, &mut g, a, b);
             }
         });
-        let (t_rebuild_plus, _) = time_ms(|| LandmarkIndex::build(&g, LandmarkSelection::VertexCover));
+        let (t_rebuild_plus, _) =
+            time_ms(|| LandmarkIndex::build(&g, LandmarkSelection::VertexCover));
         rows.push(Row::new("InsLM", format!("+{count}"), t_ins, "ms"));
         rows.push(Row::new("BatchLM(+)", format!("+{count}"), t_rebuild_plus, "ms"));
 
@@ -453,11 +479,15 @@ fn fig20c(scale: f64) {
                 del_lm(&mut index, &mut g, a, b);
             }
         });
-        let (t_rebuild_minus, _) = time_ms(|| LandmarkIndex::build(&g, LandmarkSelection::VertexCover));
+        let (t_rebuild_minus, _) =
+            time_ms(|| LandmarkIndex::build(&g, LandmarkSelection::VertexCover));
         rows.push(Row::new("DelLM", format!("-{count}"), t_del, "ms"));
         rows.push(Row::new("BatchLM(-)", format!("-{count}"), t_rebuild_minus, "ms"));
     }
-    print_table("Fig. 20(c) — landmark maintenance, unit procedures vs rebuild (YouTube-like)", &rows);
+    print_table(
+        "Fig. 20(c) — landmark maintenance, unit procedures vs rebuild (YouTube-like)",
+        &rows,
+    );
 }
 
 /// Fig. 20(d): IncLM vs BatchLM under mixed batches on YouTube-like data.
@@ -537,7 +567,10 @@ fn fig20f(scale: f64) {
 
 /// `BFS+Match` with a generous row cache — the workhorse configuration used by
 /// the figures whose x-axis is not the distance oracle itself.
-fn match_bounded_with_bfs_cached(pattern: &Pattern, graph: &DataGraph) -> igpm_graph::MatchRelation {
+fn match_bounded_with_bfs_cached(
+    pattern: &Pattern,
+    graph: &DataGraph,
+) -> igpm_graph::MatchRelation {
     let oracle = BfsOracle::with_cache(graph, 8192);
     let _ = oracle.name();
     match_bounded(pattern, graph, &oracle)

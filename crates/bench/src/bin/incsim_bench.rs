@@ -1,0 +1,606 @@
+//! Machine-readable incremental-simulation benchmark.
+//!
+//! Compares the counter-backed [`SimulationIndex`] against the frozen
+//! pre-optimisation hash-set engine ([`LegacySimulationIndex`]) **in the same
+//! run**, on a Fig. 18-style synthetic workload (densification-law graph,
+//! degree-biased updates), and writes the results to `BENCH_incsim.json` so
+//! the performance trajectory of the incremental core is tracked from this
+//! change onward (see `BENCHMARKS.md`).
+//!
+//! ```text
+//! cargo run --release -p igpm-bench --bin incsim_bench
+//! cargo run --release -p igpm-bench --bin incsim_bench -- --nodes 20000 --out BENCH_incsim.json
+//! ```
+//!
+//! Two unit-update streams are measured:
+//!
+//! * **maintenance** — degree-biased updates filtered, by live replay, to the
+//!   ones `minDelta` classifies as relevant (`ss` deletions / `cs`+`cc`
+//!   insertions, in alternating blocks). These are the updates on which
+//!   `IncMatch±` actually runs its propagation — the cost the counter rewrite
+//!   targets.
+//! * **mixed** — the raw degree-biased stream, most of which `minDelta`
+//!   discards in O(1). It bounds the constant per-update overhead, including
+//!   the counter-upkeep tax the optimised engine pays on updates whose target
+//!   matches something (legacy does nothing there).
+//!
+//! For each stream, two statistics are reported per engine (see
+//! `BENCHMARKS.md` for the full methodology):
+//!
+//! * **end-to-end latency** — the full `insert_edge`/`delete_edge` call,
+//!   including the shared graph mutation both engines must perform;
+//! * **maintenance cost** (the headline `speedup`) — the end-to-end time of a
+//!   chunk minus the time the *same mutations* take on a bare `DataGraph`
+//!   replica with no index attached (the legacy engine's replica deletes
+//!   through the seed's linear path, matching what that engine pays). This
+//!   isolates exactly the classification + auxiliary-structure upkeep +
+//!   propagation work that `IncMatch±` adds on top of the graph, which is the
+//!   code the counter rewrite replaces.
+//!
+//! Timing: chunks of 8 same-kind updates, both engines lockstep on each chunk
+//! in alternating order, whole walk repeated 3× from fresh state keeping the
+//! per-chunk minimum (timing noise is additive). Batch throughput (`IncMatch`
+//! with `minDelta`) and the accumulated `|AFF|` are reported for both
+//! engines; both engines are asserted to agree with a from-scratch
+//! `match_simulation` before any number is written.
+
+use igpm_bench::harness::median_ns;
+use igpm_bench::legacy::LegacySimulationIndex;
+use igpm_core::{match_simulation, AffStats, SimulationIndex};
+use igpm_generator::{
+    degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
+    synthetic_graph, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
+};
+use igpm_graph::{BatchUpdate, DataGraph, JsonValue, Pattern, Update};
+use std::time::Instant;
+
+struct Config {
+    nodes: usize,
+    edges: usize,
+    labels: usize,
+    unit_updates: usize,
+    batch_size: usize,
+    pattern_nodes: usize,
+    pattern_edges: usize,
+    shape: PatternShape,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Fig. 18(a)-flavoured sizes, scaled to run in seconds: a
+        // densification-law synthetic graph (average degree 6, like the
+        // paper's |E| ≈ 4-6·|V| synthetic sweeps) and a generated normal DAG
+        // pattern, large enough (10 nodes / 15 edges) that support checks are
+        // non-trivial while the per-update masks stay two words.
+        Config {
+            nodes: 10_000,
+            edges: 60_000,
+            labels: 6,
+            unit_updates: 600,
+            batch_size: 2_000,
+            pattern_nodes: 10,
+            pattern_edges: 15,
+            shape: PatternShape::Dag,
+            seed: 0x18a,
+            out: "BENCH_incsim.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("{name} needs a number"))
+        };
+        match arg.as_str() {
+            "--nodes" => config.nodes = grab("--nodes"),
+            "--edges" => config.edges = grab("--edges"),
+            "--labels" => config.labels = grab("--labels"),
+            "--unit-updates" => config.unit_updates = grab("--unit-updates"),
+            "--batch-size" => config.batch_size = grab("--batch-size"),
+            "--pattern-nodes" => config.pattern_nodes = grab("--pattern-nodes"),
+            "--pattern-edges" => config.pattern_edges = grab("--pattern-edges"),
+            "--shape" => {
+                config.shape = match args.next().expect("--shape needs a value").as_str() {
+                    "general" => PatternShape::General,
+                    "dag" => PatternShape::Dag,
+                    "tree" => PatternShape::Tree,
+                    other => panic!("unknown shape {other}"),
+                }
+            }
+            "--seed" => config.seed = grab("--seed") as u64,
+            "--out" => config.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other} (see crates/bench/src/bin/incsim_bench.rs)"),
+        }
+    }
+    config
+}
+
+/// The raw degree-biased stream, interleaving insertions and deletions in
+/// blocks of [`CHUNK`] (so the chunked timer always measures one kind).
+fn mixed_stream(graph: &DataGraph, count: usize, seed: u64) -> Vec<Update> {
+    let ins = degree_biased_insertions(graph, UpdateGenConfig::new(count / 2, seed));
+    let del = degree_biased_deletions(graph, UpdateGenConfig::new(count / 2, seed + 1));
+    let mut stream = Vec::with_capacity(count);
+    let (mut i, mut d) = (ins.iter(), del.iter());
+    'outer: loop {
+        let mut emitted = false;
+        for _ in 0..CHUNK {
+            match i.next() {
+                Some(u) => {
+                    stream.push(*u);
+                    emitted = true;
+                }
+                None => break,
+            }
+        }
+        for _ in 0..CHUNK {
+            match d.next() {
+                Some(u) => {
+                    stream.push(*u);
+                    emitted = true;
+                }
+                None => break,
+            }
+        }
+        if !emitted {
+            break 'outer;
+        }
+    }
+    stream
+}
+
+/// Builds a stream of `count` *relevant* unit updates — blocks of [`CHUNK`]
+/// deletions alternating with blocks of insertions — by replaying
+/// degree-biased candidates against a scratch index: relevant candidates of
+/// the currently wanted kind are kept (and stay applied), everything else is
+/// undone, so the replayed prefix state always equals `base + accepted
+/// stream` and every acceptance-time classification stays valid on replay.
+fn maintenance_stream(base: &DataGraph, pattern: &Pattern, count: usize, seed: u64) -> Vec<Update> {
+    let mut graph = base.clone();
+    let mut index = SimulationIndex::build(pattern, &graph);
+    let mut accepted: Vec<Update> = Vec::new();
+    let mut in_block = 0u128;
+    let mut want_delete = true;
+    let mut round = 0u64;
+    while accepted.len() < count && round < 400 {
+        round += 1;
+        let candidates: Vec<Update> = mixed_stream(&graph, 200, seed + round * 1000);
+        for update in candidates {
+            if accepted.len() >= count {
+                break;
+            }
+            let (a, b) = update.endpoints();
+            if update.is_delete() != want_delete {
+                continue;
+            }
+            let stats = if update.is_insert() {
+                index.insert_edge(&mut graph, a, b)
+            } else {
+                index.delete_edge(&mut graph, a, b)
+            };
+            if stats.delta_g == 1 && stats.reduced_delta_g == 1 {
+                accepted.push(update);
+                in_block += 1;
+                if in_block == CHUNK {
+                    in_block = 0;
+                    want_delete = !want_delete;
+                }
+            } else {
+                // Irrelevant (or no-op): undo so the scratch state matches
+                // base + accepted updates exactly.
+                let (ia, ib) = update.inverse().endpoints();
+                if update.is_insert() {
+                    index.delete_edge(&mut graph, ia, ib);
+                } else {
+                    index.insert_edge(&mut graph, ia, ib);
+                }
+            }
+        }
+    }
+    assert!(!accepted.is_empty(), "could not find any relevant updates — pattern match is empty?");
+    accepted
+}
+
+/// Size of the timed chunks: per-update `Instant` reads cost ~40-100 ns,
+/// which would floor a few-hundred-ns latency comparison; timing runs of
+/// consecutive same-kind updates and dividing amortises that overhead
+/// (the same reason criterion batches its iterations).
+const CHUNK: u128 = 8;
+
+fn time_batch<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed().as_secs_f64() * 1e3, result)
+}
+
+fn obj(entries: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Divides accumulated [`AffStats`] by the number of identical replays.
+fn scale_stats(stats: AffStats, reps: usize) -> AffStats {
+    AffStats {
+        delta_g: stats.delta_g / reps,
+        reduced_delta_g: stats.reduced_delta_g / reps,
+        matches_added: stats.matches_added / reps,
+        matches_removed: stats.matches_removed / reps,
+        aux_changes: stats.aux_changes / reps,
+        nodes_visited: stats.nodes_visited / reps,
+        counter_updates: stats.counter_updates / reps,
+    }
+}
+
+struct UnitComparison {
+    counter_median_ns: u128,
+    legacy_median_ns: u128,
+    /// Median per-update *maintenance* cost (total minus the bare graph
+    /// mutation of the same chunk) per engine, and its paired speedup.
+    counter_maint_ns: u128,
+    legacy_maint_ns: u128,
+    maintenance_speedup: f64,
+    /// Median of the per-chunk paired end-to-end ratios (each chunk is one
+    /// trial on which both engines ran back to back).
+    paired_speedup: f64,
+    counter_del_ns: u128,
+    legacy_del_ns: u128,
+    counter_ins_ns: u128,
+    legacy_ins_ns: u128,
+    speedup: f64,
+    counter_aff: AffStats,
+    legacy_aff: AffStats,
+}
+
+/// Runs both engines over the same unit stream from the same base state and
+/// checks they land on the same (from-scratch-verified) match.
+fn compare_unit_stream(
+    name: &str,
+    graph: &DataGraph,
+    pattern: &Pattern,
+    stream: &[Update],
+) -> UnitComparison {
+    let unit_step_counter = |index: &mut SimulationIndex, g: &mut DataGraph, update: &Update| {
+        let (a, b) = update.endpoints();
+        if update.is_insert() {
+            index.insert_edge(g, a, b)
+        } else {
+            index.delete_edge(g, a, b)
+        }
+    };
+    let unit_step_legacy =
+        |index: &mut LegacySimulationIndex, g: &mut DataGraph, update: &Update| {
+            let (a, b) = update.endpoints();
+            if update.is_insert() {
+                index.insert_edge(g, a, b)
+            } else {
+                index.delete_edge(g, a, b)
+            }
+        };
+
+    // Lockstep: both engines replay the same stream chunk by chunk, timed
+    // back to back, so CPU frequency drift and co-tenant noise hit both
+    // engines on the same chunk rather than on different halves of the run.
+    // The whole walk is repeated REPS times from fresh state and each chunk
+    // keeps its *minimum* per engine — timing noise is strictly additive, so
+    // min-of-reps is the best estimate of the true chunk cost.
+    const REPS: usize = 3;
+    // Per rep: (per-chunk counter ns, per-chunk legacy ns, per-chunk kind).
+    let mut chunk_counter: Vec<u128> = Vec::new();
+    let mut chunk_legacy: Vec<u128> = Vec::new();
+    let mut chunk_fast: Vec<u128> = Vec::new();
+    let mut chunk_linear: Vec<u128> = Vec::new();
+    let mut chunk_kind: Vec<(bool, usize)> = Vec::new(); // (is_delete, chunk_len)
+    let mut counter_aff = AffStats::default();
+    let mut legacy_aff = AffStats::default();
+    let mut final_graph = graph.clone();
+    for rep in 0..REPS {
+        let mut counter_index = SimulationIndex::build(pattern, graph);
+        let mut counter_graph = graph.clone();
+        let mut legacy_index = LegacySimulationIndex::build(pattern, graph);
+        let mut legacy_graph = graph.clone();
+        // Bare graph replicas: the same mutations without any index, used to
+        // subtract the shared mutation cost and isolate the *maintenance*
+        // work. The legacy replica deletes through the seed's linear path,
+        // matching what the legacy engine itself pays.
+        let mut replica_fast = graph.clone();
+        let mut replica_linear = graph.clone();
+        let mut chunk_no = 0usize;
+        let mut i = 0usize;
+        while i < stream.len() {
+            let is_delete = stream[i].is_delete();
+            let mut end = i;
+            while end < stream.len()
+                && stream[end].is_delete() == is_delete
+                && ((end - i) as u128) < CHUNK
+            {
+                end += 1;
+            }
+            let chunk = &stream[i..end];
+
+            // Alternate which engine goes first so first-mover cache effects
+            // cancel out across chunks.
+            let counter_first = (chunk_no + rep).is_multiple_of(2);
+            let mut time_counter = |c_aff: &mut AffStats| {
+                let start = Instant::now();
+                for update in chunk {
+                    c_aff.merge(unit_step_counter(&mut counter_index, &mut counter_graph, update));
+                }
+                start.elapsed().as_nanos() / chunk.len() as u128
+            };
+            let mut time_legacy = |l_aff: &mut AffStats| {
+                let start = Instant::now();
+                for update in chunk {
+                    l_aff.merge(unit_step_legacy(&mut legacy_index, &mut legacy_graph, update));
+                }
+                start.elapsed().as_nanos() / chunk.len() as u128
+            };
+            let (counter_per_update, legacy_per_update) = if counter_first {
+                let c = time_counter(&mut counter_aff);
+                let l = time_legacy(&mut legacy_aff);
+                (c, l)
+            } else {
+                let l = time_legacy(&mut legacy_aff);
+                let c = time_counter(&mut counter_aff);
+                (c, l)
+            };
+            let start = Instant::now();
+            for update in chunk {
+                let (a, b) = update.endpoints();
+                if update.is_insert() {
+                    replica_fast.add_edge(a, b);
+                } else {
+                    replica_fast.remove_edge(a, b);
+                }
+            }
+            let fast_per_update = start.elapsed().as_nanos() / chunk.len() as u128;
+            let start = Instant::now();
+            for update in chunk {
+                let (a, b) = update.endpoints();
+                if update.is_insert() {
+                    replica_linear.add_edge(a, b);
+                } else {
+                    replica_linear.remove_edge_linear(a, b);
+                }
+            }
+            let linear_per_update = start.elapsed().as_nanos() / chunk.len() as u128;
+            if rep == 0 {
+                chunk_counter.push(counter_per_update);
+                chunk_legacy.push(legacy_per_update);
+                chunk_fast.push(fast_per_update);
+                chunk_linear.push(linear_per_update);
+                chunk_kind.push((is_delete, chunk.len()));
+            } else {
+                chunk_counter[chunk_no] = chunk_counter[chunk_no].min(counter_per_update);
+                chunk_legacy[chunk_no] = chunk_legacy[chunk_no].min(legacy_per_update);
+                chunk_fast[chunk_no] = chunk_fast[chunk_no].min(fast_per_update);
+                chunk_linear[chunk_no] = chunk_linear[chunk_no].min(linear_per_update);
+            }
+            chunk_no += 1;
+            i = end;
+        }
+        assert_eq!(counter_graph, legacy_graph, "{name}: engines saw different graphs");
+        if rep == 0 {
+            final_graph = counter_graph;
+        }
+    }
+    // AffStats accumulated over REPS identical replays: scale back to one.
+    counter_aff = scale_stats(counter_aff, REPS);
+    legacy_aff = scale_stats(legacy_aff, REPS);
+
+    // Semantic check: a re-run of each engine must agree with from-scratch.
+    let expected = match_simulation(pattern, &final_graph);
+    let mut g = graph.clone();
+    let mut check = SimulationIndex::build(pattern, &g);
+    for u in stream {
+        unit_step_counter(&mut check, &mut g, u);
+    }
+    assert_eq!(check.matches(), expected, "{name}: counter engine diverged");
+    let mut g = graph.clone();
+    let mut check = LegacySimulationIndex::build(pattern, &g);
+    for u in stream {
+        unit_step_legacy(&mut check, &mut g, u);
+    }
+    assert_eq!(check.matches(), expected, "{name}: legacy engine diverged");
+
+    // Expand per-chunk minima to per-update samples and paired ratios. The
+    // *maintenance* samples subtract the bare graph-mutation cost of the same
+    // chunk (fast path for the counter engine, the seed's linear path for the
+    // legacy engine), isolating classification + auxiliary-structure upkeep +
+    // propagation — the work IncMatch± actually performs on top of the graph.
+    let (mut c_del, mut c_ins, mut l_del, mut l_ins) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut cm_all, mut lm_all) = (Vec::new(), Vec::new());
+    let mut paired_ratios: Vec<f64> = Vec::new();
+    let mut maint_ratios: Vec<f64> = Vec::new();
+    for (chunk_no, &(is_delete, len)) in chunk_kind.iter().enumerate() {
+        let c = chunk_counter[chunk_no];
+        let l = chunk_legacy[chunk_no];
+        let cm = c.saturating_sub(chunk_fast[chunk_no]).max(1);
+        let lm = l.saturating_sub(chunk_linear[chunk_no]).max(1);
+        for _ in 0..len {
+            if is_delete {
+                c_del.push(c);
+                l_del.push(l);
+            } else {
+                c_ins.push(c);
+                l_ins.push(l);
+            }
+            cm_all.push(cm);
+            lm_all.push(lm);
+        }
+        paired_ratios.push(l as f64 / c.max(1) as f64);
+        maint_ratios.push(lm as f64 / cm as f64);
+    }
+
+    let all_counter: Vec<u128> = c_del.iter().chain(c_ins.iter()).copied().collect();
+    let all_legacy: Vec<u128> = l_del.iter().chain(l_ins.iter()).copied().collect();
+    let counter_median_ns = median_ns(all_counter);
+    let legacy_median_ns = median_ns(all_legacy);
+    paired_ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let paired_speedup = paired_ratios.get(paired_ratios.len() / 2).copied().unwrap_or(1.0);
+    maint_ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let maintenance_paired = maint_ratios.get(maint_ratios.len() / 2).copied().unwrap_or(1.0);
+    let counter_maint_ns = median_ns(cm_all);
+    let legacy_maint_ns = median_ns(lm_all);
+    let comparison = UnitComparison {
+        counter_median_ns,
+        legacy_median_ns,
+        counter_maint_ns,
+        legacy_maint_ns,
+        maintenance_speedup: maintenance_paired,
+        paired_speedup,
+        counter_del_ns: median_ns(c_del),
+        legacy_del_ns: median_ns(l_del),
+        counter_ins_ns: median_ns(c_ins),
+        legacy_ins_ns: median_ns(l_ins),
+        speedup: legacy_median_ns as f64 / counter_median_ns.max(1) as f64,
+        counter_aff,
+        legacy_aff,
+    };
+    println!(
+        "{name}: {} updates — end-to-end counter {} ns vs legacy {} ns ({:.2}x medians, \
+         {:.2}x paired); maintenance {} ns vs {} ns ({:.2}x paired) \
+         (del {}/{} ns, ins {}/{} ns)",
+        stream.len(),
+        comparison.counter_median_ns,
+        comparison.legacy_median_ns,
+        comparison.speedup,
+        comparison.paired_speedup,
+        comparison.counter_maint_ns,
+        comparison.legacy_maint_ns,
+        comparison.maintenance_speedup,
+        comparison.counter_del_ns,
+        comparison.legacy_del_ns,
+        comparison.counter_ins_ns,
+        comparison.legacy_ins_ns,
+    );
+    comparison
+}
+
+fn unit_json(c: &UnitComparison) -> JsonValue {
+    obj(vec![
+        ("counter_median_ns", JsonValue::Int(c.counter_median_ns as i64)),
+        ("legacy_median_ns", JsonValue::Int(c.legacy_median_ns as i64)),
+        ("speedup", JsonValue::Float(c.maintenance_speedup)),
+        ("counter_maintenance_median_ns", JsonValue::Int(c.counter_maint_ns as i64)),
+        ("legacy_maintenance_median_ns", JsonValue::Int(c.legacy_maint_ns as i64)),
+        ("end_to_end_speedup", JsonValue::Float(c.paired_speedup)),
+        ("end_to_end_speedup_of_medians", JsonValue::Float(c.speedup)),
+        ("counter_delete_median_ns", JsonValue::Int(c.counter_del_ns as i64)),
+        ("legacy_delete_median_ns", JsonValue::Int(c.legacy_del_ns as i64)),
+        ("counter_insert_median_ns", JsonValue::Int(c.counter_ins_ns as i64)),
+        ("legacy_insert_median_ns", JsonValue::Int(c.legacy_ins_ns as i64)),
+        ("counter_total_aff", JsonValue::Int(c.counter_aff.aff() as i64)),
+        ("legacy_total_aff", JsonValue::Int(c.legacy_aff.aff() as i64)),
+        ("counter_total_delta_m", JsonValue::Int(c.counter_aff.delta_m() as i64)),
+        ("legacy_total_delta_m", JsonValue::Int(c.legacy_aff.delta_m() as i64)),
+        ("counter_updates", JsonValue::Int(c.counter_aff.counter_updates as i64)),
+    ])
+}
+
+fn main() {
+    let config = parse_args();
+    println!(
+        "# incsim_bench — |V|={}, |E|={}, {} labels, {} unit updates, batch {}",
+        config.nodes, config.edges, config.labels, config.unit_updates, config.batch_size
+    );
+
+    let graph = synthetic_graph(&SyntheticConfig::new(
+        config.nodes,
+        config.edges,
+        config.labels,
+        config.seed,
+    ));
+    let pattern: Pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(config.pattern_nodes, config.pattern_edges, 1, config.seed + 7)
+            .with_shape(config.shape),
+    );
+
+    // --- Unit updates -----------------------------------------------------
+    let maintenance = maintenance_stream(&graph, &pattern, config.unit_updates, config.seed + 11);
+    let mixed = mixed_stream(&graph, config.unit_updates, config.seed + 17);
+    let maintenance_cmp = compare_unit_stream("maintenance", &graph, &pattern, &maintenance);
+    let mixed_cmp = compare_unit_stream("mixed", &graph, &pattern, &mixed);
+
+    // --- Batch application ------------------------------------------------
+    let batch: BatchUpdate =
+        mixed_batch(&graph, config.batch_size / 2, config.batch_size / 2, config.seed + 13);
+    let batch_samples = 5;
+    let mut counter_batch_ms = Vec::new();
+    let mut legacy_batch_ms = Vec::new();
+    let mut counter_batch_aff = 0usize;
+    let mut legacy_batch_aff = 0usize;
+    let mut updated = graph.clone();
+    batch.apply(&mut updated);
+    let expected = match_simulation(&pattern, &updated);
+    for _ in 0..batch_samples {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build(&pattern, &g);
+        let (ms, stats) = time_batch(|| index.apply_batch(&mut g, &batch));
+        counter_batch_ms.push((ms * 1e6) as u128);
+        counter_batch_aff = stats.aff();
+        assert_eq!(index.matches(), expected, "counter engine diverged on batch");
+
+        let mut g = graph.clone();
+        let mut legacy = LegacySimulationIndex::build(&pattern, &g);
+        let (ms, stats) = time_batch(|| legacy.apply_batch(&mut g, &batch));
+        legacy_batch_ms.push((ms * 1e6) as u128);
+        legacy_batch_aff = stats.aff();
+        assert_eq!(legacy.matches(), expected, "legacy engine diverged on batch");
+    }
+    let counter_batch_ns = median_ns(counter_batch_ms);
+    let legacy_batch_ns = median_ns(legacy_batch_ms);
+    let batch_speedup = legacy_batch_ns as f64 / counter_batch_ns.max(1) as f64;
+    let counter_tput = config.batch_size as f64 / (counter_batch_ns as f64 / 1e9);
+    let legacy_tput = config.batch_size as f64 / (legacy_batch_ns as f64 / 1e9);
+    println!(
+        "batch ({} updates): counter {:.3} ms ({:.0}/s), legacy {:.3} ms ({:.0}/s)  ⇒  {batch_speedup:.2}x",
+        config.batch_size,
+        counter_batch_ns as f64 / 1e6,
+        counter_tput,
+        legacy_batch_ns as f64 / 1e6,
+        legacy_tput
+    );
+
+    // --- Report -----------------------------------------------------------
+    let report = obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("nodes", JsonValue::Int(config.nodes as i64)),
+                ("edges", JsonValue::Int(config.edges as i64)),
+                ("labels", JsonValue::Int(config.labels as i64)),
+                ("pattern_nodes", JsonValue::Int(pattern.node_count() as i64)),
+                ("pattern_edges", JsonValue::Int(pattern.edge_count() as i64)),
+                ("maintenance_updates", JsonValue::Int(maintenance.len() as i64)),
+                ("mixed_updates", JsonValue::Int(mixed.len() as i64)),
+                ("batch_size", JsonValue::Int(batch.len() as i64)),
+                ("seed", JsonValue::Int(config.seed as i64)),
+            ]),
+        ),
+        ("unit_update", unit_json(&maintenance_cmp)),
+        ("unit_update_mixed", unit_json(&mixed_cmp)),
+        (
+            "batch",
+            obj(vec![
+                ("counter_median_ms", JsonValue::Float(counter_batch_ns as f64 / 1e6)),
+                ("legacy_median_ms", JsonValue::Float(legacy_batch_ns as f64 / 1e6)),
+                ("speedup", JsonValue::Float(batch_speedup)),
+                ("counter_updates_per_sec", JsonValue::Float(counter_tput)),
+                ("legacy_updates_per_sec", JsonValue::Float(legacy_tput)),
+                ("counter_aff", JsonValue::Int(counter_batch_aff as i64)),
+                ("legacy_aff", JsonValue::Int(legacy_batch_aff as i64)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&config.out, report.to_string()).expect("write report");
+    println!("wrote {}", config.out);
+}

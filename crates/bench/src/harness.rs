@@ -1,0 +1,106 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The build environment cannot fetch `criterion`, so the `cargo bench`
+//! targets (`harness = false`) use this module instead: fixed sample counts,
+//! per-sample setup (like criterion's `iter_batched`), and median/min/max
+//! reporting. Medians are reported rather than means so a stray scheduler
+//! hiccup cannot skew a comparison.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmark routine.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Median sample duration in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest sample in nanoseconds.
+    pub max_ns: u128,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<36} median {:>12.3} ms   (min {:>10.3}, max {:>10.3}, n={})",
+            self.name,
+            self.median_ns as f64 / 1e6,
+            self.min_ns as f64 / 1e6,
+            self.max_ns as f64 / 1e6,
+            self.samples
+        )
+    }
+}
+
+/// Median of a list of durations in nanoseconds (0 for an empty list).
+pub fn median_ns(mut durations: Vec<u128>) -> u128 {
+    if durations.is_empty() {
+        return 0;
+    }
+    durations.sort_unstable();
+    durations[durations.len() / 2]
+}
+
+/// Runs `routine` `samples` times, each on a fresh state produced by `setup`
+/// (setup time is excluded), and prints + returns the summary.
+pub fn bench_batched<S, T>(
+    name: &str,
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) -> Summary {
+    assert!(samples > 0, "at least one sample required");
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let state = setup();
+        let start = Instant::now();
+        let result = routine(state);
+        times.push(start.elapsed().as_nanos());
+        drop(result);
+    }
+    let summary = Summary {
+        name: name.to_string(),
+        samples,
+        median_ns: median_ns(times.clone()),
+        min_ns: times.iter().copied().min().unwrap_or(0),
+        max_ns: times.iter().copied().max().unwrap_or(0),
+    };
+    println!("{summary}");
+    summary
+}
+
+/// Runs a setup-free routine `samples` times and reports the median.
+pub fn bench<T>(name: &str, samples: usize, mut routine: impl FnMut() -> T) -> Summary {
+    bench_batched(name, samples, || (), |()| routine())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_lists() {
+        assert_eq!(median_ns(vec![5, 1, 3]), 3);
+        assert_eq!(median_ns(vec![4, 1, 3, 2]), 3);
+        assert_eq!(median_ns(Vec::new()), 0);
+    }
+
+    #[test]
+    fn bench_measures_and_returns_all_samples() {
+        let summary = bench("noop", 5, || 1 + 1);
+        assert_eq!(summary.samples, 5);
+        assert!(summary.min_ns <= summary.median_ns && summary.median_ns <= summary.max_ns);
+    }
+
+    #[test]
+    fn batched_setup_is_not_measured() {
+        let summary =
+            bench_batched("setup_heavy", 3, || std::hint::black_box(vec![0u8; 1024]), |v| v.len());
+        assert_eq!(summary.samples, 3);
+    }
+}

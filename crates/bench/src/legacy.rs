@@ -1,0 +1,421 @@
+//! The pre-optimisation incremental simulation engine, frozen as a baseline.
+//!
+//! This is the hash-set implementation the repository shipped before the
+//! counter-backed rewrite of `igpm_core::incremental::sim`: `match(u)` and
+//! `candt(u)` are per-pattern-node hash sets, `ss`/`cs`/`cc` classification
+//! probes one hash set per pattern edge, and every worklist visit re-derives
+//! support by scanning `graph.children(v)` against the match sets
+//! (`has_full_support`). It is kept **only** so `incsim_bench` can measure the
+//! speedup of the counter-backed engine against the exact same algorithmic
+//! baseline in the same run (see `BENCHMARKS.md`); nothing else should use it.
+
+use igpm_core::{candidates, AffStats};
+use igpm_distance::landmark_inc::reduce_batch;
+use igpm_graph::hash::FastHashSet;
+use igpm_graph::{
+    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId,
+    StronglyConnectedComponents, Update,
+};
+
+/// Auxiliary state of the frozen hash-set engine.
+#[derive(Debug, Clone)]
+pub struct LegacySimulationIndex {
+    pattern: Pattern,
+    match_sets: Vec<FastHashSet<NodeId>>,
+    candt_sets: Vec<FastHashSet<NodeId>>,
+    scc: StronglyConnectedComponents,
+    has_cycle: bool,
+}
+
+impl LegacySimulationIndex {
+    /// Builds the index by computing the maximum simulation from scratch.
+    ///
+    /// # Panics
+    /// Panics if `pattern` is not a normal pattern.
+    pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
+        assert!(pattern.is_normal(), "incremental simulation needs a normal pattern");
+        let all_candidates = candidates(pattern, graph);
+        let scc = StronglyConnectedComponents::of_pattern(pattern);
+        let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
+
+        let mut index = LegacySimulationIndex {
+            pattern: pattern.clone(),
+            match_sets: all_candidates.iter().map(|list| list.iter().copied().collect()).collect(),
+            candt_sets: vec![FastHashSet::default(); pattern.node_count()],
+            scc,
+            has_cycle,
+        };
+        index.refine_all(graph);
+        for (u_idx, list) in all_candidates.into_iter().enumerate() {
+            for v in list {
+                if !index.match_sets[u_idx].contains(&v) {
+                    index.candt_sets[u_idx].insert(v);
+                }
+            }
+        }
+        index
+    }
+
+    /// The current maximum match.
+    pub fn matches(&self) -> MatchRelation {
+        if self.match_sets.iter().any(FastHashSet::is_empty) {
+            return MatchRelation::empty(self.pattern.node_count());
+        }
+        MatchRelation::from_lists(
+            self.match_sets.iter().map(|set| set.iter().copied().collect::<Vec<_>>()),
+        )
+    }
+
+    /// `IncMatch-` (hash-set variant). Uses the seed's `O(deg)` linear edge
+    /// removal ([`DataGraph::remove_edge_linear`]) so the measured baseline
+    /// matches what the pre-optimisation implementation actually cost.
+    pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        if !graph.remove_edge_linear(from, to) {
+            return stats;
+        }
+        if !self.is_ss_edge(from, to) {
+            return stats;
+        }
+        stats.reduced_delta_g = 1;
+        self.process_deletions(graph, &[(from, to)], &mut stats);
+        stats
+    }
+
+    /// `IncMatch+` (hash-set variant).
+    pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        if !graph.add_edge(from, to) {
+            return stats;
+        }
+        if !self.is_cs_or_cc_edge(from, to) {
+            return stats;
+        }
+        stats.reduced_delta_g = 1;
+        self.process_insertions(graph, &[(from, to)], &mut stats);
+        stats
+    }
+
+    /// `IncMatch` batch application with `minDelta` (hash-set variant).
+    pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
+        let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
+        let (effective, _) = reduce_batch(graph, batch);
+        let mut relevant_deletions: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut relevant_insertions: Vec<(NodeId, NodeId)> = Vec::new();
+        for update in &effective {
+            let (a, b) = update.endpoints();
+            match update {
+                Update::DeleteEdge { .. } if self.is_ss_edge(a, b) => {
+                    relevant_deletions.push((a, b))
+                }
+                Update::InsertEdge { .. } if self.is_cs_or_cc_edge(a, b) => {
+                    relevant_insertions.push((a, b))
+                }
+                _ => {}
+            }
+        }
+        stats.reduced_delta_g = relevant_deletions.len() + relevant_insertions.len();
+        for update in &effective {
+            // Deletions go through the seed's linear removal path so the
+            // baseline's batch cost is faithful too.
+            match *update {
+                Update::DeleteEdge { from, to } => {
+                    graph.remove_edge_linear(from, to);
+                }
+                Update::InsertEdge { .. } => {
+                    update.apply(graph);
+                }
+            }
+        }
+        if !relevant_deletions.is_empty() {
+            self.process_deletions(graph, &relevant_deletions, &mut stats);
+        }
+        if !relevant_insertions.is_empty() {
+            self.process_insertions(graph, &relevant_insertions, &mut stats);
+        }
+        stats
+    }
+
+    fn is_ss_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.pattern.edges().iter().any(|e| {
+            self.match_sets[e.from.index()].contains(&from)
+                && self.match_sets[e.to.index()].contains(&to)
+        })
+    }
+
+    fn is_cs_or_cc_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.pattern.edges().iter().any(|e| {
+            self.candt_sets[e.from.index()].contains(&from)
+                && (self.match_sets[e.to.index()].contains(&to)
+                    || self.candt_sets[e.to.index()].contains(&to))
+        })
+    }
+
+    /// The adjacency rescan the counter-backed engine eliminates.
+    fn has_full_support(&self, graph: &DataGraph, u: PatternNodeId, v: NodeId) -> bool {
+        self.pattern.children(u).iter().all(|&(u2, _)| {
+            graph.children(v).iter().any(|w| self.match_sets[u2.index()].contains(w))
+        })
+    }
+
+    fn process_deletions(
+        &mut self,
+        graph: &DataGraph,
+        deleted: &[(NodeId, NodeId)],
+        stats: &mut AffStats,
+    ) {
+        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for &(a, b) in deleted {
+            for edge in self.pattern.edges() {
+                if self.match_sets[edge.from.index()].contains(&a)
+                    && self.match_sets[edge.to.index()].contains(&b)
+                {
+                    worklist.push((edge.from, a));
+                }
+            }
+        }
+        while let Some((u, v)) = worklist.pop() {
+            stats.nodes_visited += 1;
+            if !self.match_sets[u.index()].contains(&v) {
+                continue;
+            }
+            if self.has_full_support(graph, u, v) {
+                continue;
+            }
+            self.match_sets[u.index()].remove(&v);
+            self.candt_sets[u.index()].insert(v);
+            stats.matches_removed += 1;
+            stats.aux_changes += 1;
+            for &(u_parent, _) in self.pattern.parents(u) {
+                for &p in graph.parents(v) {
+                    if self.match_sets[u_parent.index()].contains(&p) {
+                        worklist.push((u_parent, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_insertions(
+        &mut self,
+        graph: &DataGraph,
+        inserted: &[(NodeId, NodeId)],
+        stats: &mut AffStats,
+    ) {
+        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
+        for &(a, b) in inserted {
+            for edge in self.pattern.edges() {
+                let source_is_cand = self.candt_sets[edge.from.index()].contains(&a);
+                let target_known = self.match_sets[edge.to.index()].contains(&b)
+                    || self.candt_sets[edge.to.index()].contains(&b);
+                if source_is_cand && target_known {
+                    worklist.push((edge.from, a));
+                }
+            }
+        }
+        let mut run_cc = self.has_cycle && self.inserted_touches_scc(inserted);
+        loop {
+            let promoted_cs = self.prop_cs(graph, &mut worklist, stats);
+            if promoted_cs {
+                run_cc = self.has_cycle;
+            }
+            if !run_cc {
+                break;
+            }
+            run_cc = false;
+            let promoted_cc = self.prop_cc(graph, stats, &mut worklist);
+            if !promoted_cc && worklist.is_empty() {
+                break;
+            }
+            if promoted_cc {
+                run_cc = true;
+            }
+        }
+    }
+
+    fn inserted_touches_scc(&self, inserted: &[(NodeId, NodeId)]) -> bool {
+        inserted.iter().any(|&(a, b)| {
+            self.pattern.edges().iter().any(|e| {
+                let same_comp =
+                    self.scc.component_of(e.from.index()) == self.scc.component_of(e.to.index());
+                if !same_comp || !self.scc.is_nontrivial(self.scc.component_of(e.from.index())) {
+                    return false;
+                }
+                (self.candt_sets[e.from.index()].contains(&a)
+                    || self.match_sets[e.from.index()].contains(&a))
+                    && (self.candt_sets[e.to.index()].contains(&b)
+                        || self.match_sets[e.to.index()].contains(&b))
+            })
+        })
+    }
+
+    fn prop_cs(
+        &mut self,
+        graph: &DataGraph,
+        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+        stats: &mut AffStats,
+    ) -> bool {
+        let mut promoted_any = false;
+        while let Some((u, v)) = worklist.pop() {
+            stats.nodes_visited += 1;
+            if !self.candt_sets[u.index()].contains(&v) {
+                continue;
+            }
+            if !self.has_full_support(graph, u, v) {
+                continue;
+            }
+            self.candt_sets[u.index()].remove(&v);
+            self.match_sets[u.index()].insert(v);
+            stats.matches_added += 1;
+            stats.aux_changes += 1;
+            promoted_any = true;
+            for &(u_parent, _) in self.pattern.parents(u) {
+                for &p in graph.parents(v) {
+                    if self.candt_sets[u_parent.index()].contains(&p) {
+                        worklist.push((u_parent, p));
+                    }
+                }
+            }
+        }
+        promoted_any
+    }
+
+    fn prop_cc(
+        &mut self,
+        graph: &DataGraph,
+        stats: &mut AffStats,
+        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+    ) -> bool {
+        let mut promoted_any = false;
+        let components: Vec<_> = self.scc.components().collect();
+        for comp in components {
+            if !self.scc.is_nontrivial(comp) {
+                continue;
+            }
+            let members: Vec<PatternNodeId> =
+                self.scc.members(comp).iter().map(|&i| PatternNodeId::from_index(i)).collect();
+            let mut tentative: Vec<FastHashSet<NodeId>> =
+                vec![FastHashSet::default(); self.pattern.node_count()];
+            for &u in &members {
+                tentative[u.index()] = self.candt_sets[u.index()].clone();
+            }
+            let in_scc = |u: PatternNodeId| members.contains(&u);
+
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &u in &members {
+                    let survivors: Vec<NodeId> = tentative[u.index()]
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            stats.nodes_visited += 1;
+                            self.pattern.children(u).iter().all(|&(u2, _)| {
+                                graph.children(v).iter().any(|w| {
+                                    self.match_sets[u2.index()].contains(w)
+                                        || (in_scc(u2) && tentative[u2.index()].contains(w))
+                                })
+                            })
+                        })
+                        .collect();
+                    if survivors.len() != tentative[u.index()].len() {
+                        changed = true;
+                        tentative[u.index()] = survivors.into_iter().collect();
+                    }
+                }
+            }
+
+            for &u in &members {
+                let survivors: Vec<NodeId> = tentative[u.index()].iter().copied().collect();
+                for v in survivors {
+                    self.candt_sets[u.index()].remove(&v);
+                    self.match_sets[u.index()].insert(v);
+                    stats.matches_added += 1;
+                    stats.aux_changes += 1;
+                    promoted_any = true;
+                    for &(u_parent, _) in self.pattern.parents(u) {
+                        for &p in graph.parents(v) {
+                            if self.candt_sets[u_parent.index()].contains(&p) {
+                                worklist.push((u_parent, p));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        promoted_any
+    }
+
+    fn refine_all(&mut self, graph: &DataGraph) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in self.pattern.nodes() {
+                let to_remove: Vec<NodeId> = self.match_sets[u.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&v| !self.has_full_support(graph, u, v))
+                    .collect();
+                if !to_remove.is_empty() {
+                    changed = true;
+                    for v in to_remove {
+                        self.match_sets[u.index()].remove(&v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igpm_core::{match_simulation, SimulationIndex};
+    use igpm_generator::{
+        generate_pattern, mixed_batch, synthetic_graph, PatternGenConfig, PatternShape,
+        SyntheticConfig,
+    };
+
+    /// The frozen baseline must stay semantically identical to the optimised
+    /// engine — otherwise the speedup comparison is meaningless.
+    #[test]
+    fn legacy_engine_agrees_with_counter_engine_and_batch() {
+        for seed in 0..3u64 {
+            let base = synthetic_graph(&SyntheticConfig::new(150, 500, 4, 900 + seed));
+            let pattern = generate_pattern(
+                &base,
+                &PatternGenConfig::normal(4, 6, 1, 910 + seed).with_shape(PatternShape::General),
+            );
+            let batch = mixed_batch(&base, 40, 40, 920 + seed);
+
+            let mut g1 = base.clone();
+            let mut legacy = LegacySimulationIndex::build(&pattern, &g1);
+            legacy.apply_batch(&mut g1, &batch);
+
+            let mut g2 = base.clone();
+            let mut counter = SimulationIndex::build(&pattern, &g2);
+            counter.apply_batch(&mut g2, &batch);
+
+            assert_eq!(g1, g2);
+            assert_eq!(legacy.matches(), counter.matches(), "seed {seed}");
+            assert_eq!(legacy.matches(), match_simulation(&pattern, &g1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn legacy_unit_updates_agree_with_batch() {
+        let mut graph = synthetic_graph(&SyntheticConfig::new(100, 300, 4, 940));
+        let pattern = generate_pattern(&graph, &PatternGenConfig::normal(4, 5, 1, 941));
+        let mut index = LegacySimulationIndex::build(&pattern, &graph);
+        let batch = mixed_batch(&graph, 25, 25, 942);
+        for update in batch.iter() {
+            let (a, b) = update.endpoints();
+            if update.is_insert() {
+                index.insert_edge(&mut graph, a, b);
+            } else {
+                index.delete_edge(&mut graph, a, b);
+            }
+        }
+        assert_eq!(index.matches(), match_simulation(&pattern, &graph));
+    }
+}

@@ -10,11 +10,16 @@
 //!   figures (one row per x-axis point and algorithm);
 //! * the `experiments` binary (`cargo run -p igpm-bench --release --bin
 //!   experiments -- all`) regenerates every figure and prints the series;
-//! * the Criterion benches (`cargo bench -p igpm-bench`) measure representative
-//!   points of each figure with statistical rigour.
+//! * the benches (`cargo bench -p igpm-bench`, driven by [`harness`]) measure
+//!   representative points of each figure;
+//! * [`legacy`] preserves the pre-optimisation hash-set incremental engine as
+//!   a frozen baseline, and the `incsim_bench` binary compares it against the
+//!   counter-backed engine, writing the machine-readable `BENCH_incsim.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod legacy;
 pub mod report;
 pub mod workloads;

@@ -19,7 +19,12 @@ pub struct Row {
 
 impl Row {
     /// Creates a row.
-    pub fn new(series: impl Into<String>, x: impl Into<String>, value: f64, unit: impl Into<String>) -> Self {
+    pub fn new(
+        series: impl Into<String>,
+        x: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+    ) -> Self {
         Row { series: series.into(), x: x.into(), value, unit: unit.into() }
     }
 }

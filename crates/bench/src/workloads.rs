@@ -16,8 +16,8 @@
 
 use igpm_generator::{
     citation_like, degree_biased_deletions, degree_biased_insertions, generate_pattern,
-    synthetic_graph, youtube_like, CitationConfig, PatternGenConfig, PatternShape,
-    SyntheticConfig, UpdateGenConfig, YouTubeConfig,
+    synthetic_graph, youtube_like, CitationConfig, PatternGenConfig, PatternShape, SyntheticConfig,
+    UpdateGenConfig, YouTubeConfig,
 };
 use igpm_graph::{BatchUpdate, DataGraph, Pattern};
 
@@ -45,12 +45,26 @@ pub fn synthetic(nodes: usize, edges: usize, seed: u64) -> DataGraph {
 
 /// A b-pattern with the paper's `(|V_p|, |E_p|, |pred|, k)` parameters, seeded
 /// from the given data graph so its predicates are satisfiable.
-pub fn bounded_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds: usize, k: u32, seed: u64) -> Pattern {
+pub fn bounded_pattern(
+    graph: &DataGraph,
+    nodes: usize,
+    edges: usize,
+    preds: usize,
+    k: u32,
+    seed: u64,
+) -> Pattern {
     generate_pattern(graph, &PatternGenConfig::new(nodes, edges, preds, k, seed))
 }
 
 /// A DAG b-pattern (required by `IncBMatchm`).
-pub fn dag_bounded_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds: usize, k: u32, seed: u64) -> Pattern {
+pub fn dag_bounded_pattern(
+    graph: &DataGraph,
+    nodes: usize,
+    edges: usize,
+    preds: usize,
+    k: u32,
+    seed: u64,
+) -> Pattern {
     generate_pattern(
         graph,
         &PatternGenConfig::new(nodes, edges, preds, k, seed).with_shape(PatternShape::Dag),
@@ -58,7 +72,13 @@ pub fn dag_bounded_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds:
 }
 
 /// A normal pattern (all bounds 1) for the simulation / isomorphism experiments.
-pub fn normal_pattern(graph: &DataGraph, nodes: usize, edges: usize, preds: usize, seed: u64) -> Pattern {
+pub fn normal_pattern(
+    graph: &DataGraph,
+    nodes: usize,
+    edges: usize,
+    preds: usize,
+    seed: u64,
+) -> Pattern {
     generate_pattern(graph, &PatternGenConfig::normal(nodes, edges, preds, seed))
 }
 

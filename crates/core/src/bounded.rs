@@ -64,7 +64,8 @@ pub fn match_bounded_with_stats<O: DistanceOracle + ?Sized>(
     //   supporters[e][v'] = {v ∈ mat(u) whose support includes v'}
     let edge_count = pattern.edge_count();
     let mut support: Vec<FastHashMap<NodeId, u32>> = vec![FastHashMap::default(); edge_count];
-    let mut supporters: Vec<FastHashMap<NodeId, Vec<NodeId>>> = vec![FastHashMap::default(); edge_count];
+    let mut supporters: Vec<FastHashMap<NodeId, Vec<NodeId>>> =
+        vec![FastHashMap::default(); edge_count];
     let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
 
     for (e_idx, edge) in pattern.edges().iter().enumerate() {
@@ -195,7 +196,9 @@ mod tests {
         let a1 = g.add_node(Attributes::new().with("role", "AM").with("am", true));
         let a2 = g.add_node(Attributes::new().with("role", "AM").with("am", true));
         let a3 = g.add_node(Attributes::new().with("role", "AM").with("am", true).with("s", true));
-        let w: Vec<NodeId> = (0..6).map(|i| g.add_node(Attributes::new().with("role", "W").with("idx", i as i64))).collect();
+        let w: Vec<NodeId> = (0..6)
+            .map(|i| g.add_node(Attributes::new().with("role", "W").with("idx", i as i64)))
+            .collect();
         for &a in &[a1, a2, a3] {
             g.add_edge(boss, a);
             g.add_edge(a, boss);
@@ -223,8 +226,16 @@ mod tests {
         assert!(m.is_total());
         assert_eq!(m.matches(PatternNodeId(0)), &[NodeId(0)], "only the boss matches B");
         assert_eq!(m.matches(PatternNodeId(1)), ams.as_slice(), "all assistant managers match AM");
-        assert_eq!(m.matches(PatternNodeId(2)), &[ams[2]], "the AM doubling as secretary matches S");
-        assert_eq!(m.matches(PatternNodeId(3)), workers.as_slice(), "every field worker matches FW");
+        assert_eq!(
+            m.matches(PatternNodeId(2)),
+            &[ams[2]],
+            "the AM doubling as secretary matches S"
+        );
+        assert_eq!(
+            m.matches(PatternNodeId(3)),
+            workers.as_slice(),
+            "every field worker matches FW"
+        );
     }
 
     #[test]
@@ -236,7 +247,10 @@ mod tests {
         let normal = p.as_normal();
         let m = match_simulation(&normal, &g);
         assert!(!m.contains(PatternNodeId(1), ams[0]), "A1 only reaches its workers via paths");
-        assert!(!m.contains(PatternNodeId(3), workers[0]), "third-level workers are invisible to simulation");
+        assert!(
+            !m.contains(PatternNodeId(3), workers[0]),
+            "third-level workers are invisible to simulation"
+        );
         // Bounded simulation captures both (checked in the companion test);
         // plain simulation finds strictly fewer pairs.
         let bounded = match_bounded_with_matrix(&p, &g);

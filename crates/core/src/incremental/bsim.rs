@@ -11,6 +11,14 @@
 //!   simulation, these are node *pairs* connected by bounded paths rather than
 //!   single graph edges.
 //!
+//! Like the plain-simulation index ([`crate::incremental::sim`]), the match
+//! state is held in per-data-node **pattern bitmasks** (`match_bits` /
+//! `cand_bits`, pattern arity ≤ 64) and supported by **counters**: for every
+//! pattern edge `e = (u, u')` and source node `v`,
+//! `support[e][v] = |pairs[e][v] ∩ match(u')|`. Pair churn and match churn
+//! both maintain these counters, so demotion/promotion checks are `O(1)`
+//! counter reads per pattern edge instead of scans over the pair targets.
+//!
 //! After an update only the pairs with an endpoint in the affected area (the
 //! nodes whose distance vectors changed, plus the update endpoints) can change
 //! (see the covering argument in `DESIGN.md`), so `IncBMatch` re-evaluates
@@ -18,6 +26,7 @@
 //! them — the reduction of bounded simulation to simulation over the result
 //! pairs stated by Proposition 6.1.
 
+use crate::incremental::sim::MAX_PATTERN_NODES;
 use crate::simulation::candidates;
 use crate::stats::AffStats;
 use igpm_distance::landmark_inc::inc_lm_tracked;
@@ -27,22 +36,42 @@ use igpm_graph::{
     BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
     StronglyConnectedComponents, Update,
 };
+use std::cell::{Ref, RefCell};
 
 /// Auxiliary state for incremental bounded simulation over one b-pattern.
 #[derive(Debug, Clone)]
 pub struct BoundedIndex {
     pattern: Pattern,
     landmarks: LandmarkIndex,
-    /// All nodes satisfying each pattern node's predicate (static under edge updates).
-    cand_all: Vec<FastHashSet<NodeId>>,
+    /// Number of pattern nodes (`≤ 64`).
+    np: usize,
+    /// Number of data nodes covered by the per-node arrays.
+    nv: usize,
+    /// `cand_bits[v]` bit `u`: `v` satisfies the predicate of `u` (static
+    /// under edge updates).
+    cand_bits: Vec<u64>,
+    /// The same candidates as sorted per-pattern-node lists, kept so that
+    /// pair re-evaluation iterates `O(|candidates|)` instead of scanning
+    /// every data node.
+    cand_lists: Vec<Vec<NodeId>>,
+    /// `match_bits[v]` bit `u`: `v` is a current bounded-simulation match of `u`.
+    match_bits: Vec<u64>,
+    /// `|match(u)|` per pattern node.
+    match_count: Vec<usize>,
     /// `pairs[e][v]` = targets `v'` such that `(v, v')` satisfies pattern edge `e`.
     pairs: Vec<FastHashMap<NodeId, FastHashSet<NodeId>>>,
     /// `rev_pairs[e][v']` = sources `v` such that `(v, v')` satisfies pattern edge `e`.
     rev_pairs: Vec<FastHashMap<NodeId, FastHashSet<NodeId>>>,
-    /// `match(u)`: current bounded-simulation matches.
-    match_sets: Vec<FastHashSet<NodeId>>,
+    /// `support[e][v] = |pairs[e][v] ∩ match(e.to)|` — sparse counters.
+    support: Vec<FastHashMap<NodeId, u32>>,
+    /// Pattern-edge indices grouped by source pattern node.
+    edges_from: Vec<Vec<usize>>,
+    /// Pattern-edge indices grouped by target pattern node.
+    edges_to: Vec<Vec<usize>>,
     scc: StronglyConnectedComponents,
     has_cycle: bool,
+    /// Lazily rebuilt sorted view of the current match, cleared on mutation.
+    cache: RefCell<Option<MatchRelation>>,
 }
 
 impl BoundedIndex {
@@ -55,27 +84,62 @@ impl BoundedIndex {
 
     /// Builds the index reusing an existing landmark index (must be exact for
     /// the current graph).
-    pub fn build_with_landmarks(pattern: &Pattern, graph: &DataGraph, landmarks: LandmarkIndex) -> Self {
-        let cand_all: Vec<FastHashSet<NodeId>> = candidates(pattern, graph)
-            .into_iter()
-            .map(|list| list.into_iter().collect())
-            .collect();
+    ///
+    /// # Panics
+    /// Panics if the pattern has more than [`MAX_PATTERN_NODES`] nodes.
+    pub fn build_with_landmarks(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        landmarks: LandmarkIndex,
+    ) -> Self {
+        assert!(
+            pattern.node_count() <= MAX_PATTERN_NODES,
+            "pattern arity {} exceeds the {MAX_PATTERN_NODES}-bit membership masks",
+            pattern.node_count()
+        );
+        let np = pattern.node_count();
+        let nv = graph.node_count();
+        let cand_lists = candidates(pattern, graph);
         let scc = StronglyConnectedComponents::of_pattern(pattern);
         let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
         let edge_count = pattern.edge_count();
 
+        let mut edges_from = vec![Vec::new(); np];
+        let mut edges_to = vec![Vec::new(); np];
+        for (e_idx, edge) in pattern.edges().iter().enumerate() {
+            edges_from[edge.from.index()].push(e_idx);
+            edges_to[edge.to.index()].push(e_idx);
+        }
+
         let mut index = BoundedIndex {
             pattern: pattern.clone(),
             landmarks,
-            cand_all,
+            np,
+            nv,
+            cand_bits: vec![0u64; nv],
+            cand_lists: Vec::new(),
+            match_bits: vec![0u64; nv],
+            match_count: vec![0usize; np],
             pairs: vec![FastHashMap::default(); edge_count],
             rev_pairs: vec![FastHashMap::default(); edge_count],
-            match_sets: Vec::new(),
+            support: vec![FastHashMap::default(); edge_count],
+            edges_from,
+            edges_to,
             scc,
             has_cycle,
+            cache: RefCell::new(None),
         };
-        index.rebuild_all_pairs(graph);
-        index.match_sets = index.compute_matches_from_pairs();
+        for (u, list) in cand_lists.iter().enumerate() {
+            // Every candidate starts as a match; refinement demotes below.
+            index.match_count[u] = list.len();
+            for v in list {
+                index.cand_bits[v.index()] |= 1 << u;
+                index.match_bits[v.index()] |= 1 << u;
+            }
+        }
+        index.rebuild_all_pairs(graph, &cand_lists);
+        index.cand_lists = cand_lists;
+        index.refine_initial_matches();
         index
     }
 
@@ -89,30 +153,67 @@ impl BoundedIndex {
         &self.landmarks
     }
 
-    /// The current maximum bounded-simulation match.
+    /// The current maximum bounded-simulation match (cached between
+    /// mutations; see [`BoundedIndex::matches_view`] for a zero-copy borrow).
     pub fn matches(&self) -> MatchRelation {
-        if self.match_sets.iter().any(FastHashSet::is_empty) {
-            return MatchRelation::empty(self.pattern.node_count());
+        self.matches_view().clone()
+    }
+
+    /// Borrowed view of the current maximum match, rebuilt at most once per
+    /// mutation, with deterministically sorted match lists.
+    pub fn matches_view(&self) -> Ref<'_, MatchRelation> {
+        {
+            let mut cache = self.cache.borrow_mut();
+            if cache.is_none() {
+                *cache = Some(self.rebuild_relation());
+            }
         }
-        MatchRelation::from_lists(
-            self.match_sets.iter().map(|s| s.iter().copied().collect::<Vec<_>>()),
-        )
+        Ref::map(self.cache.borrow(), |cache| cache.as_ref().expect("cache filled above"))
+    }
+
+    fn rebuild_relation(&self) -> MatchRelation {
+        if self.match_count.contains(&0) {
+            return MatchRelation::empty(self.np);
+        }
+        let mut lists: Vec<Vec<NodeId>> =
+            self.match_count.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for v in 0..self.nv {
+            let mut bits = self.match_bits[v];
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                lists[u].push(NodeId::from_index(v));
+            }
+        }
+        MatchRelation::from_lists(lists)
+    }
+
+    fn invalidate_cache(&mut self) {
+        *self.cache.get_mut() = None;
     }
 
     /// True if every pattern node currently has at least one match.
     pub fn is_match(&self) -> bool {
-        !self.match_sets.is_empty() && self.match_sets.iter().all(|s| !s.is_empty())
+        !self.match_count.is_empty() && self.match_count.iter().all(|&c| c > 0)
     }
 
-    /// The current matches of one pattern node (partial information).
-    pub fn match_set(&self, u: PatternNodeId) -> &FastHashSet<NodeId> {
-        &self.match_sets[u.index()]
+    /// The current matches of one pattern node, sorted (partial information).
+    pub fn match_set(&self, u: PatternNodeId) -> Vec<NodeId> {
+        let mask = 1u64 << u.index();
+        (0..self.nv).filter(|&v| self.match_bits[v] & mask != 0).map(NodeId::from_index).collect()
+    }
+
+    /// True if `v` currently matches `u` (one word op). Nodes the index has
+    /// not yet observed (added after build) match nothing.
+    #[inline]
+    pub fn contains(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.match_bits.get(v.index()).is_some_and(|&bits| bits & (1 << u.index()) != 0)
     }
 
     /// Builds the result graph `G_r` for the current match.
     pub fn result_graph(&self) -> ResultGraph {
         let mut result = ResultGraph::new();
-        let matches = self.matches();
+        let matches = self.matches_view();
         for (_, v) in matches.pairs() {
             result.add_node(v);
         }
@@ -144,8 +245,8 @@ impl BoundedIndex {
 
     /// `IncBMatch`: batch updates. The graph is updated, the landmark and
     /// distance vectors are maintained by `IncLM`, the affected cc/cs/ss pairs
-    /// are re-evaluated, and the match is repaired by demotion/promotion
-    /// propagation over the pairs.
+    /// are re-evaluated (maintaining the support counters), and the match is
+    /// repaired by demotion/promotion propagation over the pairs.
     pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
 
@@ -159,180 +260,272 @@ impl BoundedIndex {
         if lm_stats.updates_processed == 0 {
             return stats;
         }
+        self.invalidate_cache();
 
-        // Step 2: re-evaluate the pairs whose endpoints are affected.
-        let (broken, created) = self.refresh_pairs(graph, &affected, &mut stats);
+        // Step 2: re-evaluate the pairs whose endpoints are affected. The
+        // support counters absorb every pair transition; `1 → 0` transitions
+        // on a matched source seed demotions, `0 → 1` transitions on an
+        // unmatched candidate source seed promotions.
+        let mut demotion_seeds: Vec<(u32, u32)> = Vec::new();
+        let mut promotion_seeds: Vec<(u32, u32)> = Vec::new();
+        self.refresh_pairs(graph, &affected, &mut demotion_seeds, &mut promotion_seeds, &mut stats);
 
-        // Step 3: repair the match — demotions first (broken pairs), then
-        // promotions (created pairs), mirroring IncMatch.
-        if !broken.is_empty() {
-            self.process_demotions(&broken, &mut stats);
+        // Step 3: repair the match — demotions first, then promotions,
+        // mirroring IncMatch.
+        if !demotion_seeds.is_empty() {
+            self.process_demotions(&mut demotion_seeds, &mut stats);
         }
-        if !created.is_empty() || self.has_cycle {
-            self.process_promotions(&created, &mut stats);
+        if !promotion_seeds.is_empty() || self.has_cycle {
+            self.process_promotions(promotion_seeds, &mut stats);
         }
         stats
     }
 
     // ------------------------------------------------------------------
-    // Pair maintenance
+    // Pair + support maintenance
     // ------------------------------------------------------------------
 
-    fn rebuild_all_pairs(&mut self, graph: &DataGraph) {
+    fn rebuild_all_pairs(&mut self, graph: &DataGraph, cand_lists: &[Vec<NodeId>]) {
         for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
-            let sources: Vec<NodeId> = self.cand_all[edge.from.index()].iter().copied().collect();
-            let targets: Vec<NodeId> = self.cand_all[edge.to.index()].iter().copied().collect();
+            let sources = &cand_lists[edge.from.index()];
+            let targets = &cand_lists[edge.to.index()];
             let mut forward: FastHashMap<NodeId, FastHashSet<NodeId>> = FastHashMap::default();
             let mut backward: FastHashMap<NodeId, FastHashSet<NodeId>> = FastHashMap::default();
-            for &v in &sources {
-                for &w in &targets {
+            let mut support: FastHashMap<NodeId, u32> = FastHashMap::default();
+            for &v in sources {
+                for &w in targets {
                     if satisfies_bound(graph, &self.landmarks, v, w, edge.bound) {
                         forward.entry(v).or_default().insert(w);
                         backward.entry(w).or_default().insert(v);
+                        // All targets are initial matches, so the initial
+                        // support is simply the pair count.
+                        *support.entry(v).or_insert(0) += 1;
                     }
                 }
             }
             self.pairs[e_idx] = forward;
             self.rev_pairs[e_idx] = backward;
+            self.support[e_idx] = support;
         }
     }
 
-    /// Re-evaluates every pair with an affected endpoint. Returns the pairs
-    /// that disappeared and the pairs that appeared, per pattern edge.
-    #[allow(clippy::type_complexity)]
+    /// Initial greatest-fixpoint refinement over the pair sets, counter-backed
+    /// (replaces the seed's repeated full-relation scans).
+    fn refine_initial_matches(&mut self) {
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        for v in 0..self.nv {
+            let mut bits = self.match_bits[v];
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !self.has_counter_support(u, NodeId::from_index(v)) {
+                    worklist.push((u as u32, v as u32));
+                }
+            }
+        }
+        let mut stats = AffStats::default();
+        self.process_demotions(&mut worklist, &mut stats);
+    }
+
+    /// Does `v` (as a match of `u`) have, for every pattern edge `(u, u2)`, a
+    /// pair target currently matching `u2`? One counter read per edge.
+    #[inline]
+    fn has_counter_support(&self, u: usize, v: NodeId) -> bool {
+        self.edges_from[u].iter().all(|&e| self.support[e].get(&v).copied().unwrap_or(0) > 0)
+    }
+
+    /// Re-evaluates every pair with an affected endpoint, maintaining
+    /// `pairs`/`rev_pairs`/`support` and collecting demotion/promotion seeds.
     fn refresh_pairs(
         &mut self,
         graph: &DataGraph,
         affected: &FastHashSet<NodeId>,
+        demotion_seeds: &mut Vec<(u32, u32)>,
+        promotion_seeds: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
-    ) -> (Vec<(usize, NodeId, NodeId)>, Vec<(usize, NodeId, NodeId)>) {
-        let mut broken = Vec::new();
-        let mut created = Vec::new();
-        for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
-            let from_cands = &self.cand_all[edge.from.index()];
-            let to_cands = &self.cand_all[edge.to.index()];
-            // Pairs whose *source* is affected.
-            for &x in affected.iter().filter(|x| from_cands.contains(x)) {
-                for &w in to_cands {
-                    let now = satisfies_bound(graph, &self.landmarks, x, w, edge.bound);
-                    let before = self.pairs[e_idx].get(&x).map(|s| s.contains(&w)).unwrap_or(false);
-                    if now == before {
-                        continue;
-                    }
-                    stats.aux_changes += 1;
-                    if now {
-                        self.pairs[e_idx].entry(x).or_default().insert(w);
-                        self.rev_pairs[e_idx].entry(w).or_default().insert(x);
-                        created.push((e_idx, x, w));
-                    } else {
-                        if let Some(set) = self.pairs[e_idx].get_mut(&x) {
-                            set.remove(&w);
-                        }
-                        if let Some(set) = self.rev_pairs[e_idx].get_mut(&w) {
-                            set.remove(&x);
-                        }
-                        broken.push((e_idx, x, w));
-                    }
+    ) {
+        for e_idx in 0..self.pattern.edge_count() {
+            let edge = self.pattern.edges()[e_idx];
+            let from_bit = 1u64 << edge.from.index();
+            let to_bit = 1u64 << edge.to.index();
+            // Pairs whose *source* is affected: re-evaluate against the
+            // target *candidate list*, not all of V.
+            for &x in affected.iter() {
+                if x.index() >= self.nv || self.cand_bits[x.index()] & from_bit == 0 {
+                    continue;
                 }
+                let targets = std::mem::take(&mut self.cand_lists[edge.to.index()]);
+                for &w in &targets {
+                    self.reevaluate_pair(
+                        graph,
+                        e_idx,
+                        x,
+                        w,
+                        demotion_seeds,
+                        promotion_seeds,
+                        stats,
+                    );
+                }
+                self.cand_lists[edge.to.index()] = targets;
             }
-            // Pairs whose *target* is affected (skip sources already handled above).
-            for &x in affected.iter().filter(|x| to_cands.contains(x)) {
-                for &v in from_cands {
+            // Pairs whose *target* is affected (skip sources already handled).
+            for &x in affected.iter() {
+                if x.index() >= self.nv || self.cand_bits[x.index()] & to_bit == 0 {
+                    continue;
+                }
+                let sources = std::mem::take(&mut self.cand_lists[edge.from.index()]);
+                for &v in &sources {
                     if affected.contains(&v) {
                         continue;
                     }
-                    let now = satisfies_bound(graph, &self.landmarks, v, x, edge.bound);
-                    let before = self.pairs[e_idx].get(&v).map(|s| s.contains(&x)).unwrap_or(false);
-                    if now == before {
-                        continue;
-                    }
-                    stats.aux_changes += 1;
-                    if now {
-                        self.pairs[e_idx].entry(v).or_default().insert(x);
-                        self.rev_pairs[e_idx].entry(x).or_default().insert(v);
-                        created.push((e_idx, v, x));
-                    } else {
-                        if let Some(set) = self.pairs[e_idx].get_mut(&v) {
-                            set.remove(&x);
-                        }
-                        if let Some(set) = self.rev_pairs[e_idx].get_mut(&x) {
-                            set.remove(&v);
-                        }
-                        broken.push((e_idx, v, x));
-                    }
+                    self.reevaluate_pair(
+                        graph,
+                        e_idx,
+                        v,
+                        x,
+                        demotion_seeds,
+                        promotion_seeds,
+                        stats,
+                    );
+                }
+                self.cand_lists[edge.from.index()] = sources;
+            }
+        }
+    }
+
+    /// Recomputes one pair `(v, w)` of pattern edge `e_idx` against the
+    /// current distances, updating the pair sets and support counters when its
+    /// status flipped.
+    #[allow(clippy::too_many_arguments)]
+    fn reevaluate_pair(
+        &mut self,
+        graph: &DataGraph,
+        e_idx: usize,
+        v: NodeId,
+        w: NodeId,
+        demotion_seeds: &mut Vec<(u32, u32)>,
+        promotion_seeds: &mut Vec<(u32, u32)>,
+        stats: &mut AffStats,
+    ) {
+        let edge = self.pattern.edges()[e_idx];
+        let now = satisfies_bound(graph, &self.landmarks, v, w, edge.bound);
+        let before = self.pairs[e_idx].get(&v).map(|s| s.contains(&w)).unwrap_or(false);
+        if now == before {
+            return;
+        }
+        stats.aux_changes += 1;
+        let target_matches = self.match_bits[w.index()] & (1 << edge.to.index()) != 0;
+        let source_bit = 1u64 << edge.from.index();
+        if now {
+            self.pairs[e_idx].entry(v).or_default().insert(w);
+            self.rev_pairs[e_idx].entry(w).or_default().insert(v);
+            if target_matches {
+                let counter = self.support[e_idx].entry(v).or_insert(0);
+                *counter += 1;
+                stats.counter_updates += 1;
+                if *counter == 1
+                    && self.cand_bits[v.index()] & source_bit != 0
+                    && self.match_bits[v.index()] & source_bit == 0
+                {
+                    promotion_seeds.push((edge.from.index() as u32, v.0));
+                }
+            }
+        } else {
+            if let Some(set) = self.pairs[e_idx].get_mut(&v) {
+                set.remove(&w);
+            }
+            if let Some(set) = self.rev_pairs[e_idx].get_mut(&w) {
+                set.remove(&v);
+            }
+            if target_matches {
+                let counter = self.support[e_idx].get_mut(&v).expect("supported pair counted");
+                debug_assert!(*counter > 0, "support underflow on pair ({v}, {w})");
+                *counter -= 1;
+                stats.counter_updates += 1;
+                if *counter == 0 && self.match_bits[v.index()] & source_bit != 0 {
+                    demotion_seeds.push((edge.from.index() as u32, v.0));
                 }
             }
         }
-        (broken, created)
     }
 
     // ------------------------------------------------------------------
     // Match maintenance over the pair sets
     // ------------------------------------------------------------------
 
-    /// Does `v` (as a match of `u`) have, for every pattern edge `(u, u2)`, a
-    /// pair target currently matching `u2`?
-    fn has_full_support(&self, u: PatternNodeId, v: NodeId) -> bool {
-        self.pattern.edges().iter().enumerate().all(|(e_idx, edge)| {
-            if edge.from != u {
-                return true;
-            }
-            match self.pairs[e_idx].get(&v) {
-                Some(targets) => targets.iter().any(|w| self.match_sets[edge.to.index()].contains(w)),
-                None => false,
-            }
-        })
-    }
-
-    /// Demotion propagation seeded by broken pairs.
-    fn process_demotions(&mut self, broken: &[(usize, NodeId, NodeId)], stats: &mut AffStats) {
-        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
-        for &(e_idx, v, w) in broken {
-            let edge = self.pattern.edges()[e_idx];
-            if self.match_sets[edge.from.index()].contains(&v)
-                && self.match_sets[edge.to.index()].contains(&w)
-            {
-                worklist.push((edge.from, v));
-            }
-        }
+    /// Demotion propagation seeded by support counters that reached zero.
+    fn process_demotions(&mut self, worklist: &mut Vec<(u32, u32)>, stats: &mut AffStats) {
         while let Some((u, v)) = worklist.pop() {
+            let u = u as usize;
+            let v_node = NodeId(v);
             stats.nodes_visited += 1;
-            if !self.match_sets[u.index()].contains(&v) {
+            if self.match_bits[v as usize] & (1 << u) == 0 {
                 continue;
             }
-            if self.has_full_support(u, v) {
+            if self.has_counter_support(u, v_node) {
                 continue;
             }
-            self.match_sets[u.index()].remove(&v);
+            self.match_bits[v as usize] &= !(1 << u);
+            self.match_count[u] -= 1;
             stats.matches_removed += 1;
             stats.aux_changes += 1;
-            // Every match that used v as a pair target for a pattern edge
-            // ending in u must be re-checked.
-            for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
-                if edge.to != u {
-                    continue;
-                }
-                if let Some(sources) = self.rev_pairs[e_idx].get(&v) {
-                    for &p in sources {
-                        if self.match_sets[edge.from.index()].contains(&p) {
-                            worklist.push((edge.from, p));
-                        }
+            // Every source that used v as a pair target for a pattern edge
+            // ending in u loses one unit of support.
+            for i in 0..self.edges_to[u].len() {
+                let e_idx = self.edges_to[u][i];
+                let Some(sources) = self.rev_pairs[e_idx].get(&v_node) else { continue };
+                let sources: Vec<NodeId> = sources.iter().copied().collect();
+                let source_pattern = self.pattern.edges()[e_idx].from.index();
+                for p in sources {
+                    let counter =
+                        self.support[e_idx].get_mut(&p).expect("paired source has support entry");
+                    debug_assert!(*counter > 0, "support underflow demoting (u{u}, n{v})");
+                    *counter -= 1;
+                    stats.counter_updates += 1;
+                    if *counter == 0 && self.match_bits[p.index()] & (1 << source_pattern) != 0 {
+                        worklist.push((source_pattern as u32, p.0));
                     }
                 }
             }
         }
     }
 
-    /// Promotion propagation seeded by created pairs, with a joint pass for
-    /// pattern SCCs (the bounded-simulation analogue of propCS / propCC).
-    fn process_promotions(&mut self, created: &[(usize, NodeId, NodeId)], stats: &mut AffStats) {
-        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
-        for &(e_idx, v, _) in created {
-            let edge = self.pattern.edges()[e_idx];
-            if !self.match_sets[edge.from.index()].contains(&v) {
-                worklist.push((edge.from, v));
+    /// Promotes the pair `(u, v)` and bumps the support of every paired
+    /// source; `0 → 1` transitions re-enqueue unmatched candidate sources.
+    fn promote(
+        &mut self,
+        u: usize,
+        v: NodeId,
+        worklist: &mut Vec<(u32, u32)>,
+        stats: &mut AffStats,
+    ) {
+        self.match_bits[v.index()] |= 1 << u;
+        self.match_count[u] += 1;
+        stats.matches_added += 1;
+        stats.aux_changes += 1;
+        for i in 0..self.edges_to[u].len() {
+            let e_idx = self.edges_to[u][i];
+            let Some(sources) = self.rev_pairs[e_idx].get(&v) else { continue };
+            let sources: Vec<NodeId> = sources.iter().copied().collect();
+            let source_pattern = self.pattern.edges()[e_idx].from.index();
+            let source_bit = 1u64 << source_pattern;
+            for p in sources {
+                let counter = self.support[e_idx].entry(p).or_insert(0);
+                *counter += 1;
+                stats.counter_updates += 1;
+                if *counter == 1
+                    && self.cand_bits[p.index()] & source_bit != 0
+                    && self.match_bits[p.index()] & source_bit == 0
+                {
+                    worklist.push((source_pattern as u32, p.0));
+                }
             }
         }
+    }
+
+    /// Promotion propagation, with a joint pass for pattern SCCs (the
+    /// bounded-simulation analogue of propCS / propCC).
+    fn process_promotions(&mut self, mut worklist: Vec<(u32, u32)>, stats: &mut AffStats) {
         let mut run_cc = self.has_cycle;
         loop {
             let promoted_cs = self.promote_from_worklist(&mut worklist, stats);
@@ -355,146 +548,136 @@ impl BoundedIndex {
 
     fn promote_from_worklist(
         &mut self,
-        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+        worklist: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
     ) -> bool {
         let mut promoted_any = false;
         while let Some((u, v)) = worklist.pop() {
+            let u = u as usize;
+            let v_node = NodeId(v);
             stats.nodes_visited += 1;
-            if self.match_sets[u.index()].contains(&v) || !self.cand_all[u.index()].contains(&v) {
+            let bit = 1u64 << u;
+            if self.match_bits[v as usize] & bit != 0 || self.cand_bits[v as usize] & bit == 0 {
                 continue;
             }
-            if !self.has_full_support(u, v) {
+            if !self.has_counter_support(u, v_node) {
                 continue;
             }
-            self.match_sets[u.index()].insert(v);
-            stats.matches_added += 1;
-            stats.aux_changes += 1;
+            self.promote(u, v_node, worklist, stats);
             promoted_any = true;
-            for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
-                if edge.to != u {
-                    continue;
-                }
-                if let Some(sources) = self.rev_pairs[e_idx].get(&v) {
-                    for &p in sources {
-                        if !self.match_sets[edge.from.index()].contains(&p) {
-                            worklist.push((edge.from, p));
-                        }
-                    }
-                }
-            }
         }
         promoted_any
     }
 
-    fn promote_sccs(&mut self, stats: &mut AffStats, worklist: &mut Vec<(PatternNodeId, NodeId)>) -> bool {
+    fn promote_sccs(&mut self, stats: &mut AffStats, worklist: &mut Vec<(u32, u32)>) -> bool {
         let mut promoted_any = false;
         let components: Vec<_> = self.scc.components().collect();
         for comp in components {
             if !self.scc.is_nontrivial(comp) {
                 continue;
             }
-            let members: Vec<PatternNodeId> = self
-                .scc
-                .members(comp)
-                .iter()
-                .map(|&i| PatternNodeId::from_index(i))
-                .collect();
-            let in_scc = |u: PatternNodeId| members.contains(&u);
+            let comp_mask: u64 =
+                self.scc.members(comp).iter().fold(0u64, |mask, &u| mask | (1 << u));
 
-            let mut tentative: Vec<FastHashSet<NodeId>> = vec![FastHashSet::default(); self.pattern.node_count()];
-            for &u in &members {
-                tentative[u.index()] = self.cand_all[u.index()]
-                    .iter()
-                    .copied()
-                    .filter(|v| !self.match_sets[u.index()].contains(v))
-                    .collect();
+            // tentative[v] = pattern nodes of this SCC that v is tentatively
+            // assumed to match (candidates that do not match yet).
+            let mut tentative: FastHashMap<u32, u64> = FastHashMap::default();
+            for v in 0..self.nv {
+                let bits = (self.cand_bits[v] & !self.match_bits[v]) & comp_mask;
+                if bits != 0 {
+                    tentative.insert(v as u32, bits);
+                }
             }
+            if tentative.is_empty() {
+                continue;
+            }
+
             let mut changed = true;
             while changed {
                 changed = false;
-                for &u in &members {
-                    let survivors: Vec<NodeId> = tentative[u.index()]
-                        .iter()
-                        .copied()
-                        .filter(|&v| {
-                            stats.nodes_visited += 1;
-                            self.pattern.edges().iter().enumerate().all(|(e_idx, edge)| {
-                                if edge.from != u {
-                                    return true;
-                                }
-                                match self.pairs[e_idx].get(&v) {
-                                    Some(targets) => targets.iter().any(|w| {
-                                        self.match_sets[edge.to.index()].contains(w)
-                                            || (in_scc(edge.to) && tentative[edge.to.index()].contains(w))
-                                    }),
-                                    None => false,
-                                }
-                            })
-                        })
-                        .collect();
-                    if survivors.len() != tentative[u.index()].len() {
+                let nodes: Vec<u32> = tentative.keys().copied().collect();
+                for &v in &nodes {
+                    let Some(&assumed) = tentative.get(&v) else { continue };
+                    let mut surviving = assumed;
+                    let mut bits = assumed;
+                    while bits != 0 {
+                        let u = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        stats.nodes_visited += 1;
+                        if !self.supported_with_tentative(u, NodeId(v), comp_mask, &tentative) {
+                            surviving &= !(1 << u);
+                        }
+                    }
+                    if surviving != assumed {
                         changed = true;
-                        tentative[u.index()] = survivors.into_iter().collect();
+                        if surviving == 0 {
+                            tentative.remove(&v);
+                        } else {
+                            tentative.insert(v, surviving);
+                        }
                     }
                 }
             }
-            for &u in &members {
-                let survivors: Vec<NodeId> = tentative[u.index()].iter().copied().collect();
-                for v in survivors {
-                    self.match_sets[u.index()].insert(v);
-                    stats.matches_added += 1;
-                    stats.aux_changes += 1;
+
+            let mut survivors: Vec<(u32, u64)> = tentative.into_iter().collect();
+            survivors.sort_unstable_by_key(|&(v, _)| v);
+            for (v, mut bits) in survivors {
+                while bits != 0 {
+                    let u = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.promote(u, NodeId(v), worklist, stats);
                     promoted_any = true;
-                    for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
-                        if edge.to != u {
-                            continue;
-                        }
-                        if let Some(sources) = self.rev_pairs[e_idx].get(&v) {
-                            for &p in sources {
-                                if !self.match_sets[edge.from.index()].contains(&p) {
-                                    worklist.push((edge.from, p));
-                                }
-                            }
-                        }
-                    }
                 }
             }
         }
         promoted_any
     }
 
-    /// Full greatest-fixpoint computation over the pair sets (initial build).
-    fn compute_matches_from_pairs(&self) -> Vec<FastHashSet<NodeId>> {
-        let mut sets: Vec<FastHashSet<NodeId>> = self.cand_all.clone();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for u in self.pattern.nodes() {
-                let to_remove: Vec<NodeId> = sets[u.index()]
+    /// The `promote_sccs` support check: every pattern edge out of `u` needs a
+    /// counted match target or a tentatively assumed SCC target.
+    fn supported_with_tentative(
+        &self,
+        u: usize,
+        v: NodeId,
+        comp_mask: u64,
+        tentative: &FastHashMap<u32, u64>,
+    ) -> bool {
+        self.edges_from[u].iter().all(|&e_idx| {
+            if self.support[e_idx].get(&v).copied().unwrap_or(0) > 0 {
+                return true;
+            }
+            let edge = self.pattern.edges()[e_idx];
+            let to_bit = 1u64 << edge.to.index();
+            if comp_mask & to_bit == 0 {
+                return false;
+            }
+            match self.pairs[e_idx].get(&v) {
+                Some(targets) => targets
                     .iter()
-                    .copied()
-                    .filter(|&v| {
-                        !self.pattern.edges().iter().enumerate().all(|(e_idx, edge)| {
-                            if edge.from != u {
-                                return true;
-                            }
-                            match self.pairs[e_idx].get(&v) {
-                                Some(targets) => targets.iter().any(|w| sets[edge.to.index()].contains(w)),
-                                None => false,
-                            }
-                        })
+                    .any(|w| tentative.get(&w.0).is_some_and(|&bits| bits & to_bit != 0)),
+                None => false,
+            }
+        })
+    }
+
+    /// Recomputes every support counter from the pair sets and the match
+    /// bitmasks (test-only consistency oracle).
+    #[cfg(test)]
+    fn assert_support_consistent(&self) {
+        for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
+            let to_bit = 1u64 << edge.to.index();
+            for v in 0..self.nv {
+                let v_node = NodeId::from_index(v);
+                let expected = self.pairs[e_idx]
+                    .get(&v_node)
+                    .map(|targets| {
+                        targets.iter().filter(|w| self.match_bits[w.index()] & to_bit != 0).count()
                     })
-                    .collect();
-                if !to_remove.is_empty() {
-                    changed = true;
-                    for v in to_remove {
-                        sets[u.index()].remove(&v);
-                    }
-                }
+                    .unwrap_or(0) as u32;
+                let actual = self.support[e_idx].get(&v_node).copied().unwrap_or(0);
+                assert_eq!(actual, expected, "support drift at edge {e_idx}, node n{v}");
             }
         }
-        sets
     }
 }
 
@@ -524,7 +707,7 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut g = DataGraph::new();
-        let mut person = |g: &mut DataGraph, name: &str, job: &str| {
+        let person = |g: &mut DataGraph, name: &str, job: &str| {
             g.add_node(Attributes::new().with("name", name).with("job", job).with("label", job))
         };
         let ann = person(&mut g, "Ann", "CTO");
@@ -556,9 +739,15 @@ mod tests {
         Fixture { graph: g, pattern: p, ann, pat, dan, bill, mat, don, tom }
     }
 
-    fn assert_consistent(index: &BoundedIndex, pattern: &Pattern, graph: &DataGraph, context: &str) {
+    fn assert_consistent(
+        index: &BoundedIndex,
+        pattern: &Pattern,
+        graph: &DataGraph,
+        context: &str,
+    ) {
         let expected = match_bounded_with_matrix(pattern, graph);
         assert_eq!(index.matches(), expected, "{context}: incremental result diverged from batch");
+        index.assert_support_consistent();
     }
 
     #[test]
@@ -660,7 +849,12 @@ mod tests {
             for round in 0..3 {
                 let batch = mixed_batch(&graph, 15, 15, seed * 31 + round);
                 index.apply_batch(&mut graph, &batch);
-                assert_consistent(&index, &pattern, &graph, &format!("seed {seed}, round {round}: batch"));
+                assert_consistent(
+                    &index,
+                    &pattern,
+                    &graph,
+                    &format!("seed {seed}, round {round}: batch"),
+                );
             }
         }
     }
@@ -716,5 +910,17 @@ mod tests {
         let stats = index.delete_edge(&mut f.graph, f.don, f.tom);
         assert_eq!(stats.reduced_delta_g, 0);
         assert_eq!(index.matches(), before);
+    }
+
+    #[test]
+    fn matches_view_is_cached_and_match_set_sorted() {
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        let before = index.matches();
+        assert_eq!(*index.matches_view(), before);
+        assert_eq!(index.match_set(PatternNodeId(1)), vec![f.pat, f.dan]);
+        assert!(index.contains(PatternNodeId(0), f.ann));
+        index.delete_edge(&mut f.graph, f.pat, f.bill);
+        assert_ne!(index.matches(), before, "cache invalidated by mutation");
     }
 }

@@ -1,16 +1,33 @@
 //! Incremental graph simulation (Section 5): `IncMatch-`, `IncMatch+`,
 //! `IncMatch+dag` and the batch `IncMatch` with `minDelta`.
 //!
-//! The auxiliary structures are exactly the ones the paper identifies as
-//! *necessary local information* (Section 4): for every pattern node `u`, the
-//! set `match(u)` of current matches and the set `candt(u)` of candidates
-//! (nodes that satisfy the predicate of `u` but do not currently match it).
+//! The auxiliary structures are the ones the paper identifies as *necessary
+//! local information* (Section 4) — for every pattern node `u`, the set
+//! `match(u)` of current matches and the set `candt(u)` of candidates — but
+//! represented for `O(1)` work per touched pair instead of hash-set probes:
+//!
+//! * **Pattern bitmasks.** Pattern arity is bounded by 64 (asserted at
+//!   [`SimulationIndex::build`]), so per data node `v` the memberships
+//!   `v ∈ match(u)` / `v ∈ candt(u)` over *all* pattern nodes are two `u64`
+//!   words ([`SimulationIndex`]`::match_bits` / `candt_bits`). The `ss` /
+//!   `cs` / `cc` update classification of Table II — which the seed
+//!   implementation answered with `|E_p|` hash probes per update — becomes a
+//!   couple of word operations.
+//! * **Support counters.** For every (data node `v`, pattern node `u2`),
+//!   `cnt[v][u2] = |children(v) ∩ match(u2)|`, maintained incrementally in the
+//!   style of Henzinger–Henzinger–Kopke counter refinement (already used by
+//!   the batch [`crate::simulation::match_simulation`]). A match `(u, v)` is
+//!   supported iff `cnt[v][u2] > 0` for every pattern child `u2` of `u`, so
+//!   deletion propagation decrements a counter and demotes exactly when it
+//!   hits zero — the `O(deg(v)·|E_p|)` `has_full_support` adjacency rescans of
+//!   the seed implementation are gone, and the work per affected pair is
+//!   `O(1)` plus the propagation the paper's `|AFF|` bound already charges.
+//!
 //! Updates are classified per pattern edge into `ss`, `cs` and `cc` edges
 //! (Table II):
 //!
 //! * only deletions of **ss** edges can invalidate matches
-//!   (Proposition 5.1) — handled by [`SimulationIndex::delete_edge`], which
-//!   propagates invalidations through the affected area only;
+//!   (Proposition 5.1) — handled by [`SimulationIndex::delete_edge`];
 //! * only insertions of **cs** or **cc** edges can create matches
 //!   (Proposition 5.2) — handled by [`SimulationIndex::insert_edge`]; `cc`
 //!   edges matter only inside strongly connected components of the pattern,
@@ -23,58 +40,136 @@
 use crate::simulation::{candidates, simulation_result_graph};
 use crate::stats::AffStats;
 use igpm_distance::landmark_inc::reduce_batch;
-use igpm_graph::hash::FastHashSet;
+use igpm_graph::hash::FastHashMap;
 use igpm_graph::{
     BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
     StronglyConnectedComponents, Update,
 };
+use std::cell::{Ref, RefCell};
+
+/// Maximum pattern arity representable in the membership bitmasks.
+pub const MAX_PATTERN_NODES: usize = 64;
+
+/// Membership bitmasks of one data node: bit `u` of `matched` ⇔
+/// `v ∈ match(u)`, bit `u` of `candt` ⇔ `v ∈ candt(u)` (satisfies the
+/// predicate of `u` but does not currently match it). The two words live side
+/// by side so classification reads one cache line per node.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeMasks {
+    matched: u64,
+    candt: u64,
+}
 
 /// Auxiliary state for incremental simulation over one pattern.
 #[derive(Debug, Clone)]
 pub struct SimulationIndex {
     pattern: Pattern,
-    /// `match(u)`: data nodes currently simulating pattern node `u`.
-    match_sets: Vec<FastHashSet<NodeId>>,
-    /// `candt(u)`: data nodes satisfying the predicate of `u` but not matching it.
-    candt_sets: Vec<FastHashSet<NodeId>>,
+    /// Number of pattern nodes (`≤ 64`).
+    np: usize,
+    /// Number of data nodes covered by the per-node arrays.
+    nv: usize,
+    /// Per-data-node membership masks, interleaved so that reading a node's
+    /// match *and* candidate bits costs a single cache line.
+    masks: Vec<NodeMasks>,
+    /// `cnt[v * np + u2] = |children(v) ∩ match(u2)|` — the support counters.
+    cnt: Vec<u32>,
+    /// `|match(u)|` per pattern node (emptiness checks in O(1)).
+    match_count: Vec<usize>,
+    /// `child_mask[u]`: bitmask of the pattern children of `u`.
+    child_mask: Vec<u64>,
+    /// `parent_masks[u]`: bitmask of the pattern parents of `u`.
+    parent_masks: Vec<u64>,
+    /// `scc_child_mask[u]`: pattern children of `u` lying in the same
+    /// *nontrivial* SCC as `u` (the edges `propCC` cares about).
+    scc_child_mask: Vec<u64>,
     /// Pattern SCC information, used to decide when `propCC` must run.
     scc: StronglyConnectedComponents,
     /// True if the pattern contains a nontrivial SCC (a cycle).
     has_cycle: bool,
+    /// Lazily rebuilt sorted view of the current match, cleared on mutation.
+    cache: RefCell<Option<MatchRelation>>,
 }
 
 impl SimulationIndex {
     /// Builds the index by computing the maximum simulation from scratch (the
-    /// batch `Matchs` step that seeds every incremental session).
+    /// batch `Matchs` step that seeds every incremental session), using the
+    /// label-indexed candidate pipeline and counter refinement.
     ///
     /// # Panics
-    /// Panics if `pattern` is not a normal pattern.
+    /// Panics if `pattern` is not a normal pattern or has more than
+    /// [`MAX_PATTERN_NODES`] nodes.
     pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
         assert!(pattern.is_normal(), "incremental simulation needs a normal pattern");
-        let all_candidates = candidates(pattern, graph);
+        assert!(
+            pattern.node_count() <= MAX_PATTERN_NODES,
+            "pattern arity {} exceeds the {MAX_PATTERN_NODES}-bit membership masks",
+            pattern.node_count()
+        );
+        let np = pattern.node_count();
+        let nv = graph.node_count();
         let scc = StronglyConnectedComponents::of_pattern(pattern);
         let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
 
+        let mut child_mask = vec![0u64; np];
+        let mut parent_masks = vec![0u64; np];
+        let mut scc_child_mask = vec![0u64; np];
+        for edge in pattern.edges() {
+            child_mask[edge.from.index()] |= 1 << edge.to.index();
+            parent_masks[edge.to.index()] |= 1 << edge.from.index();
+            let comp = scc.component_of(edge.from.index());
+            if comp == scc.component_of(edge.to.index()) && scc.is_nontrivial(comp) {
+                scc_child_mask[edge.from.index()] |= 1 << edge.to.index();
+            }
+        }
+
         let mut index = SimulationIndex {
             pattern: pattern.clone(),
-            match_sets: all_candidates
-                .iter()
-                .map(|list| list.iter().copied().collect())
-                .collect(),
-            candt_sets: vec![FastHashSet::default(); pattern.node_count()],
+            np,
+            nv,
+            masks: vec![NodeMasks::default(); nv],
+            cnt: vec![0u32; nv * np],
+            match_count: vec![0usize; np],
+            child_mask,
+            parent_masks,
+            scc_child_mask,
             scc,
             has_cycle,
+            cache: RefCell::new(None),
         };
-        // Refine the candidate sets down to the greatest fixpoint.
-        index.refine_all(graph);
-        // candt(u) = candidates \ match(u).
-        for (u_idx, list) in all_candidates.into_iter().enumerate() {
+
+        // Start with match(u) = all candidates of u...
+        for (u, list) in candidates(pattern, graph).into_iter().enumerate() {
+            index.match_count[u] = list.len();
             for v in list {
-                if !index.match_sets[u_idx].contains(&v) {
-                    index.candt_sets[u_idx].insert(v);
+                index.masks[v.index()].matched |= 1 << u;
+            }
+        }
+        // ...derive the counters in one pass over the reverse adjacency...
+        for v in 0..nv {
+            let mut bits = index.masks[v].matched;
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for &p in graph.parents(NodeId::from_index(v)) {
+                    index.cnt[p.index() * np + u] += 1;
                 }
             }
         }
+        // ...and refine to the greatest fixpoint: every unsupported pair is
+        // demoted to a candidate, which is exactly `candt = candidates \ match`.
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        for v in 0..nv {
+            let mut bits = index.masks[v].matched;
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !index.has_counter_support(u, v) {
+                    worklist.push((u as u32, v as u32));
+                }
+            }
+        }
+        let mut build_stats = AffStats::default();
+        index.drain_demotions(graph, &mut worklist, &mut build_stats);
         index
     }
 
@@ -85,35 +180,85 @@ impl SimulationIndex {
 
     /// The current maximum match `M_sim(P, G)`. Empty if some pattern node has
     /// no match (i.e. `P ⋬_sim G`).
+    ///
+    /// The relation is materialised lazily and cached: repeated calls between
+    /// mutations cost one clone of the cached vectors, not a rebuild. Use
+    /// [`SimulationIndex::matches_view`] for a zero-copy borrow.
     pub fn matches(&self) -> MatchRelation {
-        if self.match_sets.iter().any(FastHashSet::is_empty) {
-            return MatchRelation::empty(self.pattern.node_count());
+        self.matches_view().clone()
+    }
+
+    /// Borrowed view of the current maximum match, rebuilt at most once per
+    /// mutation. The output is deterministic: match lists are produced in
+    /// ascending node order.
+    pub fn matches_view(&self) -> Ref<'_, MatchRelation> {
+        {
+            let mut cache = self.cache.borrow_mut();
+            if cache.is_none() {
+                *cache = Some(self.rebuild_relation());
+            }
         }
-        MatchRelation::from_lists(
-            self.match_sets.iter().map(|set| set.iter().copied().collect::<Vec<_>>()),
-        )
+        Ref::map(self.cache.borrow(), |cache| cache.as_ref().expect("cache filled above"))
+    }
+
+    fn rebuild_relation(&self) -> MatchRelation {
+        if self.match_count.contains(&0) {
+            return MatchRelation::empty(self.np);
+        }
+        let mut lists: Vec<Vec<NodeId>> =
+            self.match_count.iter().map(|&c| Vec::with_capacity(c)).collect();
+        // Ascending v ⇒ every per-pattern-node list is already sorted.
+        for v in 0..self.nv {
+            let mut bits = self.masks[v].matched;
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                lists[u].push(NodeId::from_index(v));
+            }
+        }
+        MatchRelation::from_lists(lists)
+    }
+
+    fn invalidate_cache(&mut self) {
+        *self.cache.get_mut() = None;
     }
 
     /// True if every pattern node currently has at least one match.
     pub fn is_match(&self) -> bool {
-        !self.match_sets.is_empty() && self.match_sets.iter().all(|s| !s.is_empty())
+        !self.match_count.is_empty() && self.match_count.iter().all(|&c| c > 0)
     }
 
-    /// The current matches of one pattern node (may be nonempty even when the
-    /// overall pattern does not match — this is the partial information that
-    /// makes the problem semi-bounded rather than bounded, cf. Example 4.3).
-    pub fn match_set(&self, u: PatternNodeId) -> &FastHashSet<NodeId> {
-        &self.match_sets[u.index()]
+    /// The current matches of one pattern node, sorted (may be nonempty even
+    /// when the overall pattern does not match — this is the partial
+    /// information that makes the problem semi-bounded rather than bounded,
+    /// cf. Example 4.3).
+    pub fn match_set(&self, u: PatternNodeId) -> Vec<NodeId> {
+        self.collect_bit(u, |m| m.matched)
     }
 
-    /// The current candidates of one pattern node.
-    pub fn candidate_set(&self, u: PatternNodeId) -> &FastHashSet<NodeId> {
-        &self.candt_sets[u.index()]
+    /// The current candidates of one pattern node, sorted.
+    pub fn candidate_set(&self, u: PatternNodeId) -> Vec<NodeId> {
+        self.collect_bit(u, |m| m.candt)
+    }
+
+    /// True if `v` currently matches `u` (one word op). Nodes the index has
+    /// not yet observed (added after the last index operation) match nothing.
+    #[inline]
+    pub fn contains(&self, u: PatternNodeId, v: NodeId) -> bool {
+        self.masks.get(v.index()).is_some_and(|m| m.matched & (1 << u.index()) != 0)
+    }
+
+    fn collect_bit(&self, u: PatternNodeId, select: impl Fn(NodeMasks) -> u64) -> Vec<NodeId> {
+        let mask = 1u64 << u.index();
+        (0..self.nv)
+            .filter(|&v| select(self.masks[v]) & mask != 0)
+            .map(NodeId::from_index)
+            .collect()
     }
 
     /// Builds the result graph `G_r` for the current match.
     pub fn result_graph(&self, graph: &DataGraph) -> ResultGraph {
-        simulation_result_graph(&self.pattern, graph, &self.matches())
+        simulation_result_graph(&self.pattern, graph, &self.matches_view())
     }
 
     // ------------------------------------------------------------------
@@ -124,15 +269,26 @@ impl SimulationIndex {
     /// the match (optimal, `O(|AFF|)`, Theorem 5.1(2a)).
     pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
         let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        // Grow the per-node arrays first: nodes added since the last index
+        // operation must be classified with live masks, not skipped.
+        self.ensure_node_capacity(graph);
+        // Classified on the pre-update state, as in Table II.
+        let relevant = self.is_ss_edge(from, to);
         if !graph.remove_edge(from, to) {
             return stats;
         }
-        if !self.is_ss_edge(from, to) {
-            // Proposition 5.1: non-ss deletions cannot change the match.
-            return stats;
+        self.invalidate_cache();
+        // The counters must reflect the deletion even when it is not an ss
+        // edge (`to` may match pattern nodes that `from` only *candidates*
+        // for); Proposition 5.1 only says the match itself cannot change.
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        self.counters_on_removed_edge(from, to, &mut worklist, &mut stats);
+        if relevant {
+            stats.reduced_delta_g = 1;
         }
-        stats.reduced_delta_g = 1;
-        self.process_deletions(graph, &[(from, to)], &mut stats);
+        if !worklist.is_empty() {
+            self.drain_demotions(graph, &mut worklist, &mut stats);
+        }
         stats
     }
 
@@ -141,15 +297,24 @@ impl SimulationIndex {
     /// `graph` and maintains the match.
     pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
         let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        // Grow the per-node arrays first: the first edge out of a node added
+        // after the last index operation must see that node as a candidate.
+        self.ensure_node_capacity(graph);
+        let relevant = self.is_cs_or_cc_edge(from, to);
         if !graph.add_edge(from, to) {
             return stats;
         }
-        if !self.is_cs_or_cc_edge(from, to) {
-            // Proposition 5.2: only cs/cc insertions can add matches.
+        self.invalidate_cache();
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        self.counters_on_inserted_edge(from, to, &mut worklist, &mut stats);
+        if !relevant {
+            // Proposition 5.2: only cs/cc insertions can add matches. The
+            // counters above still had to absorb the new edge.
             return stats;
         }
         stats.reduced_delta_g = 1;
-        self.process_insertions(graph, &[(from, to)], &mut stats);
+        let run_cc = self.has_cycle && self.inserted_touches_scc(&[(from, to)]);
+        self.propagate_insertions(graph, worklist, run_cc, &mut stats);
         stats
     }
 
@@ -162,106 +327,264 @@ impl SimulationIndex {
     /// insertions simultaneously (Fig. 10).
     pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
+        // Grow the per-node arrays first (batches carry edge updates only, so
+        // any node growth happened before this call): classification below
+        // must see nodes added since the last index operation as candidates.
+        self.ensure_node_capacity(graph);
 
         // minDelta step 1: drop updates whose net effect on the graph is nil.
         let (effective, _) = reduce_batch(graph, batch);
 
         // minDelta step 2: drop updates that are irrelevant to the pattern
         // (not ss edges for deletions, not cs/cc edges for insertions). They
-        // are still applied to the graph below.
-        let mut relevant_deletions: Vec<(NodeId, NodeId)> = Vec::new();
+        // are still applied to the graph and the counters below.
         let mut relevant_insertions: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut relevant = 0usize;
         for update in &effective {
             let (a, b) = update.endpoints();
             match update {
-                Update::DeleteEdge { .. } if self.is_ss_edge(a, b) => relevant_deletions.push((a, b)),
-                Update::InsertEdge { .. } if self.is_cs_or_cc_edge(a, b) => relevant_insertions.push((a, b)),
+                Update::DeleteEdge { .. } if self.is_ss_edge(a, b) => relevant += 1,
+                Update::InsertEdge { .. } if self.is_cs_or_cc_edge(a, b) => {
+                    relevant += 1;
+                    relevant_insertions.push((a, b));
+                }
                 _ => {}
             }
         }
-        stats.reduced_delta_g = relevant_deletions.len() + relevant_insertions.len();
+        stats.reduced_delta_g = relevant;
 
         // Apply the whole (net) batch to the graph before any matching work so
-        // that every support check sees the final graph.
+        // that every support decision sees the final graph.
         for update in &effective {
             update.apply(graph);
         }
+        if effective.is_empty() {
+            return stats;
+        }
+        self.invalidate_cache();
+
+        // Absorb every effective edge change into the counters. The match
+        // state is untouched in this phase, so afterwards
+        // `cnt[v][u2] = |children_new(v) ∩ match_old(u2)|` exactly.
+        let mut demotion_seeds: Vec<(u32, u32)> = Vec::new();
+        let mut promotion_seeds: Vec<(u32, u32)> = Vec::new();
+        for update in &effective {
+            let (a, b) = update.endpoints();
+            match update {
+                Update::DeleteEdge { .. } => {
+                    self.counters_on_removed_edge(a, b, &mut demotion_seeds, &mut stats)
+                }
+                Update::InsertEdge { .. } => {
+                    self.counters_on_inserted_edge(a, b, &mut promotion_seeds, &mut stats)
+                }
+            }
+        }
 
         // Deletions first (they can only shrink), then insertions.
-        if !relevant_deletions.is_empty() {
-            self.process_deletions(graph, &relevant_deletions, &mut stats);
+        if !demotion_seeds.is_empty() {
+            self.drain_demotions(graph, &mut demotion_seeds, &mut stats);
         }
-        if !relevant_insertions.is_empty() {
-            self.process_insertions(graph, &relevant_insertions, &mut stats);
+        let run_cc = self.has_cycle && self.inserted_touches_scc(&relevant_insertions);
+        if !promotion_seeds.is_empty() || run_cc {
+            self.propagate_insertions(graph, promotion_seeds, run_cc, &mut stats);
         }
         stats
     }
 
     // ------------------------------------------------------------------
-    // Internals
+    // Edge classification (Table II) — word ops over the membership masks
     // ------------------------------------------------------------------
 
     /// True if `(from, to)` is an ss edge for some pattern edge: both
     /// endpoints currently match the edge's endpoints.
     fn is_ss_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.pattern.edges().iter().any(|e| {
-            self.match_sets[e.from.index()].contains(&from)
-                && self.match_sets[e.to.index()].contains(&to)
-        })
+        let (Some(fm), Some(tm)) = (self.masks.get(from.index()), self.masks.get(to.index()))
+        else {
+            return false;
+        };
+        let tbits = tm.matched;
+        let mut bits = fm.matched;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.child_mask[u] & tbits != 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// True if `(from, to)` is a cs or cc edge for some pattern edge: the
     /// source is a candidate and the target is a candidate or a match.
     fn is_cs_or_cc_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.pattern.edges().iter().any(|e| {
-            self.candt_sets[e.from.index()].contains(&from)
-                && (self.match_sets[e.to.index()].contains(&to)
-                    || self.candt_sets[e.to.index()].contains(&to))
+        let (Some(fm), Some(to_idx)) =
+            (self.masks.get(from.index()), (to.index() < self.nv).then_some(to.index()))
+        else {
+            return false;
+        };
+        let target = self.masks[to_idx];
+        let target_bits = target.matched | target.candt;
+        let mut bits = fm.candt;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.child_mask[u] & target_bits != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if some inserted edge is relevant to a pattern edge lying inside a
+    /// nontrivial SCC of the pattern (Proposition 5.2(3)).
+    fn inserted_touches_scc(&self, inserted: &[(NodeId, NodeId)]) -> bool {
+        inserted.iter().any(|&(a, b)| {
+            let known_a = self.masks[a.index()].matched | self.masks[a.index()].candt;
+            let known_b = self.masks[b.index()].matched | self.masks[b.index()].candt;
+            let mut bits = known_a;
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.scc_child_mask[u] & known_b != 0 {
+                    return true;
+                }
+            }
+            false
         })
     }
 
-    /// Does `v` (as a match of `u`) still have, for every pattern edge
-    /// `(u, u2)`, a graph child matching `u2`?
-    fn has_full_support(&self, graph: &DataGraph, u: PatternNodeId, v: NodeId) -> bool {
-        self.pattern.children(u).iter().all(|&(u2, _)| {
-            graph
-                .children(v)
-                .iter()
-                .any(|w| self.match_sets[u2.index()].contains(w))
-        })
+    // ------------------------------------------------------------------
+    // Counter maintenance
+    // ------------------------------------------------------------------
+
+    /// Does `v` (as a match or candidate of `u`) have, for every pattern edge
+    /// `(u, u2)`, a supporting counter? One counter read per pattern child —
+    /// no adjacency scan.
+    #[inline]
+    fn has_counter_support(&self, u: usize, v: usize) -> bool {
+        let base = v * self.np;
+        let mut bits = self.child_mask[u];
+        while bits != 0 {
+            let u2 = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.cnt[base + u2] == 0 {
+                return false;
+            }
+        }
+        true
     }
 
-    /// Deletion propagation: seeds are deleted ss edges; every invalidated
-    /// match is demoted to a candidate and its graph parents are re-checked.
-    fn process_deletions(&mut self, graph: &DataGraph, deleted: &[(NodeId, NodeId)], stats: &mut AffStats) {
-        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
-        for &(a, b) in deleted {
-            for edge in self.pattern.edges() {
-                if self.match_sets[edge.from.index()].contains(&a)
-                    && self.match_sets[edge.to.index()].contains(&b)
-                {
-                    worklist.push((edge.from, a));
+    /// Absorbs the removal of graph edge `(a, b)`: for every pattern node `u2`
+    /// matched by `b`, the counter `cnt[a][u2]` drops; when it reaches zero,
+    /// every match `(u, a)` with pattern edge `(u, u2)` loses its support and
+    /// is seeded for demotion.
+    fn counters_on_removed_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        worklist: &mut Vec<(u32, u32)>,
+        stats: &mut AffStats,
+    ) {
+        let base = a.index() * self.np;
+        let mut bits = self.masks[b.index()].matched;
+        while bits != 0 {
+            let u2 = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let counter = &mut self.cnt[base + u2];
+            debug_assert!(*counter > 0, "counter underflow for ({a}, u{u2})");
+            *counter -= 1;
+            stats.counter_updates += 1;
+            if *counter == 0 {
+                let matched_parents = self.masks[a.index()].matched & self.parent_mask(u2);
+                let mut pbits = matched_parents;
+                while pbits != 0 {
+                    let u = pbits.trailing_zeros() as usize;
+                    pbits &= pbits - 1;
+                    worklist.push((u as u32, a.0));
                 }
             }
         }
+    }
+
+    /// Absorbs the insertion of graph edge `(a, b)`: counters rise for every
+    /// pattern node matched by `b`; a `0 → 1` transition may enable the
+    /// *candidate* `a` for pattern parents of `u2`, which is exactly the
+    /// `propCS` seeding of `IncMatch+`.
+    fn counters_on_inserted_edge(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        worklist: &mut Vec<(u32, u32)>,
+        stats: &mut AffStats,
+    ) {
+        let base = a.index() * self.np;
+        let mut bits = self.masks[b.index()].matched;
+        while bits != 0 {
+            let u2 = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let counter = &mut self.cnt[base + u2];
+            *counter += 1;
+            stats.counter_updates += 1;
+            if *counter == 1 {
+                let candidate_parents = self.masks[a.index()].candt & self.parent_mask(u2);
+                let mut pbits = candidate_parents;
+                while pbits != 0 {
+                    let u = pbits.trailing_zeros() as usize;
+                    pbits &= pbits - 1;
+                    worklist.push((u as u32, a.0));
+                }
+            }
+        }
+    }
+
+    /// Bitmask of the pattern parents of `u2` (precomputed at build).
+    #[inline]
+    fn parent_mask(&self, u2: usize) -> u64 {
+        self.parent_masks[u2]
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    /// Deletion propagation: pops `(u, v)` pairs whose support may be gone;
+    /// a demotion decrements the counters of `v`'s graph parents and seeds
+    /// them in turn when a counter reaches zero. Each pop costs `O(1)` checks
+    /// plus `O(in-degree)` only when an actual demotion happens.
+    fn drain_demotions(
+        &mut self,
+        graph: &DataGraph,
+        worklist: &mut Vec<(u32, u32)>,
+        stats: &mut AffStats,
+    ) {
         while let Some((u, v)) = worklist.pop() {
+            let (u, v) = (u as usize, v as usize);
             stats.nodes_visited += 1;
-            if !self.match_sets[u.index()].contains(&v) {
+            let bit = 1u64 << u;
+            if self.masks[v].matched & bit == 0 {
                 continue;
             }
-            if self.has_full_support(graph, u, v) {
+            if self.has_counter_support(u, v) {
                 continue;
             }
             // v no longer matches u: demote it to a candidate.
-            self.match_sets[u.index()].remove(&v);
-            self.candt_sets[u.index()].insert(v);
+            self.masks[v].matched &= !bit;
+            self.masks[v].candt |= bit;
+            self.match_count[u] -= 1;
             stats.matches_removed += 1;
             stats.aux_changes += 1;
-            // Parents of v that matched a pattern parent of u must be re-checked.
-            for &(u_parent, _) in self.pattern.parents(u) {
-                for &p in graph.parents(v) {
-                    if self.match_sets[u_parent.index()].contains(&p) {
-                        worklist.push((u_parent, p));
+            let pmask = self.parent_mask(u);
+            for &p in graph.parents(NodeId::from_index(v)) {
+                let counter = &mut self.cnt[p.index() * self.np + u];
+                debug_assert!(*counter > 0, "counter underflow demoting (u{u}, n{v})");
+                *counter -= 1;
+                stats.counter_updates += 1;
+                if *counter == 0 {
+                    let mut bits = self.masks[p.index()].matched & pmask;
+                    while bits != 0 {
+                        let u_parent = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        worklist.push((u_parent as u32, p.0));
                     }
                 }
             }
@@ -269,24 +592,13 @@ impl SimulationIndex {
     }
 
     /// Insertion propagation: the `propCS` / `propCC` loop of `IncMatch+`.
-    fn process_insertions(&mut self, graph: &DataGraph, inserted: &[(NodeId, NodeId)], stats: &mut AffStats) {
-        // propCS seeds: sources of the inserted cs/cc edges.
-        let mut worklist: Vec<(PatternNodeId, NodeId)> = Vec::new();
-        for &(a, b) in inserted {
-            for edge in self.pattern.edges() {
-                let source_is_cand = self.candt_sets[edge.from.index()].contains(&a);
-                let target_known = self.match_sets[edge.to.index()].contains(&b)
-                    || self.candt_sets[edge.to.index()].contains(&b);
-                if source_is_cand && target_known {
-                    worklist.push((edge.from, a));
-                }
-            }
-        }
-        // Does some inserted edge fall inside a nontrivial pattern SCC
-        // (Proposition 5.2(3))? If so propCC must run at least once even if
-        // propCS promotes nothing.
-        let mut run_cc = self.has_cycle && self.inserted_touches_scc(inserted);
-
+    fn propagate_insertions(
+        &mut self,
+        graph: &DataGraph,
+        mut worklist: Vec<(u32, u32)>,
+        mut run_cc: bool,
+        stats: &mut AffStats,
+    ) {
         loop {
             let promoted_cs = self.prop_cs(graph, &mut worklist, stats);
             if promoted_cs {
@@ -309,65 +621,80 @@ impl SimulationIndex {
         }
     }
 
-    /// True if some inserted edge is a cs/cc/ss edge for a pattern edge lying
-    /// inside a nontrivial SCC of the pattern.
-    fn inserted_touches_scc(&self, inserted: &[(NodeId, NodeId)]) -> bool {
-        inserted.iter().any(|&(a, b)| {
-            self.pattern.edges().iter().any(|e| {
-                let same_comp = self.scc.component_of(e.from.index()) == self.scc.component_of(e.to.index());
-                if !same_comp || !self.scc.is_nontrivial(self.scc.component_of(e.from.index())) {
-                    return false;
+    /// Promotes a candidate pair `(u, v)`, updating the counters of `v`'s
+    /// graph parents; `0 → 1` transitions re-enqueue candidate parents.
+    fn promote(
+        &mut self,
+        graph: &DataGraph,
+        u: usize,
+        v: usize,
+        worklist: &mut Vec<(u32, u32)>,
+        stats: &mut AffStats,
+    ) {
+        let bit = 1u64 << u;
+        self.masks[v].candt &= !bit;
+        self.masks[v].matched |= bit;
+        self.match_count[u] += 1;
+        stats.matches_added += 1;
+        stats.aux_changes += 1;
+        let pmask = self.parent_mask(u);
+        for &p in graph.parents(NodeId::from_index(v)) {
+            let counter = &mut self.cnt[p.index() * self.np + u];
+            *counter += 1;
+            stats.counter_updates += 1;
+            if *counter == 1 {
+                let mut bits = self.masks[p.index()].candt & pmask;
+                while bits != 0 {
+                    let u_parent = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    worklist.push((u_parent as u32, p.0));
                 }
-                (self.candt_sets[e.from.index()].contains(&a) || self.match_sets[e.from.index()].contains(&a))
-                    && (self.candt_sets[e.to.index()].contains(&b) || self.match_sets[e.to.index()].contains(&b))
-            })
-        })
+            }
+        }
     }
 
-    /// Promotes candidates from a worklist; every promotion re-enqueues the
-    /// candidate parents of the promoted node. Returns true if anything was
+    /// Promotes candidates from a worklist. Returns true if anything was
     /// promoted.
     fn prop_cs(
         &mut self,
         graph: &DataGraph,
-        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+        worklist: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
     ) -> bool {
         let mut promoted_any = false;
         while let Some((u, v)) = worklist.pop() {
+            let (u, v) = (u as usize, v as usize);
             stats.nodes_visited += 1;
-            if !self.candt_sets[u.index()].contains(&v) {
+            if self.masks[v].candt & (1 << u) == 0 {
                 continue;
             }
-            if !self.has_full_support(graph, u, v) {
+            if !self.has_counter_support(u, v) {
                 continue;
             }
-            self.candt_sets[u.index()].remove(&v);
-            self.match_sets[u.index()].insert(v);
-            stats.matches_added += 1;
-            stats.aux_changes += 1;
+            self.promote(graph, u, v, worklist, stats);
             promoted_any = true;
-            for &(u_parent, _) in self.pattern.parents(u) {
-                for &p in graph.parents(v) {
-                    if self.candt_sets[u_parent.index()].contains(&p) {
-                        worklist.push((u_parent, p));
-                    }
-                }
-            }
         }
         promoted_any
     }
 
-    /// Evaluates candidates of every nontrivial pattern SCC jointly: tentatively
-    /// assume all candidates of the SCC match, refine the assumption down to a
-    /// fixpoint, and promote the survivors. Survivor promotions enqueue their
-    /// candidate parents on `worklist` for the next `propCS` pass. Returns
-    /// true if anything was promoted.
+    /// Evaluates candidates of every nontrivial pattern SCC jointly:
+    /// tentatively assume all candidates of the SCC match, refine the
+    /// assumption down to the greatest fixpoint, and promote the survivors.
+    ///
+    /// The refinement is counter-backed, mirroring the main engine: per
+    /// (candidate, SCC pattern node) a *tentative support* counter
+    /// `tsup[(v, u2)] = |children(v) ∩ tentative(u2)|` is derived once, and a
+    /// worklist eliminates non-viable pairs, decrementing the counters of
+    /// their tentative parents — instead of the seed's repeated
+    /// full-candidate-set fixpoint sweeps with adjacency rescans.
+    ///
+    /// Survivor promotions enqueue their candidate parents on `worklist` for
+    /// the next `propCS` pass. Returns true if anything was promoted.
     fn prop_cc(
         &mut self,
         graph: &DataGraph,
         stats: &mut AffStats,
-        worklist: &mut Vec<(PatternNodeId, NodeId)>,
+        worklist: &mut Vec<(u32, u32)>,
     ) -> bool {
         let mut promoted_any = false;
         let components: Vec<_> = self.scc.components().collect();
@@ -375,87 +702,172 @@ impl SimulationIndex {
             if !self.scc.is_nontrivial(comp) {
                 continue;
             }
-            let members: Vec<PatternNodeId> = self
-                .scc
-                .members(comp)
-                .iter()
-                .map(|&i| PatternNodeId::from_index(i))
-                .collect();
+            let comp_mask: u64 =
+                self.scc.members(comp).iter().fold(0u64, |mask, &u| mask | (1 << u));
 
-            // tentative(u) = candidates of u still assumed viable (matches are
-            // kept implicitly: they can never be invalidated by insertions).
-            let mut tentative: Vec<FastHashSet<NodeId>> = vec![FastHashSet::default(); self.pattern.node_count()];
-            for &u in &members {
-                tentative[u.index()] = self.candt_sets[u.index()].clone();
+            // tentative[v] = pattern nodes of this SCC that v is still assumed
+            // to match (matches are kept implicitly: they can never be
+            // invalidated by insertions). Sparse: only candidate nodes appear.
+            let mut tentative: FastHashMap<u32, u64> = FastHashMap::default();
+            for v in 0..self.nv {
+                let bits = self.masks[v].candt & comp_mask;
+                if bits != 0 {
+                    tentative.insert(v as u32, bits);
+                }
             }
-            let in_scc = |u: PatternNodeId| members.contains(&u);
+            if tentative.is_empty() {
+                continue;
+            }
 
-            let mut changed = true;
-            while changed {
-                changed = false;
-                for &u in &members {
-                    let survivors: Vec<NodeId> = tentative[u.index()]
-                        .iter()
-                        .copied()
-                        .filter(|&v| {
-                            stats.nodes_visited += 1;
-                            self.pattern.children(u).iter().all(|&(u2, _)| {
-                                graph.children(v).iter().any(|w| {
-                                    self.match_sets[u2.index()].contains(w)
-                                        || (in_scc(u2) && tentative[u2.index()].contains(w))
-                                })
-                            })
-                        })
-                        .collect();
-                    if survivors.len() != tentative[u.index()].len() {
-                        changed = true;
-                        tentative[u.index()] = survivors.into_iter().collect();
+            // tsup[(v, u2)] = |children(v) ∩ tentative(u2)| for u2 in the SCC.
+            let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
+            for (&v, _) in tentative.iter() {
+                for &w in graph.children(NodeId(v)) {
+                    let Some(&wbits) = tentative.get(&w.0) else { continue };
+                    let mut bits = wbits;
+                    while bits != 0 {
+                        let u2 = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        *tsup.entry((v, u2)).or_insert(0) += 1;
+                        stats.counter_updates += 1;
                     }
                 }
             }
 
-            for &u in &members {
-                let survivors: Vec<NodeId> = tentative[u.index()].iter().copied().collect();
-                for v in survivors {
-                    self.candt_sets[u.index()].remove(&v);
-                    self.match_sets[u.index()].insert(v);
-                    stats.matches_added += 1;
-                    stats.aux_changes += 1;
-                    promoted_any = true;
-                    // Candidate parents of the new match must be re-checked by
-                    // the next propCS pass.
-                    for &(u_parent, _) in self.pattern.parents(u) {
-                        for &p in graph.parents(v) {
-                            if self.candt_sets[u_parent.index()].contains(&p) {
-                                worklist.push((u_parent, p));
+            // Seed the elimination worklist with every currently non-viable
+            // tentative pair.
+            let viable = |index: &Self, tsup: &FastHashMap<(u32, u32), u32>, u: usize, v: u32| {
+                let base = v as usize * index.np;
+                let mut bits = index.child_mask[u];
+                while bits != 0 {
+                    let u2 = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if index.cnt[base + u2] > 0 {
+                        continue;
+                    }
+                    let in_scc = index.scc_child_mask[u] & (1 << u2) != 0;
+                    if !in_scc || tsup.get(&(v, u2 as u32)).copied().unwrap_or(0) == 0 {
+                        return false;
+                    }
+                }
+                true
+            };
+            let mut eliminate: Vec<(u32, u32)> = Vec::new();
+            for (&v, &bits) in tentative.iter() {
+                let mut b = bits;
+                while b != 0 {
+                    let u = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    stats.nodes_visited += 1;
+                    if !viable(self, &tsup, u, v) {
+                        eliminate.push((u as u32, v));
+                    }
+                }
+            }
+
+            // Eliminate with cascade: dropping the assumption (u, v) costs its
+            // tentative parents one unit of support for u.
+            while let Some((u, v)) = eliminate.pop() {
+                let Some(bits) = tentative.get_mut(&v) else { continue };
+                let bit = 1u64 << u;
+                if *bits & bit == 0 {
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                *bits &= !bit;
+                if *bits == 0 {
+                    tentative.remove(&v);
+                }
+                let pmask = self.parent_mask(u as usize) & comp_mask;
+                for &p in graph.parents(NodeId(v)) {
+                    let Some(counter) = tsup.get_mut(&(p.0, u)) else { continue };
+                    debug_assert!(*counter > 0, "tentative support underflow");
+                    *counter -= 1;
+                    stats.counter_updates += 1;
+                    if *counter == 0 && self.cnt[p.index() * self.np + u as usize] == 0 {
+                        // Every tentative assumption on p that relied on the
+                        // pattern edge (u_par, u) may now be dead.
+                        if let Some(&pbits) = tentative.get(&p.0) {
+                            let mut b = pbits & pmask;
+                            while b != 0 {
+                                let u_par = b.trailing_zeros();
+                                b &= b - 1;
+                                eliminate.push((u_par, p.0));
                             }
                         }
                     }
+                }
+            }
+
+            let mut survivors: Vec<(u32, u64)> = tentative.into_iter().collect();
+            survivors.sort_unstable_by_key(|&(v, _)| v);
+            for (v, mut bits) in survivors {
+                while bits != 0 {
+                    let u = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.promote(graph, u, v as usize, worklist, stats);
+                    promoted_any = true;
                 }
             }
         }
         promoted_any
     }
 
-    /// Full refinement of `match_sets` down to the greatest fixpoint (used by
-    /// the initial build).
-    fn refine_all(&mut self, graph: &DataGraph) {
-        let mut changed = true;
-        while changed {
-            changed = false;
+    // ------------------------------------------------------------------
+    // Node growth
+    // ------------------------------------------------------------------
+
+    /// Extends the per-node arrays when the graph gained nodes since the index
+    /// was built. New nodes are isolated at this point (edges to them arrive
+    /// through [`SimulationIndex::insert_edge`] / batches), so a new node
+    /// matches a pattern node iff it satisfies the predicate of a *childless*
+    /// pattern node; otherwise it starts as a candidate.
+    fn ensure_node_capacity(&mut self, graph: &DataGraph) {
+        let new_nv = graph.node_count();
+        if new_nv <= self.nv {
+            return;
+        }
+        self.invalidate_cache();
+        self.masks.resize(new_nv, NodeMasks::default());
+        self.cnt.resize(new_nv * self.np, 0);
+        for v in self.nv..new_nv {
+            let node = NodeId::from_index(v);
             for u in self.pattern.nodes() {
-                let to_remove: Vec<NodeId> = self.match_sets[u.index()]
-                    .iter()
-                    .copied()
-                    .filter(|&v| !self.has_full_support(graph, u, v))
-                    .collect();
-                if !to_remove.is_empty() {
-                    changed = true;
-                    for v in to_remove {
-                        self.match_sets[u.index()].remove(&v);
-                    }
+                if !self.pattern.predicate(u).satisfied_by(graph.attrs(node)) {
+                    continue;
+                }
+                if self.child_mask[u.index()] == 0 {
+                    self.masks[v].matched |= 1 << u.index();
+                    self.match_count[u.index()] += 1;
+                } else {
+                    self.masks[v].candt |= 1 << u.index();
                 }
             }
+        }
+        self.nv = new_nv;
+    }
+
+    // ------------------------------------------------------------------
+    // Debug invariants
+    // ------------------------------------------------------------------
+
+    /// Recomputes every support counter from scratch and compares (test-only
+    /// consistency oracle for the incremental maintenance).
+    #[cfg(test)]
+    fn assert_counters_consistent(&self, graph: &DataGraph) {
+        for v in 0..self.nv {
+            for u2 in 0..self.np {
+                let expected = graph
+                    .children(NodeId::from_index(v))
+                    .iter()
+                    .filter(|w| self.masks[w.index()].matched & (1 << u2) != 0)
+                    .count() as u32;
+                assert_eq!(self.cnt[v * self.np + u2], expected, "counter drift at (n{v}, u{u2})");
+            }
+        }
+        for u in 0..self.np {
+            let count = (0..self.nv).filter(|&v| self.masks[v].matched & (1 << u) != 0).count();
+            assert_eq!(self.match_count[u], count, "match_count drift at u{u}");
         }
     }
 }
@@ -476,6 +888,7 @@ mod tests {
         graph: DataGraph,
         ann: NodeId,
         pat: NodeId,
+        #[allow(dead_code)]
         dan: NodeId,
         bill: NodeId,
         mat: NodeId,
@@ -486,7 +899,7 @@ mod tests {
 
     fn friendfeed() -> FriendFeed {
         let mut g = DataGraph::new();
-        let mut person = |g: &mut DataGraph, name: &str, job: &str| {
+        let person = |g: &mut DataGraph, name: &str, job: &str| {
             g.add_node(Attributes::new().with("name", name).with("job", job).with("label", job))
         };
         let ann = person(&mut g, "Ann", "CTO");
@@ -522,9 +935,15 @@ mod tests {
         p
     }
 
-    fn assert_consistent(index: &SimulationIndex, pattern: &Pattern, graph: &DataGraph, context: &str) {
+    fn assert_consistent(
+        index: &SimulationIndex,
+        pattern: &Pattern,
+        graph: &DataGraph,
+        context: &str,
+    ) {
         let expected = match_simulation(pattern, graph);
         assert_eq!(index.matches(), expected, "{context}: incremental result diverged from batch");
+        index.assert_counters_consistent(graph);
     }
 
     #[test]
@@ -539,8 +958,10 @@ mod tests {
         // (Example 5.2 / 5.3).
         let stats = index.delete_edge(&mut ff.graph, ff.pat, ff.bill);
         assert_eq!(stats.matches_removed, 1);
+        assert!(stats.counter_updates >= 1, "deletions maintain the support counters");
         assert!(!index.match_set(PatternNodeId(1)).contains(&ff.pat));
         assert!(index.candidate_set(PatternNodeId(1)).contains(&ff.pat));
+        assert!(!index.contains(PatternNodeId(1), ff.pat));
         assert_consistent(&index, &p, &ff.graph, "after deleting (Pat, Bill)");
     }
 
@@ -738,6 +1159,18 @@ mod tests {
     }
 
     #[test]
+    fn build_rejects_patterns_wider_than_the_masks() {
+        let mut g = DataGraph::new();
+        g.add_labeled_node("a");
+        let mut p = Pattern::new();
+        for _ in 0..=MAX_PATTERN_NODES {
+            p.add_labeled_node("a");
+        }
+        let result = std::panic::catch_unwind(|| SimulationIndex::build(&p, &g));
+        assert!(result.is_err(), "65-node pattern must be rejected");
+    }
+
+    #[test]
     fn result_graph_tracks_current_matches() {
         let mut ff = friendfeed();
         let p = pattern_p3();
@@ -749,5 +1182,112 @@ mod tests {
         assert!(!gr_after.has_edge(ff.pat, ff.bill));
         let delta = gr_before.diff(&gr_after);
         assert!(delta.removed_nodes.contains(&ff.pat));
+    }
+
+    #[test]
+    fn matches_view_is_cached_and_invalidated_on_mutation() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let before = index.matches();
+        // Two consecutive views observe the same cached relation.
+        assert_eq!(*index.matches_view(), before);
+        assert_eq!(index.matches(), before);
+        // A mutation invalidates the cache; the next view sees the change.
+        index.delete_edge(&mut ff.graph, ff.pat, ff.bill);
+        let after = index.matches();
+        assert_ne!(before, after);
+        assert_eq!(*index.matches_view(), after);
+        assert_eq!(after, match_simulation(&p, &ff.graph));
+    }
+
+    #[test]
+    fn nodes_added_after_build_join_the_candidate_pipeline() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+
+        // A new DB person arrives and links to Ann (CTO) and Bill (Bio):
+        // they must become a DB match exactly like a from-scratch run says.
+        let eve = ff
+            .graph
+            .add_node(Attributes::new().with("name", "Eve").with("job", "DB").with("label", "DB"));
+        index.insert_edge(&mut ff.graph, eve, ff.ann);
+        assert_consistent(&index, &p, &ff.graph, "after (Eve, Ann)");
+        index.insert_edge(&mut ff.graph, eve, ff.bill);
+        assert!(index.contains(PatternNodeId(1), eve), "Eve now matches DB");
+        assert_consistent(&index, &p, &ff.graph, "after (Eve, Bill)");
+
+        // A new Bio person is isolated: Bio is childless in P3', so they match
+        // immediately once an (irrelevant) update lets the index observe them.
+        let zed = ff.graph.add_node(
+            Attributes::new().with("name", "Zed").with("job", "Bio").with("label", "Bio"),
+        );
+        index.insert_edge(&mut ff.graph, ff.ross, zed);
+        assert!(index.contains(PatternNodeId(2), zed), "childless pattern node matches");
+        assert_consistent(&index, &p, &ff.graph, "after adding Zed");
+    }
+
+    #[test]
+    fn first_edge_of_a_post_build_node_is_classified_live() {
+        // Regression: insert_edge must grow the membership masks *before*
+        // classifying the update, or the first edge out of a node added after
+        // build is silently dropped as irrelevant.
+        let mut g = DataGraph::new();
+        let b = g.add_labeled_node("B");
+        let mut p = Pattern::new();
+        let ua = p.add_labeled_node("A");
+        let ub = p.add_labeled_node("B");
+        p.add_normal_edge(ua, ub);
+        let mut index = SimulationIndex::build(&p, &g);
+        assert!(!index.is_match());
+
+        let a = g.add_labeled_node("A");
+        let stats = index.insert_edge(&mut g, a, b);
+        assert_eq!(stats.reduced_delta_g, 1, "first edge of a new node is a cs edge");
+        assert!(index.contains(ua, a), "new node promoted through its first edge");
+        assert_consistent(&index, &p, &g, "after first edge of post-build node");
+    }
+
+    #[test]
+    fn batch_over_post_build_nodes_runs_prop_cc() {
+        // Regression: apply_batch must classify against grown masks, or a
+        // cyclic match formed entirely by post-build nodes never triggers
+        // propCC.
+        let mut g = DataGraph::new();
+        g.add_labeled_node("C");
+        let mut p = Pattern::new();
+        let ua = p.add_labeled_node("A");
+        let ub = p.add_labeled_node("B");
+        p.add_normal_edge(ua, ub);
+        p.add_normal_edge(ub, ua);
+        let mut index = SimulationIndex::build(&p, &g);
+        assert!(!index.is_match());
+
+        let x = g.add_labeled_node("A");
+        let y = g.add_labeled_node("B");
+        let mut batch = BatchUpdate::new();
+        batch.insert(x, y);
+        batch.insert(y, x);
+        index.apply_batch(&mut g, &batch);
+        assert!(index.contains(ua, x) && index.contains(ub, y), "cycle of new nodes matches");
+        assert_consistent(&index, &p, &g, "after batch over post-build nodes");
+    }
+
+    #[test]
+    fn counter_updates_are_reported() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let batch = {
+            let mut b = BatchUpdate::new();
+            b.delete(ff.pat, ff.bill);
+            b.insert(ff.pat, ff.mat);
+            b
+        };
+        let stats = index.apply_batch(&mut ff.graph, &batch);
+        assert!(stats.counter_updates > 0);
+        assert!(stats.to_string().contains("counters="));
+        assert_consistent(&index, &p, &ff.graph, "after counter-reporting batch");
     }
 }

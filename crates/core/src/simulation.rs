@@ -11,15 +11,50 @@
 
 use crate::stats::AffStats;
 use igpm_graph::hash::FastHashSet;
-use igpm_graph::{DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph};
+use igpm_graph::{
+    DataGraph, LabelIndex, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
+};
 
 /// The candidate sets: for each pattern node, the data nodes satisfying its
 /// predicate (`candt(u) ∪ match(u)` before any structural refinement).
+///
+/// Builds a [`LabelIndex`] internally (one `O(|V|)` pass) and routes every
+/// pattern node through [`candidates_with_index`], so label-bearing predicates
+/// — the overwhelmingly common case — enumerate their candidates in
+/// `O(|candidates|)` instead of scanning all of `V` once per pattern node.
 pub fn candidates(pattern: &Pattern, graph: &DataGraph) -> Vec<Vec<NodeId>> {
+    let index = LabelIndex::build(graph);
+    candidates_with_index(pattern, graph, &index)
+}
+
+/// [`candidates`] against a pre-built label index (reusable across patterns
+/// over the same graph snapshot).
+///
+/// Per pattern node, in decreasing order of selectivity:
+/// 1. pure label predicate → the index bucket verbatim;
+/// 2. predicate containing a `label = l` atom → full predicate evaluated over
+///    the bucket only;
+/// 3. anything else → predicate evaluated over all nodes (the seed behaviour).
+pub fn candidates_with_index(
+    pattern: &Pattern,
+    graph: &DataGraph,
+    index: &LabelIndex,
+) -> Vec<Vec<NodeId>> {
     pattern
         .nodes()
         .map(|u| {
             let pred = pattern.predicate(u);
+            if let Some(label) = pred.as_label() {
+                return index.nodes_with_label(label).to_vec();
+            }
+            if let Some(label) = pred.label_atom() {
+                return index
+                    .nodes_with_label(label)
+                    .iter()
+                    .copied()
+                    .filter(|&v| pred.satisfied_by(graph.attrs(v)))
+                    .collect();
+            }
             graph.nodes().filter(|&v| pred.satisfied_by(graph.attrs(v))).collect()
         })
         .collect()
@@ -40,15 +75,16 @@ pub fn match_simulation(pattern: &Pattern, graph: &DataGraph) -> MatchRelation {
 
 /// [`match_simulation`] variant that also reports work statistics (used by
 /// tests that sanity-check the refinement volume).
-pub fn match_simulation_with_stats(pattern: &Pattern, graph: &DataGraph) -> (MatchRelation, AffStats) {
+pub fn match_simulation_with_stats(
+    pattern: &Pattern,
+    graph: &DataGraph,
+) -> (MatchRelation, AffStats) {
     let np = pattern.node_count();
     let mut stats = AffStats::default();
 
     // sim(u): candidates of u, refined in place.
-    let mut sim: Vec<FastHashSet<NodeId>> = candidates(pattern, graph)
-        .into_iter()
-        .map(|list| list.into_iter().collect())
-        .collect();
+    let mut sim: Vec<FastHashSet<NodeId>> =
+        candidates(pattern, graph).into_iter().map(|list| list.into_iter().collect()).collect();
 
     // If some pattern node has no candidate at all, the match is empty.
     if sim.iter().any(FastHashSet::is_empty) {
@@ -139,14 +175,28 @@ mod tests {
     /// the normal pattern P3': CTO -> DB -> Bio, CTO -> Bio, DB -> CTO.
     fn friendfeed() -> (DataGraph, Vec<NodeId>) {
         let mut g = DataGraph::new();
-        let ann = g.add_node(Attributes::new().with("name", "Ann").with("job", "CTO").with("label", "CTO"));
-        let pat = g.add_node(Attributes::new().with("name", "Pat").with("job", "DB").with("label", "DB"));
-        let dan = g.add_node(Attributes::new().with("name", "Dan").with("job", "DB").with("label", "DB"));
-        let bill = g.add_node(Attributes::new().with("name", "Bill").with("job", "Bio").with("label", "Bio"));
-        let mat = g.add_node(Attributes::new().with("name", "Mat").with("job", "Bio").with("label", "Bio"));
-        let don = g.add_node(Attributes::new().with("name", "Don").with("job", "CTO").with("label", "CTO"));
-        let tom = g.add_node(Attributes::new().with("name", "Tom").with("job", "Bio").with("label", "Bio"));
-        let ross = g.add_node(Attributes::new().with("name", "Ross").with("job", "Med").with("label", "Med"));
+        let ann = g.add_node(
+            Attributes::new().with("name", "Ann").with("job", "CTO").with("label", "CTO"),
+        );
+        let pat =
+            g.add_node(Attributes::new().with("name", "Pat").with("job", "DB").with("label", "DB"));
+        let dan =
+            g.add_node(Attributes::new().with("name", "Dan").with("job", "DB").with("label", "DB"));
+        let bill = g.add_node(
+            Attributes::new().with("name", "Bill").with("job", "Bio").with("label", "Bio"),
+        );
+        let mat = g.add_node(
+            Attributes::new().with("name", "Mat").with("job", "Bio").with("label", "Bio"),
+        );
+        let don = g.add_node(
+            Attributes::new().with("name", "Don").with("job", "CTO").with("label", "CTO"),
+        );
+        let tom = g.add_node(
+            Attributes::new().with("name", "Tom").with("job", "Bio").with("label", "Bio"),
+        );
+        let ross = g.add_node(
+            Attributes::new().with("name", "Ross").with("job", "Med").with("label", "Med"),
+        );
         // Edges of the base FriendFeed fragment.
         g.add_edge(ann, pat); // CTO -> DB
         g.add_edge(pat, ann); // DB -> CTO
@@ -177,7 +227,8 @@ mod tests {
         let (g, nodes) = friendfeed();
         let p = pattern_p3_normal();
         let m = match_simulation(&p, &g);
-        let (ann, pat, dan, bill, mat, tom) = (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[6]);
+        let (ann, pat, dan, bill, mat, tom) =
+            (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[6]);
         // As in Example 5.2, Ann is the only CTO match (Don has no DB/Bio
         // children) and Pat/Dan are the DB matches. Every Bio node matches the
         // childless pattern node Bio.

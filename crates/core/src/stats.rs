@@ -9,11 +9,10 @@
 //! polynomial in `|ΔG|`, `|P|` and `|AFF|`, independent of `|G|`) can be
 //! checked empirically, as the experiments of Section 8.2 do.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Accounting of one incremental matching operation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AffStats {
     /// Number of unit updates handed to the algorithm (`|ΔG|`).
     pub delta_g: usize,
@@ -28,6 +27,12 @@ pub struct AffStats {
     pub aux_changes: usize,
     /// Nodes visited (touched) while propagating the change.
     pub nodes_visited: usize,
+    /// Support-counter increments/decrements performed by the counter-backed
+    /// incremental engines. Counters are part of the auxiliary structure the
+    /// paper's `|AFF|` bound covers, but they are tracked separately from
+    /// `aux_changes` so the match/candidate transition counts stay comparable
+    /// with the pre-counter implementation.
+    pub counter_updates: usize,
 }
 
 impl AffStats {
@@ -54,6 +59,7 @@ impl AffStats {
         self.matches_removed += other.matches_removed;
         self.aux_changes += other.aux_changes;
         self.nodes_visited += other.nodes_visited;
+        self.counter_updates += other.counter_updates;
     }
 }
 
@@ -61,14 +67,15 @@ impl fmt::Display for AffStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "|ΔG|={} (reduced {}), |ΔM|={} (+{}/-{}), |AFF|={}, visited={}",
+            "|ΔG|={} (reduced {}), |ΔM|={} (+{}/-{}), |AFF|={}, visited={}, counters={}",
             self.delta_g,
             self.reduced_delta_g,
             self.delta_m(),
             self.matches_added,
             self.matches_removed,
             self.aff(),
-            self.nodes_visited
+            self.nodes_visited,
+            self.counter_updates
         )
     }
 }
@@ -86,6 +93,7 @@ mod tests {
             matches_removed: 1,
             aux_changes: 10,
             nodes_visited: 20,
+            counter_updates: 7,
         };
         assert_eq!(stats.delta_m(), 3);
         assert_eq!(stats.changed(), 8);
@@ -94,15 +102,50 @@ mod tests {
 
     #[test]
     fn merge_accumulates_all_fields() {
-        let mut a = AffStats { delta_g: 1, reduced_delta_g: 1, matches_added: 1, matches_removed: 1, aux_changes: 1, nodes_visited: 1 };
-        let b = AffStats { delta_g: 2, reduced_delta_g: 3, matches_added: 4, matches_removed: 5, aux_changes: 6, nodes_visited: 7 };
+        let mut a = AffStats {
+            delta_g: 1,
+            reduced_delta_g: 1,
+            matches_added: 1,
+            matches_removed: 1,
+            aux_changes: 1,
+            nodes_visited: 1,
+            counter_updates: 1,
+        };
+        let b = AffStats {
+            delta_g: 2,
+            reduced_delta_g: 3,
+            matches_added: 4,
+            matches_removed: 5,
+            aux_changes: 6,
+            nodes_visited: 7,
+            counter_updates: 8,
+        };
         a.merge(b);
-        assert_eq!(a, AffStats { delta_g: 3, reduced_delta_g: 4, matches_added: 5, matches_removed: 6, aux_changes: 7, nodes_visited: 8 });
+        assert_eq!(
+            a,
+            AffStats {
+                delta_g: 3,
+                reduced_delta_g: 4,
+                matches_added: 5,
+                matches_removed: 6,
+                aux_changes: 7,
+                nodes_visited: 8,
+                counter_updates: 9
+            }
+        );
     }
 
     #[test]
     fn display_mentions_all_metrics() {
-        let stats = AffStats { delta_g: 1, reduced_delta_g: 1, matches_added: 2, matches_removed: 0, aux_changes: 3, nodes_visited: 4 };
+        let stats = AffStats {
+            delta_g: 1,
+            reduced_delta_g: 1,
+            matches_added: 2,
+            matches_removed: 0,
+            aux_changes: 3,
+            nodes_visited: 4,
+            counter_updates: 0,
+        };
         let text = stats.to_string();
         assert!(text.contains("|ΔG|=1"));
         assert!(text.contains("|ΔM|=2"));

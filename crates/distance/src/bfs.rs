@@ -92,10 +92,7 @@ impl DistanceOracle for BfsOracle<'_> {
 
     fn within(&self, from: NodeId, to: NodeId, max_hops: u32) -> bool {
         if self.cache_capacity > 0 {
-            return self
-                .distance(from, to)
-                .map(|d| d <= max_hops)
-                .unwrap_or(false);
+            return self.distance(from, to).map(|d| d <= max_hops).unwrap_or(false);
         }
         // Bounded BFS terminates early once the hop budget is exhausted.
         let dist = bfs_distances(self.graph, from, Direction::Forward, max_hops);

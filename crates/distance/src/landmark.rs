@@ -209,7 +209,11 @@ mod tests {
             let matrix = DistanceMatrix::build(&g);
             for a in g.nodes() {
                 for b in g.nodes() {
-                    assert_eq!(index.query(a, b), matrix.distance(a, b), "seed {seed}: mismatch at ({a}, {b})");
+                    assert_eq!(
+                        index.query(a, b),
+                        matrix.distance(a, b),
+                        "seed {seed}: mismatch at ({a}, {b})"
+                    );
                 }
             }
         }
@@ -278,8 +282,7 @@ mod tests {
         g.add_edge(ann, pat);
         g.add_edge(dan, pat);
         g.add_edge(pat, bill);
-        let index =
-            LandmarkIndex::build(&g, LandmarkSelection::Explicit(vec![ann, dan, pat]));
+        let index = LandmarkIndex::build(&g, LandmarkSelection::Explicit(vec![ann, dan, pat]));
         // dis(Dan, Bill) = 2 found through the landmark Pat.
         assert_eq!(index.query(dan, bill), Some(2));
         assert_eq!(index.distvf(dan), vec![UNREACHABLE, 0, 1]);

@@ -93,9 +93,11 @@ pub fn ins_lm_tracked(
             continue;
         }
         // Distances from landmark i may shrink along `from -> to`.
-        stats.affected_entries += propagate_decrease_forward(graph, &mut from_lm[i], from, to, affected);
+        stats.affected_entries +=
+            propagate_decrease_forward(graph, &mut from_lm[i], from, to, affected);
         // Distances to landmark i may shrink along `from -> to`.
-        stats.affected_entries += propagate_decrease_backward(graph, &mut to_lm[i], from, to, affected);
+        stats.affected_entries +=
+            propagate_decrease_backward(graph, &mut to_lm[i], from, to, affected);
     }
     stats
 }
@@ -134,11 +136,13 @@ pub fn del_lm_tracked(
     let (from_lm, to_lm) = index.rows_mut();
     for row in from_lm.iter_mut() {
         // dist(landmark, ·): the deleted edge supported `to` via `from`.
-        stats.affected_entries += repair_after_deletion(graph, row, to, from, DirectionKind::FromLandmark, affected);
+        stats.affected_entries +=
+            repair_after_deletion(graph, row, to, from, DirectionKind::FromLandmark, affected);
     }
     for row in to_lm.iter_mut() {
         // dist(·, landmark): the deleted edge supported `from` via `to`.
-        stats.affected_entries += repair_after_deletion(graph, row, from, to, DirectionKind::ToLandmark, affected);
+        stats.affected_entries +=
+            repair_after_deletion(graph, row, from, to, DirectionKind::ToLandmark, affected);
     }
     stats
 }
@@ -194,7 +198,11 @@ pub fn reduce_batch(graph: &DataGraph, batch: &BatchUpdate) -> (Vec<Update>, usi
     for key in order {
         let (initial, fin) = presence[&key];
         if initial != fin {
-            effective.push(if fin { Update::insert(key.0, key.1) } else { Update::delete(key.0, key.1) });
+            effective.push(if fin {
+                Update::insert(key.0, key.1)
+            } else {
+                Update::delete(key.0, key.1)
+            });
         }
     }
     let cancelled = batch.len() - effective.len();
@@ -285,14 +293,14 @@ enum DirectionKind {
 }
 
 impl DirectionKind {
-    fn supports<'a>(self, graph: &'a DataGraph, v: NodeId) -> &'a [NodeId] {
+    fn supports(self, graph: &DataGraph, v: NodeId) -> &[NodeId] {
         match self {
             DirectionKind::FromLandmark => graph.parents(v),
             DirectionKind::ToLandmark => graph.children(v),
         }
     }
 
-    fn dependents<'a>(self, graph: &'a DataGraph, v: NodeId) -> &'a [NodeId] {
+    fn dependents(self, graph: &DataGraph, v: NodeId) -> &[NodeId] {
         match self {
             DirectionKind::FromLandmark => graph.children(v),
             DirectionKind::ToLandmark => graph.parents(v),

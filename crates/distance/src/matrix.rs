@@ -25,10 +25,8 @@ impl DistanceMatrix {
     /// Builds the matrix with one BFS per node.
     pub fn build(graph: &DataGraph) -> Self {
         let node_count = graph.node_count();
-        let rows = graph
-            .nodes()
-            .map(|v| bfs_distances_dense(graph, v, Direction::Forward))
-            .collect();
+        let rows =
+            graph.nodes().map(|v| bfs_distances_dense(graph, v, Direction::Forward)).collect();
         DistanceMatrix { node_count, rows }
     }
 

@@ -66,13 +66,15 @@ pub fn nonempty_distance<O: DistanceOracle + ?Sized>(
     graph
         .children(from)
         .iter()
-        .filter_map(|&child| {
-            if child == to {
-                Some(1)
-            } else {
-                oracle.distance(child, to).map(|d| d + 1)
-            }
-        })
+        .filter_map(
+            |&child| {
+                if child == to {
+                    Some(1)
+                } else {
+                    oracle.distance(child, to).map(|d| d + 1)
+                }
+            },
+        )
         .min()
 }
 

@@ -46,7 +46,10 @@ impl TwoHopLabels {
             visited_mark[hub.index()] = rank;
             while let Some((v, d)) = queue.pop_front() {
                 // Prune if the current labels already explain this distance.
-                if v != hub && Self::query_labels(&out_labels[hub.index()], &in_labels[v.index()]) <= d as u64 {
+                if v != hub
+                    && Self::query_labels(&out_labels[hub.index()], &in_labels[v.index()])
+                        <= d as u64
+                {
                     continue;
                 }
                 in_labels[v.index()].push((rank, d));
@@ -64,7 +67,10 @@ impl TwoHopLabels {
             queue.push_back((hub, 0));
             visited_mark[hub.index()] = back_mark;
             while let Some((v, d)) = queue.pop_front() {
-                if v != hub && Self::query_labels(&out_labels[v.index()], &in_labels[hub.index()]) <= d as u64 {
+                if v != hub
+                    && Self::query_labels(&out_labels[v.index()], &in_labels[hub.index()])
+                        <= d as u64
+                {
                     continue;
                 }
                 out_labels[v.index()].push((rank, d));
@@ -183,7 +189,11 @@ mod tests {
             let matrix = DistanceMatrix::build(&g);
             for a in g.nodes() {
                 for b in g.nodes() {
-                    assert_eq!(labels.distance(a, b), matrix.distance(a, b), "case {case}: mismatch at ({a}, {b})");
+                    assert_eq!(
+                        labels.distance(a, b),
+                        matrix.distance(a, b),
+                        "case {case}: mismatch at ({a}, {b})"
+                    );
                 }
             }
         }

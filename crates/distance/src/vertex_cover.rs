@@ -91,7 +91,8 @@ fn collect(in_cover: Vec<bool>) -> Vec<NodeId> {
     in_cover
         .into_iter()
         .enumerate()
-        .filter_map(|(i, included)| included.then(|| NodeId::from_index(i)))
+        .filter(|&(_i, included)| included)
+        .map(|(i, _included)| NodeId::from_index(i))
         .collect()
 }
 
@@ -112,7 +113,8 @@ mod tests {
 
     fn cycle(n: usize) -> DataGraph {
         let mut g = DataGraph::new();
-        let nodes: Vec<NodeId> = (0..n).map(|i| g.add_node(Attributes::labeled(format!("v{i}")))).collect();
+        let nodes: Vec<NodeId> =
+            (0..n).map(|i| g.add_node(Attributes::labeled(format!("v{i}")))).collect();
         for i in 0..n {
             g.add_edge(nodes[i], nodes[(i + 1) % n]);
         }

@@ -16,8 +16,8 @@ use rand::{Rng, SeedableRng};
 
 /// Research fields used as node labels.
 pub const FIELDS: &[&str] = &[
-    "DB", "AI", "Systems", "Theory", "Networks", "Security", "Graphics", "HCI", "Bio", "ML",
-    "PL", "Arch",
+    "DB", "AI", "Systems", "Theory", "Networks", "Security", "Graphics", "HCI", "Bio", "ML", "PL",
+    "Arch",
 ];
 
 /// Configuration of the citation-network generator.
@@ -45,7 +45,7 @@ impl Default for CitationConfig {
             authors: 5_000,
             year_min: 1990,
             year_max: 2011,
-            seed: 0x2008_117,
+            seed: 0x0200_8117,
         }
     }
 }
@@ -167,7 +167,11 @@ mod tests {
                 backwards += 1;
             }
         }
-        assert!(backwards * 100 / total >= 90, "expected >=90% backward citations, got {}%", backwards * 100 / total);
+        assert!(
+            backwards * 100 / total >= 90,
+            "expected >=90% backward citations, got {}%",
+            backwards * 100 / total
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub use citation::{citation_like, CitationConfig};
 pub use pattern_gen::{generate_pattern, PatternGenConfig, PatternShape};
 pub use synthetic::{synthetic_graph, SyntheticConfig};
 pub use update_gen::{
-    degree_biased_deletions, degree_biased_insertions, evolution_split, mixed_batch, UpdateGenConfig,
+    degree_biased_deletions, degree_biased_insertions, evolution_split, mixed_batch,
+    UpdateGenConfig,
 };
 pub use youtube::{youtube_like, YouTubeConfig};

@@ -13,7 +13,9 @@
 //! that the seed node satisfies. Edge structure is a random spanning tree plus
 //! extra edges, shaped as a tree, DAG or general (possibly cyclic) graph.
 
-use igpm_graph::{AttrValue, CompareOp, DataGraph, EdgeBound, NodeId, Pattern, PatternNodeId, Predicate};
+use igpm_graph::{
+    AttrValue, CompareOp, DataGraph, EdgeBound, NodeId, Pattern, PatternNodeId, Predicate,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,7 +57,13 @@ pub struct PatternGenConfig {
 impl PatternGenConfig {
     /// The paper's `(|V_p|, |E_p|, |pred|, k)` parameterisation with defaults
     /// for the remaining knobs.
-    pub fn new(nodes: usize, edges: usize, preds_per_node: usize, max_bound: u32, seed: u64) -> Self {
+    pub fn new(
+        nodes: usize,
+        edges: usize,
+        preds_per_node: usize,
+        max_bound: u32,
+        seed: u64,
+    ) -> Self {
         PatternGenConfig {
             nodes,
             edges,
@@ -164,7 +172,12 @@ fn sample_bound(config: &PatternGenConfig, rng: &mut StdRng) -> EdgeBound {
 
 /// Builds a predicate satisfied by `seed`, with one label atom and up to
 /// `preds - 1` range atoms over the seed's numeric attributes.
-fn predicate_from_node(graph: &DataGraph, seed: NodeId, preds: usize, rng: &mut StdRng) -> Predicate {
+fn predicate_from_node(
+    graph: &DataGraph,
+    seed: NodeId,
+    preds: usize,
+    rng: &mut StdRng,
+) -> Predicate {
     let attrs = graph.attrs(seed);
     let mut predicate = match attrs.label() {
         Some(label) => Predicate::label(label),
@@ -248,9 +261,15 @@ mod tests {
     #[test]
     fn dag_and_tree_shapes() {
         let g = data();
-        let dag = generate_pattern(&g, &PatternGenConfig::new(6, 10, 2, 3, 5).with_shape(PatternShape::Dag));
+        let dag = generate_pattern(
+            &g,
+            &PatternGenConfig::new(6, 10, 2, 3, 5).with_shape(PatternShape::Dag),
+        );
         assert!(dag.is_dag());
-        let tree = generate_pattern(&g, &PatternGenConfig::new(6, 10, 2, 3, 6).with_shape(PatternShape::Tree));
+        let tree = generate_pattern(
+            &g,
+            &PatternGenConfig::new(6, 10, 2, 3, 6).with_shape(PatternShape::Tree),
+        );
         assert!(tree.is_dag());
         assert_eq!(tree.edge_count(), 5, "trees have |Vp| - 1 edges");
     }

@@ -72,10 +72,8 @@ pub fn degree_biased_deletions(graph: &DataGraph, config: UpdateGenConfig) -> Ba
         return BatchUpdate::new();
     }
     // Weight each edge by the combined degree of its endpoints.
-    let weights: Vec<usize> = edges
-        .iter()
-        .map(|&(a, b)| graph.degree(a) + graph.degree(b))
-        .collect();
+    let weights: Vec<usize> =
+        edges.iter().map(|&(a, b)| graph.degree(a) + graph.degree(b)).collect();
     let total: usize = weights.iter().sum();
     let mut batch = BatchUpdate::new();
     let mut chosen = igpm_graph::hash::set_with_capacity::<(u32, u32)>(config.count);
@@ -104,7 +102,12 @@ pub fn degree_biased_deletions(graph: &DataGraph, config: UpdateGenConfig) -> Ba
 
 /// Generates a mixed batch of `insertions` insertions and `deletions`
 /// deletions, interleaved in a random order.
-pub fn mixed_batch(graph: &DataGraph, insertions: usize, deletions: usize, seed: u64) -> BatchUpdate {
+pub fn mixed_batch(
+    graph: &DataGraph,
+    insertions: usize,
+    deletions: usize,
+    seed: u64,
+) -> BatchUpdate {
     let ins = degree_biased_insertions(graph, UpdateGenConfig::new(insertions, seed));
     let del = degree_biased_deletions(graph, UpdateGenConfig::new(deletions, seed.wrapping_add(1)));
     let mut all: Vec<Update> = ins.into_iter().chain(del).collect();
@@ -125,7 +128,11 @@ pub fn mixed_batch(graph: &DataGraph, insertions: usize, deletions: usize, seed:
 /// The newest `fraction` of edges become the insertion batch; the base graph
 /// keeps all nodes and the remaining edges. This reconstructs the
 /// snapshot-evolution workloads of Figures 18(c,d) and 19(c,d).
-pub fn evolution_split(graph: &DataGraph, fraction: f64, time_attr: &str) -> (DataGraph, BatchUpdate) {
+pub fn evolution_split(
+    graph: &DataGraph,
+    fraction: f64,
+    time_attr: &str,
+) -> (DataGraph, BatchUpdate) {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
     let timestamp = |v: NodeId| -> i64 {
         match graph.attrs(v).get(time_attr) {
@@ -235,7 +242,7 @@ mod tests {
         let (mut base, batch) = evolution_split(&g, 0.2, "year");
         assert_eq!(base.node_count(), g.node_count());
         assert_eq!(base.edge_count() + batch.len(), g.edge_count());
-        assert!(batch.len() > 0);
+        assert!(!batch.is_empty());
         batch.apply(&mut base);
         assert_eq!(base, g);
     }

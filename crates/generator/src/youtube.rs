@@ -172,9 +172,8 @@ mod tests {
     fn category_distribution_is_skewed() {
         let g = youtube_like(&YouTubeConfig::scaled(0.05, 3));
         let music = g.nodes_where(|a| a.get("category") == Some(&AttrValue::from("Music"))).len();
-        let nonprofit = g
-            .nodes_where(|a| a.get("category") == Some(&AttrValue::from("Nonprofit")))
-            .len();
+        let nonprofit =
+            g.nodes_where(|a| a.get("category") == Some(&AttrValue::from("Nonprofit"))).len();
         assert!(music > nonprofit, "head category must dominate tail category");
     }
 

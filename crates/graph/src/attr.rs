@@ -5,13 +5,12 @@
 //! those attributes with atomic formulas `A op a` where
 //! `op ∈ {<, <=, =, !=, >, >=}` (Section 2.1, definition of b-patterns).
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A constant attribute value stored on a data-graph node or compared against
 /// in a pattern predicate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// Integer-valued attribute (ids, years, ages, hop counts, ratings...).
     Int(i64),
@@ -102,7 +101,7 @@ impl From<bool> for AttrValue {
 }
 
 /// Comparison operator of an atomic formula `A op a`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompareOp {
     /// `<`
     Lt,
@@ -163,7 +162,7 @@ impl fmt::Display for CompareOp {
 /// predicate evaluation is a linear merge over the (typically tiny) tuple,
 /// matching the "attributes sorted in the same order" assumption used in the
 /// paper's complexity analysis of `Match` (Section 3).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Attributes {
     entries: Vec<(String, AttrValue)>,
 }

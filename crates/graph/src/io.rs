@@ -2,18 +2,20 @@
 //!
 //! Two formats are provided:
 //!
-//! * **JSON** (via `serde_json`) — human-readable, used for patterns and small
-//!   fixtures checked into examples and tests;
-//! * a **compact binary snapshot** (via `bytes`) — the topology is stored as
-//!   raw `u32` pairs and the attribute table as an embedded JSON blob, which
-//!   keeps multi-hundred-thousand-edge generated datasets cheap to write and
-//!   reload from the experiment harness.
+//! * **JSON** (via the self-contained [`crate::json`] module) — human-readable,
+//!   used for patterns and small fixtures checked into examples and tests;
+//! * a **compact binary snapshot** — the topology is stored as raw
+//!   little-endian `u32` pairs and the attribute table as an embedded JSON
+//!   blob, which keeps multi-hundred-thousand-edge generated datasets cheap to
+//!   write and reload from the experiment harness.
 
-use crate::attr::Attributes;
+use crate::attr::{AttrValue, Attributes};
 use crate::graph::DataGraph;
+use crate::json::{JsonError, JsonValue};
 use crate::node::NodeId;
-use crate::pattern::Pattern;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::pattern::{EdgeBound, Pattern};
+use crate::predicate::{Atom, Predicate};
+use crate::CompareOp;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -25,7 +27,9 @@ pub enum IoError {
     /// Underlying filesystem error.
     Io(io::Error),
     /// JSON (de)serialization error.
-    Json(serde_json::Error),
+    Json(JsonError),
+    /// The document parsed but does not describe the expected structure.
+    Schema(String),
     /// The binary snapshot is malformed.
     Corrupt(String),
 }
@@ -35,6 +39,7 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Schema(msg) => write!(f, "json error: {msg}"),
             IoError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
         }
     }
@@ -48,10 +53,14 @@ impl From<io::Error> for IoError {
     }
 }
 
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for IoError {
+    fn from(e: JsonError) -> Self {
         IoError::Json(e)
     }
+}
+
+fn schema(msg: impl Into<String>) -> IoError {
+    IoError::Schema(msg.into())
 }
 
 /// Magic tag identifying binary graph snapshots.
@@ -59,15 +68,162 @@ const SNAPSHOT_MAGIC: u32 = 0x4947_504d; // "IGPM"
 /// Snapshot format version.
 const SNAPSHOT_VERSION: u32 = 1;
 
-/// Serializes a graph to a JSON string.
-pub fn graph_to_json(graph: &DataGraph) -> Result<String, IoError> {
-    Ok(serde_json::to_string(graph)?)
+// ---------------------------------------------------------------------------
+// JSON encodings of the domain types
+// ---------------------------------------------------------------------------
+
+fn attr_value_to_json(value: &AttrValue) -> JsonValue {
+    match value {
+        AttrValue::Int(v) => JsonValue::Object(vec![("Int".into(), JsonValue::Int(*v))]),
+        AttrValue::Float(v) => JsonValue::Object(vec![("Float".into(), JsonValue::Float(*v))]),
+        AttrValue::Str(v) => JsonValue::Object(vec![("Str".into(), JsonValue::Str(v.clone()))]),
+        AttrValue::Bool(v) => JsonValue::Object(vec![("Bool".into(), JsonValue::Bool(*v))]),
+    }
 }
 
-/// Deserializes a graph from a JSON string (rebuilding its edge index).
+fn attr_value_from_json(value: &JsonValue) -> Result<AttrValue, IoError> {
+    let entries = value.as_object().ok_or_else(|| schema("attribute value must be an object"))?;
+    let (tag, inner) = entries.first().ok_or_else(|| schema("empty attribute value"))?;
+    match tag.as_str() {
+        "Int" => inner.as_i64().map(AttrValue::Int).ok_or_else(|| schema("Int wants an integer")),
+        "Float" => {
+            inner.as_f64().map(AttrValue::Float).ok_or_else(|| schema("Float wants a number"))
+        }
+        "Str" => inner
+            .as_str()
+            .map(|s| AttrValue::Str(s.to_string()))
+            .ok_or_else(|| schema("Str wants a string")),
+        "Bool" => inner.as_bool().map(AttrValue::Bool).ok_or_else(|| schema("Bool wants a bool")),
+        other => Err(schema(format!("unknown attribute value tag `{other}`"))),
+    }
+}
+
+fn attributes_to_json(attrs: &Attributes) -> JsonValue {
+    JsonValue::Object(
+        attrs.iter().map(|(name, value)| (name.to_string(), attr_value_to_json(value))).collect(),
+    )
+}
+
+fn attributes_from_json(value: &JsonValue) -> Result<Attributes, IoError> {
+    let entries = value.as_object().ok_or_else(|| schema("attributes must be an object"))?;
+    let mut attrs = Attributes::new();
+    for (name, v) in entries {
+        attrs.set(name.clone(), attr_value_from_json(v)?);
+    }
+    Ok(attrs)
+}
+
+fn edge_bound_to_json(bound: EdgeBound) -> JsonValue {
+    match bound {
+        EdgeBound::Hops(k) => JsonValue::Int(i64::from(k)),
+        EdgeBound::Unbounded => JsonValue::Str("*".into()),
+    }
+}
+
+fn edge_bound_from_json(value: &JsonValue) -> Result<EdgeBound, IoError> {
+    match value {
+        JsonValue::Str(s) if s == "*" => Ok(EdgeBound::Unbounded),
+        JsonValue::Int(k) if *k >= 1 && *k <= i64::from(u32::MAX) => Ok(EdgeBound::Hops(*k as u32)),
+        _ => Err(schema("edge bound must be a positive integer or \"*\"")),
+    }
+}
+
+fn compare_op_from_symbol(symbol: &str) -> Result<CompareOp, IoError> {
+    Ok(match symbol {
+        "<" => CompareOp::Lt,
+        "<=" => CompareOp::Le,
+        "=" => CompareOp::Eq,
+        "!=" => CompareOp::Ne,
+        ">" => CompareOp::Gt,
+        ">=" => CompareOp::Ge,
+        other => return Err(schema(format!("unknown comparison operator `{other}`"))),
+    })
+}
+
+fn predicate_to_json(predicate: &Predicate) -> JsonValue {
+    JsonValue::Array(
+        predicate
+            .atoms()
+            .iter()
+            .map(|atom| {
+                JsonValue::Object(vec![
+                    ("attr".into(), JsonValue::Str(atom.attr.clone())),
+                    ("op".into(), JsonValue::Str(atom.op.symbol().into())),
+                    ("value".into(), attr_value_to_json(&atom.value)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn predicate_from_json(value: &JsonValue) -> Result<Predicate, IoError> {
+    let atoms = value.as_array().ok_or_else(|| schema("predicate must be an array of atoms"))?;
+    let mut predicate = Predicate::any();
+    for atom in atoms {
+        let attr = atom
+            .get("attr")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| schema("atom needs an `attr` string"))?;
+        let op = compare_op_from_symbol(
+            atom.get("op").and_then(JsonValue::as_str).ok_or_else(|| schema("atom needs `op`"))?,
+        )?;
+        let value =
+            attr_value_from_json(atom.get("value").ok_or_else(|| schema("atom needs `value`"))?)?;
+        predicate.push(Atom::new(attr, op, value));
+    }
+    Ok(predicate)
+}
+
+fn node_id_from_json(value: &JsonValue, node_count: usize) -> Result<NodeId, IoError> {
+    let raw = value.as_i64().ok_or_else(|| schema("node id must be an integer"))?;
+    if raw < 0 || raw as usize >= node_count {
+        return Err(schema(format!("node id {raw} out of range (|V| = {node_count})")));
+    }
+    Ok(NodeId(raw as u32))
+}
+
+/// Serializes a graph to a JSON string.
+pub fn graph_to_json(graph: &DataGraph) -> Result<String, IoError> {
+    let nodes =
+        JsonValue::Array(graph.nodes().map(|v| attributes_to_json(graph.attrs(v))).collect());
+    let edges = JsonValue::Array(
+        graph
+            .edges()
+            .map(|(from, to)| {
+                JsonValue::Array(vec![
+                    JsonValue::Int(i64::from(from.0)),
+                    JsonValue::Int(i64::from(to.0)),
+                ])
+            })
+            .collect(),
+    );
+    Ok(JsonValue::Object(vec![("nodes".into(), nodes), ("edges".into(), edges)]).to_string())
+}
+
+/// Deserializes a graph from a JSON string.
 pub fn graph_from_json(json: &str) -> Result<DataGraph, IoError> {
-    let mut graph: DataGraph = serde_json::from_str(json)?;
-    graph.rebuild_edge_index();
+    let value = JsonValue::parse(json)?;
+    let nodes = value
+        .get("nodes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| schema("graph needs a `nodes` array"))?;
+    let edges = value
+        .get("edges")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| schema("graph needs an `edges` array"))?;
+    let mut graph = DataGraph::with_capacity(nodes.len(), edges.len());
+    for node in nodes {
+        graph.add_node(attributes_from_json(node)?);
+    }
+    for edge in edges {
+        let pair = edge.as_array().ok_or_else(|| schema("edge must be a [from, to] pair"))?;
+        if pair.len() != 2 {
+            return Err(schema("edge must be a [from, to] pair"));
+        }
+        let from = node_id_from_json(&pair[0], graph.node_count())?;
+        let to = node_id_from_json(&pair[1], graph.node_count())?;
+        graph.add_edge(from, to);
+    }
     Ok(graph)
 }
 
@@ -84,12 +240,55 @@ pub fn load_graph_json(path: impl AsRef<Path>) -> Result<DataGraph, IoError> {
 
 /// Serializes a pattern to a JSON string.
 pub fn pattern_to_json(pattern: &Pattern) -> Result<String, IoError> {
-    Ok(serde_json::to_string(pattern)?)
+    let nodes = JsonValue::Array(
+        pattern.nodes().map(|u| predicate_to_json(pattern.predicate(u))).collect(),
+    );
+    let edges = JsonValue::Array(
+        pattern
+            .edges()
+            .iter()
+            .map(|edge| {
+                JsonValue::Object(vec![
+                    ("from".into(), JsonValue::Int(i64::from(edge.from.0))),
+                    ("to".into(), JsonValue::Int(i64::from(edge.to.0))),
+                    ("bound".into(), edge_bound_to_json(edge.bound)),
+                ])
+            })
+            .collect(),
+    );
+    Ok(JsonValue::Object(vec![("nodes".into(), nodes), ("edges".into(), edges)]).to_string())
 }
 
 /// Deserializes a pattern from a JSON string.
 pub fn pattern_from_json(json: &str) -> Result<Pattern, IoError> {
-    Ok(serde_json::from_str(json)?)
+    let value = JsonValue::parse(json)?;
+    let nodes = value
+        .get("nodes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| schema("pattern needs a `nodes` array"))?;
+    let edges = value
+        .get("edges")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| schema("pattern needs an `edges` array"))?;
+    let mut pattern = Pattern::new();
+    for node in nodes {
+        pattern.add_node(predicate_from_json(node)?);
+    }
+    for edge in edges {
+        let from = node_id_from_json(
+            edge.get("from").ok_or_else(|| schema("pattern edge needs `from`"))?,
+            pattern.node_count(),
+        )?;
+        let to = node_id_from_json(
+            edge.get("to").ok_or_else(|| schema("pattern edge needs `to`"))?,
+            pattern.node_count(),
+        )?;
+        let bound = edge_bound_from_json(
+            edge.get("bound").ok_or_else(|| schema("pattern edge needs `bound`"))?,
+        )?;
+        pattern.add_edge(crate::PatternNodeId(from.0), crate::PatternNodeId(to.0), bound);
+    }
+    Ok(pattern)
 }
 
 /// Writes a pattern as JSON to `path`.
@@ -103,46 +302,96 @@ pub fn load_pattern_json(path: impl AsRef<Path>) -> Result<Pattern, IoError> {
     pattern_from_json(&fs::read_to_string(path)?)
 }
 
-/// Encodes a graph as a compact binary snapshot.
-pub fn graph_to_snapshot(graph: &DataGraph) -> Result<Bytes, IoError> {
-    let attrs: Vec<&Attributes> = graph.nodes().map(|v| graph.attrs(v)).collect();
-    let attr_blob = serde_json::to_vec(&attrs)?;
+// ---------------------------------------------------------------------------
+// Binary snapshots
+// ---------------------------------------------------------------------------
 
-    let mut buf = BytesMut::with_capacity(24 + attr_blob.len() + graph.edge_count() * 8);
-    buf.put_u32_le(SNAPSHOT_MAGIC);
-    buf.put_u32_le(SNAPSHOT_VERSION);
-    buf.put_u32_le(graph.node_count() as u32);
-    buf.put_u32_le(graph.edge_count() as u32);
-    buf.put_u64_le(attr_blob.len() as u64);
-    buf.put_slice(&attr_blob);
-    for (from, to) in graph.edges() {
-        buf.put_u32_le(from.0);
-        buf.put_u32_le(to.0);
+fn put_u32_le(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn get_u32_le(&mut self) -> Result<u32, IoError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(IoError::Corrupt("snapshot too short".into()));
+        }
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u32::from_le_bytes(raw))
     }
-    Ok(buf.freeze())
+
+    fn get_u64_le(&mut self) -> Result<u64, IoError> {
+        let end = self.pos + 8;
+        if end > self.bytes.len() {
+            return Err(IoError::Corrupt("snapshot too short".into()));
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], IoError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or_else(|| IoError::Corrupt("snapshot length overflow".into()))?;
+        if end > self.bytes.len() {
+            return Err(IoError::Corrupt("truncated snapshot body".into()));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// Encodes a graph as a compact binary snapshot.
+pub fn graph_to_snapshot(graph: &DataGraph) -> Result<Vec<u8>, IoError> {
+    let attr_blob =
+        JsonValue::Array(graph.nodes().map(|v| attributes_to_json(graph.attrs(v))).collect())
+            .to_string()
+            .into_bytes();
+
+    let mut buf = Vec::with_capacity(24 + attr_blob.len() + graph.edge_count() * 8);
+    put_u32_le(&mut buf, SNAPSHOT_MAGIC);
+    put_u32_le(&mut buf, SNAPSHOT_VERSION);
+    put_u32_le(&mut buf, graph.node_count() as u32);
+    put_u32_le(&mut buf, graph.edge_count() as u32);
+    buf.extend_from_slice(&(attr_blob.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&attr_blob);
+    for (from, to) in graph.edges() {
+        put_u32_le(&mut buf, from.0);
+        put_u32_le(&mut buf, to.0);
+    }
+    Ok(buf)
 }
 
 /// Decodes a graph from a binary snapshot produced by [`graph_to_snapshot`].
-pub fn graph_from_snapshot(mut bytes: Bytes) -> Result<DataGraph, IoError> {
-    if bytes.remaining() < 24 {
-        return Err(IoError::Corrupt("snapshot too short".into()));
-    }
-    let magic = bytes.get_u32_le();
+pub fn graph_from_snapshot(bytes: &[u8]) -> Result<DataGraph, IoError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let magic = cursor.get_u32_le()?;
     if magic != SNAPSHOT_MAGIC {
         return Err(IoError::Corrupt(format!("bad magic 0x{magic:08x}")));
     }
-    let version = bytes.get_u32_le();
+    let version = cursor.get_u32_le()?;
     if version != SNAPSHOT_VERSION {
         return Err(IoError::Corrupt(format!("unsupported version {version}")));
     }
-    let node_count = bytes.get_u32_le() as usize;
-    let edge_count = bytes.get_u32_le() as usize;
-    let attr_len = bytes.get_u64_le() as usize;
-    if bytes.remaining() < attr_len + edge_count * 8 {
-        return Err(IoError::Corrupt("truncated snapshot body".into()));
-    }
-    let attr_blob = bytes.split_to(attr_len);
-    let attrs: Vec<Attributes> = serde_json::from_slice(&attr_blob)?;
+    let node_count = cursor.get_u32_le()? as usize;
+    let edge_count = cursor.get_u32_le()? as usize;
+    let attr_len = cursor.get_u64_le()? as usize;
+    let attr_blob = cursor.take(attr_len)?;
+    let attr_text = std::str::from_utf8(attr_blob)
+        .map_err(|_| IoError::Corrupt("attribute table is not UTF-8".into()))?;
+    let attr_json = JsonValue::parse(attr_text)?;
+    let attrs = attr_json.as_array().ok_or_else(|| schema("attribute table must be an array"))?;
     if attrs.len() != node_count {
         return Err(IoError::Corrupt(format!(
             "attribute table has {} entries, expected {node_count}",
@@ -151,11 +400,11 @@ pub fn graph_from_snapshot(mut bytes: Bytes) -> Result<DataGraph, IoError> {
     }
     let mut graph = DataGraph::with_capacity(node_count, edge_count);
     for attr in attrs {
-        graph.add_node(attr);
+        graph.add_node(attributes_from_json(attr)?);
     }
     for _ in 0..edge_count {
-        let from = NodeId(bytes.get_u32_le());
-        let to = NodeId(bytes.get_u32_le());
+        let from = NodeId(cursor.get_u32_le()?);
+        let to = NodeId(cursor.get_u32_le()?);
         if !graph.contains_node(from) || !graph.contains_node(to) {
             return Err(IoError::Corrupt(format!("edge ({from}, {to}) out of range")));
         }
@@ -172,8 +421,7 @@ pub fn save_graph_snapshot(graph: &DataGraph, path: impl AsRef<Path>) -> Result<
 
 /// Reads a binary snapshot of a graph from `path`.
 pub fn load_graph_snapshot(path: impl AsRef<Path>) -> Result<DataGraph, IoError> {
-    let bytes = Bytes::from(fs::read(path)?);
-    graph_from_snapshot(bytes)
+    graph_from_snapshot(&fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -186,7 +434,8 @@ mod tests {
         let mut g = DataGraph::new();
         let ann = g.add_node(Attributes::new().with("name", "Ann").with("job", "CTO"));
         let pat = g.add_node(Attributes::new().with("name", "Pat").with("job", "DB"));
-        let bill = g.add_node(Attributes::new().with("name", "Bill").with("job", "Bio"));
+        let bill =
+            g.add_node(Attributes::new().with("name", "Bill").with("job", "Bio").with("rate", 4.5));
         g.add_edge(ann, pat);
         g.add_edge(pat, bill);
         g.add_edge(bill, ann);
@@ -217,36 +466,50 @@ mod tests {
         let json = pattern_to_json(&p).unwrap();
         let back = pattern_from_json(&json).unwrap();
         assert_eq!(p, back);
-        assert_eq!(back.edge_bound(crate::PatternNodeId(0), crate::PatternNodeId(1)), Some(EdgeBound::Hops(2)));
+        assert_eq!(
+            back.edge_bound(crate::PatternNodeId(0), crate::PatternNodeId(1)),
+            Some(EdgeBound::Hops(2))
+        );
+    }
+
+    #[test]
+    fn pattern_json_preserves_all_compare_ops() {
+        let mut p = Pattern::new();
+        let mut pred = Predicate::label("x");
+        for op in [CompareOp::Lt, CompareOp::Le, CompareOp::Ne, CompareOp::Gt, CompareOp::Ge] {
+            pred = pred.and("w", op, 3);
+        }
+        p.add_node(pred);
+        let back = pattern_from_json(&pattern_to_json(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
     }
 
     #[test]
     fn graph_snapshot_round_trip() {
         let g = sample_graph();
         let bytes = graph_to_snapshot(&g).unwrap();
-        let back = graph_from_snapshot(bytes).unwrap();
+        let back = graph_from_snapshot(&bytes).unwrap();
         assert_eq!(g, back);
     }
 
     #[test]
     fn snapshot_rejects_garbage() {
-        assert!(matches!(graph_from_snapshot(Bytes::from_static(b"nope")), Err(IoError::Corrupt(_))));
-        let mut buf = BytesMut::new();
-        buf.put_u32_le(0xdeadbeef);
-        buf.put_u32_le(SNAPSHOT_VERSION);
-        buf.put_u32_le(0);
-        buf.put_u32_le(0);
-        buf.put_u64_le(0);
-        assert!(matches!(graph_from_snapshot(buf.freeze()), Err(IoError::Corrupt(_))));
+        assert!(matches!(graph_from_snapshot(b"nope"), Err(IoError::Corrupt(_))));
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 0xdead_beef);
+        put_u32_le(&mut buf, SNAPSHOT_VERSION);
+        put_u32_le(&mut buf, 0);
+        put_u32_le(&mut buf, 0);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(graph_from_snapshot(&buf), Err(IoError::Corrupt(_))));
     }
 
     #[test]
     fn snapshot_rejects_wrong_version() {
         let g = sample_graph();
-        let bytes = graph_to_snapshot(&g).unwrap();
-        let mut raw = bytes.to_vec();
+        let mut raw = graph_to_snapshot(&g).unwrap();
         raw[4] = 99; // clobber the version field
-        let err = graph_from_snapshot(Bytes::from(raw)).unwrap_err();
+        let err = graph_from_snapshot(&raw).unwrap_err();
         assert!(err.to_string().contains("unsupported version"));
     }
 
@@ -272,9 +535,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let err: IoError = serde_json::from_str::<DataGraph>("not json").unwrap_err().into();
+        let err = graph_from_json("not json").unwrap_err();
         assert!(err.to_string().contains("json error"));
         let err: IoError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
         assert!(err.to_string().contains("i/o error"));
+        let err = graph_from_json(r#"{"nodes": [], "edges": [[0, 1]]}"#).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
     }
 }

@@ -1,0 +1,112 @@
+//! Inverted label → nodes index.
+//!
+//! The candidate sets `candt(u) ∪ match(u)` that seed every matching
+//! algorithm are "all data nodes satisfying the predicate of `u`". The
+//! predicates produced by the pattern generator (and by every example in the
+//! paper) start with a label-equality atom, so enumerating candidates by
+//! scanning all of `V` once per pattern node — `O(|V_p| · |V|)` predicate
+//! evaluations — wastes almost all of its work. This index buckets the nodes
+//! by their `label` attribute in one `O(|V|)` pass; a label-equality lookup
+//! then returns exactly its candidates in `O(|candidates|)`, and predicates
+//! that merely *contain* a label atom evaluate their remaining atoms over the
+//! bucket instead of the whole graph.
+//!
+//! The index is a snapshot: it stays valid under edge insertions/deletions
+//! (labels live on nodes) but must be rebuilt if node attributes change.
+
+use crate::attr::Attributes;
+use crate::graph::DataGraph;
+use crate::hash::FastHashMap;
+use crate::node::NodeId;
+
+/// Inverted index from node label to the sorted list of nodes carrying it.
+#[derive(Debug, Clone, Default)]
+pub struct LabelIndex {
+    buckets: FastHashMap<String, Vec<NodeId>>,
+    /// Nodes without a `label` attribute, in index order.
+    unlabeled: Vec<NodeId>,
+}
+
+impl LabelIndex {
+    /// Builds the index in one pass over the graph's nodes.
+    pub fn build(graph: &DataGraph) -> Self {
+        let mut index = LabelIndex::default();
+        for v in graph.nodes() {
+            index.insert(v, graph.attrs(v));
+        }
+        index
+    }
+
+    fn insert(&mut self, v: NodeId, attrs: &Attributes) {
+        match attrs.label() {
+            Some(label) => match self.buckets.get_mut(label) {
+                Some(bucket) => bucket.push(v),
+                None => {
+                    self.buckets.insert(label.to_string(), vec![v]);
+                }
+            },
+            None => self.unlabeled.push(v),
+        }
+    }
+
+    /// The nodes carrying `label`, sorted by node id (insertion order is
+    /// id order, so no sort is ever needed).
+    pub fn nodes_with_label(&self, label: &str) -> &[NodeId] {
+        self.buckets.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The nodes that carry no `label` attribute, sorted by node id.
+    pub fn unlabeled_nodes(&self) -> &[NodeId] {
+        &self.unlabeled
+    }
+
+    /// Number of distinct labels.
+    pub fn label_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over `(label, nodes)` buckets in unspecified order.
+    pub fn buckets(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
+        self.buckets.iter().map(|(label, nodes)| (label.as_str(), nodes.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataGraph {
+        let mut g = DataGraph::new();
+        g.add_labeled_node("CTO");
+        g.add_labeled_node("DB");
+        g.add_labeled_node("CTO");
+        g.add_node(Attributes::new().with("name", "anon"));
+        g.add_labeled_node("Bio");
+        g
+    }
+
+    #[test]
+    fn buckets_nodes_by_label_in_id_order() {
+        let index = LabelIndex::build(&sample());
+        assert_eq!(index.nodes_with_label("CTO"), &[NodeId(0), NodeId(2)]);
+        assert_eq!(index.nodes_with_label("DB"), &[NodeId(1)]);
+        assert_eq!(index.nodes_with_label("Bio"), &[NodeId(4)]);
+        assert!(index.nodes_with_label("Ghost").is_empty());
+        assert_eq!(index.unlabeled_nodes(), &[NodeId(3)]);
+        assert_eq!(index.label_count(), 3);
+    }
+
+    #[test]
+    fn bucket_iteration_covers_every_labeled_node() {
+        let index = LabelIndex::build(&sample());
+        let total: usize = index.buckets().map(|(_, nodes)| nodes.len()).sum();
+        assert_eq!(total + index.unlabeled_nodes().len(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let index = LabelIndex::build(&DataGraph::new());
+        assert_eq!(index.label_count(), 0);
+        assert!(index.nodes_with_label("x").is_empty());
+    }
+}

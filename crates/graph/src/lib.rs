@@ -27,6 +27,8 @@ pub mod attr;
 pub mod graph;
 pub mod hash;
 pub mod io;
+pub mod json;
+pub mod label_index;
 pub mod match_relation;
 pub mod node;
 pub mod pattern;
@@ -40,6 +42,8 @@ pub mod update;
 pub use attr::{AttrValue, Attributes, CompareOp};
 pub use graph::DataGraph;
 pub use hash::{FastHashMap, FastHashSet};
+pub use json::{JsonError, JsonValue};
+pub use label_index::LabelIndex;
 pub use match_relation::MatchRelation;
 pub use node::NodeId;
 pub use pattern::{EdgeBound, Pattern, PatternEdge, PatternNodeId};

@@ -7,12 +7,11 @@
 
 use crate::node::NodeId;
 use crate::pattern::{Pattern, PatternNodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A match relation: for each pattern node, the sorted set of data nodes
 /// matched to it.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MatchRelation {
     per_node: Vec<Vec<NodeId>>,
 }
@@ -220,7 +219,10 @@ mod tests {
         let diff = a.difference(&b);
         assert_eq!(diff.len(), 3);
         assert!(diff.contains(&(PatternNodeId(0), NodeId(5))));
-        assert!(!b.is_subset_of(&MatchRelation::empty(1)), "different pattern sizes are incomparable");
+        assert!(
+            !b.is_subset_of(&MatchRelation::empty(1)),
+            "different pattern sizes are incomparable"
+        );
     }
 
     #[test]

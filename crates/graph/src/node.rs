@@ -1,6 +1,5 @@
 //! Node identifiers for data graphs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node in a [`DataGraph`](crate::DataGraph).
@@ -8,8 +7,7 @@ use std::fmt;
 /// Node identifiers are dense `u32` indices assigned in insertion order, which
 /// lets adjacency and per-node auxiliary structures be stored in flat vectors
 /// (the paper's complexity analysis assumes O(1) node lookups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

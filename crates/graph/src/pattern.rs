@@ -8,12 +8,10 @@
 //! simulation and subgraph isomorphism (Section 2.1).
 
 use crate::predicate::Predicate;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a pattern node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PatternNodeId(pub u32);
 
 impl PatternNodeId {
@@ -38,7 +36,7 @@ impl fmt::Display for PatternNodeId {
 }
 
 /// The bound `f_E(u, u')` carried by a pattern edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeBound {
     /// The edge maps to a path of length at most `k` (k >= 1).
     Hops(u32),
@@ -98,7 +96,7 @@ impl From<u32> for EdgeBound {
 }
 
 /// A directed pattern edge `(u, u')` with its bound `f_E(u, u')`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PatternEdge {
     /// Source pattern node `u`.
     pub from: PatternNodeId,
@@ -109,7 +107,7 @@ pub struct PatternEdge {
 }
 
 /// A b-pattern.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Pattern {
     predicates: Vec<Predicate>,
     edges: Vec<PatternEdge>,
@@ -220,10 +218,7 @@ impl Pattern {
 
     /// The bound of edge `(from, to)`, if that pattern edge exists.
     pub fn edge_bound(&self, from: PatternNodeId, to: PatternNodeId) -> Option<EdgeBound> {
-        self.out[from.index()]
-            .iter()
-            .find(|&&(t, _)| t == to)
-            .map(|&(_, b)| b)
+        self.out[from.index()].iter().find(|&&(t, _)| t == to).map(|&(_, b)| b)
     }
 
     /// True if every edge bound is 1, i.e. the pattern is a *normal pattern*
@@ -259,11 +254,7 @@ impl Pattern {
     /// `1` for patterns without finite bounds so that neighbourhood searches
     /// remain well-defined.
     pub fn max_finite_bound(&self) -> u32 {
-        self.edges
-            .iter()
-            .filter_map(|e| e.bound.finite())
-            .max()
-            .unwrap_or(1)
+        self.edges.iter().filter_map(|e| e.bound.finite()).max().unwrap_or(1)
     }
 
     /// Returns a copy of this pattern with every edge bound replaced by 1.

@@ -5,11 +5,10 @@
 //! the data node must carry an attribute `A` with `v.A op a`.
 
 use crate::attr::{AttrValue, Attributes, CompareOp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single atomic formula `A op a`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Atom {
     /// Attribute name `A`.
     pub attr: String,
@@ -43,7 +42,7 @@ impl fmt::Display for Atom {
 /// A predicate `f_V(u)`: a conjunction of [`Atom`]s.
 ///
 /// The empty conjunction is satisfied by every node (a wildcard pattern node).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Predicate {
     atoms: Vec<Atom>,
 }
@@ -61,7 +60,12 @@ impl Predicate {
     }
 
     /// Adds an atom to the conjunction (builder style).
-    pub fn and(mut self, attr: impl Into<String>, op: CompareOp, value: impl Into<AttrValue>) -> Self {
+    pub fn and(
+        mut self,
+        attr: impl Into<String>,
+        op: CompareOp,
+        value: impl Into<AttrValue>,
+    ) -> Self {
         self.atoms.push(Atom::new(attr, op, value));
         self
     }
@@ -104,13 +108,24 @@ impl Predicate {
         if self.atoms.len() != 1 {
             return None;
         }
-        let atom = &self.atoms[0];
-        if atom.attr == "label" && atom.op == CompareOp::Eq {
-            if let AttrValue::Str(label) = &atom.value {
-                return Some(label.as_str());
+        self.label_atom()
+    }
+
+    /// Returns the label tested by *some* `label = l` atom of the conjunction,
+    /// if one exists — even when other atoms are present.
+    ///
+    /// Candidate enumeration uses this as a pre-filter: the
+    /// [`crate::LabelIndex`] bucket for `l` is a superset of the predicate's
+    /// candidates, so only the bucket members need full predicate evaluation.
+    pub fn label_atom(&self) -> Option<&str> {
+        self.atoms.iter().find_map(|atom| {
+            if atom.attr == "label" && atom.op == CompareOp::Eq {
+                if let AttrValue::Str(label) = &atom.value {
+                    return Some(label.as_str());
+                }
             }
-        }
-        None
+            None
+        })
     }
 }
 
@@ -151,9 +166,7 @@ mod tests {
 
     #[test]
     fn conjunction_requires_all_atoms() {
-        let pred = Predicate::any()
-            .and_eq("job", "CTO")
-            .and("age", CompareOp::Lt, 50);
+        let pred = Predicate::any().and_eq("job", "CTO").and("age", CompareOp::Lt, 50);
         assert!(pred.satisfied_by(&cto_aged(41)));
         assert!(!pred.satisfied_by(&cto_aged(55)));
         assert!(!pred.satisfied_by(&Attributes::new().with("job", "DB").with("age", 41)));

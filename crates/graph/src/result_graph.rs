@@ -14,7 +14,6 @@
 
 use crate::hash::{FastHashMap, FastHashSet};
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a pattern edge inside `Pattern::edges()`.
@@ -235,7 +234,7 @@ impl fmt::Display for ResultGraph {
 }
 
 /// The change `ΔM` to a match result, expressed over result graphs.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaM {
     /// Data nodes that became matches.
     pub added_nodes: Vec<NodeId>,

@@ -9,11 +9,9 @@
 
 use crate::graph::DataGraph;
 use crate::pattern::Pattern;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a strongly connected component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SccId(pub u32);
 
 impl SccId {
@@ -118,10 +116,8 @@ impl StronglyConnectedComponents {
 
     /// Computes the SCCs of a data graph.
     pub fn of_graph(graph: &DataGraph) -> Self {
-        let adj: Vec<Vec<usize>> = graph
-            .nodes()
-            .map(|v| graph.children(v).iter().map(|c| c.index()).collect())
-            .collect();
+        let adj: Vec<Vec<usize>> =
+            graph.nodes().map(|v| graph.children(v).iter().map(|c| c.index()).collect()).collect();
         Self::compute(graph.node_count(), &adj)
     }
 
@@ -174,7 +170,10 @@ impl StronglyConnectedComponents {
                 }
             }
         }
-        CondensationGraph { out: edges, nontrivial: (0..k as u32).map(|i| self.is_nontrivial(SccId(i))).collect() }
+        CondensationGraph {
+            out: edges,
+            nontrivial: (0..k as u32).map(|i| self.is_nontrivial(SccId(i))).collect(),
+        }
     }
 }
 

@@ -12,12 +12,11 @@
 use crate::graph::DataGraph;
 use crate::pattern::Pattern;
 use crate::scc::StronglyConnectedComponents;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A topological rank: a natural number or `∞`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rank {
     /// A finite rank.
     Finite(u32),
@@ -99,10 +98,8 @@ pub fn topological_order(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
 
 /// Topological order of a data graph (`None` if cyclic).
 pub fn topological_order_of_graph(graph: &DataGraph) -> Option<Vec<usize>> {
-    let adj: Vec<Vec<usize>> = graph
-        .nodes()
-        .map(|v| graph.children(v).iter().map(|c| c.index()).collect())
-        .collect();
+    let adj: Vec<Vec<usize>> =
+        graph.nodes().map(|v| graph.children(v).iter().map(|c| c.index()).collect()).collect();
     topological_order(&adj)
 }
 
@@ -136,10 +133,8 @@ pub fn topological_ranks(adj: &[Vec<usize>]) -> Vec<Rank> {
 
 /// Topological ranks of the nodes of a data graph.
 pub fn topological_ranks_of_graph(graph: &DataGraph) -> Vec<Rank> {
-    let adj: Vec<Vec<usize>> = graph
-        .nodes()
-        .map(|v| graph.children(v).iter().map(|c| c.index()).collect())
-        .collect();
+    let adj: Vec<Vec<usize>> =
+        graph.nodes().map(|v| graph.children(v).iter().map(|c| c.index()).collect()).collect();
     topological_ranks(&adj)
 }
 

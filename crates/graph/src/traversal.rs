@@ -20,7 +20,7 @@ pub enum Direction {
 
 impl Direction {
     #[inline]
-    fn neighbours<'a>(self, graph: &'a DataGraph, node: NodeId) -> &'a [NodeId] {
+    fn neighbours(self, graph: &DataGraph, node: NodeId) -> &[NodeId] {
         match self {
             Direction::Forward => graph.children(node),
             Direction::Backward => graph.parents(node),
@@ -48,8 +48,8 @@ pub fn bfs_distances(
             continue;
         }
         for &w in direction.neighbours(graph, v) {
-            if !dist.contains_key(&w) {
-                dist.insert(w, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
                 queue.push_back(w);
             }
         }
@@ -95,8 +95,8 @@ pub fn nodes_within(
         return Vec::new();
     }
     for &w in direction.neighbours(graph, source) {
-        if !dist.contains_key(&w) {
-            dist.insert(w, 1);
+        if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+            e.insert(1);
             queue.push_back(w);
         }
     }
@@ -106,8 +106,8 @@ pub fn nodes_within(
             continue;
         }
         for &w in direction.neighbours(graph, v) {
-            if !dist.contains_key(&w) {
-                dist.insert(w, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
                 queue.push_back(w);
             }
         }
@@ -126,8 +126,8 @@ pub fn shortest_path_len(graph: &DataGraph, from: NodeId, to: NodeId) -> Option<
         if w == to {
             return Some(1);
         }
-        if !dist.contains_key(&w) {
-            dist.insert(w, 1);
+        if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+            e.insert(1);
             queue.push_back(w);
         }
     }
@@ -137,8 +137,8 @@ pub fn shortest_path_len(graph: &DataGraph, from: NodeId, to: NodeId) -> Option<
             if w == to {
                 return Some(d + 1);
             }
-            if !dist.contains_key(&w) {
-                dist.insert(w, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(d + 1);
                 queue.push_back(w);
             }
         }
@@ -218,7 +218,10 @@ mod tests {
     fn nodes_within_respects_nonempty_paths() {
         let g = sample();
         // Within 2 hops forward of node 0: {1, 2, 4}; node 0 itself needs 4 hops.
-        assert_eq!(nodes_within(&g, NodeId(0), Direction::Forward, 2), vec![NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(
+            nodes_within(&g, NodeId(0), Direction::Forward, 2),
+            vec![NodeId(1), NodeId(2), NodeId(4)]
+        );
         // Within 4 hops the cycle brings node 0 back into view.
         let within4 = nodes_within(&g, NodeId(0), Direction::Forward, 4);
         assert!(within4.contains(&NodeId(0)));
@@ -231,7 +234,11 @@ mod tests {
     fn shortest_path_and_reachability() {
         let g = sample();
         assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(3)), Some(3));
-        assert_eq!(shortest_path_len(&g, NodeId(0), NodeId(0)), Some(4), "self distance uses the cycle");
+        assert_eq!(
+            shortest_path_len(&g, NodeId(0), NodeId(0)),
+            Some(4),
+            "self distance uses the cycle"
+        );
         assert_eq!(shortest_path_len(&g, NodeId(4), NodeId(0)), None);
         assert!(reachable_within(&g, NodeId(0), NodeId(3), 3));
         assert!(!reachable_within(&g, NodeId(0), NodeId(3), 2));

@@ -8,11 +8,10 @@
 
 use crate::graph::DataGraph;
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A unit update: one edge insertion or deletion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Update {
     /// Insert the edge `(from, to)`.
     InsertEdge {
@@ -97,7 +96,7 @@ impl fmt::Display for Update {
 }
 
 /// A batch update `ΔG`: an ordered list of unit updates.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchUpdate {
     updates: Vec<Update>,
 }
@@ -165,9 +164,7 @@ impl BatchUpdate {
 
     /// The batch that undoes this one (inverted updates in reverse order).
     pub fn inverse(&self) -> BatchUpdate {
-        BatchUpdate {
-            updates: self.updates.iter().rev().map(Update::inverse).collect(),
-        }
+        BatchUpdate { updates: self.updates.iter().rev().map(Update::inverse).collect() }
     }
 
     /// Splits the batch into `(deletions, insertions)` preserving order within
@@ -303,7 +300,8 @@ mod tests {
     #[test]
     fn iteration_over_batch() {
         let (_, a, b, c) = triangle();
-        let batch: BatchUpdate = vec![Update::insert(a, b), Update::delete(b, c)].into_iter().collect();
+        let batch: BatchUpdate =
+            vec![Update::insert(a, b), Update::delete(b, c)].into_iter().collect();
         let collected: Vec<Update> = (&batch).into_iter().copied().collect();
         assert_eq!(collected.len(), 2);
         let owned: Vec<Update> = batch.clone().into_iter().collect();

@@ -21,15 +21,21 @@ fn main() {
 
     // Split into an "old" snapshot plus the newest 10% of recommendations.
     let (mut graph, additions) = igpm::generator::evolution_split(&full, 0.10, "age");
-    println!("old snapshot has {} edges; {} recommendations arrive later", graph.edge_count(), additions.len());
+    println!(
+        "old snapshot has {} edges; {} recommendations arrive later",
+        graph.edge_count(),
+        additions.len()
+    );
 
     // A community pattern: popular music videos recommending comedy videos
     // within 2 hops, which recommend back into music within 3 hops, plus a
     // people/vlog video one hop away from the comedy cluster.
     let mut pattern = Pattern::new();
-    let music = pattern.add_node(
-        Predicate::any().and_eq("category", "Music").and("rate", CompareOp::Ge, 3.0),
-    );
+    let music = pattern.add_node(Predicate::any().and_eq("category", "Music").and(
+        "rate",
+        CompareOp::Ge,
+        3.0,
+    ));
     let comedy = pattern.add_node(Predicate::any().and_eq("category", "Comedy"));
     let people = pattern.add_node(Predicate::any().and_eq("category", "People"));
     pattern.add_edge(music, comedy, EdgeBound::Hops(2));

@@ -31,7 +31,8 @@ fn main() {
     let manager_count = 4;
     for i in 0..manager_count {
         let is_secretary = i == manager_count - 1;
-        let mut attrs = Attributes::new().with("role", "AM").with("am", true).with("name", format!("A{i}"));
+        let mut attrs =
+            Attributes::new().with("role", "AM").with("am", true).with("name", format!("A{i}"));
         if is_secretary {
             attrs.set("s", true);
         }
@@ -43,7 +44,10 @@ fn main() {
         let mut previous = a;
         for level in 0..depth {
             let w = graph.add_node(
-                Attributes::new().with("role", "W").with("name", format!("W{i}{level}")).with("level", level as i64),
+                Attributes::new()
+                    .with("role", "W")
+                    .with("name", format!("W{i}{level}"))
+                    .with("level", level as i64),
             );
             graph.add_edge(previous, w);
             workers.push(w);

@@ -22,8 +22,15 @@ fn main() {
     let tom = person(&mut graph, "Tom", "Bio");
     let ross = person(&mut graph, "Ross", "Med");
     for (a, b) in [
-        (ann, pat), (pat, ann), (pat, bill), (ann, bill),
-        (ann, dan), (dan, ann), (dan, mat), (mat, dan), (ross, tom),
+        (ann, pat),
+        (pat, ann),
+        (pat, bill),
+        (ann, bill),
+        (ann, dan),
+        (dan, ann),
+        (dan, mat),
+        (mat, dan),
+        (ross, tom),
     ] {
         graph.add_edge(a, b);
     }
@@ -60,13 +67,8 @@ fn main() {
     let gr_before = index.result_graph();
 
     // The five insertions e1..e5 of Fig. 4, applied one by one.
-    let insertions = [
-        ("e1", don, mat),
-        ("e2", don, pat),
-        ("e3", don, tom),
-        ("e4", pat, don),
-        ("e5", tom, don),
-    ];
+    let insertions =
+        [("e1", don, mat), ("e2", don, pat), ("e3", don, tom), ("e4", pat, don), ("e5", tom, don)];
     for (tag, a, b) in insertions {
         let stats = index.insert_edge(&mut graph, a, b);
         println!("\ninsert {tag} = ({}, {}): {stats}", name(a), name(b));
@@ -77,7 +79,10 @@ fn main() {
     let gr_after = index.result_graph();
     let delta = gr_before.diff(&gr_after);
     println!("\nresult-graph change {delta}");
-    println!("new community members: {:?}", delta.added_nodes.iter().map(|&v| name(v)).collect::<Vec<_>>());
+    println!(
+        "new community members: {:?}",
+        delta.added_nodes.iter().map(|&v| name(v)).collect::<Vec<_>>()
+    );
 
     // Consistency with a from-scratch recomputation.
     assert_eq!(index.matches(), igpm::core::match_bounded_with_matrix(&pattern, &graph));

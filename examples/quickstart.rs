@@ -16,7 +16,9 @@ fn main() {
     let bill = graph.add_node(Attributes::new().with("name", "Bill").with("job", "Bio"));
     let mat = graph.add_node(Attributes::new().with("name", "Mat").with("job", "Bio"));
     let don = graph.add_node(Attributes::new().with("name", "Don").with("job", "CTO"));
-    for (a, b) in [(ann, pat), (pat, ann), (pat, bill), (ann, bill), (ann, dan), (dan, ann), (dan, mat)] {
+    for (a, b) in
+        [(ann, pat), (pat, ann), (pat, bill), (ann, bill), (ann, dan), (dan, ann), (dan, mat)]
+    {
         graph.add_edge(a, b);
     }
 

@@ -49,7 +49,9 @@ pub use igpm_graph as graph;
 
 /// Commonly used items from every member crate.
 pub mod prelude {
-    pub use igpm_baseline::{count_isomorphic_matches, find_isomorphic_matches, HornSatSimulation, MatrixBoundedIndex};
+    pub use igpm_baseline::{
+        count_isomorphic_matches, find_isomorphic_matches, HornSatSimulation, MatrixBoundedIndex,
+    };
     pub use igpm_core::{
         build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
         match_bounded_with_two_hop, match_simulation, AffStats, BoundedIndex, SimulationIndex,

@@ -1,0 +1,268 @@
+//! Long-stream equivalence property tests for the counter-backed incremental
+//! engines: 1000+ random interleaved insert/delete updates — applied both as
+//! unit updates and as batches — must leave [`SimulationIndex`] (and the
+//! bounded [`BoundedIndex`]) exactly equal to a from-scratch recomputation at
+//! every checkpoint, for cyclic and DAG patterns alike.
+//!
+//! These streams deliberately mix:
+//! * re-deletions of just-inserted edges and re-insertions of just-deleted
+//!   ones (no-op and cancellation paths),
+//! * degree-biased endpoints (hub churn exercises the swap-remove position
+//!   fixups in `DataGraph` and deep propagation cascades),
+//! * uniformly random endpoints (edges far away from the match).
+
+use igpm::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One random unit update over the current graph: half the time an existing
+/// edge is deleted (degree-biased via a random pivot's adjacency), otherwise a
+/// random pair is inserted.
+fn random_update(rng: &mut StdRng, graph: &DataGraph) -> Option<Update> {
+    let n = graph.node_count();
+    if rng.gen_bool(0.5) && graph.edge_count() > 0 {
+        // Pick an existing edge by walking from a random node with edges.
+        for _ in 0..32 {
+            let v = NodeId(rng.gen_range(0..n) as u32);
+            if graph.out_degree(v) > 0 {
+                let children = graph.children(v);
+                let w = children[rng.gen_range(0..children.len())];
+                return Some(Update::delete(v, w));
+            }
+        }
+        None
+    } else {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        (a != b).then(|| Update::insert(NodeId(a as u32), NodeId(b as u32)))
+    }
+}
+
+fn stream_of(rng: &mut StdRng, graph: &DataGraph, len: usize) -> Vec<Update> {
+    // Pre-draw against the base graph; deletions of already-deleted edges and
+    // duplicate insertions are *intentional* (they exercise the no-op paths).
+    (0..len * 2).filter_map(|_| random_update(rng, graph)).take(len).collect()
+}
+
+/// Drives a `SimulationIndex` with unit updates, checking against
+/// `match_simulation` every `checkpoint` steps.
+fn drive_sim_units(pattern: &Pattern, base: &DataGraph, updates: &[Update], checkpoint: usize) {
+    let mut graph = base.clone();
+    let mut index = SimulationIndex::build(pattern, &graph);
+    for (step, update) in updates.iter().enumerate() {
+        let (a, b) = update.endpoints();
+        if update.is_insert() {
+            index.insert_edge(&mut graph, a, b);
+        } else {
+            index.delete_edge(&mut graph, a, b);
+        }
+        if step % checkpoint == checkpoint - 1 {
+            assert_eq!(
+                index.matches(),
+                igpm::core::match_simulation(pattern, &graph),
+                "unit update {step} diverged"
+            );
+        }
+    }
+    assert_eq!(
+        index.matches(),
+        igpm::core::match_simulation(pattern, &graph),
+        "final unit state diverged"
+    );
+}
+
+/// Drives a `SimulationIndex` with batches, checking after every batch.
+fn drive_sim_batches(pattern: &Pattern, base: &DataGraph, updates: &[Update], batch_size: usize) {
+    let mut graph = base.clone();
+    let mut index = SimulationIndex::build(pattern, &graph);
+    for (round, chunk) in updates.chunks(batch_size).enumerate() {
+        let batch: BatchUpdate = chunk.iter().copied().collect();
+        index.apply_batch(&mut graph, &batch);
+        assert_eq!(
+            index.matches(),
+            igpm::core::match_simulation(pattern, &graph),
+            "batch round {round} diverged"
+        );
+    }
+}
+
+#[test]
+fn counter_index_tracks_1000_unit_updates_cyclic_pattern() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let graph = synthetic_graph(&SyntheticConfig::new(250, 900, 4, 0x11));
+    // General patterns keep a nontrivial SCC with overwhelming probability;
+    // require one so propCC is genuinely exercised.
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(5, 8, 1, 0x12).with_shape(PatternShape::General),
+    );
+    assert!(!pattern.is_dag(), "want a cyclic pattern for the propCC path");
+    let updates = stream_of(&mut rng, &graph, 1_000);
+    assert!(updates.len() >= 1_000);
+    drive_sim_units(&pattern, &graph, &updates, 50);
+}
+
+#[test]
+fn counter_index_tracks_1000_unit_updates_dag_pattern() {
+    let mut rng = StdRng::seed_from_u64(0xDA6);
+    let graph = synthetic_graph(&SyntheticConfig::new(250, 900, 4, 0x21));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(6, 9, 1, 0x22).with_shape(PatternShape::Dag),
+    );
+    assert!(pattern.is_dag());
+    let updates = stream_of(&mut rng, &graph, 1_000);
+    drive_sim_units(&pattern, &graph, &updates, 50);
+}
+
+#[test]
+fn counter_index_tracks_1200_batched_updates_both_shapes() {
+    for (shape, seed) in [(PatternShape::General, 0x31u64), (PatternShape::Dag, 0x41u64)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = synthetic_graph(&SyntheticConfig::new(200, 700, 4, seed + 1));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::normal(5, 7, 1, seed + 2).with_shape(shape),
+        );
+        let updates = stream_of(&mut rng, &graph, 1_200);
+        // Mixed batch sizes: unit-sized, small and large batches interleave
+        // the deletion-first/insertion-second processing discipline.
+        for batch_size in [1usize, 7, 64] {
+            drive_sim_batches(&pattern, &graph, &updates, batch_size);
+        }
+    }
+}
+
+#[test]
+fn unit_and_batch_processing_land_on_the_same_state() {
+    let mut rng = StdRng::seed_from_u64(0x51);
+    let graph = synthetic_graph(&SyntheticConfig::new(180, 600, 4, 0x52));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(5, 8, 1, 0x53).with_shape(PatternShape::General),
+    );
+    let updates = stream_of(&mut rng, &graph, 1_000);
+
+    let mut g_unit = graph.clone();
+    let mut unit_index = SimulationIndex::build(&pattern, &g_unit);
+    for update in &updates {
+        let (a, b) = update.endpoints();
+        if update.is_insert() {
+            unit_index.insert_edge(&mut g_unit, a, b);
+        } else {
+            unit_index.delete_edge(&mut g_unit, a, b);
+        }
+    }
+
+    let mut g_batch = graph.clone();
+    let mut batch_index = SimulationIndex::build(&pattern, &g_batch);
+    for chunk in updates.chunks(33) {
+        let batch: BatchUpdate = chunk.iter().copied().collect();
+        batch_index.apply_batch(&mut g_batch, &batch);
+    }
+
+    assert_eq!(g_unit, g_batch, "graphs diverged between unit and batch application");
+    assert_eq!(unit_index.matches(), batch_index.matches());
+    assert_eq!(unit_index.matches(), igpm::core::match_simulation(&pattern, &g_unit));
+}
+
+#[test]
+fn counter_index_tracks_node_growth_interleaved_with_updates() {
+    // Nodes added *after* the index is built must join the candidate
+    // pipeline: their first edges are classified against grown masks
+    // (regression coverage for the stale-classification bug class), both on
+    // the unit path and the batch path, for cyclic and DAG patterns.
+    for (shape, seed) in [(PatternShape::General, 0x81u64), (PatternShape::Dag, 0x91u64)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = synthetic_graph(&SyntheticConfig::new(120, 420, 4, seed + 1));
+        let pattern =
+            generate_pattern(&base, &PatternGenConfig::normal(5, 7, 1, seed + 2).with_shape(shape));
+
+        let mut graph = base.clone();
+        let mut index = SimulationIndex::build(&pattern, &graph);
+        for step in 0..400usize {
+            if step % 8 == 0 {
+                // Grow: a brand-new node with a random existing label, wired
+                // in by unit updates drawn against the *current* graph.
+                let label = rng.gen_range(0..4u32);
+                let fresh = graph.add_node(Attributes::labeled(format!("l{label}")));
+                let n = graph.node_count() - 1;
+                let out = NodeId(rng.gen_range(0..n) as u32);
+                let inn = NodeId(rng.gen_range(0..n) as u32);
+                index.insert_edge(&mut graph, fresh, out);
+                index.insert_edge(&mut graph, inn, fresh);
+            } else if step % 17 == 0 {
+                // Batch path over a graph that contains post-build nodes.
+                let mut batch = BatchUpdate::new();
+                for _ in 0..6 {
+                    if let Some(update) = random_update(&mut rng, &graph) {
+                        batch.push(update);
+                    }
+                }
+                index.apply_batch(&mut graph, &batch);
+            } else if let Some(update) = random_update(&mut rng, &graph) {
+                let (a, b) = update.endpoints();
+                if update.is_insert() {
+                    index.insert_edge(&mut graph, a, b);
+                } else {
+                    index.delete_edge(&mut graph, a, b);
+                }
+            }
+            if step % 25 == 24 {
+                assert_eq!(
+                    index.matches(),
+                    igpm::core::match_simulation(&pattern, &graph),
+                    "node-growth step {step} diverged ({shape:?})"
+                );
+            }
+        }
+        assert!(graph.node_count() > base.node_count(), "stream actually grew the graph");
+        assert_eq!(index.matches(), igpm::core::match_simulation(&pattern, &graph));
+    }
+}
+
+#[test]
+fn bounded_index_tracks_600_interleaved_updates() {
+    // The bounded engine re-evaluates distance pairs per update, so the
+    // stream is shorter but still mixes unit updates and batches, DAG and
+    // cyclic patterns.
+    for (shape, seed) in [(PatternShape::Dag, 0x61u64), (PatternShape::General, 0x71u64)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = synthetic_graph(&SyntheticConfig::new(90, 280, 4, seed + 1));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::new(4, 5, 1, 2, seed + 2).with_shape(shape),
+        );
+        let updates = stream_of(&mut rng, &graph, 600);
+
+        // Unit updates with periodic checkpoints.
+        let mut g = graph.clone();
+        let mut index = BoundedIndex::build(&pattern, &g);
+        for (step, update) in updates.iter().take(120).enumerate() {
+            let (a, b) = update.endpoints();
+            if update.is_insert() {
+                index.insert_edge(&mut g, a, b);
+            } else {
+                index.delete_edge(&mut g, a, b);
+            }
+            if step % 20 == 19 {
+                assert_eq!(
+                    index.matches(),
+                    igpm::core::match_bounded_with_matrix(&pattern, &g),
+                    "bounded unit step {step} diverged ({shape:?})"
+                );
+            }
+        }
+
+        // The remaining stream in batches.
+        for (round, chunk) in updates[120..].chunks(48).enumerate() {
+            let batch: BatchUpdate = chunk.iter().copied().collect();
+            index.apply_batch(&mut g, &batch);
+            assert_eq!(
+                index.matches(),
+                igpm::core::match_bounded_with_matrix(&pattern, &g),
+                "bounded batch round {round} diverged ({shape:?})"
+            );
+        }
+    }
+}

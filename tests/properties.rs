@@ -1,96 +1,106 @@
-//! Property-based tests (proptest) for the core invariants claimed by the
+//! Property-style randomized tests for the core invariants claimed by the
 //! paper: uniqueness/maximality of the match (Prop. 2.1), monotonicity under
 //! insertions and deletions, correctness of the landmark distance queries, and
 //! the behaviour of `minDelta`-style reduction.
+//!
+//! The cases are driven by the workspace's seeded PRNG instead of `proptest`
+//! (unavailable offline); every case is reproducible from its printed seed.
 
 use igpm::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random labelled digraph with `n` nodes over a 4-letter label
-/// alphabet and a set of edges given as index pairs.
-fn graph_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = DataGraph> {
-    (3..max_nodes).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..max_edges);
-        let labels = proptest::collection::vec(0u8..4, n);
-        (Just(n), labels, edges).prop_map(|(n, labels, edges)| {
-            let mut g = DataGraph::new();
-            for label in labels.iter().take(n) {
-                g.add_labeled_node(format!("l{label}"));
-            }
-            for (a, b) in edges {
-                if a != b {
-                    g.add_edge(NodeId(a as u32), NodeId(b as u32));
-                }
-            }
-            g
-        })
-    })
+const CASES: u64 = 48;
+
+/// A random labelled digraph with up to `max_nodes` nodes over a 4-letter
+/// label alphabet.
+fn random_graph(rng: &mut StdRng, max_nodes: usize, max_edges: usize) -> DataGraph {
+    let n = rng.gen_range(3..max_nodes);
+    let mut g = DataGraph::new();
+    for _ in 0..n {
+        let label = rng.gen_range(0..4u32);
+        g.add_labeled_node(format!("l{label}"));
+    }
+    for _ in 0..rng.gen_range(0..max_edges) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32));
+        }
+    }
+    g
 }
 
-/// Strategy: a small normal pattern over the same label alphabet.
-fn pattern_strategy() -> impl Strategy<Value = Pattern> {
-    (2usize..5, proptest::collection::vec(0u8..4, 4), proptest::collection::vec((0usize..4, 0usize..4), 1..6))
-        .prop_map(|(n, labels, edges)| {
-            let mut p = Pattern::new();
-            for label in labels.iter().take(n) {
-                p.add_labeled_node(format!("l{label}"));
-            }
-            for (a, b) in edges {
-                let (a, b) = (a % n, b % n);
-                if a == b {
-                    continue;
-                }
-                let (a, b) = (PatternNodeId::from_index(a), PatternNodeId::from_index(b));
-                if p.edge_bound(a, b).is_none() {
-                    p.add_normal_edge(a, b);
-                }
-            }
-            p
-        })
+/// A small random normal pattern over the same label alphabet.
+fn random_pattern(rng: &mut StdRng) -> Pattern {
+    let n = rng.gen_range(2..5usize);
+    let mut p = Pattern::new();
+    for _ in 0..n {
+        let label = rng.gen_range(0..4u32);
+        p.add_labeled_node(format!("l{label}"));
+    }
+    for _ in 0..rng.gen_range(1..6usize) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let (a, b) = (PatternNodeId::from_index(a), PatternNodeId::from_index(b));
+        if p.edge_bound(a, b).is_none() {
+            p.add_normal_edge(a, b);
+        }
+    }
+    p
 }
 
 /// Checks that a relation is a valid simulation (soundness).
 fn is_valid_simulation(pattern: &Pattern, graph: &DataGraph, relation: &MatchRelation) -> bool {
     relation.pairs().all(|(u, v)| {
         pattern.predicate(u).satisfied_by(graph.attrs(v))
-            && pattern.children(u).iter().all(|&(u2, _)| {
-                graph.children(v).iter().any(|w| relation.contains(u2, *w))
-            })
+            && pattern
+                .children(u)
+                .iter()
+                .all(|&(u2, _)| graph.children(v).iter().any(|w| relation.contains(u2, *w)))
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simulation_is_sound_and_maximal(graph in graph_strategy(20, 60), pattern in pattern_strategy()) {
+#[test]
+fn simulation_is_sound_and_maximal() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5050 + case);
+        let graph = random_graph(&mut rng, 20, 60);
+        let pattern = random_pattern(&mut rng);
         let relation = igpm::core::match_simulation(&pattern, &graph);
         // Soundness: the returned relation is a simulation.
-        prop_assert!(is_valid_simulation(&pattern, &graph, &relation));
+        assert!(is_valid_simulation(&pattern, &graph, &relation), "case {case}: unsound");
         // Maximality via bounded simulation agreement (independent implementation).
         let bsim = igpm::core::match_bounded_with_matrix(&pattern, &graph);
-        prop_assert_eq!(relation, bsim);
+        assert_eq!(relation, bsim, "case {case}: not maximal");
     }
+}
 
-    #[test]
-    fn insertions_only_grow_and_deletions_only_shrink(
-        graph in graph_strategy(18, 50),
-        pattern in pattern_strategy(),
-        extra in proptest::collection::vec((0usize..18, 0usize..18), 1..10),
-    ) {
+#[test]
+fn insertions_only_grow_and_deletions_only_shrink() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6060 + case);
+        let graph = random_graph(&mut rng, 18, 50);
+        let pattern = random_pattern(&mut rng);
         let n = graph.node_count();
         let before = igpm::core::match_simulation(&pattern, &graph);
 
         // Apply insertions: the maximum simulation can only grow.
         let mut grown = graph.clone();
-        for &(a, b) in &extra {
-            let (a, b) = (a % n, b % n);
+        for _ in 0..rng.gen_range(1..10usize) {
+            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
             if a != b {
                 grown.add_edge(NodeId(a as u32), NodeId(b as u32));
             }
         }
         let after_insert = igpm::core::match_simulation(&pattern, &grown);
-        prop_assert!(before.is_subset_of(&after_insert) || before.is_empty());
+        assert!(
+            before.is_subset_of(&after_insert) || before.is_empty(),
+            "case {case}: insertion shrank the match"
+        );
 
         // Apply deletions: the maximum simulation can only shrink.
         let mut shrunk = graph.clone();
@@ -99,78 +109,95 @@ proptest! {
             shrunk.remove_edge(a, b);
         }
         let after_delete = igpm::core::match_simulation(&pattern, &shrunk);
-        prop_assert!(after_delete.is_subset_of(&before) || after_delete.is_empty());
+        assert!(
+            after_delete.is_subset_of(&before) || after_delete.is_empty(),
+            "case {case}: deletion grew the match"
+        );
     }
+}
 
-    #[test]
-    fn incremental_simulation_agrees_with_batch(
-        graph in graph_strategy(16, 40),
-        pattern in pattern_strategy(),
-        updates in proptest::collection::vec((proptest::bool::ANY, 0usize..16, 0usize..16), 1..12),
-    ) {
+#[test]
+fn incremental_simulation_agrees_with_batch() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7070 + case);
+        let graph = random_graph(&mut rng, 16, 40);
+        let pattern = random_pattern(&mut rng);
         let n = graph.node_count();
         let mut g = graph.clone();
         let mut index = SimulationIndex::build(&pattern, &g);
-        for (insert, a, b) in updates {
-            let (a, b) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+        for _ in 0..rng.gen_range(1..12usize) {
+            let (a, b) = (NodeId(rng.gen_range(0..n) as u32), NodeId(rng.gen_range(0..n) as u32));
             if a == b {
                 continue;
             }
-            if insert {
+            if rng.gen_bool(0.5) {
                 index.insert_edge(&mut g, a, b);
             } else {
                 index.delete_edge(&mut g, a, b);
             }
         }
-        prop_assert_eq!(index.matches(), igpm::core::match_simulation(&pattern, &g));
+        assert_eq!(index.matches(), igpm::core::match_simulation(&pattern, &g), "case {case}");
     }
+}
 
-    #[test]
-    fn landmark_queries_equal_bfs_distances(graph in graph_strategy(16, 50)) {
+#[test]
+fn landmark_queries_equal_bfs_distances() {
+    for case in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0x8080 + case);
+        let graph = random_graph(&mut rng, 16, 50);
         let index = LandmarkIndex::build(&graph, LandmarkSelection::VertexCover);
         let matrix = DistanceMatrix::build(&graph);
         for a in graph.nodes() {
             for b in graph.nodes() {
-                prop_assert_eq!(index.distance(a, b), matrix.distance(a, b));
+                assert_eq!(index.distance(a, b), matrix.distance(a, b), "case {case}: ({a}, {b})");
             }
         }
     }
+}
 
-    #[test]
-    fn two_hop_labels_equal_bfs_distances(graph in graph_strategy(16, 50)) {
+#[test]
+fn two_hop_labels_equal_bfs_distances() {
+    for case in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0x9090 + case);
+        let graph = random_graph(&mut rng, 16, 50);
         let labels = TwoHopLabels::build(&graph);
         let matrix = DistanceMatrix::build(&graph);
         for a in graph.nodes() {
             for b in graph.nodes() {
-                prop_assert_eq!(labels.distance(a, b), matrix.distance(a, b));
+                assert_eq!(labels.distance(a, b), matrix.distance(a, b), "case {case}: ({a}, {b})");
             }
         }
     }
+}
 
-    #[test]
-    fn graph_serde_round_trip(graph in graph_strategy(12, 30)) {
+#[test]
+fn graph_persistence_round_trips() {
+    for case in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(0xa0a0 + case);
+        let graph = random_graph(&mut rng, 12, 30);
         let json = igpm::graph::io::graph_to_json(&graph).unwrap();
         let back = igpm::graph::io::graph_from_json(&json).unwrap();
-        prop_assert_eq!(&graph, &back);
+        assert_eq!(graph, back, "case {case}: json");
         let snapshot = igpm::graph::io::graph_to_snapshot(&graph).unwrap();
-        let back2 = igpm::graph::io::graph_from_snapshot(snapshot).unwrap();
-        prop_assert_eq!(&graph, &back2);
+        let back2 = igpm::graph::io::graph_from_snapshot(&snapshot).unwrap();
+        assert_eq!(graph, back2, "case {case}: snapshot");
     }
+}
 
-    #[test]
-    fn batch_inverse_round_trips_the_match(
-        graph in graph_strategy(14, 40),
-        pattern in pattern_strategy(),
-        updates in proptest::collection::vec((proptest::bool::ANY, 0usize..14, 0usize..14), 1..8),
-    ) {
+#[test]
+fn batch_inverse_round_trips_the_match() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xb0b0 + case);
+        let graph = random_graph(&mut rng, 14, 40);
+        let pattern = random_pattern(&mut rng);
         let n = graph.node_count();
         let mut batch = BatchUpdate::new();
-        for (insert, a, b) in updates {
-            let (a, b) = (NodeId((a % n) as u32), NodeId((b % n) as u32));
+        for _ in 0..rng.gen_range(1..8usize) {
+            let (a, b) = (NodeId(rng.gen_range(0..n) as u32), NodeId(rng.gen_range(0..n) as u32));
             if a == b {
                 continue;
             }
-            if insert {
+            if rng.gen_bool(0.5) {
                 batch.insert(a, b);
             } else {
                 batch.delete(a, b);
@@ -189,7 +216,7 @@ proptest! {
         }
         index.apply_batch(&mut g, &effective);
         index.apply_batch(&mut g, &effective.inverse());
-        prop_assert_eq!(&g, &graph);
-        prop_assert_eq!(index.matches(), original);
+        assert_eq!(g, graph, "case {case}: graph not restored");
+        assert_eq!(index.matches(), original, "case {case}: match not restored");
     }
 }

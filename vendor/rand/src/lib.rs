@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen`, `gen_range` and `gen_bool`.
+//!
+//! The build environment has no access to crates.io, so the real `rand`
+//! cannot be fetched; every generator in this repository only needs a fast,
+//! *seeded, deterministic* source of pseudo-randomness, not distributional or
+//! cryptographic guarantees. The implementation is xoshiro256** seeded via
+//! SplitMix64 — the same construction the upstream `rand_xoshiro` crate uses.
+//! Streams differ from upstream `StdRng` (ChaCha12), which is fine: all
+//! workloads in this repository are generated and consumed by the same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// A seeded, deterministic PRNG (xoshiro256**).
+    ///
+    /// Drop-in replacement for `rand::rngs::StdRng` within this workspace:
+    /// construct it with [`crate::SeedableRng::seed_from_u64`].
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64: the recommended way to derive xoshiro state from a
+        // 64-bit seed. Guarantees a nonzero state for every seed.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+/// Types that can be sampled uniformly without a range (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn from (`rng.gen_range(lo..hi)` / `lo..=hi`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift bounded sampling: uniform in `0..bound` (`bound > 0`).
+#[inline]
+fn bounded(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_unsigned!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i64 => u64, i32 => u32, i16 => u16, i8 => u8);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of a [`Standard`]-sampleable type.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let x: u32 = rng.gen_range(1..=1);
+            assert_eq!(x, 1);
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_appear() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.4..0.6).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits for p=0.25");
+        assert!(!StdRng::seed_from_u64(1).gen_bool(0.0));
+        assert!(StdRng::seed_from_u64(1).gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = StdRng::seed_from_u64(1).gen_range(5..5usize);
+    }
+}
