@@ -43,9 +43,20 @@
 //! with `minDelta`) and the accumulated `|AFF|` are reported for both
 //! engines; both engines are asserted to agree with a from-scratch
 //! `match_simulation` before any number is written.
+//!
+//! The `batch` comparison pins the counter engine to **one shard** so its
+//! trajectory stays comparable with the sequential engine of earlier runs.
+//! Shard scaling is measured separately (`batch_scaling` in the report): the
+//! same fig18-style workload scaled up (`--scaling-nodes`, `--scaling-edges`,
+//! `--scaling-batch`) is applied at 1/2/4/8 shards, every run is asserted
+//! bit-identical (matches *and* `AffStats`) to the 1-shard run, and
+//! updates/sec per shard count plus the measuring host's available
+//! parallelism land in the artifact — wall-clock scaling is only meaningful
+//! where the host actually has cores to scale onto.
 
-use igpm_bench::harness::median_ns;
+use igpm_bench::harness::{median_ns, updates_per_sec};
 use igpm_bench::legacy::LegacySimulationIndex;
+use igpm_bench::workloads::batch_scaling_workload;
 use igpm_core::{match_simulation, AffStats, SimulationIndex};
 use igpm_generator::{
     degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
@@ -65,6 +76,9 @@ struct Config {
     shape: PatternShape,
     seed: u64,
     out: String,
+    scaling_nodes: usize,
+    scaling_edges: usize,
+    scaling_batch: usize,
 }
 
 impl Default for Config {
@@ -85,6 +99,12 @@ impl Default for Config {
             shape: PatternShape::Dag,
             seed: 0x18a,
             out: "BENCH_incsim.json".to_string(),
+            // Scaling-sweep sizes: 4× the nodes and 10× the batch of the
+            // headline comparison, so the sharded phases carry enough pending
+            // work per round to engage the worker threads.
+            scaling_nodes: 40_000,
+            scaling_edges: 240_000,
+            scaling_batch: 20_000,
         }
     }
 }
@@ -117,6 +137,9 @@ fn parse_args() -> Config {
             }
             "--seed" => config.seed = grab("--seed") as u64,
             "--out" => config.out = args.next().expect("--out needs a path"),
+            "--scaling-nodes" => config.scaling_nodes = grab("--scaling-nodes"),
+            "--scaling-edges" => config.scaling_edges = grab("--scaling-edges"),
+            "--scaling-batch" => config.scaling_batch = grab("--scaling-batch"),
             other => panic!("unknown flag {other} (see crates/bench/src/bin/incsim_bench.rs)"),
         }
     }
@@ -505,6 +528,71 @@ fn unit_json(c: &UnitComparison) -> JsonValue {
     ])
 }
 
+/// One measured point of the shard-scaling sweep.
+struct ScalingRun {
+    shards: usize,
+    median_ns: u128,
+    throughput: f64,
+}
+
+/// Applies the scaled-up fig18-style batch at each shard count, asserting
+/// every run bit-identical (matches and `AffStats`) to the 1-shard run
+/// before any number is reported.
+fn batch_scaling_sweep(config: &Config) -> Vec<ScalingRun> {
+    let (graph, pattern, batch) = batch_scaling_workload(
+        config.scaling_nodes,
+        config.scaling_edges,
+        config.scaling_batch,
+        config.seed + 0x5c,
+    );
+    let mut updated = graph.clone();
+    batch.apply(&mut updated);
+    let expected = match_simulation(&pattern, &updated);
+    let base_index = SimulationIndex::build(&pattern, &graph);
+
+    // Warm up caches/allocator once untimed, then interleave the samples
+    // round-robin over the shard counts so frequency drift and co-tenant
+    // noise hit every count equally rather than whichever ran first.
+    {
+        let mut g = graph.clone();
+        base_index.clone().apply_batch_with_shards(&mut g, &batch, 1);
+    }
+    const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+    let samples = 5;
+    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(samples); SHARD_SWEEP.len()];
+    let mut reference_stats: Option<AffStats> = None;
+    for _ in 0..samples {
+        for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+            let mut g = graph.clone();
+            let mut index = base_index.clone();
+            let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, &batch, shards));
+            times[i].push((ms * 1e6) as u128);
+            assert_eq!(index.matches(), expected, "{shards}-shard run diverged from scratch");
+            match &reference_stats {
+                None => reference_stats = Some(stats),
+                Some(reference) => assert_eq!(
+                    stats, *reference,
+                    "{shards}-shard run reported different AffStats than the 1-shard run"
+                ),
+            }
+        }
+    }
+    let mut runs = Vec::new();
+    for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+        let median = median_ns(times[i].clone());
+        let throughput = updates_per_sec(batch.len(), median);
+        println!(
+            "batch_scaling ({} updates, |V|={}): {shards} shard(s) — {:.3} ms ({:.0}/s)",
+            batch.len(),
+            config.scaling_nodes,
+            median as f64 / 1e6,
+            throughput,
+        );
+        runs.push(ScalingRun { shards, median_ns: median, throughput });
+    }
+    runs
+}
+
 fn main() {
     let config = parse_args();
     println!(
@@ -544,7 +632,9 @@ fn main() {
     for _ in 0..batch_samples {
         let mut g = graph.clone();
         let mut index = SimulationIndex::build(&pattern, &g);
-        let (ms, stats) = time_batch(|| index.apply_batch(&mut g, &batch));
+        // One shard: keeps the trajectory comparable with the sequential
+        // engine of earlier runs (shard scaling is measured separately below).
+        let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, &batch, 1));
         counter_batch_ms.push((ms * 1e6) as u128);
         counter_batch_aff = stats.aff();
         assert_eq!(index.matches(), expected, "counter engine diverged on batch");
@@ -569,6 +659,50 @@ fn main() {
         legacy_batch_ns as f64 / 1e6,
         legacy_tput
     );
+
+    // --- Shard scaling ----------------------------------------------------
+    let scaling = batch_scaling_sweep(&config);
+    let one_shard_tput = scaling[0].throughput;
+    let scaling_json = obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("nodes", JsonValue::Int(config.scaling_nodes as i64)),
+                ("edges", JsonValue::Int(config.scaling_edges as i64)),
+                ("batch_size", JsonValue::Int(config.scaling_batch as i64)),
+                ("seed", JsonValue::Int((config.seed + 0x5c) as i64)),
+            ]),
+        ),
+        // Wall-clock scaling is bounded by the cores the measuring host
+        // actually grants; record them so flat curves are attributable.
+        (
+            "host_parallelism",
+            JsonValue::Int(
+                std::thread::available_parallelism().map(|n| n.get() as i64).unwrap_or(1),
+            ),
+        ),
+        (
+            "runs",
+            JsonValue::Array(
+                scaling
+                    .iter()
+                    .map(|run| {
+                        obj(vec![
+                            ("shards", JsonValue::Int(run.shards as i64)),
+                            ("median_ms", JsonValue::Float(run.median_ns as f64 / 1e6)),
+                            ("updates_per_sec", JsonValue::Float(run.throughput)),
+                            (
+                                "speedup_vs_1_shard",
+                                JsonValue::Float(
+                                    run.throughput / one_shard_tput.max(f64::MIN_POSITIVE),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
 
     // --- Report -----------------------------------------------------------
     let report = obj(vec![
@@ -600,6 +734,7 @@ fn main() {
                 ("legacy_aff", JsonValue::Int(legacy_batch_aff as i64)),
             ]),
         ),
+        ("batch_scaling", scaling_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);

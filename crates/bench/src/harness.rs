@@ -46,6 +46,15 @@ pub fn median_ns(mut durations: Vec<u128>) -> u128 {
     durations[durations.len() / 2]
 }
 
+/// Throughput implied by `count` items processed in `ns` nanoseconds
+/// (items per second; 0.0 for a zero duration).
+pub fn updates_per_sec(count: usize, ns: u128) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    count as f64 / (ns as f64 / 1e9)
+}
+
 /// Runs `routine` `samples` times, each on a fresh state produced by `setup`
 /// (setup time is excluded), and prints + returns the summary.
 pub fn bench_batched<S, T>(
@@ -88,6 +97,13 @@ mod tests {
         assert_eq!(median_ns(vec![5, 1, 3]), 3);
         assert_eq!(median_ns(vec![4, 1, 3, 2]), 3);
         assert_eq!(median_ns(Vec::new()), 0);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        assert_eq!(updates_per_sec(1_000, 1_000_000_000), 1_000.0);
+        assert_eq!(updates_per_sec(500, 500_000_000), 1_000.0);
+        assert_eq!(updates_per_sec(10, 0), 0.0);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 
 use igpm_generator::{
     citation_like, degree_biased_deletions, degree_biased_insertions, generate_pattern,
-    synthetic_graph, youtube_like, CitationConfig, PatternGenConfig, PatternShape, SyntheticConfig,
-    UpdateGenConfig, YouTubeConfig,
+    mixed_batch, synthetic_graph, youtube_like, CitationConfig, PatternGenConfig, PatternShape,
+    SyntheticConfig, UpdateGenConfig, YouTubeConfig,
 };
 use igpm_graph::{BatchUpdate, DataGraph, Pattern};
 
@@ -97,6 +97,27 @@ pub fn scaled(count: usize, scale: f64, min: usize) -> usize {
     ((count as f64 * scale).round() as usize).max(min)
 }
 
+/// The fig18-style workload of the `incsim_bench` shard-scaling sweep: a
+/// densification-law synthetic graph, a generated normal DAG pattern
+/// (10 nodes / 15 edges, like the headline comparison) and one large
+/// degree-biased mixed batch. Sized by the caller — the sweep uses a larger
+/// graph and batch than the headline comparison so the sharded drain rounds
+/// carry enough pending work to cross the thread-spawn threshold.
+pub fn batch_scaling_workload(
+    nodes: usize,
+    edges: usize,
+    batch_size: usize,
+    seed: u64,
+) -> (DataGraph, Pattern, BatchUpdate) {
+    let graph = synthetic_graph(&SyntheticConfig::new(nodes, edges, 6, seed));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(10, 15, 1, seed + 7).with_shape(PatternShape::Dag),
+    );
+    let batch = mixed_batch(&graph, batch_size / 2, batch_size / 2, seed + 13);
+    (graph, pattern, batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +150,16 @@ mod tests {
         assert_eq!(deletions(&g, 50, 7).len(), 50);
         assert_eq!(scaled(1000, 0.1, 10), 100);
         assert_eq!(scaled(10, 0.001, 5), 5);
+    }
+
+    #[test]
+    fn batch_scaling_workload_is_seeded_and_sized() {
+        let (g, p, batch) = batch_scaling_workload(1_000, 4_000, 600, 0x5c);
+        assert_eq!(g.node_count(), 1_000);
+        assert!(p.is_normal() && p.is_dag());
+        assert_eq!(batch.len(), 600);
+        let (g2, _, batch2) = batch_scaling_workload(1_000, 4_000, 600, 0x5c);
+        assert_eq!(g, g2, "same seed, same workload");
+        assert_eq!(batch, batch2);
     }
 }

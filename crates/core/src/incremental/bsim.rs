@@ -25,7 +25,16 @@
 //! exactly those pairs and then propagates match promotions/demotions through
 //! them — the reduction of bounded simulation to simulation over the result
 //! pairs stated by Proposition 6.1.
+//!
+//! The pair re-evaluation — the distance-query-heavy part of the batch path —
+//! is split into a read-only *evaluate* step and a sequential *commit* step.
+//! The evaluate step runs the affected `(edge, source, target)` bound checks
+//! on scoped threads when the batch is large enough
+//! ([`crate::incremental::shard`]); the commit step replays the verdicts in
+//! the fixed enumeration order, so results (including [`AffStats`]) are
+//! bit-identical for every shard count.
 
+use crate::incremental::shard::{configured_shards, PARALLEL_EVAL_THRESHOLD};
 use crate::incremental::sim::MAX_PATTERN_NODES;
 use crate::simulation::candidates;
 use crate::stats::AffStats;
@@ -245,10 +254,26 @@ impl BoundedIndex {
 
     /// `IncBMatch`: batch updates. The graph is updated, the landmark and
     /// distance vectors are maintained by `IncLM`, the affected cc/cs/ss pairs
-    /// are re-evaluated (maintaining the support counters), and the match is
-    /// repaired by demotion/promotion propagation over the pairs.
+    /// are re-evaluated (maintaining the support counters; the distance
+    /// checks run on [`configured_shards`] threads when the affected area is
+    /// large enough), and the match is repaired by demotion/promotion
+    /// propagation over the pairs.
     pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
+        self.apply_batch_with_shards(graph, batch, configured_shards())
+    }
+
+    /// [`BoundedIndex::apply_batch`] with an explicit shard count for the
+    /// pair re-evaluation step. Results are bit-identical for every count.
+    pub fn apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> AffStats {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
+        // Nodes added since the last index operation join the candidate
+        // pipeline before anything is classified against the batch.
+        self.ensure_node_capacity(graph);
 
         // Step 1: maintain the landmark/distance vectors (IncLM) and collect
         // the nodes whose distance information changed.
@@ -268,7 +293,14 @@ impl BoundedIndex {
         // unmatched candidate source seed promotions.
         let mut demotion_seeds: Vec<(u32, u32)> = Vec::new();
         let mut promotion_seeds: Vec<(u32, u32)> = Vec::new();
-        self.refresh_pairs(graph, &affected, &mut demotion_seeds, &mut promotion_seeds, &mut stats);
+        self.refresh_pairs(
+            graph,
+            &affected,
+            shards,
+            &mut demotion_seeds,
+            &mut promotion_seeds,
+            &mut stats,
+        );
 
         // Step 3: repair the match — demotions first, then promotions,
         // mirroring IncMatch.
@@ -336,14 +368,22 @@ impl BoundedIndex {
 
     /// Re-evaluates every pair with an affected endpoint, maintaining
     /// `pairs`/`rev_pairs`/`support` and collecting demotion/promotion seeds.
+    ///
+    /// The affected pairs are enumerated in a fixed order, their distance
+    /// bounds are checked read-only (on threads when [`PARALLEL_EVAL_THRESHOLD`]
+    /// items warrant it — the expensive part of the batch path), and the
+    /// verdicts are committed sequentially in enumeration order, making the
+    /// result independent of the shard count.
     fn refresh_pairs(
         &mut self,
         graph: &DataGraph,
         affected: &FastHashSet<NodeId>,
+        shards: usize,
         demotion_seeds: &mut Vec<(u32, u32)>,
         promotion_seeds: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
     ) {
+        let mut items: Vec<(u32, NodeId, NodeId)> = Vec::new();
         for e_idx in 0..self.pattern.edge_count() {
             let edge = self.pattern.edges()[e_idx];
             let from_bit = 1u64 << edge.from.index();
@@ -354,61 +394,75 @@ impl BoundedIndex {
                 if x.index() >= self.nv || self.cand_bits[x.index()] & from_bit == 0 {
                     continue;
                 }
-                let targets = std::mem::take(&mut self.cand_lists[edge.to.index()]);
-                for &w in &targets {
-                    self.reevaluate_pair(
-                        graph,
-                        e_idx,
-                        x,
-                        w,
-                        demotion_seeds,
-                        promotion_seeds,
-                        stats,
-                    );
+                for &w in &self.cand_lists[edge.to.index()] {
+                    items.push((e_idx as u32, x, w));
                 }
-                self.cand_lists[edge.to.index()] = targets;
             }
             // Pairs whose *target* is affected (skip sources already handled).
             for &x in affected.iter() {
                 if x.index() >= self.nv || self.cand_bits[x.index()] & to_bit == 0 {
                     continue;
                 }
-                let sources = std::mem::take(&mut self.cand_lists[edge.from.index()]);
-                for &v in &sources {
+                for &v in &self.cand_lists[edge.from.index()] {
                     if affected.contains(&v) {
                         continue;
                     }
-                    self.reevaluate_pair(
-                        graph,
-                        e_idx,
-                        v,
-                        x,
-                        demotion_seeds,
-                        promotion_seeds,
-                        stats,
-                    );
+                    items.push((e_idx as u32, v, x));
                 }
-                self.cand_lists[edge.from.index()] = sources;
             }
+        }
+        let verdicts = self.evaluate_bounds(graph, &items, shards);
+        for (&(e_idx, v, w), &now) in items.iter().zip(verdicts.iter()) {
+            self.commit_pair(e_idx as usize, v, w, now, demotion_seeds, promotion_seeds, stats);
         }
     }
 
-    /// Recomputes one pair `(v, w)` of pattern edge `e_idx` against the
-    /// current distances, updating the pair sets and support counters when its
-    /// status flipped.
-    #[allow(clippy::too_many_arguments)]
-    fn reevaluate_pair(
-        &mut self,
+    /// Evaluates the distance bound of every enumerated pair against the
+    /// current landmark vectors. Pure reads — chunked across scoped threads
+    /// when there are enough items to amortise the spawns.
+    fn evaluate_bounds(
+        &self,
         graph: &DataGraph,
+        items: &[(u32, NodeId, NodeId)],
+        shards: usize,
+    ) -> Vec<bool> {
+        let edges = self.pattern.edges();
+        let landmarks = &self.landmarks;
+        let eval = |&(e_idx, v, w): &(u32, NodeId, NodeId)| {
+            satisfies_bound(graph, landmarks, v, w, edges[e_idx as usize].bound)
+        };
+        let shards = shards.max(1);
+        if shards == 1 || items.len() < PARALLEL_EVAL_THRESHOLD {
+            return items.iter().map(eval).collect();
+        }
+        let chunk = items.len().div_ceil(shards);
+        let mut verdicts = vec![false; items.len()];
+        std::thread::scope(|scope| {
+            for (item_chunk, verdict_chunk) in items.chunks(chunk).zip(verdicts.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (item, slot) in item_chunk.iter().zip(verdict_chunk.iter_mut()) {
+                        *slot = eval(item);
+                    }
+                });
+            }
+        });
+        verdicts
+    }
+
+    /// Applies the verdict for one pair `(v, w)` of pattern edge `e_idx`,
+    /// updating the pair sets and support counters when its status flipped.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_pair(
+        &mut self,
         e_idx: usize,
         v: NodeId,
         w: NodeId,
+        now: bool,
         demotion_seeds: &mut Vec<(u32, u32)>,
         promotion_seeds: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
     ) {
         let edge = self.pattern.edges()[e_idx];
-        let now = satisfies_bound(graph, &self.landmarks, v, w, edge.bound);
         let before = self.pairs[e_idx].get(&v).map(|s| s.contains(&w)).unwrap_or(false);
         if now == before {
             return;
@@ -569,6 +623,17 @@ impl BoundedIndex {
         promoted_any
     }
 
+    /// Evaluates candidates of every nontrivial pattern SCC jointly:
+    /// tentatively assume all of them match, refine down to the greatest
+    /// fixpoint, and promote the survivors.
+    ///
+    /// The refinement is counter-backed, mirroring `sim.rs::prop_cc`: per
+    /// (candidate `v`, SCC-internal pattern edge `e`) a *tentative support*
+    /// counter `tsup[(v, e)] = |pairs[e][v] ∩ tentative(e.to)|` is derived
+    /// once, and a worklist eliminates non-viable assumptions, decrementing
+    /// the counters of their paired tentative sources — instead of the
+    /// previous repeated full-candidate-set fixpoint sweeps that rescanned
+    /// every pair target per iteration.
     fn promote_sccs(&mut self, stats: &mut AffStats, worklist: &mut Vec<(u32, u32)>) -> bool {
         let mut promoted_any = false;
         let components: Vec<_> = self.scc.components().collect();
@@ -592,28 +657,87 @@ impl BoundedIndex {
                 continue;
             }
 
-            let mut changed = true;
-            while changed {
-                changed = false;
-                let nodes: Vec<u32> = tentative.keys().copied().collect();
-                for &v in &nodes {
-                    let Some(&assumed) = tentative.get(&v) else { continue };
-                    let mut surviving = assumed;
-                    let mut bits = assumed;
-                    while bits != 0 {
-                        let u = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        stats.nodes_visited += 1;
-                        if !self.supported_with_tentative(u, NodeId(v), comp_mask, &tentative) {
-                            surviving &= !(1 << u);
+            // tsup[(v, e)] = |pairs[e][v] ∩ tentative(e.to)| for SCC-internal
+            // pattern edges `e` whose source `v` tentatively assumes `e.from`.
+            let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
+            for (&v, &bits) in tentative.iter() {
+                let mut b = bits;
+                while b != 0 {
+                    let u = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    for &e_idx in &self.edges_from[u] {
+                        let to_bit = 1u64 << self.pattern.edges()[e_idx].to.index();
+                        if comp_mask & to_bit == 0 {
+                            continue;
+                        }
+                        let Some(targets) = self.pairs[e_idx].get(&NodeId(v)) else { continue };
+                        let count = targets
+                            .iter()
+                            .filter(|w| {
+                                tentative.get(&w.0).is_some_and(|&wbits| wbits & to_bit != 0)
+                            })
+                            .count() as u32;
+                        if count > 0 {
+                            tsup.insert((v, e_idx as u32), count);
+                            stats.counter_updates += count as usize;
                         }
                     }
-                    if surviving != assumed {
-                        changed = true;
-                        if surviving == 0 {
-                            tentative.remove(&v);
-                        } else {
-                            tentative.insert(v, surviving);
+                }
+            }
+
+            // Seed the elimination worklist with every currently non-viable
+            // tentative pair: some pattern edge out of `u` has neither real
+            // support (a counted match target) nor tentative support.
+            let viable = |index: &Self, tsup: &FastHashMap<(u32, u32), u32>, u: usize, v: u32| {
+                index.edges_from[u].iter().all(|&e_idx| {
+                    index.support[e_idx].get(&NodeId(v)).copied().unwrap_or(0) > 0
+                        || tsup.get(&(v, e_idx as u32)).copied().unwrap_or(0) > 0
+                })
+            };
+            let mut eliminate: Vec<(u32, u32)> = Vec::new();
+            for (&v, &bits) in tentative.iter() {
+                let mut b = bits;
+                while b != 0 {
+                    let u = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    stats.nodes_visited += 1;
+                    if !viable(self, &tsup, u, v) {
+                        eliminate.push((u as u32, v));
+                    }
+                }
+            }
+
+            // Eliminate with cascade: dropping the assumption (u, v) costs
+            // every tentatively paired source one unit of support for the
+            // pattern edges ending in u.
+            while let Some((u, v)) = eliminate.pop() {
+                let Some(bits) = tentative.get_mut(&v) else { continue };
+                let bit = 1u64 << u;
+                if *bits & bit == 0 {
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                *bits &= !bit;
+                if *bits == 0 {
+                    tentative.remove(&v);
+                }
+                for i in 0..self.edges_to[u as usize].len() {
+                    let e_idx = self.edges_to[u as usize][i];
+                    let source_u = self.pattern.edges()[e_idx].from.index();
+                    if comp_mask & (1 << source_u) == 0 {
+                        continue;
+                    }
+                    let Some(sources) = self.rev_pairs[e_idx].get(&NodeId(v)) else { continue };
+                    for &p in sources {
+                        let Some(counter) = tsup.get_mut(&(p.0, e_idx as u32)) else { continue };
+                        debug_assert!(*counter > 0, "tentative support underflow");
+                        *counter -= 1;
+                        stats.counter_updates += 1;
+                        if *counter == 0
+                            && self.support[e_idx].get(&p).copied().unwrap_or(0) == 0
+                            && tentative.get(&p.0).is_some_and(|&pb| pb & (1 << source_u) != 0)
+                        {
+                            eliminate.push((source_u as u32, p.0));
                         }
                     }
                 }
@@ -633,31 +757,44 @@ impl BoundedIndex {
         promoted_any
     }
 
-    /// The `promote_sccs` support check: every pattern edge out of `u` needs a
-    /// counted match target or a tentatively assumed SCC target.
-    fn supported_with_tentative(
-        &self,
-        u: usize,
-        v: NodeId,
-        comp_mask: u64,
-        tentative: &FastHashMap<u32, u64>,
-    ) -> bool {
-        self.edges_from[u].iter().all(|&e_idx| {
-            if self.support[e_idx].get(&v).copied().unwrap_or(0) > 0 {
-                return true;
+    // ------------------------------------------------------------------
+    // Node growth
+    // ------------------------------------------------------------------
+
+    /// Extends the per-node arrays when the graph gained nodes since the
+    /// index was built, mirroring `SimulationIndex::ensure_node_capacity`.
+    /// New nodes are isolated at this point (edges to them arrive through
+    /// update batches, which also grow the landmark distance rows), so a new
+    /// node matches a pattern node iff it satisfies the predicate of a
+    /// *childless* pattern node; otherwise it starts as a candidate. Pair
+    /// sets stay untouched: an isolated node reaches nothing, and the first
+    /// edge updates touching it put it in the affected set of
+    /// [`BoundedIndex::refresh_pairs`].
+    fn ensure_node_capacity(&mut self, graph: &DataGraph) {
+        let new_nv = graph.node_count();
+        if new_nv <= self.nv {
+            return;
+        }
+        self.invalidate_cache();
+        self.cand_bits.resize(new_nv, 0);
+        self.match_bits.resize(new_nv, 0);
+        for v in self.nv..new_nv {
+            let node = NodeId::from_index(v);
+            for u in self.pattern.nodes() {
+                if !self.pattern.predicate(u).satisfied_by(graph.attrs(node)) {
+                    continue;
+                }
+                self.cand_bits[v] |= 1 << u.index();
+                // Node ids grow monotonically, so pushing keeps the candidate
+                // lists sorted.
+                self.cand_lists[u.index()].push(node);
+                if self.edges_from[u.index()].is_empty() {
+                    self.match_bits[v] |= 1 << u.index();
+                    self.match_count[u.index()] += 1;
+                }
             }
-            let edge = self.pattern.edges()[e_idx];
-            let to_bit = 1u64 << edge.to.index();
-            if comp_mask & to_bit == 0 {
-                return false;
-            }
-            match self.pairs[e_idx].get(&v) {
-                Some(targets) => targets
-                    .iter()
-                    .any(|w| tentative.get(&w.0).is_some_and(|&bits| bits & to_bit != 0)),
-                None => false,
-            }
-        })
+        }
+        self.nv = new_nv;
     }
 
     /// Recomputes every support counter from the pair sets and the match
@@ -910,6 +1047,88 @@ mod tests {
         let stats = index.delete_edge(&mut f.graph, f.don, f.tom);
         assert_eq!(stats.reduced_delta_g, 0);
         assert_eq!(index.matches(), before);
+    }
+
+    #[test]
+    fn nodes_added_after_build_join_the_candidate_pipeline() {
+        // Mirror of the SimulationIndex node-churn regression: nodes added
+        // *after* the index is built must join the candidate pipeline, the
+        // landmark rows must grow with them, and their first edges must be
+        // classified live.
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+
+        // A new DB person arrives and connects to Ann (CTO) and Bill (Bio):
+        // they must become a DB match exactly like a from-scratch run says.
+        let eve = f
+            .graph
+            .add_node(Attributes::new().with("name", "Eve").with("job", "DB").with("label", "DB"));
+        index.insert_edge(&mut f.graph, eve, f.ann);
+        assert_consistent(&index, &f.pattern, &f.graph, "after (Eve, Ann)");
+        index.insert_edge(&mut f.graph, eve, f.bill);
+        assert!(index.contains(PatternNodeId(1), eve), "Eve now matches DB");
+        assert_consistent(&index, &f.pattern, &f.graph, "after (Eve, Bill)");
+
+        // A new Bio person is isolated: Bio is childless in P3, so they match
+        // immediately once an (irrelevant) update lets the index observe them.
+        let zed = f.graph.add_node(
+            Attributes::new().with("name", "Zed").with("job", "Bio").with("label", "Bio"),
+        );
+        index.insert_edge(&mut f.graph, f.mat, f.tom);
+        assert!(index.contains(PatternNodeId(2), zed), "childless pattern node matches");
+        assert_consistent(&index, &f.pattern, &f.graph, "after adding Zed");
+
+        // Batch path over a graph that contains post-build nodes, including
+        // edges incident to one.
+        let ned = f.graph.add_node(
+            Attributes::new().with("name", "Ned").with("job", "CTO").with("label", "CTO"),
+        );
+        let mut batch = BatchUpdate::new();
+        batch.insert(ned, eve);
+        batch.insert(ned, f.bill);
+        batch.delete(f.ann, f.bill);
+        index.apply_batch(&mut f.graph, &batch);
+        assert_consistent(&index, &f.pattern, &f.graph, "after batch over post-build nodes");
+    }
+
+    #[test]
+    fn node_churn_interleaved_with_updates_stays_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xB51);
+        let mut graph = synthetic_graph(&SyntheticConfig::new(60, 180, 4, 0xB52));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::new(4, 5, 1, 2, 0xB53).with_shape(PatternShape::General),
+        );
+        let mut index = BoundedIndex::build(&pattern, &graph);
+        for step in 0..120usize {
+            if step % 10 == 0 {
+                // Grow: a brand-new node with an existing label, wired in by
+                // updates drawn against the current graph.
+                let label = rng.gen_range(0..4u32);
+                let fresh = graph.add_node(Attributes::labeled(format!("l{label}")));
+                let n = graph.node_count() - 1;
+                let out = NodeId(rng.gen_range(0..n) as u32);
+                index.insert_edge(&mut graph, fresh, out);
+            } else {
+                let n = graph.node_count();
+                let a = NodeId(rng.gen_range(0..n) as u32);
+                let b = NodeId(rng.gen_range(0..n) as u32);
+                if a == b {
+                    continue;
+                }
+                if rng.gen_bool(0.6) {
+                    index.insert_edge(&mut graph, a, b);
+                } else {
+                    index.delete_edge(&mut graph, a, b);
+                }
+            }
+            if step % 24 == 23 {
+                assert_consistent(&index, &pattern, &graph, &format!("churn step {step}"));
+            }
+        }
+        assert_consistent(&index, &pattern, &graph, "churn final");
     }
 
     #[test]

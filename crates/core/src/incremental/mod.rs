@@ -7,6 +7,10 @@
 //! * [`bsim`] — incremental **bounded simulation**: landmark/distance vectors
 //!   as the distance-side auxiliary structure, cc/cs/ss *pairs* instead of
 //!   edges, and the `IncBMatch+`/`IncBMatch-`/`IncBMatch` procedures.
+//! * [`shard`] — shard configuration (the `IGPM_SHARDS` knob and the
+//!   contiguous node-range partition) shared by the parallel batch paths of
+//!   both engines.
 
 pub mod bsim;
+pub mod shard;
 pub mod sim;

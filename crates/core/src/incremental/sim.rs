@@ -36,7 +36,34 @@
 //!   reduces `ΔG` (`minDelta`): updates with no net effect on the graph and
 //!   updates that are not `ss`/`cs`/`cc` edges for any pattern edge are
 //!   discarded before any matching work happens.
+//!
+//! # Sharded batch maintenance
+//!
+//! The three batch phases — counter absorption, demotion drain, promotion
+//! drain — are bulk-synchronous, and the per-node state (`masks`, `cnt`)
+//! partitions cleanly by node id. [`SimulationIndex::apply_batch`] therefore
+//! runs each phase across contiguous node-range *shards*
+//! ([`crate::incremental::shard`]):
+//!
+//! * **absorption** touches only the counter rows of each update's source
+//!   node, so shards absorb their own updates with no communication at all;
+//! * the **demotion/promotion drains** become synchronous *rounds*: a shard
+//!   first applies the counter deltas addressed to its nodes (enqueuing
+//!   demotion/promotion seeds when a counter crosses zero), then processes
+//!   its seed worklist, buffering the counter deltas each demotion/promotion
+//!   sends to graph parents into per-destination outboxes. Between rounds the
+//!   outboxes are merged into the destination shards' inboxes; the phase ends
+//!   when every worklist and inbox is empty.
+//!
+//! Within a round every decision depends only on state frozen at the round
+//! boundary, and every statistic counts a set whose contents are
+//! schedule-independent, so the engine is **bit-identical — match sets,
+//! counters and [`AffStats`] — for every shard count**; one shard *is* the
+//! sequential engine. Threads (`std::thread::scope`) are only spawned when a
+//! round has enough pending work to amortise them; below the threshold the
+//! same shard code runs inline on the calling thread.
 
+use crate::incremental::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use crate::simulation::{candidates, simulation_result_graph};
 use crate::stats::AffStats;
 use igpm_distance::landmark_inc::reduce_batch;
@@ -324,8 +351,23 @@ impl SimulationIndex {
 
     /// `IncMatch`: applies a batch of updates after reducing it with
     /// `minDelta`, processing all deletions simultaneously and then all
-    /// insertions simultaneously (Fig. 10).
+    /// insertions simultaneously (Fig. 10), with the phases sharded across
+    /// [`configured_shards`] node ranges (see the module docs). Results are
+    /// bit-identical for every shard count.
     pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
+        self.apply_batch_with_shards(graph, batch, configured_shards())
+    }
+
+    /// [`SimulationIndex::apply_batch`] with an explicit shard count
+    /// (`IGPM_SHARDS` and machine parallelism are ignored). `shards = 1` is
+    /// the sequential engine; any other count produces the same match sets,
+    /// counters and [`AffStats`].
+    pub fn apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> AffStats {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
         // Grow the per-node arrays first (batches carry edge updates only, so
         // any node growth happened before this call): classification below
@@ -363,30 +405,23 @@ impl SimulationIndex {
         }
         self.invalidate_cache();
 
-        // Absorb every effective edge change into the counters. The match
-        // state is untouched in this phase, so afterwards
-        // `cnt[v][u2] = |children_new(v) ∩ match_old(u2)|` exactly.
-        let mut demotion_seeds: Vec<(u32, u32)> = Vec::new();
-        let mut promotion_seeds: Vec<(u32, u32)> = Vec::new();
-        for update in &effective {
-            let (a, b) = update.endpoints();
-            match update {
-                Update::DeleteEdge { .. } => {
-                    self.counters_on_removed_edge(a, b, &mut demotion_seeds, &mut stats)
-                }
-                Update::InsertEdge { .. } => {
-                    self.counters_on_inserted_edge(a, b, &mut promotion_seeds, &mut stats)
-                }
-            }
-        }
+        let plan = ShardPlan::new(self.nv, shards);
 
-        // Deletions first (they can only shrink), then insertions.
+        // Phase 1 — absorption: absorb every effective edge change into the
+        // counters, sharded by each update's *source* node (the only node
+        // whose counter row an update touches). The match state is untouched
+        // in this phase, so afterwards
+        // `cnt[v][u2] = |children_new(v) ∩ match_old(u2)|` exactly.
+        let (demotion_seeds, promotion_seeds) = self.absorb_batch(&effective, plan, &mut stats);
+
+        // Phase 2 — deletions first (they can only shrink)...
         if !demotion_seeds.is_empty() {
-            self.drain_demotions(graph, &mut demotion_seeds, &mut stats);
+            self.drain_demotions_sharded(graph, demotion_seeds, plan, &mut stats);
         }
+        // ...phase 3 — then insertions.
         let run_cc = self.has_cycle && self.inserted_touches_scc(&relevant_insertions);
         if !promotion_seeds.is_empty() || run_cc {
-            self.propagate_insertions(graph, promotion_seeds, run_cc, &mut stats);
+            self.propagate_insertions_sharded(graph, promotion_seeds, run_cc, plan, &mut stats);
         }
         stats
     }
@@ -462,16 +497,7 @@ impl SimulationIndex {
     /// no adjacency scan.
     #[inline]
     fn has_counter_support(&self, u: usize, v: usize) -> bool {
-        let base = v * self.np;
-        let mut bits = self.child_mask[u];
-        while bits != 0 {
-            let u2 = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            if self.cnt[base + u2] == 0 {
-                return false;
-            }
-        }
-        true
+        row_has_support(&self.cnt[v * self.np..(v + 1) * self.np], self.child_mask[u])
     }
 
     /// Absorbs the removal of graph edge `(a, b)`: for every pattern node `u2`
@@ -485,25 +511,17 @@ impl SimulationIndex {
         worklist: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
     ) {
-        let base = a.index() * self.np;
-        let mut bits = self.masks[b.index()].matched;
-        while bits != 0 {
-            let u2 = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            let counter = &mut self.cnt[base + u2];
-            debug_assert!(*counter > 0, "counter underflow for ({a}, u{u2})");
-            *counter -= 1;
-            stats.counter_updates += 1;
-            if *counter == 0 {
-                let matched_parents = self.masks[a.index()].matched & self.parent_mask(u2);
-                let mut pbits = matched_parents;
-                while pbits != 0 {
-                    let u = pbits.trailing_zeros() as usize;
-                    pbits &= pbits - 1;
-                    worklist.push((u as u32, a.0));
-                }
-            }
-        }
+        absorb_removed_edge(
+            &self.masks,
+            &self.parent_masks,
+            self.np,
+            0,
+            &mut self.cnt,
+            a,
+            b,
+            worklist,
+            stats,
+        );
     }
 
     /// Absorbs the insertion of graph edge `(a, b)`: counters rise for every
@@ -517,24 +535,17 @@ impl SimulationIndex {
         worklist: &mut Vec<(u32, u32)>,
         stats: &mut AffStats,
     ) {
-        let base = a.index() * self.np;
-        let mut bits = self.masks[b.index()].matched;
-        while bits != 0 {
-            let u2 = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            let counter = &mut self.cnt[base + u2];
-            *counter += 1;
-            stats.counter_updates += 1;
-            if *counter == 1 {
-                let candidate_parents = self.masks[a.index()].candt & self.parent_mask(u2);
-                let mut pbits = candidate_parents;
-                while pbits != 0 {
-                    let u = pbits.trailing_zeros() as usize;
-                    pbits &= pbits - 1;
-                    worklist.push((u as u32, a.0));
-                }
-            }
-        }
+        absorb_inserted_edge(
+            &self.masks,
+            &self.parent_masks,
+            self.np,
+            0,
+            &mut self.cnt,
+            a,
+            b,
+            worklist,
+            stats,
+        );
     }
 
     /// Bitmask of the pattern parents of `u2` (precomputed at build).
@@ -814,6 +825,184 @@ impl SimulationIndex {
     }
 
     // ------------------------------------------------------------------
+    // Sharded batch phases
+    // ------------------------------------------------------------------
+
+    /// Phase 1 of the batch engine: absorbs the effective updates into the
+    /// counters, sharded by each update's *source* node. Returns the demotion
+    /// and promotion seed lists.
+    fn absorb_batch(
+        &mut self,
+        effective: &[Update],
+        plan: ShardPlan,
+        stats: &mut AffStats,
+    ) -> (Vec<Seed>, Vec<Seed>) {
+        // Inline fast path: one shard, or too little work to pay for spawns.
+        // Processing all updates in batch order on the full slices is
+        // identical to the partitioned run — an update only touches its
+        // source's counter row, and updates sharing a source keep their
+        // relative order either way.
+        if plan.count == 1 || effective.len() < PARALLEL_WORK_THRESHOLD {
+            let mut demotion_seeds = Vec::new();
+            let mut promotion_seeds = Vec::new();
+            for update in effective {
+                let (a, b) = update.endpoints();
+                match update {
+                    Update::DeleteEdge { .. } => {
+                        self.counters_on_removed_edge(a, b, &mut demotion_seeds, stats)
+                    }
+                    Update::InsertEdge { .. } => {
+                        self.counters_on_inserted_edge(a, b, &mut promotion_seeds, stats)
+                    }
+                }
+            }
+            return (demotion_seeds, promotion_seeds);
+        }
+
+        let mut per_shard: Vec<Vec<Update>> = vec![Vec::new(); plan.count];
+        for update in effective {
+            per_shard[plan.owner(update.endpoints().0.index())].push(*update);
+        }
+        let np = self.np;
+        let masks = &self.masks;
+        let parent_masks = &self.parent_masks;
+        let results: Vec<(Vec<Seed>, Vec<Seed>, AffStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .cnt
+                .chunks_mut((plan.chunk * np).max(1))
+                .zip(per_shard)
+                .enumerate()
+                .map(|(shard, (cnt_chunk, updates))| {
+                    scope.spawn(move || {
+                        let base = shard * plan.chunk;
+                        let mut demo = Vec::new();
+                        let mut promo = Vec::new();
+                        let mut local = AffStats::default();
+                        for update in &updates {
+                            let (a, b) = update.endpoints();
+                            match update {
+                                Update::DeleteEdge { .. } => absorb_removed_edge(
+                                    masks,
+                                    parent_masks,
+                                    np,
+                                    base,
+                                    cnt_chunk,
+                                    a,
+                                    b,
+                                    &mut demo,
+                                    &mut local,
+                                ),
+                                Update::InsertEdge { .. } => absorb_inserted_edge(
+                                    masks,
+                                    parent_masks,
+                                    np,
+                                    base,
+                                    cnt_chunk,
+                                    a,
+                                    b,
+                                    &mut promo,
+                                    &mut local,
+                                ),
+                            }
+                        }
+                        (demo, promo, local)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("absorption shard panicked")).collect()
+        });
+        let mut demotion_seeds = Vec::new();
+        let mut promotion_seeds = Vec::new();
+        for (demo, promo, local) in results {
+            demotion_seeds.extend(demo);
+            promotion_seeds.extend(promo);
+            stats.merge(local);
+        }
+        (demotion_seeds, promotion_seeds)
+    }
+
+    /// Phase 2 of the batch engine: the demotion drain as synchronous sharded
+    /// rounds (the bulk-synchronous counterpart of
+    /// [`SimulationIndex::drain_demotions`]).
+    fn drain_demotions_sharded(
+        &mut self,
+        graph: &DataGraph,
+        seeds: Vec<Seed>,
+        plan: ShardPlan,
+        stats: &mut AffStats,
+    ) {
+        let np = self.np;
+        let parent_masks = &self.parent_masks;
+        let child_mask = &self.child_mask;
+        let mut states = shard_states(&mut self.masks, &mut self.cnt, np, plan);
+        for seed in seeds {
+            states[plan.owner(seed.1 as usize)].worklist.push(seed);
+        }
+        drive_rounds(&mut states, RoundKind::Demote, graph, np, parent_masks, child_mask, plan);
+        for st in states {
+            merge_shard(st, &mut self.match_count, stats);
+        }
+    }
+
+    /// Runs the sharded `propCS` rounds of the promotion phase until
+    /// quiescent, consuming `seeds`. Returns true if anything was promoted.
+    fn promote_sharded(
+        &mut self,
+        graph: &DataGraph,
+        seeds: &mut Vec<Seed>,
+        plan: ShardPlan,
+        stats: &mut AffStats,
+    ) -> bool {
+        let np = self.np;
+        let parent_masks = &self.parent_masks;
+        let child_mask = &self.child_mask;
+        let mut states = shard_states(&mut self.masks, &mut self.cnt, np, plan);
+        for seed in seeds.drain(..) {
+            states[plan.owner(seed.1 as usize)].worklist.push(seed);
+        }
+        drive_rounds(&mut states, RoundKind::Promote, graph, np, parent_masks, child_mask, plan);
+        let mut promoted = false;
+        for st in states {
+            promoted |= merge_shard(st, &mut self.match_count, stats);
+        }
+        promoted
+    }
+
+    /// Phase 3 of the batch engine: the `propCS`/`propCC` alternation of
+    /// [`SimulationIndex::propagate_insertions`], with the `propCS` cascade
+    /// sharded. `propCC` runs between rounds on the merged state: its
+    /// SCC-joint evaluation is global by nature, costs `O(candidates of the
+    /// SCC)` rather than `O(|ΔG|)`, and runs identically for every shard
+    /// count because the rounds leave identical state behind.
+    fn propagate_insertions_sharded(
+        &mut self,
+        graph: &DataGraph,
+        seeds: Vec<Seed>,
+        mut run_cc: bool,
+        plan: ShardPlan,
+        stats: &mut AffStats,
+    ) {
+        let mut worklist = seeds;
+        loop {
+            let promoted_cs = self.promote_sharded(graph, &mut worklist, plan, stats);
+            if promoted_cs {
+                run_cc = self.has_cycle;
+            }
+            if !run_cc {
+                break;
+            }
+            run_cc = false;
+            let promoted_cc = self.prop_cc(graph, stats, &mut worklist);
+            if !promoted_cc && worklist.is_empty() {
+                break;
+            }
+            if promoted_cc {
+                run_cc = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Node growth
     // ------------------------------------------------------------------
 
@@ -868,6 +1057,320 @@ impl SimulationIndex {
         for u in 0..self.np {
             let count = (0..self.nv).filter(|&v| self.masks[v].matched & (1 << u) != 0).count();
             assert_eq!(self.match_count[u], count, "match_count drift at u{u}");
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharded batch machinery
+// ----------------------------------------------------------------------
+//
+// The batch phases operate on per-shard views of the per-node arrays:
+// contiguous node ranges (see `crate::incremental::shard` for why contiguous
+// beats `v % shards`) obtained with `split_at_mut`, so worker threads hold
+// disjoint `&mut` slices and the whole engine stays free of `unsafe`,
+// atomics and locks. Counter deltas addressed to another shard's nodes
+// travel through per-destination outboxes merged between rounds; every
+// in-round decision depends only on state frozen at the round boundary, so
+// match sets, counters and stats are independent of the shard count and of
+// thread scheduling.
+
+/// Demotion/promotion seed: `(pattern node, data node)`.
+type Seed = (u32, u32);
+
+/// A pending counter delta: `(data node, pattern node)`. Whether it is a
+/// decrement or an increment is fixed by the phase ([`RoundKind`]).
+type CounterMsg = (u32, u32);
+
+/// Absorbs the removal of graph edge `(a, b)` into the counter rows `cnt`
+/// (which start at node id `row_base`): for every pattern node `u2` matched
+/// by `b`, `cnt[a][u2]` drops; on reaching zero, every match `(u, a)` with
+/// pattern edge `(u, u2)` loses its support and is seeded for demotion.
+#[allow(clippy::too_many_arguments)]
+fn absorb_removed_edge(
+    masks: &[NodeMasks],
+    parent_masks: &[u64],
+    np: usize,
+    row_base: usize,
+    cnt: &mut [u32],
+    a: NodeId,
+    b: NodeId,
+    worklist: &mut Vec<Seed>,
+    stats: &mut AffStats,
+) {
+    let base = (a.index() - row_base) * np;
+    let mut bits = masks[b.index()].matched;
+    while bits != 0 {
+        let u2 = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let counter = &mut cnt[base + u2];
+        debug_assert!(*counter > 0, "counter underflow for ({a}, u{u2})");
+        *counter -= 1;
+        stats.counter_updates += 1;
+        if *counter == 0 {
+            let mut pbits = masks[a.index()].matched & parent_masks[u2];
+            while pbits != 0 {
+                let u = pbits.trailing_zeros() as usize;
+                pbits &= pbits - 1;
+                worklist.push((u as u32, a.0));
+            }
+        }
+    }
+}
+
+/// Absorbs the insertion of graph edge `(a, b)` into the counter rows `cnt`:
+/// counters rise for every pattern node matched by `b`; a `0 → 1` transition
+/// may enable the *candidate* `a` for pattern parents of `u2` — the `propCS`
+/// seeding of `IncMatch+`.
+#[allow(clippy::too_many_arguments)]
+fn absorb_inserted_edge(
+    masks: &[NodeMasks],
+    parent_masks: &[u64],
+    np: usize,
+    row_base: usize,
+    cnt: &mut [u32],
+    a: NodeId,
+    b: NodeId,
+    worklist: &mut Vec<Seed>,
+    stats: &mut AffStats,
+) {
+    let base = (a.index() - row_base) * np;
+    let mut bits = masks[b.index()].matched;
+    while bits != 0 {
+        let u2 = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let counter = &mut cnt[base + u2];
+        *counter += 1;
+        stats.counter_updates += 1;
+        if *counter == 1 {
+            let mut pbits = masks[a.index()].candt & parent_masks[u2];
+            while pbits != 0 {
+                let u = pbits.trailing_zeros() as usize;
+                pbits &= pbits - 1;
+                worklist.push((u as u32, a.0));
+            }
+        }
+    }
+}
+
+/// Which kind of drain a round executes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RoundKind {
+    /// Counter deltas are decrements; `1 → 0` crossings seed matched pairs,
+    /// seeds demote when they lost their last support.
+    Demote,
+    /// Counter deltas are increments; `0 → 1` crossings seed candidate pairs,
+    /// seeds promote when they gained full support.
+    Promote,
+}
+
+/// Per-shard state of one bulk-synchronous drain phase.
+struct ShardState<'a> {
+    /// First node id owned by this shard.
+    base: usize,
+    /// Membership masks of the owned nodes.
+    masks: &'a mut [NodeMasks],
+    /// Counter rows of the owned nodes.
+    cnt: &'a mut [u32],
+    /// Seeds `(u, v)` with `v` owned by this shard, pending evaluation.
+    worklist: Vec<Seed>,
+    /// Counter deltas addressed to this shard, applied next round.
+    inbox: Vec<CounterMsg>,
+    /// Counter deltas produced this round, keyed by destination shard.
+    outboxes: Vec<Vec<CounterMsg>>,
+    /// Signed per-pattern-node match-count changes, merged at phase end.
+    match_delta: Vec<i64>,
+    /// Stats accumulated by this shard, merged at phase end.
+    stats: AffStats,
+    /// True if this shard promoted at least one pair during the phase.
+    promoted: bool,
+}
+
+/// Splits the per-node arrays into disjoint per-shard views.
+fn shard_states<'a>(
+    masks: &'a mut [NodeMasks],
+    cnt: &'a mut [u32],
+    np: usize,
+    plan: ShardPlan,
+) -> Vec<ShardState<'a>> {
+    let mut states = Vec::with_capacity(plan.count);
+    let mut masks_rest = masks;
+    let mut cnt_rest = cnt;
+    for shard in 0..plan.count {
+        let range = plan.range(shard);
+        let (shard_masks, masks_tail) = masks_rest.split_at_mut(range.len());
+        let (shard_cnt, cnt_tail) = cnt_rest.split_at_mut(range.len() * np);
+        masks_rest = masks_tail;
+        cnt_rest = cnt_tail;
+        states.push(ShardState {
+            base: range.start,
+            masks: shard_masks,
+            cnt: shard_cnt,
+            worklist: Vec::new(),
+            inbox: Vec::new(),
+            outboxes: vec![Vec::new(); plan.count],
+            match_delta: vec![0; np],
+            stats: AffStats::default(),
+            promoted: false,
+        });
+    }
+    states
+}
+
+/// Folds one shard's accumulated deltas back into the global state. Returns
+/// whether the shard promoted anything.
+fn merge_shard(st: ShardState<'_>, match_count: &mut [usize], stats: &mut AffStats) -> bool {
+    for (u, &delta) in st.match_delta.iter().enumerate() {
+        match_count[u] = (match_count[u] as i64 + delta) as usize;
+    }
+    stats.merge(st.stats);
+    st.promoted
+}
+
+/// One round of a drain phase on one shard: apply the inbox (step A), then
+/// evaluate the worklist (step B). Step B reads counters exactly as step A
+/// left them — the deltas it produces are deferred to the next round's step A
+/// — so both steps are order-independent within the round.
+fn drain_round(
+    st: &mut ShardState<'_>,
+    kind: RoundKind,
+    graph: &DataGraph,
+    np: usize,
+    parent_masks: &[u64],
+    child_mask: &[u64],
+    plan: ShardPlan,
+) {
+    // Step A: apply the counter deltas addressed to this shard. A zero
+    // crossing (1→0 demoting, 0→1 promoting) seeds the owned pairs whose
+    // support status may have flipped — exactly when the sequential drains
+    // enqueue them.
+    let inbox = std::mem::take(&mut st.inbox);
+    for (node, u2) in inbox {
+        let (node, u2) = (node as usize, u2 as usize);
+        let local = node - st.base;
+        let counter = &mut st.cnt[local * np + u2];
+        st.stats.counter_updates += 1;
+        let crossed = match kind {
+            RoundKind::Demote => {
+                debug_assert!(*counter > 0, "counter underflow at (n{node}, u{u2})");
+                *counter -= 1;
+                *counter == 0
+            }
+            RoundKind::Promote => {
+                *counter += 1;
+                *counter == 1
+            }
+        };
+        if crossed {
+            let members = match kind {
+                RoundKind::Demote => st.masks[local].matched,
+                RoundKind::Promote => st.masks[local].candt,
+            };
+            let mut bits = members & parent_masks[u2];
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                st.worklist.push((u as u32, node as u32));
+            }
+        }
+    }
+
+    // Step B: evaluate this round's seeds; demotions/promotions send one
+    // counter delta per graph parent through the outboxes.
+    let worklist = std::mem::take(&mut st.worklist);
+    for (u, v) in worklist {
+        let (u, v) = (u as usize, v as usize);
+        st.stats.nodes_visited += 1;
+        let local = v - st.base;
+        let bit = 1u64 << u;
+        let row = &st.cnt[local * np..(local + 1) * np];
+        match kind {
+            RoundKind::Demote => {
+                if st.masks[local].matched & bit == 0 || row_has_support(row, child_mask[u]) {
+                    continue;
+                }
+                st.masks[local].matched &= !bit;
+                st.masks[local].candt |= bit;
+                st.match_delta[u] -= 1;
+                st.stats.matches_removed += 1;
+            }
+            RoundKind::Promote => {
+                if st.masks[local].candt & bit == 0 || !row_has_support(row, child_mask[u]) {
+                    continue;
+                }
+                st.masks[local].candt &= !bit;
+                st.masks[local].matched |= bit;
+                st.match_delta[u] += 1;
+                st.stats.matches_added += 1;
+                st.promoted = true;
+            }
+        }
+        st.stats.aux_changes += 1;
+        for &p in graph.parents(NodeId::from_index(v)) {
+            st.outboxes[plan.owner(p.index())].push((p.0, u as u32));
+        }
+    }
+}
+
+/// One counter read per pattern child of `u` over a single node's counter row.
+#[inline]
+fn row_has_support(row: &[u32], mut children: u64) -> bool {
+    while children != 0 {
+        let u2 = children.trailing_zeros() as usize;
+        children &= children - 1;
+        if row[u2] == 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs rounds until every worklist and inbox is empty, fanning a round out
+/// to scoped threads only when the pending work amortises the spawns (the
+/// execution strategy never changes the computation, only where it runs).
+fn drive_rounds(
+    states: &mut [ShardState<'_>],
+    kind: RoundKind,
+    graph: &DataGraph,
+    np: usize,
+    parent_masks: &[u64],
+    child_mask: &[u64],
+    plan: ShardPlan,
+) {
+    loop {
+        let pending: usize = states.iter().map(|st| st.worklist.len() + st.inbox.len()).sum();
+        if pending == 0 {
+            break;
+        }
+        if states.len() > 1 && pending >= PARALLEL_WORK_THRESHOLD {
+            std::thread::scope(|scope| {
+                // Idle shards (no seeds, no inbox) are no-ops by construction
+                // — don't pay a spawn for them.
+                for st in states.iter_mut() {
+                    if st.worklist.is_empty() && st.inbox.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        drain_round(st, kind, graph, np, parent_masks, child_mask, plan)
+                    });
+                }
+            });
+        } else {
+            for st in states.iter_mut() {
+                drain_round(st, kind, graph, np, parent_masks, child_mask, plan);
+            }
+        }
+        // Merge step: move every outbox into its destination inbox, producers
+        // in ascending shard order. (The order is irrelevant to the outcome —
+        // step A is commutative — but keeping it fixed makes replays
+        // byte-for-byte reproducible.)
+        for i in 0..states.len() {
+            for j in 0..states.len() {
+                let msgs = std::mem::take(&mut states[i].outboxes[j]);
+                if !msgs.is_empty() {
+                    states[j].inbox.extend(msgs);
+                }
+            }
         }
     }
 }

@@ -22,6 +22,14 @@
 //! Every incremental operation reports [`AffStats`] so the semi-boundedness
 //! claims of the paper (costs driven by `|ΔG|`, `|P|` and `|AFF|` rather than
 //! `|G|`) can be observed empirically.
+//!
+//! Batch maintenance is sharded across node ranges and runs on scoped
+//! threads when the work volume warrants it ([`incremental::shard`]); the
+//! shard count comes from the `IGPM_SHARDS` environment variable (default:
+//! available parallelism, see [`configured_shards`]) or can be pinned per
+//! call with [`SimulationIndex::apply_batch_with_shards`] /
+//! [`BoundedIndex::apply_batch_with_shards`]. Results — match sets, support
+//! counters and [`AffStats`] — are bit-identical for every shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +44,7 @@ pub use bounded::{
     match_bounded_with_two_hop,
 };
 pub use incremental::bsim::BoundedIndex;
+pub use incremental::shard::configured_shards;
 pub use incremental::sim::SimulationIndex;
 pub use simulation::{candidates, match_simulation, simulation_result_graph};
 pub use stats::AffStats;

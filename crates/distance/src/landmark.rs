@@ -118,6 +118,22 @@ impl LandmarkIndex {
         self.node_count
     }
 
+    /// Extends every per-landmark distance row when the graph gained nodes
+    /// since the index was built. New nodes are isolated until edge updates
+    /// arrive, so their entries start [`UNREACHABLE`]; the covering invariant
+    /// is untouched (a vertex cover stays a cover when isolated nodes are
+    /// added). The incremental maintenance procedures call this before
+    /// touching any row, so indices never go out of bounds after node churn.
+    pub fn ensure_node_capacity(&mut self, node_count: usize) {
+        if node_count <= self.node_count {
+            return;
+        }
+        for row in self.from_lm.iter_mut().chain(self.to_lm.iter_mut()) {
+            row.resize(node_count, UNREACHABLE);
+        }
+        self.node_count = node_count;
+    }
+
     /// The distance vector `distvf(v)`: distances from `v` to each landmark.
     pub fn distvf(&self, v: NodeId) -> Vec<u32> {
         self.to_lm.iter().map(|row| row[v.index()]).collect()

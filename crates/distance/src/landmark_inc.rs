@@ -68,6 +68,7 @@ pub fn ins_lm_tracked(
     affected: &mut FastHashSet<NodeId>,
 ) -> LandmarkMaintenanceStats {
     let mut stats = LandmarkMaintenanceStats::default();
+    index.ensure_node_capacity(graph.node_count());
     if !graph.add_edge(from, to) {
         stats.cancelled_updates = 1;
         return stats;
@@ -123,6 +124,7 @@ pub fn del_lm_tracked(
     affected: &mut FastHashSet<NodeId>,
 ) -> LandmarkMaintenanceStats {
     let mut stats = LandmarkMaintenanceStats::default();
+    index.ensure_node_capacity(graph.node_count());
     if !graph.remove_edge(from, to) {
         stats.cancelled_updates = 1;
         return stats;
@@ -165,6 +167,7 @@ pub fn inc_lm_tracked(
     affected: &mut FastHashSet<NodeId>,
 ) -> LandmarkMaintenanceStats {
     let mut stats = LandmarkMaintenanceStats::default();
+    index.ensure_node_capacity(graph.node_count());
     let (effective, cancelled) = reduce_batch(graph, batch);
     stats.cancelled_updates += cancelled;
     for update in effective {

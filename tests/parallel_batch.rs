@@ -1,0 +1,323 @@
+//! Sharded batch-maintenance equivalence suite.
+//!
+//! The batch engines claim to be **bit-identical for every shard count** —
+//! match sets, support counters and `AffStats` alike (see
+//! `igpm_core::incremental::shard`). These property tests drive independent
+//! engine copies with shard counts {1, 2, 3, 7} in lockstep over 1000+
+//! random updates applied as mixed batches — including nodes added
+//! mid-stream — and assert after every batch that
+//!
+//! * all shard counts report byte-for-byte identical `AffStats`,
+//! * all shard counts land on the same match relation,
+//! * that relation equals a from-scratch recomputation on the final graph.
+//!
+//! Shard counts 3 and 7 are deliberately coprime to the graph sizes so chunk
+//! boundaries fall mid-range; 1 is the sequential engine the others must
+//! reproduce.
+
+use igpm::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// One random unit update over the current graph: half the time an existing
+/// edge is deleted (found by walking from a random pivot), otherwise a random
+/// pair is inserted. Duplicates and no-ops are intentional — they exercise
+/// the `minDelta` reduction inside every engine identically.
+fn random_update(rng: &mut StdRng, graph: &DataGraph) -> Option<Update> {
+    let n = graph.node_count();
+    if rng.gen_bool(0.5) && graph.edge_count() > 0 {
+        for _ in 0..32 {
+            let v = NodeId(rng.gen_range(0..n) as u32);
+            if graph.out_degree(v) > 0 {
+                let children = graph.children(v);
+                let w = children[rng.gen_range(0..children.len())];
+                return Some(Update::delete(v, w));
+            }
+        }
+        None
+    } else {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        (a != b).then(|| Update::insert(NodeId(a as u32), NodeId(b as u32)))
+    }
+}
+
+/// Drives one `(graph, SimulationIndex)` replica per shard count through the
+/// same batched update stream and checks the equivalence properties after
+/// every batch. `grow_every` > 0 adds a fresh node (plus edges wired to it in
+/// the *next* batch) between batches, exercising node churn mid-stream.
+fn drive_sim_shards(
+    base: &DataGraph,
+    pattern: &Pattern,
+    seed: u64,
+    total: usize,
+    grow_every: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut replicas: Vec<(DataGraph, SimulationIndex)> = SHARD_COUNTS
+        .iter()
+        .map(|_| {
+            let graph = base.clone();
+            let index = SimulationIndex::build(pattern, &graph);
+            (graph, index)
+        })
+        .collect();
+
+    let mut applied = 0usize;
+    let mut round = 0usize;
+    let mut pending_fresh: Option<(NodeId, NodeId, NodeId)> = None;
+    while applied < total {
+        round += 1;
+        // Mixed batch sizes: unit-sized through large, so the round engine
+        // sees both trivial and deep cascades.
+        let batch_size = [1usize, 7, 33, 120][round % 4];
+        let mut batch = BatchUpdate::new();
+        if let Some((fresh, out, inn)) = pending_fresh.take() {
+            batch.insert(fresh, out);
+            batch.insert(inn, fresh);
+        }
+        while batch.len() < batch_size {
+            // Draw against replica 0's graph; all replicas have identical
+            // graphs, so the stream is well-defined for every one of them.
+            match random_update(&mut rng, &replicas[0].0) {
+                Some(update) => batch.push(update),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        applied += batch.len();
+
+        let mut stats_per_shard: Vec<AffStats> = Vec::new();
+        for (&shards, (graph, index)) in SHARD_COUNTS.iter().zip(replicas.iter_mut()) {
+            stats_per_shard.push(index.apply_batch_with_shards(graph, &batch, shards));
+        }
+        for (i, stats) in stats_per_shard.iter().enumerate().skip(1) {
+            assert_eq!(
+                *stats, stats_per_shard[0],
+                "seed {seed}, round {round}: AffStats diverged between shards={} and shards=1",
+                SHARD_COUNTS[i]
+            );
+        }
+        let reference = replicas[0].1.matches();
+        for (i, (graph, index)) in replicas.iter().enumerate().skip(1) {
+            assert_eq!(replicas[0].0, *graph, "graphs diverged at round {round}");
+            assert_eq!(
+                index.matches(),
+                reference,
+                "seed {seed}, round {round}: match sets diverged between shards={} and shards=1",
+                SHARD_COUNTS[i]
+            );
+        }
+        assert_eq!(
+            reference,
+            igpm::core::match_simulation(pattern, &replicas[0].0),
+            "seed {seed}, round {round}: sharded engines diverged from from-scratch recomputation"
+        );
+
+        if grow_every > 0 && round.is_multiple_of(grow_every) {
+            // Add the same fresh node to every replica (same attrs, same id)
+            // and queue its first edges for the next batch.
+            let label = rng.gen_range(0..4u32);
+            let mut fresh = NodeId(0);
+            for (graph, _) in replicas.iter_mut() {
+                fresh = graph.add_node(Attributes::labeled(format!("l{label}")));
+            }
+            let n = replicas[0].0.node_count() - 1;
+            let out = NodeId(rng.gen_range(0..n) as u32);
+            let inn = NodeId(rng.gen_range(0..n) as u32);
+            pending_fresh = Some((fresh, out, inn));
+        }
+    }
+    assert!(applied >= total, "stream too short");
+}
+
+#[test]
+fn sharded_batches_are_bit_identical_cyclic_pattern() {
+    for seed in [0xA1u64, 0xA2] {
+        let graph = synthetic_graph(&SyntheticConfig::new(220, 800, 4, seed + 1));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::normal(5, 8, 1, seed + 2).with_shape(PatternShape::General),
+        );
+        assert!(!pattern.is_dag(), "want a cyclic pattern so propCC runs between rounds");
+        drive_sim_shards(&graph, &pattern, seed, 1_100, 0);
+    }
+}
+
+#[test]
+fn sharded_batches_are_bit_identical_dag_pattern() {
+    let seed = 0xB1u64;
+    let graph = synthetic_graph(&SyntheticConfig::new(220, 800, 4, seed + 1));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(6, 9, 1, seed + 2).with_shape(PatternShape::Dag),
+    );
+    assert!(pattern.is_dag());
+    drive_sim_shards(&graph, &pattern, seed, 1_100, 0);
+}
+
+#[test]
+fn sharded_batches_are_bit_identical_with_node_churn() {
+    for (shape, seed) in [(PatternShape::General, 0xC1u64), (PatternShape::Dag, 0xC2)] {
+        let graph = synthetic_graph(&SyntheticConfig::new(150, 500, 4, seed + 1));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::normal(5, 7, 1, seed + 2).with_shape(shape),
+        );
+        // Grow a node every other batch: chunk boundaries shift under the
+        // plan as nv grows, which must never change results.
+        drive_sim_shards(&graph, &pattern, seed, 1_000, 2);
+    }
+}
+
+#[test]
+fn sharded_batches_agree_with_unit_updates() {
+    // The batch engine at every shard count must land on the same state as
+    // the (Gauss-Seidel) unit-update path — both compute the same fixpoint.
+    let seed = 0xD1u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = synthetic_graph(&SyntheticConfig::new(180, 650, 4, seed + 1));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(5, 8, 1, seed + 2).with_shape(PatternShape::General),
+    );
+    let updates: Vec<Update> =
+        (0..2_400).filter_map(|_| random_update(&mut rng, &graph)).take(1_000).collect();
+    assert!(updates.len() >= 900);
+
+    let mut g_unit = graph.clone();
+    let mut unit_index = SimulationIndex::build(&pattern, &g_unit);
+    for update in &updates {
+        let (a, b) = update.endpoints();
+        if update.is_insert() {
+            unit_index.insert_edge(&mut g_unit, a, b);
+        } else {
+            unit_index.delete_edge(&mut g_unit, a, b);
+        }
+    }
+
+    for shards in SHARD_COUNTS {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build(&pattern, &g);
+        for chunk in updates.chunks(41) {
+            let batch: BatchUpdate = chunk.iter().copied().collect();
+            index.apply_batch_with_shards(&mut g, &batch, shards);
+        }
+        assert_eq!(g, g_unit, "graphs diverged at shards={shards}");
+        assert_eq!(index.matches(), unit_index.matches(), "match diverged at shards={shards}");
+    }
+}
+
+#[test]
+fn large_batches_cross_the_thread_threshold() {
+    // The smaller property batches stay under the engine's internal
+    // thread-spawn threshold (~4k pending items), which is fine for the
+    // partition/merge logic but leaves the scoped-thread branches to the
+    // bench binary. This batch is sized to cross it: 24k deletions of every
+    // edge of a single-label graph (absorption >= 4k effective updates, and
+    // the mass demotion floods round 1 with seeds), then 24k insertions
+    // restoring them (mass promotion, plus propCC on the cyclic pattern).
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    let n = 3_000usize;
+    let mut base = DataGraph::new();
+    for _ in 0..n {
+        base.add_labeled_node("a");
+    }
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    while edges.len() < 24_000 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && base.add_edge(NodeId(a as u32), NodeId(b as u32)) {
+            edges.push((NodeId(a as u32), NodeId(b as u32)));
+        }
+    }
+    let mut pattern = Pattern::new();
+    let u1 = pattern.add_labeled_node("a");
+    let u2 = pattern.add_labeled_node("a");
+    pattern.add_normal_edge(u1, u2);
+    pattern.add_normal_edge(u2, u1);
+
+    let delete_all: BatchUpdate = edges.iter().map(|&(a, b)| Update::delete(a, b)).collect();
+    let restore_all: BatchUpdate = edges.iter().map(|&(a, b)| Update::insert(a, b)).collect();
+
+    let mut replicas: Vec<(usize, DataGraph, SimulationIndex)> = [1usize, 4]
+        .into_iter()
+        .map(|shards| {
+            let graph = base.clone();
+            let index = SimulationIndex::build(&pattern, &graph);
+            (shards, graph, index)
+        })
+        .collect();
+    assert!(replicas[0].2.is_match(), "dense single-label graph must match the cycle pattern");
+
+    for batch in [&delete_all, &restore_all] {
+        let mut stats = Vec::new();
+        for (shards, graph, index) in replicas.iter_mut() {
+            stats.push(index.apply_batch_with_shards(graph, batch, *shards));
+        }
+        assert_eq!(stats[0], stats[1], "threaded run diverged from sequential (AffStats)");
+        assert_eq!(replicas[0].2.matches(), replicas[1].2.matches());
+        assert_eq!(
+            replicas[0].2.matches(),
+            igpm::core::match_simulation(&pattern, &replicas[0].1),
+            "threaded run diverged from from-scratch recomputation"
+        );
+    }
+    assert!(replicas[0].1.edges().next().is_some(), "edges restored");
+    assert!(replicas[0].2.is_match(), "restoring every edge restores the match");
+}
+
+#[test]
+fn bounded_sharded_batches_are_bit_identical() {
+    // The bounded engine shards its pair re-evaluation step; verdict commit
+    // order is fixed, so every shard count must report identical stats and
+    // matches, equal to a from-scratch recomputation.
+    for (shape, seed) in [(PatternShape::Dag, 0xE1u64), (PatternShape::General, 0xE2)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = synthetic_graph(&SyntheticConfig::new(90, 280, 4, seed + 1));
+        let pattern =
+            generate_pattern(&base, &PatternGenConfig::new(4, 5, 1, 2, seed + 2).with_shape(shape));
+        let mut replicas: Vec<(DataGraph, BoundedIndex)> = SHARD_COUNTS
+            .iter()
+            .map(|_| {
+                let graph = base.clone();
+                let index = BoundedIndex::build(&pattern, &graph);
+                (graph, index)
+            })
+            .collect();
+        for round in 0..8usize {
+            let mut batch = BatchUpdate::new();
+            while batch.len() < 40 {
+                match random_update(&mut rng, &replicas[0].0) {
+                    Some(update) => batch.push(update),
+                    None => break,
+                }
+            }
+            let mut stats_per_shard: Vec<AffStats> = Vec::new();
+            for (&shards, (graph, index)) in SHARD_COUNTS.iter().zip(replicas.iter_mut()) {
+                stats_per_shard.push(index.apply_batch_with_shards(graph, &batch, shards));
+            }
+            for (i, stats) in stats_per_shard.iter().enumerate().skip(1) {
+                assert_eq!(
+                    *stats, stats_per_shard[0],
+                    "seed {seed}, round {round}: bounded AffStats diverged at shards={}",
+                    SHARD_COUNTS[i]
+                );
+            }
+            let reference = replicas[0].1.matches();
+            for (graph, index) in replicas.iter().skip(1) {
+                assert_eq!(replicas[0].0, *graph);
+                assert_eq!(index.matches(), reference, "bounded matches diverged, round {round}");
+            }
+            assert_eq!(
+                reference,
+                igpm::core::match_bounded_with_matrix(&pattern, &replicas[0].0),
+                "seed {seed}, round {round}: bounded engines diverged from scratch"
+            );
+        }
+    }
+}
