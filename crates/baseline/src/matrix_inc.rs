@@ -17,6 +17,24 @@ use igpm_distance::{satisfies_bound, DistanceMatrix};
 use igpm_graph::hash::{FastHashMap, FastHashSet};
 use igpm_graph::{BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId};
 
+/// The matrix rows a candidate-row index must carry: every candidate source,
+/// plus the *current children* of every candidate. The children matter for
+/// reflexive pairs `(v, v)`: bounded simulation's nonempty-path semantics
+/// answer them through the shortest cycle `min_child dist(child, v) + 1`
+/// (`igpm_distance::nonempty_distance`), and a candidate's children need not
+/// be candidates themselves — with their rows missing, a genuine cycle would
+/// be reported unreachable and real matches silently dropped (caught by the
+/// cross-engine conformance suite).
+fn matrix_sources(graph: &DataGraph, candidates: &[NodeId]) -> Vec<NodeId> {
+    let mut sources: Vec<NodeId> = candidates.to_vec();
+    for &v in candidates {
+        sources.extend(graph.children(v).iter().copied());
+    }
+    sources.sort_unstable();
+    sources.dedup();
+    sources
+}
+
 /// Incremental bounded simulation with a (candidate-row) distance matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixBoundedIndex {
@@ -48,7 +66,8 @@ impl MatrixBoundedIndex {
         let mut candidate_sources: Vec<NodeId> = cand_all.iter().flatten().copied().collect();
         candidate_sources.sort_unstable();
         candidate_sources.dedup();
-        let matrix = DistanceMatrix::build_for_sources(graph, &candidate_sources);
+        let matrix =
+            DistanceMatrix::build_for_sources(graph, &matrix_sources(graph, &candidate_sources));
         let mut index = MatrixBoundedIndex {
             pattern: pattern.clone(),
             cand_all,
@@ -94,8 +113,9 @@ impl MatrixBoundedIndex {
         }
         // Re-derive the distance rows for every candidate source (the
         // matrix-based structure cannot confine this to the affected area).
-        self.matrix = DistanceMatrix::build_for_sources(graph, &self.candidate_sources);
-        stats.aux_changes += self.candidate_sources.len();
+        let sources = matrix_sources(graph, &self.candidate_sources);
+        self.matrix = DistanceMatrix::build_for_sources(graph, &sources);
+        stats.aux_changes += sources.len();
         let before = self.matches();
         self.rebuild_pairs_and_matches(graph);
         let after = self.matches();

@@ -53,6 +53,14 @@
 //! updates/sec per shard count plus the measuring host's available
 //! parallelism land in the artifact — wall-clock scaling is only meaningful
 //! where the host actually has cores to scale onto.
+//!
+//! The cold-start **build** follows the same policy: the `build` section
+//! times `SimulationIndex::build` on the headline workload pinned to one
+//! shard (the trajectory-comparable number), and `build_scaling` sweeps the
+//! scaled-up workload's build over 1/2/4/8 shards — warmup first, samples
+//! interleaved round-robin, `host_parallelism` recorded — asserting every
+//! build bit-identical (masks, counters, build `AffStats`) to the 1-shard
+//! build before any number is written.
 
 use igpm_bench::harness::{median_ns, updates_per_sec};
 use igpm_bench::legacy::LegacySimulationIndex;
@@ -535,37 +543,104 @@ struct ScalingRun {
     throughput: f64,
 }
 
+/// Times the cold-start `SimulationIndex` build on the headline workload,
+/// pinned to **one shard** so the number stays comparable with the
+/// sequential builds of earlier runs (shard scaling is measured separately
+/// by [`build_scaling_sweep`]).
+fn sequential_build_timing(graph: &DataGraph, pattern: &Pattern) -> u128 {
+    // Warmup (allocator + caches), then median of 5.
+    let _ = SimulationIndex::build_with_shards(pattern, graph, 1);
+    let samples: Vec<u128> = (0..5)
+        .map(|_| {
+            let (ms, index) = time_batch(|| SimulationIndex::build_with_shards(pattern, graph, 1));
+            assert!(index.pattern().node_count() > 0);
+            (ms * 1e6) as u128
+        })
+        .collect();
+    median_ns(samples)
+}
+
+/// Builds the scaled-up fig18-style workload's index at each shard count,
+/// asserting every build bit-identical (masks, counters, cached matches and
+/// build `AffStats`) to the 1-shard build before any number is reported.
+/// Warmup first, then samples interleaved round-robin over the shard counts
+/// so frequency drift and co-tenant noise hit every count equally.
+fn build_scaling_sweep(graph: &DataGraph, pattern: &Pattern, config: &Config) -> Vec<ScalingRun> {
+    let reference = SimulationIndex::build_with_shards(pattern, graph, 1);
+    assert_eq!(
+        reference.matches(),
+        match_simulation(pattern, graph),
+        "1-shard build diverged from from-scratch match_simulation"
+    );
+    let reference_aux = reference.aux_snapshot();
+    let reference_stats = reference.build_stats();
+    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(SWEEP_SAMPLES); SHARD_SWEEP.len()];
+    for _ in 0..SWEEP_SAMPLES {
+        for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+            let (ms, index) =
+                time_batch(|| SimulationIndex::build_with_shards(pattern, graph, shards));
+            times[i].push((ms * 1e6) as u128);
+            assert_eq!(
+                index.aux_snapshot(),
+                reference_aux,
+                "{shards}-shard build produced different masks/counters than the 1-shard build"
+            );
+            assert_eq!(
+                index.build_stats(),
+                reference_stats,
+                "{shards}-shard build reported different AffStats than the 1-shard build"
+            );
+        }
+    }
+    let mut runs = Vec::new();
+    for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+        let median = median_ns(times[i].clone());
+        // "Throughput" for a build is nodes indexed per second.
+        let throughput = updates_per_sec(config.scaling_nodes, median);
+        println!(
+            "build_scaling (|V|={}, |E|={}): {shards} shard(s) — {:.3} ms ({:.0} nodes/s)",
+            config.scaling_nodes,
+            config.scaling_edges,
+            median as f64 / 1e6,
+            throughput,
+        );
+        runs.push(ScalingRun { shards, median_ns: median, throughput });
+    }
+    runs
+}
+
+/// Shard counts swept by both scaling sections, and samples per count.
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SWEEP_SAMPLES: usize = 5;
+
 /// Applies the scaled-up fig18-style batch at each shard count, asserting
 /// every run bit-identical (matches and `AffStats`) to the 1-shard run
 /// before any number is reported.
-fn batch_scaling_sweep(config: &Config) -> Vec<ScalingRun> {
-    let (graph, pattern, batch) = batch_scaling_workload(
-        config.scaling_nodes,
-        config.scaling_edges,
-        config.scaling_batch,
-        config.seed + 0x5c,
-    );
+fn batch_scaling_sweep(
+    graph: &DataGraph,
+    pattern: &Pattern,
+    batch: &BatchUpdate,
+    scaling_nodes: usize,
+) -> Vec<ScalingRun> {
     let mut updated = graph.clone();
     batch.apply(&mut updated);
-    let expected = match_simulation(&pattern, &updated);
-    let base_index = SimulationIndex::build(&pattern, &graph);
+    let expected = match_simulation(pattern, &updated);
+    let base_index = SimulationIndex::build(pattern, graph);
 
     // Warm up caches/allocator once untimed, then interleave the samples
     // round-robin over the shard counts so frequency drift and co-tenant
     // noise hit every count equally rather than whichever ran first.
     {
         let mut g = graph.clone();
-        base_index.clone().apply_batch_with_shards(&mut g, &batch, 1);
+        base_index.clone().apply_batch_with_shards(&mut g, batch, 1);
     }
-    const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
-    let samples = 5;
-    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(samples); SHARD_SWEEP.len()];
+    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(SWEEP_SAMPLES); SHARD_SWEEP.len()];
     let mut reference_stats: Option<AffStats> = None;
-    for _ in 0..samples {
+    for _ in 0..SWEEP_SAMPLES {
         for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
             let mut g = graph.clone();
             let mut index = base_index.clone();
-            let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, &batch, shards));
+            let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, batch, shards));
             times[i].push((ms * 1e6) as u128);
             assert_eq!(index.matches(), expected, "{shards}-shard run diverged from scratch");
             match &reference_stats {
@@ -584,7 +659,7 @@ fn batch_scaling_sweep(config: &Config) -> Vec<ScalingRun> {
         println!(
             "batch_scaling ({} updates, |V|={}): {shards} shard(s) — {:.3} ms ({:.0}/s)",
             batch.len(),
-            config.scaling_nodes,
+            scaling_nodes,
             median as f64 / 1e6,
             throughput,
         );
@@ -661,8 +736,15 @@ fn main() {
     );
 
     // --- Shard scaling ----------------------------------------------------
-    let scaling = batch_scaling_sweep(&config);
-    let one_shard_tput = scaling[0].throughput;
+    // One scaled-up workload shared by the batch and build sweeps.
+    let (scaling_graph, scaling_pattern, scaling_batch) = batch_scaling_workload(
+        config.scaling_nodes,
+        config.scaling_edges,
+        config.scaling_batch,
+        config.seed + 0x5c,
+    );
+    let scaling =
+        batch_scaling_sweep(&scaling_graph, &scaling_pattern, &scaling_batch, config.scaling_nodes);
     let scaling_json = obj(vec![
         (
             "workload",
@@ -675,33 +757,30 @@ fn main() {
         ),
         // Wall-clock scaling is bounded by the cores the measuring host
         // actually grants; record them so flat curves are attributable.
+        ("host_parallelism", host_parallelism_json()),
+        ("runs", scaling_runs_json(&scaling, "updates_per_sec")),
+    ]);
+
+    // --- Cold-start build -------------------------------------------------
+    let build_ns = sequential_build_timing(&graph, &pattern);
+    println!(
+        "build (|V|={}, |E|={}): {:.3} ms at 1 shard",
+        config.nodes,
+        config.edges,
+        build_ns as f64 / 1e6
+    );
+    let build_scaling = build_scaling_sweep(&scaling_graph, &scaling_pattern, &config);
+    let build_scaling_json = obj(vec![
         (
-            "host_parallelism",
-            JsonValue::Int(
-                std::thread::available_parallelism().map(|n| n.get() as i64).unwrap_or(1),
-            ),
+            "workload",
+            obj(vec![
+                ("nodes", JsonValue::Int(config.scaling_nodes as i64)),
+                ("edges", JsonValue::Int(config.scaling_edges as i64)),
+                ("seed", JsonValue::Int((config.seed + 0x5c) as i64)),
+            ]),
         ),
-        (
-            "runs",
-            JsonValue::Array(
-                scaling
-                    .iter()
-                    .map(|run| {
-                        obj(vec![
-                            ("shards", JsonValue::Int(run.shards as i64)),
-                            ("median_ms", JsonValue::Float(run.median_ns as f64 / 1e6)),
-                            ("updates_per_sec", JsonValue::Float(run.throughput)),
-                            (
-                                "speedup_vs_1_shard",
-                                JsonValue::Float(
-                                    run.throughput / one_shard_tput.max(f64::MIN_POSITIVE),
-                                ),
-                            ),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("host_parallelism", host_parallelism_json()),
+        ("runs", scaling_runs_json(&build_scaling, "nodes_per_sec")),
     ]);
 
     // --- Report -----------------------------------------------------------
@@ -734,8 +813,47 @@ fn main() {
                 ("legacy_aff", JsonValue::Int(legacy_batch_aff as i64)),
             ]),
         ),
+        // Sequential cold-start build, pinned to 1 shard so the trajectory
+        // stays comparable across runs (mirrors the `batch` baseline policy).
+        (
+            "build",
+            obj(vec![
+                ("shards", JsonValue::Int(1)),
+                ("median_ms", JsonValue::Float(build_ns as f64 / 1e6)),
+                ("nodes", JsonValue::Int(config.nodes as i64)),
+                ("edges", JsonValue::Int(config.edges as i64)),
+            ]),
+        ),
         ("batch_scaling", scaling_json),
+        ("build_scaling", build_scaling_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);
+}
+
+/// The measuring host's available parallelism — wall-clock scaling is only
+/// meaningful where the host actually has cores to scale onto.
+fn host_parallelism_json() -> JsonValue {
+    JsonValue::Int(std::thread::available_parallelism().map(|n| n.get() as i64).unwrap_or(1))
+}
+
+/// Renders a shard sweep as JSON: per run the shard count, median wall time,
+/// a throughput figure under `rate_key` and the speedup against 1 shard.
+fn scaling_runs_json(runs: &[ScalingRun], rate_key: &str) -> JsonValue {
+    let one_shard_tput = runs[0].throughput;
+    JsonValue::Array(
+        runs.iter()
+            .map(|run| {
+                obj(vec![
+                    ("shards", JsonValue::Int(run.shards as i64)),
+                    ("median_ms", JsonValue::Float(run.median_ns as f64 / 1e6)),
+                    (rate_key, JsonValue::Float(run.throughput)),
+                    (
+                        "speedup_vs_1_shard",
+                        JsonValue::Float(run.throughput / one_shard_tput.max(f64::MIN_POSITIVE)),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }

@@ -34,6 +34,7 @@
 //! the fixed enumeration order, so results (including [`AffStats`]) are
 //! bit-identical for every shard count.
 
+use crate::bounded::evaluate_pair_bounds;
 use crate::incremental::shard::{configured_shards, PARALLEL_EVAL_THRESHOLD};
 use crate::incremental::sim::MAX_PATTERN_NODES;
 use crate::simulation::candidates;
@@ -79,16 +80,58 @@ pub struct BoundedIndex {
     edges_to: Vec<Vec<usize>>,
     scc: StronglyConnectedComponents,
     has_cycle: bool,
+    /// Statistics of the cold-start refinement drain (identical for every
+    /// shard count, see [`BoundedIndex::build_with_shards`]).
+    build_stats: AffStats,
     /// Lazily rebuilt sorted view of the current match, cleared on mutation.
     cache: RefCell<Option<MatchRelation>>,
 }
 
+/// Content view of a [`BoundedIndex`]'s auxiliary state (membership masks,
+/// pair sets, support counters), used by the build-equivalence suite to
+/// assert that every shard count lands on identical internals. Hash-map
+/// backed structures are rendered as sorted tuples so the comparison is
+/// independent of bucket order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsimAuxSnapshot {
+    /// `cand_bits` per data node.
+    pub cand_bits: Vec<u64>,
+    /// `match_bits` per data node.
+    pub match_bits: Vec<u64>,
+    /// `|match(u)|` per pattern node.
+    pub match_count: Vec<usize>,
+    /// Sorted `(pattern edge, source, target)` satisfied pairs.
+    pub pairs: Vec<(u32, u32, u32)>,
+    /// Sorted `(pattern edge, target, source)` reverse-pair entries — kept
+    /// separately from `pairs` because the two maps are maintained by
+    /// different code paths and must stay mirror images.
+    pub rev_pairs: Vec<(u32, u32, u32)>,
+    /// Sorted `(pattern edge, source, support count)` entries (zero entries
+    /// dropped, so map-presence differences cannot hide).
+    pub support: Vec<(u32, u32, u32)>,
+}
+
 impl BoundedIndex {
     /// Builds the index: landmark vectors, cc/cs/ss pair sets and the initial
-    /// maximum match (the batch `Matchbs` step).
+    /// maximum match (the batch `Matchbs` step), with the landmark BFS runs
+    /// and the pairwise distance checks sharded across [`configured_shards`]
+    /// threads (see [`BoundedIndex::build_with_shards`]).
     pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
-        let landmarks = LandmarkIndex::build(graph, LandmarkSelection::VertexCover);
-        Self::build_with_landmarks(pattern, graph, landmarks)
+        Self::build_with_shards(pattern, graph, configured_shards())
+    }
+
+    /// [`BoundedIndex::build`] with an explicit shard count (`IGPM_SHARDS`
+    /// and machine parallelism are ignored). `shards = 1` is the sequential
+    /// engine; every count produces bit-identical masks, pair sets, support
+    /// counters, cached matches and build [`AffStats`]
+    /// ([`BoundedIndex::build_stats`]): the landmark BFS rows are independent
+    /// per landmark, the pairwise bound checks are pure reads evaluated in a
+    /// fixed enumeration order ([`evaluate_pair_bounds`]) and committed
+    /// sequentially, and the initial refinement is a deterministic fixpoint.
+    pub fn build_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self {
+        let landmarks =
+            LandmarkIndex::build_with_shards(graph, LandmarkSelection::VertexCover, shards);
+        Self::build_with_landmarks_with_shards(pattern, graph, landmarks, shards)
     }
 
     /// Builds the index reusing an existing landmark index (must be exact for
@@ -100,6 +143,20 @@ impl BoundedIndex {
         pattern: &Pattern,
         graph: &DataGraph,
         landmarks: LandmarkIndex,
+    ) -> Self {
+        Self::build_with_landmarks_with_shards(pattern, graph, landmarks, configured_shards())
+    }
+
+    /// [`BoundedIndex::build_with_landmarks`] with an explicit shard count
+    /// for the pairwise distance evaluation.
+    ///
+    /// # Panics
+    /// Panics if the pattern has more than [`MAX_PATTERN_NODES`] nodes.
+    pub fn build_with_landmarks_with_shards(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        landmarks: LandmarkIndex,
+        shards: usize,
     ) -> Self {
         assert!(
             pattern.node_count() <= MAX_PATTERN_NODES,
@@ -136,6 +193,7 @@ impl BoundedIndex {
             edges_to,
             scc,
             has_cycle,
+            build_stats: AffStats::default(),
             cache: RefCell::new(None),
         };
         for (u, list) in cand_lists.iter().enumerate() {
@@ -146,10 +204,53 @@ impl BoundedIndex {
                 index.match_bits[v.index()] |= 1 << u;
             }
         }
-        index.rebuild_all_pairs(graph, &cand_lists);
+        index.rebuild_all_pairs(graph, &cand_lists, shards);
         index.cand_lists = cand_lists;
-        index.refine_initial_matches();
+        index.build_stats = index.refine_initial_matches();
         index
+    }
+
+    /// Statistics of the build's initial refinement drain — the demotions
+    /// that carve the maximum bounded simulation out of the candidate sets.
+    /// Identical for every shard count.
+    pub fn build_stats(&self) -> AffStats {
+        self.build_stats
+    }
+
+    /// Snapshot of the auxiliary state (membership masks, pair sets, support
+    /// counters), for bit-identity assertions in the equivalence suites.
+    pub fn aux_snapshot(&self) -> BsimAuxSnapshot {
+        let mut pairs = Vec::new();
+        let mut rev_pairs = Vec::new();
+        let mut support = Vec::new();
+        for e_idx in 0..self.pattern.edge_count() {
+            for (&v, targets) in self.pairs[e_idx].iter() {
+                for &w in targets.iter() {
+                    pairs.push((e_idx as u32, v.0, w.0));
+                }
+            }
+            for (&w, sources) in self.rev_pairs[e_idx].iter() {
+                for &v in sources.iter() {
+                    rev_pairs.push((e_idx as u32, w.0, v.0));
+                }
+            }
+            for (&v, &count) in self.support[e_idx].iter() {
+                if count > 0 {
+                    support.push((e_idx as u32, v.0, count));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        rev_pairs.sort_unstable();
+        support.sort_unstable();
+        BsimAuxSnapshot {
+            cand_bits: self.cand_bits.clone(),
+            match_bits: self.match_bits.clone(),
+            match_count: self.match_count.clone(),
+            pairs,
+            rev_pairs,
+            support,
+        }
     }
 
     /// The pattern the index maintains matches for.
@@ -317,21 +418,44 @@ impl BoundedIndex {
     // Pair + support maintenance
     // ------------------------------------------------------------------
 
-    fn rebuild_all_pairs(&mut self, graph: &DataGraph, cand_lists: &[Vec<NodeId>]) {
+    /// Derives the pair sets and support counters of every pattern edge. The
+    /// distance checks — the dominant cost of the cold start — are evaluated
+    /// through [`evaluate_pair_bounds`] (read-only, chunked onto scoped
+    /// threads when `shards > 1` and the pair count warrants it) and the
+    /// verdicts are committed sequentially in enumeration order, so the
+    /// resulting structures are identical for every shard count.
+    fn rebuild_all_pairs(&mut self, graph: &DataGraph, cand_lists: &[Vec<NodeId>], shards: usize) {
+        // Evaluation is blocked by source rows so the verdict buffer stays
+        // bounded (≈ EVAL_BLOCK_PAIRS booleans) instead of O(|sources| ·
+        // |targets|); blocks run in enumeration order and each block commits
+        // before the next evaluates, so the structures are built by exactly
+        // the same insertion sequence as an unblocked sequential scan.
+        const EVAL_BLOCK_PAIRS: usize = 1 << 22;
         for (e_idx, edge) in self.pattern.edges().iter().enumerate() {
             let sources = &cand_lists[edge.from.index()];
             let targets = &cand_lists[edge.to.index()];
             let mut forward: FastHashMap<NodeId, FastHashSet<NodeId>> = FastHashMap::default();
             let mut backward: FastHashMap<NodeId, FastHashSet<NodeId>> = FastHashMap::default();
             let mut support: FastHashMap<NodeId, u32> = FastHashMap::default();
-            for &v in sources {
-                for &w in targets {
-                    if satisfies_bound(graph, &self.landmarks, v, w, edge.bound) {
-                        forward.entry(v).or_default().insert(w);
-                        backward.entry(w).or_default().insert(v);
-                        // All targets are initial matches, so the initial
-                        // support is simply the pair count.
-                        *support.entry(v).or_insert(0) += 1;
+            let rows_per_block = (EVAL_BLOCK_PAIRS / targets.len().max(1)).max(1);
+            for block in sources.chunks(rows_per_block) {
+                let verdicts = evaluate_pair_bounds(
+                    graph,
+                    &self.landmarks,
+                    block,
+                    targets,
+                    edge.bound,
+                    shards,
+                );
+                for (i, &v) in block.iter().enumerate() {
+                    for (j, &w) in targets.iter().enumerate() {
+                        if verdicts[i * targets.len() + j] {
+                            forward.entry(v).or_default().insert(w);
+                            backward.entry(w).or_default().insert(v);
+                            // All targets are initial matches, so the initial
+                            // support is simply the pair count.
+                            *support.entry(v).or_insert(0) += 1;
+                        }
                     }
                 }
             }
@@ -342,8 +466,9 @@ impl BoundedIndex {
     }
 
     /// Initial greatest-fixpoint refinement over the pair sets, counter-backed
-    /// (replaces the seed's repeated full-relation scans).
-    fn refine_initial_matches(&mut self) {
+    /// (replaces the seed's repeated full-relation scans). Returns the drain
+    /// statistics (the build [`AffStats`]).
+    fn refine_initial_matches(&mut self) -> AffStats {
         let mut worklist: Vec<(u32, u32)> = Vec::new();
         for v in 0..self.nv {
             let mut bits = self.match_bits[v];
@@ -357,6 +482,7 @@ impl BoundedIndex {
         }
         let mut stats = AffStats::default();
         self.process_demotions(&mut worklist, &mut stats);
+        stats
     }
 
     /// Does `v` (as a match of `u`) have, for every pattern edge `(u, u2)`, a

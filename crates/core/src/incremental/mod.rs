@@ -8,8 +8,9 @@
 //!   as the distance-side auxiliary structure, cc/cs/ss *pairs* instead of
 //!   edges, and the `IncBMatch+`/`IncBMatch-`/`IncBMatch` procedures.
 //! * [`shard`] — shard configuration (the `IGPM_SHARDS` knob and the
-//!   contiguous node-range partition) shared by the parallel batch paths of
-//!   both engines.
+//!   contiguous node-range partition, re-exported from
+//!   [`igpm_graph::shard`]) shared by the parallel batch paths and the
+//!   parallel cold-start builds of both engines.
 
 pub mod bsim;
 pub mod shard;

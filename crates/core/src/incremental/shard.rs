@@ -1,143 +1,22 @@
-//! Shard configuration for the parallel batch engines.
+//! Shard configuration for the parallel batch engines and cold-start builds.
 //!
 //! The batch maintenance of [`crate::incremental::sim::SimulationIndex`] (and
 //! the pair re-evaluation phase of [`crate::incremental::bsim::BoundedIndex`])
 //! partitions its per-node state across *shards* and runs the shards on
-//! scoped threads. This module owns the two knobs every caller shares:
+//! scoped threads, and the `build_with_shards` constructors of both indexes
+//! reuse the same partition for the cold-start path. The configuration —
+//! the `IGPM_SHARDS` knob, the contiguous [`ShardPlan`] partition and the
+//! spawn thresholds — lives in [`igpm_graph::shard`] so that
+//! `igpm-distance`'s parallel landmark build can honour the same knob; this
+//! module re-exports it for the engines here (and for backwards-compatible
+//! paths).
 //!
-//! * **how many shards** — the `IGPM_SHARDS` environment variable, defaulting
-//!   to [`std::thread::available_parallelism`] (see [`configured_shards`]);
-//! * **how nodes map to shards** — contiguous node-id ranges
-//!   ([`ShardPlan`]).
-//!
-//! Contiguous ranges are chosen over `v % shards` striping deliberately: the
-//! per-node arrays (`masks`, `cnt`) can then be handed to worker threads as
-//! disjoint `&mut` slices via `split_at_mut` — no atomics, no `unsafe`, no
-//! locks on the hot path — and each shard walks its counter rows in the same
-//! cache-friendly order the sequential engine does. The degree-biased
-//! workloads of Section 8.2 spread hot nodes roughly uniformly over the id
-//! space, so contiguous ranges balance as well as striping in practice while
-//! keeping the ownership arithmetic (`v / chunk`) a single division.
-//!
-//! Shard count never changes *results*: the round-based batch engine is
-//! bit-identical (including [`crate::AffStats`]) for every shard count, so
-//! `IGPM_SHARDS` is purely a performance knob.
+//! Shard count never changes *results*: every sharded engine — batch rounds
+//! and builds alike — is bit-identical (including [`crate::AffStats`]) for
+//! every shard count, so `IGPM_SHARDS` is purely a performance knob.
 
-use std::num::NonZeroUsize;
-use std::ops::Range;
-use std::sync::OnceLock;
-
-/// Upper bound on the shard count (more shards than this only adds merge
-/// traffic; 64 matches the widest machines the bench sweep targets).
-pub const MAX_SHARDS: usize = 64;
-
-/// Minimum number of pending work items (worklist seeds + queued counter
-/// messages) before a round is worth fanning out to threads. Below this the
-/// round runs inline on the calling thread — the partition/merge logic is
-/// identical, only the execution strategy changes, so results are unaffected.
-/// The figure amortises ~10-50 µs of thread spawn against ~50-200 ns per item.
-pub(crate) const PARALLEL_WORK_THRESHOLD: usize = 4096;
-
-/// Like [`PARALLEL_WORK_THRESHOLD`], but for bounded-simulation pair
-/// re-evaluation, where one item is a landmark distance query costing
-/// `O(|lm|)` — orders of magnitude more than a counter bump — so far fewer
-/// items amortise a spawn.
-pub(crate) const PARALLEL_EVAL_THRESHOLD: usize = 256;
-
-/// Parses a raw `IGPM_SHARDS` value, falling back to `fallback` when the
-/// variable is unset, empty, or not a positive integer.
-fn shards_from(raw: Option<&str>, fallback: usize) -> usize {
-    raw.and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(fallback)
-        .min(MAX_SHARDS)
-}
-
-/// The shard count batch operations use when none is given explicitly:
-/// `IGPM_SHARDS` if set to a positive integer, otherwise the machine's
-/// available parallelism. Read once per process (the CI matrix sets the
-/// variable per job, never mid-run).
-pub fn configured_shards() -> usize {
-    static CONFIGURED: OnceLock<usize> = OnceLock::new();
-    *CONFIGURED.get_or_init(|| {
-        let fallback = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-        shards_from(std::env::var("IGPM_SHARDS").ok().as_deref(), fallback)
-    })
-}
-
-/// A concrete partition of `nv` node ids into contiguous chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ShardPlan {
-    /// Number of node ids covered.
-    pub nv: usize,
-    /// Ids per shard (the last shard may be shorter).
-    pub chunk: usize,
-    /// Number of (non-empty) shards.
-    pub count: usize,
-}
-
-impl ShardPlan {
-    /// Plans `shards` contiguous ranges over `nv` nodes. Degenerate inputs
-    /// (zero nodes, more shards than nodes) collapse to the fewest shards
-    /// that still cover everything.
-    pub fn new(nv: usize, shards: usize) -> Self {
-        let shards = shards.clamp(1, MAX_SHARDS);
-        if nv == 0 {
-            return ShardPlan { nv, chunk: 1, count: 1 };
-        }
-        let chunk = nv.div_ceil(shards).max(1);
-        ShardPlan { nv, chunk, count: nv.div_ceil(chunk) }
-    }
-
-    /// The shard owning node id `v`.
-    #[inline]
-    pub fn owner(&self, v: usize) -> usize {
-        debug_assert!(v < self.nv, "node {v} outside the planned range {}", self.nv);
-        v / self.chunk
-    }
-
-    /// The node-id range owned by shard `s`.
-    pub fn range(&self, s: usize) -> Range<usize> {
-        let start = s * self.chunk;
-        start..((start + self.chunk).min(self.nv))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn plans_cover_every_node_exactly_once() {
-        for nv in [0usize, 1, 7, 64, 1000, 1001] {
-            for shards in [1usize, 2, 3, 4, 7, 8, 64, 1000] {
-                let plan = ShardPlan::new(nv, shards);
-                assert!(plan.count >= 1);
-                let covered: usize = (0..plan.count).map(|s| plan.range(s).len()).sum();
-                assert_eq!(covered, nv, "nv={nv} shards={shards}");
-                for v in 0..nv {
-                    let owner = plan.owner(v);
-                    assert!(plan.range(owner).contains(&v), "nv={nv} shards={shards} v={v}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn plan_collapses_degenerate_inputs() {
-        assert_eq!(ShardPlan::new(0, 8).count, 1);
-        assert_eq!(ShardPlan::new(3, 8).count, 3, "never more shards than nodes");
-        assert_eq!(ShardPlan::new(10, 4).chunk, 3);
-        assert_eq!(ShardPlan::new(10, 4).count, 4);
-    }
-
-    #[test]
-    fn shards_env_parsing() {
-        assert_eq!(shards_from(None, 6), 6);
-        assert_eq!(shards_from(Some("4"), 6), 4);
-        assert_eq!(shards_from(Some(" 2 "), 6), 2);
-        assert_eq!(shards_from(Some("0"), 6), 6, "zero is rejected");
-        assert_eq!(shards_from(Some("lots"), 6), 6, "garbage is rejected");
-        assert_eq!(shards_from(Some("4096"), 6), MAX_SHARDS, "clamped to the maximum");
-    }
-}
+pub use igpm_graph::shard::{configured_shards, MAX_SHARDS};
+// The plan and the spawn thresholds stay crate-internal, as before the move
+// — they are tuning machinery, not API (the canonical public home is
+// `igpm_graph::shard`).
+pub(crate) use igpm_graph::shard::{ShardPlan, PARALLEL_EVAL_THRESHOLD, PARALLEL_WORK_THRESHOLD};

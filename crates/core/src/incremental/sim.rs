@@ -62,6 +62,12 @@
 //! sequential engine. Threads (`std::thread::scope`) are only spawned when a
 //! round has enough pending work to amortise them; below the threshold the
 //! same shard code runs inline on the calling thread.
+//!
+//! The cold-start [`SimulationIndex::build`] reuses the same plan: candidate
+//! mask seeding and support-counter derivation run on disjoint node-range
+//! slices, and the initial refinement is the round-based demotion drain — so
+//! builds are bit-identical for every shard count too (see
+//! [`SimulationIndex::build_with_shards`]).
 
 use crate::incremental::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use crate::simulation::{candidates, simulation_result_graph};
@@ -109,23 +115,62 @@ pub struct SimulationIndex {
     /// `scc_child_mask[u]`: pattern children of `u` lying in the same
     /// *nontrivial* SCC as `u` (the edges `propCC` cares about).
     scc_child_mask: Vec<u64>,
+    /// Bitmask of the pattern nodes lying in some nontrivial SCC.
+    scc_member_mask: u64,
     /// Pattern SCC information, used to decide when `propCC` must run.
     scc: StronglyConnectedComponents,
     /// True if the pattern contains a nontrivial SCC (a cycle).
     has_cycle: bool,
+    /// Statistics of the cold-start refinement drain (identical for every
+    /// shard count, see [`SimulationIndex::build_with_shards`]).
+    build_stats: AffStats,
     /// Lazily rebuilt sorted view of the current match, cleared on mutation.
     cache: RefCell<Option<MatchRelation>>,
+}
+
+/// Byte-for-byte view of a [`SimulationIndex`]'s per-node auxiliary state,
+/// used by the build/batch equivalence suites to assert that every shard
+/// count lands on *identical* internals, not merely the same match relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimAuxSnapshot {
+    /// `matched` membership mask per data node.
+    pub matched: Vec<u64>,
+    /// `candt` membership mask per data node.
+    pub candt: Vec<u64>,
+    /// The support counters, row-major (`nv × np`).
+    pub counters: Vec<u32>,
+    /// `|match(u)|` per pattern node.
+    pub match_count: Vec<usize>,
 }
 
 impl SimulationIndex {
     /// Builds the index by computing the maximum simulation from scratch (the
     /// batch `Matchs` step that seeds every incremental session), using the
-    /// label-indexed candidate pipeline and counter refinement.
+    /// label-indexed candidate pipeline and counter refinement, sharded across
+    /// [`configured_shards`] node ranges (see
+    /// [`SimulationIndex::build_with_shards`]).
     ///
     /// # Panics
     /// Panics if `pattern` is not a normal pattern or has more than
     /// [`MAX_PATTERN_NODES`] nodes.
     pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
+        Self::build_with_shards(pattern, graph, configured_shards())
+    }
+
+    /// [`SimulationIndex::build`] with an explicit shard count (`IGPM_SHARDS`
+    /// and machine parallelism are ignored).
+    ///
+    /// The cold-start path is embarrassingly parallel over nodes and reuses
+    /// the batch shard plan ([`ShardPlan`]): bitmask seeding from the
+    /// label-indexed candidate lists and the support-counter derivation both
+    /// run on disjoint `split_at_mut` node-range slices (counters are derived
+    /// from each owned node's *children*, so a shard only writes its own
+    /// rows), and the initial demotion drain runs through the same
+    /// bulk-synchronous round machinery as the batch engine. `shards = 1` is
+    /// the sequential engine; every count produces bit-identical masks,
+    /// counters, cached matches and build [`AffStats`]
+    /// ([`SimulationIndex::build_stats`]).
+    pub fn build_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self {
         assert!(pattern.is_normal(), "incremental simulation needs a normal pattern");
         assert!(
             pattern.node_count() <= MAX_PATTERN_NODES,
@@ -148,6 +193,12 @@ impl SimulationIndex {
                 scc_child_mask[edge.from.index()] |= 1 << edge.to.index();
             }
         }
+        let mut scc_member_mask = 0u64;
+        for u in 0..np {
+            if scc.is_nontrivial(scc.component_of(u)) {
+                scc_member_mask |= 1 << u;
+            }
+        }
 
         let mut index = SimulationIndex {
             pattern: pattern.clone(),
@@ -159,45 +210,93 @@ impl SimulationIndex {
             child_mask,
             parent_masks,
             scc_child_mask,
+            scc_member_mask,
             scc,
             has_cycle,
+            build_stats: AffStats::default(),
             cache: RefCell::new(None),
         };
 
-        // Start with match(u) = all candidates of u...
-        for (u, list) in candidates(pattern, graph).into_iter().enumerate() {
+        // Start with match(u) = all candidates of u. The candidate lists come
+        // from one sequential label-index pass (O(|V|)); seeding them into the
+        // per-node masks is sharded — each shard binary-searches its node
+        // range in the sorted lists and writes only its own mask slice.
+        let cand_lists = candidates(pattern, graph);
+        for (u, list) in cand_lists.iter().enumerate() {
             index.match_count[u] = list.len();
-            for v in list {
-                index.masks[v.index()].matched |= 1 << u;
-            }
         }
-        // ...derive the counters in one pass over the reverse adjacency...
-        for v in 0..nv {
-            let mut bits = index.masks[v].matched;
-            while bits != 0 {
-                let u = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                for &p in graph.parents(NodeId::from_index(v)) {
-                    index.cnt[p.index() * np + u] += 1;
+        let plan = ShardPlan::new(nv, shards);
+        let fan_out = plan.count > 1 && nv >= PARALLEL_WORK_THRESHOLD;
+        if fan_out {
+            let cand_lists = &cand_lists;
+            std::thread::scope(|scope| {
+                let mut rest = index.masks.as_mut_slice();
+                for shard in 0..plan.count {
+                    let range = plan.range(shard);
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    scope.spawn(move || seed_masks_shard(chunk, range.start, cand_lists));
                 }
-            }
+            });
+        } else {
+            seed_masks_shard(&mut index.masks, 0, &cand_lists);
         }
-        // ...and refine to the greatest fixpoint: every unsupported pair is
-        // demoted to a candidate, which is exactly `candt = candidates \ match`.
-        let mut worklist: Vec<(u32, u32)> = Vec::new();
-        for v in 0..nv {
-            let mut bits = index.masks[v].matched;
-            while bits != 0 {
-                let u = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                if !index.has_counter_support(u, v) {
-                    worklist.push((u as u32, v as u32));
+
+        // Derive the counters and scan for unsupported pairs. Each shard owns
+        // the counter rows of its node range and derives them from its nodes'
+        // *children* (`cnt[p][u2] = |children(p) ∩ match(u2)|` — the same
+        // numbers as the reverse-adjacency pass, but writing only owned rows),
+        // reading the masks frozen by the phase boundary above.
+        let seeds: Vec<Seed> = if fan_out {
+            let masks = &index.masks;
+            let child_mask = &index.child_mask;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(plan.count);
+                let mut rest = index.cnt.as_mut_slice();
+                for shard in 0..plan.count {
+                    let range = plan.range(shard);
+                    let (chunk, tail) = rest.split_at_mut(range.len() * np);
+                    rest = tail;
+                    handles.push(scope.spawn(move || {
+                        derive_counters_shard(masks, child_mask, np, range, chunk, graph)
+                    }));
                 }
-            }
-        }
+                // Shard order concatenation = ascending node order, exactly
+                // the order the sequential scan produces.
+                handles.into_iter().flat_map(|h| h.join().expect("build shard panicked")).collect()
+            })
+        } else {
+            derive_counters_shard(&index.masks, &index.child_mask, np, 0..nv, &mut index.cnt, graph)
+        };
+
+        // Refine to the greatest fixpoint: every unsupported pair is demoted
+        // to a candidate (`candt = candidates \ match`), through the same
+        // bulk-synchronous round machinery as the batch demotion phase.
         let mut build_stats = AffStats::default();
-        index.drain_demotions(graph, &mut worklist, &mut build_stats);
+        if !seeds.is_empty() {
+            index.drain_demotions_sharded(graph, seeds, plan, &mut build_stats);
+        }
+        index.build_stats = build_stats;
         index
+    }
+
+    /// Statistics of the build's initial refinement drain — the demotions
+    /// that carve the maximum simulation out of the candidate sets. Identical
+    /// for every shard count.
+    pub fn build_stats(&self) -> AffStats {
+        self.build_stats
+    }
+
+    /// Snapshot of the raw per-node auxiliary state (membership masks,
+    /// support counters, match counts), for bit-identity assertions in the
+    /// equivalence suites.
+    pub fn aux_snapshot(&self) -> SimAuxSnapshot {
+        SimAuxSnapshot {
+            matched: self.masks.iter().map(|m| m.matched).collect(),
+            candt: self.masks.iter().map(|m| m.candt).collect(),
+            counters: self.cnt.clone(),
+            match_count: self.match_count.clone(),
+        }
     }
 
     /// The pattern the index maintains matches for.
@@ -470,17 +569,23 @@ impl SimulationIndex {
         false
     }
 
-    /// True if some inserted edge is relevant to a pattern edge lying inside a
-    /// nontrivial SCC of the pattern (Proposition 5.2(3)).
+    /// True if some inserted edge can affect the joint SCC evaluation, so
+    /// `propCC` must run (Proposition 5.2(3), broadened): either the edge is
+    /// a cc edge *inside* a nontrivial SCC (it adds tentative support), or it
+    /// is a cs/cc edge for any pattern edge *out of* an SCC member — the
+    /// support-counter rise on the member's candidate may unblock the joint
+    /// fixpoint even when the pattern edge itself leaves the SCC (the
+    /// candidate's last missing witness need not be the cyclic one).
     fn inserted_touches_scc(&self, inserted: &[(NodeId, NodeId)]) -> bool {
         inserted.iter().any(|&(a, b)| {
-            let known_a = self.masks[a.index()].matched | self.masks[a.index()].candt;
-            let known_b = self.masks[b.index()].matched | self.masks[b.index()].candt;
-            let mut bits = known_a;
+            let am = self.masks[a.index()];
+            let bm = self.masks[b.index()];
+            let known_b = bm.matched | bm.candt;
+            let mut bits = (am.matched | am.candt) & self.scc_member_mask;
             while bits != 0 {
                 let u = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                if self.scc_child_mask[u] & known_b != 0 {
+                if self.child_mask[u] & known_b != 0 {
                     return true;
                 }
             }
@@ -1153,6 +1258,69 @@ fn absorb_inserted_edge(
     }
 }
 
+/// Build phase 1 on one shard: seed the `matched` bits of the owned node
+/// range (`masks` starts at node id `base`) from the sorted candidate lists.
+/// Each shard binary-searches its range in every list, so the work is
+/// `O(|candidates in range| + np · log |candidates|)`.
+fn seed_masks_shard(masks: &mut [NodeMasks], base: usize, cand_lists: &[Vec<NodeId>]) {
+    let end = base + masks.len();
+    for (u, list) in cand_lists.iter().enumerate() {
+        // The range search (and the bit-identity of fanned-out builds with
+        // sequential ones) relies on candidate lists being in ascending node
+        // order, which the label-index buckets and predicate scans of
+        // `candidates()` produce.
+        debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "candidate list not id-sorted");
+        let bit = 1u64 << u;
+        let start = list.partition_point(|v| v.index() < base);
+        for &v in &list[start..] {
+            if v.index() >= end {
+                break;
+            }
+            masks[v.index() - base].matched |= bit;
+        }
+    }
+}
+
+/// Build phase 2 on one shard: derive the support counters of the owned node
+/// `range` (whose rows are `cnt`) from each owned node's children —
+/// `cnt[v][u2] = |children(v) ∩ match(u2)|`, the same numbers as a
+/// reverse-adjacency pass but touching only owned rows — then scan the owned
+/// matches for pairs without full counter support. Returns those demotion
+/// seeds in ascending node order.
+fn derive_counters_shard(
+    masks: &[NodeMasks],
+    child_mask: &[u64],
+    np: usize,
+    range: std::ops::Range<usize>,
+    cnt: &mut [u32],
+    graph: &DataGraph,
+) -> Vec<Seed> {
+    for (local, v) in range.clone().enumerate() {
+        let row = &mut cnt[local * np..local * np + np];
+        for &w in graph.children(NodeId::from_index(v)) {
+            let mut bits = masks[w.index()].matched;
+            while bits != 0 {
+                let u2 = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                row[u2] += 1;
+            }
+        }
+    }
+    let mut seeds = Vec::new();
+    for (local, v) in range.enumerate() {
+        let row = &cnt[local * np..local * np + np];
+        let mut bits = masks[v].matched;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if !row_has_support(row, child_mask[u]) {
+                seeds.push((u as u32, v as u32));
+            }
+        }
+    }
+    seeds
+}
+
 /// Which kind of drain a round executes.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum RoundKind {
@@ -1775,6 +1943,52 @@ mod tests {
         index.apply_batch(&mut g, &batch);
         assert!(index.contains(ua, x) && index.contains(ub, y), "cycle of new nodes matches");
         assert_consistent(&index, &p, &g, "after batch over post-build nodes");
+    }
+
+    #[test]
+    fn cs_insertion_outside_the_scc_unblocks_scc_candidates() {
+        // Regression (found by the cross-engine conformance suite): pattern
+        // A ⇄ B with a third edge A → C; graph x(a) ⇄ y(b) and an isolated
+        // z(c). Before the update nothing matches — x lacks a C child, which
+        // eliminates the whole cycle. Inserting (x, z) is a cs edge for the
+        // *non-SCC* pattern edge (A, C); it must still wake the joint SCC
+        // evaluation, because the counter rise removes x's last non-cyclic
+        // blocker. The old trigger only looked at SCC-internal pattern edges
+        // and silently left the match empty.
+        let build = || {
+            let mut p = Pattern::new();
+            let a = p.add_labeled_node("a");
+            let b = p.add_labeled_node("b");
+            let c = p.add_labeled_node("c");
+            p.add_normal_edge(a, b);
+            p.add_normal_edge(b, a);
+            p.add_normal_edge(a, c);
+            let mut g = DataGraph::new();
+            let x = g.add_labeled_node("a");
+            let y = g.add_labeled_node("b");
+            let z = g.add_labeled_node("c");
+            g.add_edge(x, y);
+            g.add_edge(y, x);
+            (p, g, x, z)
+        };
+
+        // Unit path.
+        let (p, mut g, x, z) = build();
+        let mut index = SimulationIndex::build(&p, &g);
+        assert!(!index.is_match());
+        let stats = index.insert_edge(&mut g, x, z);
+        assert!(index.is_match(), "cs insertion outside the SCC must trigger propCC");
+        assert_eq!(stats.matches_added, 2, "x and y promoted jointly");
+        assert_consistent(&index, &p, &g, "unit path after (x, z)");
+
+        // Batch path (same trigger, sharded drains).
+        let (p, mut g, x, z) = build();
+        let mut index = SimulationIndex::build(&p, &g);
+        let mut batch = BatchUpdate::new();
+        batch.insert(x, z);
+        index.apply_batch(&mut g, &batch);
+        assert!(index.is_match(), "batch path must agree");
+        assert_consistent(&index, &p, &g, "batch path after (x, z)");
     }
 
     #[test]

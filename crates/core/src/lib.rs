@@ -23,13 +23,17 @@
 //! claims of the paper (costs driven by `|ΔG|`, `|P|` and `|AFF|` rather than
 //! `|G|`) can be observed empirically.
 //!
-//! Batch maintenance is sharded across node ranges and runs on scoped
-//! threads when the work volume warrants it ([`incremental::shard`]); the
-//! shard count comes from the `IGPM_SHARDS` environment variable (default:
-//! available parallelism, see [`configured_shards`]) or can be pinned per
-//! call with [`SimulationIndex::apply_batch_with_shards`] /
-//! [`BoundedIndex::apply_batch_with_shards`]. Results — match sets, support
-//! counters and [`AffStats`] — are bit-identical for every shard count.
+//! Batch maintenance **and the cold-start builds** are sharded across node
+//! ranges and run on scoped threads when the work volume warrants it
+//! ([`incremental::shard`]); the shard count comes from the `IGPM_SHARDS`
+//! environment variable (default: available parallelism, see
+//! [`configured_shards`]) or can be pinned per call with
+//! [`SimulationIndex::apply_batch_with_shards`] /
+//! [`BoundedIndex::apply_batch_with_shards`] /
+//! [`SimulationIndex::build_with_shards`] /
+//! [`BoundedIndex::build_with_shards`]. Results — match sets, support
+//! counters, auxiliary state and [`AffStats`] — are bit-identical for every
+//! shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,8 +47,8 @@ pub use bounded::{
     build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
     match_bounded_with_two_hop,
 };
-pub use incremental::bsim::BoundedIndex;
+pub use incremental::bsim::{BoundedIndex, BsimAuxSnapshot};
 pub use incremental::shard::configured_shards;
-pub use incremental::sim::SimulationIndex;
+pub use incremental::sim::{SimAuxSnapshot, SimulationIndex};
 pub use simulation::{candidates, match_simulation, simulation_result_graph};
 pub use stats::AffStats;

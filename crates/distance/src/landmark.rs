@@ -13,7 +13,8 @@
 
 use crate::oracle::DistanceOracle;
 use crate::vertex_cover::greedy_vertex_cover;
-use igpm_graph::hash::FastHashMap;
+use igpm_graph::hash::{FastHashMap, FastHashSet};
+use igpm_graph::shard::{configured_shards, MAX_SHARDS, PARALLEL_WORK_THRESHOLD};
 use igpm_graph::traversal::{bfs_distances_dense, Direction};
 use igpm_graph::{DataGraph, NodeId};
 
@@ -48,9 +49,29 @@ pub struct LandmarkIndex {
 }
 
 impl LandmarkIndex {
-    /// Builds the index from scratch ("BatchLM" in the experiments).
+    /// Builds the index from scratch ("BatchLM" in the experiments), running
+    /// the per-landmark BFS pairs on [`configured_shards`] scoped threads
+    /// when the row volume warrants it (see
+    /// [`LandmarkIndex::build_with_shards`]).
     pub fn build(graph: &DataGraph, selection: LandmarkSelection) -> Self {
-        let (landmarks, covering) = match selection {
+        Self::build_with_shards(graph, selection, configured_shards())
+    }
+
+    /// [`LandmarkIndex::build`] with an explicit shard count (`IGPM_SHARDS`
+    /// and machine parallelism are ignored).
+    ///
+    /// Every landmark's two distance rows come from independent BFS runs
+    /// over the (read-only) graph, so the landmark list is chunked across
+    /// scoped threads; rows are assembled back in landmark order, making the
+    /// result bit-identical for every shard count. Threads are only spawned
+    /// when the total row volume (`|lm| · |V|`) is large enough to amortise
+    /// them; `shards = 1` is the sequential build.
+    pub fn build_with_shards(
+        graph: &DataGraph,
+        selection: LandmarkSelection,
+        shards: usize,
+    ) -> Self {
+        let (mut landmarks, covering) = match selection {
             LandmarkSelection::VertexCover => (greedy_vertex_cover(graph), true),
             LandmarkSelection::TopDegree(count) => {
                 let mut nodes: Vec<NodeId> = graph.nodes().collect();
@@ -60,6 +81,12 @@ impl LandmarkIndex {
             }
             LandmarkSelection::Explicit(nodes) => (nodes, false),
         };
+        // Duplicates (possible in an Explicit selection) are dropped up
+        // front, keeping the first occurrence — exactly what repeated
+        // `push_landmark` calls would do.
+        let mut seen: FastHashSet<NodeId> = FastHashSet::default();
+        landmarks.retain(|&lm| seen.insert(lm));
+
         let mut index = LandmarkIndex {
             landmarks: Vec::new(),
             position: FastHashMap::default(),
@@ -68,8 +95,34 @@ impl LandmarkIndex {
             covering,
             node_count: graph.node_count(),
         };
-        for lm in landmarks {
-            index.push_landmark(graph, lm);
+        let shards = shards.clamp(1, MAX_SHARDS).min(landmarks.len().max(1));
+        if shards > 1
+            && landmarks.len().saturating_mul(graph.node_count()) >= PARALLEL_WORK_THRESHOLD
+        {
+            let mut rows: Vec<(Vec<u32>, Vec<u32>)> = vec![Default::default(); landmarks.len()];
+            let chunk = landmarks.len().div_ceil(shards);
+            std::thread::scope(|scope| {
+                for (lms, out) in landmarks.chunks(chunk).zip(rows.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (&lm, slot) in lms.iter().zip(out.iter_mut()) {
+                            *slot = (
+                                bfs_distances_dense(graph, lm, Direction::Forward),
+                                bfs_distances_dense(graph, lm, Direction::Backward),
+                            );
+                        }
+                    });
+                }
+            });
+            for (lm, (from_row, to_row)) in landmarks.into_iter().zip(rows) {
+                index.position.insert(lm, index.landmarks.len());
+                index.landmarks.push(lm);
+                index.from_lm.push(from_row);
+                index.to_lm.push(to_row);
+            }
+        } else {
+            for lm in landmarks {
+                index.push_landmark(graph, lm);
+            }
         }
         index
     }

@@ -35,6 +35,7 @@ pub mod pattern;
 pub mod predicate;
 pub mod result_graph;
 pub mod scc;
+pub mod shard;
 pub mod topo;
 pub mod traversal;
 pub mod update;
@@ -50,6 +51,7 @@ pub use pattern::{EdgeBound, Pattern, PatternEdge, PatternNodeId};
 pub use predicate::{Atom, Predicate};
 pub use result_graph::{DeltaM, ResultGraph};
 pub use scc::{CondensationGraph, SccId, StronglyConnectedComponents};
+pub use shard::{configured_shards, ShardPlan};
 pub use topo::{topological_order, topological_ranks, Rank};
 pub use update::{BatchUpdate, Update};
 

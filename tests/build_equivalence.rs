@@ -1,0 +1,296 @@
+//! Cold-start build equivalence suite.
+//!
+//! The parallel builds claim to be **bit-identical for every shard count** —
+//! membership masks, support counters, pair sets, cached matches and build
+//! `AffStats` alike (`SimulationIndex::build_with_shards`,
+//! `BoundedIndex::build_with_shards`, `LandmarkIndex::build_with_shards`).
+//! This is the cold-start mirror of `tests/parallel_batch.rs`: every index
+//! type is constructed under shard counts {1, 2, 3, 8} on identical inputs
+//! and the raw auxiliary state is compared byte for byte (hash-backed
+//! structures as sorted tuples), with shards = 1 as the sequential reference.
+//!
+//! Degenerate inputs get their own cases under shards {1, 4}: the empty
+//! graph, a pattern no node satisfies, a single-node SCC pattern (self-loop),
+//! and a graph larger than the thread-spawn threshold, so the fan-out branch
+//! of the build is exercised and proven identical too.
+
+use igpm::core::match_bounded_with_matrix;
+use igpm::prelude::*;
+
+const BUILD_SHARDS: [usize; 4] = [1, 2, 3, 8];
+
+/// Builds a [`SimulationIndex`] under every shard count and asserts raw-state
+/// bit-identity against the sequential build, plus agreement with the
+/// from-scratch batch algorithm.
+fn assert_sim_build_equivalent(pattern: &Pattern, graph: &DataGraph, context: &str) {
+    let reference = SimulationIndex::build_with_shards(pattern, graph, 1);
+    assert_eq!(
+        reference.matches(),
+        igpm::core::match_simulation(pattern, graph),
+        "{context}: sequential build diverged from match_simulation"
+    );
+    for shards in BUILD_SHARDS {
+        let index = SimulationIndex::build_with_shards(pattern, graph, shards);
+        assert_eq!(
+            index.aux_snapshot(),
+            reference.aux_snapshot(),
+            "{context}: masks/counters diverged at shards={shards}"
+        );
+        assert_eq!(
+            index.matches(),
+            reference.matches(),
+            "{context}: match relation diverged at shards={shards}"
+        );
+        assert_eq!(
+            index.build_stats(),
+            reference.build_stats(),
+            "{context}: build AffStats diverged at shards={shards}"
+        );
+    }
+}
+
+/// Builds a [`BoundedIndex`] under every shard count and asserts raw-state
+/// bit-identity (masks, pair sets, support counters) against the sequential
+/// build, plus agreement with the from-scratch batch algorithm.
+fn assert_bounded_build_equivalent(pattern: &Pattern, graph: &DataGraph, context: &str) {
+    let reference = BoundedIndex::build_with_shards(pattern, graph, 1);
+    assert_eq!(
+        reference.matches(),
+        match_bounded_with_matrix(pattern, graph),
+        "{context}: sequential build diverged from match_bounded"
+    );
+    for shards in BUILD_SHARDS {
+        let index = BoundedIndex::build_with_shards(pattern, graph, shards);
+        assert_eq!(
+            index.aux_snapshot(),
+            reference.aux_snapshot(),
+            "{context}: masks/pairs/support diverged at shards={shards}"
+        );
+        assert_eq!(
+            index.matches(),
+            reference.matches(),
+            "{context}: match relation diverged at shards={shards}"
+        );
+        assert_eq!(
+            index.build_stats(),
+            reference.build_stats(),
+            "{context}: build AffStats diverged at shards={shards}"
+        );
+        assert_eq!(
+            index.landmarks().landmarks(),
+            reference.landmarks().landmarks(),
+            "{context}: landmark vector diverged at shards={shards}"
+        );
+    }
+}
+
+/// Builds a [`LandmarkIndex`] under every shard count and asserts the
+/// landmark vector and every distance row identical to the sequential build.
+fn assert_landmark_build_equivalent(
+    graph: &DataGraph,
+    selection: LandmarkSelection,
+    context: &str,
+) {
+    let reference = LandmarkIndex::build_with_shards(graph, selection.clone(), 1);
+    for shards in BUILD_SHARDS {
+        let index = LandmarkIndex::build_with_shards(graph, selection.clone(), shards);
+        assert_eq!(
+            index.landmarks(),
+            reference.landmarks(),
+            "{context}: landmark vector diverged at shards={shards}"
+        );
+        assert_eq!(index.is_covering(), reference.is_covering(), "{context}");
+        for v in graph.nodes() {
+            assert_eq!(
+                index.distvf(v),
+                reference.distvf(v),
+                "{context}: distvf({v}) diverged at shards={shards}"
+            );
+            assert_eq!(
+                index.distvt(v),
+                reference.distvt(v),
+                "{context}: distvt({v}) diverged at shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_builds_are_bit_identical() {
+    for (shape, seed) in [(PatternShape::General, 0x31u64), (PatternShape::Dag, 0x32)] {
+        let graph = synthetic_graph(&SyntheticConfig::new(300, 1_050, 4, seed + 1));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::normal(5, 8, 1, seed + 2).with_shape(shape),
+        );
+        assert_sim_build_equivalent(&pattern, &graph, &format!("{shape:?} seed {seed}"));
+    }
+}
+
+#[test]
+fn bounded_builds_are_bit_identical() {
+    for (shape, seed) in [(PatternShape::General, 0x41u64), (PatternShape::Dag, 0x42)] {
+        let graph = synthetic_graph(&SyntheticConfig::new(90, 280, 4, seed + 1));
+        let pattern = generate_pattern(
+            &graph,
+            &PatternGenConfig::new(4, 5, 1, 2, seed + 2).with_shape(shape),
+        );
+        assert_bounded_build_equivalent(&pattern, &graph, &format!("{shape:?} seed {seed}"));
+    }
+}
+
+#[test]
+fn landmark_builds_are_bit_identical() {
+    // 220 nodes with a vertex cover of a few dozen landmarks crosses the
+    // |lm|·|V| spawn threshold, so the threaded branch runs and must agree.
+    let graph = synthetic_graph(&SyntheticConfig::new(220, 700, 4, 0x51));
+    assert_landmark_build_equivalent(&graph, LandmarkSelection::VertexCover, "vertex cover");
+    assert_landmark_build_equivalent(&graph, LandmarkSelection::TopDegree(24), "top degree");
+    // An explicit selection with duplicates: dedup must keep first occurrence
+    // identically in both the sequential and the fanned-out path.
+    let lms: Vec<NodeId> = (0..40).map(|i| NodeId(i % 25)).collect();
+    assert_landmark_build_equivalent(&graph, LandmarkSelection::Explicit(lms), "explicit dup");
+}
+
+#[test]
+fn built_indexes_behave_identically_afterwards() {
+    // Bit-identity must extend behaviourally: indexes built under different
+    // shard counts, driven by the same batch, report identical stats and land
+    // on identical state.
+    let graph = synthetic_graph(&SyntheticConfig::new(250, 900, 4, 0x61));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(5, 8, 1, 0x62).with_shape(PatternShape::General),
+    );
+    let batch = mixed_batch(&graph, 60, 60, 0x63);
+    let mut reference_graph = graph.clone();
+    let mut reference = SimulationIndex::build_with_shards(&pattern, &graph, 1);
+    let reference_stats = reference.apply_batch_with_shards(&mut reference_graph, &batch, 1);
+    for shards in BUILD_SHARDS {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build_with_shards(&pattern, &graph, shards);
+        let stats = index.apply_batch_with_shards(&mut g, &batch, shards);
+        assert_eq!(stats, reference_stats, "batch stats diverged after shards={shards} build");
+        assert_eq!(g, reference_graph);
+        assert_eq!(index.aux_snapshot(), reference.aux_snapshot(), "shards={shards}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Degenerate builds (shards {1, 4})
+// ----------------------------------------------------------------------
+
+const DEGENERATE_SHARDS: [usize; 2] = [1, 4];
+
+#[test]
+fn empty_graph_builds() {
+    let graph = DataGraph::new();
+    let mut pattern = Pattern::new();
+    let a = pattern.add_labeled_node("a");
+    let b = pattern.add_labeled_node("b");
+    pattern.add_normal_edge(a, b);
+    for shards in DEGENERATE_SHARDS {
+        let index = SimulationIndex::build_with_shards(&pattern, &graph, shards);
+        assert!(!index.is_match(), "empty graph matches nothing (shards={shards})");
+        assert_eq!(index.matches(), MatchRelation::empty(2));
+        let bounded = BoundedIndex::build_with_shards(&pattern, &graph, shards);
+        assert!(!bounded.is_match());
+        let lm = LandmarkIndex::build_with_shards(&graph, LandmarkSelection::VertexCover, shards);
+        assert!(lm.is_empty());
+    }
+    assert_sim_build_equivalent(&pattern, &graph, "empty graph");
+    assert_bounded_build_equivalent(&pattern, &graph, "empty graph");
+}
+
+#[test]
+fn pattern_with_no_label_matches_builds() {
+    let graph = synthetic_graph(&SyntheticConfig::new(120, 360, 4, 0x71));
+    let mut pattern = Pattern::new();
+    let ghost = pattern.add_labeled_node("no-such-label");
+    let other = pattern.add_labeled_node("also-missing");
+    pattern.add_normal_edge(ghost, other);
+    for shards in DEGENERATE_SHARDS {
+        let index = SimulationIndex::build_with_shards(&pattern, &graph, shards);
+        assert!(!index.is_match(), "shards={shards}");
+        assert_eq!(index.build_stats(), AffStats::default(), "nothing to demote");
+        let bounded = BoundedIndex::build_with_shards(&pattern, &graph, shards);
+        assert!(!bounded.is_match(), "shards={shards}");
+    }
+    assert_sim_build_equivalent(&pattern, &graph, "no label matches");
+    assert_bounded_build_equivalent(&pattern, &graph, "no label matches");
+}
+
+#[test]
+fn single_node_scc_pattern_builds() {
+    // A one-node pattern with a self-loop is a nontrivial SCC: a data node
+    // matches iff it lies on an all-`a` cycle. Build over a graph that has
+    // both an `a`-cycle and an `a`-path feeding into it.
+    let mut pattern = Pattern::new();
+    let u = pattern.add_labeled_node("a");
+    pattern.add_normal_edge(u, u);
+
+    let mut graph = DataGraph::new();
+    let cycle: Vec<NodeId> = (0..5).map(|_| graph.add_labeled_node("a")).collect();
+    for i in 0..cycle.len() {
+        graph.add_edge(cycle[i], cycle[(i + 1) % cycle.len()]);
+    }
+    let path: Vec<NodeId> = (0..4).map(|_| graph.add_labeled_node("a")).collect();
+    for w in path.windows(2) {
+        graph.add_edge(w[0], w[1]);
+    }
+    graph.add_edge(*path.last().unwrap(), cycle[0]);
+
+    for shards in DEGENERATE_SHARDS {
+        let index = SimulationIndex::build_with_shards(&pattern, &graph, shards);
+        // Node ids ascend cycle-then-path, so the chained list is sorted.
+        assert_eq!(
+            index.match_set(u),
+            cycle.iter().chain(path.iter()).copied().collect::<Vec<_>>(),
+            "every node reaching the cycle simulates the self-loop (shards={shards})"
+        );
+    }
+    assert_sim_build_equivalent(&pattern, &graph, "single-node SCC");
+    assert_bounded_build_equivalent(&pattern, &graph, "single-node SCC");
+}
+
+#[test]
+fn build_crossing_the_thread_spawn_threshold_is_identical() {
+    // 6000 nodes > PARALLEL_WORK_THRESHOLD (4096): the sharded build actually
+    // spawns its scoped threads for seeding/derivation, and the mass demotion
+    // drain floods the round machinery. A single-label cyclic pattern keeps
+    // every node a candidate so the arrays are fully populated.
+    let mut graph = DataGraph::new();
+    let n = 6_000usize;
+    for _ in 0..n {
+        graph.add_labeled_node("a");
+    }
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x81);
+    let mut added = 0usize;
+    while added < 18_000 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && graph.add_edge(NodeId(a as u32), NodeId(b as u32)) {
+            added += 1;
+        }
+    }
+    let mut pattern = Pattern::new();
+    let u1 = pattern.add_labeled_node("a");
+    let u2 = pattern.add_labeled_node("a");
+    pattern.add_normal_edge(u1, u2);
+    pattern.add_normal_edge(u2, u1);
+
+    let reference = SimulationIndex::build_with_shards(&pattern, &graph, 1);
+    for shards in DEGENERATE_SHARDS {
+        let index = SimulationIndex::build_with_shards(&pattern, &graph, shards);
+        assert_eq!(index.aux_snapshot(), reference.aux_snapshot(), "shards={shards}");
+        assert_eq!(index.build_stats(), reference.build_stats(), "shards={shards}");
+        assert_eq!(index.matches(), reference.matches(), "shards={shards}");
+    }
+    assert_eq!(
+        reference.matches(),
+        igpm::core::match_simulation(&pattern, &graph),
+        "threaded build diverged from from-scratch recomputation"
+    );
+}
