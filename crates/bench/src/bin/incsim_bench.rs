@@ -61,6 +61,22 @@
 //! interleaved round-robin, `host_parallelism` recorded — asserting every
 //! build bit-identical (masks, counters, build `AffStats`) to the 1-shard
 //! build before any number is written.
+//!
+//! The `mutation_scaling` section sweeps the bare **graph mutation path** —
+//! sharded `minDelta` net-effect reduction plus the two-pass sharded
+//! `DataGraph` edge-map mutation, no matching work — over the same shard
+//! counts and workload, asserting every run leaves a graph adjacency-identical
+//! to the 1-shard run (see `BENCHMARKS.md`).
+//!
+//! # Perf-regression gate (`--check-against`)
+//!
+//! `--check-against OLD.json` compares the freshly measured **1-shard-pinned**
+//! `batch` and `build` sections against a previously committed artifact and
+//! exits non-zero when a medium is slower than the committed number by more
+//! than `--check-tolerance` (default 0.35 — generous, because hosted CI
+//! runners are noisy co-tenants; see `BENCHMARKS.md` for the rationale). Only
+//! the 1-shard sections are gated: they are the only numbers comparable
+//! across hosts with different core counts.
 
 use igpm_bench::harness::{median_ns, updates_per_sec};
 use igpm_bench::legacy::LegacySimulationIndex;
@@ -70,7 +86,9 @@ use igpm_generator::{
     degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
     synthetic_graph, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
 };
-use igpm_graph::{BatchUpdate, DataGraph, JsonValue, Pattern, Update};
+use igpm_graph::{
+    reduce_batch_sharded, BatchUpdate, DataGraph, JsonValue, Pattern, ShardPlan, Update,
+};
 use std::time::Instant;
 
 struct Config {
@@ -87,6 +105,8 @@ struct Config {
     scaling_nodes: usize,
     scaling_edges: usize,
     scaling_batch: usize,
+    check_against: Option<String>,
+    check_tolerance: f64,
 }
 
 impl Default for Config {
@@ -113,6 +133,12 @@ impl Default for Config {
             scaling_nodes: 40_000,
             scaling_edges: 240_000,
             scaling_batch: 20_000,
+            check_against: None,
+            // Hosted runners are co-tenanted and frequency-drifty: 35% keeps
+            // the gate quiet on noise while still catching real regressions
+            // (an accidental O(deg) removal or a lost fast path shows up as
+            // 2-10x, not 1.35x).
+            check_tolerance: 0.35,
         }
     }
 }
@@ -148,6 +174,16 @@ fn parse_args() -> Config {
             "--scaling-nodes" => config.scaling_nodes = grab("--scaling-nodes"),
             "--scaling-edges" => config.scaling_edges = grab("--scaling-edges"),
             "--scaling-batch" => config.scaling_batch = grab("--scaling-batch"),
+            "--check-against" => {
+                config.check_against = Some(args.next().expect("--check-against needs a path"))
+            }
+            "--check-tolerance" => {
+                config.check_tolerance = args
+                    .next()
+                    .expect("--check-tolerance needs a value")
+                    .parse::<f64>()
+                    .expect("--check-tolerance needs a number (e.g. 0.35)")
+            }
             other => panic!("unknown flag {other} (see crates/bench/src/bin/incsim_bench.rs)"),
         }
     }
@@ -668,8 +704,119 @@ fn batch_scaling_sweep(
     runs
 }
 
+/// Sweeps the bare graph-mutation path — sharded `minDelta` net-effect
+/// reduction plus the two-pass sharded `DataGraph` edge-map application, no
+/// matching work — over the shard counts, asserting every run leaves a graph
+/// **adjacency-identical** (list order included) to the 1-shard run before
+/// any number is reported. Warmup first, then samples interleaved
+/// round-robin over the shard counts.
+fn mutation_scaling_sweep(graph: &DataGraph, batch: &BatchUpdate) -> Vec<ScalingRun> {
+    let reference = {
+        let plan = ShardPlan::new(graph.node_count(), 1);
+        let (effective, _) = reduce_batch_sharded(graph, batch, plan);
+        let mut g = graph.clone();
+        g.apply_reduced_batch_sharded(&effective, plan);
+        g.assert_edge_index_consistent();
+        g
+    };
+    // Warmup (allocator + caches) once untimed.
+    {
+        let plan = ShardPlan::new(graph.node_count(), SHARD_SWEEP[SHARD_SWEEP.len() - 1]);
+        let (effective, _) = reduce_batch_sharded(graph, batch, plan);
+        let mut g = graph.clone();
+        g.apply_reduced_batch_sharded(&effective, plan);
+    }
+    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(SWEEP_SAMPLES); SHARD_SWEEP.len()];
+    for _ in 0..SWEEP_SAMPLES {
+        for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+            let mut g = graph.clone();
+            let plan = ShardPlan::new(g.node_count(), shards);
+            let (ms, applied) = time_batch(|| {
+                let (effective, _) = reduce_batch_sharded(&g, batch, plan);
+                g.apply_reduced_batch_sharded(&effective, plan)
+            });
+            times[i].push((ms * 1e6) as u128);
+            assert!(applied > 0, "scaling batch reduced to nothing");
+            assert!(
+                g.identical_to(&reference),
+                "{shards}-shard mutation left a different graph than the 1-shard run"
+            );
+        }
+    }
+    let mut runs = Vec::new();
+    for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+        let median = median_ns(times[i].clone());
+        let throughput = updates_per_sec(batch.len(), median);
+        println!(
+            "mutation_scaling ({} updates, |V|={}): {shards} shard(s) — {:.3} ms ({:.0}/s)",
+            batch.len(),
+            graph.node_count(),
+            median as f64 / 1e6,
+            throughput,
+        );
+        runs.push(ScalingRun { shards, median_ns: median, throughput });
+    }
+    runs
+}
+
+/// One gated metric of the perf-regression check: a lower-is-better median
+/// read from `section.key` of both the fresh and the committed report.
+const GATED_METRICS: [(&str, &str, &str); 2] = [
+    ("batch", "counter_median_ms", "batch IncMatch, 1 shard"),
+    ("build", "median_ms", "cold-start build, 1 shard"),
+];
+
+/// Compares the fresh report's 1-shard-pinned sections against a committed
+/// artifact. Returns the failure messages (empty = gate passed).
+///
+/// A metric **fails** when `fresh > committed * (1 + tolerance)`. Metrics
+/// missing from the *committed* file are skipped with a note (they appear
+/// when a new section ships); metrics missing from the fresh report are a
+/// bug and fail loudly.
+fn regression_gate(fresh: &JsonValue, committed: &JsonValue, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (section, key, label) in GATED_METRICS {
+        let fresh_value = fresh
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("fresh report lacks {section}.{key}"));
+        let Some(committed_value) =
+            committed.get(section).and_then(|s| s.get(key)).and_then(JsonValue::as_f64)
+        else {
+            println!("check {label}: {section}.{key} absent from committed artifact — skipped");
+            continue;
+        };
+        let limit = committed_value * (1.0 + tolerance);
+        let ratio = fresh_value / committed_value.max(f64::MIN_POSITIVE);
+        if fresh_value > limit {
+            failures.push(format!(
+                "{label}: {fresh_value:.3} ms vs committed {committed_value:.3} ms \
+                 ({ratio:.2}x, tolerance {:.0}%)",
+                tolerance * 100.0
+            ));
+            println!(
+                "check {label}: FAIL ({fresh_value:.3} ms vs {committed_value:.3} ms, {ratio:.2}x)"
+            );
+        } else {
+            println!(
+                "check {label}: ok ({fresh_value:.3} ms vs {committed_value:.3} ms, {ratio:.2}x)"
+            );
+        }
+    }
+    failures
+}
+
 fn main() {
     let config = parse_args();
+    // Load the committed artifact *before* the (minutes-long) measurement so
+    // a bad path fails fast.
+    let committed = config.check_against.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|err| panic!("--check-against {path}: {err}"));
+        JsonValue::parse(&text)
+            .unwrap_or_else(|err| panic!("--check-against {path}: invalid JSON: {err}"))
+    });
     println!(
         "# incsim_bench — |V|={}, |E|={}, {} labels, {} unit updates, batch {}",
         config.nodes, config.edges, config.labels, config.unit_updates, config.batch_size
@@ -745,6 +892,20 @@ fn main() {
     );
     let scaling =
         batch_scaling_sweep(&scaling_graph, &scaling_pattern, &scaling_batch, config.scaling_nodes);
+    let mutation_scaling = mutation_scaling_sweep(&scaling_graph, &scaling_batch);
+    let mutation_scaling_json = obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("nodes", JsonValue::Int(config.scaling_nodes as i64)),
+                ("edges", JsonValue::Int(config.scaling_edges as i64)),
+                ("batch_size", JsonValue::Int(config.scaling_batch as i64)),
+                ("seed", JsonValue::Int((config.seed + 0x5c) as i64)),
+            ]),
+        ),
+        ("host_parallelism", host_parallelism_json()),
+        ("runs", scaling_runs_json(&mutation_scaling, "updates_per_sec")),
+    ]);
     let scaling_json = obj(vec![
         (
             "workload",
@@ -826,9 +987,29 @@ fn main() {
         ),
         ("batch_scaling", scaling_json),
         ("build_scaling", build_scaling_json),
+        ("mutation_scaling", mutation_scaling_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);
+
+    // --- Perf-regression gate --------------------------------------------
+    if let Some(committed) = committed {
+        let failures = regression_gate(&report, &committed, config.check_tolerance);
+        if !failures.is_empty() {
+            eprintln!(
+                "perf-regression gate FAILED against {}:",
+                config.check_against.as_deref().unwrap_or_default()
+            );
+            for failure in &failures {
+                eprintln!("  {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "perf-regression gate passed against {}",
+            config.check_against.as_deref().unwrap_or_default()
+        );
+    }
 }
 
 /// The measuring host's available parallelism — wall-clock scaling is only

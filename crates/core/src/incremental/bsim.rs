@@ -35,11 +35,11 @@
 //! bit-identical for every shard count.
 
 use crate::bounded::evaluate_pair_bounds;
-use crate::incremental::shard::{configured_shards, PARALLEL_EVAL_THRESHOLD};
+use crate::incremental::shard::{configured_shards, ShardPlan, PARALLEL_EVAL_THRESHOLD};
 use crate::incremental::sim::MAX_PATTERN_NODES;
 use crate::simulation::candidates;
 use crate::stats::AffStats;
-use igpm_distance::landmark_inc::inc_lm_tracked;
+use igpm_distance::landmark_inc::inc_lm_tracked_reduced;
 use igpm_distance::{satisfies_bound, LandmarkIndex, LandmarkSelection};
 use igpm_graph::hash::{FastHashMap, FastHashSet};
 use igpm_graph::{
@@ -126,7 +126,7 @@ impl BoundedIndex {
     /// counters, cached matches and build [`AffStats`]
     /// ([`BoundedIndex::build_stats`]): the landmark BFS rows are independent
     /// per landmark, the pairwise bound checks are pure reads evaluated in a
-    /// fixed enumeration order ([`evaluate_pair_bounds`]) and committed
+    /// fixed enumeration order (`evaluate_pair_bounds`) and committed
     /// sequentially, and the initial refinement is a deterministic fixpoint.
     pub fn build_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self {
         let landmarks =
@@ -364,7 +364,8 @@ impl BoundedIndex {
     }
 
     /// [`BoundedIndex::apply_batch`] with an explicit shard count for the
-    /// pair re-evaluation step. Results are bit-identical for every count.
+    /// batch reduction and the pair re-evaluation step. Results are
+    /// bit-identical for every count.
     pub fn apply_batch_with_shards(
         &mut self,
         graph: &mut DataGraph,
@@ -376,10 +377,27 @@ impl BoundedIndex {
         // pipeline before anything is classified against the batch.
         self.ensure_node_capacity(graph);
 
+        // Step 0: net-effect reduction on the same shard plan as the plain
+        // engine (`minDelta` step 1, sharded by update source with a
+        // deterministic first-touch merge). `IncLM` would reduce internally
+        // anyway — sequentially; pre-reducing here keeps the effective list
+        // identical (a reduced batch reduces to itself) while running the
+        // reduction on `IGPM_SHARDS` threads for large batches. The distance
+        // maintenance itself stays per-update: distance propagation is
+        // order-dependent, unlike the edge-map mutation.
+        let plan = ShardPlan::new(graph.node_count(), shards);
+        let (effective, _) = igpm_graph::update::reduce_batch_sharded(graph, batch, plan);
+        if effective.is_empty() {
+            return stats;
+        }
+
         // Step 1: maintain the landmark/distance vectors (IncLM) and collect
-        // the nodes whose distance information changed.
+        // the nodes whose distance information changed. The pre-reduced entry
+        // point skips IncLM's internal reduction — the list is already
+        // minimal.
         let mut affected: FastHashSet<NodeId> = FastHashSet::default();
-        let lm_stats = inc_lm_tracked(&mut self.landmarks, graph, batch, &mut affected);
+        let lm_stats =
+            inc_lm_tracked_reduced(&mut self.landmarks, graph, &effective, &mut affected);
         stats.reduced_delta_g = lm_stats.updates_processed;
         stats.aux_changes += lm_stats.affected_entries;
 

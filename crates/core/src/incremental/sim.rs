@@ -39,12 +39,21 @@
 //!
 //! # Sharded batch maintenance
 //!
-//! The three batch phases — counter absorption, demotion drain, promotion
-//! drain — are bulk-synchronous, and the per-node state (`masks`, `cnt`)
-//! partitions cleanly by node id. [`SimulationIndex::apply_batch`] therefore
-//! runs each phase across contiguous node-range *shards*
+//! Every stage of the batch pipeline is bulk-synchronous and partitions by
+//! node id, so [`SimulationIndex::apply_batch`] runs the *whole* path —
+//! `minDelta` reduction, graph mutation, counter absorption, demotion drain,
+//! promotion drain — across the same contiguous node-range *shards*
 //! ([`crate::incremental::shard`]):
 //!
+//! * the **`minDelta` reduction** shards by update source (all updates
+//!   touching an edge share its source), nets each shard's edges and
+//!   classifies pattern relevance against the frozen masks, then merges
+//!   deterministically by first-touch batch position — the exact sequential
+//!   output ([`SimulationIndex::apply_batch_with_shards`] docs);
+//! * the **graph mutation** applies the reduced batch in two passes on the
+//!   same plan — out-adjacency (and its per-node position map) sharded by
+//!   source, in-adjacency by target
+//!   ([`DataGraph::apply_reduced_batch_sharded`]);
 //! * **absorption** touches only the counter rows of each update's source
 //!   node, so shards absorb their own updates with no communication at all;
 //! * the **demotion/promotion drains** become synchronous *rounds*: a shard
@@ -72,8 +81,8 @@
 use crate::incremental::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use crate::simulation::{candidates, simulation_result_graph};
 use crate::stats::AffStats;
-use igpm_distance::landmark_inc::reduce_batch;
 use igpm_graph::hash::FastHashMap;
+use igpm_graph::update::{net_effective_updates, reduce_batch};
 use igpm_graph::{
     BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
     StronglyConnectedComponents, Update,
@@ -473,56 +482,114 @@ impl SimulationIndex {
         // must see nodes added since the last index operation as candidates.
         self.ensure_node_capacity(graph);
 
-        // minDelta step 1: drop updates whose net effect on the graph is nil.
-        let (effective, _) = reduce_batch(graph, batch);
+        // One plan drives every stage of the batch: reduction, graph
+        // mutation, absorption and the drains all partition by the same
+        // contiguous node ranges.
+        let plan = ShardPlan::new(self.nv, shards);
 
-        // minDelta step 2: drop updates that are irrelevant to the pattern
-        // (not ss edges for deletions, not cs/cc edges for insertions). They
-        // are still applied to the graph and the counters below.
-        let mut relevant_insertions: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut relevant = 0usize;
-        for update in &effective {
-            let (a, b) = update.endpoints();
-            match update {
-                Update::DeleteEdge { .. } if self.is_ss_edge(a, b) => relevant += 1,
-                Update::InsertEdge { .. } if self.is_cs_or_cc_edge(a, b) => {
-                    relevant += 1;
-                    relevant_insertions.push((a, b));
-                }
-                _ => {}
-            }
-        }
-        stats.reduced_delta_g = relevant;
-
-        // Apply the whole (net) batch to the graph before any matching work so
-        // that every support decision sees the final graph.
-        for update in &effective {
-            update.apply(graph);
-        }
-        if effective.is_empty() {
+        // minDelta steps 1 + 2, sharded by update source: drop updates whose
+        // net effect on the graph is nil, and count/collect the updates
+        // relevant to the pattern (ss deletions, cs/cc insertions). The
+        // irrelevant survivors are still applied to the graph and absorbed
+        // into the counters below.
+        let reduction = self.min_delta_sharded(graph, batch, plan);
+        stats.reduced_delta_g = reduction.relevant;
+        if reduction.effective.is_empty() {
             return stats;
         }
-        self.invalidate_cache();
 
-        let plan = ShardPlan::new(self.nv, shards);
+        // Apply the whole (net) batch to the graph before any matching work
+        // so that every support decision sees the final graph. The mutation
+        // runs on the same plan: out-sides sharded by source, in-sides by
+        // target (see [`DataGraph::apply_reduced_batch_sharded`]).
+        graph.apply_reduced_batch_sharded(&reduction.effective, plan);
+        self.invalidate_cache();
 
         // Phase 1 — absorption: absorb every effective edge change into the
         // counters, sharded by each update's *source* node (the only node
         // whose counter row an update touches). The match state is untouched
         // in this phase, so afterwards
         // `cnt[v][u2] = |children_new(v) ∩ match_old(u2)|` exactly.
-        let (demotion_seeds, promotion_seeds) = self.absorb_batch(&effective, plan, &mut stats);
+        let (demotion_seeds, promotion_seeds) =
+            self.absorb_batch(&reduction.effective, plan, &mut stats);
 
         // Phase 2 — deletions first (they can only shrink)...
         if !demotion_seeds.is_empty() {
             self.drain_demotions_sharded(graph, demotion_seeds, plan, &mut stats);
         }
         // ...phase 3 — then insertions.
-        let run_cc = self.has_cycle && self.inserted_touches_scc(&relevant_insertions);
+        let run_cc = self.has_cycle && self.inserted_touches_scc(&reduction.relevant_insertions);
         if !promotion_seeds.is_empty() || run_cc {
             self.propagate_insertions_sharded(graph, promotion_seeds, run_cc, plan, &mut stats);
         }
         stats
+    }
+
+    /// `minDelta` (Fig. 10 lines 1-2) as a sharded two-pass reduction.
+    ///
+    /// Pass 1 partitions the batch by each update's **source** node — all
+    /// updates touching an edge share its source, so each shard can net its
+    /// own edges' effects against the pre-batch graph independently
+    /// ([`net_effective_updates`]) and classify the survivors against the
+    /// (frozen) membership masks in the same sweep. Pass 2 is a
+    /// deterministic merge: survivors are ordered by the position at which
+    /// the batch *first touched* their edge, which is exactly the order the
+    /// sequential reduction emits — so the effective list, the relevance
+    /// count ([`AffStats::reduced_delta_g`]) and the relevant-insertion list
+    /// are bit-identical for every shard count, and one shard is the literal
+    /// sequential reduction.
+    fn min_delta_sharded(
+        &self,
+        graph: &DataGraph,
+        batch: &BatchUpdate,
+        plan: ShardPlan,
+    ) -> MinDeltaReduction {
+        let child_mask = &self.child_mask;
+        let classify = move |masks: &[NodeMasks], update: &Update| {
+            let (a, b) = update.endpoints();
+            match update {
+                Update::DeleteEdge { .. } => is_ss_edge(masks, child_mask, a, b),
+                Update::InsertEdge { .. } => is_cs_or_cc_edge(masks, child_mask, a, b),
+            }
+        };
+        // Inline fast path: one shard, or too little work to pay for spawns.
+        if plan.count == 1 || batch.len() < PARALLEL_WORK_THRESHOLD {
+            let (effective, _) = reduce_batch(graph, batch);
+            let mut reduction = MinDeltaReduction::default();
+            for update in effective {
+                let relevant = classify(&self.masks, &update);
+                reduction.push(update, relevant);
+            }
+            return reduction;
+        }
+
+        let mut per_shard: Vec<Vec<(u32, Update)>> = vec![Vec::new(); plan.count];
+        for (pos, &update) in batch.iter().enumerate() {
+            per_shard[plan.owner(update.endpoints().0.index())].push((pos as u32, update));
+        }
+        let masks = &self.masks;
+        let mut merged: Vec<(u32, Update, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_shard
+                .into_iter()
+                .map(|slice| {
+                    scope.spawn(move || {
+                        net_effective_updates(graph, &slice)
+                            .into_iter()
+                            .map(|(pos, update)| (pos, update, classify(masks, &update)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("minDelta shard panicked")).collect()
+        });
+        // Deterministic merge: ascending first-touch position reproduces the
+        // sequential reduction's output order exactly.
+        merged.sort_unstable_by_key(|&(pos, _, _)| pos);
+        let mut reduction = MinDeltaReduction::default();
+        for (_, update, relevant) in merged {
+            reduction.push(update, relevant);
+        }
+        reduction
     }
 
     // ------------------------------------------------------------------
@@ -532,41 +599,13 @@ impl SimulationIndex {
     /// True if `(from, to)` is an ss edge for some pattern edge: both
     /// endpoints currently match the edge's endpoints.
     fn is_ss_edge(&self, from: NodeId, to: NodeId) -> bool {
-        let (Some(fm), Some(tm)) = (self.masks.get(from.index()), self.masks.get(to.index()))
-        else {
-            return false;
-        };
-        let tbits = tm.matched;
-        let mut bits = fm.matched;
-        while bits != 0 {
-            let u = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            if self.child_mask[u] & tbits != 0 {
-                return true;
-            }
-        }
-        false
+        is_ss_edge(&self.masks, &self.child_mask, from, to)
     }
 
     /// True if `(from, to)` is a cs or cc edge for some pattern edge: the
     /// source is a candidate and the target is a candidate or a match.
     fn is_cs_or_cc_edge(&self, from: NodeId, to: NodeId) -> bool {
-        let (Some(fm), Some(to_idx)) =
-            (self.masks.get(from.index()), (to.index() < self.nv).then_some(to.index()))
-        else {
-            return false;
-        };
-        let target = self.masks[to_idx];
-        let target_bits = target.matched | target.candt;
-        let mut bits = fm.candt;
-        while bits != 0 {
-            let u = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            if self.child_mask[u] & target_bits != 0 {
-                return true;
-            }
-        }
-        false
+        is_cs_or_cc_edge(&self.masks, &self.child_mask, from, to)
     }
 
     /// True if some inserted edge can affect the joint SCC evaluation, so
@@ -1182,6 +1221,68 @@ impl SimulationIndex {
 
 /// Demotion/promotion seed: `(pattern node, data node)`.
 type Seed = (u32, u32);
+
+/// Output of the `minDelta` reduction: the net-effective updates in
+/// first-touch order, how many of them are pattern-relevant (ss deletions or
+/// cs/cc insertions — [`AffStats::reduced_delta_g`]), and the relevant
+/// insertions themselves (the `propCC` trigger inputs).
+#[derive(Default)]
+struct MinDeltaReduction {
+    effective: Vec<Update>,
+    relevant: usize,
+    relevant_insertions: Vec<(NodeId, NodeId)>,
+}
+
+impl MinDeltaReduction {
+    fn push(&mut self, update: Update, relevant: bool) {
+        if relevant {
+            self.relevant += 1;
+            if update.is_insert() {
+                let (a, b) = update.endpoints();
+                self.relevant_insertions.push((a, b));
+            }
+        }
+        self.effective.push(update);
+    }
+}
+
+/// True if `(from, to)` is an ss edge for some pattern edge: both endpoints
+/// currently match the edge's endpoints (Table II). Free function so the
+/// sharded `minDelta` pass can classify on worker threads without capturing
+/// the index (whose lazy match cache is not `Sync`).
+fn is_ss_edge(masks: &[NodeMasks], child_mask: &[u64], from: NodeId, to: NodeId) -> bool {
+    let (Some(fm), Some(tm)) = (masks.get(from.index()), masks.get(to.index())) else {
+        return false;
+    };
+    let tbits = tm.matched;
+    let mut bits = fm.matched;
+    while bits != 0 {
+        let u = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if child_mask[u] & tbits != 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// True if `(from, to)` is a cs or cc edge for some pattern edge: the source
+/// is a candidate and the target is a candidate or a match (Table II).
+fn is_cs_or_cc_edge(masks: &[NodeMasks], child_mask: &[u64], from: NodeId, to: NodeId) -> bool {
+    let (Some(fm), Some(target)) = (masks.get(from.index()), masks.get(to.index())) else {
+        return false;
+    };
+    let target_bits = target.matched | target.candt;
+    let mut bits = fm.candt;
+    while bits != 0 {
+        let u = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        if child_mask[u] & target_bits != 0 {
+            return true;
+        }
+    }
+    false
+}
 
 /// A pending counter delta: `(data node, pattern node)`. Whether it is a
 /// decrement or an increment is fixed by the phase ([`RoundKind`]).

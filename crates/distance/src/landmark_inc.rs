@@ -166,12 +166,27 @@ pub fn inc_lm_tracked(
     batch: &BatchUpdate,
     affected: &mut FastHashSet<NodeId>,
 ) -> LandmarkMaintenanceStats {
+    let (effective, cancelled) = reduce_batch(graph, batch);
+    let mut stats = inc_lm_tracked_reduced(index, graph, &effective, affected);
+    stats.cancelled_updates += cancelled;
+    stats
+}
+
+/// [`inc_lm_tracked`] for a batch **already reduced** to its net-effective
+/// updates (each edge at most once, every update effective — the output of
+/// [`reduce_batch`] / its sharded variant): skips the internal reduction, so
+/// callers that reduce on a shard plan (the bounded batch engine) do not pay
+/// a second sequential presence pass over the same updates.
+pub fn inc_lm_tracked_reduced(
+    index: &mut LandmarkIndex,
+    graph: &mut DataGraph,
+    effective: &[Update],
+    affected: &mut FastHashSet<NodeId>,
+) -> LandmarkMaintenanceStats {
     let mut stats = LandmarkMaintenanceStats::default();
     index.ensure_node_capacity(graph.node_count());
-    let (effective, cancelled) = reduce_batch(graph, batch);
-    stats.cancelled_updates += cancelled;
     for update in effective {
-        let unit = match update {
+        let unit = match *update {
             Update::InsertEdge { from, to } => ins_lm_tracked(index, graph, from, to, affected),
             Update::DeleteEdge { from, to } => del_lm_tracked(index, graph, from, to, affected),
         };
@@ -180,37 +195,11 @@ pub fn inc_lm_tracked(
     stats
 }
 
-/// Removes updates whose net effect on each edge is nil (e.g. an insertion
-/// followed by a deletion of the same edge), returning the minimal effective
-/// update list and the number of cancelled unit updates.
-pub fn reduce_batch(graph: &DataGraph, batch: &BatchUpdate) -> (Vec<Update>, usize) {
-    use igpm_graph::hash::FastHashMap;
-    // Track the simulated final presence per touched edge, in first-touch order.
-    let mut order: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut presence: FastHashMap<(NodeId, NodeId), (bool, bool)> = FastHashMap::default(); // (initial, current)
-    for update in batch.iter() {
-        let key = update.endpoints();
-        let entry = presence.entry(key).or_insert_with(|| {
-            order.push(key);
-            let present = graph.has_edge(key.0, key.1);
-            (present, present)
-        });
-        entry.1 = update.is_insert();
-    }
-    let mut effective = Vec::new();
-    for key in order {
-        let (initial, fin) = presence[&key];
-        if initial != fin {
-            effective.push(if fin {
-                Update::insert(key.0, key.1)
-            } else {
-                Update::delete(key.0, key.1)
-            });
-        }
-    }
-    let cancelled = batch.len() - effective.len();
-    (effective, cancelled)
-}
+// The net-effect batch reduction (`minDelta` step 1) moved to
+// `igpm_graph::update`, where the sharded variant also lives; re-exported
+// here because `IncLM` and this module's historical callers import it from
+// the distance crate.
+pub use igpm_graph::update::reduce_batch;
 
 /// Propagates a distance decrease caused by the new edge `(from, to)` through
 /// `row`, where `row[v]` is the distance from a fixed landmark to `v`.

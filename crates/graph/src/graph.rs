@@ -1,28 +1,68 @@
 //! Directed data graphs `G = (V, E, f_A)`.
 
 use crate::attr::Attributes;
-use crate::hash::{map_with_capacity, FastHashMap};
+use crate::hash::FastHashMap;
 use crate::node::NodeId;
+use crate::shard::{ShardPlan, PARALLEL_WORK_THRESHOLD};
+use crate::update::Update;
+
+/// Per-node edge-position map: for the out side, `out_pos[from]` maps a
+/// target id to the target's position inside `out[from]`; for the in side,
+/// `inc_pos[to]` maps a source id to its position inside `inc[to]`.
+type PosMap = FastHashMap<u32, u32>;
+
+/// Adjacency lists at or below this length are probed by a linear scan
+/// instead of a position map: scanning ≤ 64 `u32`s touches a handful of
+/// cache lines, which beats two hash probes into cold per-node maps, and the
+/// bulk of the nodes in the paper's workloads (average degree ≈ 6) stay far
+/// below it.
+/// A node's side builds its map lazily when its list first grows past the
+/// threshold and keeps it until the list empties (hysteresis), so hubs — the
+/// nodes the O(1)-removal machinery exists for — pay the map, and everyone
+/// else pays a bounded scan. The structure is a pure function of the side's
+/// insert/remove sequence, so it is identical for every shard count.
+pub const POS_INDEX_THRESHOLD: usize = 64;
 
 /// A directed data graph whose nodes carry attribute tuples.
 ///
 /// The graph stores forward and reverse adjacency lists so that both the
 /// children `Cr(v)` and parents `Pr(v)` of a node (Section 2.1) are available
 /// in O(out-degree) / O(in-degree), as required by the incremental algorithms
-/// of Sections 5 and 6. An edge map provides O(1) `has_edge` checks **and**
-/// records each edge's position inside the two adjacency lists, so that
-/// `remove_edge` is O(1) regardless of endpoint degree: the update machinery
-/// of the incremental engines deletes edges incident to high-degree hubs
-/// constantly (degree-biased workloads, Section 8.2), and a linear
-/// `position()` scan per deletion would make every such deletion O(deg).
+/// of Sections 5 and 6. Edge positions are tracked **per node**: once a
+/// node's list outgrows [`POS_INDEX_THRESHOLD`], `out_pos[v]` records where
+/// each out-neighbour sits inside `out[v]` and `inc_pos[v]` where each
+/// in-neighbour sits inside `inc[v]` (below the threshold a bounded linear
+/// scan is cheaper than any hash probe), so `has_edge` and `remove_edge` are
+/// O(1) regardless of endpoint degree — the update machinery of the
+/// incremental engines deletes edges incident to high-degree hubs constantly
+/// (degree-biased workloads, Section 8.2), and an unbounded `position()`
+/// scan per deletion would make every such deletion O(deg).
+///
+/// # Sharded mutation
+///
+/// The per-node split (instead of one global `(from, to)` map) is what makes
+/// the whole mutation state *partitionable by node id*: every structure a
+/// batched edge update touches — `out[from]` + `out_pos[from]` on the out
+/// side, `inc[to]` + `inc_pos[to]` on the in side, including the position
+/// patches after a swap-remove — belongs to exactly one node. A
+/// [`ShardPlan`] node-range shard can therefore insert/remove its own
+/// sources' (resp. targets') edges on a disjoint `&mut` slice with no
+/// locking, which is how [`DataGraph::apply_reduced_batch_sharded`] applies
+/// a reduced batch in two embarrassingly parallel passes.
 #[derive(Debug, Clone, Default)]
 pub struct DataGraph {
     attrs: Vec<Attributes>,
     out: Vec<Vec<NodeId>>,
     inc: Vec<Vec<NodeId>>,
-    /// `(from, to)` -> (position of `to` in `out[from]`, position of `from`
-    /// in `inc[to]`). Kept exact across swap-removes.
-    edge_pos: FastHashMap<(u32, u32), (u32, u32)>,
+    /// `out_pos[from]`: target id -> position of the target in `out[from]`.
+    /// Kept exact across swap-removes. Empty (never allocated) while
+    /// `out[from]` is short enough to scan — see [`POS_INDEX_THRESHOLD`]:
+    /// a non-empty map tracks *every* entry of its list, an empty map means
+    /// the list is probed linearly.
+    out_pos: Vec<PosMap>,
+    /// `inc_pos[to]`: source id -> position of the source in `inc[to]`.
+    /// Same hybrid regime as `out_pos`.
+    inc_pos: Vec<PosMap>,
     num_edges: usize,
 }
 
@@ -32,13 +72,17 @@ impl DataGraph {
         DataGraph::default()
     }
 
-    /// Creates an empty graph with room for `nodes` nodes and `edges` edges.
+    /// Creates an empty graph with room for `nodes` nodes. (`edges` is
+    /// accepted for API stability; the per-node position maps size themselves
+    /// as edges arrive.)
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let _ = edges;
         DataGraph {
             attrs: Vec::with_capacity(nodes),
             out: Vec::with_capacity(nodes),
             inc: Vec::with_capacity(nodes),
-            edge_pos: map_with_capacity(edges),
+            out_pos: Vec::with_capacity(nodes),
+            inc_pos: Vec::with_capacity(nodes),
             num_edges: 0,
         }
     }
@@ -49,6 +93,8 @@ impl DataGraph {
         self.attrs.push(attrs);
         self.out.push(Vec::new());
         self.inc.push(Vec::new());
+        self.out_pos.push(PosMap::default());
+        self.inc_pos.push(PosMap::default());
         id
     }
 
@@ -67,16 +113,10 @@ impl DataGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
         assert!(from.index() < self.attrs.len(), "edge source {from} out of bounds");
         assert!(to.index() < self.attrs.len(), "edge target {to} out of bounds");
-        let out_pos = self.out[from.index()].len() as u32;
-        let inc_pos = self.inc[to.index()].len() as u32;
-        match self.edge_pos.entry((from.0, to.0)) {
-            std::collections::hash_map::Entry::Occupied(_) => return false,
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert((out_pos, inc_pos));
-            }
+        if !side_try_push(&mut self.out[from.index()], &mut self.out_pos[from.index()], to) {
+            return false;
         }
-        self.out[from.index()].push(to);
-        self.inc[to.index()].push(from);
+        side_push(&mut self.inc[to.index()], &mut self.inc_pos[to.index()], from);
         self.num_edges += 1;
         true
     }
@@ -87,19 +127,14 @@ impl DataGraph {
     /// swap-removed at their recorded positions; the entry swapped into the
     /// hole has its recorded position patched, so no linear scan ever runs.
     pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
-        let Some((out_pos, inc_pos)) = self.edge_pos.remove(&(from.0, to.0)) else {
+        if from.index() >= self.attrs.len() || to.index() >= self.attrs.len() {
             return false;
-        };
-        let out = &mut self.out[from.index()];
-        out.swap_remove(out_pos as usize);
-        if let Some(&moved) = out.get(out_pos as usize) {
-            self.edge_pos.get_mut(&(from.0, moved.0)).expect("moved out-edge tracked").0 = out_pos;
         }
-        let inc = &mut self.inc[to.index()];
-        inc.swap_remove(inc_pos as usize);
-        if let Some(&moved) = inc.get(inc_pos as usize) {
-            self.edge_pos.get_mut(&(moved.0, to.0)).expect("moved in-edge tracked").1 = inc_pos;
+        if !side_remove(&mut self.out[from.index()], &mut self.out_pos[from.index()], to) {
+            return false;
         }
+        let removed = side_remove(&mut self.inc[to.index()], &mut self.inc_pos[to.index()], from);
+        debug_assert!(removed, "edge tracked on both sides");
         self.num_edges -= 1;
         true
     }
@@ -111,28 +146,126 @@ impl DataGraph {
     /// Kept **only** so the benchmark baseline (`igpm-bench::legacy`) can
     /// reproduce the seed implementation's true per-deletion cost, which is
     /// `O(deg)` on the degree-biased update workloads of Section 8.2. All
-    /// invariants (including the position map) are maintained; only the
+    /// invariants (including the position maps) are maintained; only the
     /// lookup is done the old way. Do not use outside benchmarks.
     pub fn remove_edge_linear(&mut self, from: NodeId, to: NodeId) -> bool {
-        if !self.edge_pos.contains_key(&(from.0, to.0)) {
+        if !self.has_edge(from, to) {
             return false;
         }
         let out_pos = self.out[from.index()]
             .iter()
             .position(|&v| v == to)
-            .expect("edge in map implies edge in adjacency") as u32;
+            .expect("edge in index implies edge in adjacency") as u32;
         let inc_pos = self.inc[to.index()]
             .iter()
             .position(|&v| v == from)
-            .expect("edge in map implies edge in reverse adjacency") as u32;
-        debug_assert_eq!(self.edge_pos[&(from.0, to.0)], (out_pos, inc_pos));
+            .expect("edge in index implies edge in reverse adjacency") as u32;
+        if !self.out_pos[from.index()].is_empty() {
+            debug_assert_eq!(self.out_pos[from.index()][&to.0], out_pos);
+        }
+        if !self.inc_pos[to.index()].is_empty() {
+            debug_assert_eq!(self.inc_pos[to.index()][&from.0], inc_pos);
+        }
         self.remove_edge(from, to)
+    }
+
+    /// Applies a **reduced** batch — each edge touched by at most one update,
+    /// and every update effective (insertions of absent edges, deletions of
+    /// present ones; exactly what `minDelta`'s net-effect reduction emits) —
+    /// with the mutation sharded across the node ranges of `plan`.
+    ///
+    /// Two bulk-synchronous passes: pass 1 shards the updates by **source**
+    /// node and mutates only `out[from]` + `out_pos[from]`; pass 2 shards by
+    /// **target** node and mutates only `inc[to]` + `inc_pos[to]`. Both
+    /// per-node structures (including swap-remove position patches) belong to
+    /// the owning shard's contiguous range, handed out as disjoint
+    /// `split_at_mut` slices — no locks, no atomics, no `unsafe`. Every
+    /// per-node list receives exactly the updates that touch it, in batch
+    /// order, so the final graph — adjacency order included — is
+    /// **bit-identical for every shard count**, and one shard is the
+    /// sequential loop. Threads are only spawned when the batch is large
+    /// enough to amortise them.
+    ///
+    /// Returns the number of applied updates (always `updates.len()` for a
+    /// correctly reduced batch).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `plan` does not cover this graph's nodes
+    /// or an update is not effective; in release builds a malformed batch
+    /// corrupts the edge index, so callers must reduce first.
+    pub fn apply_reduced_batch_sharded(&mut self, updates: &[Update], plan: ShardPlan) -> usize {
+        debug_assert_eq!(plan.nv, self.attrs.len(), "shard plan does not cover the graph");
+        if updates.is_empty() {
+            return 0;
+        }
+        let fan_out = plan.count > 1 && updates.len() >= PARALLEL_WORK_THRESHOLD;
+        if !fan_out {
+            // One shard (or too little work to pay for spawns): the two-pass
+            // structure below degenerates to the plain sequential loop.
+            for update in updates {
+                let (from, to) = update.endpoints();
+                let changed = match update {
+                    Update::InsertEdge { .. } => self.add_edge(from, to),
+                    Update::DeleteEdge { .. } => self.remove_edge(from, to),
+                };
+                debug_assert!(changed, "reduced batch contained a no-op update {update}");
+            }
+            return updates.len();
+        }
+        let insertions = updates.iter().filter(|u| u.is_insert()).count();
+
+        // Partition once per side; per-shard lists keep batch order, so every
+        // adjacency list sees its updates in exactly the sequential order.
+        let mut by_source: Vec<Vec<Update>> = vec![Vec::new(); plan.count];
+        let mut by_target: Vec<Vec<Update>> = vec![Vec::new(); plan.count];
+        for update in updates {
+            let (from, to) = update.endpoints();
+            by_source[plan.owner(from.index())].push(*update);
+            by_target[plan.owner(to.index())].push(*update);
+        }
+
+        // Pass 1 — out side, sharded by source node.
+        std::thread::scope(|scope| {
+            let mut out_rest = self.out.as_mut_slice();
+            let mut pos_rest = self.out_pos.as_mut_slice();
+            for (shard, updates) in by_source.into_iter().enumerate() {
+                let range = plan.range(shard);
+                let (out_chunk, out_tail) = out_rest.split_at_mut(range.len());
+                let (pos_chunk, pos_tail) = pos_rest.split_at_mut(range.len());
+                out_rest = out_tail;
+                pos_rest = pos_tail;
+                if updates.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || apply_out_side(out_chunk, pos_chunk, range.start, &updates));
+            }
+        });
+        // Pass 2 — in side, sharded by target node.
+        std::thread::scope(|scope| {
+            let mut inc_rest = self.inc.as_mut_slice();
+            let mut pos_rest = self.inc_pos.as_mut_slice();
+            for (shard, updates) in by_target.into_iter().enumerate() {
+                let range = plan.range(shard);
+                let (inc_chunk, inc_tail) = inc_rest.split_at_mut(range.len());
+                let (pos_chunk, pos_tail) = pos_rest.split_at_mut(range.len());
+                inc_rest = inc_tail;
+                pos_rest = pos_tail;
+                if updates.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || apply_in_side(inc_chunk, pos_chunk, range.start, &updates));
+            }
+        });
+        // Every update was effective, so the edge-count delta is exact.
+        self.num_edges = self.num_edges + insertions - (updates.len() - insertions);
+        updates.len()
     }
 
     /// Returns `true` if the edge `(from, to)` is present.
     #[inline]
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.edge_pos.contains_key(&(from.0, to.0))
+        let Some(list) = self.out.get(from.index()) else { return false };
+        side_contains(list, &self.out_pos[from.index()], to)
     }
 
     /// Returns `true` if `node` is a node of this graph.
@@ -213,18 +346,20 @@ impl DataGraph {
     /// [`DataGraph::add_edge`] (no such path exists today; kept for snapshot
     /// tooling and defensive repair).
     pub fn rebuild_edge_index(&mut self) {
-        let mut map = map_with_capacity(self.num_edges);
         for (from, targets) in self.out.iter().enumerate() {
-            for (pos, &to) in targets.iter().enumerate() {
-                map.insert((from as u32, to.0), (pos as u32, 0u32));
+            let map = &mut self.out_pos[from];
+            map.clear();
+            if targets.len() > POS_INDEX_THRESHOLD {
+                build_side_index(targets, map);
             }
         }
         for (to, sources) in self.inc.iter().enumerate() {
-            for (pos, &from) in sources.iter().enumerate() {
-                map.get_mut(&(from.0, to as u32)).expect("inc edge also in out").1 = pos as u32;
+            let map = &mut self.inc_pos[to];
+            map.clear();
+            if sources.len() > POS_INDEX_THRESHOLD {
+                build_side_index(sources, map);
             }
         }
-        self.edge_pos = map;
     }
 
     /// Returns the nodes whose attributes satisfy `filter`, in index order.
@@ -233,6 +368,136 @@ impl DataGraph {
         F: FnMut(&Attributes) -> bool + 'a,
     {
         self.nodes().filter(|&v| filter(self.attrs(v))).collect()
+    }
+}
+
+/// True if `key` is an entry of one adjacency side: one probe when the side
+/// is map-indexed, a bounded scan otherwise.
+#[inline]
+fn side_contains(list: &[NodeId], pos_map: &PosMap, key: NodeId) -> bool {
+    if pos_map.is_empty() {
+        list.contains(&key)
+    } else {
+        pos_map.contains_key(&key.0)
+    }
+}
+
+/// Appends `key` to one adjacency side unless already present, in one map
+/// probe (entry API) when the side is indexed. Returns whether it was
+/// appended.
+#[inline]
+fn side_try_push(list: &mut Vec<NodeId>, pos_map: &mut PosMap, key: NodeId) -> bool {
+    if pos_map.is_empty() {
+        if list.contains(&key) {
+            return false;
+        }
+        list.push(key);
+        if list.len() > POS_INDEX_THRESHOLD {
+            build_side_index(list, pos_map);
+        }
+        return true;
+    }
+    match pos_map.entry(key.0) {
+        std::collections::hash_map::Entry::Occupied(_) => false,
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            slot.insert(list.len() as u32);
+            list.push(key);
+            true
+        }
+    }
+}
+
+/// Appends `key` (known to be absent) to one adjacency side, building the
+/// position map when the list first outgrows [`POS_INDEX_THRESHOLD`].
+#[inline]
+fn side_push(list: &mut Vec<NodeId>, pos_map: &mut PosMap, key: NodeId) {
+    if !pos_map.is_empty() {
+        pos_map.insert(key.0, list.len() as u32);
+    }
+    list.push(key);
+    if pos_map.is_empty() && list.len() > POS_INDEX_THRESHOLD {
+        build_side_index(list, pos_map);
+    }
+}
+
+/// Removes `key` from one adjacency side if present: swap-remove at the
+/// indexed (or scanned) position, patching the moved entry's map record when
+/// the side is indexed. Returns whether the entry existed.
+#[inline]
+fn side_remove(list: &mut Vec<NodeId>, pos_map: &mut PosMap, key: NodeId) -> bool {
+    if pos_map.is_empty() {
+        let Some(pos) = list.iter().position(|&v| v == key) else {
+            return false;
+        };
+        list.swap_remove(pos);
+        return true;
+    }
+    let Some(pos) = pos_map.remove(&key.0) else {
+        return false;
+    };
+    list.swap_remove(pos as usize);
+    if let Some(&moved) = list.get(pos as usize) {
+        *pos_map.get_mut(&moved.0).expect("moved entry tracked") = pos;
+    }
+    true
+}
+
+/// Indexes every entry of `list` into `pos_map` (the scan→map transition).
+fn build_side_index(list: &[NodeId], pos_map: &mut PosMap) {
+    pos_map.reserve(list.len());
+    for (pos, &v) in list.iter().enumerate() {
+        pos_map.insert(v.0, pos as u32);
+    }
+}
+
+/// Pass 1 of the sharded mutation on one shard: applies the out-side of
+/// `updates` (all of whose sources lie in the owned range starting at
+/// `base`) to the owned `out` / `out_pos` slices.
+fn apply_out_side(
+    out: &mut [Vec<NodeId>],
+    out_pos: &mut [PosMap],
+    base: usize,
+    updates: &[Update],
+) {
+    for update in updates {
+        let (from, to) = update.endpoints();
+        let local = from.index() - base;
+        match update {
+            Update::InsertEdge { .. } => {
+                debug_assert!(
+                    !side_contains(&out[local], &out_pos[local], to),
+                    "reduced batch re-inserted present edge {update}"
+                );
+                side_push(&mut out[local], &mut out_pos[local], to);
+            }
+            Update::DeleteEdge { .. } => {
+                let removed = side_remove(&mut out[local], &mut out_pos[local], to);
+                debug_assert!(removed, "reduced batch deleted absent edge {update}");
+            }
+        }
+    }
+}
+
+/// Pass 2 of the sharded mutation on one shard: applies the in-side of
+/// `updates` (all of whose targets lie in the owned range starting at
+/// `base`) to the owned `inc` / `inc_pos` slices.
+fn apply_in_side(inc: &mut [Vec<NodeId>], inc_pos: &mut [PosMap], base: usize, updates: &[Update]) {
+    for update in updates {
+        let (from, to) = update.endpoints();
+        let local = to.index() - base;
+        match update {
+            Update::InsertEdge { .. } => {
+                debug_assert!(
+                    !side_contains(&inc[local], &inc_pos[local], from),
+                    "reduced batch re-inserted present edge {update}"
+                );
+                side_push(&mut inc[local], &mut inc_pos[local], from);
+            }
+            Update::DeleteEdge { .. } => {
+                let removed = side_remove(&mut inc[local], &mut inc_pos[local], from);
+                debug_assert!(removed, "reduced batch deleted absent edge {update}");
+            }
+        }
     }
 }
 
@@ -253,21 +518,59 @@ impl DataGraph {
         edges
     }
 
-    /// Validates the internal edge-index invariants (test support).
-    #[cfg(test)]
-    pub(crate) fn assert_edge_index_consistent(&self) {
-        let mut counted = 0usize;
+    /// Byte-for-byte adjacency comparison: `true` iff both graphs have the
+    /// same attrs **and** identical adjacency lists in identical order.
+    /// Stronger than `==` (which treats adjacency as a set); the sharded
+    /// mutation path guarantees this level of identity across shard counts,
+    /// and the equivalence suites assert it.
+    pub fn identical_to(&self, other: &Self) -> bool {
+        self.attrs == other.attrs
+            && self.num_edges == other.num_edges
+            && self.out == other.out
+            && self.inc == other.inc
+    }
+
+    /// Validates the internal edge-index invariants, panicking with a
+    /// description on the first violation: an indexed side's map must record
+    /// every entry at its exact position, an unindexed side must be empty of
+    /// map entries and short enough to scan, and the edge count must agree
+    /// with both adjacency sides. Used by the equivalence suites after
+    /// sharded mutation.
+    pub fn assert_edge_index_consistent(&self) {
+        let assert_side = |list: &[NodeId], map: &PosMap, side: &str, node: usize| {
+            if map.is_empty() {
+                assert!(
+                    list.len() <= POS_INDEX_THRESHOLD,
+                    "{side} list of n{node} outgrew the scan threshold without an index"
+                );
+                return;
+            }
+            assert_eq!(map.len(), list.len(), "{side} map of n{node} missing entries");
+            for (i, v) in list.iter().enumerate() {
+                assert_eq!(
+                    map.get(&v.0).copied(),
+                    Some(i as u32),
+                    "stale {side} position for ({node}, {v})"
+                );
+            }
+        };
+        let mut counted_out = 0usize;
+        let mut counted_in = 0usize;
         for v in self.nodes() {
-            for (i, &w) in self.children(v).iter().enumerate() {
-                let &(out_pos, inc_pos) =
-                    self.edge_pos.get(&(v.0, w.0)).expect("edge missing from map");
-                assert_eq!(out_pos as usize, i, "stale out position for ({v}, {w})");
-                assert_eq!(self.inc[w.index()][inc_pos as usize], v, "stale in position");
-                counted += 1;
+            assert_side(&self.out[v.index()], &self.out_pos[v.index()], "out", v.index());
+            assert_side(&self.inc[v.index()], &self.inc_pos[v.index()], "in", v.index());
+            counted_out += self.out[v.index()].len();
+            counted_in += self.inc[v.index()].len();
+            // Every out entry must be mirrored by an in entry.
+            for &w in self.children(v) {
+                assert!(
+                    self.inc[w.index()].contains(&v),
+                    "edge ({v}, {w}) missing from reverse adjacency"
+                );
             }
         }
-        assert_eq!(counted, self.edge_count());
-        assert_eq!(self.edge_pos.len(), self.edge_count());
+        assert_eq!(counted_out, self.edge_count());
+        assert_eq!(counted_in, self.edge_count());
     }
 }
 
@@ -427,6 +730,7 @@ mod tests {
         g2.add_edge(a2, b2);
 
         assert_eq!(g1, g2);
+        assert!(!g1.identical_to(&g2), "identical_to is adjacency-order-sensitive");
         g2.remove_edge(a2, b2);
         assert_ne!(g1, g2);
     }
@@ -458,5 +762,97 @@ mod tests {
         let g = DataGraph::with_capacity(10, 20);
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn sharded_reduced_batch_matches_sequential_application() {
+        // A reduced mixed batch (distinct edges, all effective) applied
+        // through the sharded two-pass path must leave the graph — adjacency
+        // order included — exactly as the sequential loop does, for every
+        // shard count, including counts that fan out threads.
+        let n = 64usize;
+        let mut base = DataGraph::new();
+        for i in 0..n {
+            base.add_labeled_node(format!("v{i}"));
+        }
+        // Seed edges: a deterministic spread, then build a reduced batch that
+        // deletes half of them and inserts fresh ones.
+        let mut seeded = Vec::new();
+        let mut x = 5usize;
+        while seeded.len() < 300 {
+            x = (x * 29 + 13) % (n * n);
+            let (a, b) = (NodeId((x / n) as u32), NodeId((x % n) as u32));
+            if a != b && base.add_edge(a, b) {
+                seeded.push((a, b));
+            }
+        }
+        let mut updates: Vec<Update> = Vec::new();
+        for (i, &(a, b)) in seeded.iter().enumerate() {
+            if i % 2 == 0 {
+                updates.push(Update::delete(a, b));
+            }
+        }
+        let mut y = 11usize;
+        while updates.len() < 280 {
+            y = (y * 31 + 7) % (n * n);
+            let (a, b) = (NodeId((y / n) as u32), NodeId((y % n) as u32));
+            if a != b && !base.has_edge(a, b) && !updates.iter().any(|u| u.endpoints() == (a, b)) {
+                updates.push(Update::insert(a, b));
+            }
+        }
+
+        let mut reference = base.clone();
+        for u in &updates {
+            assert!(u.apply(&mut reference), "constructed batch must be effective");
+        }
+        for shards in [1usize, 2, 3, 8] {
+            let mut g = base.clone();
+            let applied =
+                g.apply_reduced_batch_sharded(&updates, ShardPlan::new(g.node_count(), shards));
+            assert_eq!(applied, updates.len());
+            assert!(g.identical_to(&reference), "sharded application diverged at shards={shards}");
+            g.assert_edge_index_consistent();
+        }
+    }
+
+    #[test]
+    fn sharded_reduced_batch_crosses_the_thread_threshold() {
+        // Enough updates to actually spawn the scoped threads (>= the
+        // PARALLEL_WORK_THRESHOLD gate), still bit-identical to sequential.
+        let n = 400usize;
+        let mut base = DataGraph::new();
+        for i in 0..n {
+            base.add_labeled_node(format!("v{i}"));
+        }
+        let mut updates: Vec<Update> = Vec::new();
+        let mut x = 3usize;
+        let mut chosen = std::collections::HashSet::new();
+        while updates.len() < 6000 {
+            x = (x * 37 + 11) % (n * n);
+            let (a, b) = (NodeId((x / n) as u32), NodeId((x % n) as u32));
+            if a != b && chosen.insert((a.0, b.0)) {
+                updates.push(Update::insert(a, b));
+            }
+        }
+        let mut reference = base.clone();
+        for u in &updates {
+            assert!(u.apply(&mut reference));
+        }
+        let mut g = base.clone();
+        g.apply_reduced_batch_sharded(&updates, ShardPlan::new(n, 4));
+        assert!(g.identical_to(&reference));
+        g.assert_edge_index_consistent();
+
+        // And delete them all back, sharded.
+        let deletions: Vec<Update> =
+            updates.iter().map(|u| Update::delete(u.endpoints().0, u.endpoints().1)).collect();
+        let mut reference = g.clone();
+        for u in &deletions {
+            assert!(u.apply(&mut reference));
+        }
+        g.apply_reduced_batch_sharded(&deletions, ShardPlan::new(n, 4));
+        assert!(g.identical_to(&reference));
+        assert_eq!(g.edge_count(), base.edge_count());
+        g.assert_edge_index_consistent();
     }
 }

@@ -53,7 +53,7 @@ pub use result_graph::{DeltaM, ResultGraph};
 pub use scc::{CondensationGraph, SccId, StronglyConnectedComponents};
 pub use shard::{configured_shards, ShardPlan};
 pub use topo::{topological_order, topological_ranks, Rank};
-pub use update::{BatchUpdate, Update};
+pub use update::{reduce_batch, reduce_batch_sharded, BatchUpdate, Update};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {

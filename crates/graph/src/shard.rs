@@ -49,24 +49,39 @@ pub const PARALLEL_WORK_THRESHOLD: usize = 4096;
 /// items amortise a spawn.
 pub const PARALLEL_EVAL_THRESHOLD: usize = 256;
 
-/// Parses a raw `IGPM_SHARDS` value, falling back to `fallback` when the
-/// variable is unset, empty, or not a positive integer.
-fn shards_from(raw: Option<&str>, fallback: usize) -> usize {
-    raw.and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(fallback)
-        .min(MAX_SHARDS)
+/// Parses a raw `IGPM_SHARDS` value. Unset or empty falls back to
+/// `fallback`; anything set must be a positive integer — `0` and garbage
+/// used to fall through to the fallback *silently*, masking typos in CI
+/// matrices and job configs, so they are hard errors now.
+fn shards_from(raw: Option<&str>, fallback: usize) -> Result<usize, String> {
+    let Some(raw) = raw else { return Ok(fallback) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(fallback);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n.min(MAX_SHARDS)),
+        Ok(_) => Err(format!(
+            "IGPM_SHARDS must be a positive integer (shards=1 is the sequential engine), got `{raw}`"
+        )),
+        Err(_) => Err(format!("IGPM_SHARDS must be a positive integer, got `{raw}`")),
+    }
 }
 
 /// The shard count sharded operations use when none is given explicitly:
 /// `IGPM_SHARDS` if set to a positive integer, otherwise the machine's
 /// available parallelism. Read once per process (the CI matrix sets the
 /// variable per job, never mid-run).
+///
+/// # Panics
+/// Panics if `IGPM_SHARDS` is set to zero or a non-numeric value — a
+/// misconfigured knob must fail loudly, not silently run with a default.
 pub fn configured_shards() -> usize {
     static CONFIGURED: OnceLock<usize> = OnceLock::new();
     *CONFIGURED.get_or_init(|| {
         let fallback = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
         shards_from(std::env::var("IGPM_SHARDS").ok().as_deref(), fallback)
+            .unwrap_or_else(|message| panic!("{message}"))
     })
 }
 
@@ -85,8 +100,18 @@ impl ShardPlan {
     /// Plans `shards` contiguous ranges over `nv` nodes. Degenerate inputs
     /// (zero nodes, more shards than nodes) collapse to the fewest shards
     /// that still cover everything.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero — a zero shard count is always a
+    /// configuration bug (shards = 1 is the sequential engine), and clamping
+    /// it silently used to hide exactly the `IGPM_SHARDS=0` typos this
+    /// assertion now surfaces.
     pub fn new(nv: usize, shards: usize) -> Self {
-        let shards = shards.clamp(1, MAX_SHARDS);
+        assert!(
+            shards >= 1,
+            "shard count must be at least 1 (got 0); shards=1 is the sequential engine"
+        );
+        let shards = shards.min(MAX_SHARDS);
         if nv == 0 {
             return ShardPlan { nv, chunk: 1, count: 1 };
         }
@@ -138,11 +163,29 @@ mod tests {
 
     #[test]
     fn shards_env_parsing() {
-        assert_eq!(shards_from(None, 6), 6);
-        assert_eq!(shards_from(Some("4"), 6), 4);
-        assert_eq!(shards_from(Some(" 2 "), 6), 2);
-        assert_eq!(shards_from(Some("0"), 6), 6, "zero is rejected");
-        assert_eq!(shards_from(Some("lots"), 6), 6, "garbage is rejected");
-        assert_eq!(shards_from(Some("4096"), 6), MAX_SHARDS, "clamped to the maximum");
+        assert_eq!(shards_from(None, 6), Ok(6));
+        assert_eq!(shards_from(Some(""), 6), Ok(6), "empty is treated as unset");
+        assert_eq!(shards_from(Some("4"), 6), Ok(4));
+        assert_eq!(shards_from(Some(" 2 "), 6), Ok(2));
+        assert_eq!(shards_from(Some("4096"), 6), Ok(MAX_SHARDS), "clamped to the maximum");
+    }
+
+    #[test]
+    fn invalid_shards_env_values_are_hard_errors() {
+        // `IGPM_SHARDS=0` and non-numeric values used to fall through to the
+        // fallback silently; they must be rejected with a clear message.
+        let zero = shards_from(Some("0"), 6).unwrap_err();
+        assert!(zero.contains("positive integer"), "unhelpful error: {zero}");
+        assert!(zero.contains('0'), "error must echo the offending value: {zero}");
+        let garbage = shards_from(Some("lots"), 6).unwrap_err();
+        assert!(garbage.contains("lots"), "error must echo the offending value: {garbage}");
+        assert!(shards_from(Some("-3"), 6).is_err(), "negative values are rejected");
+        assert!(shards_from(Some("2.5"), 6).is_err(), "fractional values are rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be at least 1")]
+    fn zero_shard_plan_is_rejected_at_construction() {
+        let _ = ShardPlan::new(10, 0);
     }
 }

@@ -7,7 +7,9 @@
 //! generators produce evolving graphs.
 
 use crate::graph::DataGraph;
+use crate::hash::FastHashMap;
 use crate::node::NodeId;
+use crate::shard::{ShardPlan, PARALLEL_WORK_THRESHOLD};
 use std::fmt;
 
 /// A unit update: one edge insertion or deletion.
@@ -184,6 +186,95 @@ impl BatchUpdate {
     }
 }
 
+/// Net-effect reduction over one slice of `(batch position, update)` pairs —
+/// the per-shard kernel of `minDelta` step 1 (Section 5.2, Fig. 10).
+///
+/// The slice must be in ascending batch-position order (any subsequence of a
+/// batch qualifies, as long as it contains *every* update touching the edges
+/// it covers — the sharded reducers partition by source node, which
+/// guarantees that). The result contains, for every edge whose final presence
+/// differs from its presence in `graph`, one netted update tagged with the
+/// position at which the batch first touched that edge, in ascending
+/// first-touch order. Concatenating per-shard results and sorting by the tag
+/// therefore reproduces the sequential reduction's output **order** exactly,
+/// not just its set.
+pub fn net_effective_updates(graph: &DataGraph, updates: &[(u32, Update)]) -> Vec<(u32, Update)> {
+    // Track the simulated final presence per touched edge, in first-touch order.
+    let mut order: Vec<(u32, (NodeId, NodeId))> = Vec::new();
+    let mut presence: FastHashMap<(NodeId, NodeId), (bool, bool)> = FastHashMap::default(); // (initial, current)
+    for &(pos, update) in updates {
+        let key = update.endpoints();
+        let entry = presence.entry(key).or_insert_with(|| {
+            order.push((pos, key));
+            let present = graph.has_edge(key.0, key.1);
+            (present, present)
+        });
+        entry.1 = update.is_insert();
+    }
+    let mut effective = Vec::new();
+    for (pos, key) in order {
+        let (initial, fin) = presence[&key];
+        if initial != fin {
+            effective.push((
+                pos,
+                if fin { Update::insert(key.0, key.1) } else { Update::delete(key.0, key.1) },
+            ));
+        }
+    }
+    effective
+}
+
+/// Removes updates whose net effect on each edge is nil (e.g. an insertion
+/// followed by a deletion of the same edge), returning the minimal effective
+/// update list — in the order the batch first touched each surviving edge —
+/// and the number of cancelled unit updates. `minDelta` step 1.
+///
+/// Delegates to [`net_effective_updates`] so the netting semantics exist in
+/// exactly one place — the sharded and sequential reductions can never
+/// diverge. The transient position tags cost one `Vec<(u32, Update)>` copy
+/// of the batch; reduction is not on the per-update hot path, so a single
+/// algorithm beats saving the copy.
+pub fn reduce_batch(graph: &DataGraph, batch: &BatchUpdate) -> (Vec<Update>, usize) {
+    let indexed: Vec<(u32, Update)> =
+        batch.iter().enumerate().map(|(pos, &update)| (pos as u32, update)).collect();
+    let effective: Vec<Update> =
+        net_effective_updates(graph, &indexed).into_iter().map(|(_, update)| update).collect();
+    let cancelled = batch.len() - effective.len();
+    (effective, cancelled)
+}
+
+/// [`reduce_batch`] with the presence simulation sharded by each update's
+/// **source** node over the node ranges of `plan`: all updates touching an
+/// edge share its source, so each shard nets its own edges independently; a
+/// deterministic merge (sort by first-touch position) then reproduces the
+/// sequential output byte for byte. Threads are only spawned when the batch
+/// is large enough to amortise them — the result is identical either way,
+/// and for every shard count.
+pub fn reduce_batch_sharded(
+    graph: &DataGraph,
+    batch: &BatchUpdate,
+    plan: ShardPlan,
+) -> (Vec<Update>, usize) {
+    if plan.count == 1 || batch.len() < PARALLEL_WORK_THRESHOLD {
+        return reduce_batch(graph, batch);
+    }
+    let mut per_shard: Vec<Vec<(u32, Update)>> = vec![Vec::new(); plan.count];
+    for (pos, &update) in batch.iter().enumerate() {
+        per_shard[plan.owner(update.endpoints().0.index())].push((pos as u32, update));
+    }
+    let mut merged: Vec<(u32, Update)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_shard
+            .into_iter()
+            .map(|slice| scope.spawn(move || net_effective_updates(graph, &slice)))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("reduction shard panicked")).collect()
+    });
+    merged.sort_unstable_by_key(|&(pos, _)| pos);
+    let effective: Vec<Update> = merged.into_iter().map(|(_, update)| update).collect();
+    let cancelled = batch.len() - effective.len();
+    (effective, cancelled)
+}
+
 impl FromIterator<Update> for BatchUpdate {
     fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
         BatchUpdate { updates: iter.into_iter().collect() }
@@ -295,6 +386,75 @@ mod tests {
         let (_, a, b, _) = triangle();
         assert_eq!(Update::insert(a, b).to_string(), "+(n0, n1)");
         assert_eq!(Update::delete(a, b).to_string(), "-(n0, n1)");
+    }
+
+    #[test]
+    fn reduce_batch_nets_per_edge_effects() {
+        let (g, a, b, c) = triangle();
+        let batch: BatchUpdate = vec![
+            Update::delete(a, b), // cancelled by the re-insertion below
+            Update::insert(c, b), // effective (absent)
+            Update::insert(a, b),
+            Update::delete(b, c), // effective (present)
+            Update::insert(a, c), // effective (absent)
+            Update::delete(a, c), // ...cancelled again
+        ]
+        .into_iter()
+        .collect();
+        let (effective, cancelled) = reduce_batch(&g, &batch);
+        assert_eq!(effective, vec![Update::insert(c, b), Update::delete(b, c)]);
+        assert_eq!(cancelled, 4);
+    }
+
+    #[test]
+    fn sharded_reduction_is_bit_identical_to_sequential() {
+        // A large synthetic batch with heavy per-edge churn: the sharded
+        // reduction must reproduce the sequential effective list exactly —
+        // same updates, same (first-touch) order — for every shard count.
+        let n = 50usize;
+        let mut g = DataGraph::new();
+        for i in 0..n {
+            g.add_labeled_node(format!("v{i}"));
+        }
+        let mut x = 9usize;
+        for _ in 0..400 {
+            x = (x * 23 + 19) % (n * n);
+            let (a, b) = (NodeId((x / n) as u32), NodeId((x % n) as u32));
+            if a != b {
+                g.add_edge(a, b);
+            }
+        }
+        let mut batch = BatchUpdate::new();
+        let mut y = 31usize;
+        for step in 0..10_000 {
+            y = (y * 41 + 3) % (n * n);
+            let (a, b) = (NodeId((y / n) as u32), NodeId((y % n) as u32));
+            if a == b {
+                continue;
+            }
+            if step % 3 == 0 {
+                batch.delete(a, b);
+            } else {
+                batch.insert(a, b);
+            }
+        }
+        let (sequential, cancelled_seq) = reduce_batch(&g, &batch);
+        assert!(!sequential.is_empty());
+        for shards in [2usize, 3, 8] {
+            let plan = ShardPlan::new(n, shards);
+            let (sharded, cancelled) = reduce_batch_sharded(&g, &batch, plan);
+            assert_eq!(sharded, sequential, "effective list diverged at shards={shards}");
+            assert_eq!(cancelled, cancelled_seq);
+        }
+        // Applying the reduced list must land on the same graph as replaying
+        // the raw batch.
+        let mut raw = g.clone();
+        batch.apply(&mut raw);
+        let mut reduced = g.clone();
+        for update in &sequential {
+            assert!(update.apply(&mut reduced), "reduced updates are all effective");
+        }
+        assert_eq!(raw, reduced);
     }
 
     #[test]

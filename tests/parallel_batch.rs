@@ -9,11 +9,19 @@
 //!
 //! * all shard counts report byte-for-byte identical `AffStats`,
 //! * all shard counts land on the same match relation,
+//! * all shard counts land on **adjacency-identical** graphs (same lists in
+//!   the same order — the sharded `DataGraph` mutation path promises more
+//!   than set equality) with a consistent per-node edge index,
 //! * that relation equals a from-scratch recomputation on the final graph.
 //!
 //! Shard counts 3 and 7 are deliberately coprime to the graph sizes so chunk
 //! boundaries fall mid-range; 1 is the sequential engine the others must
 //! reproduce.
+//!
+//! A second suite checks the `minDelta` guarantee end-to-end: applying a raw
+//! batch and applying its reduced form (`reduce_batch`) land on identical
+//! matches, counters, graphs and `AffStats` (modulo `delta_g`, which by
+//! definition counts the raw batch length), across shard counts {1, 2, 3, 8}.
 
 use igpm::prelude::*;
 use rand::rngs::StdRng;
@@ -103,8 +111,15 @@ fn drive_sim_shards(
             );
         }
         let reference = replicas[0].1.matches();
+        replicas[0].0.assert_edge_index_consistent();
         for (i, (graph, index)) in replicas.iter().enumerate().skip(1) {
-            assert_eq!(replicas[0].0, *graph, "graphs diverged at round {round}");
+            assert!(
+                replicas[0].0.identical_to(graph),
+                "seed {seed}, round {round}: graphs (adjacency order included) diverged \
+                 between shards={} and shards=1",
+                SHARD_COUNTS[i]
+            );
+            graph.assert_edge_index_consistent();
             assert_eq!(
                 index.matches(),
                 reference,
@@ -269,6 +284,161 @@ fn large_batches_cross_the_thread_threshold() {
     }
     assert!(replicas[0].1.edges().next().is_some(), "edges restored");
     assert!(replicas[0].2.is_match(), "restoring every edge restores the match");
+}
+
+/// Shard counts for the `minDelta` equivalence suite (the acceptance set of
+/// the sharded-mutation work; 8 exceeds this machine's parallelism on CI's
+/// 2-core runners, exercising over-subscription).
+const MIN_DELTA_SHARDS: [usize; 4] = [1, 2, 3, 8];
+
+/// Drives two `(graph, SimulationIndex)` replicas per shard count — one fed
+/// the raw batch, one fed its `reduce_batch` form — through the same 1k+
+/// update stream and asserts the `minDelta` guarantee after every batch:
+/// identical matches, identical counters (`aux_snapshot`), adjacency-identical
+/// graphs, and identical `AffStats` up to `delta_g` (which counts the raw
+/// batch length by definition). Raw-batch results are additionally compared
+/// across shard counts.
+fn drive_min_delta_equivalence(
+    base: &DataGraph,
+    pattern: &Pattern,
+    seed: u64,
+    total: usize,
+    grow_every: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut replicas: Vec<[(DataGraph, SimulationIndex); 2]> = MIN_DELTA_SHARDS
+        .iter()
+        .map(|_| {
+            std::array::from_fn(|_| {
+                let graph = base.clone();
+                let index = SimulationIndex::build(pattern, &graph);
+                (graph, index)
+            })
+        })
+        .collect();
+
+    let mut applied = 0usize;
+    let mut round = 0usize;
+    let mut pending_fresh: Option<(NodeId, NodeId, NodeId)> = None;
+    while applied < total {
+        round += 1;
+        let batch_size = [3usize, 17, 60, 140][round % 4];
+        let mut batch = BatchUpdate::new();
+        if let Some((fresh, out, inn)) = pending_fresh.take() {
+            batch.insert(fresh, out);
+            batch.insert(inn, fresh);
+        }
+        while batch.len() < batch_size {
+            match random_update(&mut rng, &replicas[0][0].0) {
+                Some(update) => {
+                    // Every third update is immediately undone: cancelling
+                    // pairs are exactly what `minDelta` must net away.
+                    if batch.len() + 1 < batch_size && rng.gen_bool(0.33) {
+                        batch.push(update);
+                        batch.push(update.inverse());
+                    } else {
+                        batch.push(update);
+                    }
+                }
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        applied += batch.len();
+
+        let mut raw_results: Vec<AffStats> = Vec::new();
+        for (&shards, pair) in MIN_DELTA_SHARDS.iter().zip(replicas.iter_mut()) {
+            // The reduction is computed against the pre-batch graph, exactly
+            // as `apply_batch` does internally.
+            let (effective, _) = igpm::graph::reduce_batch(&pair[1].0, &batch);
+            let reduced: BatchUpdate = effective.into_iter().collect();
+
+            let raw_stats = pair[0].1.apply_batch_with_shards(&mut pair[0].0, &batch, shards);
+            let red_stats = pair[1].1.apply_batch_with_shards(&mut pair[1].0, &reduced, shards);
+            assert_eq!(raw_stats.delta_g, batch.len());
+            assert_eq!(red_stats.delta_g, reduced.len());
+            let normalize = |stats: AffStats| AffStats { delta_g: 0, ..stats };
+            assert_eq!(
+                normalize(raw_stats),
+                normalize(red_stats),
+                "seed {seed}, round {round}, shards={shards}: reduced batch changed AffStats"
+            );
+
+            let [(raw_graph, raw_index), (red_graph, red_index)] = pair;
+            assert!(
+                raw_graph.identical_to(red_graph),
+                "seed {seed}, round {round}, shards={shards}: reduced batch left a different graph"
+            );
+            raw_graph.assert_edge_index_consistent();
+            red_graph.assert_edge_index_consistent();
+            assert_eq!(
+                raw_index.aux_snapshot(),
+                red_index.aux_snapshot(),
+                "seed {seed}, round {round}, shards={shards}: counters/masks diverged"
+            );
+            assert_eq!(raw_index.matches(), red_index.matches());
+            raw_results.push(raw_stats);
+        }
+        for (i, stats) in raw_results.iter().enumerate().skip(1) {
+            assert_eq!(
+                *stats, raw_results[0],
+                "seed {seed}, round {round}: AffStats diverged between shards={} and shards=1",
+                MIN_DELTA_SHARDS[i]
+            );
+            assert!(
+                replicas[0][0].0.identical_to(&replicas[i][0].0),
+                "seed {seed}, round {round}: graphs diverged between shards={} and shards=1",
+                MIN_DELTA_SHARDS[i]
+            );
+            assert_eq!(replicas[0][0].1.aux_snapshot(), replicas[i][0].1.aux_snapshot());
+        }
+        assert_eq!(
+            replicas[0][0].1.matches(),
+            igpm::core::match_simulation(pattern, &replicas[0][0].0),
+            "seed {seed}, round {round}: engines diverged from from-scratch recomputation"
+        );
+
+        if grow_every > 0 && round.is_multiple_of(grow_every) {
+            let label = rng.gen_range(0..4u32);
+            let mut fresh = NodeId(0);
+            for pair in replicas.iter_mut() {
+                for (graph, _) in pair.iter_mut() {
+                    fresh = graph.add_node(Attributes::labeled(format!("l{label}")));
+                }
+            }
+            let n = replicas[0][0].0.node_count() - 1;
+            let out = NodeId(rng.gen_range(0..n) as u32);
+            let inn = NodeId(rng.gen_range(0..n) as u32);
+            pending_fresh = Some((fresh, out, inn));
+        }
+    }
+    assert!(applied >= total, "stream too short");
+}
+
+#[test]
+fn min_delta_equivalence_cyclic_pattern() {
+    let seed = 0x5D1u64;
+    let graph = synthetic_graph(&SyntheticConfig::new(200, 700, 4, seed + 1));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(5, 8, 1, seed + 2).with_shape(PatternShape::General),
+    );
+    assert!(!pattern.is_dag(), "want a cyclic pattern so propCC runs");
+    drive_min_delta_equivalence(&graph, &pattern, seed, 1_100, 0);
+}
+
+#[test]
+fn min_delta_equivalence_dag_pattern_with_node_churn() {
+    let seed = 0x5D2u64;
+    let graph = synthetic_graph(&SyntheticConfig::new(160, 550, 4, seed + 1));
+    let pattern = generate_pattern(
+        &graph,
+        &PatternGenConfig::normal(6, 9, 1, seed + 2).with_shape(PatternShape::Dag),
+    );
+    assert!(pattern.is_dag());
+    drive_min_delta_equivalence(&graph, &pattern, seed, 1_000, 3);
 }
 
 #[test]
