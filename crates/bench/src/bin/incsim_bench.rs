@@ -68,6 +68,14 @@
 //! counts and workload, asserting every run leaves a graph adjacency-identical
 //! to the 1-shard run (see `BENCHMARKS.md`).
 //!
+//! The `scan_scaling` section sweeps the two stages sharded last: the
+//! **candidate scan** (`LabelIndex` pass + candidate enumeration,
+//! `candidate_scan` runs) on the scaling workload, and a **propCC-dominated
+//! batch** (`prop_cc` runs — the scaled unboundedness gadget, whose whole
+//! cost is the SCC-joint evaluation) so the propCC sharding is attributed
+//! separately from the scan. Lists/matches/`AffStats` are asserted identical
+//! to the 1-shard run before any number is written (see `BENCHMARKS.md`).
+//!
 //! # Perf-regression gate (`--check-against`)
 //!
 //! `--check-against OLD.json` compares the freshly measured **1-shard-pinned**
@@ -81,7 +89,7 @@
 use igpm_bench::harness::{median_ns, updates_per_sec};
 use igpm_bench::legacy::LegacySimulationIndex;
 use igpm_bench::workloads::batch_scaling_workload;
-use igpm_core::{match_simulation, AffStats, SimulationIndex};
+use igpm_core::{candidates_with_shards, match_simulation, AffStats, SimulationIndex};
 use igpm_generator::{
     degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
     synthetic_graph, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
@@ -759,6 +767,110 @@ fn mutation_scaling_sweep(graph: &DataGraph, batch: &BatchUpdate) -> Vec<Scaling
     runs
 }
 
+/// Sweeps the **candidate scan** — the sharded `LabelIndex` pass plus the
+/// per-pattern-node candidate enumeration (`candidates_with_shards`), the
+/// cold-start stage this change parallelised — over the shard counts,
+/// asserting every run's lists identical to the 1-shard scan before any
+/// number is reported. Warmup first, samples interleaved round-robin.
+fn scan_scaling_sweep(graph: &DataGraph, pattern: &Pattern) -> Vec<ScalingRun> {
+    let reference = candidates_with_shards(pattern, graph, 1);
+    let total: usize = reference.iter().map(Vec::len).sum();
+    assert!(total > 0, "scan-scaling pattern has no candidates");
+    // Warmup (allocator + caches) once untimed at the widest count.
+    let _ = candidates_with_shards(pattern, graph, SHARD_SWEEP[SHARD_SWEEP.len() - 1]);
+    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(SWEEP_SAMPLES); SHARD_SWEEP.len()];
+    for _ in 0..SWEEP_SAMPLES {
+        for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+            let (ms, lists) = time_batch(|| candidates_with_shards(pattern, graph, shards));
+            times[i].push((ms * 1e6) as u128);
+            assert_eq!(
+                lists, reference,
+                "{shards}-shard candidate scan produced different lists than the 1-shard scan"
+            );
+        }
+    }
+    let mut runs = Vec::new();
+    for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+        let median = median_ns(times[i].clone());
+        // Throughput for a scan is nodes scanned per second (the label-index
+        // pass walks every node once).
+        let throughput = updates_per_sec(graph.node_count(), median);
+        println!(
+            "scan_scaling candidate_scan (|V|={}): {shards} shard(s) — {:.3} ms ({:.0} nodes/s)",
+            graph.node_count(),
+            median as f64 / 1e6,
+            throughput,
+        );
+        runs.push(ScalingRun { shards, median_ns: median, throughput });
+    }
+    runs
+}
+
+/// Sweeps a **propCC-dominated batch** so the sharded SCC-joint evaluation is
+/// attributed separately from the candidate scan: the unboundedness-gadget
+/// worst case scaled up — two same-label chains of `nodes / 2` under a
+/// two-node cycle pattern, the batch inserting the two bridge edges that
+/// close the global cycle. `minDelta` keeps both insertions, absorption and
+/// the propCS drain see two seeds, and then `propCC` tentatively evaluates
+/// (and promotes) *every* node — the batch cost is the joint evaluation.
+/// Every run is asserted bit-identical (matches and `AffStats`) to the
+/// 1-shard run before any number is reported.
+fn prop_cc_scaling_sweep(nodes: usize) -> Vec<ScalingRun> {
+    let half = (nodes / 2).max(2);
+    let mut graph = DataGraph::new();
+    let chain: Vec<igpm_graph::NodeId> =
+        (0..2 * half).map(|_| graph.add_labeled_node("a")).collect();
+    for i in 0..half - 1 {
+        graph.add_edge(chain[i], chain[i + 1]);
+        graph.add_edge(chain[half + i], chain[half + i + 1]);
+    }
+    let mut pattern = Pattern::new();
+    let u1 = pattern.add_labeled_node("a");
+    let u2 = pattern.add_labeled_node("a");
+    pattern.add_normal_edge(u1, u2);
+    pattern.add_normal_edge(u2, u1);
+    let mut batch = BatchUpdate::new();
+    batch.insert(chain[half - 1], chain[half]);
+    batch.insert(chain[2 * half - 1], chain[0]);
+
+    let base_index = SimulationIndex::build_with_shards(&pattern, &graph, 1);
+    assert!(!base_index.is_match(), "the gadget must start unmatched");
+    // Warmup once untimed, and freeze the 1-shard reference outcome.
+    let (reference_matches, reference_stats) = {
+        let mut g = graph.clone();
+        let mut index = base_index.clone();
+        let stats = index.apply_batch_with_shards(&mut g, &batch, 1);
+        assert!(index.is_match(), "closing the cycle must match every node");
+        (index.matches(), stats)
+    };
+    let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(SWEEP_SAMPLES); SHARD_SWEEP.len()];
+    for _ in 0..SWEEP_SAMPLES {
+        for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+            let mut g = graph.clone();
+            let mut index = base_index.clone();
+            let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, &batch, shards));
+            times[i].push((ms * 1e6) as u128);
+            assert_eq!(stats, reference_stats, "{shards}-shard propCC AffStats diverged");
+            assert_eq!(index.matches(), reference_matches, "{shards}-shard propCC diverged");
+        }
+    }
+    let mut runs = Vec::new();
+    for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
+        let median = median_ns(times[i].clone());
+        // Throughput is candidates jointly evaluated per second: propCC
+        // tentatively evaluates all 2·half nodes for both pattern nodes.
+        let throughput = updates_per_sec(2 * half, median);
+        println!(
+            "scan_scaling prop_cc (|V|={}): {shards} shard(s) — {:.3} ms ({:.0} candidates/s)",
+            2 * half,
+            median as f64 / 1e6,
+            throughput,
+        );
+        runs.push(ScalingRun { shards, median_ns: median, throughput });
+    }
+    runs
+}
+
 /// One gated metric of the perf-regression check: a lower-is-better median
 /// read from `section.key` of both the fresh and the committed report.
 const GATED_METRICS: [(&str, &str, &str); 2] = [
@@ -922,6 +1034,47 @@ fn main() {
         ("runs", scaling_runs_json(&scaling, "updates_per_sec")),
     ]);
 
+    // --- Candidate scan + propCC scaling ----------------------------------
+    // The two stages this change sharded, attributed separately — each run
+    // table carries its *own* workload block, because they measure different
+    // graphs: the scan runs on the random scaling workload, propCC on the
+    // deterministic two-chain gadget.
+    let scan_scaling = scan_scaling_sweep(&scaling_graph, &scaling_pattern);
+    let prop_cc_scaling = prop_cc_scaling_sweep(config.scaling_nodes);
+    let gadget_half = (config.scaling_nodes / 2).max(2);
+    let scan_scaling_json = obj(vec![
+        ("host_parallelism", host_parallelism_json()),
+        (
+            "candidate_scan",
+            obj(vec![
+                (
+                    "workload",
+                    obj(vec![
+                        ("nodes", JsonValue::Int(config.scaling_nodes as i64)),
+                        ("edges", JsonValue::Int(config.scaling_edges as i64)),
+                        ("seed", JsonValue::Int((config.seed + 0x5c) as i64)),
+                    ]),
+                ),
+                ("runs", scaling_runs_json(&scan_scaling, "nodes_per_sec")),
+            ]),
+        ),
+        (
+            "prop_cc",
+            obj(vec![
+                (
+                    "workload",
+                    obj(vec![
+                        ("gadget", JsonValue::Str("two-chain unboundedness cycle".to_string())),
+                        ("nodes", JsonValue::Int(2 * gadget_half as i64)),
+                        ("edges", JsonValue::Int(2 * (gadget_half as i64 - 1))),
+                        ("batch_size", JsonValue::Int(2)),
+                    ]),
+                ),
+                ("runs", scaling_runs_json(&prop_cc_scaling, "candidates_per_sec")),
+            ]),
+        ),
+    ]);
+
     // --- Cold-start build -------------------------------------------------
     let build_ns = sequential_build_timing(&graph, &pattern);
     println!(
@@ -988,6 +1141,7 @@ fn main() {
         ("batch_scaling", scaling_json),
         ("build_scaling", build_scaling_json),
         ("mutation_scaling", mutation_scaling_json),
+        ("scan_scaling", scan_scaling_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);

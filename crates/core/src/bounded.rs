@@ -19,11 +19,11 @@
 //! Exp-2 (`Matrix+Match`, `BFS+Match`, `2-hop+Match`) plus the landmark-based
 //! oracle used by incremental bounded simulation.
 
-use crate::incremental::shard::{MAX_SHARDS, PARALLEL_EVAL_THRESHOLD};
 use crate::simulation::candidates;
 use crate::stats::AffStats;
 use igpm_distance::{satisfies_bound, BfsOracle, DistanceMatrix, DistanceOracle, TwoHopLabels};
 use igpm_graph::hash::{FastHashMap, FastHashSet};
+use igpm_graph::shard::{MAX_SHARDS, PARALLEL_EVAL_THRESHOLD};
 use igpm_graph::{
     DataGraph, EdgeBound, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
 };

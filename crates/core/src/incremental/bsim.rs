@@ -30,21 +30,23 @@
 //! is split into a read-only *evaluate* step and a sequential *commit* step.
 //! The evaluate step runs the affected `(edge, source, target)` bound checks
 //! on scoped threads when the batch is large enough
-//! ([`crate::incremental::shard`]); the commit step replays the verdicts in
+//! ([`igpm_graph::shard`]); the commit step replays the verdicts in
 //! the fixed enumeration order, so results (including [`AffStats`]) are
 //! bit-identical for every shard count.
 
 use crate::bounded::evaluate_pair_bounds;
-use crate::incremental::shard::{configured_shards, ShardPlan, PARALLEL_EVAL_THRESHOLD};
 use crate::incremental::sim::MAX_PATTERN_NODES;
-use crate::simulation::candidates;
+use crate::simulation::candidates_with_shards;
 use crate::stats::AffStats;
 use igpm_distance::landmark_inc::inc_lm_tracked_reduced;
 use igpm_distance::{satisfies_bound, LandmarkIndex, LandmarkSelection};
 use igpm_graph::hash::{FastHashMap, FastHashSet};
+use igpm_graph::shard::{
+    configured_shards, ShardPlan, PARALLEL_EVAL_THRESHOLD, PARALLEL_WORK_THRESHOLD,
+};
 use igpm_graph::{
-    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
-    StronglyConnectedComponents, Update,
+    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternEdge, PatternNodeId,
+    ResultGraph, StronglyConnectedComponents, Update,
 };
 use std::cell::{Ref, RefCell};
 
@@ -165,7 +167,9 @@ impl BoundedIndex {
         );
         let np = pattern.node_count();
         let nv = graph.node_count();
-        let cand_lists = candidates(pattern, graph);
+        // Sharded label-index pass + predicate scans (per node-range slice,
+        // merged in node order) — identical lists for every shard count.
+        let cand_lists = candidates_with_shards(pattern, graph, shards);
         let scc = StronglyConnectedComponents::of_pattern(pattern);
         let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
         let edge_count = pattern.edge_count();
@@ -422,12 +426,13 @@ impl BoundedIndex {
         );
 
         // Step 3: repair the match — demotions first, then promotions,
-        // mirroring IncMatch.
+        // mirroring IncMatch (the SCC-joint pass of the promotion phase runs
+        // sharded on the same plan).
         if !demotion_seeds.is_empty() {
             self.process_demotions(&mut demotion_seeds, &mut stats);
         }
         if !promotion_seeds.is_empty() || self.has_cycle {
-            self.process_promotions(promotion_seeds, &mut stats);
+            self.process_promotions(promotion_seeds, &mut stats, plan);
         }
         stats
     }
@@ -722,8 +727,14 @@ impl BoundedIndex {
     }
 
     /// Promotion propagation, with a joint pass for pattern SCCs (the
-    /// bounded-simulation analogue of propCS / propCC).
-    fn process_promotions(&mut self, mut worklist: Vec<(u32, u32)>, stats: &mut AffStats) {
+    /// bounded-simulation analogue of propCS / propCC), the joint pass
+    /// sharded on `plan` (see [`BoundedIndex::promote_sccs`]).
+    fn process_promotions(
+        &mut self,
+        mut worklist: Vec<(u32, u32)>,
+        stats: &mut AffStats,
+        plan: ShardPlan,
+    ) {
         let mut run_cc = self.has_cycle;
         loop {
             let promoted_cs = self.promote_from_worklist(&mut worklist, stats);
@@ -734,7 +745,7 @@ impl BoundedIndex {
                 break;
             }
             run_cc = false;
-            let promoted_cc = self.promote_sccs(stats, &mut worklist);
+            let promoted_cc = self.promote_sccs(stats, &mut worklist, plan);
             if !promoted_cc && worklist.is_empty() {
                 break;
             }
@@ -778,127 +789,89 @@ impl BoundedIndex {
     /// the counters of their paired tentative sources — instead of the
     /// previous repeated full-candidate-set fixpoint sweeps that rescanned
     /// every pair target per iteration.
-    fn promote_sccs(&mut self, stats: &mut AffStats, worklist: &mut Vec<(u32, u32)>) -> bool {
+    ///
+    /// Sharded like `sim.rs::prop_cc`: each SCC's joint evaluation is a pure
+    /// read ([`evaluate_bsim_scc_joint`]) run speculatively on scoped threads
+    /// (one worker per SCC, striped over the enumeration), verdicts are
+    /// committed in enumeration order, and a committed promotion switches the
+    /// remaining SCCs to live re-evaluation — reproducing the sequential
+    /// cross-SCC data flow exactly. Within one SCC the `O(|V|)` tentative
+    /// gather, the `tsup` derivation and the viability seed scan are chunked.
+    /// Bit-identical (matches, pairs, support counters, [`AffStats`]) for
+    /// every shard count.
+    fn promote_sccs(
+        &mut self,
+        stats: &mut AffStats,
+        worklist: &mut Vec<(u32, u32)>,
+        plan: ShardPlan,
+    ) -> bool {
+        let comp_masks: Vec<u64> = self
+            .scc
+            .components()
+            .filter(|&comp| self.scc.is_nontrivial(comp))
+            .map(|comp| self.scc.members(comp).iter().fold(0u64, |mask, &u| mask | (1 << u)))
+            .collect();
+        if comp_masks.is_empty() {
+            return false;
+        }
+        // The bounded joint evaluation walks pair *sets* per candidate —
+        // orders of magnitude more work per item than a counter bump — so the
+        // pair-evaluation spawn threshold applies, not the counter one.
+        let fan_out = plan.count > 1 && self.nv >= PARALLEL_EVAL_THRESHOLD;
+
+        // Phase A — speculative read-only evaluation (multi-SCC patterns
+        // only; a single SCC parallelises inside its evaluation instead),
+        // through the shared striping helper
+        // ([`crate::incremental::speculate_scc_verdicts`]).
+        let mut verdicts: Vec<Option<BsimSccVerdict>> = if fan_out && comp_masks.len() > 1 {
+            let ctx = self.scc_eval_ctx();
+            crate::incremental::speculate_scc_verdicts(&comp_masks, plan.count, |mask| {
+                evaluate_bsim_scc_joint(ctx, mask, plan, false)
+            })
+        } else {
+            (0..comp_masks.len()).map(|_| None).collect()
+        };
+
+        // Phase B — ordered commit with dirty fallback.
+        let mut dirty = false;
         let mut promoted_any = false;
-        let components: Vec<_> = self.scc.components().collect();
-        for comp in components {
-            if !self.scc.is_nontrivial(comp) {
-                continue;
-            }
-            let comp_mask: u64 =
-                self.scc.members(comp).iter().fold(0u64, |mask, &u| mask | (1 << u));
-
-            // tentative[v] = pattern nodes of this SCC that v is tentatively
-            // assumed to match (candidates that do not match yet).
-            let mut tentative: FastHashMap<u32, u64> = FastHashMap::default();
-            for v in 0..self.nv {
-                let bits = (self.cand_bits[v] & !self.match_bits[v]) & comp_mask;
-                if bits != 0 {
-                    tentative.insert(v as u32, bits);
-                }
-            }
-            if tentative.is_empty() {
-                continue;
-            }
-
-            // tsup[(v, e)] = |pairs[e][v] ∩ tentative(e.to)| for SCC-internal
-            // pattern edges `e` whose source `v` tentatively assumes `e.from`.
-            let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
-            for (&v, &bits) in tentative.iter() {
-                let mut b = bits;
-                while b != 0 {
-                    let u = b.trailing_zeros() as usize;
-                    b &= b - 1;
-                    for &e_idx in &self.edges_from[u] {
-                        let to_bit = 1u64 << self.pattern.edges()[e_idx].to.index();
-                        if comp_mask & to_bit == 0 {
-                            continue;
-                        }
-                        let Some(targets) = self.pairs[e_idx].get(&NodeId(v)) else { continue };
-                        let count = targets
-                            .iter()
-                            .filter(|w| {
-                                tentative.get(&w.0).is_some_and(|&wbits| wbits & to_bit != 0)
-                            })
-                            .count() as u32;
-                        if count > 0 {
-                            tsup.insert((v, e_idx as u32), count);
-                            stats.counter_updates += count as usize;
-                        }
-                    }
-                }
-            }
-
-            // Seed the elimination worklist with every currently non-viable
-            // tentative pair: some pattern edge out of `u` has neither real
-            // support (a counted match target) nor tentative support.
-            let viable = |index: &Self, tsup: &FastHashMap<(u32, u32), u32>, u: usize, v: u32| {
-                index.edges_from[u].iter().all(|&e_idx| {
-                    index.support[e_idx].get(&NodeId(v)).copied().unwrap_or(0) > 0
-                        || tsup.get(&(v, e_idx as u32)).copied().unwrap_or(0) > 0
-                })
+        for (i, &comp_mask) in comp_masks.iter().enumerate() {
+            let verdict = match (dirty, verdicts[i].take()) {
+                (false, Some(verdict)) => verdict,
+                _ => evaluate_bsim_scc_joint(self.scc_eval_ctx(), comp_mask, plan, fan_out),
             };
-            let mut eliminate: Vec<(u32, u32)> = Vec::new();
-            for (&v, &bits) in tentative.iter() {
-                let mut b = bits;
-                while b != 0 {
-                    let u = b.trailing_zeros() as usize;
-                    b &= b - 1;
-                    stats.nodes_visited += 1;
-                    if !viable(self, &tsup, u, v) {
-                        eliminate.push((u as u32, v));
-                    }
-                }
+            stats.merge(verdict.stats);
+            if verdict.survivors.is_empty() {
+                continue;
             }
-
-            // Eliminate with cascade: dropping the assumption (u, v) costs
-            // every tentatively paired source one unit of support for the
-            // pattern edges ending in u.
-            while let Some((u, v)) = eliminate.pop() {
-                let Some(bits) = tentative.get_mut(&v) else { continue };
-                let bit = 1u64 << u;
-                if *bits & bit == 0 {
-                    continue;
-                }
-                stats.nodes_visited += 1;
-                *bits &= !bit;
-                if *bits == 0 {
-                    tentative.remove(&v);
-                }
-                for i in 0..self.edges_to[u as usize].len() {
-                    let e_idx = self.edges_to[u as usize][i];
-                    let source_u = self.pattern.edges()[e_idx].from.index();
-                    if comp_mask & (1 << source_u) == 0 {
-                        continue;
-                    }
-                    let Some(sources) = self.rev_pairs[e_idx].get(&NodeId(v)) else { continue };
-                    for &p in sources {
-                        let Some(counter) = tsup.get_mut(&(p.0, e_idx as u32)) else { continue };
-                        debug_assert!(*counter > 0, "tentative support underflow");
-                        *counter -= 1;
-                        stats.counter_updates += 1;
-                        if *counter == 0
-                            && self.support[e_idx].get(&p).copied().unwrap_or(0) == 0
-                            && tentative.get(&p.0).is_some_and(|&pb| pb & (1 << source_u) != 0)
-                        {
-                            eliminate.push((source_u as u32, p.0));
-                        }
-                    }
-                }
-            }
-
-            let mut survivors: Vec<(u32, u64)> = tentative.into_iter().collect();
-            survivors.sort_unstable_by_key(|&(v, _)| v);
-            for (v, mut bits) in survivors {
+            for (v, mut bits) in verdict.survivors {
                 while bits != 0 {
                     let u = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     self.promote(u, NodeId(v), worklist, stats);
-                    promoted_any = true;
                 }
             }
+            promoted_any = true;
+            dirty = true;
         }
         promoted_any
+    }
+
+    /// The read-only view of the index state that [`evaluate_bsim_scc_joint`]
+    /// needs — plain `Sync` refs, so worker threads can hold it without
+    /// capturing the index (whose lazy match cache is not `Sync`).
+    fn scc_eval_ctx(&self) -> BsimSccCtx<'_> {
+        BsimSccCtx {
+            nv: self.nv,
+            cand_bits: &self.cand_bits,
+            match_bits: &self.match_bits,
+            pairs: &self.pairs,
+            rev_pairs: &self.rev_pairs,
+            support: &self.support,
+            edges_from: &self.edges_from,
+            edges_to: &self.edges_to,
+            edges: self.pattern.edges(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -960,6 +933,238 @@ impl BoundedIndex {
             }
         }
     }
+}
+
+/// Read-only slices of a [`BoundedIndex`]'s state consumed by
+/// [`evaluate_bsim_scc_joint`].
+#[derive(Clone, Copy)]
+struct BsimSccCtx<'a> {
+    nv: usize,
+    cand_bits: &'a [u64],
+    match_bits: &'a [u64],
+    pairs: &'a [FastHashMap<NodeId, FastHashSet<NodeId>>],
+    rev_pairs: &'a [FastHashMap<NodeId, FastHashSet<NodeId>>],
+    support: &'a [FastHashMap<NodeId, u32>],
+    edges_from: &'a [Vec<usize>],
+    edges_to: &'a [Vec<usize>],
+    edges: &'a [PatternEdge],
+}
+
+/// Outcome of one SCC's joint evaluation over the pair sets: survivors in
+/// ascending node order plus the evaluation's statistics. A pure function of
+/// the state the evaluation read — independent of chunking.
+struct BsimSccVerdict {
+    survivors: Vec<(u32, u64)>,
+    stats: AffStats,
+}
+
+/// The read-only SCC-joint evaluation behind [`BoundedIndex::promote_sccs`]:
+/// tentatively assume every unmatched candidate of the SCC matches, refine to
+/// the greatest fixpoint with tentative-support counters over the pair sets,
+/// and report the survivors. Mutates nothing.
+///
+/// With `fan_out` set, the `O(|V|)` tentative gather, the `tsup` derivation
+/// (sources owned by their chunk — disjoint-key union) and the viability seed
+/// scan run chunked on scoped threads with ordered merges; the elimination
+/// cascade is confluent and stays on the calling thread. The verdict and its
+/// statistics are identical for every chunking.
+fn evaluate_bsim_scc_joint(
+    ctx: BsimSccCtx<'_>,
+    comp_mask: u64,
+    plan: ShardPlan,
+    fan_out: bool,
+) -> BsimSccVerdict {
+    let mut stats = AffStats::default();
+
+    // tentative[v] = pattern nodes of this SCC that v is tentatively assumed
+    // to match (candidates that do not match yet), gathered in ascending
+    // node order. Unlike the pair-walking steps below, one gather item is a
+    // single mask read, so the spawn gate is the counter-work threshold.
+    let gather_range = |range: std::ops::Range<usize>| {
+        let mut out = Vec::new();
+        for v in range {
+            let bits = (ctx.cand_bits[v] & !ctx.match_bits[v]) & comp_mask;
+            if bits != 0 {
+                out.push((v as u32, bits));
+            }
+        }
+        out
+    };
+    let gathered: Vec<(u32, u64)> =
+        if fan_out && plan.count > 1 && ctx.nv >= PARALLEL_WORK_THRESHOLD {
+            let gather_range = &gather_range;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..plan.count)
+                    .map(|shard| {
+                        let range = plan.range(shard);
+                        scope.spawn(move || gather_range(range))
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("bsim gather panicked")).collect()
+            })
+        } else {
+            gather_range(0..ctx.nv)
+        };
+    if gathered.is_empty() {
+        return BsimSccVerdict { survivors: Vec::new(), stats };
+    }
+    let mut tentative: FastHashMap<u32, u64> = FastHashMap::default();
+    for &(v, bits) in &gathered {
+        tentative.insert(v, bits);
+    }
+
+    // tsup[(v, e)] = |pairs[e][v] ∩ tentative(e.to)| for SCC-internal pattern
+    // edges `e` whose source `v` tentatively assumes `e.from`, chunked over
+    // the gathered sources (a source's counters are owned by its chunk).
+    let chunk_plan = ShardPlan::new(gathered.len(), plan.count);
+    let chunked = fan_out && chunk_plan.count > 1 && gathered.len() >= PARALLEL_EVAL_THRESHOLD;
+    let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
+    if chunked {
+        let tentative = &tentative;
+        let partials: Vec<TsupChunk> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunk_plan.count)
+                .map(|shard| {
+                    let chunk = &gathered[chunk_plan.range(shard)];
+                    scope.spawn(move || derive_bsim_tsup_chunk(ctx, tentative, comp_mask, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bsim tsup panicked")).collect()
+        });
+        for (partial, updates) in partials {
+            tsup.extend(partial);
+            stats.counter_updates += updates;
+        }
+    } else {
+        let (partial, updates) = derive_bsim_tsup_chunk(ctx, &tentative, comp_mask, &gathered);
+        tsup = partial;
+        stats.counter_updates += updates;
+    }
+
+    // Seed the elimination worklist with every currently non-viable tentative
+    // pair: some pattern edge out of `u` has neither real support (a counted
+    // match target) nor tentative support.
+    let mut eliminate: Vec<(u32, u32)> = if chunked {
+        let tsup = &tsup;
+        let chunks: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunk_plan.count)
+                .map(|shard| {
+                    let chunk = &gathered[chunk_plan.range(shard)];
+                    scope.spawn(move || seed_bsim_eliminations_chunk(ctx, tsup, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bsim seed panicked")).collect()
+        });
+        chunks.concat()
+    } else {
+        seed_bsim_eliminations_chunk(ctx, &tsup, &gathered)
+    };
+    stats.nodes_visited +=
+        gathered.iter().map(|&(_, bits)| bits.count_ones() as usize).sum::<usize>();
+
+    // Eliminate with cascade: dropping the assumption (u, v) costs every
+    // tentatively paired source one unit of support for the pattern edges
+    // ending in u. Confluent; statistics count order-independent sets.
+    while let Some((u, v)) = eliminate.pop() {
+        let Some(bits) = tentative.get_mut(&v) else { continue };
+        let bit = 1u64 << u;
+        if *bits & bit == 0 {
+            continue;
+        }
+        stats.nodes_visited += 1;
+        *bits &= !bit;
+        if *bits == 0 {
+            tentative.remove(&v);
+        }
+        for &e_idx in &ctx.edges_to[u as usize] {
+            let source_u = ctx.edges[e_idx].from.index();
+            if comp_mask & (1 << source_u) == 0 {
+                continue;
+            }
+            let Some(sources) = ctx.rev_pairs[e_idx].get(&NodeId(v)) else { continue };
+            for &p in sources {
+                let Some(counter) = tsup.get_mut(&(p.0, e_idx as u32)) else { continue };
+                debug_assert!(*counter > 0, "tentative support underflow");
+                *counter -= 1;
+                stats.counter_updates += 1;
+                if *counter == 0
+                    && ctx.support[e_idx].get(&p).copied().unwrap_or(0) == 0
+                    && tentative.get(&p.0).is_some_and(|&pb| pb & (1 << source_u) != 0)
+                {
+                    eliminate.push((source_u as u32, p.0));
+                }
+            }
+        }
+    }
+
+    let mut survivors: Vec<(u32, u64)> = tentative.into_iter().collect();
+    survivors.sort_unstable_by_key(|&(v, _)| v);
+    BsimSccVerdict { survivors, stats }
+}
+
+/// One chunk's tentative-support counters plus the number of units counted
+/// deriving them.
+type TsupChunk = (FastHashMap<(u32, u32), u32>, usize);
+
+/// Derives the tentative-support counters of one chunk of candidate sources
+/// (`tsup[(v, e)] = |pairs[e][v] ∩ tentative(e.to)|`).
+fn derive_bsim_tsup_chunk(
+    ctx: BsimSccCtx<'_>,
+    tentative: &FastHashMap<u32, u64>,
+    comp_mask: u64,
+    chunk: &[(u32, u64)],
+) -> TsupChunk {
+    let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
+    let mut updates = 0usize;
+    for &(v, bits) in chunk {
+        let mut b = bits;
+        while b != 0 {
+            let u = b.trailing_zeros() as usize;
+            b &= b - 1;
+            for &e_idx in &ctx.edges_from[u] {
+                let to_bit = 1u64 << ctx.edges[e_idx].to.index();
+                if comp_mask & to_bit == 0 {
+                    continue;
+                }
+                let Some(targets) = ctx.pairs[e_idx].get(&NodeId(v)) else { continue };
+                let count = targets
+                    .iter()
+                    .filter(|w| tentative.get(&w.0).is_some_and(|&wbits| wbits & to_bit != 0))
+                    .count() as u32;
+                if count > 0 {
+                    tsup.insert((v, e_idx as u32), count);
+                    updates += count as usize;
+                }
+            }
+        }
+    }
+    (tsup, updates)
+}
+
+/// Scans one chunk of tentative pairs for viability, returning the
+/// non-viable ones in chunk order.
+fn seed_bsim_eliminations_chunk(
+    ctx: BsimSccCtx<'_>,
+    tsup: &FastHashMap<(u32, u32), u32>,
+    chunk: &[(u32, u64)],
+) -> Vec<(u32, u32)> {
+    let viable = |u: usize, v: u32| {
+        ctx.edges_from[u].iter().all(|&e_idx| {
+            ctx.support[e_idx].get(&NodeId(v)).copied().unwrap_or(0) > 0
+                || tsup.get(&(v, e_idx as u32)).copied().unwrap_or(0) > 0
+        })
+    };
+    let mut eliminate = Vec::new();
+    for &(v, bits) in chunk {
+        let mut b = bits;
+        while b != 0 {
+            let u = b.trailing_zeros() as usize;
+            b &= b - 1;
+            if !viable(u, v) {
+                eliminate.push((u as u32, v));
+            }
+        }
+    }
+    eliminate
 }
 
 #[cfg(test)]

@@ -7,11 +7,48 @@
 //! * [`bsim`] — incremental **bounded simulation**: landmark/distance vectors
 //!   as the distance-side auxiliary structure, cc/cs/ss *pairs* instead of
 //!   edges, and the `IncBMatch+`/`IncBMatch-`/`IncBMatch` procedures.
-//! * [`shard`] — shard configuration (the `IGPM_SHARDS` knob and the
-//!   contiguous node-range partition, re-exported from
-//!   [`igpm_graph::shard`]) shared by the parallel batch paths and the
-//!   parallel cold-start builds of both engines.
+//!
+//! Shard configuration (the `IGPM_SHARDS` knob and the contiguous node-range
+//! partition) lives at its canonical home, [`igpm_graph::shard`]; both
+//! engines import it from there directly.
 
 pub mod bsim;
-pub mod shard;
 pub mod sim;
+
+/// Phase A of the sharded SCC-joint protocol shared by `sim::prop_cc` and
+/// `bsim::promote_sccs`: evaluate every nontrivial component's verdict
+/// speculatively on scoped threads — each SCC owned by one worker, ownership
+/// striped over the enumeration (at most `stripes` workers) — and slot the
+/// results back by enumeration index, ready for the ordered commit with
+/// dirty fallback that phase B of each engine performs. `evaluate` must be a
+/// pure read of the engine state: different components run concurrently
+/// against the same frozen state, and a verdict is discarded (re-evaluated
+/// live) whenever an earlier commit promoted something.
+pub(crate) fn speculate_scc_verdicts<V: Send>(
+    comp_masks: &[u64],
+    stripes: usize,
+    evaluate: impl Fn(u64) -> V + Sync,
+) -> Vec<Option<V>> {
+    let stripes = stripes.clamp(1, comp_masks.len());
+    let mut slots: Vec<Option<V>> = (0..comp_masks.len()).map(|_| None).collect();
+    let evaluated: Vec<Vec<(usize, V)>> = std::thread::scope(|scope| {
+        let evaluate = &evaluate;
+        let handles: Vec<_> = (0..stripes)
+            .map(|stripe| {
+                scope.spawn(move || {
+                    comp_masks
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % stripes == stripe)
+                        .map(|(i, &mask)| (i, evaluate(mask)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("SCC speculation worker panicked")).collect()
+    });
+    for (i, verdict) in evaluated.into_iter().flatten() {
+        slots[i] = Some(verdict);
+    }
+    slots
+}

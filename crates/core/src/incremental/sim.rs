@@ -43,7 +43,7 @@
 //! node id, so [`SimulationIndex::apply_batch`] runs the *whole* path —
 //! `minDelta` reduction, graph mutation, counter absorption, demotion drain,
 //! promotion drain — across the same contiguous node-range *shards*
-//! ([`crate::incremental::shard`]):
+//! ([`igpm_graph::shard`]):
 //!
 //! * the **`minDelta` reduction** shards by update source (all updates
 //!   touching an edge share its source), nets each shard's edges and
@@ -62,7 +62,12 @@
 //!   its seed worklist, buffering the counter deltas each demotion/promotion
 //!   sends to graph parents into per-destination outboxes. Between rounds the
 //!   outboxes are merged into the destination shards' inboxes; the phase ends
-//!   when every worklist and inbox is empty.
+//!   when every worklist and inbox is empty;
+//! * **`propCC`** (the SCC-joint pass of cyclic patterns, run between
+//!   rounds) splits into read-only per-SCC evaluation — speculative, on
+//!   scoped threads, with the `O(|V|)` tentative gather and the derivation/
+//!   seed scans chunked — and an ordered commit with a dirty fallback that
+//!   reproduces the sequential cross-SCC data flow exactly (see `prop_cc`).
 //!
 //! Within a round every decision depends only on state frozen at the round
 //! boundary, and every statistic counts a set whose contents are
@@ -72,16 +77,18 @@
 //! round has enough pending work to amortise them; below the threshold the
 //! same shard code runs inline on the calling thread.
 //!
-//! The cold-start [`SimulationIndex::build`] reuses the same plan: candidate
+//! The cold-start [`SimulationIndex::build`] reuses the same plan: the
+//! label-index pass and candidate enumeration run per node-range slice with
+//! ordered merges ([`crate::simulation::candidates_with_shards`]), candidate
 //! mask seeding and support-counter derivation run on disjoint node-range
 //! slices, and the initial refinement is the round-based demotion drain — so
 //! builds are bit-identical for every shard count too (see
 //! [`SimulationIndex::build_with_shards`]).
 
-use crate::incremental::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
-use crate::simulation::{candidates, simulation_result_graph};
+use crate::simulation::{candidates_with_shards, simulation_result_graph};
 use crate::stats::AffStats;
 use igpm_graph::hash::FastHashMap;
+use igpm_graph::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use igpm_graph::update::{net_effective_updates, reduce_batch};
 use igpm_graph::{
     BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
@@ -227,10 +234,12 @@ impl SimulationIndex {
         };
 
         // Start with match(u) = all candidates of u. The candidate lists come
-        // from one sequential label-index pass (O(|V|)); seeding them into the
-        // per-node masks is sharded — each shard binary-searches its node
-        // range in the sorted lists and writes only its own mask slice.
-        let cand_lists = candidates(pattern, graph);
+        // from the sharded label-index pass + predicate scans (per node-range
+        // slice, merged in node order — see `candidates_with_shards`); seeding
+        // them into the per-node masks is sharded too — each shard
+        // binary-searches its node range in the sorted lists and writes only
+        // its own mask slice.
+        let cand_lists = candidates_with_shards(pattern, graph, shards);
         for (u, list) in cand_lists.iter().enumerate() {
             index.match_count[u] = list.len();
         }
@@ -747,6 +756,8 @@ impl SimulationIndex {
     }
 
     /// Insertion propagation: the `propCS` / `propCC` loop of `IncMatch+`.
+    /// The unit path keeps everything on the calling thread (one update does
+    /// not amortise a fan-out), so `propCC` runs on a one-shard plan.
     fn propagate_insertions(
         &mut self,
         graph: &DataGraph,
@@ -754,6 +765,7 @@ impl SimulationIndex {
         mut run_cc: bool,
         stats: &mut AffStats,
     ) {
+        let plan = ShardPlan::new(self.nv, 1);
         loop {
             let promoted_cs = self.prop_cs(graph, &mut worklist, stats);
             if promoted_cs {
@@ -764,7 +776,7 @@ impl SimulationIndex {
                 break;
             }
             run_cc = false;
-            let promoted_cc = self.prop_cc(graph, stats, &mut worklist);
+            let promoted_cc = self.prop_cc(graph, stats, &mut worklist, plan);
             if !promoted_cc && worklist.is_empty() {
                 break;
             }
@@ -843,6 +855,23 @@ impl SimulationIndex {
     /// their tentative parents — instead of the seed's repeated
     /// full-candidate-set fixpoint sweeps with adjacency rescans.
     ///
+    /// The phase is **sharded on the batch plan**. Each SCC's joint
+    /// evaluation is a pure read of the index state ([`evaluate_scc_joint`]),
+    /// so the SCCs are evaluated speculatively on scoped threads — each SCC
+    /// owned by one worker (ownership striped over the SCC enumeration, an
+    /// SCC's identity being its lowest pattern member) — and their verdicts
+    /// are *committed* in enumeration order. A committed promotion dirties
+    /// the frozen state later speculative verdicts were computed against;
+    /// from the first dirtying commit on, every remaining SCC re-evaluates
+    /// against the live state, which reproduces the sequential engine's
+    /// cross-SCC data flow exactly (Tarjan numbering sends pattern edges from
+    /// later-enumerated SCCs to earlier ones, so this is the only direction
+    /// influence can travel). Within one SCC, the `O(|V|)` tentative gather,
+    /// the `tsup` derivation and the viability seed scan are chunked over
+    /// node ranges / candidate chunks — see [`evaluate_scc_joint`]. Matches,
+    /// counters and [`AffStats`] are bit-identical for every shard count;
+    /// `plan.count = 1` is the sequential engine.
+    ///
     /// Survivor promotions enqueue their candidate parents on `worklist` for
     /// the next `propCS` pass. Returns true if anything was promoted.
     fn prop_cc(
@@ -850,122 +879,74 @@ impl SimulationIndex {
         graph: &DataGraph,
         stats: &mut AffStats,
         worklist: &mut Vec<(u32, u32)>,
+        plan: ShardPlan,
     ) -> bool {
+        let comp_masks: Vec<u64> = self
+            .scc
+            .components()
+            .filter(|&comp| self.scc.is_nontrivial(comp))
+            .map(|comp| self.scc.members(comp).iter().fold(0u64, |mask, &u| mask | (1 << u)))
+            .collect();
+        if comp_masks.is_empty() {
+            return false;
+        }
+        let fan_out = plan.count > 1 && self.nv >= PARALLEL_WORK_THRESHOLD;
+
+        // Phase A — speculative evaluation: every SCC's verdict against the
+        // frozen pre-phase state, one SCC per worker
+        // ([`crate::incremental::speculate_scc_verdicts`]). Only worth
+        // spawning for multi-SCC patterns; a single SCC parallelises *inside*
+        // its evaluation instead (phase B, `fan_out` inner chunking).
+        let mut verdicts: Vec<Option<SccVerdict>> = if fan_out && comp_masks.len() > 1 {
+            let ctx = self.scc_eval_ctx();
+            crate::incremental::speculate_scc_verdicts(&comp_masks, plan.count, |mask| {
+                evaluate_scc_joint(ctx, graph, mask, plan, false)
+            })
+        } else {
+            (0..comp_masks.len()).map(|_| None).collect()
+        };
+
+        // Phase B — ordered commit with dirty fallback: speculative verdicts
+        // are valid until the first commit that promoted something; from then
+        // on each SCC re-evaluates against the live state (exactly what the
+        // sequential engine reads).
+        let mut dirty = false;
         let mut promoted_any = false;
-        let components: Vec<_> = self.scc.components().collect();
-        for comp in components {
-            if !self.scc.is_nontrivial(comp) {
-                continue;
-            }
-            let comp_mask: u64 =
-                self.scc.members(comp).iter().fold(0u64, |mask, &u| mask | (1 << u));
-
-            // tentative[v] = pattern nodes of this SCC that v is still assumed
-            // to match (matches are kept implicitly: they can never be
-            // invalidated by insertions). Sparse: only candidate nodes appear.
-            let mut tentative: FastHashMap<u32, u64> = FastHashMap::default();
-            for v in 0..self.nv {
-                let bits = self.masks[v].candt & comp_mask;
-                if bits != 0 {
-                    tentative.insert(v as u32, bits);
-                }
-            }
-            if tentative.is_empty() {
-                continue;
-            }
-
-            // tsup[(v, u2)] = |children(v) ∩ tentative(u2)| for u2 in the SCC.
-            let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
-            for (&v, _) in tentative.iter() {
-                for &w in graph.children(NodeId(v)) {
-                    let Some(&wbits) = tentative.get(&w.0) else { continue };
-                    let mut bits = wbits;
-                    while bits != 0 {
-                        let u2 = bits.trailing_zeros();
-                        bits &= bits - 1;
-                        *tsup.entry((v, u2)).or_insert(0) += 1;
-                        stats.counter_updates += 1;
-                    }
-                }
-            }
-
-            // Seed the elimination worklist with every currently non-viable
-            // tentative pair.
-            let viable = |index: &Self, tsup: &FastHashMap<(u32, u32), u32>, u: usize, v: u32| {
-                let base = v as usize * index.np;
-                let mut bits = index.child_mask[u];
-                while bits != 0 {
-                    let u2 = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    if index.cnt[base + u2] > 0 {
-                        continue;
-                    }
-                    let in_scc = index.scc_child_mask[u] & (1 << u2) != 0;
-                    if !in_scc || tsup.get(&(v, u2 as u32)).copied().unwrap_or(0) == 0 {
-                        return false;
-                    }
-                }
-                true
+        for (i, &comp_mask) in comp_masks.iter().enumerate() {
+            let verdict = match (dirty, verdicts[i].take()) {
+                (false, Some(verdict)) => verdict,
+                _ => evaluate_scc_joint(self.scc_eval_ctx(), graph, comp_mask, plan, fan_out),
             };
-            let mut eliminate: Vec<(u32, u32)> = Vec::new();
-            for (&v, &bits) in tentative.iter() {
-                let mut b = bits;
-                while b != 0 {
-                    let u = b.trailing_zeros() as usize;
-                    b &= b - 1;
-                    stats.nodes_visited += 1;
-                    if !viable(self, &tsup, u, v) {
-                        eliminate.push((u as u32, v));
-                    }
-                }
+            stats.merge(verdict.stats);
+            if verdict.survivors.is_empty() {
+                continue;
             }
-
-            // Eliminate with cascade: dropping the assumption (u, v) costs its
-            // tentative parents one unit of support for u.
-            while let Some((u, v)) = eliminate.pop() {
-                let Some(bits) = tentative.get_mut(&v) else { continue };
-                let bit = 1u64 << u;
-                if *bits & bit == 0 {
-                    continue;
-                }
-                stats.nodes_visited += 1;
-                *bits &= !bit;
-                if *bits == 0 {
-                    tentative.remove(&v);
-                }
-                let pmask = self.parent_mask(u as usize) & comp_mask;
-                for &p in graph.parents(NodeId(v)) {
-                    let Some(counter) = tsup.get_mut(&(p.0, u)) else { continue };
-                    debug_assert!(*counter > 0, "tentative support underflow");
-                    *counter -= 1;
-                    stats.counter_updates += 1;
-                    if *counter == 0 && self.cnt[p.index() * self.np + u as usize] == 0 {
-                        // Every tentative assumption on p that relied on the
-                        // pattern edge (u_par, u) may now be dead.
-                        if let Some(&pbits) = tentative.get(&p.0) {
-                            let mut b = pbits & pmask;
-                            while b != 0 {
-                                let u_par = b.trailing_zeros();
-                                b &= b - 1;
-                                eliminate.push((u_par, p.0));
-                            }
-                        }
-                    }
-                }
-            }
-
-            let mut survivors: Vec<(u32, u64)> = tentative.into_iter().collect();
-            survivors.sort_unstable_by_key(|&(v, _)| v);
-            for (v, mut bits) in survivors {
+            for (v, mut bits) in verdict.survivors {
                 while bits != 0 {
                     let u = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     self.promote(graph, u, v as usize, worklist, stats);
-                    promoted_any = true;
                 }
             }
+            promoted_any = true;
+            dirty = true;
         }
         promoted_any
+    }
+
+    /// The read-only view of the index state that [`evaluate_scc_joint`]
+    /// needs — plain slices, so worker threads can hold it without capturing
+    /// the index (whose lazy match cache is not `Sync`).
+    fn scc_eval_ctx(&self) -> SccEvalContext<'_> {
+        SccEvalContext {
+            np: self.np,
+            nv: self.nv,
+            masks: &self.masks,
+            cnt: &self.cnt,
+            child_mask: &self.child_mask,
+            parent_masks: &self.parent_masks,
+            scc_child_mask: &self.scc_child_mask,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1114,10 +1095,10 @@ impl SimulationIndex {
 
     /// Phase 3 of the batch engine: the `propCS`/`propCC` alternation of
     /// [`SimulationIndex::propagate_insertions`], with the `propCS` cascade
-    /// sharded. `propCC` runs between rounds on the merged state: its
-    /// SCC-joint evaluation is global by nature, costs `O(candidates of the
-    /// SCC)` rather than `O(|ΔG|)`, and runs identically for every shard
-    /// count because the rounds leave identical state behind.
+    /// sharded as synchronous rounds and `propCC` sharded on the same plan —
+    /// speculative read-only SCC-joint evaluation on scoped threads, verdicts
+    /// committed in enumeration order (see [`SimulationIndex::prop_cc`]).
+    /// Both run identically for every shard count.
     fn propagate_insertions_sharded(
         &mut self,
         graph: &DataGraph,
@@ -1136,7 +1117,7 @@ impl SimulationIndex {
                 break;
             }
             run_cc = false;
-            let promoted_cc = self.prop_cc(graph, stats, &mut worklist);
+            let promoted_cc = self.prop_cc(graph, stats, &mut worklist, plan);
             if !promoted_cc && worklist.is_empty() {
                 break;
             }
@@ -1210,7 +1191,7 @@ impl SimulationIndex {
 // ----------------------------------------------------------------------
 //
 // The batch phases operate on per-shard views of the per-node arrays:
-// contiguous node ranges (see `crate::incremental::shard` for why contiguous
+// contiguous node ranges (see `igpm_graph::shard` for why contiguous
 // beats `v % shards`) obtained with `split_at_mut`, so worker threads hold
 // disjoint `&mut` slices and the whole engine stays free of `unsafe`,
 // atomics and locks. Counter deltas addressed to another shard's nodes
@@ -1420,6 +1401,263 @@ fn derive_counters_shard(
         }
     }
     seeds
+}
+
+/// Read-only slices of the index state consumed by [`evaluate_scc_joint`] —
+/// plain `Sync` data, so SCC evaluations can run on worker threads without
+/// capturing the index itself (whose lazy match cache is not `Sync`).
+#[derive(Clone, Copy)]
+struct SccEvalContext<'a> {
+    np: usize,
+    nv: usize,
+    masks: &'a [NodeMasks],
+    cnt: &'a [u32],
+    child_mask: &'a [u64],
+    parent_masks: &'a [u64],
+    scc_child_mask: &'a [u64],
+}
+
+/// Outcome of one SCC's joint evaluation: the surviving tentative assumptions
+/// `(data node, SCC pattern bits)` in ascending node order — the pairs the
+/// commit step promotes — plus the statistics of the evaluation itself
+/// (tentative-counter work and pairs visited). Both are pure functions of the
+/// index state the evaluation read, independent of where or in how many
+/// chunks it ran.
+struct SccVerdict {
+    survivors: Vec<(u32, u64)>,
+    stats: AffStats,
+}
+
+/// The read-only SCC-joint evaluation behind `propCC`: tentatively assume
+/// every candidate of the SCC (`comp_mask`) matches, refine the assumption to
+/// its greatest fixpoint with tentative-support counters, and report the
+/// survivors. Mutates nothing — promotion is the caller's ordered commit.
+///
+/// When `fan_out` is set, the three scan-shaped steps run chunked on scoped
+/// threads, each with a deterministic ordered merge, so the verdict is
+/// identical for every chunking:
+///
+/// * the **tentative gather** — the `O(|V|)` candidate scan the ROADMAP names
+///   as the phase's sequential bottleneck — partitions the node range on
+///   `plan` and concatenates in range order;
+/// * the **`tsup` derivation** chunks the gathered candidates; a source `v`'s
+///   counters are written only by `v`'s chunk, so the merged map is a
+///   disjoint union;
+/// * the **viability seed scan** chunks the gathered candidates and
+///   concatenates the non-viable seeds in chunk order.
+///
+/// The elimination cascade itself stays on the calling thread: it is
+/// `O(eliminated pairs)`, confluent (the greatest fixpoint is unique and
+/// every counter it touches is decremented exactly once per eliminated pair,
+/// in any order), and bounded by work already counted.
+fn evaluate_scc_joint(
+    ctx: SccEvalContext<'_>,
+    graph: &DataGraph,
+    comp_mask: u64,
+    plan: ShardPlan,
+    fan_out: bool,
+) -> SccVerdict {
+    let mut stats = AffStats::default();
+
+    // tentative[v] = pattern nodes of this SCC that v is still assumed to
+    // match (matches are kept implicitly: they can never be invalidated by
+    // insertions). Sparse: only candidate nodes appear, in ascending order.
+    let masks = ctx.masks;
+    let gathered: Vec<(u32, u64)> = if fan_out
+        && plan.count > 1
+        && ctx.nv >= PARALLEL_WORK_THRESHOLD
+    {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.count)
+                .map(|shard| {
+                    let range = plan.range(shard);
+                    scope.spawn(move || gather_tentative(masks, comp_mask, range))
+                })
+                .collect();
+            // Range order concatenation = ascending node order.
+            handles.into_iter().flat_map(|h| h.join().expect("propCC gather panicked")).collect()
+        })
+    } else {
+        gather_tentative(masks, comp_mask, 0..ctx.nv)
+    };
+    if gathered.is_empty() {
+        return SccVerdict { survivors: Vec::new(), stats };
+    }
+    let mut tentative: FastHashMap<u32, u64> = FastHashMap::default();
+    for &(v, bits) in &gathered {
+        tentative.insert(v, bits);
+    }
+
+    // tsup[(v, u2)] = |children(v) ∩ tentative(u2)| for u2 in the SCC, and
+    // the elimination seeds: tentative pairs without full (real or
+    // tentative) support. Both scans are chunked over the gathered list.
+    let chunk_plan = ShardPlan::new(gathered.len(), plan.count);
+    let chunked = fan_out && chunk_plan.count > 1 && gathered.len() >= PARALLEL_WORK_THRESHOLD;
+    let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
+    if chunked {
+        let tentative = &tentative;
+        let partials: Vec<TsupChunk> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunk_plan.count)
+                .map(|shard| {
+                    let chunk = &gathered[chunk_plan.range(shard)];
+                    scope.spawn(move || derive_tsup_chunk(graph, tentative, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("propCC tsup panicked")).collect()
+        });
+        for (partial, updates) in partials {
+            // Sources are owned by exactly one chunk: disjoint-key union.
+            tsup.extend(partial);
+            stats.counter_updates += updates;
+        }
+    } else {
+        let (partial, updates) = derive_tsup_chunk(graph, &tentative, &gathered);
+        tsup = partial;
+        stats.counter_updates += updates;
+    }
+
+    let mut eliminate: Vec<(u32, u32)> = if chunked {
+        let tsup = &tsup;
+        let chunks: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chunk_plan.count)
+                .map(|shard| {
+                    let chunk = &gathered[chunk_plan.range(shard)];
+                    scope.spawn(move || seed_eliminations_chunk(ctx, tsup, chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("propCC seed panicked")).collect()
+        });
+        chunks.concat()
+    } else {
+        seed_eliminations_chunk(ctx, &tsup, &gathered)
+    };
+    // One visit per tentative pair scanned for viability; the scan itself is
+    // embarrassingly parallel, so count it from the gathered bits.
+    stats.nodes_visited +=
+        gathered.iter().map(|&(_, bits)| bits.count_ones() as usize).sum::<usize>();
+
+    // Eliminate with cascade: dropping the assumption (u, v) costs its
+    // tentative parents one unit of support for u. Confluent — the stats
+    // below count sets that are independent of pop order.
+    while let Some((u, v)) = eliminate.pop() {
+        let Some(bits) = tentative.get_mut(&v) else { continue };
+        let bit = 1u64 << u;
+        if *bits & bit == 0 {
+            continue;
+        }
+        stats.nodes_visited += 1;
+        *bits &= !bit;
+        if *bits == 0 {
+            tentative.remove(&v);
+        }
+        let pmask = ctx.parent_masks[u as usize] & comp_mask;
+        for &p in graph.parents(NodeId(v)) {
+            let Some(counter) = tsup.get_mut(&(p.0, u)) else { continue };
+            debug_assert!(*counter > 0, "tentative support underflow");
+            *counter -= 1;
+            stats.counter_updates += 1;
+            if *counter == 0 && ctx.cnt[p.index() * ctx.np + u as usize] == 0 {
+                // Every tentative assumption on p that relied on the pattern
+                // edge (u_par, u) may now be dead.
+                if let Some(&pbits) = tentative.get(&p.0) {
+                    let mut b = pbits & pmask;
+                    while b != 0 {
+                        let u_par = b.trailing_zeros();
+                        b &= b - 1;
+                        eliminate.push((u_par, p.0));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut survivors: Vec<(u32, u64)> = tentative.into_iter().collect();
+    survivors.sort_unstable_by_key(|&(v, _)| v);
+    SccVerdict { survivors, stats }
+}
+
+/// Collects the tentative candidates of one node range: `(v, candt ∩ SCC)`
+/// for every node whose candidate bits intersect the component, ascending.
+fn gather_tentative(
+    masks: &[NodeMasks],
+    comp_mask: u64,
+    range: std::ops::Range<usize>,
+) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for v in range {
+        let bits = masks[v].candt & comp_mask;
+        if bits != 0 {
+            out.push((v as u32, bits));
+        }
+    }
+    out
+}
+
+/// One chunk's tentative-support counters plus the number of increments
+/// performed deriving them (the counter-update work of the derivation).
+type TsupChunk = (FastHashMap<(u32, u32), u32>, usize);
+
+/// Derives the tentative-support counters of one chunk of candidate sources:
+/// `tsup[(v, u2)] = |children(v) ∩ tentative(u2)|`.
+fn derive_tsup_chunk(
+    graph: &DataGraph,
+    tentative: &FastHashMap<u32, u64>,
+    chunk: &[(u32, u64)],
+) -> TsupChunk {
+    let mut tsup: FastHashMap<(u32, u32), u32> = FastHashMap::default();
+    let mut updates = 0usize;
+    for &(v, _) in chunk {
+        for &w in graph.children(NodeId(v)) {
+            let Some(&wbits) = tentative.get(&w.0) else { continue };
+            let mut bits = wbits;
+            while bits != 0 {
+                let u2 = bits.trailing_zeros();
+                bits &= bits - 1;
+                *tsup.entry((v, u2)).or_insert(0) += 1;
+                updates += 1;
+            }
+        }
+    }
+    (tsup, updates)
+}
+
+/// Scans one chunk of tentative pairs for viability, returning the
+/// non-viable ones in chunk order. A pair `(u, v)` is viable when every
+/// pattern edge out of `u` has either real counter support at `v` or — for
+/// SCC-internal edges — tentative support.
+fn seed_eliminations_chunk(
+    ctx: SccEvalContext<'_>,
+    tsup: &FastHashMap<(u32, u32), u32>,
+    chunk: &[(u32, u64)],
+) -> Vec<(u32, u32)> {
+    let viable = |u: usize, v: u32| {
+        let base = v as usize * ctx.np;
+        let mut bits = ctx.child_mask[u];
+        while bits != 0 {
+            let u2 = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if ctx.cnt[base + u2] > 0 {
+                continue;
+            }
+            let in_scc = ctx.scc_child_mask[u] & (1 << u2) != 0;
+            if !in_scc || tsup.get(&(v, u2 as u32)).copied().unwrap_or(0) == 0 {
+                return false;
+            }
+        }
+        true
+    };
+    let mut eliminate = Vec::new();
+    for &(v, bits) in chunk {
+        let mut b = bits;
+        while b != 0 {
+            let u = b.trailing_zeros() as usize;
+            b &= b - 1;
+            if !viable(u, v) {
+                eliminate.push((u as u32, v));
+            }
+        }
+    }
+    eliminate
 }
 
 /// Which kind of drain a round executes.

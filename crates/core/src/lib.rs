@@ -25,7 +25,7 @@
 //!
 //! Batch maintenance **and the cold-start builds** are sharded across node
 //! ranges and run on scoped threads when the work volume warrants it
-//! ([`incremental::shard`]); the shard count comes from the `IGPM_SHARDS`
+//! ([`igpm_graph::shard`]); the shard count comes from the `IGPM_SHARDS`
 //! environment variable (default: available parallelism, see
 //! [`configured_shards`]) or can be pinned per call with
 //! [`SimulationIndex::apply_batch_with_shards`] /
@@ -47,8 +47,11 @@ pub use bounded::{
     build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
     match_bounded_with_two_hop,
 };
+pub use igpm_graph::shard::configured_shards;
 pub use incremental::bsim::{BoundedIndex, BsimAuxSnapshot};
-pub use incremental::shard::configured_shards;
 pub use incremental::sim::{SimAuxSnapshot, SimulationIndex};
-pub use simulation::{candidates, match_simulation, simulation_result_graph};
+pub use simulation::{
+    candidates, candidates_with_index, candidates_with_index_sharded, candidates_with_shards,
+    match_simulation, simulation_result_graph,
+};
 pub use stats::AffStats;

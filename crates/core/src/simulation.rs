@@ -11,6 +11,7 @@
 
 use crate::stats::AffStats;
 use igpm_graph::hash::FastHashSet;
+use igpm_graph::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use igpm_graph::{
     DataGraph, LabelIndex, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
 };
@@ -22,9 +23,26 @@ use igpm_graph::{
 /// pattern node through [`candidates_with_index`], so label-bearing predicates
 /// — the overwhelmingly common case — enumerate their candidates in
 /// `O(|candidates|)` instead of scanning all of `V` once per pattern node.
+/// Both the index pass and the predicate scans run sharded across
+/// [`configured_shards`] node ranges (see [`candidates_with_shards`]).
 pub fn candidates(pattern: &Pattern, graph: &DataGraph) -> Vec<Vec<NodeId>> {
-    let index = LabelIndex::build(graph);
-    candidates_with_index(pattern, graph, &index)
+    candidates_with_shards(pattern, graph, configured_shards())
+}
+
+/// [`candidates`] with an explicit shard count (`IGPM_SHARDS` and machine
+/// parallelism are ignored): the label-index pass buckets per node-range
+/// slice and merges in node order ([`LabelIndex::build_with_shards`]), and
+/// the per-pattern-node predicate scans evaluate their domain in contiguous
+/// chunks on scoped threads, concatenated in chunk (= ascending node) order.
+/// The lists are identical for every shard count; `shards = 1` is the
+/// sequential scan.
+pub fn candidates_with_shards(
+    pattern: &Pattern,
+    graph: &DataGraph,
+    shards: usize,
+) -> Vec<Vec<NodeId>> {
+    let index = LabelIndex::build_with_shards(graph, shards);
+    candidates_with_index_sharded(pattern, graph, &index, shards)
 }
 
 /// [`candidates`] against a pre-built label index (reusable across patterns
@@ -40,6 +58,22 @@ pub fn candidates_with_index(
     graph: &DataGraph,
     index: &LabelIndex,
 ) -> Vec<Vec<NodeId>> {
+    candidates_with_index_sharded(pattern, graph, index, 1)
+}
+
+/// [`candidates_with_index`] with the predicate scans sharded: each pattern
+/// node's evaluation domain (its label bucket, or all of `V` when the
+/// predicate carries no label atom) is split into contiguous chunks evaluated
+/// read-only on scoped threads and concatenated in chunk order — the exact
+/// list the sequential scan produces. Domains below
+/// [`PARALLEL_WORK_THRESHOLD`] run inline; the execution strategy never
+/// changes the lists.
+pub fn candidates_with_index_sharded(
+    pattern: &Pattern,
+    graph: &DataGraph,
+    index: &LabelIndex,
+    shards: usize,
+) -> Vec<Vec<NodeId>> {
     pattern
         .nodes()
         .map(|u| {
@@ -47,17 +81,39 @@ pub fn candidates_with_index(
             if let Some(label) = pred.as_label() {
                 return index.nodes_with_label(label).to_vec();
             }
+            let satisfied = |v: &NodeId| pred.satisfied_by(graph.attrs(*v));
             if let Some(label) = pred.label_atom() {
-                return index
-                    .nodes_with_label(label)
-                    .iter()
-                    .copied()
-                    .filter(|&v| pred.satisfied_by(graph.attrs(v)))
-                    .collect();
+                return filter_sharded(index.nodes_with_label(label), &satisfied, shards);
             }
-            graph.nodes().filter(|&v| pred.satisfied_by(graph.attrs(v))).collect()
+            let all: Vec<NodeId> = graph.nodes().collect();
+            filter_sharded(&all, &satisfied, shards)
         })
         .collect()
+}
+
+/// Filters an ascending node list through a pure predicate, fanning the
+/// evaluation out over contiguous chunks when the domain is large enough to
+/// amortise the spawns. Chunk results are concatenated in chunk order, so the
+/// output equals the sequential filter for every shard count.
+fn filter_sharded(
+    domain: &[NodeId],
+    satisfied: &(dyn Fn(&NodeId) -> bool + Sync),
+    shards: usize,
+) -> Vec<NodeId> {
+    let plan = ShardPlan::new(domain.len(), shards.max(1));
+    if plan.count == 1 || domain.len() < PARALLEL_WORK_THRESHOLD {
+        return domain.iter().filter(|v| satisfied(v)).copied().collect();
+    }
+    let chunks: Vec<Vec<NodeId>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..plan.count)
+            .map(|shard| {
+                let slice = &domain[plan.range(shard)];
+                scope.spawn(move || slice.iter().filter(|v| satisfied(v)).copied().collect())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("candidate scan shard panicked")).collect()
+    });
+    chunks.concat()
 }
 
 /// Computes the maximum graph simulation `M_sim(P, G)` of a *normal* pattern.

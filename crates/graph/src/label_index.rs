@@ -11,30 +11,97 @@
 //! that merely *contain* a label atom evaluate their remaining atoms over the
 //! bucket instead of the whole graph.
 //!
-//! The index is a snapshot: it stays valid under edge insertions/deletions
-//! (labels live on nodes) but must be rebuilt if node attributes change.
+//! The `O(|V|)` pass itself is **shard-buildable**
+//! ([`LabelIndex::build_with_shards`]): the node range is partitioned on the
+//! same contiguous [`ShardPlan`] the matching engines use, each shard buckets
+//! its own range on a scoped thread, and the per-shard buckets are merged in
+//! ascending node order — so every shard count produces the *same* index
+//! (bucket contents and their internal order alike), and `shards = 1` is the
+//! sequential pass.
+//!
+//! The index is a snapshot over edges: it stays valid under edge
+//! insertions/deletions (labels live on nodes) but must be rebuilt if node
+//! attributes change. Nodes *appended* to the graph after the build can be
+//! absorbed without a rebuild through [`LabelIndex::ensure_node_capacity`] —
+//! the node-churn growth hook every other index in the workspace exposes — so
+//! churned nodes enter the candidate scan exactly as if the index had been
+//! built after them.
 
 use crate::attr::Attributes;
 use crate::graph::DataGraph;
 use crate::hash::FastHashMap;
 use crate::node::NodeId;
+use crate::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 
 /// Inverted index from node label to the sorted list of nodes carrying it.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality compares *content*: bucket vectors element-for-element (node
+/// order matters — it is part of the determinism contract) and the bucket map
+/// as a set of `(label, nodes)` entries, independent of hash-bucket order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LabelIndex {
     buckets: FastHashMap<String, Vec<NodeId>>,
     /// Nodes without a `label` attribute, in index order.
     unlabeled: Vec<NodeId>,
+    /// Number of node ids covered so far (`0..covered` have been bucketed).
+    covered: usize,
 }
 
 impl LabelIndex {
-    /// Builds the index in one pass over the graph's nodes.
+    /// Builds the index over the graph's nodes, sharded across
+    /// [`configured_shards`] node ranges (see
+    /// [`LabelIndex::build_with_shards`]).
     pub fn build(graph: &DataGraph) -> Self {
-        let mut index = LabelIndex::default();
-        for v in graph.nodes() {
-            index.insert(v, graph.attrs(v));
+        Self::build_with_shards(graph, configured_shards())
+    }
+
+    /// [`LabelIndex::build`] with an explicit shard count (`IGPM_SHARDS` and
+    /// machine parallelism are ignored). Each shard buckets one contiguous
+    /// node range on a scoped thread; the per-shard buckets are concatenated
+    /// in shard (= ascending node) order, so the result is identical for
+    /// every shard count and `shards = 1` is the sequential pass.
+    pub fn build_with_shards(graph: &DataGraph, shards: usize) -> Self {
+        let nv = graph.node_count();
+        let plan = ShardPlan::new(nv, shards);
+        if plan.count == 1 || nv < PARALLEL_WORK_THRESHOLD {
+            let mut index = LabelIndex::default();
+            index.absorb_range(graph, 0..nv);
+            index.covered = nv;
+            return index;
         }
+        let partials: Vec<LabelIndex> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.count)
+                .map(|shard| {
+                    let range = plan.range(shard);
+                    scope.spawn(move || {
+                        let mut partial = LabelIndex::default();
+                        partial.absorb_range(graph, range);
+                        partial
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("label shard panicked")).collect()
+        });
+        // Ordered merge: shard ranges ascend, and every per-shard bucket is in
+        // ascending node order, so appending shard by shard keeps each merged
+        // bucket sorted — the exact list the sequential pass produces.
+        let mut index = LabelIndex::default();
+        for partial in partials {
+            for (label, nodes) in partial.buckets {
+                index.buckets.entry(label).or_default().extend(nodes);
+            }
+            index.unlabeled.extend(partial.unlabeled);
+        }
+        index.covered = nv;
         index
+    }
+
+    /// Buckets the nodes of one id range (ascending).
+    fn absorb_range(&mut self, graph: &DataGraph, range: std::ops::Range<usize>) {
+        for v in range {
+            let v = NodeId::from_index(v);
+            self.insert(v, graph.attrs(v));
+        }
     }
 
     fn insert(&mut self, v: NodeId, attrs: &Attributes) {
@@ -47,6 +114,25 @@ impl LabelIndex {
             },
             None => self.unlabeled.push(v),
         }
+    }
+
+    /// Absorbs the nodes appended to `graph` since the index was built (node
+    /// ids grow monotonically, so appending keeps every bucket sorted). Edge
+    /// churn never invalidates the index; node churn is covered by calling
+    /// this before the next candidate scan. No-op when nothing grew.
+    pub fn ensure_node_capacity(&mut self, graph: &DataGraph) {
+        let nv = graph.node_count();
+        if nv <= self.covered {
+            return;
+        }
+        self.absorb_range(graph, self.covered..nv);
+        self.covered = nv;
+    }
+
+    /// Number of node ids covered by the index (nodes added to the graph
+    /// afterwards need [`LabelIndex::ensure_node_capacity`]).
+    pub fn covered_nodes(&self) -> usize {
+        self.covered
     }
 
     /// The nodes carrying `label`, sorted by node id (insertion order is
@@ -68,6 +154,16 @@ impl LabelIndex {
     /// Iterates over `(label, nodes)` buckets in unspecified order.
     pub fn buckets(&self) -> impl Iterator<Item = (&str, &[NodeId])> {
         self.buckets.iter().map(|(label, nodes)| (label.as_str(), nodes.as_slice()))
+    }
+
+    /// The buckets as a sorted `(label, nodes)` list plus the unlabeled tail —
+    /// a canonical rendering for byte-equality assertions in the equivalence
+    /// suites (map iteration order is unspecified; this is not).
+    pub fn snapshot(&self) -> (Vec<(String, Vec<NodeId>)>, Vec<NodeId>) {
+        let mut buckets: Vec<(String, Vec<NodeId>)> =
+            self.buckets.iter().map(|(label, nodes)| (label.clone(), nodes.clone())).collect();
+        buckets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        (buckets, self.unlabeled.clone())
     }
 }
 
@@ -94,6 +190,7 @@ mod tests {
         assert!(index.nodes_with_label("Ghost").is_empty());
         assert_eq!(index.unlabeled_nodes(), &[NodeId(3)]);
         assert_eq!(index.label_count(), 3);
+        assert_eq!(index.covered_nodes(), 5);
     }
 
     #[test]
@@ -108,5 +205,66 @@ mod tests {
         let index = LabelIndex::build(&DataGraph::new());
         assert_eq!(index.label_count(), 0);
         assert!(index.nodes_with_label("x").is_empty());
+        for shards in [1, 4] {
+            assert_eq!(LabelIndex::build_with_shards(&DataGraph::new(), shards), index);
+        }
+    }
+
+    #[test]
+    fn sharded_builds_match_sequential_on_small_graphs() {
+        // Below the spawn threshold the partition runs inline, but the merge
+        // arithmetic is the same; every count must agree with shards = 1.
+        let graph = sample();
+        let reference = LabelIndex::build_with_shards(&graph, 1);
+        for shards in [2usize, 3, 8] {
+            let index = LabelIndex::build_with_shards(&graph, shards);
+            assert_eq!(index, reference, "shards={shards}");
+            assert_eq!(index.snapshot(), reference.snapshot(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_builds_match_sequential_above_the_spawn_threshold() {
+        // 3 × PARALLEL_WORK_THRESHOLD nodes with interleaved label reuse: the
+        // fan-out branch actually spawns, and chunk boundaries fall inside
+        // label runs, so a merge that lost node order would be caught.
+        let mut graph = DataGraph::new();
+        let n = 3 * PARALLEL_WORK_THRESHOLD;
+        for v in 0..n {
+            if v % 7 == 3 {
+                graph.add_node(Attributes::new().with("name", "anon"));
+            } else {
+                graph.add_labeled_node(format!("l{}", v % 5));
+            }
+        }
+        let reference = LabelIndex::build_with_shards(&graph, 1);
+        for shards in [2usize, 3, 8] {
+            let index = LabelIndex::build_with_shards(&graph, shards);
+            assert_eq!(index, reference, "shards={shards}");
+            for (label, nodes) in reference.buckets() {
+                assert_eq!(index.nodes_with_label(label), nodes, "bucket {label}");
+                assert!(nodes.windows(2).all(|w| w[0] < w[1]), "bucket {label} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn ensure_node_capacity_absorbs_appended_nodes() {
+        let mut graph = sample();
+        let mut grown = LabelIndex::build(&graph);
+        graph.add_labeled_node("CTO");
+        graph.add_node(Attributes::new().with("name", "late-anon"));
+        graph.add_labeled_node("Ops");
+        grown.ensure_node_capacity(&graph);
+        // Growth must land on exactly the index a fresh build produces.
+        assert_eq!(grown, LabelIndex::build(&graph));
+        assert_eq!(grown.nodes_with_label("CTO"), &[NodeId(0), NodeId(2), NodeId(5)]);
+        assert_eq!(grown.nodes_with_label("Ops"), &[NodeId(7)]);
+        assert_eq!(grown.unlabeled_nodes(), &[NodeId(3), NodeId(6)]);
+        assert_eq!(grown.covered_nodes(), 8);
+        // Idempotent when nothing grew.
+        let before = grown.clone();
+        grown.ensure_node_capacity(&graph);
+        assert_eq!(grown, before);
     }
 }

@@ -13,8 +13,16 @@
 //! graph, a pattern no node satisfies, a single-node SCC pattern (self-loop),
 //! and a graph larger than the thread-spawn threshold, so the fan-out branch
 //! of the build is exercised and proven identical too.
+//!
+//! The candidate-scan layer below the builds gets its own section: the
+//! shard-buildable `LabelIndex` (per-range buckets merged in node order,
+//! `ensure_node_capacity` growth under node churn) and the sharded
+//! `candidates_with_shards` enumeration must be byte-identical to their
+//! sequential counterparts for every shard count and every predicate
+//! strategy (pure label bucket, label-atom filter, full predicate scan).
 
-use igpm::core::match_bounded_with_matrix;
+use igpm::core::{candidates_with_shards, match_bounded_with_matrix};
+use igpm::graph::LabelIndex;
 use igpm::prelude::*;
 
 const BUILD_SHARDS: [usize; 4] = [1, 2, 3, 8];
@@ -293,4 +301,104 @@ fn build_crossing_the_thread_spawn_threshold_is_identical() {
         igpm::core::match_simulation(&pattern, &graph),
         "threaded build diverged from from-scratch recomputation"
     );
+}
+
+// ----------------------------------------------------------------------
+// Candidate-scan layer: LabelIndex + sharded candidate enumeration
+// ----------------------------------------------------------------------
+
+/// A graph past the thread-spawn threshold with adversarial label layout:
+/// labels reused in interleaved runs (so shard boundaries fall inside label
+/// runs), periodic unlabeled nodes, and a secondary attribute for the
+/// label-atom and full-scan predicate strategies.
+fn label_churn_graph(n: usize) -> DataGraph {
+    let mut graph = DataGraph::new();
+    for v in 0..n {
+        if v % 11 == 7 {
+            graph.add_node(Attributes::new().with("kind", "anon").with("rank", (v % 5) as i64));
+        } else {
+            graph.add_node(
+                Attributes::labeled(format!("l{}", v % 7))
+                    .with("kind", "plain")
+                    .with("rank", (v % 5) as i64),
+            );
+        }
+    }
+    graph
+}
+
+#[test]
+fn label_index_sharded_builds_are_byte_identical() {
+    let n = 3 * igpm::graph::shard::PARALLEL_WORK_THRESHOLD + 137;
+    let graph = label_churn_graph(n);
+    let reference = LabelIndex::build_with_shards(&graph, 1);
+    for shards in BUILD_SHARDS {
+        let index = LabelIndex::build_with_shards(&graph, shards);
+        assert_eq!(index, reference, "LabelIndex diverged at shards={shards}");
+        assert_eq!(index.snapshot(), reference.snapshot(), "snapshot diverged at shards={shards}");
+        // Enumeration-order determinism: every bucket strictly ascending.
+        for (label, nodes) in index.buckets() {
+            assert!(
+                nodes.windows(2).all(|w| w[0] < w[1]),
+                "bucket {label} lost node order at shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn label_index_growth_equals_fresh_build_under_node_churn() {
+    // Build sharded, grow through interleaved churn (reused labels, new
+    // labels, unlabeled nodes), and require exact equality with a fresh
+    // build of the final graph at every step — growth must never be
+    // distinguishable from having built later.
+    let mut graph = label_churn_graph(600);
+    let mut grown = LabelIndex::build_with_shards(&graph, 3);
+    for step in 0..40 {
+        match step % 4 {
+            0 => graph.add_labeled_node(format!("l{}", step % 7)),
+            1 => graph.add_labeled_node(format!("fresh-{step}")),
+            2 => graph.add_node(Attributes::new().with("kind", "anon")),
+            _ => graph.add_labeled_node("l0"),
+        };
+        grown.ensure_node_capacity(&graph);
+        for shards in BUILD_SHARDS {
+            assert_eq!(
+                grown,
+                LabelIndex::build_with_shards(&graph, shards),
+                "step {step}: grown index diverged from fresh shards={shards} build"
+            );
+        }
+    }
+    assert_eq!(grown.covered_nodes(), graph.node_count());
+}
+
+#[test]
+fn candidate_scans_are_identical_for_every_shard_count() {
+    let n = 2 * igpm::graph::shard::PARALLEL_WORK_THRESHOLD + 61;
+    let graph = label_churn_graph(n);
+    // One pattern node per enumeration strategy: pure label bucket,
+    // label-atom filter over the bucket, and the full `O(|V|)` predicate
+    // scan (no label atom) — the stage this PR shards.
+    let mut pattern = Pattern::new();
+    let bucket = pattern.add_node(Predicate::label("l3"));
+    let filtered = pattern.add_node(Predicate::label("l5").and_eq("rank", 2i64));
+    let scanned = pattern.add_node(Predicate::any().and_eq("kind", "anon"));
+    pattern.add_normal_edge(bucket, filtered);
+    pattern.add_normal_edge(filtered, scanned);
+
+    let reference = candidates_with_shards(&pattern, &graph, 1);
+    assert!(!reference[bucket.index()].is_empty(), "bucket strategy found nothing");
+    assert!(!reference[filtered.index()].is_empty(), "filter strategy found nothing");
+    assert!(!reference[scanned.index()].is_empty(), "scan strategy found nothing");
+    for lists in &reference {
+        assert!(lists.windows(2).all(|w| w[0] < w[1]), "sequential scan lost node order");
+    }
+    for shards in BUILD_SHARDS {
+        assert_eq!(
+            candidates_with_shards(&pattern, &graph, shards),
+            reference,
+            "candidate lists diverged at shards={shards}"
+        );
+    }
 }

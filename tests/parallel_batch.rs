@@ -2,7 +2,9 @@
 //!
 //! The batch engines claim to be **bit-identical for every shard count** —
 //! match sets, support counters and `AffStats` alike (see
-//! `igpm_core::incremental::shard`). These property tests drive independent
+//! `igpm_graph::shard`, the canonical home of the shard plan since the
+//! `igpm-core` re-export shim was removed). These property tests drive
+//! independent
 //! engine copies with shard counts {1, 2, 3, 7} in lockstep over 1000+
 //! random updates applied as mixed batches — including nodes added
 //! mid-stream — and assert after every batch that
