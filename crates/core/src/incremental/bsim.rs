@@ -36,19 +36,25 @@
 
 use crate::bounded::evaluate_pair_bounds;
 use crate::incremental::sim::MAX_PATTERN_NODES;
+use crate::incremental::{
+    panic_message, strip_out_of_range, unwrap_apply, BuildError, LenientApply, PipelineStage,
+};
 use crate::simulation::candidates_with_shards;
 use crate::stats::AffStats;
 use igpm_distance::landmark_inc::inc_lm_tracked_reduced;
 use igpm_distance::{satisfies_bound, LandmarkIndex, LandmarkSelection};
+use igpm_graph::fail;
 use igpm_graph::hash::{FastHashMap, FastHashSet};
 use igpm_graph::shard::{
     configured_shards, ShardPlan, PARALLEL_EVAL_THRESHOLD, PARALLEL_WORK_THRESHOLD,
 };
+use igpm_graph::update::{validate_batch, StagePanic};
 use igpm_graph::{
-    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternEdge, PatternNodeId,
+    ApplyError, BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternEdge, PatternNodeId,
     ResultGraph, StronglyConnectedComponents, Update,
 };
 use std::cell::{Ref, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Auxiliary state for incremental bounded simulation over one b-pattern.
 #[derive(Debug, Clone)]
@@ -87,6 +93,11 @@ pub struct BoundedIndex {
     build_stats: AffStats,
     /// Lazily rebuilt sorted view of the current match, cleared on mutation.
     cache: RefCell<Option<MatchRelation>>,
+    /// Set by the panic containment when a mid-batch panic may have torn the
+    /// auxiliary state (landmark vectors, pair sets, support counters). A
+    /// poisoned index refuses reads and writes until
+    /// [`BoundedIndex::recover`] rebuilds it from the graph.
+    poisoned: bool,
 }
 
 /// Content view of a [`BoundedIndex`]'s auxiliary state (membership masks,
@@ -120,6 +131,26 @@ impl BoundedIndex {
     /// threads (see [`BoundedIndex::build_with_shards`]).
     pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
         Self::build_with_shards(pattern, graph, configured_shards())
+    }
+
+    /// Fallible [`BoundedIndex::build`]: rejects patterns wider than
+    /// [`MAX_PATTERN_NODES`] with a typed [`BuildError`] instead of
+    /// panicking. (Bounded patterns need not be normal, so
+    /// [`BuildError::NotNormal`] never occurs here.)
+    pub fn try_build(pattern: &Pattern, graph: &DataGraph) -> Result<Self, BuildError> {
+        Self::try_build_with_shards(pattern, graph, configured_shards())
+    }
+
+    /// [`BoundedIndex::try_build`] with an explicit shard count.
+    pub fn try_build_with_shards(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        shards: usize,
+    ) -> Result<Self, BuildError> {
+        if pattern.node_count() > MAX_PATTERN_NODES {
+            return Err(BuildError::ArityTooLarge { arity: pattern.node_count() });
+        }
+        Ok(Self::build_with_shards(pattern, graph, shards))
     }
 
     /// [`BoundedIndex::build`] with an explicit shard count (`IGPM_SHARDS`
@@ -199,6 +230,7 @@ impl BoundedIndex {
             has_cycle,
             build_stats: AffStats::default(),
             cache: RefCell::new(None),
+            poisoned: false,
         };
         for (u, list) in cand_lists.iter().enumerate() {
             // Every candidate starts as a match; refinement demotes below.
@@ -269,13 +301,54 @@ impl BoundedIndex {
 
     /// The current maximum bounded-simulation match (cached between
     /// mutations; see [`BoundedIndex::matches_view`] for a zero-copy borrow).
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](BoundedIndex::poisoned); use
+    /// [`BoundedIndex::try_matches`] for a typed error.
     pub fn matches(&self) -> MatchRelation {
         self.matches_view().clone()
     }
 
+    /// Fallible [`BoundedIndex::matches`]: returns [`ApplyError::Poisoned`]
+    /// instead of panicking when a contained mid-batch panic left the
+    /// auxiliary state unusable.
+    pub fn try_matches(&self) -> Result<MatchRelation, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        Ok(self.matches_view().clone())
+    }
+
+    /// True if a contained mid-batch panic left the auxiliary state
+    /// (landmark vectors, pair sets, support counters) potentially torn. A
+    /// poisoned index refuses matches and further updates until
+    /// [`BoundedIndex::recover`] rebuilds it; the *graph* was rolled back to
+    /// its pre-batch edge set by the containment.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Rebuilds the index (landmark vectors included) from the graph via the
+    /// ordinary sharded cold-start build, clearing the
+    /// [poisoned](BoundedIndex::poisoned) flag. By the build-equivalence
+    /// invariant the result is bit-identical to
+    /// `BoundedIndex::build(&pattern, graph)`.
+    pub fn recover(&mut self, graph: &DataGraph) {
+        self.recover_with_shards(graph, configured_shards());
+    }
+
+    /// [`BoundedIndex::recover`] with an explicit shard count.
+    pub fn recover_with_shards(&mut self, graph: &DataGraph, shards: usize) {
+        *self = Self::build_with_shards(&self.pattern, graph, shards);
+    }
+
     /// Borrowed view of the current maximum match, rebuilt at most once per
     /// mutation, with deterministically sorted match lists.
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](BoundedIndex::poisoned).
     pub fn matches_view(&self) -> Ref<'_, MatchRelation> {
+        assert!(!self.poisoned, "bounded index is poisoned; call recover() before reading");
         {
             let mut cache = self.cache.borrow_mut();
             if cache.is_none() {
@@ -363,6 +436,17 @@ impl BoundedIndex {
     /// checks run on [`configured_shards`] threads when the affected area is
     /// large enough), and the match is repaired by demotion/promotion
     /// propagation over the pairs.
+    ///
+    /// Delegates to [`BoundedIndex::apply_batch_lenient`]: structurally
+    /// invalid updates (out-of-range node ids) are skipped, redundant ones
+    /// are neutralised by the net-effect reduction — identical behaviour to
+    /// the historical infallible path for well-formed batches.
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](BoundedIndex::poisoned), or —
+    /// re-raising a contained mid-batch panic — after a rollback/poison (see
+    /// the [module docs](crate::incremental)). Use
+    /// [`BoundedIndex::try_apply_batch`] for typed errors.
     pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
         self.apply_batch_with_shards(graph, batch, configured_shards())
     }
@@ -375,6 +459,116 @@ impl BoundedIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
+    ) -> AffStats {
+        unwrap_apply(self.apply_batch_lenient_with_shards(graph, batch, shards)).stats
+    }
+
+    /// The canonical fallible batch application: validates `batch` against
+    /// the current graph ([`igpm_graph::update::validate_batch`]) and rejects
+    /// it **whole** — [`ApplyError::InvalidBatch`], nothing touched — if any
+    /// update is out of range, a duplicate insert or a removal of an absent
+    /// edge. A mid-batch panic (an armed [`igpm_graph::fail`] failpoint or an
+    /// engine bug) is contained: the graph is rolled back to its pre-batch
+    /// edge set and the call returns [`ApplyError::StagePanicked`] telling
+    /// whether the index [poisoned](BoundedIndex::poisoned) itself or stayed
+    /// usable.
+    pub fn try_apply_batch(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+    ) -> Result<AffStats, ApplyError> {
+        self.try_apply_batch_with_shards(graph, batch, configured_shards())
+    }
+
+    /// [`BoundedIndex::try_apply_batch`] with an explicit shard count.
+    pub fn try_apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        let rejections = validate_batch(graph, batch);
+        if !rejections.is_empty() {
+            return Err(ApplyError::InvalidBatch(rejections));
+        }
+        self.apply_batch_contained(graph, batch, shards)
+    }
+
+    /// The explicit *lossy* batch application: out-of-range updates are
+    /// stripped before the engine sees the batch, duplicate inserts and
+    /// absent deletes are neutralised by the net-effect reduction, and every
+    /// skipped update is reported in [`LenientApply::rejected`]. For a batch
+    /// with no invalid updates this is byte-identical to
+    /// [`BoundedIndex::apply_batch`].
+    pub fn apply_batch_lenient(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+    ) -> Result<LenientApply, ApplyError> {
+        self.apply_batch_lenient_with_shards(graph, batch, configured_shards())
+    }
+
+    /// [`BoundedIndex::apply_batch_lenient`] with an explicit shard count.
+    pub fn apply_batch_lenient_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<LenientApply, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        let rejections = validate_batch(graph, batch);
+        let stats = match strip_out_of_range(batch, &rejections) {
+            Some(stripped) => self.apply_batch_contained(graph, &stripped, shards)?,
+            None => self.apply_batch_contained(graph, batch, shards)?,
+        };
+        Ok(LenientApply { stats, rejected: rejections })
+    }
+
+    /// Runs the batch pipeline under `catch_unwind` and converts an unwind
+    /// into rollback-or-poison (see [`BoundedIndex::contain_batch_panic`]).
+    /// The scoped worker threads of the sharded stages funnel their panics
+    /// through their join handles, so one containment point covers the
+    /// sequential and the fanned-out engines alike.
+    fn apply_batch_contained(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError> {
+        let mut stage = PipelineStage::Prepare;
+        let mut applied: Vec<Update> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.apply_batch_stages(graph, batch, shards, &mut stage, &mut applied)
+        }));
+        match outcome {
+            Ok(stats) => Ok(stats),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                Err(ApplyError::StagePanicked(
+                    self.contain_batch_panic(graph, stage, &applied, message),
+                ))
+            }
+        }
+    }
+
+    /// The batch pipeline proper — [`BoundedIndex::apply_batch`]'s
+    /// historical body, annotated with the stage transitions and failpoints
+    /// the containment relies on. Unlike the plain engine, the graph is
+    /// mutated *inside* the `Landmark` stage (`IncLM` applies each effective
+    /// update to the graph as it maintains the distance vectors), so
+    /// `applied` is recorded before that stage begins.
+    fn apply_batch_stages(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+        stage: &mut PipelineStage,
+        applied: &mut Vec<Update>,
     ) -> AffStats {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
         // Nodes added since the last index operation join the candidate
@@ -390,6 +584,8 @@ impl BoundedIndex {
         // maintenance itself stays per-update: distance propagation is
         // order-dependent, unlike the edge-map mutation.
         let plan = ShardPlan::new(graph.node_count(), shards);
+        *stage = PipelineStage::Reduce;
+        fail::fire(fail::BSIM_REDUCE);
         let (effective, _) = igpm_graph::update::reduce_batch_sharded(graph, batch, plan);
         if effective.is_empty() {
             return stats;
@@ -398,7 +594,11 @@ impl BoundedIndex {
         // Step 1: maintain the landmark/distance vectors (IncLM) and collect
         // the nodes whose distance information changed. The pre-reduced entry
         // point skips IncLM's internal reduction — the list is already
-        // minimal.
+        // minimal. The graph mutates here, one update at a time, interleaved
+        // with the distance maintenance.
+        *stage = PipelineStage::Landmark;
+        applied.extend_from_slice(&effective);
+        fail::fire(fail::BSIM_LANDMARK);
         let mut affected: FastHashSet<NodeId> = FastHashSet::default();
         let lm_stats =
             inc_lm_tracked_reduced(&mut self.landmarks, graph, &effective, &mut affected);
@@ -414,6 +614,8 @@ impl BoundedIndex {
         // support counters absorb every pair transition; `1 → 0` transitions
         // on a matched source seed demotions, `0 → 1` transitions on an
         // unmatched candidate source seed promotions.
+        *stage = PipelineStage::Refresh;
+        fail::fire(fail::BSIM_REFRESH);
         let mut demotion_seeds: Vec<(u32, u32)> = Vec::new();
         let mut promotion_seeds: Vec<(u32, u32)> = Vec::new();
         self.refresh_pairs(
@@ -429,12 +631,39 @@ impl BoundedIndex {
         // mirroring IncMatch (the SCC-joint pass of the promotion phase runs
         // sharded on the same plan).
         if !demotion_seeds.is_empty() {
+            *stage = PipelineStage::Demote;
+            fail::fire(fail::BSIM_DEMOTE);
             self.process_demotions(&mut demotion_seeds, &mut stats);
         }
         if !promotion_seeds.is_empty() || self.has_cycle {
+            *stage = PipelineStage::Promote;
+            fail::fire(fail::BSIM_PROMOTE);
             self.process_promotions(promotion_seeds, &mut stats, plan);
         }
         stats
+    }
+
+    /// Converts a mid-batch unwind into the transactional contract. The
+    /// graph is *always* rolled back to its pre-batch edge set
+    /// ([`DataGraph::rollback_updates`] tolerates the partially-applied
+    /// states an `IncLM` interruption leaves). The index poisons itself
+    /// unless the panic landed in the `Reduce` stage — the only stage that
+    /// provably touches nothing: from `Landmark` onwards the landmark
+    /// vectors mutate interleaved with the graph, so the pre-batch auxiliary
+    /// state cannot be assumed intact.
+    #[cold]
+    fn contain_batch_panic(
+        &mut self,
+        graph: &mut DataGraph,
+        stage: PipelineStage,
+        applied: &[Update],
+        message: String,
+    ) -> StagePanic {
+        graph.rollback_updates(applied);
+        self.invalidate_cache();
+        let poisoned = !matches!(stage, PipelineStage::Reduce);
+        self.poisoned = poisoned;
+        StagePanic { stage: stage.label(), message, rolled_back: true, poisoned }
     }
 
     // ------------------------------------------------------------------
@@ -1490,5 +1719,147 @@ mod tests {
         assert!(index.contains(PatternNodeId(0), f.ann));
         index.delete_edge(&mut f.graph, f.pat, f.bill);
         assert_ne!(index.matches(), before, "cache invalidated by mutation");
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let f = fixture();
+        let mut wide = Pattern::new();
+        let mut prev = wide.add_labeled_node("CTO");
+        for _ in 0..MAX_PATTERN_NODES {
+            let next = wide.add_labeled_node("CTO");
+            wide.add_edge(prev, next, EdgeBound::Hops(1));
+            prev = next;
+        }
+        assert_eq!(
+            BoundedIndex::try_build(&wide, &f.graph).err(),
+            Some(crate::incremental::BuildError::ArityTooLarge { arity: MAX_PATTERN_NODES + 1 })
+        );
+        let built = BoundedIndex::try_build(&f.pattern, &f.graph).expect("fixture pattern");
+        assert_eq!(built.aux_snapshot(), BoundedIndex::build(&f.pattern, &f.graph).aux_snapshot());
+    }
+
+    #[test]
+    fn redundant_unit_updates_are_exact_no_ops() {
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        let aux = index.aux_snapshot();
+        let matches = index.matches();
+        let graph_before = f.graph.clone();
+
+        // Duplicate insert: (Ann, Pat) already exists.
+        let stats = index.insert_edge(&mut f.graph, f.ann, f.pat);
+        assert_eq!(stats.reduced_delta_g, 0, "a present edge never reaches IncLM");
+        assert_eq!(stats.delta_m(), 0);
+        assert_eq!(stats.aux_changes, 0);
+
+        // Absent delete: (Don, Tom) does not exist.
+        let stats = index.delete_edge(&mut f.graph, f.don, f.tom);
+        assert_eq!(stats.reduced_delta_g, 0);
+        assert_eq!(stats.delta_m(), 0);
+        assert_eq!(stats.aux_changes, 0);
+
+        assert_eq!(index.aux_snapshot(), aux, "pairs/support/masks untouched by no-ops");
+        assert_eq!(index.matches(), matches);
+        assert_eq!(f.graph, graph_before, "graph untouched by no-ops");
+        assert_consistent(&index, &f.pattern, &f.graph, "after unit no-ops");
+    }
+
+    #[test]
+    fn strict_apply_rejects_invalid_batches_whole() {
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        let aux = index.aux_snapshot();
+        let graph_before = f.graph.clone();
+
+        let oob = NodeId::from_index(f.graph.node_count() + 3);
+        let mut batch = BatchUpdate::new();
+        batch.insert(f.don, f.pat); // valid
+        batch.insert(f.ann, f.pat); // duplicate
+        batch.delete(f.don, f.tom); // absent
+        batch.delete(oob, f.ann); // out of range
+        let err = index.try_apply_batch(&mut f.graph, &batch).unwrap_err();
+        let ApplyError::InvalidBatch(rejections) = &err else {
+            panic!("expected InvalidBatch, got {err}");
+        };
+        let reasons: Vec<_> = rejections.iter().map(|r| (r.position, r.reason)).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                (1, igpm_graph::RejectReason::DuplicateInsert),
+                (2, igpm_graph::RejectReason::AbsentDelete),
+                (3, igpm_graph::RejectReason::NodeOutOfRange),
+            ]
+        );
+        assert_eq!(index.aux_snapshot(), aux, "rejected batch must touch nothing");
+        assert_eq!(f.graph, graph_before, "rejected batch must touch nothing");
+
+        // Still usable: the valid part applies cleanly afterwards.
+        let mut valid = BatchUpdate::new();
+        valid.insert(f.don, f.pat);
+        index.try_apply_batch(&mut f.graph, &valid).expect("valid batch");
+        assert_consistent(&index, &f.pattern, &f.graph, "after post-rejection apply");
+    }
+
+    #[test]
+    fn lenient_apply_skips_invalid_updates_and_reports_them() {
+        let f = fixture();
+        let oob = NodeId::from_index(f.graph.node_count() + 1);
+
+        let mut lenient_graph = f.graph.clone();
+        let mut lenient = BoundedIndex::build(&f.pattern, &lenient_graph);
+        let mut batch = BatchUpdate::new();
+        batch.insert(f.don, f.pat); // valid
+        batch.insert(oob, f.tom); // out of range
+        batch.insert(f.don, f.tom); // valid
+        batch.insert(f.don, f.tom); // duplicate (of the one just inserted)
+        batch.delete(f.mat, f.tom); // absent
+        batch.insert(f.pat, f.don); // valid
+        let report = lenient.apply_batch_lenient(&mut lenient_graph, &batch).expect("lenient");
+        let reasons: Vec<_> = report.rejected.iter().map(|r| (r.position, r.reason)).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                (1, igpm_graph::RejectReason::NodeOutOfRange),
+                (3, igpm_graph::RejectReason::DuplicateInsert),
+                (4, igpm_graph::RejectReason::AbsentDelete),
+            ]
+        );
+
+        let mut control_graph = f.graph.clone();
+        let mut control = BoundedIndex::build(&f.pattern, &control_graph);
+        let mut valid = BatchUpdate::new();
+        valid.insert(f.don, f.pat);
+        valid.insert(f.don, f.tom);
+        valid.insert(f.pat, f.don);
+        let control_stats = control.apply_batch(&mut control_graph, &valid);
+
+        assert_eq!(lenient_graph, control_graph, "lenient graph = valid-only graph");
+        assert_eq!(lenient.aux_snapshot(), control.aux_snapshot(), "identical auxiliary state");
+        assert_eq!(lenient.matches(), control.matches());
+        assert_eq!(report.stats.reduced_delta_g, control_stats.reduced_delta_g);
+        assert_eq!(report.stats.matches_added, control_stats.matches_added);
+        assert_eq!(report.stats.matches_removed, control_stats.matches_removed);
+        assert_consistent(&lenient, &f.pattern, &lenient_graph, "after lenient apply");
+    }
+
+    #[test]
+    fn redundant_batches_leave_aux_and_stats_untouched() {
+        let mut f = fixture();
+        let mut index = BoundedIndex::build(&f.pattern, &f.graph);
+        let before = index.matches();
+        let aux = index.aux_snapshot();
+
+        let mut batch = BatchUpdate::new();
+        batch.insert(f.ann, f.pat); // duplicate insert
+        batch.delete(f.don, f.tom); // absent delete
+        let report = index.apply_batch_lenient(&mut f.graph, &batch).expect("lenient");
+        assert_eq!(report.stats.reduced_delta_g, 0);
+        assert_eq!(report.stats.delta_m(), 0);
+        assert_eq!(report.stats.aux_changes, 0);
+        assert_eq!(report.rejected.len(), 2, "both no-ops reported");
+        assert_eq!(index.aux_snapshot(), aux);
+        assert_eq!(index.matches(), before);
+        assert_consistent(&index, &f.pattern, &f.graph, "after redundant batch");
     }
 }

@@ -11,9 +11,201 @@
 //! Shard configuration (the `IGPM_SHARDS` knob and the contiguous node-range
 //! partition) lives at its canonical home, [`igpm_graph::shard`]; both
 //! engines import it from there directly.
+//!
+//! # Failure model: panics, errors and invariants
+//!
+//! Both engines expose a *transactional* batch boundary (see `RECOVERY.md`
+//! at the repository root):
+//!
+//! * [`SimulationIndex::try_apply_batch`](sim::SimulationIndex::try_apply_batch)
+//!   / [`BoundedIndex::try_apply_batch`](bsim::BoundedIndex::try_apply_batch)
+//!   — the canonical fallible APIs. Batches are validated up front
+//!   ([`igpm_graph::update::validate_batch`]) and rejected whole
+//!   ([`ApplyError::InvalidBatch`]) if any update is out of range, a
+//!   duplicate insert or an absent delete; nothing is touched on rejection.
+//! * `apply_batch_lenient` — the explicit lossy variant: structurally
+//!   invalid updates (out-of-range ids) are stripped, redundant updates
+//!   (duplicate inserts, absent deletes) are neutralised by the net-effect
+//!   reduction, and every skipped update is reported.
+//! * `apply_batch` — the historical infallible name, now a delegate of the
+//!   lenient path: identical behaviour for well-formed input, a clean panic
+//!   (with state contained as below) instead of silent corruption otherwise.
+//!
+//! A panic *mid-batch* — an armed [`igpm_graph::fail`] failpoint or a real
+//! bug — is caught at the batch boundary (`catch_unwind`; the scoped worker
+//! threads of every sharded stage funnel their panics through their join
+//! handles into the same containment). The containment consults how far the
+//! pipeline got: panics before any mutation leave everything untouched;
+//! panics during graph mutation roll the graph back
+//! ([`igpm_graph::DataGraph::rollback_updates`]) with the auxiliary state
+//! untouched (the index stays usable); panics after auxiliary mutation began
+//! roll the graph back and **poison** the index — reads error with
+//! [`ApplyError::Poisoned`] until `recover()` rebuilds from the graph via
+//! the ordinary sharded build, which is bit-identical to a fresh build by
+//! the build-equivalence invariant.
+//!
+//! The `unwrap`/`expect`/`assert!` occurrences that remain in these engines
+//! fall into two audited classes:
+//!
+//! * **Input-reachable conditions** are typed errors or documented panics at
+//!   the API boundary: batch shape → [`ApplyError`]; pattern shape
+//!   (non-normal pattern, arity > 64) → [`BuildError`] via `try_build*`,
+//!   with the infallible `build*` names delegating and panicking; reading a
+//!   poisoned index → [`ApplyError::Poisoned`] from the `try_*` readers, a
+//!   documented panic from the infallible readers. No other panic is
+//!   reachable from user input that passed validation.
+//! * **Internal invariants** stay as asserts on purpose: worker-thread join
+//!   `expect`s ("… shard panicked" — re-raising a contained panic, not an
+//!   error of their own), counter-underflow and mask-consistency
+//!   `debug_assert`s, and the "reduced batch contained a no-op" checks that
+//!   guard the reduced-batch precondition inside the mutation kernels.
+//!   Turning those into `Result`s would hide engine bugs instead of
+//!   surfacing them; the containment layer above converts any such failure
+//!   into rollback-or-poison rather than a torn index.
 
 pub mod bsim;
 pub mod sim;
+
+use crate::stats::AffStats;
+use igpm_graph::update::{RejectReason, UpdateRejection};
+use igpm_graph::{ApplyError, BatchUpdate};
+use std::fmt;
+
+/// Typed error of the fallible index constructors
+/// ([`sim::SimulationIndex::try_build`], [`bsim::BoundedIndex::try_build`]).
+/// The infallible `build*` names delegate to these and panic with exactly
+/// the [`fmt::Display`] text below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The pattern is not a normal pattern (unit bounds only) — required by
+    /// incremental simulation, which maintains matches over graph *edges*.
+    NotNormal,
+    /// The pattern has more nodes than the 64-bit membership masks can
+    /// represent.
+    ArityTooLarge {
+        /// The offending pattern's node count.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NotNormal => write!(f, "incremental simulation needs a normal pattern"),
+            BuildError::ArityTooLarge { arity } => write!(
+                f,
+                "pattern arity {arity} exceeds the {}-bit membership masks",
+                sim::MAX_PATTERN_NODES
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Result of a lenient batch application: the statistics of the applied
+/// portion plus every update that was skipped (with its reason).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientApply {
+    /// Statistics of the applied (valid) portion of the batch.
+    pub stats: AffStats,
+    /// The skipped updates, in batch order. Structurally invalid updates
+    /// (out-of-range ids) were stripped before the engine saw the batch;
+    /// redundant ones (duplicate inserts, absent deletes) were neutralised
+    /// by the net-effect reduction — either way they had no effect.
+    pub rejected: Vec<UpdateRejection>,
+}
+
+/// How far the batch pipeline progressed — consulted by the panic
+/// containment to decide between rollback and poisoning. Stages are set
+/// *before* their work begins, so the stage recorded at unwind time is the
+/// stage whose work (or whose entry failpoint) panicked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PipelineStage {
+    /// Growing per-node arrays / planning shards; auxiliary arrays may be
+    /// mid-growth, the graph is untouched.
+    Prepare,
+    /// Net-effect reduction: pure reads, nothing mutated yet.
+    Reduce,
+    /// Graph mutation: the graph is (partially) mutated, auxiliary state is
+    /// still pre-batch.
+    Mutate,
+    /// Landmark/distance maintenance (`IncLM`, bounded engine only): graph
+    /// and landmark vectors mutate interleaved.
+    Landmark,
+    /// Pair re-evaluation (bounded engine only).
+    Refresh,
+    /// Counter absorption (plain engine only).
+    Absorb,
+    /// Demotion drain.
+    Demote,
+    /// Promotion drain.
+    Promote,
+}
+
+impl PipelineStage {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            PipelineStage::Prepare => "prepare",
+            PipelineStage::Reduce => "reduce",
+            PipelineStage::Mutate => "mutate",
+            PipelineStage::Landmark => "landmark",
+            PipelineStage::Refresh => "refresh",
+            PipelineStage::Absorb => "absorb",
+            PipelineStage::Demote => "demote",
+            PipelineStage::Promote => "promote",
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (panics carry `&str` or `String`
+/// payloads everywhere in this workspace).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Strips the structurally invalid updates (out-of-range ids) out of `batch`
+/// for the lenient path. Returns `None` when nothing needs stripping — the
+/// caller then applies the original batch unchanged, so the lenient path is
+/// byte-identical to the historical `apply_batch` for well-formed input
+/// (redundant updates are neutralised by the net-effect reduction either
+/// way).
+pub(crate) fn strip_out_of_range(
+    batch: &BatchUpdate,
+    rejections: &[UpdateRejection],
+) -> Option<BatchUpdate> {
+    if rejections.iter().all(|r| r.reason != RejectReason::NodeOutOfRange) {
+        return None;
+    }
+    let mut bad = rejections
+        .iter()
+        .filter(|r| r.reason == RejectReason::NodeOutOfRange)
+        .map(|r| r.position)
+        .peekable();
+    let mut kept = Vec::with_capacity(batch.len());
+    for (position, &update) in batch.iter().enumerate() {
+        if bad.peek() == Some(&position) {
+            bad.next();
+        } else {
+            kept.push(update);
+        }
+    }
+    Some(BatchUpdate::from_updates(kept))
+}
+
+/// Guard used by the infallible `apply_batch` delegates: re-raises a
+/// contained error as a panic, preserving the historical "a bad batch or a
+/// mid-batch bug panics" behaviour — but with the state guarantees of the
+/// containment (rolled back or poisoned) instead of a torn index.
+pub(crate) fn unwrap_apply<T>(result: Result<T, ApplyError>) -> T {
+    result.unwrap_or_else(|error| panic!("apply_batch: {error}"))
+}
 
 /// Phase A of the sharded SCC-joint protocol shared by `sim::prop_cc` and
 /// `bsim::promote_sccs`: evaluate every nontrivial component's verdict

@@ -85,16 +85,21 @@
 //! builds are bit-identical for every shard count too (see
 //! [`SimulationIndex::build_with_shards`]).
 
+use crate::incremental::{
+    panic_message, strip_out_of_range, unwrap_apply, BuildError, LenientApply, PipelineStage,
+};
 use crate::simulation::{candidates_with_shards, simulation_result_graph};
 use crate::stats::AffStats;
+use igpm_graph::fail;
 use igpm_graph::hash::FastHashMap;
 use igpm_graph::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
-use igpm_graph::update::{net_effective_updates, reduce_batch};
+use igpm_graph::update::{net_effective_updates, reduce_batch, validate_batch, StagePanic};
 use igpm_graph::{
-    BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
+    ApplyError, BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
     StronglyConnectedComponents, Update,
 };
 use std::cell::{Ref, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Maximum pattern arity representable in the membership bitmasks.
 pub const MAX_PATTERN_NODES: usize = 64;
@@ -142,6 +147,10 @@ pub struct SimulationIndex {
     build_stats: AffStats,
     /// Lazily rebuilt sorted view of the current match, cleared on mutation.
     cache: RefCell<Option<MatchRelation>>,
+    /// Set by the panic containment when a mid-batch panic may have torn the
+    /// auxiliary state. A poisoned index refuses reads and writes until
+    /// [`SimulationIndex::recover`] rebuilds it from the graph.
+    poisoned: bool,
 }
 
 /// Byte-for-byte view of a [`SimulationIndex`]'s per-node auxiliary state,
@@ -168,9 +177,17 @@ impl SimulationIndex {
     ///
     /// # Panics
     /// Panics if `pattern` is not a normal pattern or has more than
-    /// [`MAX_PATTERN_NODES`] nodes.
+    /// [`MAX_PATTERN_NODES`] nodes. Use [`SimulationIndex::try_build`] for a
+    /// typed [`BuildError`] instead.
     pub fn build(pattern: &Pattern, graph: &DataGraph) -> Self {
         Self::build_with_shards(pattern, graph, configured_shards())
+    }
+
+    /// Fallible [`SimulationIndex::build`]: rejects non-normal patterns and
+    /// patterns wider than [`MAX_PATTERN_NODES`] with a typed [`BuildError`]
+    /// instead of panicking.
+    pub fn try_build(pattern: &Pattern, graph: &DataGraph) -> Result<Self, BuildError> {
+        Self::try_build_with_shards(pattern, graph, configured_shards())
     }
 
     /// [`SimulationIndex::build`] with an explicit shard count (`IGPM_SHARDS`
@@ -186,13 +203,26 @@ impl SimulationIndex {
     /// the sequential engine; every count produces bit-identical masks,
     /// counters, cached matches and build [`AffStats`]
     /// ([`SimulationIndex::build_stats`]).
+    /// # Panics
+    /// Panics (with the [`BuildError`] display text) if `pattern` is not a
+    /// normal pattern or has more than [`MAX_PATTERN_NODES`] nodes.
     pub fn build_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self {
-        assert!(pattern.is_normal(), "incremental simulation needs a normal pattern");
-        assert!(
-            pattern.node_count() <= MAX_PATTERN_NODES,
-            "pattern arity {} exceeds the {MAX_PATTERN_NODES}-bit membership masks",
-            pattern.node_count()
-        );
+        Self::try_build_with_shards(pattern, graph, shards)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// [`SimulationIndex::try_build`] with an explicit shard count.
+    pub fn try_build_with_shards(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        shards: usize,
+    ) -> Result<Self, BuildError> {
+        if !pattern.is_normal() {
+            return Err(BuildError::NotNormal);
+        }
+        if pattern.node_count() > MAX_PATTERN_NODES {
+            return Err(BuildError::ArityTooLarge { arity: pattern.node_count() });
+        }
         let np = pattern.node_count();
         let nv = graph.node_count();
         let scc = StronglyConnectedComponents::of_pattern(pattern);
@@ -231,6 +261,7 @@ impl SimulationIndex {
             has_cycle,
             build_stats: AffStats::default(),
             cache: RefCell::new(None),
+            poisoned: false,
         };
 
         // Start with match(u) = all candidates of u. The candidate lists come
@@ -295,7 +326,7 @@ impl SimulationIndex {
             index.drain_demotions_sharded(graph, seeds, plan, &mut build_stats);
         }
         index.build_stats = build_stats;
-        index
+        Ok(index)
     }
 
     /// Statistics of the build's initial refinement drain — the demotions
@@ -328,14 +359,54 @@ impl SimulationIndex {
     /// The relation is materialised lazily and cached: repeated calls between
     /// mutations cost one clone of the cached vectors, not a rebuild. Use
     /// [`SimulationIndex::matches_view`] for a zero-copy borrow.
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](SimulationIndex::poisoned); use
+    /// [`SimulationIndex::try_matches`] for a typed error.
     pub fn matches(&self) -> MatchRelation {
         self.matches_view().clone()
+    }
+
+    /// Fallible [`SimulationIndex::matches`]: returns
+    /// [`ApplyError::Poisoned`] instead of panicking when a contained
+    /// mid-batch panic left the auxiliary state unusable.
+    pub fn try_matches(&self) -> Result<MatchRelation, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        Ok(self.matches_view().clone())
+    }
+
+    /// True if a contained mid-batch panic left the auxiliary state
+    /// potentially torn. A poisoned index refuses matches and further updates
+    /// until [`SimulationIndex::recover`] rebuilds it; the *graph* was rolled
+    /// back to its pre-batch edge set by the containment, so recovery never
+    /// needs the failed batch.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Rebuilds the index from the graph via the ordinary sharded cold-start
+    /// build, clearing the [poisoned](SimulationIndex::poisoned) flag. By the
+    /// build-equivalence invariant the result is bit-identical to
+    /// `SimulationIndex::build(&pattern, graph)`.
+    pub fn recover(&mut self, graph: &DataGraph) {
+        self.recover_with_shards(graph, configured_shards());
+    }
+
+    /// [`SimulationIndex::recover`] with an explicit shard count.
+    pub fn recover_with_shards(&mut self, graph: &DataGraph, shards: usize) {
+        *self = Self::build_with_shards(&self.pattern, graph, shards);
     }
 
     /// Borrowed view of the current maximum match, rebuilt at most once per
     /// mutation. The output is deterministic: match lists are produced in
     /// ascending node order.
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](SimulationIndex::poisoned).
     pub fn matches_view(&self) -> Ref<'_, MatchRelation> {
+        assert!(!self.poisoned, "simulation index is poisoned; call recover() before reading");
         {
             let mut cache = self.cache.borrow_mut();
             if cache.is_none() {
@@ -411,7 +482,11 @@ impl SimulationIndex {
 
     /// `IncMatch-`: deletes the edge `(from, to)` from `graph` and maintains
     /// the match (optimal, `O(|AFF|)`, Theorem 5.1(2a)).
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](SimulationIndex::poisoned).
     pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        assert!(!self.poisoned, "simulation index is poisoned; call recover() before updating");
         let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
         // Grow the per-node arrays first: nodes added since the last index
         // operation must be classified with live masks, not skipped.
@@ -439,7 +514,11 @@ impl SimulationIndex {
     /// `IncMatch+` (general patterns) / `IncMatch+dag` (DAG patterns — the
     /// `propCC` phase simply never fires): inserts the edge `(from, to)` into
     /// `graph` and maintains the match.
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](SimulationIndex::poisoned).
     pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+        assert!(!self.poisoned, "simulation index is poisoned; call recover() before updating");
         let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
         // Grow the per-node arrays first: the first edge out of a node added
         // after the last index operation must see that node as a candidate.
@@ -471,6 +550,17 @@ impl SimulationIndex {
     /// insertions simultaneously (Fig. 10), with the phases sharded across
     /// [`configured_shards`] node ranges (see the module docs). Results are
     /// bit-identical for every shard count.
+    ///
+    /// Delegates to [`SimulationIndex::apply_batch_lenient`]: structurally
+    /// invalid updates (out-of-range node ids) are skipped, redundant ones
+    /// are neutralised by `minDelta` — identical behaviour to the historical
+    /// infallible path for well-formed batches.
+    ///
+    /// # Panics
+    /// Panics if the index is [poisoned](SimulationIndex::poisoned), or —
+    /// re-raising a contained mid-batch panic — after a rollback/poison (see
+    /// the [module docs](crate::incremental)). Use
+    /// [`SimulationIndex::try_apply_batch`] for typed errors.
     pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
         self.apply_batch_with_shards(graph, batch, configured_shards())
     }
@@ -484,6 +574,118 @@ impl SimulationIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
+    ) -> AffStats {
+        unwrap_apply(self.apply_batch_lenient_with_shards(graph, batch, shards)).stats
+    }
+
+    /// The canonical fallible batch application: validates `batch` against
+    /// the current graph ([`igpm_graph::update::validate_batch`]) and rejects
+    /// it **whole** — [`ApplyError::InvalidBatch`], nothing touched — if any
+    /// update is out of range, a duplicate insert or a removal of an absent
+    /// edge. A mid-batch panic (an armed [`igpm_graph::fail`] failpoint or an
+    /// engine bug) is contained: the graph is rolled back to its pre-batch
+    /// edge set and the call returns [`ApplyError::StagePanicked`] telling
+    /// whether the index [poisoned](SimulationIndex::poisoned) itself or
+    /// stayed usable.
+    pub fn try_apply_batch(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+    ) -> Result<AffStats, ApplyError> {
+        self.try_apply_batch_with_shards(graph, batch, configured_shards())
+    }
+
+    /// [`SimulationIndex::try_apply_batch`] with an explicit shard count.
+    pub fn try_apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        let rejections = validate_batch(graph, batch);
+        if !rejections.is_empty() {
+            return Err(ApplyError::InvalidBatch(rejections));
+        }
+        self.apply_batch_contained(graph, batch, shards)
+    }
+
+    /// The explicit *lossy* batch application: out-of-range updates are
+    /// stripped before the engine sees the batch, duplicate inserts and
+    /// absent deletes are neutralised by the `minDelta` net-effect reduction,
+    /// and every skipped update is reported in [`LenientApply::rejected`].
+    /// For a batch with no invalid updates this is byte-identical to
+    /// [`SimulationIndex::apply_batch`] (same masks, counters, `AffStats`).
+    pub fn apply_batch_lenient(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+    ) -> Result<LenientApply, ApplyError> {
+        self.apply_batch_lenient_with_shards(graph, batch, configured_shards())
+    }
+
+    /// [`SimulationIndex::apply_batch_lenient`] with an explicit shard count.
+    pub fn apply_batch_lenient_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<LenientApply, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        let rejections = validate_batch(graph, batch);
+        let stats = match strip_out_of_range(batch, &rejections) {
+            Some(stripped) => self.apply_batch_contained(graph, &stripped, shards)?,
+            None => self.apply_batch_contained(graph, batch, shards)?,
+        };
+        Ok(LenientApply { stats, rejected: rejections })
+    }
+
+    /// Runs the batch pipeline under `catch_unwind`, tracking how far it got
+    /// and which graph mutations were issued, and converts an unwind into
+    /// rollback-or-poison (see [`SimulationIndex::contain_batch_panic`]). The
+    /// scoped worker threads of every sharded stage funnel their panics
+    /// through their join handles, so one containment point covers the
+    /// sequential and the fanned-out engines alike.
+    fn apply_batch_contained(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError> {
+        let mut stage = PipelineStage::Prepare;
+        let mut applied: Vec<Update> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.apply_batch_stages(graph, batch, shards, &mut stage, &mut applied)
+        }));
+        match outcome {
+            Ok(stats) => Ok(stats),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                Err(ApplyError::StagePanicked(
+                    self.contain_batch_panic(graph, stage, &applied, message),
+                ))
+            }
+        }
+    }
+
+    /// The batch pipeline proper — [`SimulationIndex::apply_batch`]'s
+    /// historical body, annotated with the stage transitions and failpoints
+    /// the containment relies on. `stage` is advanced *before* each stage's
+    /// work; `applied` records the graph mutations issued so far (the full
+    /// effective list, recorded before the mutation starts, since a panic can
+    /// land anywhere inside the sharded mutation —
+    /// [`DataGraph::rollback_updates`] tolerates not-yet-applied suffixes).
+    fn apply_batch_stages(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+        stage: &mut PipelineStage,
+        applied: &mut Vec<Update>,
     ) -> AffStats {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
         // Grow the per-node arrays first (batches carry edge updates only, so
@@ -501,6 +703,8 @@ impl SimulationIndex {
         // relevant to the pattern (ss deletions, cs/cc insertions). The
         // irrelevant survivors are still applied to the graph and absorbed
         // into the counters below.
+        *stage = PipelineStage::Reduce;
+        fail::fire(fail::SIM_REDUCE);
         let reduction = self.min_delta_sharded(graph, batch, plan);
         stats.reduced_delta_g = reduction.relevant;
         if reduction.effective.is_empty() {
@@ -511,6 +715,9 @@ impl SimulationIndex {
         // so that every support decision sees the final graph. The mutation
         // runs on the same plan: out-sides sharded by source, in-sides by
         // target (see [`DataGraph::apply_reduced_batch_sharded`]).
+        *stage = PipelineStage::Mutate;
+        applied.extend_from_slice(&reduction.effective);
+        fail::fire(fail::SIM_MUTATE);
         graph.apply_reduced_batch_sharded(&reduction.effective, plan);
         self.invalidate_cache();
 
@@ -519,19 +726,48 @@ impl SimulationIndex {
         // whose counter row an update touches). The match state is untouched
         // in this phase, so afterwards
         // `cnt[v][u2] = |children_new(v) ∩ match_old(u2)|` exactly.
+        *stage = PipelineStage::Absorb;
+        fail::fire(fail::SIM_ABSORB);
         let (demotion_seeds, promotion_seeds) =
             self.absorb_batch(&reduction.effective, plan, &mut stats);
 
         // Phase 2 — deletions first (they can only shrink)...
         if !demotion_seeds.is_empty() {
+            *stage = PipelineStage::Demote;
+            fail::fire(fail::SIM_DEMOTE);
             self.drain_demotions_sharded(graph, demotion_seeds, plan, &mut stats);
         }
         // ...phase 3 — then insertions.
         let run_cc = self.has_cycle && self.inserted_touches_scc(&reduction.relevant_insertions);
         if !promotion_seeds.is_empty() || run_cc {
+            *stage = PipelineStage::Promote;
+            fail::fire(fail::SIM_PROMOTE);
             self.propagate_insertions_sharded(graph, promotion_seeds, run_cc, plan, &mut stats);
         }
         stats
+    }
+
+    /// Converts a mid-batch unwind into the transactional contract. The
+    /// graph is *always* rolled back to its pre-batch edge set (rollback of
+    /// an empty `applied` list is the no-op this needs for the pre-mutation
+    /// stages). The index poisons itself unless the panic landed in a stage
+    /// that provably never touches auxiliary state: `Reduce` is pure reads
+    /// and `Mutate` only mutates the graph — for those the pre-batch masks,
+    /// counters and cached view are still exact after the rollback and the
+    /// index stays usable.
+    #[cold]
+    fn contain_batch_panic(
+        &mut self,
+        graph: &mut DataGraph,
+        stage: PipelineStage,
+        applied: &[Update],
+        message: String,
+    ) -> StagePanic {
+        graph.rollback_updates(applied);
+        self.invalidate_cache();
+        let poisoned = !matches!(stage, PipelineStage::Reduce | PipelineStage::Mutate);
+        self.poisoned = poisoned;
+        StagePanic { stage: stage.label(), message, rolled_back: true, poisoned }
     }
 
     /// `minDelta` (Fig. 10 lines 1-2) as a sharded two-pass reduction.
@@ -2345,5 +2581,174 @@ mod tests {
         assert!(stats.counter_updates > 0);
         assert!(stats.to_string().contains("counters="));
         assert_consistent(&index, &p, &ff.graph, "after counter-reporting batch");
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let ff = friendfeed();
+        // A bounded (non-normal) pattern is rejected.
+        let mut bounded = Pattern::new();
+        let a = bounded.add_labeled_node("CTO");
+        let b = bounded.add_labeled_node("DB");
+        bounded.add_edge(a, b, EdgeBound::Hops(2));
+        assert_eq!(
+            SimulationIndex::try_build(&bounded, &ff.graph).err(),
+            Some(crate::incremental::BuildError::NotNormal)
+        );
+        // An over-wide pattern is rejected with its arity.
+        let mut wide = Pattern::new();
+        let mut prev = wide.add_labeled_node("CTO");
+        for _ in 0..MAX_PATTERN_NODES {
+            let next = wide.add_labeled_node("CTO");
+            wide.add_normal_edge(prev, next);
+            prev = next;
+        }
+        assert_eq!(
+            SimulationIndex::try_build(&wide, &ff.graph).err(),
+            Some(crate::incremental::BuildError::ArityTooLarge { arity: MAX_PATTERN_NODES + 1 })
+        );
+        // A well-formed pattern builds the same index as the panicking name.
+        let p = pattern_p3();
+        let built = SimulationIndex::try_build(&p, &ff.graph).expect("normal pattern");
+        assert_eq!(built.aux_snapshot(), SimulationIndex::build(&p, &ff.graph).aux_snapshot());
+    }
+
+    #[test]
+    fn redundant_unit_updates_are_exact_no_ops() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let aux = index.aux_snapshot();
+        let matches = index.matches();
+        let graph_before = ff.graph.clone();
+
+        // Duplicate insert: (Ann, Pat) already exists.
+        let stats = index.insert_edge(&mut ff.graph, ff.ann, ff.pat);
+        assert_eq!(stats.reduced_delta_g, 0, "a present edge is never relevant");
+        assert_eq!(stats.delta_m(), 0);
+        assert_eq!(stats.aux_changes, 0);
+        assert_eq!(stats.counter_updates, 0);
+
+        // Absent delete: (Don, Tom) does not exist.
+        let stats = index.delete_edge(&mut ff.graph, ff.don, ff.tom);
+        assert_eq!(stats.reduced_delta_g, 0);
+        assert_eq!(stats.delta_m(), 0);
+        assert_eq!(stats.aux_changes, 0);
+        assert_eq!(stats.counter_updates, 0);
+
+        assert_eq!(index.aux_snapshot(), aux, "masks/counters untouched by no-ops");
+        assert_eq!(index.matches(), matches, "match relation untouched by no-ops");
+        assert_eq!(ff.graph, graph_before, "graph untouched by no-ops");
+        assert_consistent(&index, &p, &ff.graph, "after unit no-ops");
+    }
+
+    #[test]
+    fn strict_apply_rejects_invalid_batches_whole() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let aux = index.aux_snapshot();
+        let graph_before = ff.graph.clone();
+
+        // A batch mixing a valid insertion with a duplicate insert, an absent
+        // delete and an out-of-range endpoint: rejected whole, nothing moves.
+        let oob = NodeId::from_index(ff.graph.node_count() + 7);
+        let mut batch = BatchUpdate::new();
+        batch.insert(ff.don, ff.pat); // valid
+        batch.insert(ff.ann, ff.pat); // duplicate
+        batch.delete(ff.don, ff.tom); // absent
+        batch.insert(ff.ann, oob); // out of range
+        let err = index.try_apply_batch(&mut ff.graph, &batch).unwrap_err();
+        let ApplyError::InvalidBatch(rejections) = &err else {
+            panic!("expected InvalidBatch, got {err}");
+        };
+        let reasons: Vec<_> = rejections.iter().map(|r| (r.position, r.reason)).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                (1, igpm_graph::RejectReason::DuplicateInsert),
+                (2, igpm_graph::RejectReason::AbsentDelete),
+                (3, igpm_graph::RejectReason::NodeOutOfRange),
+            ]
+        );
+        assert_eq!(index.aux_snapshot(), aux, "rejected batch must touch nothing");
+        assert_eq!(ff.graph, graph_before, "rejected batch must touch nothing");
+
+        // The index is still fully usable: the valid part applies cleanly.
+        let mut valid = BatchUpdate::new();
+        valid.insert(ff.don, ff.pat);
+        index.try_apply_batch(&mut ff.graph, &valid).expect("valid batch");
+        assert_consistent(&index, &p, &ff.graph, "after post-rejection apply");
+    }
+
+    #[test]
+    fn lenient_apply_skips_invalid_updates_and_reports_them() {
+        let ff = friendfeed();
+        let p = pattern_p3();
+        let oob = NodeId::from_index(ff.graph.node_count() + 2);
+
+        // Lenient instance: valid updates interleaved with one of each
+        // invalid kind.
+        let mut lenient_graph = ff.graph.clone();
+        let mut lenient = SimulationIndex::build(&p, &lenient_graph);
+        let mut batch = BatchUpdate::new();
+        batch.insert(ff.don, ff.pat); // valid
+        batch.insert(oob, ff.pat); // out of range
+        batch.delete(ff.don, ff.tom); // absent
+        batch.insert(ff.don, ff.tom); // valid
+        batch.insert(ff.don, ff.tom); // duplicate (of the one just inserted)
+        batch.insert(ff.pat, ff.don); // valid
+        let report = lenient.apply_batch_lenient(&mut lenient_graph, &batch).expect("lenient");
+        let reasons: Vec<_> = report.rejected.iter().map(|r| (r.position, r.reason)).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                (1, igpm_graph::RejectReason::NodeOutOfRange),
+                (2, igpm_graph::RejectReason::AbsentDelete),
+                (4, igpm_graph::RejectReason::DuplicateInsert),
+            ]
+        );
+
+        // Control instance: only the valid updates.
+        let mut control_graph = ff.graph.clone();
+        let mut control = SimulationIndex::build(&p, &control_graph);
+        let mut valid = BatchUpdate::new();
+        valid.insert(ff.don, ff.pat);
+        valid.insert(ff.don, ff.tom);
+        valid.insert(ff.pat, ff.don);
+        let control_stats = control.apply_batch(&mut control_graph, &valid);
+
+        assert_eq!(lenient_graph, control_graph, "lenient graph = valid-only graph");
+        assert_eq!(lenient.aux_snapshot(), control.aux_snapshot(), "identical auxiliary state");
+        assert_eq!(lenient.matches(), control.matches());
+        // The stats agree on everything except the raw |ΔG| (the lenient
+        // batch still counts its redundant — but in-range — updates).
+        assert_eq!(report.stats.reduced_delta_g, control_stats.reduced_delta_g);
+        assert_eq!(report.stats.matches_added, control_stats.matches_added);
+        assert_eq!(report.stats.matches_removed, control_stats.matches_removed);
+        assert_consistent(&lenient, &p, &lenient_graph, "after lenient apply");
+    }
+
+    #[test]
+    fn redundant_batches_leave_cached_views_and_stats_untouched() {
+        let mut ff = friendfeed();
+        let p = pattern_p3();
+        let mut index = SimulationIndex::build(&p, &ff.graph);
+        let before = index.matches();
+        let aux = index.aux_snapshot();
+
+        // Entirely redundant (but in-range) batch through the lenient path:
+        // everything is neutralised by the net-effect reduction.
+        let mut batch = BatchUpdate::new();
+        batch.insert(ff.ann, ff.pat); // duplicate insert
+        batch.delete(ff.don, ff.tom); // absent delete
+        let report = index.apply_batch_lenient(&mut ff.graph, &batch).expect("lenient");
+        assert_eq!(report.stats.reduced_delta_g, 0);
+        assert_eq!(report.stats.delta_m(), 0);
+        assert_eq!(report.stats.aux_changes, 0);
+        assert_eq!(report.rejected.len(), 2, "both no-ops reported");
+        assert_eq!(index.aux_snapshot(), aux);
+        assert_eq!(index.matches(), before);
+        assert_consistent(&index, &p, &ff.graph, "after redundant batch");
     }
 }

@@ -48,8 +48,10 @@ pub use bounded::{
     match_bounded_with_two_hop,
 };
 pub use igpm_graph::shard::configured_shards;
+pub use igpm_graph::update::{ApplyError, RejectReason, StagePanic, UpdateRejection};
 pub use incremental::bsim::{BoundedIndex, BsimAuxSnapshot};
 pub use incremental::sim::{SimAuxSnapshot, SimulationIndex};
+pub use incremental::{BuildError, LenientApply};
 pub use simulation::{
     candidates, candidates_with_index, candidates_with_index_sharded, candidates_with_shards,
     match_simulation, simulation_result_graph,

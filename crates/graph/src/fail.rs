@@ -1,0 +1,289 @@
+//! Deterministic failpoints for crash-consistency testing.
+//!
+//! A *failpoint* is a named site in the batch-application pipeline that can be
+//! armed to panic when execution reaches it. The incremental engines
+//! (`igpm-core`) place one at every pipeline stage boundary — reduction, graph
+//! mutation, counter absorption, the demotion/promotion drains — and the graph
+//! mutation primitives place three more ([`GRAPH_ADD_EDGE`],
+//! [`GRAPH_REMOVE_EDGE`], [`GRAPH_APPLY_SIDES`]) *inside* the mutation, so a
+//! fault-injection suite can interrupt a batch mid-flight at a precisely
+//! chosen point and assert that the engines' transactional contract holds:
+//! the panic either **rolls back** (graph and auxiliary state bit-identical to
+//! the pre-batch state) or **poisons** the index (every read errors until
+//! `recover()` rebuilds from the graph). See `RECOVERY.md` at the repository
+//! root for the full contract.
+//!
+//! # Arming sites
+//!
+//! * **Environment**: `IGPM_FAILPOINTS=sim.absorb,graph.apply-sides` arms a
+//!   comma-separated list of sites for the whole process (parsed once, on the
+//!   first [`fire`]; unknown names are hard errors, like `IGPM_SHARDS`
+//!   typos).
+//! * **Programmatically**: [`arm`] / [`disarm`] / [`disarm_all`], or the
+//!   RAII [`arm_scoped`] guard the fault-injection suite uses so a panicking
+//!   test cannot leave a site armed for the next one.
+//!
+//! # Cost when disarmed
+//!
+//! [`fire`] compiles to two atomic loads (one `OnceLock` initialisation
+//! check, one relaxed flag read) and a never-taken branch. No lock is touched
+//! and no allocation happens unless at least one site is armed anywhere in
+//! the process — the hooks are free on the hot path, which the benchmark
+//! regression gate runs with failpoints compiled in but disarmed.
+//!
+//! The registry is process-global: arming a site affects every thread,
+//! including the scoped worker threads the sharded engines spawn — which is
+//! the point, since shard workers are exactly where mid-flight panics are
+//! hardest to contain. Tests that arm failpoints must therefore serialise
+//! with each other (the fault-injection suite runs under a single lock).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Failpoint inside [`crate::DataGraph::add_edge`], after the bounds checks
+/// and before any mutation. Fires on every edge insertion, including the
+/// per-update mutation loops of the engines' sequential batch paths and the
+/// `IncLM` distance maintenance.
+pub const GRAPH_ADD_EDGE: &str = "graph.add-edge";
+/// Failpoint inside [`crate::DataGraph::remove_edge`], before any mutation.
+pub const GRAPH_REMOVE_EDGE: &str = "graph.remove-edge";
+/// Failpoint in the middle of
+/// [`crate::DataGraph::apply_reduced_batch_sharded`]: between the out-side
+/// and in-side passes when the mutation fans out to threads (the graph then
+/// has forward adjacency mutated but reverse adjacency untouched — the
+/// nastiest partial state the rollback must repair), or halfway through the
+/// update list on the sequential path.
+pub const GRAPH_APPLY_SIDES: &str = "graph.apply-sides";
+/// Failpoint at the head of [`crate::ShardPlan::new`] — the earliest point of
+/// every sharded operation, before any state is touched.
+pub const SHARD_PLAN: &str = "shard.plan";
+/// Simulation engine, start of the `minDelta` reduction stage.
+pub const SIM_REDUCE: &str = "sim.reduce";
+/// Simulation engine, start of the graph-mutation stage (after reduction,
+/// before any edge is touched).
+pub const SIM_MUTATE: &str = "sim.mutate";
+/// Simulation engine, start of the counter-absorption stage (graph fully
+/// mutated, auxiliary state still pre-batch).
+pub const SIM_ABSORB: &str = "sim.absorb";
+/// Simulation engine, start of the demotion drain.
+pub const SIM_DEMOTE: &str = "sim.demote";
+/// Simulation engine, start of the promotion drain (`propCS`/`propCC`).
+pub const SIM_PROMOTE: &str = "sim.promote";
+/// Bounded engine, start of the batch reduction stage.
+pub const BSIM_REDUCE: &str = "bsim.reduce";
+/// Bounded engine, start of the `IncLM` landmark/graph maintenance stage.
+pub const BSIM_LANDMARK: &str = "bsim.landmark";
+/// Bounded engine, start of the pair re-evaluation stage.
+pub const BSIM_REFRESH: &str = "bsim.refresh";
+/// Bounded engine, start of the demotion drain.
+pub const BSIM_DEMOTE: &str = "bsim.demote";
+/// Bounded engine, start of the promotion drain.
+pub const BSIM_PROMOTE: &str = "bsim.promote";
+
+/// Every registered failpoint site. The fault-injection suite iterates this
+/// list; [`arm`] and `IGPM_FAILPOINTS` reject names outside it.
+pub const SITES: &[&str] = &[
+    GRAPH_ADD_EDGE,
+    GRAPH_REMOVE_EDGE,
+    GRAPH_APPLY_SIDES,
+    SHARD_PLAN,
+    SIM_REDUCE,
+    SIM_MUTATE,
+    SIM_ABSORB,
+    SIM_DEMOTE,
+    SIM_PROMOTE,
+    BSIM_REDUCE,
+    BSIM_LANDMARK,
+    BSIM_REFRESH,
+    BSIM_DEMOTE,
+    BSIM_PROMOTE,
+];
+
+/// Fast-path flag: true iff at least one site is armed anywhere in the
+/// process. [`fire`] reads this and nothing else when everything is disarmed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The armed-site set. Guarded by a mutex because arming happens on the test
+/// control path only; the hot path never locks it (see [`ANY_ARMED`]).
+/// Poisoning is deliberately ignored — a failpoint's whole job is to panic
+/// near this lock, and an armed set is plain data that cannot be left
+/// half-updated.
+fn registry() -> &'static Mutex<HashSet<&'static str>> {
+    static REGISTRY: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut armed: HashSet<&'static str> = HashSet::new();
+        if let Ok(spec) = std::env::var("IGPM_FAILPOINTS") {
+            for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                armed.insert(resolve(name));
+            }
+        }
+        if !armed.is_empty() {
+            ANY_ARMED.store(true, Ordering::SeqCst);
+        }
+        Mutex::new(armed)
+    })
+}
+
+/// Maps a site name to its canonical `'static` string, panicking on unknown
+/// names — a typo in `IGPM_FAILPOINTS` or a test must fail loudly, exactly
+/// like an `IGPM_SHARDS` typo.
+fn resolve(name: &str) -> &'static str {
+    SITES
+        .iter()
+        .copied()
+        .find(|&s| s == name)
+        .unwrap_or_else(|| panic!("unknown failpoint `{name}`; known sites: {SITES:?}"))
+}
+
+/// Seeds the registry from `IGPM_FAILPOINTS` exactly once per process, so
+/// env-armed sites are visible to the very first [`fire`].
+#[inline]
+fn ensure_seeded() {
+    static SEEDED: OnceLock<()> = OnceLock::new();
+    SEEDED.get_or_init(|| {
+        let _ = registry();
+    });
+}
+
+/// A failpoint site: panics with a recognisable message iff `site` is armed.
+///
+/// Disarmed cost is two atomic loads and a never-taken branch — cheap enough
+/// to sit inside `DataGraph::add_edge`. Call with one of the `pub const`
+/// site names of this module; firing an unregistered name is a no-op (it can
+/// never be armed).
+#[inline]
+pub fn fire(site: &str) {
+    ensure_seeded();
+    if ANY_ARMED.load(Ordering::Relaxed) {
+        fire_armed(site);
+    }
+}
+
+/// Slow path of [`fire`]: consults the registry. The lock guard is dropped
+/// *before* panicking so the mutex is never poisoned by the injected panic.
+#[cold]
+fn fire_armed(site: &str) {
+    let armed = {
+        let guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        guard.contains(site)
+    };
+    if armed {
+        panic!("failpoint `{site}` triggered");
+    }
+}
+
+/// Arms `site`: the next [`fire`] on it (from any thread) panics. Unknown
+/// names are rejected with a panic.
+pub fn arm(site: &str) {
+    let site = resolve(site);
+    ensure_seeded();
+    let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.insert(site);
+    ANY_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms `site` (a no-op if it was not armed).
+pub fn disarm(site: &str) {
+    ensure_seeded();
+    let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.remove(site);
+    if guard.is_empty() {
+        ANY_ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Disarms every site.
+pub fn disarm_all() {
+    ensure_seeded();
+    let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.clear();
+    ANY_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// True iff `site` is currently armed.
+pub fn armed(site: &str) -> bool {
+    ensure_seeded();
+    let guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.contains(site)
+}
+
+/// RAII guard returned by [`arm_scoped`]: disarms its site on drop, including
+/// during the unwind of the very panic the site injected.
+#[derive(Debug)]
+pub struct ScopedFailpoint {
+    site: &'static str,
+}
+
+impl Drop for ScopedFailpoint {
+    fn drop(&mut self) {
+        disarm(self.site);
+    }
+}
+
+/// Arms `site` and returns a guard that disarms it when dropped. The
+/// fault-injection suite uses this so an assertion failure between arm and
+/// disarm cannot leak an armed site into the next test.
+pub fn arm_scoped(site: &str) -> ScopedFailpoint {
+    let site = resolve(site);
+    arm(site);
+    ScopedFailpoint { site }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so these tests serialise on a lock of
+    // their own (the standard library runs #[test] fns concurrently).
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_sites_are_free_and_silent() {
+        let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        disarm_all();
+        for site in SITES {
+            fire(site); // must not panic
+        }
+    }
+
+    #[test]
+    fn armed_site_panics_and_scoped_guard_disarms() {
+        let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        disarm_all();
+        {
+            let _guard = arm_scoped(SIM_ABSORB);
+            assert!(armed(SIM_ABSORB));
+            let err = std::panic::catch_unwind(|| fire(SIM_ABSORB))
+                .expect_err("armed failpoint must panic");
+            let message = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("failpoint panics carry a String payload");
+            assert!(message.contains(SIM_ABSORB), "unhelpful payload: {message}");
+            // Other sites stay silent.
+            fire(SIM_REDUCE);
+        }
+        assert!(!armed(SIM_ABSORB), "scoped guard must disarm on drop");
+        fire(SIM_ABSORB);
+    }
+
+    #[test]
+    fn unknown_sites_are_rejected() {
+        let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(std::panic::catch_unwind(|| arm("sim.not-a-site")).is_err());
+    }
+
+    #[test]
+    fn arm_disarm_roundtrip() {
+        let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        disarm_all();
+        arm(GRAPH_ADD_EDGE);
+        arm(GRAPH_REMOVE_EDGE);
+        assert!(armed(GRAPH_ADD_EDGE) && armed(GRAPH_REMOVE_EDGE));
+        disarm(GRAPH_ADD_EDGE);
+        assert!(!armed(GRAPH_ADD_EDGE) && armed(GRAPH_REMOVE_EDGE));
+        disarm_all();
+        assert!(!armed(GRAPH_REMOVE_EDGE));
+    }
+}

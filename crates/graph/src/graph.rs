@@ -1,6 +1,7 @@
 //! Directed data graphs `G = (V, E, f_A)`.
 
 use crate::attr::Attributes;
+use crate::fail;
 use crate::hash::FastHashMap;
 use crate::node::NodeId;
 use crate::shard::{ShardPlan, PARALLEL_WORK_THRESHOLD};
@@ -113,6 +114,7 @@ impl DataGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
         assert!(from.index() < self.attrs.len(), "edge source {from} out of bounds");
         assert!(to.index() < self.attrs.len(), "edge target {to} out of bounds");
+        fail::fire(fail::GRAPH_ADD_EDGE);
         if !side_try_push(&mut self.out[from.index()], &mut self.out_pos[from.index()], to) {
             return false;
         }
@@ -130,6 +132,7 @@ impl DataGraph {
         if from.index() >= self.attrs.len() || to.index() >= self.attrs.len() {
             return false;
         }
+        fail::fire(fail::GRAPH_REMOVE_EDGE);
         if !side_remove(&mut self.out[from.index()], &mut self.out_pos[from.index()], to) {
             return false;
         }
@@ -202,7 +205,13 @@ impl DataGraph {
         if !fan_out {
             // One shard (or too little work to pay for spawns): the two-pass
             // structure below degenerates to the plain sequential loop.
-            for update in updates {
+            for (i, update) in updates.iter().enumerate() {
+                if i == updates.len() / 2 {
+                    // Same site as the fan-out pass boundary below: halfway
+                    // through the list is the sequential analogue of the
+                    // "out sides done, in sides pending" partial state.
+                    fail::fire(fail::GRAPH_APPLY_SIDES);
+                }
                 let (from, to) = update.endpoints();
                 let changed = match update {
                     Update::InsertEdge { .. } => self.add_edge(from, to),
@@ -240,6 +249,10 @@ impl DataGraph {
                 scope.spawn(move || apply_out_side(out_chunk, pos_chunk, range.start, &updates));
             }
         });
+        // Between the passes the graph is deliberately inconsistent (forward
+        // adjacency mutated, reverse adjacency pre-batch) — the failpoint
+        // here lets the fault-injection suite prove the rollback repairs it.
+        fail::fire(fail::GRAPH_APPLY_SIDES);
         // Pass 2 — in side, sharded by target node.
         std::thread::scope(|scope| {
             let mut inc_rest = self.inc.as_mut_slice();
@@ -530,6 +543,55 @@ impl DataGraph {
             && self.inc == other.inc
     }
 
+    /// Undoes a (possibly partially applied) reduced batch, restoring the
+    /// pre-batch **edge set**: for every update of `applied`, the inserted
+    /// edge is removed if present and the deleted edge re-added if absent —
+    /// on *each adjacency side independently*, so the repair also heals the
+    /// half-applied states a panic can leave behind (one side of an edge
+    /// mutated, the other not — e.g. a panic between the two passes of
+    /// [`DataGraph::apply_reduced_batch_sharded`], or mid-way through the
+    /// sequential loop). The edge count is recomputed from the adjacency
+    /// lists afterwards, because a mid-mutation panic also skips the batched
+    /// count maintenance.
+    ///
+    /// `applied` must be a *reduced* list (distinct edges, as emitted by the
+    /// `minDelta` reduction), which is exactly what the engines stash before
+    /// mutating; distinctness makes the repair order-independent. Updates
+    /// with out-of-range endpoints are skipped. After the repair the graph
+    /// `==` its pre-batch self (attributes, edge set, edge count) and the
+    /// edge index is consistent; adjacency *order* may differ from the
+    /// pre-batch order, which no matching result depends on.
+    ///
+    /// This is the rollback half of the engines' crash-consistency contract
+    /// (see `RECOVERY.md`); it is an error path and favours robustness over
+    /// speed.
+    pub fn rollback_updates(&mut self, applied: &[Update]) {
+        let nv = self.attrs.len();
+        for update in applied {
+            let (from, to) = update.endpoints();
+            if from.index() >= nv || to.index() >= nv {
+                continue;
+            }
+            match update {
+                Update::InsertEdge { .. } => {
+                    // Undo the insertion wherever it landed.
+                    side_remove(&mut self.out[from.index()], &mut self.out_pos[from.index()], to);
+                    side_remove(&mut self.inc[to.index()], &mut self.inc_pos[to.index()], from);
+                }
+                Update::DeleteEdge { .. } => {
+                    // Re-add the deleted edge on whichever sides lost it.
+                    if !side_contains(&self.out[from.index()], &self.out_pos[from.index()], to) {
+                        side_push(&mut self.out[from.index()], &mut self.out_pos[from.index()], to);
+                    }
+                    if !side_contains(&self.inc[to.index()], &self.inc_pos[to.index()], from) {
+                        side_push(&mut self.inc[to.index()], &mut self.inc_pos[to.index()], from);
+                    }
+                }
+            }
+        }
+        self.num_edges = self.out.iter().map(Vec::len).sum();
+    }
+
     /// Validates the internal edge-index invariants, panicking with a
     /// description on the first violation: an indexed side's map must record
     /// every entry at its exact position, an unindexed side must be empty of
@@ -813,6 +875,61 @@ mod tests {
             assert!(g.identical_to(&reference), "sharded application diverged at shards={shards}");
             g.assert_edge_index_consistent();
         }
+    }
+
+    #[test]
+    fn rollback_restores_the_pre_batch_edge_set_from_any_partial_state() {
+        let n = 40usize;
+        let mut base = DataGraph::new();
+        for i in 0..n {
+            base.add_labeled_node(format!("v{i}"));
+        }
+        let mut x = 3usize;
+        let mut seeded = Vec::new();
+        while seeded.len() < 120 {
+            x = (x * 29 + 13) % (n * n);
+            let (a, b) = (NodeId((x / n) as u32), NodeId((x % n) as u32));
+            if a != b && base.add_edge(a, b) {
+                seeded.push((a, b));
+            }
+        }
+        // A reduced batch: delete a third of the seeded edges, insert fresh ones.
+        let mut updates: Vec<Update> = seeded
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(_, &(a, b))| Update::delete(a, b))
+            .collect();
+        let mut y = 17usize;
+        while updates.len() < 80 {
+            y = (y * 31 + 7) % (n * n);
+            let (a, b) = (NodeId((y / n) as u32), NodeId((y % n) as u32));
+            if a != b && !base.has_edge(a, b) && !updates.iter().any(|u| u.endpoints() == (a, b)) {
+                updates.push(Update::insert(a, b));
+            }
+        }
+        // Every partial prefix — from "nothing applied" to "everything
+        // applied" — must roll back to the pre-batch edge set.
+        for applied_prefix in [0usize, 1, 13, 40, updates.len()] {
+            let mut g = base.clone();
+            for u in &updates[..applied_prefix] {
+                assert!(u.apply(&mut g));
+            }
+            g.rollback_updates(&updates);
+            assert_eq!(g, base, "prefix {applied_prefix} did not roll back");
+            g.assert_edge_index_consistent();
+        }
+        // Cross-side partial state: out sides fully applied, in sides not —
+        // what a panic between the two sharded passes leaves behind.
+        let mut g = base.clone();
+        let mut out_pos_owned = std::mem::take(&mut g.out_pos);
+        let mut out_owned = std::mem::take(&mut g.out);
+        apply_out_side(&mut out_owned, &mut out_pos_owned, 0, &updates);
+        g.out = out_owned;
+        g.out_pos = out_pos_owned;
+        g.rollback_updates(&updates);
+        assert_eq!(g, base, "cross-side partial state did not roll back");
+        g.assert_edge_index_consistent();
     }
 
     #[test]

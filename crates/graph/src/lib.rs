@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod fail;
 pub mod graph;
 pub mod hash;
 pub mod io;
@@ -53,7 +54,10 @@ pub use result_graph::{DeltaM, ResultGraph};
 pub use scc::{CondensationGraph, SccId, StronglyConnectedComponents};
 pub use shard::{configured_shards, ShardPlan};
 pub use topo::{topological_order, topological_ranks, Rank};
-pub use update::{reduce_batch, reduce_batch_sharded, BatchUpdate, Update};
+pub use update::{
+    reduce_batch, reduce_batch_sharded, validate_batch, ApplyError, BatchUpdate, RejectReason,
+    StagePanic, Update, UpdateRejection,
+};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {

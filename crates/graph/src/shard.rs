@@ -107,6 +107,10 @@ impl ShardPlan {
     /// it silently used to hide exactly the `IGPM_SHARDS=0` typos this
     /// assertion now surfaces.
     pub fn new(nv: usize, shards: usize) -> Self {
+        // Failpoint at the earliest boundary of every sharded operation:
+        // planning happens before any state is touched, so an injected panic
+        // here must leave graph and indexes exactly as they were.
+        crate::fail::fire(crate::fail::SHARD_PLAN);
         assert!(
             shards >= 1,
             "shard count must be at least 1 (got 0); shards=1 is the sequential engine"

@@ -275,6 +275,175 @@ pub fn reduce_batch_sharded(
     (effective, cancelled)
 }
 
+// ---------------------------------------------------------------------------
+// Batch validation and the typed apply errors
+// ---------------------------------------------------------------------------
+
+/// Why one unit update of a batch was rejected by [`validate_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// An endpoint of the edge is not a node of the graph. Applying such an
+    /// update would panic (`add_edge`) or silently no-op (`remove_edge`), and
+    /// feeding it to the sharded mutation path would corrupt the edge index.
+    NodeOutOfRange,
+    /// The inserted edge is already present at this point of the batch
+    /// (either in the pre-batch graph or inserted by an earlier update).
+    DuplicateInsert,
+    /// The deleted edge is absent at this point of the batch (never present,
+    /// or already deleted by an earlier update).
+    AbsentDelete,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::NodeOutOfRange => write!(f, "endpoint out of range"),
+            RejectReason::DuplicateInsert => write!(f, "inserted edge already present"),
+            RejectReason::AbsentDelete => write!(f, "deleted edge absent"),
+        }
+    }
+}
+
+/// One rejected unit update: its position in the batch, the update itself and
+/// the reason it was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateRejection {
+    /// Index of the update within the batch.
+    pub position: usize,
+    /// The offending update.
+    pub update: Update,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+impl fmt::Display for UpdateRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at position {}: {}", self.update, self.position, self.reason)
+    }
+}
+
+/// How a contained mid-batch panic left the index — the payload of
+/// [`ApplyError::StagePanicked`]. Produced by the engines'
+/// `catch_unwind`-based containment: the panic (an armed failpoint, or a real
+/// bug) is caught at the batch boundary, the [`DataGraph`] mutation is undone
+/// by replaying the inverse of the applied effective updates, and the
+/// auxiliary match state is either untouched (early stages — the index stays
+/// usable) or unknowable (late stages — the index is poisoned until
+/// `recover()` rebuilds it from the graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePanic {
+    /// The pipeline stage that was executing when the panic surfaced.
+    pub stage: &'static str,
+    /// The panic payload, rendered as text.
+    pub message: String,
+    /// True iff the graph was restored to its pre-batch edge set. (Adjacency
+    /// *order* may differ after a rollback of a partially applied mutation;
+    /// the edge set, attributes and edge count are exact, and no engine
+    /// result depends on adjacency order.)
+    pub rolled_back: bool,
+    /// True iff the index's auxiliary state may have been torn and the index
+    /// was poisoned: every read now errors until `recover()` is called.
+    pub poisoned: bool,
+}
+
+impl fmt::Display for StagePanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "panic during the {} stage ({}); graph {}, index {}",
+            self.stage,
+            self.message,
+            if self.rolled_back { "rolled back" } else { "unchanged" },
+            if self.poisoned { "poisoned (recover() to rebuild)" } else { "intact" },
+        )
+    }
+}
+
+/// Typed error of the fallible apply/read APIs
+/// (`try_apply_batch`, `apply_batch_lenient`, `try_matches`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplyError {
+    /// Strict validation rejected the batch; nothing was applied and the
+    /// index and graph are untouched. Carries every rejected update.
+    InvalidBatch(Vec<UpdateRejection>),
+    /// The index was poisoned by an earlier contained panic; call `recover()`
+    /// before applying further updates or reading matches.
+    Poisoned,
+    /// A panic surfaced mid-batch and was contained; see [`StagePanic`] for
+    /// what state survived.
+    StagePanicked(StagePanic),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::InvalidBatch(rejections) => {
+                write!(f, "batch rejected: {} invalid update(s); first: ", rejections.len())?;
+                match rejections.first() {
+                    Some(first) => write!(f, "{first}"),
+                    None => write!(f, "(empty rejection list)"),
+                }
+            }
+            ApplyError::Poisoned => {
+                write!(f, "index is poisoned by an earlier contained panic; call recover()")
+            }
+            ApplyError::StagePanicked(panic) => write!(f, "{panic}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Classifies every unit update of `batch` against `graph`, simulating the
+/// batch sequentially: an insert is valid iff the edge is absent *at its
+/// position* (so delete-then-reinsert churn is valid), a delete is valid iff
+/// the edge is present at its position, and any update with an endpoint
+/// outside the graph's node set is invalid outright. Returns the rejections
+/// in batch order; an empty vector means the batch is fully valid — every
+/// update would be effective when applied in order.
+///
+/// This is the validation pass behind the engines' `try_apply_batch`
+/// (rejected-by-default) and `apply_batch_lenient` (skip-and-report) APIs.
+/// Out-of-range updates are never tracked in the presence simulation, so one
+/// garbage id cannot distort the classification of well-formed updates.
+pub fn validate_batch(graph: &DataGraph, batch: &BatchUpdate) -> Vec<UpdateRejection> {
+    let mut rejections = Vec::new();
+    let mut presence: FastHashMap<(NodeId, NodeId), bool> = FastHashMap::default();
+    let nv = graph.node_count();
+    for (position, &update) in batch.iter().enumerate() {
+        let (from, to) = update.endpoints();
+        if from.index() >= nv || to.index() >= nv {
+            rejections.push(UpdateRejection {
+                position,
+                update,
+                reason: RejectReason::NodeOutOfRange,
+            });
+            continue;
+        }
+        let current = *presence.entry((from, to)).or_insert_with(|| graph.has_edge(from, to));
+        match update {
+            Update::InsertEdge { .. } if current => {
+                rejections.push(UpdateRejection {
+                    position,
+                    update,
+                    reason: RejectReason::DuplicateInsert,
+                });
+            }
+            Update::DeleteEdge { .. } if !current => {
+                rejections.push(UpdateRejection {
+                    position,
+                    update,
+                    reason: RejectReason::AbsentDelete,
+                });
+            }
+            _ => {
+                presence.insert((from, to), update.is_insert());
+            }
+        }
+    }
+    rejections
+}
+
 impl FromIterator<Update> for BatchUpdate {
     fn from_iter<T: IntoIterator<Item = Update>>(iter: T) -> Self {
         BatchUpdate { updates: iter.into_iter().collect() }
@@ -455,6 +624,65 @@ mod tests {
             assert!(update.apply(&mut reduced), "reduced updates are all effective");
         }
         assert_eq!(raw, reduced);
+    }
+
+    #[test]
+    fn validate_batch_classifies_each_op_against_simulated_presence() {
+        let (g, a, b, c) = triangle(); // edges: a->b, b->c, c->a
+        let batch: BatchUpdate = vec![
+            Update::delete(a, b),          // valid: present
+            Update::insert(a, b),          // valid: absent after the delete
+            Update::insert(a, b),          // duplicate: present again
+            Update::delete(b, a),          // absent delete: edge never existed
+            Update::insert(a, NodeId(9)),  // out of range
+            Update::delete(NodeId(12), b), // out of range
+            Update::insert(a, c),          // valid: absent
+        ]
+        .into_iter()
+        .collect();
+        let rejections = validate_batch(&g, &batch);
+        assert_eq!(rejections.len(), 4);
+        assert_eq!(
+            rejections[0],
+            UpdateRejection {
+                position: 2,
+                update: Update::insert(a, b),
+                reason: RejectReason::DuplicateInsert
+            }
+        );
+        assert_eq!(rejections[1].reason, RejectReason::AbsentDelete);
+        assert_eq!(rejections[2].reason, RejectReason::NodeOutOfRange);
+        assert_eq!(rejections[3].reason, RejectReason::NodeOutOfRange);
+        assert_eq!(rejections[3].position, 5);
+    }
+
+    #[test]
+    fn fully_effective_batches_validate_cleanly() {
+        let (g, a, b, c) = triangle();
+        let batch: BatchUpdate =
+            vec![Update::delete(a, b), Update::insert(b, a), Update::delete(b, c)]
+                .into_iter()
+                .collect();
+        assert!(validate_batch(&g, &batch).is_empty());
+        // An out-of-range id must not poison the presence simulation of
+        // well-formed updates sharing a position-range.
+        let mixed: BatchUpdate =
+            vec![Update::insert(NodeId(99), a), Update::delete(a, b)].into_iter().collect();
+        let rejections = validate_batch(&g, &mixed);
+        assert_eq!(rejections.len(), 1);
+        assert_eq!(rejections[0].reason, RejectReason::NodeOutOfRange);
+    }
+
+    #[test]
+    fn apply_error_display_is_informative() {
+        let (g, a, b, _c) = triangle();
+        let batch: BatchUpdate = vec![Update::insert(a, b)].into_iter().collect();
+        let err = ApplyError::InvalidBatch(validate_batch(&g, &batch));
+        let text = err.to_string();
+        assert!(text.contains("1 invalid"), "unhelpful: {text}");
+        assert!(text.contains("already present"), "unhelpful: {text}");
+        let poisoned = ApplyError::Poisoned.to_string();
+        assert!(poisoned.contains("recover"), "unhelpful: {poisoned}");
     }
 
     #[test]
