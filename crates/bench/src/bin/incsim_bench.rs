@@ -76,6 +76,15 @@
 //! separately from the scan. Lists/matches/`AffStats` are asserted identical
 //! to the 1-shard run before any number is written (see `BENCHMARKS.md`).
 //!
+//! The `durability` section measures what the write-ahead log of
+//! [`DurableIndex`] adds to the batch path, per fsync policy (`always` /
+//! `every_n=64` / `never`): the same stream of mixed batches is applied
+//! through the bare in-memory engine and through a durable index with
+//! checkpointing disabled, both pinned to one shard, and every durable run
+//! is asserted to end in the same match relation before any number is
+//! written. The section is ungated — fsync latency measures the host's
+//! storage stack, not this codebase.
+//!
 //! # Perf-regression gate (`--check-against`)
 //!
 //! `--check-against OLD.json` compares the freshly measured **1-shard-pinned**
@@ -89,11 +98,15 @@
 use igpm_bench::harness::{median_ns, updates_per_sec};
 use igpm_bench::legacy::LegacySimulationIndex;
 use igpm_bench::workloads::batch_scaling_workload;
-use igpm_core::{candidates_with_shards, match_simulation, AffStats, SimulationIndex};
+use igpm_core::{
+    candidates_with_shards, match_simulation, AffStats, DurableIndex, DurableOptions,
+    SimulationIndex,
+};
 use igpm_generator::{
     degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
     synthetic_graph, PatternGenConfig, PatternShape, SyntheticConfig, UpdateGenConfig,
 };
+use igpm_graph::wal::FsyncPolicy;
 use igpm_graph::{
     reduce_batch_sharded, BatchUpdate, DataGraph, JsonValue, Pattern, ShardPlan, Update,
 };
@@ -871,6 +884,124 @@ fn prop_cc_scaling_sweep(nodes: usize) -> Vec<ScalingRun> {
     runs
 }
 
+/// Measures what write-ahead logging adds to the batch path, per fsync
+/// policy: a stream of mixed batches is applied once through the bare
+/// in-memory `SimulationIndex` (1 shard) and once through a
+/// [`DurableIndex`] under each [`FsyncPolicy`] with checkpointing disabled,
+/// so the difference is exactly the WAL append (+ sync) cost. Every durable
+/// run is asserted to end in the same match relation as the in-memory run
+/// before any number is reported. Ungated: fsync latency is a property of
+/// the host's storage stack, not of this codebase.
+fn durability_sweep(graph: &DataGraph, pattern: &Pattern, seed: u64) -> JsonValue {
+    let batch_count = 32usize;
+    let per_batch = 250usize;
+    let samples = 3usize;
+
+    // A sequentially valid stream: each batch generated against (and applied
+    // to) the graph its predecessors left behind.
+    let mut stream: Vec<BatchUpdate> = Vec::with_capacity(batch_count);
+    {
+        let mut g = graph.clone();
+        for i in 0..batch_count {
+            let batch = mixed_batch(&g, per_batch / 2, per_batch / 2, seed + i as u64);
+            batch.apply(&mut g);
+            stream.push(batch);
+        }
+    }
+
+    // Bare in-memory baseline.
+    let mut base_samples = Vec::with_capacity(samples);
+    let mut expected = None;
+    for _ in 0..samples {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build(pattern, &g);
+        let start = Instant::now();
+        for batch in &stream {
+            index.try_apply_batch_with_shards(&mut g, batch, 1).expect("stream is valid");
+        }
+        base_samples.push(start.elapsed().as_nanos());
+        expected = Some(index.matches());
+    }
+    let base_ns = median_ns(base_samples);
+    let expected = expected.expect("at least one sample");
+    println!(
+        "durability in-memory baseline ({batch_count} batches × {per_batch}): {:.3} ms",
+        base_ns as f64 / 1e6
+    );
+
+    let policies: [(&str, FsyncPolicy); 3] = [
+        ("always", FsyncPolicy::Always),
+        ("every_n=64", FsyncPolicy::EveryN(64)),
+        ("never", FsyncPolicy::Never),
+    ];
+    let mut policy_rows = Vec::new();
+    for (name, policy) in policies {
+        let mut policy_samples = Vec::with_capacity(samples);
+        let mut wal_bytes = 0u64;
+        for sample in 0..samples {
+            let dir = std::env::temp_dir()
+                .join(format!("igpm-bench-durability-{}-{name}-{sample}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = DurableOptions {
+                fsync: policy,
+                checkpoint_every: 0,
+                keep_checkpoints: 2,
+                shards: 1,
+            };
+            let mut durable: DurableIndex<SimulationIndex> =
+                DurableIndex::open(dir.clone(), pattern, graph, opts).expect("open durable dir");
+            let start = Instant::now();
+            for batch in &stream {
+                durable.apply(batch).expect("stream is valid");
+            }
+            policy_samples.push(start.elapsed().as_nanos());
+            assert_eq!(
+                durable.try_matches().expect("durable index readable"),
+                expected,
+                "durable run ({name}) diverged from the in-memory run"
+            );
+            wal_bytes = std::fs::read_dir(&dir)
+                .expect("durability dir readable")
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.starts_with("wal-") && name.ends_with(".log")
+                })
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let policy_ns = median_ns(policy_samples);
+        let overhead = policy_ns as f64 / base_ns.max(1) as f64;
+        println!(
+            "durability fsync={name}: {:.3} ms ({overhead:.2}x in-memory, {wal_bytes} WAL bytes)",
+            policy_ns as f64 / 1e6
+        );
+        policy_rows.push(obj(vec![
+            ("policy", JsonValue::Str(name.to_string())),
+            ("median_ms", JsonValue::Float(policy_ns as f64 / 1e6)),
+            ("overhead_vs_in_memory", JsonValue::Float(overhead)),
+            ("wal_bytes", JsonValue::Int(wal_bytes as i64)),
+        ]));
+    }
+
+    obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("batches", JsonValue::Int(batch_count as i64)),
+                ("updates_per_batch", JsonValue::Int(per_batch as i64)),
+                ("shards", JsonValue::Int(1)),
+                ("seed", JsonValue::Int(seed as i64)),
+            ]),
+        ),
+        ("in_memory_median_ms", JsonValue::Float(base_ns as f64 / 1e6)),
+        ("policies", JsonValue::Array(policy_rows)),
+    ])
+}
+
 /// One gated metric of the perf-regression check: a lower-is-better median
 /// read from `section.key` of both the fresh and the committed report.
 const GATED_METRICS: [(&str, &str, &str); 2] = [
@@ -1083,6 +1214,9 @@ fn main() {
         config.edges,
         build_ns as f64 / 1e6
     );
+    // --- Durability: WAL-append overhead per fsync policy ------------------
+    let durability_json = durability_sweep(&graph, &pattern, config.seed + 0xd0);
+
     let build_scaling = build_scaling_sweep(&scaling_graph, &scaling_pattern, &config);
     let build_scaling_json = obj(vec![
         (
@@ -1142,6 +1276,7 @@ fn main() {
         ("build_scaling", build_scaling_json),
         ("mutation_scaling", mutation_scaling_json),
         ("scan_scaling", scan_scaling_json),
+        ("durability", durability_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);

@@ -1,0 +1,375 @@
+//! [`DurableIndex`]: the crash-recovery orchestrator over either engine.
+//!
+//! The in-memory engines guarantee a *transactional* batch boundary; this
+//! module adds the *durable* one. A [`DurableIndex<E>`] owns a directory of
+//! on-disk state — checkpoints plus a write-ahead log, both provided by
+//! [`igpm_graph::wal`] — and keeps it ahead of the in-memory state at all
+//! times: every batch is validated, **logged, then applied**. Kill the
+//! process at any instruction and [`DurableIndex::open`] reconstructs a
+//! state bit-identical to the never-crashed run:
+//!
+//! 1. sweep stray `*.tmp` files (a checkpoint that crashed before its
+//!    atomic rename);
+//! 2. load the newest checkpoint that passes its CRC, falling back to older
+//!    retained ones ([`igpm_graph::wal::load_latest_checkpoint`]);
+//! 3. rebuild the engine from the checkpoint graph via the ordinary sharded
+//!    cold-start build ([`IncrementalEngine::rebuild_with_shards`]);
+//! 4. open the WAL — truncating it at the first torn or corrupt record —
+//!    and replay every record with a sequence number above the checkpoint's
+//!    through the normal `try_apply_batch` path.
+//!
+//! Bit-identity is inherited rather than re-proven: the cold-start build
+//! equals the grown index by the build-equivalence invariant, replay uses
+//! the very same batch path the live run used, and the graph snapshot
+//! preserves adjacency order exactly. Recovery performs **no writes** to the
+//! log or the checkpoints, so a crash *during* recovery (the double-crash
+//! case) just recovers again from the same on-disk state.
+//!
+//! The full recovery algorithm, the WAL record format and the fsync
+//! trade-off table live in the "Durability" section of `RECOVERY.md`.
+
+use crate::incremental::IncrementalEngine;
+use crate::stats::AffStats;
+use igpm_graph::io::IoError;
+use igpm_graph::shard::configured_shards;
+use igpm_graph::update::validate_batch;
+use igpm_graph::wal::{
+    configured_fsync, list_checkpoints, load_latest_checkpoint, prune_checkpoints,
+    sweep_temp_files, write_checkpoint, FsyncPolicy, Wal,
+};
+use igpm_graph::{ApplyError, BatchUpdate, DataGraph, MatchRelation, Pattern};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs of a [`DurableIndex`]. `Default` reads the environment:
+/// `IGPM_FSYNC` for the fsync policy, `IGPM_SHARDS` for the shard count.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// What a WAL append forces to stable storage
+    /// ([`igpm_graph::wal::FsyncPolicy`]; default: `IGPM_FSYNC`, i.e.
+    /// `always` unless overridden).
+    pub fsync: FsyncPolicy,
+    /// Take a checkpoint automatically once this many batches accumulated
+    /// since the last one. `0` (the default) disables automatic
+    /// checkpointing; [`DurableIndex::checkpoint`] is always available on
+    /// demand.
+    pub checkpoint_every: u64,
+    /// How many checkpoints to retain (minimum 1; default 2). Retaining more
+    /// than one is what makes the corrupt-newest-checkpoint fallback *work*:
+    /// WAL segments are only pruned below the **oldest retained** checkpoint,
+    /// so every retained checkpoint still has its replay tail.
+    pub keep_checkpoints: usize,
+    /// Shard count for builds, replays and batch application (default:
+    /// [`configured_shards`], the `IGPM_SHARDS` knob).
+    pub shards: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            fsync: configured_fsync(),
+            checkpoint_every: 0,
+            keep_checkpoints: 2,
+            shards: configured_shards(),
+        }
+    }
+}
+
+/// Typed error of the durable-index APIs.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An I/O operation on the WAL or the durability directory failed.
+    Io(std::io::Error),
+    /// A checkpoint could not be written or none could be verified.
+    Snapshot(IoError),
+    /// The in-memory apply path rejected or aborted the batch (validation
+    /// failure, poisoned index, or a contained mid-batch panic).
+    Apply(ApplyError),
+    /// The WAL is missing a batch: its records jump over a sequence number
+    /// the checkpoint does not cover. On-disk state was tampered with or
+    /// segments were deleted out-of-band; recovery refuses to guess.
+    SequenceGap {
+        /// The sequence number recovery expected next.
+        expected: u64,
+        /// The sequence number the log actually continued with.
+        found: u64,
+    },
+    /// A logged batch failed to re-apply during recovery replay — possible
+    /// only if the on-disk state was modified out-of-band (a logged batch
+    /// was validated against exactly this state before being logged).
+    Replay {
+        /// The sequence number of the failing record.
+        seq: u64,
+        /// The apply error it failed with.
+        error: ApplyError,
+    },
+    /// The directory holds durable state (WAL segments) but no checkpoint,
+    /// or recovery was attempted on a directory that never held one.
+    NoCheckpoint,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(error) => write!(f, "durability i/o error: {error}"),
+            DurableError::Snapshot(error) => write!(f, "checkpoint error: {error}"),
+            DurableError::Apply(error) => write!(f, "apply error: {error}"),
+            DurableError::SequenceGap { expected, found } => {
+                write!(f, "write-ahead log gap: expected batch {expected}, found {found}")
+            }
+            DurableError::Replay { seq, error } => {
+                write!(f, "replay of logged batch {seq} failed: {error}")
+            }
+            DurableError::NoCheckpoint => {
+                write!(f, "durable state has no checkpoint (log present without one?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(error) => Some(error),
+            DurableError::Snapshot(error) => Some(error),
+            DurableError::Apply(error) | DurableError::Replay { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(error: std::io::Error) -> Self {
+        DurableError::Io(error)
+    }
+}
+
+impl From<IoError> for DurableError {
+    fn from(error: IoError) -> Self {
+        DurableError::Snapshot(error)
+    }
+}
+
+/// A durably-backed incremental index: an engine `E` (either
+/// [`SimulationIndex`](crate::incremental::sim::SimulationIndex) or
+/// [`BoundedIndex`](crate::incremental::bsim::BoundedIndex)), its data
+/// graph, and the on-disk WAL + checkpoint state that lets the pair survive
+/// a kill at any instruction. See the [module docs](self) for the recovery
+/// algorithm and `RECOVERY.md` for the full durability story.
+#[derive(Debug)]
+pub struct DurableIndex<E> {
+    dir: PathBuf,
+    opts: DurableOptions,
+    wal: Wal,
+    graph: DataGraph,
+    index: E,
+    seq: u64,
+    last_checkpoint_seq: u64,
+    /// Set when the in-memory state may lag the log (a contained engine
+    /// panic after the batch was already logged): every mutation and read
+    /// then errors with [`ApplyError::Poisoned`] until
+    /// [`DurableIndex::recover`] reconciles from disk.
+    dirty: bool,
+}
+
+/// True iff `dir` contains WAL segment files.
+fn has_wal_segments(dir: &Path) -> std::io::Result<bool> {
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        if let Some(name) = name.to_str() {
+            if name.starts_with("wal-") && name.ends_with(".log") {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+impl<E: IncrementalEngine> DurableIndex<E> {
+    /// Opens (creating it on first use) the durable state in `dir` for
+    /// `pattern`. On first use — no checkpoint and no WAL — a bootstrap
+    /// checkpoint of `initial_graph` is written at sequence number 0;
+    /// afterwards `initial_graph` is ignored and the state comes entirely
+    /// from disk via the recovery algorithm in the [module docs](self).
+    /// A directory with WAL segments but no checkpoint is refused
+    /// ([`DurableError::NoCheckpoint`]) rather than silently restarted.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        pattern: &Pattern,
+        initial_graph: &DataGraph,
+        opts: DurableOptions,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        sweep_temp_files(&dir)?;
+        if list_checkpoints(&dir)?.is_empty() {
+            if has_wal_segments(&dir)? {
+                return Err(DurableError::NoCheckpoint);
+            }
+            write_checkpoint(&dir, 0, initial_graph)?;
+        }
+        Self::open_existing(dir, pattern, opts)
+    }
+
+    /// The recovery path proper: requires a checkpoint to exist.
+    fn open_existing(
+        dir: PathBuf,
+        pattern: &Pattern,
+        opts: DurableOptions,
+    ) -> Result<Self, DurableError> {
+        sweep_temp_files(&dir)?;
+        let load = load_latest_checkpoint(&dir)?.ok_or(DurableError::NoCheckpoint)?;
+        let base_seq = load.checkpoint.seq;
+        let mut graph = load.checkpoint.graph;
+        let mut index = E::rebuild_with_shards(pattern, &graph, opts.shards);
+        let (wal, scan) = Wal::open(&dir, opts.fsync)?;
+        let mut seq = base_seq;
+        for record in scan.records {
+            if record.seq <= base_seq {
+                continue; // covered by the checkpoint; retained for older ones
+            }
+            if record.seq != seq + 1 {
+                return Err(DurableError::SequenceGap { expected: seq + 1, found: record.seq });
+            }
+            index
+                .try_apply_batch_with_shards(&mut graph, &record.batch, opts.shards)
+                .map_err(|error| DurableError::Replay { seq: record.seq, error })?;
+            seq = record.seq;
+        }
+        Ok(DurableIndex {
+            dir,
+            opts,
+            wal,
+            graph,
+            index,
+            seq,
+            last_checkpoint_seq: base_seq,
+            dirty: false,
+        })
+    }
+
+    /// Durably applies one batch: validate against the current graph, append
+    /// to the WAL (syncing per the fsync policy), then run the engine's
+    /// transactional `try_apply_batch`. Auto-checkpoints afterwards when
+    /// [`DurableOptions::checkpoint_every`] is due.
+    ///
+    /// An invalid batch is rejected *before* it is logged — the WAL holds
+    /// validated batches only, which is what makes replay infallible. If the
+    /// engine aborts the batch with a contained panic *after* the append,
+    /// the log is ahead of memory: the index turns [`ApplyError::Poisoned`]
+    /// until [`DurableIndex::recover`] reconciles from disk, after which the
+    /// logged batch **is** applied (logged means committed).
+    ///
+    /// # Panics
+    /// An armed durability failpoint (`wal.append-header`, `wal.append-body`,
+    /// `wal.fsync`, `ckpt.*`, `wal.prune`) panics through this method — that
+    /// is the crash model, the in-process stand-in for `kill -9`. The object
+    /// must then be treated as dead: drop it and [`DurableIndex::open`] anew
+    /// (which is exactly what the crash-recovery suite does).
+    pub fn apply(&mut self, batch: &BatchUpdate) -> Result<AffStats, DurableError> {
+        if self.dirty || self.index.poisoned() {
+            return Err(DurableError::Apply(ApplyError::Poisoned));
+        }
+        let rejections = validate_batch(&self.graph, batch);
+        if !rejections.is_empty() {
+            return Err(DurableError::Apply(ApplyError::InvalidBatch(rejections)));
+        }
+        let seq = self.seq + 1;
+        self.wal.append(seq, batch)?;
+        self.seq = seq;
+        match self.index.try_apply_batch_with_shards(&mut self.graph, batch, self.opts.shards) {
+            Ok(stats) => {
+                if self.opts.checkpoint_every > 0
+                    && seq - self.last_checkpoint_seq >= self.opts.checkpoint_every
+                {
+                    self.checkpoint()?;
+                }
+                Ok(stats)
+            }
+            Err(error) => {
+                self.dirty = true;
+                Err(DurableError::Apply(error))
+            }
+        }
+    }
+
+    /// Takes a checkpoint of the current state on demand: write the graph +
+    /// sequence number atomically, rotate the WAL onto a fresh segment,
+    /// prune checkpoints beyond [`DurableOptions::keep_checkpoints`] and WAL
+    /// segments below the oldest retained one. Returns the covered sequence
+    /// number. A no-op when nothing was applied since the last checkpoint.
+    pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        if self.dirty || self.index.poisoned() {
+            return Err(DurableError::Apply(ApplyError::Poisoned));
+        }
+        if self.seq == self.last_checkpoint_seq {
+            return Ok(self.seq);
+        }
+        write_checkpoint(&self.dir, self.seq, &self.graph)?;
+        self.wal.rotate(self.seq + 1)?;
+        self.last_checkpoint_seq = self.seq;
+        if let Some(oldest_retained) = prune_checkpoints(&self.dir, self.opts.keep_checkpoints)? {
+            self.wal.prune_segments_below(oldest_retained)?;
+        }
+        Ok(self.seq)
+    }
+
+    /// Reconciles in-memory state from disk after a contained engine panic
+    /// (the [`ApplyError::Poisoned`] state): re-runs the full recovery
+    /// algorithm in place — reload the newest checkpoint, rebuild, replay
+    /// the WAL tail. This is the durable composition of the engines'
+    /// in-memory `recover()`: instead of rebuilding from a possibly-lagging
+    /// in-memory graph, the rebuild source is the log, which is never behind.
+    pub fn recover(&mut self) -> Result<(), DurableError> {
+        let pattern = self.index.pattern().clone();
+        *self = Self::open_existing(self.dir.clone(), &pattern, self.opts.clone())?;
+        Ok(())
+    }
+
+    /// The current data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The wrapped engine (e.g. to take an `aux_snapshot()`).
+    pub fn engine(&self) -> &E {
+        &self.index
+    }
+
+    /// The current maximum match, or [`ApplyError::Poisoned`] when the index
+    /// needs [`DurableIndex::recover`] first.
+    pub fn try_matches(&self) -> Result<MatchRelation, ApplyError> {
+        if self.dirty {
+            return Err(ApplyError::Poisoned);
+        }
+        self.index.try_matches()
+    }
+
+    /// The sequence number of the last durably logged batch.
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    /// The sequence number the newest checkpoint covers.
+    pub fn last_checkpoint_seq(&self) -> u64 {
+        self.last_checkpoint_seq
+    }
+
+    /// True iff the index must be [`recover`](DurableIndex::recover)ed
+    /// before further use (in-memory state may lag the log, or the engine
+    /// poisoned itself).
+    pub fn poisoned(&self) -> bool {
+        self.dirty || self.index.poisoned()
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The options the index was opened with.
+    pub fn options(&self) -> &DurableOptions {
+        &self.opts
+    }
+}

@@ -37,7 +37,8 @@
 use crate::bounded::evaluate_pair_bounds;
 use crate::incremental::sim::MAX_PATTERN_NODES;
 use crate::incremental::{
-    panic_message, strip_out_of_range, unwrap_apply, BuildError, LenientApply, PipelineStage,
+    panic_message, strip_out_of_range, unwrap_apply, BuildError, IncrementalEngine, LenientApply,
+    PipelineStage,
 };
 use crate::simulation::candidates_with_shards;
 use crate::stats::AffStats;
@@ -337,9 +338,11 @@ impl BoundedIndex {
         self.recover_with_shards(graph, configured_shards());
     }
 
-    /// [`BoundedIndex::recover`] with an explicit shard count.
+    /// [`BoundedIndex::recover`] with an explicit shard count. Delegates to
+    /// the one shared rebuild-and-clear-poison step,
+    /// [`IncrementalEngine::recover_with_shards`].
     pub fn recover_with_shards(&mut self, graph: &DataGraph, shards: usize) {
-        *self = Self::build_with_shards(&self.pattern, graph, shards);
+        IncrementalEngine::recover_with_shards(self, graph, shards);
     }
 
     /// Borrowed view of the current maximum match, rebuilt at most once per
@@ -1394,6 +1397,36 @@ fn seed_bsim_eliminations_chunk(
         }
     }
     eliminate
+}
+
+/// The recovery-orchestration view of the engine; every method delegates to
+/// the inherent API of the same name (`rebuild_with_shards` to
+/// [`BoundedIndex::build_with_shards`]).
+impl IncrementalEngine for BoundedIndex {
+    fn rebuild_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self {
+        Self::build_with_shards(pattern, graph, shards)
+    }
+
+    fn pattern(&self) -> &Pattern {
+        self.pattern()
+    }
+
+    fn try_apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError> {
+        BoundedIndex::try_apply_batch_with_shards(self, graph, batch, shards)
+    }
+
+    fn try_matches(&self) -> Result<MatchRelation, ApplyError> {
+        BoundedIndex::try_matches(self)
+    }
+
+    fn poisoned(&self) -> bool {
+        BoundedIndex::poisoned(self)
+    }
 }
 
 #[cfg(test)]

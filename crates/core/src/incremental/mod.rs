@@ -68,8 +68,62 @@ pub mod sim;
 
 use crate::stats::AffStats;
 use igpm_graph::update::{RejectReason, UpdateRejection};
-use igpm_graph::{ApplyError, BatchUpdate};
+use igpm_graph::{ApplyError, BatchUpdate, DataGraph, MatchRelation, Pattern};
 use std::fmt;
+
+/// The engine-shaped hole in the recovery machinery: everything an
+/// orchestrator (in-memory poison recovery, or the on-disk
+/// [`DurableIndex`](crate::durable::DurableIndex)) needs from an incremental
+/// matching engine, implemented by both [`sim::SimulationIndex`] and
+/// [`bsim::BoundedIndex`].
+///
+/// The trait's centrepiece is the **provided**
+/// [`recover_with_shards`](IncrementalEngine::recover_with_shards): the
+/// single shared rebuild-and-clear-poison step. Rebuilding via the ordinary
+/// sharded cold-start build is bit-identical to a fresh build by the
+/// build-equivalence invariant, and assigning the fresh value over `*self`
+/// drops every possibly-torn auxiliary structure *and* the poisoned flag in
+/// one move — there is no separate poison bookkeeping to forget. Both
+/// engines' inherent `recover_with_shards` delegate here, and
+/// `DurableIndex` composes the same step with WAL replay (see the
+/// "Durability" section of `RECOVERY.md`).
+pub trait IncrementalEngine: Sized {
+    /// Cold-start build over `shards` shards — the engines' inherent
+    /// `build_with_shards`.
+    ///
+    /// # Panics
+    /// Panics on an unbuildable pattern (see [`BuildError`]), exactly like
+    /// the inherent constructor it delegates to.
+    fn rebuild_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self;
+
+    /// The pattern the index was built for.
+    fn pattern(&self) -> &Pattern;
+
+    /// The transactional batch boundary — the engines' inherent
+    /// `try_apply_batch_with_shards` (validate whole, apply whole, contain
+    /// panics as rollback-or-poison).
+    fn try_apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError>;
+
+    /// The current maximum match, or [`ApplyError::Poisoned`].
+    fn try_matches(&self) -> Result<MatchRelation, ApplyError>;
+
+    /// True iff a contained panic tore the auxiliary state and the index
+    /// must be recovered before further use.
+    fn poisoned(&self) -> bool;
+
+    /// Rebuilds the index from `graph` via the ordinary sharded cold-start
+    /// build, clearing the poisoned flag — bit-identical to a fresh build by
+    /// the build-equivalence invariant. The one shared recovery step; see
+    /// the trait docs.
+    fn recover_with_shards(&mut self, graph: &DataGraph, shards: usize) {
+        *self = Self::rebuild_with_shards(self.pattern(), graph, shards);
+    }
+}
 
 /// Typed error of the fallible index constructors
 /// ([`sim::SimulationIndex::try_build`], [`bsim::BoundedIndex::try_build`]).

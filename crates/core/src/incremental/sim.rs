@@ -86,7 +86,8 @@
 //! [`SimulationIndex::build_with_shards`]).
 
 use crate::incremental::{
-    panic_message, strip_out_of_range, unwrap_apply, BuildError, LenientApply, PipelineStage,
+    panic_message, strip_out_of_range, unwrap_apply, BuildError, IncrementalEngine, LenientApply,
+    PipelineStage,
 };
 use crate::simulation::{candidates_with_shards, simulation_result_graph};
 use crate::stats::AffStats;
@@ -394,9 +395,11 @@ impl SimulationIndex {
         self.recover_with_shards(graph, configured_shards());
     }
 
-    /// [`SimulationIndex::recover`] with an explicit shard count.
+    /// [`SimulationIndex::recover`] with an explicit shard count. Delegates
+    /// to the one shared rebuild-and-clear-poison step,
+    /// [`IncrementalEngine::recover_with_shards`].
     pub fn recover_with_shards(&mut self, graph: &DataGraph, shards: usize) {
-        *self = Self::build_with_shards(&self.pattern, graph, shards);
+        IncrementalEngine::recover_with_shards(self, graph, shards);
     }
 
     /// Borrowed view of the current maximum match, rebuilt at most once per
@@ -2115,6 +2118,36 @@ fn drive_rounds(
                 }
             }
         }
+    }
+}
+
+/// The recovery-orchestration view of the engine; every method delegates to
+/// the inherent API of the same name (`rebuild_with_shards` to
+/// [`SimulationIndex::build_with_shards`]).
+impl IncrementalEngine for SimulationIndex {
+    fn rebuild_with_shards(pattern: &Pattern, graph: &DataGraph, shards: usize) -> Self {
+        Self::build_with_shards(pattern, graph, shards)
+    }
+
+    fn pattern(&self) -> &Pattern {
+        self.pattern()
+    }
+
+    fn try_apply_batch_with_shards(
+        &mut self,
+        graph: &mut DataGraph,
+        batch: &BatchUpdate,
+        shards: usize,
+    ) -> Result<AffStats, ApplyError> {
+        SimulationIndex::try_apply_batch_with_shards(self, graph, batch, shards)
+    }
+
+    fn try_matches(&self) -> Result<MatchRelation, ApplyError> {
+        SimulationIndex::try_matches(self)
+    }
+
+    fn poisoned(&self) -> bool {
+        SimulationIndex::poisoned(self)
     }
 }
 

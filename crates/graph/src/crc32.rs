@@ -1,0 +1,103 @@
+//! CRC32 (IEEE 802.3 polynomial) for the durability layer.
+//!
+//! Both persistence formats need bit-rot detection: the binary graph
+//! snapshots of [`crate::io`] carry a trailing checksum, and every
+//! write-ahead-log record of [`crate::wal`] is checksummed so a torn tail can
+//! be distinguished from a clean end-of-log. The container image ships no
+//! checksum crates, so the classic byte-at-a-time table implementation lives
+//! here — ~300 MB/s, far faster than the disk writes it guards.
+//!
+//! The polynomial (`0xEDB8_8320`, reflected) and the init/final XOR match
+//! zlib's `crc32()`, so snapshots can be checked with standard tools.
+
+/// The reflected CRC32 lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC32 state: [`Crc32::update`] over any number of slices, then
+/// [`Crc32::finalize`]. Equivalent to [`crc32`] over the concatenation.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (the standard `0xFFFF_FFFF` init).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state =
+                (self.state >> 8) ^ TABLE[((self.state ^ u32::from(byte)) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check values (zlib / IEEE 802.3).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"incremental graph pattern matching";
+        for split in 0..data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finalize(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"durability".to_vec();
+        let reference = crc32(&data);
+        for i in 0..data.len() * 8 {
+            let mut flipped = data.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), reference, "bit {i} flip undetected");
+        }
+    }
+}

@@ -10,8 +10,13 @@
 //! chosen point and assert that the engines' transactional contract holds:
 //! the panic either **rolls back** (graph and auxiliary state bit-identical to
 //! the pre-batch state) or **poisons** the index (every read errors until
-//! `recover()` rebuilds from the graph). See `RECOVERY.md` at the repository
-//! root for the full contract.
+//! `recover()` rebuilds from the graph). The durability layer
+//! ([`crate::wal`]) places six more at every on-disk boundary — the two
+//! halves of a WAL record append, the fsync, the checkpoint temp-write and
+//! rename, and the segment/checkpoint pruning — so the crash-recovery suite
+//! can kill the process model at any instruction of the persistence path and
+//! assert reopening yields bit-identical state. See `RECOVERY.md` at the
+//! repository root for the full contract.
 //!
 //! # Arming sites
 //!
@@ -80,6 +85,32 @@ pub const BSIM_REFRESH: &str = "bsim.refresh";
 pub const BSIM_DEMOTE: &str = "bsim.demote";
 /// Bounded engine, start of the promotion drain.
 pub const BSIM_PROMOTE: &str = "bsim.promote";
+/// Durability layer: inside [`crate::wal::Wal::append`], after the record is
+/// encoded and before any byte reaches the file — a crash here loses the
+/// record entirely but leaves the log clean.
+pub const WAL_APPEND_HEADER: &str = "wal.append-header";
+/// Durability layer: inside [`crate::wal::Wal::append`], between the record
+/// header and the record body — a crash here leaves a *torn* record (a
+/// header announcing bytes that never arrived) that recovery must truncate.
+pub const WAL_APPEND_BODY: &str = "wal.append-body";
+/// Durability layer: inside [`crate::wal::Wal::sync`], before the `fsync`
+/// syscall — a crash here has the record bytes written but not yet forced to
+/// stable storage.
+pub const WAL_FSYNC: &str = "wal.fsync";
+/// Durability layer: inside [`crate::wal::write_checkpoint`], before the
+/// temporary checkpoint file is written — a crash here leaves at most a
+/// stray `*.tmp` file that recovery sweeps away.
+pub const CKPT_WRITE: &str = "ckpt.write";
+/// Durability layer: inside [`crate::wal::write_checkpoint`], after the
+/// temporary file is written and fsynced but before the atomic rename — the
+/// checkpoint is complete on disk yet invisible, so recovery must still use
+/// the previous checkpoint plus the full WAL tail.
+pub const CKPT_RENAME: &str = "ckpt.rename";
+/// Durability layer: inside [`crate::wal::Wal::prune_segments_below`] (and
+/// the checkpoint pruning that shares the site), before any file is deleted
+/// — a crash here leaves superseded segments/checkpoints behind, which
+/// recovery must skip, never replay twice.
+pub const WAL_PRUNE: &str = "wal.prune";
 
 /// Every registered failpoint site. The fault-injection suite iterates this
 /// list; [`arm`] and `IGPM_FAILPOINTS` reject names outside it.
@@ -98,6 +129,12 @@ pub const SITES: &[&str] = &[
     BSIM_REFRESH,
     BSIM_DEMOTE,
     BSIM_PROMOTE,
+    WAL_APPEND_HEADER,
+    WAL_APPEND_BODY,
+    WAL_FSYNC,
+    CKPT_WRITE,
+    CKPT_RENAME,
+    WAL_PRUNE,
 ];
 
 /// Fast-path flag: true iff at least one site is armed anywhere in the

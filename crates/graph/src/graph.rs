@@ -543,6 +543,37 @@ impl DataGraph {
             && self.inc == other.inc
     }
 
+    /// Restores the incoming-adjacency list of `node` to `order`, which must
+    /// be a permutation of the current list; returns `false` (graph
+    /// untouched) otherwise. Crate-internal for [`crate::io`]: a binary
+    /// snapshot stores edges in out-adjacency order, which replays `out[v]`
+    /// exactly but leaves each `inc[v]` in derived order — this reinstates
+    /// the recorded in-order, making a snapshot round-trip byte-identical
+    /// ([`DataGraph::identical_to`]), the level of identity the durable
+    /// checkpoints ([`crate::wal`]) rely on.
+    pub(crate) fn set_incoming_order(&mut self, node: NodeId, order: Vec<NodeId>) -> bool {
+        let Some(current) = self.inc.get_mut(node.index()) else {
+            return false;
+        };
+        if order.len() != current.len() {
+            return false;
+        }
+        let mut sorted_current: Vec<u32> = current.iter().map(|v| v.0).collect();
+        let mut sorted_order: Vec<u32> = order.iter().map(|v| v.0).collect();
+        sorted_current.sort_unstable();
+        sorted_order.sort_unstable();
+        if sorted_current != sorted_order {
+            return false;
+        }
+        *current = order;
+        let pos_map = &mut self.inc_pos[node.index()];
+        if !pos_map.is_empty() {
+            pos_map.clear();
+            build_side_index(&self.inc[node.index()], pos_map);
+        }
+        true
+    }
+
     /// Undoes a (possibly partially applied) reduced batch, restoring the
     /// pre-batch **edge set**: for every update of `applied`, the inserted
     /// edge is removed if present and the deleted edge re-added if absent —

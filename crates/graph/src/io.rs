@@ -7,7 +7,10 @@
 //! * a **compact binary snapshot** — the topology is stored as raw
 //!   little-endian `u32` pairs and the attribute table as an embedded JSON
 //!   blob, which keeps multi-hundred-thousand-edge generated datasets cheap to
-//!   write and reload from the experiment harness.
+//!   write and reload from the experiment harness. Format 2 carries a
+//!   trailing CRC32 over the whole payload, so truncation *and* bit-rot are
+//!   detected on load; the checkpoints of the durability layer
+//!   ([`crate::wal`]) embed these snapshots.
 
 use crate::attr::{AttrValue, Attributes};
 use crate::graph::DataGraph;
@@ -39,7 +42,7 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
-            IoError::Schema(msg) => write!(f, "json error: {msg}"),
+            IoError::Schema(msg) => write!(f, "schema error: {msg}"),
             IoError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
         }
     }
@@ -63,10 +66,18 @@ fn schema(msg: impl Into<String>) -> IoError {
     IoError::Schema(msg.into())
 }
 
-/// Magic tag identifying binary graph snapshots.
-const SNAPSHOT_MAGIC: u32 = 0x4947_504d; // "IGPM"
-/// Snapshot format version.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Magic tag identifying binary graph snapshots. Bumped (from the
+/// pre-checksum `0x4947_504d`, "IGPM") when the trailing CRC32 was added, so
+/// old readers reject new snapshots outright instead of mis-parsing the
+/// checksum as edge data.
+const SNAPSHOT_MAGIC: u32 = 0x4947_5032; // "IGP2"
+/// The magic of the retired checksum-less format, recognised only to give a
+/// precise error.
+const SNAPSHOT_MAGIC_V1: u32 = 0x4947_504d; // "IGPM"
+/// Snapshot format version. Version 2 appends a little-endian CRC32
+/// ([`crate::crc32`]) of every preceding byte, so bit-rot anywhere in the
+/// payload — not just a truncation — is detected on load.
+const SNAPSHOT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // JSON encodings of the domain types
@@ -352,14 +363,25 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Encodes a graph as a compact binary snapshot.
+/// Encodes a graph as a compact binary snapshot. The last four bytes are a
+/// little-endian CRC32 of everything before them; [`graph_from_snapshot`]
+/// refuses payloads whose checksum does not match, so bit-rot in the
+/// attribute blob or the edge list is detected instead of silently decoded.
+///
+/// The snapshot preserves adjacency **order**, not just the edge set: the
+/// edge list is written in out-adjacency order and followed by each node's
+/// incoming-adjacency list in storage order (swap-removes scramble the two
+/// sides independently, so neither order is derivable from the other). A
+/// round trip is therefore [`DataGraph::identical_to`]-exact — the level of
+/// identity the durable checkpoints ([`crate::wal`]) hand to crash recovery.
 pub fn graph_to_snapshot(graph: &DataGraph) -> Result<Vec<u8>, IoError> {
     let attr_blob =
         JsonValue::Array(graph.nodes().map(|v| attributes_to_json(graph.attrs(v))).collect())
             .to_string()
             .into_bytes();
 
-    let mut buf = Vec::with_capacity(24 + attr_blob.len() + graph.edge_count() * 8);
+    let mut buf =
+        Vec::with_capacity(28 + attr_blob.len() + graph.edge_count() * 12 + graph.node_count() * 4);
     put_u32_le(&mut buf, SNAPSHOT_MAGIC);
     put_u32_le(&mut buf, SNAPSHOT_VERSION);
     put_u32_le(&mut buf, graph.node_count() as u32);
@@ -370,6 +392,15 @@ pub fn graph_to_snapshot(graph: &DataGraph) -> Result<Vec<u8>, IoError> {
         put_u32_le(&mut buf, from.0);
         put_u32_le(&mut buf, to.0);
     }
+    for v in graph.nodes() {
+        let parents = graph.parents(v);
+        put_u32_le(&mut buf, parents.len() as u32);
+        for &p in parents {
+            put_u32_le(&mut buf, p.0);
+        }
+    }
+    let checksum = crate::crc32::crc32(&buf);
+    put_u32_le(&mut buf, checksum);
     Ok(buf)
 }
 
@@ -377,6 +408,11 @@ pub fn graph_to_snapshot(graph: &DataGraph) -> Result<Vec<u8>, IoError> {
 pub fn graph_from_snapshot(bytes: &[u8]) -> Result<DataGraph, IoError> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.get_u32_le()?;
+    if magic == SNAPSHOT_MAGIC_V1 {
+        return Err(IoError::Corrupt(
+            "unsupported pre-checksum snapshot (format 1); regenerate it".into(),
+        ));
+    }
     if magic != SNAPSHOT_MAGIC {
         return Err(IoError::Corrupt(format!("bad magic 0x{magic:08x}")));
     }
@@ -384,6 +420,23 @@ pub fn graph_from_snapshot(bytes: &[u8]) -> Result<DataGraph, IoError> {
     if version != SNAPSHOT_VERSION {
         return Err(IoError::Corrupt(format!("unsupported version {version}")));
     }
+    // Verify the trailing checksum before trusting any length field in the
+    // body: a flipped bit in `attr_len` would otherwise turn into a bogus
+    // "truncated" error (or a giant allocation) instead of a checksum report.
+    if bytes.len() < cursor.pos + 4 {
+        return Err(IoError::Corrupt("snapshot too short for a checksum".into()));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(&bytes[bytes.len() - 4..]);
+    let stored = u32::from_le_bytes(stored);
+    let computed = crate::crc32::crc32(body);
+    if stored != computed {
+        return Err(IoError::Corrupt(format!(
+            "snapshot checksum mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )));
+    }
+    let mut cursor = Cursor { bytes: body, pos: cursor.pos };
     let node_count = cursor.get_u32_le()? as usize;
     let edge_count = cursor.get_u32_le()? as usize;
     let attr_len = cursor.get_u64_le()? as usize;
@@ -409,6 +462,26 @@ pub fn graph_from_snapshot(bytes: &[u8]) -> Result<DataGraph, IoError> {
             return Err(IoError::Corrupt(format!("edge ({from}, {to}) out of range")));
         }
         graph.add_edge(from, to);
+    }
+    // The edge list replayed `out[v]` exactly; now reinstate each `inc[v]`'s
+    // recorded order (each must be a permutation of what the edges implied).
+    for v in 0..node_count {
+        let len = cursor.get_u32_le()? as usize;
+        let mut order = Vec::with_capacity(len.min(edge_count));
+        for _ in 0..len {
+            order.push(NodeId(cursor.get_u32_le()?));
+        }
+        if !graph.set_incoming_order(NodeId(v as u32), order) {
+            return Err(IoError::Corrupt(format!(
+                "incoming adjacency of node {v} does not match the edge list"
+            )));
+        }
+    }
+    if cursor.pos != body.len() {
+        return Err(IoError::Corrupt(format!(
+            "{} unexpected trailing byte(s) after the edge list",
+            body.len() - cursor.pos
+        )));
     }
     Ok(graph)
 }
@@ -493,6 +566,42 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_preserves_adjacency_order_after_churn() {
+        // Swap-removes scramble the out- and inc-lists independently; the
+        // snapshot must reproduce both orders exactly, not just the edge set.
+        let mut g = DataGraph::new();
+        let nodes: Vec<NodeId> = (0..6).map(|i| g.add_labeled_node(format!("l{i}"))).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g.remove_edge(nodes[0], nodes[3]);
+        g.remove_edge(nodes[4], nodes[3]);
+        g.remove_edge(nodes[2], nodes[5]);
+        g.add_edge(nodes[0], nodes[3]);
+        let back = graph_from_snapshot(&graph_to_snapshot(&g).unwrap()).unwrap();
+        assert!(g.identical_to(&back), "adjacency order lost in the round trip");
+        back.assert_edge_index_consistent();
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_incoming_section() {
+        // A checksum-valid snapshot whose inc section is not a permutation
+        // of the edge list is structurally corrupt and must be refused.
+        let g = sample_graph(); // ring of 3, in-degree 1 each
+        let mut raw = graph_to_snapshot(&g).unwrap();
+        let body_len = raw.len() - 4;
+        raw[body_len - 4..body_len].copy_from_slice(&7u32.to_le_bytes()); // bogus parent id
+        let patched = crate::crc32::crc32(&raw[..body_len]);
+        raw[body_len..].copy_from_slice(&patched.to_le_bytes());
+        let err = graph_from_snapshot(&raw).unwrap_err();
+        assert!(err.to_string().contains("incoming adjacency"), "got: {err}");
+    }
+
+    #[test]
     fn snapshot_rejects_garbage() {
         assert!(matches!(graph_from_snapshot(b"nope"), Err(IoError::Corrupt(_))));
         let mut buf = Vec::new();
@@ -511,6 +620,72 @@ mod tests {
         raw[4] = 99; // clobber the version field
         let err = graph_from_snapshot(&raw).unwrap_err();
         assert!(err.to_string().contains("unsupported version"));
+    }
+
+    #[test]
+    fn snapshot_rejects_pre_checksum_format() {
+        let g = sample_graph();
+        let mut raw = graph_to_snapshot(&g).unwrap();
+        raw[..4].copy_from_slice(&0x4947_504du32.to_le_bytes()); // the retired "IGPM" magic
+        let err = graph_from_snapshot(&raw).unwrap_err();
+        assert!(err.to_string().contains("pre-checksum"), "unhelpful: {err}");
+    }
+
+    #[test]
+    fn snapshot_detects_payload_bit_rot() {
+        // Flipping any single bit after the version field must be caught by
+        // the trailing CRC32 — including bits in the attribute blob and the
+        // edge list, which the pre-checksum format decoded happily.
+        let g = sample_graph();
+        let raw = graph_to_snapshot(&g).unwrap();
+        for pos in [8usize, 16, 24, raw.len() / 2, raw.len() - 6, raw.len() - 1] {
+            let mut rotted = raw.clone();
+            rotted[pos] ^= 0x10;
+            let err = graph_from_snapshot(&rotted)
+                .expect_err(&format!("bit-rot at byte {pos} went undetected"));
+            assert!(matches!(err, IoError::Corrupt(_)), "byte {pos}: wrong class: {err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_truncation_at_every_length() {
+        let g = sample_graph();
+        let raw = graph_to_snapshot(&g).unwrap();
+        for len in 0..raw.len() {
+            let err = graph_from_snapshot(&raw[..len])
+                .expect_err(&format!("truncation to {len} bytes went undetected"));
+            assert!(matches!(err, IoError::Corrupt(_)), "len {len}: wrong class: {err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_appended_garbage() {
+        let g = sample_graph();
+        let mut raw = graph_to_snapshot(&g).unwrap();
+        raw.extend_from_slice(b"junk");
+        assert!(matches!(graph_from_snapshot(&raw), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn io_error_display_strings_are_pinned() {
+        // Each variant has its own prefix; `Schema` used to print
+        // "json error: …", masquerading as a parse failure.
+        let io_err: IoError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert_eq!(io_err.to_string(), "i/o error: missing");
+        let json_err = graph_from_json("not json").unwrap_err();
+        assert!(matches!(json_err, IoError::Json(_)));
+        assert!(json_err.to_string().starts_with("json error: "), "got: {json_err}");
+        assert_eq!(
+            IoError::Schema("graph needs a `nodes` array".into()).to_string(),
+            "schema error: graph needs a `nodes` array"
+        );
+        assert_eq!(
+            IoError::Corrupt("snapshot too short".into()).to_string(),
+            "corrupt snapshot: snapshot too short"
+        );
+        // And the real schema path produces the schema prefix.
+        let err = graph_from_json(r#"{"nodes": []}"#).unwrap_err();
+        assert!(err.to_string().starts_with("schema error: "), "got: {err}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod attr;
+pub mod crc32;
 pub mod fail;
 pub mod graph;
 pub mod hash;
@@ -40,6 +41,7 @@ pub mod shard;
 pub mod topo;
 pub mod traversal;
 pub mod update;
+pub mod wal;
 
 pub use attr::{AttrValue, Attributes, CompareOp};
 pub use graph::DataGraph;
@@ -57,6 +59,10 @@ pub use topo::{topological_order, topological_ranks, Rank};
 pub use update::{
     reduce_batch, reduce_batch_sharded, validate_batch, ApplyError, BatchUpdate, RejectReason,
     StagePanic, Update, UpdateRejection,
+};
+pub use wal::{
+    configured_fsync, fsync_policy_from, load_latest_checkpoint, read_checkpoint, write_checkpoint,
+    Checkpoint, FsyncPolicy, Wal, WalRecord, WalScan, WalTruncation,
 };
 
 /// Commonly used items, re-exported for convenient glob import.

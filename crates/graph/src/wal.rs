@@ -1,0 +1,886 @@
+//! Write-ahead log and checkpoints: the on-disk half of the durability layer.
+//!
+//! A long-lived index absorbing a continuous update stream must survive the
+//! process dying at any instruction. This module provides the two primitives
+//! the recovery orchestrator (`igpm_core`'s `DurableIndex`) composes:
+//!
+//! * a **write-ahead log** ([`Wal`]) of validated batches — length-prefixed,
+//!   CRC32-checksummed records carrying a monotone batch sequence number,
+//!   appended *before* the batch is applied in memory. The log is split into
+//!   *segments* (one file per checkpoint interval) so superseded history can
+//!   be pruned without rewriting live files;
+//! * **checkpoints** ([`write_checkpoint`] / [`load_latest_checkpoint`]) — an
+//!   atomic (write-temp + fsync + rename + directory-fsync) capture of the
+//!   graph (as a checksummed [`crate::io`] binary snapshot) together with the
+//!   WAL sequence number it covers.
+//!
+//! Recovery is then: load the newest checkpoint that passes its checksum
+//! (falling back to older ones), replay every WAL record with a higher
+//! sequence number through the normal batch-apply path, and truncate the log
+//! at the first torn or corrupt record. Because replay uses the ordinary
+//! apply path and rebuilds use the ordinary sharded build, the recovered
+//! state is bit-identical to the never-crashed run by construction — the
+//! growth-equals-fresh-build invariant the conformance suites enforce.
+//!
+//! # WAL record format
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length `len` (bytes)
+//! 4       8     batch sequence number (monotonically increasing)
+//! 12      4     CRC32 over the sequence-number bytes and the payload
+//! 16      len   payload: the encoded batch (see `encode_batch`)
+//! ```
+//!
+//! A record is *torn* when fewer than `16 + len` bytes remain, and *corrupt*
+//! when its checksum or sequence order is wrong. Either way [`Wal::open`]
+//! truncates the segment file at the record's start offset and deletes any
+//! later segments — everything before the damage is intact by checksum,
+//! everything after it is untrusted because record boundaries can no longer
+//! be recovered.
+//!
+//! # Fsync policy
+//!
+//! The `IGPM_FSYNC` environment variable (validated as strictly as
+//! `IGPM_SHARDS`: unknown values are hard errors, see [`configured_fsync`])
+//! selects what a WAL append forces to stable storage:
+//!
+//! | value | meaning | survives |
+//! |---|---|---|
+//! | `always` (default) | `fdatasync` after every record | process crash *and* OS/power failure |
+//! | `every_n=N` | `fdatasync` once per `N` records | process crash; up to `N-1` records on OS failure |
+//! | `never` | never, the OS flushes when it pleases | process crash; unbounded loss on OS failure |
+//!
+//! A plain process crash loses nothing under any policy (the bytes are in the
+//! page cache); the policy only decides how much acknowledged work an OS
+//! crash or power cut may undo. Recovery handles every case identically —
+//! whatever prefix of the log survived is replayed, and a torn final record
+//! is truncated.
+//!
+//! # Failpoints
+//!
+//! Six [`crate::fail`] sites cover every durability boundary:
+//! `wal.append-header` (before any record byte is written), `wal.append-body`
+//! (between header and payload — the torn-record case), `wal.fsync`,
+//! `ckpt.write`, `ckpt.rename` and `wal.prune`. The crash-recovery suite
+//! (`tests/durability.rs`) kills the process model at each of them and
+//! asserts reopening is bit-identical to the uninterrupted run.
+
+use crate::crc32::{crc32, Crc32};
+use crate::fail;
+use crate::graph::DataGraph;
+use crate::io::{graph_from_snapshot, graph_to_snapshot, IoError};
+use crate::node::NodeId;
+use crate::update::{BatchUpdate, Update};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// What a WAL append forces to stable storage. See the [module
+/// docs](self#fsync-policy) for the full table; the environment knob is
+/// `IGPM_FSYNC` ([`configured_fsync`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended record (the default): an
+    /// acknowledged batch survives OS and power failure.
+    Always,
+    /// `fdatasync` once every `n` appended records: bounds the loss window
+    /// on OS failure to `n - 1` acknowledged batches.
+    EveryN(u64),
+    /// Never sync; the OS writes the page cache back on its own schedule.
+    Never,
+}
+
+/// Parses a raw `IGPM_FSYNC` value. Unset or empty falls back to
+/// [`FsyncPolicy::Always`]; anything set must be `always`, `never` or
+/// `every_n=N` with `N ≥ 1` — garbage is a hard error, exactly like an
+/// `IGPM_SHARDS` typo, because a silently ignored durability knob is a data
+/// loss bug waiting for a power cut.
+pub fn fsync_policy_from(raw: Option<&str>) -> Result<FsyncPolicy, String> {
+    let Some(raw) = raw else { return Ok(FsyncPolicy::Always) };
+    let trimmed = raw.trim();
+    match trimmed {
+        "" => Ok(FsyncPolicy::Always),
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        _ => match trimmed.strip_prefix("every_n=") {
+            Some(n) => match n.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!("IGPM_FSYNC=every_n=N needs a positive integer N, got `{raw}`")),
+            },
+            None => {
+                Err(format!("IGPM_FSYNC must be `always`, `never` or `every_n=N`, got `{raw}`"))
+            }
+        },
+    }
+}
+
+/// The fsync policy durable indexes use when none is given explicitly:
+/// `IGPM_FSYNC` if set, otherwise [`FsyncPolicy::Always`].
+///
+/// # Panics
+/// Panics if `IGPM_FSYNC` is set to an unrecognised value — a misconfigured
+/// durability knob must fail loudly, not silently default.
+pub fn configured_fsync() -> FsyncPolicy {
+    fsync_policy_from(std::env::var("IGPM_FSYNC").ok().as_deref())
+        .unwrap_or_else(|message| panic!("{message}"))
+}
+
+// ---------------------------------------------------------------------------
+// Batch payload encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes a batch as the WAL record payload: a `u32` update count followed
+/// by 9 bytes per update (tag byte — 0 insert, 1 delete — and the two
+/// endpoint ids as `u32`s), all little-endian.
+pub fn encode_batch(batch: &BatchUpdate) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + batch.len() * 9);
+    buf.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for update in batch {
+        let (from, to) = update.endpoints();
+        buf.push(if update.is_insert() { 0 } else { 1 });
+        buf.extend_from_slice(&from.0.to_le_bytes());
+        buf.extend_from_slice(&to.0.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a WAL record payload produced by [`encode_batch`]. Returns a
+/// descriptive error when the payload does not parse exactly — reachable
+/// only through a checksum collision or a writer bug, so the WAL scan treats
+/// it like any other corruption (truncate at the record).
+pub fn decode_batch(bytes: &[u8]) -> Result<BatchUpdate, String> {
+    if bytes.len() < 4 {
+        return Err("payload shorter than its count field".into());
+    }
+    let count = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let body = &bytes[4..];
+    if body.len() != count * 9 {
+        return Err(format!("payload declares {count} updates but carries {} bytes", body.len()));
+    }
+    let mut updates = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(9) {
+        let from = NodeId(u32::from_le_bytes(chunk[1..5].try_into().expect("4 bytes")));
+        let to = NodeId(u32::from_le_bytes(chunk[5..9].try_into().expect("4 bytes")));
+        updates.push(match chunk[0] {
+            0 => Update::insert(from, to),
+            1 => Update::delete(from, to),
+            tag => return Err(format!("unknown update tag {tag}")),
+        });
+    }
+    Ok(BatchUpdate::from_updates(updates))
+}
+
+// ---------------------------------------------------------------------------
+// The write-ahead log
+// ---------------------------------------------------------------------------
+
+/// Bytes of a WAL record before the payload: length, sequence number,
+/// checksum.
+const RECORD_HEADER: usize = 16;
+
+/// One recovered WAL record: the batch and the sequence number it was
+/// appended under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The record's batch sequence number.
+    pub seq: u64,
+    /// The logged batch.
+    pub batch: BatchUpdate,
+}
+
+/// How [`Wal::open`] repaired a damaged log, if it had to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalTruncation {
+    /// The segment file that was truncated.
+    pub path: PathBuf,
+    /// The byte offset of the first bad record — the file's new length.
+    pub offset: u64,
+    /// What was wrong with the record (torn, checksum mismatch, …).
+    pub reason: String,
+    /// Later segment files deleted outright (their record boundaries can no
+    /// longer be trusted once an earlier segment is damaged).
+    pub dropped_segments: usize,
+}
+
+/// The result of scanning the log on [`Wal::open`]: every intact record in
+/// sequence order, plus the repair report if the tail was damaged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// All intact records, ascending by sequence number.
+    pub records: Vec<WalRecord>,
+    /// `Some` iff the log was torn or corrupt and was truncated at the first
+    /// bad record.
+    pub truncated: Option<WalTruncation>,
+}
+
+/// An append-only, segmented write-ahead log of update batches living inside
+/// one directory (shared with the checkpoints; WAL segments are the
+/// `wal-<first-seq>.log` files).
+///
+/// The log orders records by a caller-supplied monotone sequence number. A
+/// new segment is started by [`Wal::rotate`] (the recovery orchestrator does
+/// so at every checkpoint) and segments superseded by a checkpoint are
+/// removed by [`Wal::prune_segments_below`].
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    /// Sorted `(first sequence number, path)` of every live segment; the
+    /// last entry is the active one.
+    segments: Vec<(u64, PathBuf)>,
+    /// The active segment, opened for appending. `None` until the first
+    /// append or rotation when the log is empty.
+    active: Option<File>,
+    /// Appends since the last sync, for [`FsyncPolicy::EveryN`].
+    unsynced: u64,
+}
+
+/// Formats the file name of the segment whose first record is `first_seq`.
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+/// Parses a segment file name back to its first sequence number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// `fsync` on the directory itself, making freshly created/renamed/removed
+/// file *names* durable (file data syncs do not cover the directory entry).
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+impl Wal {
+    /// Opens (creating the directory if needed) the log in `dir`, scanning
+    /// every segment: intact records are returned in sequence order, and the
+    /// log is physically repaired at the first torn or corrupt record (the
+    /// damaged segment is truncated to just before it, later segments are
+    /// deleted). The returned [`Wal`] appends to the last surviving segment.
+    pub fn open(dir: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<(Self, WalScan)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if let Some(first) = entry.file_name().to_str().and_then(parse_segment_name) {
+                segments.push((first, entry.path()));
+            }
+        }
+        segments.sort_unstable_by_key(|&(first, _)| first);
+
+        let mut records = Vec::new();
+        let mut truncated = None;
+        let mut last_seq = None;
+        for index in 0..segments.len() {
+            let path = segments[index].1.clone();
+            match scan_segment(&path, last_seq, &mut records) {
+                Ok(()) => last_seq = records.last().map(|r| r.seq),
+                Err((offset, reason)) => {
+                    // Repair: truncate this segment at the damage and drop
+                    // everything after it — record boundaries downstream of a
+                    // bad length field cannot be trusted.
+                    OpenOptions::new().write(true).open(&path)?.set_len(offset)?;
+                    let dropped = segments.split_off(index + 1);
+                    for (_, dead) in &dropped {
+                        fs::remove_file(dead)?;
+                    }
+                    if !dropped.is_empty() {
+                        sync_dir(&dir)?;
+                    }
+                    truncated = Some(WalTruncation {
+                        path,
+                        offset,
+                        reason,
+                        dropped_segments: dropped.len(),
+                    });
+                    break;
+                }
+            }
+        }
+
+        let active = match segments.last() {
+            Some((_, path)) => Some(OpenOptions::new().append(true).open(path)?),
+            None => None,
+        };
+        let wal = Wal { dir, policy, segments, active, unsynced: 0 };
+        Ok((wal, WalScan { records, truncated }))
+    }
+
+    /// The fsync policy this log was opened with.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Appends one record. `seq` must be strictly greater than every
+    /// sequence number already in the log — the recovery orchestrator hands
+    /// out consecutive numbers. Syncs according to the fsync policy.
+    ///
+    /// The write is *not* atomic (no single `write` syscall is, across a
+    /// crash): a crash between header and payload leaves a torn record that
+    /// the next [`Wal::open`] truncates away. That is the designed behaviour
+    /// — an unacknowledged append may be lost, never half-applied.
+    pub fn append(&mut self, seq: u64, batch: &BatchUpdate) -> std::io::Result<()> {
+        if self.active.is_none() {
+            self.rotate(seq)?;
+        }
+        let payload = encode_batch(batch);
+        let mut header = [0u8; RECORD_HEADER];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..12].copy_from_slice(&seq.to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&header[4..12]);
+        crc.update(&payload);
+        header[12..16].copy_from_slice(&crc.finalize().to_le_bytes());
+
+        let file = self.active.as_mut().expect("active segment ensured above");
+        fail::fire(fail::WAL_APPEND_HEADER);
+        file.write_all(&header)?;
+        fail::fire(fail::WAL_APPEND_BODY);
+        file.write_all(&payload)?;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) if self.unsynced >= n => self.sync()?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Forces every appended record to stable storage (`fdatasync`),
+    /// regardless of policy. A no-op when nothing is unsynced.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        if let Some(file) = &self.active {
+            fail::fire(fail::WAL_FSYNC);
+            file.sync_data()?;
+        }
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Starts a fresh segment whose first record will carry `first_seq`. The
+    /// previous segment stays on disk until pruned. Called by the recovery
+    /// orchestrator right after a checkpoint, so each segment corresponds to
+    /// one checkpoint interval.
+    pub fn rotate(&mut self, first_seq: u64) -> std::io::Result<()> {
+        self.sync()?;
+        let path = self.dir.join(segment_name(first_seq));
+        let file = OpenOptions::new().create_new(true).append(true).open(&path)?;
+        sync_dir(&self.dir)?;
+        self.segments.push((first_seq, path));
+        self.active = Some(file);
+        Ok(())
+    }
+
+    /// Deletes every segment all of whose records have sequence numbers
+    /// `≤ seq` — everything a checkpoint at `seq` (or older, still-retained
+    /// checkpoints) no longer needs. The active segment is never deleted.
+    /// Returns the number of segments removed.
+    pub fn prune_segments_below(&mut self, seq: u64) -> std::io::Result<usize> {
+        // A segment's records all precede the *next* segment's first
+        // sequence number, so it is prunable iff that bound is ≤ seq + 1.
+        let mut prunable = 0;
+        while prunable + 1 < self.segments.len() && self.segments[prunable + 1].0 <= seq + 1 {
+            prunable += 1;
+        }
+        if prunable == 0 {
+            return Ok(0);
+        }
+        fail::fire(fail::WAL_PRUNE);
+        for (_, path) in self.segments.drain(..prunable) {
+            fs::remove_file(path)?;
+        }
+        sync_dir(&self.dir)?;
+        Ok(prunable)
+    }
+
+    /// The live segment files, ascending by first sequence number (the last
+    /// one is the active segment).
+    pub fn segment_paths(&self) -> Vec<PathBuf> {
+        self.segments.iter().map(|(_, path)| path.clone()).collect()
+    }
+}
+
+/// Scans one segment file, appending intact records to `records`. `Ok` means
+/// the whole file parsed; `Err((offset, reason))` reports the first bad
+/// record for the caller to truncate at. Sequence numbers must strictly
+/// increase, continuing from `last_seq`.
+fn scan_segment(
+    path: &Path,
+    mut last_seq: Option<u64>,
+    records: &mut Vec<WalRecord>,
+) -> Result<(), (u64, String)> {
+    let mut bytes = Vec::new();
+    // An unreadable segment is indistinguishable from a fully torn one:
+    // truncating it to zero keeps recovery going with what earlier segments
+    // provided.
+    if let Err(e) = File::open(path).and_then(|mut f| f.read_to_end(&mut bytes)) {
+        return Err((0, format!("unreadable segment: {e}")));
+    }
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let offset = pos as u64;
+        let remaining = bytes.len() - pos;
+        if remaining < RECORD_HEADER {
+            return Err((offset, format!("torn record header ({remaining} bytes)")));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let seq = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let stored = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4 bytes"));
+        if remaining - RECORD_HEADER < len {
+            return Err((
+                offset,
+                format!("torn record body ({} of {len} bytes)", remaining - RECORD_HEADER),
+            ));
+        }
+        let payload = &bytes[pos + RECORD_HEADER..pos + RECORD_HEADER + len];
+        let mut crc = Crc32::new();
+        crc.update(&bytes[pos + 4..pos + 12]);
+        crc.update(payload);
+        let computed = crc.finalize();
+        if stored != computed {
+            return Err((
+                offset,
+                format!("checksum mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"),
+            ));
+        }
+        if last_seq.is_some_and(|last| seq <= last) {
+            return Err((
+                offset,
+                format!("non-monotone sequence number {seq} after {}", last_seq.unwrap_or(0)),
+            ));
+        }
+        let batch = match decode_batch(payload) {
+            Ok(batch) => batch,
+            Err(reason) => return Err((offset, format!("undecodable payload: {reason}"))),
+        };
+        records.push(WalRecord { seq, batch });
+        last_seq = Some(seq);
+        pos += RECORD_HEADER + len;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// Magic tag of checkpoint files.
+const CKPT_MAGIC: u32 = 0x4947_434b; // "IGCK"
+/// Checkpoint format version.
+const CKPT_VERSION: u32 = 1;
+
+/// A loaded checkpoint: the graph and the WAL sequence number it covers
+/// (every WAL record with a *higher* number must be replayed on top).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The last batch sequence number whose effects the snapshot includes.
+    pub seq: u64,
+    /// The captured graph.
+    pub graph: DataGraph,
+}
+
+/// Formats the file name of the checkpoint covering `seq`.
+fn checkpoint_name(seq: u64) -> String {
+    format!("ckpt-{seq:020}.bin")
+}
+
+/// Parses a checkpoint file name back to its sequence number.
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?.strip_suffix(".bin")?.parse().ok()
+}
+
+/// Writes a checkpoint of `graph` covering `seq` into `dir`, atomically:
+/// the bytes go to a `.tmp` file first, are fsynced, and only then renamed
+/// to the final `ckpt-<seq>.bin` name (followed by a directory fsync). A
+/// crash at any instruction therefore leaves either no checkpoint (at most a
+/// stray `.tmp` that [`sweep_temp_files`] removes) or a complete one — never
+/// a half-written file under the live name.
+pub fn write_checkpoint(dir: &Path, seq: u64, graph: &DataGraph) -> Result<PathBuf, IoError> {
+    let snapshot = graph_to_snapshot(graph)?;
+    let mut buf = Vec::with_capacity(28 + snapshot.len());
+    buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(snapshot.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&snapshot);
+    let checksum = crc32(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+
+    let tmp = dir.join(format!("ckpt-{seq:020}.tmp"));
+    let path = dir.join(checkpoint_name(seq));
+    fail::fire(fail::CKPT_WRITE);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+    }
+    fail::fire(fail::CKPT_RENAME);
+    fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+    Ok(path)
+}
+
+/// Reads and fully verifies one checkpoint file.
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, IoError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 28 {
+        return Err(IoError::Corrupt("checkpoint too short".into()));
+    }
+    let (body, stored) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(stored.try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(IoError::Corrupt(format!(
+            "checkpoint checksum mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
+        )));
+    }
+    let magic = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+    if magic != CKPT_MAGIC {
+        return Err(IoError::Corrupt(format!("bad checkpoint magic 0x{magic:08x}")));
+    }
+    let version = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+    if version != CKPT_VERSION {
+        return Err(IoError::Corrupt(format!("unsupported checkpoint version {version}")));
+    }
+    let seq = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+    let snapshot_len = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes")) as usize;
+    if body.len() - 24 != snapshot_len {
+        return Err(IoError::Corrupt(format!(
+            "checkpoint declares a {snapshot_len}-byte snapshot but carries {}",
+            body.len() - 24
+        )));
+    }
+    let graph = graph_from_snapshot(&body[24..])?;
+    Ok(Checkpoint { seq, graph })
+}
+
+/// The result of [`load_latest_checkpoint`]: the newest checkpoint that
+/// verified, plus the files that did not (newest first) — kept for
+/// diagnostics, already skipped over.
+#[derive(Debug)]
+pub struct CheckpointLoad {
+    /// The newest verifiable checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Newer checkpoint files that failed verification and were skipped.
+    pub skipped: Vec<(PathBuf, IoError)>,
+}
+
+/// Every checkpoint file in `dir`, ascending by covered sequence number.
+pub fn list_checkpoints(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// Loads the newest checkpoint in `dir` that passes verification, falling
+/// back to older ones when the newest is corrupt (a crash can never corrupt
+/// a *renamed* checkpoint, but bit-rot can). Returns `None` when the
+/// directory holds no checkpoint at all; `Some` with the skipped files
+/// otherwise. Corruption of every present checkpoint is an error distinct
+/// from the empty case, so callers never silently restart from scratch.
+pub fn load_latest_checkpoint(dir: &Path) -> Result<Option<CheckpointLoad>, IoError> {
+    let found = list_checkpoints(dir)?;
+    if found.is_empty() {
+        return Ok(None);
+    }
+    let mut skipped = Vec::new();
+    for (_, path) in found.iter().rev() {
+        match read_checkpoint(path) {
+            Ok(checkpoint) => return Ok(Some(CheckpointLoad { checkpoint, skipped })),
+            Err(error) => skipped.push((path.clone(), error)),
+        }
+    }
+    let reasons = skipped
+        .iter()
+        .map(|(path, error)| format!("{}: {error}", path.display()))
+        .collect::<Vec<_>>()
+        .join("; ");
+    Err(IoError::Corrupt(format!("every checkpoint failed verification: {reasons}")))
+}
+
+/// Deletes all but the newest `keep` checkpoints. Returns the sequence
+/// number of the oldest *retained* checkpoint (callers prune WAL segments
+/// below it, so older retained checkpoints stay replayable), or `None` when
+/// nothing is retained because the directory holds no checkpoints.
+pub fn prune_checkpoints(dir: &Path, keep: usize) -> std::io::Result<Option<u64>> {
+    let found = list_checkpoints(dir)?;
+    let keep = keep.max(1);
+    if found.len() > keep {
+        fail::fire(fail::WAL_PRUNE);
+        for (_, path) in &found[..found.len() - keep] {
+            fs::remove_file(path)?;
+        }
+        sync_dir(dir)?;
+    }
+    Ok(found.iter().rev().take(keep).next_back().map(|&(seq, _)| seq))
+}
+
+/// Removes stray `*.tmp` files — the residue of a crash between a
+/// checkpoint's temp-write and its rename. Called on every open, before any
+/// checkpoint is read.
+pub fn sweep_temp_files(dir: &Path) -> std::io::Result<usize> {
+    let mut swept = 0;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_str().is_some_and(|name| name.ends_with(".tmp")) {
+            fs::remove_file(entry.path())?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attributes;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("igpm-wal-{tag}-{}-{unique}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch(ops: &[(u32, u32, bool)]) -> BatchUpdate {
+        let mut batch = BatchUpdate::new();
+        for &(from, to, insert) in ops {
+            if insert {
+                batch.insert(NodeId(from), NodeId(to));
+            } else {
+                batch.delete(NodeId(from), NodeId(to));
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn fsync_policy_parsing_is_strict() {
+        assert_eq!(fsync_policy_from(None), Ok(FsyncPolicy::Always));
+        assert_eq!(fsync_policy_from(Some("")), Ok(FsyncPolicy::Always));
+        assert_eq!(fsync_policy_from(Some("always")), Ok(FsyncPolicy::Always));
+        assert_eq!(fsync_policy_from(Some(" never ")), Ok(FsyncPolicy::Never));
+        assert_eq!(fsync_policy_from(Some("every_n=8")), Ok(FsyncPolicy::EveryN(8)));
+        for bad in ["sometimes", "every_n=0", "every_n=", "every_n=-1", "ALWAYS", "8"] {
+            let err =
+                fsync_policy_from(Some(bad)).expect_err(&format!("`{bad}` must be a hard error"));
+            assert!(err.contains(bad), "error must echo the offending value: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_payload_round_trip() {
+        let original = batch(&[(0, 1, true), (7, 3, false), (u32::MAX, 0, true)]);
+        let encoded = encode_batch(&original);
+        assert_eq!(decode_batch(&encoded).unwrap(), original);
+        assert_eq!(decode_batch(&encode_batch(&BatchUpdate::new())).unwrap(), BatchUpdate::new());
+        // Malformed payloads are descriptive errors, not panics.
+        assert!(decode_batch(&[]).is_err());
+        assert!(decode_batch(&encoded[..encoded.len() - 1]).is_err());
+        let mut bad_tag = encoded.clone();
+        bad_tag[4] = 9;
+        assert!(decode_batch(&bad_tag).unwrap_err().contains("tag"));
+    }
+
+    #[test]
+    fn append_reopen_round_trip_across_segments() {
+        let dir = temp_dir("roundtrip");
+        let batches: Vec<BatchUpdate> =
+            (0..10u32).map(|i| batch(&[(i, i + 1, i % 2 == 0), (i + 2, i, true)])).collect();
+        {
+            let (mut wal, scan) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+            assert!(scan.records.is_empty() && scan.truncated.is_none());
+            for (i, b) in batches.iter().enumerate() {
+                wal.append(i as u64 + 1, b).unwrap();
+                if i == 4 {
+                    wal.rotate(i as u64 + 2).unwrap(); // mid-stream segment boundary
+                }
+            }
+        }
+        let (wal, scan) = Wal::open(&dir, FsyncPolicy::Never).unwrap();
+        assert!(scan.truncated.is_none());
+        assert_eq!(scan.records.len(), batches.len());
+        for (i, record) in scan.records.iter().enumerate() {
+            assert_eq!(record.seq, i as u64 + 1);
+            assert_eq!(&record.batch, &batches[i]);
+        }
+        assert_eq!(wal.segment_paths().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_tails_truncate_cleanly() {
+        // Each damage shape: (description, surviving seqs, mutilate(bytes)).
+        type Mutilate = fn(Vec<u8>) -> Vec<u8>;
+        let cases: &[(&str, &[u64], Mutilate)] = &[
+            ("mid-header cut", &[1, 2], |b| {
+                let keep = b.len() - 30;
+                b[..keep].to_vec()
+            }),
+            ("mid-body cut", &[1, 2], |b| {
+                let keep = b.len() - 3;
+                b[..keep].to_vec()
+            }),
+            ("payload bit-rot", &[1, 2], |mut b| {
+                let n = b.len();
+                b[n - 2] ^= 0x40;
+                b
+            }),
+            // Trailing garbage only costs the garbage itself — every intact
+            // record before it survives.
+            ("garbage appended", &[1, 2, 3], |mut b| {
+                b.extend_from_slice(b"\xde\xad\xbe\xef");
+                b
+            }),
+        ];
+        for (what, expected, mutilate) in cases {
+            let dir = temp_dir("torn");
+            let good = batch(&[(1, 2, true)]);
+            let tail = batch(&[(3, 4, true), (4, 5, false)]);
+            {
+                let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+                wal.append(1, &good).unwrap();
+                wal.append(2, &good).unwrap();
+                wal.append(3, &tail).unwrap();
+            }
+            let segment = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+            let bytes = fs::read(&segment).unwrap();
+            fs::write(&segment, mutilate(bytes.clone())).unwrap();
+
+            let (_, scan) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+            let truncation = scan.truncated.unwrap_or_else(|| panic!("{what}: no repair"));
+            let survivors: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+            assert_eq!(&survivors, expected, "{what}: wrong survivors");
+            // The repair is physical: a second open sees a clean log.
+            assert_eq!(fs::read(&segment).unwrap().len() as u64, truncation.offset, "{what}");
+            let (_, rescan) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+            assert!(rescan.truncated.is_none(), "{what}: repair did not stick");
+            assert_eq!(rescan.records.len(), expected.len(), "{what}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn damage_in_an_earlier_segment_drops_later_segments() {
+        let dir = temp_dir("cascade");
+        {
+            let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+            wal.append(1, &batch(&[(0, 1, true)])).unwrap();
+            wal.rotate(2).unwrap();
+            wal.append(2, &batch(&[(1, 2, true)])).unwrap();
+        }
+        let first = dir.join(segment_name(1));
+        let mut bytes = fs::read(&first).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&first, bytes).unwrap();
+
+        let (wal, scan) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+        let truncation = scan.truncated.expect("damage must be repaired");
+        assert_eq!(truncation.dropped_segments, 1, "later segment must be dropped");
+        assert!(scan.records.is_empty());
+        assert_eq!(wal.segment_paths().len(), 1);
+        assert!(!dir.join(segment_name(2)).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_and_pruning_respect_retained_checkpoints() {
+        let dir = temp_dir("prune");
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+        for seq in 1..=6u64 {
+            wal.append(seq, &batch(&[(seq as u32, 0, true)])).unwrap();
+            if seq.is_multiple_of(2) {
+                wal.rotate(seq + 1).unwrap(); // checkpoint at seq = 2, 4, 6
+            }
+        }
+        assert_eq!(wal.segment_paths().len(), 4);
+        // Oldest retained checkpoint covers seq 4: segments ending ≤ 4 go.
+        assert_eq!(wal.prune_segments_below(4).unwrap(), 2);
+        let (_, scan) = Wal::open(&dir, FsyncPolicy::Always).unwrap();
+        let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![5, 6], "records above the pruned bound survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_fallback_and_pruning() {
+        let dir = temp_dir("ckpt");
+        let mut graph = DataGraph::new();
+        let a = graph.add_node(Attributes::labeled("a"));
+        let b = graph.add_node(Attributes::labeled("b"));
+        graph.add_edge(a, b);
+        let mut bigger = graph.clone();
+        bigger.add_edge(b, a);
+
+        write_checkpoint(&dir, 3, &graph).unwrap();
+        write_checkpoint(&dir, 7, &bigger).unwrap();
+        let load = load_latest_checkpoint(&dir).unwrap().expect("checkpoints exist");
+        assert_eq!(load.checkpoint.seq, 7);
+        assert!(load.checkpoint.graph.identical_to(&bigger));
+        assert!(load.skipped.is_empty());
+
+        // Corrupt the newest: loading falls back to the older one.
+        let newest = dir.join(checkpoint_name(7));
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&newest, bytes).unwrap();
+        let load = load_latest_checkpoint(&dir).unwrap().expect("older checkpoint remains");
+        assert_eq!(load.checkpoint.seq, 3);
+        assert!(load.checkpoint.graph.identical_to(&graph));
+        assert_eq!(load.skipped.len(), 1);
+
+        // Corrupting every checkpoint is an error, not a silent restart.
+        let older = dir.join(checkpoint_name(3));
+        let mut bytes = fs::read(&older).unwrap();
+        bytes[10] ^= 0x01;
+        fs::write(&older, bytes).unwrap();
+        assert!(matches!(load_latest_checkpoint(&dir), Err(IoError::Corrupt(_))));
+
+        // An empty directory is the distinct None case.
+        let empty = temp_dir("ckpt-empty");
+        assert!(load_latest_checkpoint(&empty).unwrap().is_none());
+
+        // Pruning keeps the newest `keep` and reports the retention bound.
+        let dir2 = temp_dir("ckpt-prune");
+        for seq in [1u64, 5, 9] {
+            write_checkpoint(&dir2, seq, &graph).unwrap();
+        }
+        assert_eq!(prune_checkpoints(&dir2, 2).unwrap(), Some(5));
+        let kept: Vec<u64> = list_checkpoints(&dir2).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(kept, vec![5, 9]);
+
+        for d in [&dir, &empty, &dir2] {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn temp_file_residue_is_swept() {
+        let dir = temp_dir("sweep");
+        fs::write(dir.join("ckpt-00000000000000000009.tmp"), b"half-written").unwrap();
+        fs::write(dir.join("keep.bin"), b"unrelated").unwrap();
+        assert_eq!(sweep_temp_files(&dir).unwrap(), 1);
+        assert!(dir.join("keep.bin").exists());
+        assert_eq!(sweep_temp_files(&dir).unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
