@@ -24,7 +24,7 @@ pub fn apply_batch_naive(
             Update::InsertEdge { from, to } => index.insert_edge(graph, from, to),
             Update::DeleteEdge { from, to } => index.delete_edge(graph, from, to),
         };
-        stats.merge(unit);
+        stats.merge(unit.stats);
     }
     stats
 }
@@ -41,7 +41,7 @@ pub fn apply_batch_naive_bounded(
             Update::InsertEdge { from, to } => index.insert_edge(graph, from, to),
             Update::DeleteEdge { from, to } => index.delete_edge(graph, from, to),
         };
-        stats.merge(unit);
+        stats.merge(unit.stats);
     }
     stats
 }

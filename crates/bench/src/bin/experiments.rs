@@ -401,7 +401,7 @@ fn fig20a(scale: f64) {
         let batch = mixed_batch(&graph, update_count / 2, update_count / 2, 0x20ab);
         let mut g = graph.clone();
         let mut index = SimulationIndex::build(&pattern, &g);
-        let stats = index.apply_batch(&mut g, &batch);
+        let stats = index.apply_batch(&mut g, &batch).stats;
         rows.push(Row::new(
             "original updates",
             format!("α={alpha:.2}"),

@@ -85,6 +85,13 @@
 //! written. The section is ungated — fsync latency measures the host's
 //! storage stack, not this codebase.
 //!
+//! The `delta` section prices ΔM emission. Tracking is inherent to the apply
+//! path, so the baseline is the alternative a subscriber would otherwise
+//! pay: materialising the full view every batch and diffing consecutive
+//! views. The tracked delta is asserted equal to the view diff before any
+//! number is written, and the insert-only monotone fast path is measured
+//! separately (its `removed` side asserted empty).
+//!
 //! # Perf-regression gate (`--check-against`)
 //!
 //! `--check-against OLD.json` compares the freshly measured **1-shard-pinned**
@@ -99,7 +106,7 @@ use igpm_bench::harness::{median_ns, updates_per_sec};
 use igpm_bench::legacy::LegacySimulationIndex;
 use igpm_bench::workloads::batch_scaling_workload;
 use igpm_core::{
-    candidates_with_shards, match_simulation, AffStats, DurableIndex, DurableOptions,
+    candidates_with_shards, match_simulation, AffStats, ApplyOutcome, DurableIndex, DurableOptions,
     SimulationIndex,
 };
 use igpm_generator::{
@@ -108,7 +115,7 @@ use igpm_generator::{
 };
 use igpm_graph::wal::FsyncPolicy;
 use igpm_graph::{
-    reduce_batch_sharded, BatchUpdate, DataGraph, JsonValue, Pattern, ShardPlan, Update,
+    reduce_batch_sharded, BatchUpdate, DataGraph, JsonValue, MatchDelta, Pattern, ShardPlan, Update,
 };
 use std::time::Instant;
 
@@ -270,9 +277,9 @@ fn maintenance_stream(base: &DataGraph, pattern: &Pattern, count: usize, seed: u
                 continue;
             }
             let stats = if update.is_insert() {
-                index.insert_edge(&mut graph, a, b)
+                index.insert_edge(&mut graph, a, b).stats
             } else {
-                index.delete_edge(&mut graph, a, b)
+                index.delete_edge(&mut graph, a, b).stats
             };
             if stats.delta_g == 1 && stats.reduced_delta_g == 1 {
                 accepted.push(update);
@@ -357,9 +364,9 @@ fn compare_unit_stream(
     let unit_step_counter = |index: &mut SimulationIndex, g: &mut DataGraph, update: &Update| {
         let (a, b) = update.endpoints();
         if update.is_insert() {
-            index.insert_edge(g, a, b)
+            index.insert_edge(g, a, b).stats
         } else {
-            index.delete_edge(g, a, b)
+            index.delete_edge(g, a, b).stats
         }
     };
     let unit_step_legacy =
@@ -692,19 +699,19 @@ fn batch_scaling_sweep(
         base_index.clone().apply_batch_with_shards(&mut g, batch, 1);
     }
     let mut times: Vec<Vec<u128>> = vec![Vec::with_capacity(SWEEP_SAMPLES); SHARD_SWEEP.len()];
-    let mut reference_stats: Option<AffStats> = None;
+    let mut reference_outcome: Option<ApplyOutcome> = None;
     for _ in 0..SWEEP_SAMPLES {
         for (i, &shards) in SHARD_SWEEP.iter().enumerate() {
             let mut g = graph.clone();
             let mut index = base_index.clone();
-            let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, batch, shards));
+            let (ms, outcome) = time_batch(|| index.apply_batch_with_shards(&mut g, batch, shards));
             times[i].push((ms * 1e6) as u128);
             assert_eq!(index.matches(), expected, "{shards}-shard run diverged from scratch");
-            match &reference_stats {
-                None => reference_stats = Some(stats),
+            match &reference_outcome {
+                None => reference_outcome = Some(outcome),
                 Some(reference) => assert_eq!(
-                    stats, *reference,
-                    "{shards}-shard run reported different AffStats than the 1-shard run"
+                    outcome, *reference,
+                    "{shards}-shard run reported different AffStats/ΔM than the 1-shard run"
                 ),
             }
         }
@@ -947,6 +954,7 @@ fn durability_sweep(graph: &DataGraph, pattern: &Pattern, seed: u64) -> JsonValu
                 checkpoint_every: 0,
                 keep_checkpoints: 2,
                 shards: 1,
+                delta_buffer: 1024,
             };
             let mut durable: DurableIndex<SimulationIndex> =
                 DurableIndex::open(dir.clone(), pattern, graph, opts).expect("open durable dir");
@@ -999,6 +1007,137 @@ fn durability_sweep(graph: &DataGraph, pattern: &Pattern, seed: u64) -> JsonValu
         ),
         ("in_memory_median_ms", JsonValue::Float(base_ns as f64 / 1e6)),
         ("policies", JsonValue::Array(policy_rows)),
+    ])
+}
+
+/// Measures delta emission. Tracking is inherent to the apply path (every
+/// batch returns its `MatchDelta`), so the honest baseline is not "apply
+/// without deltas" — it is the alternative a subscriber would otherwise pay:
+/// materialising the full view each batch and diffing consecutive views.
+/// The sweep times both over the same stream, cross-checks that the tracked
+/// delta equals the view diff before any number is written, and measures the
+/// monotone insert-only fast path separately.
+fn delta_sweep(graph: &DataGraph, pattern: &Pattern, seed: u64) -> JsonValue {
+    let batch_count = 32usize;
+    let per_batch = 250usize;
+    let samples = 3usize;
+
+    // Sequentially valid streams: each batch generated against (and applied
+    // to) the graph its predecessors left behind.
+    let build_stream = |insertions: usize, deletions: usize, seed: u64| {
+        let mut g = graph.clone();
+        let mut stream: Vec<BatchUpdate> = Vec::with_capacity(batch_count);
+        for i in 0..batch_count {
+            let batch = mixed_batch(&g, insertions, deletions, seed + i as u64);
+            batch.apply(&mut g);
+            stream.push(batch);
+        }
+        stream
+    };
+    let mixed_stream = build_stream(per_batch / 2, per_batch / 2, seed);
+    let insert_stream = build_stream(per_batch, 0, seed + 0x1000);
+
+    // Tracked path: the delta rides along on the ordinary apply.
+    let mut tracked_samples = Vec::with_capacity(samples);
+    let mut tracked_deltas: Vec<MatchDelta> = Vec::new();
+    let mut pairs_inserted = 0u64;
+    let mut pairs_removed = 0u64;
+    for sample in 0..samples {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build(pattern, &g);
+        let start = Instant::now();
+        let mut deltas = Vec::with_capacity(batch_count);
+        for batch in &mixed_stream {
+            let outcome =
+                index.try_apply_batch_with_shards(&mut g, batch, 1).expect("stream is valid");
+            deltas.push(outcome.delta);
+        }
+        tracked_samples.push(start.elapsed().as_nanos());
+        if sample == 0 {
+            pairs_inserted = deltas.iter().map(|d| d.inserted.len() as u64).sum();
+            pairs_removed = deltas.iter().map(|d| d.removed.len() as u64).sum();
+            tracked_deltas = deltas;
+        }
+    }
+    let tracked_ns = median_ns(tracked_samples);
+
+    // Diff path: what a consumer pays without the tracker — materialise the
+    // full view each batch and diff it against the previous one.
+    let mut diff_samples = Vec::with_capacity(samples);
+    for sample in 0..samples {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build(pattern, &g);
+        let mut prev = index.matches();
+        let start = Instant::now();
+        let mut deltas = Vec::with_capacity(batch_count);
+        for batch in &mixed_stream {
+            index.try_apply_batch_with_shards(&mut g, batch, 1).expect("stream is valid");
+            let next = index.matches();
+            deltas.push(MatchDelta::between(&prev, &next));
+            prev = next;
+        }
+        diff_samples.push(start.elapsed().as_nanos());
+        if sample == 0 {
+            assert_eq!(deltas, tracked_deltas, "tracked ΔM diverged from the view diff");
+        }
+    }
+    let diff_ns = median_ns(diff_samples);
+    let overhead = tracked_ns as f64 / diff_ns.max(1) as f64;
+    println!(
+        "delta ({batch_count} batches × {per_batch} mixed): tracked {:.3} ms, view-diff {:.3} ms \
+         ({overhead:.2}x, +{pairs_inserted}/-{pairs_removed} pairs)",
+        tracked_ns as f64 / 1e6,
+        diff_ns as f64 / 1e6
+    );
+
+    // Monotone fast path: insert-only batches skip removal tracking.
+    let mut monotone_samples = Vec::with_capacity(samples);
+    let mut monotone_inserted = 0u64;
+    for sample in 0..samples {
+        let mut g = graph.clone();
+        let mut index = SimulationIndex::build(pattern, &g);
+        let start = Instant::now();
+        let mut inserted = 0u64;
+        for batch in &insert_stream {
+            let outcome =
+                index.try_apply_batch_with_shards(&mut g, batch, 1).expect("stream is valid");
+            assert!(outcome.delta.removed.is_empty(), "insert-only batch removed matches");
+            inserted += outcome.delta.inserted.len() as u64;
+        }
+        monotone_samples.push(start.elapsed().as_nanos());
+        if sample == 0 {
+            monotone_inserted = inserted;
+        }
+    }
+    let monotone_ns = median_ns(monotone_samples);
+    println!(
+        "delta monotone ({batch_count} insert-only batches × {per_batch}): {:.3} ms \
+         (+{monotone_inserted} pairs)",
+        monotone_ns as f64 / 1e6
+    );
+
+    obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("batches", JsonValue::Int(batch_count as i64)),
+                ("updates_per_batch", JsonValue::Int(per_batch as i64)),
+                ("shards", JsonValue::Int(1)),
+                ("seed", JsonValue::Int(seed as i64)),
+            ]),
+        ),
+        ("tracked_median_ms", JsonValue::Float(tracked_ns as f64 / 1e6)),
+        ("view_diff_median_ms", JsonValue::Float(diff_ns as f64 / 1e6)),
+        ("tracked_vs_view_diff", JsonValue::Float(overhead)),
+        ("pairs_inserted", JsonValue::Int(pairs_inserted as i64)),
+        ("pairs_removed", JsonValue::Int(pairs_removed as i64)),
+        (
+            "monotone",
+            obj(vec![
+                ("median_ms", JsonValue::Float(monotone_ns as f64 / 1e6)),
+                ("pairs_inserted", JsonValue::Int(monotone_inserted as i64)),
+            ]),
+        ),
     ])
 }
 
@@ -1099,9 +1238,9 @@ fn main() {
         let mut index = SimulationIndex::build(&pattern, &g);
         // One shard: keeps the trajectory comparable with the sequential
         // engine of earlier runs (shard scaling is measured separately below).
-        let (ms, stats) = time_batch(|| index.apply_batch_with_shards(&mut g, &batch, 1));
+        let (ms, outcome) = time_batch(|| index.apply_batch_with_shards(&mut g, &batch, 1));
         counter_batch_ms.push((ms * 1e6) as u128);
-        counter_batch_aff = stats.aff();
+        counter_batch_aff = outcome.stats.aff();
         assert_eq!(index.matches(), expected, "counter engine diverged on batch");
 
         let mut g = graph.clone();
@@ -1217,6 +1356,9 @@ fn main() {
     // --- Durability: WAL-append overhead per fsync policy ------------------
     let durability_json = durability_sweep(&graph, &pattern, config.seed + 0xd0);
 
+    // --- Delta emission: tracked ΔM vs view diff, monotone fast path -------
+    let delta_json = delta_sweep(&graph, &pattern, config.seed + 0xde);
+
     let build_scaling = build_scaling_sweep(&scaling_graph, &scaling_pattern, &config);
     let build_scaling_json = obj(vec![
         (
@@ -1277,6 +1419,7 @@ fn main() {
         ("mutation_scaling", mutation_scaling_json),
         ("scan_scaling", scan_scaling_json),
         ("durability", durability_json),
+        ("delta", delta_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);

@@ -28,8 +28,7 @@
 //! The full recovery algorithm, the WAL record format and the fsync
 //! trade-off table live in the "Durability" section of `RECOVERY.md`.
 
-use crate::incremental::IncrementalEngine;
-use crate::stats::AffStats;
+use crate::incremental::{ApplyOutcome, IncrementalEngine};
 use igpm_graph::io::IoError;
 use igpm_graph::shard::configured_shards;
 use igpm_graph::update::validate_batch;
@@ -37,10 +36,12 @@ use igpm_graph::wal::{
     configured_fsync, list_checkpoints, load_latest_checkpoint, prune_checkpoints,
     sweep_temp_files, write_checkpoint, FsyncPolicy, Wal,
 };
-use igpm_graph::{ApplyError, BatchUpdate, DataGraph, MatchRelation, Pattern};
+use igpm_graph::{ApplyError, BatchUpdate, DataGraph, MatchDelta, MatchRelation, Pattern};
+use std::collections::VecDeque;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Tuning knobs of a [`DurableIndex`]. `Default` reads the environment:
 /// `IGPM_FSYNC` for the fsync policy, `IGPM_SHARDS` for the shard count.
@@ -63,6 +64,11 @@ pub struct DurableOptions {
     /// Shard count for builds, replays and batch application (default:
     /// [`configured_shards`], the `IGPM_SHARDS` knob).
     pub shards: usize,
+    /// Capacity of the per-index delta ring buffer [`Subscription`]s tail
+    /// (default 1024 batches). When a subscriber falls more than this many
+    /// batches behind, the ring drops the oldest deltas and the subscriber
+    /// observes an explicit [`DeltaEvent::Lagged`] instead of silent loss.
+    pub delta_buffer: usize,
 }
 
 impl Default for DurableOptions {
@@ -72,7 +78,130 @@ impl Default for DurableOptions {
             checkpoint_every: 0,
             keep_checkpoints: 2,
             shards: configured_shards(),
+            delta_buffer: 1024,
         }
+    }
+}
+
+/// One event observed by a [`Subscription`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaEvent {
+    /// The delta the engine emitted for the batch logged at WAL sequence
+    /// number `seq` (empty deltas are published too — the stream covers
+    /// *every* committed batch, which is what makes the crash/recover replay
+    /// identity testable).
+    Delta {
+        /// The WAL sequence number of the batch.
+        seq: u64,
+        /// The emitted `ΔM`, shared with every other subscriber.
+        delta: Arc<MatchDelta>,
+    },
+    /// The subscriber fell behind the bounded ring
+    /// ([`DurableOptions::delta_buffer`]) and `missed` deltas were dropped;
+    /// the stream resumes at `resume_seq`. Consumers that need the lost
+    /// ground must re-read the full view and diff.
+    Lagged {
+        /// How many per-batch deltas were dropped.
+        missed: u64,
+        /// The sequence number the next [`DeltaEvent::Delta`] will carry.
+        resume_seq: u64,
+    },
+}
+
+/// Interior of the per-index delta ring: the buffered `(seq, ΔM)` tail plus
+/// the high-water mark of everything ever published, which is what makes
+/// recovery's re-publication idempotent (live-published sequence numbers are
+/// skipped; only the tail the crash swallowed is re-emitted).
+#[derive(Debug, Default)]
+struct DeltaRingInner {
+    buf: VecDeque<(u64, Arc<MatchDelta>)>,
+    capacity: usize,
+    newest_seq: u64,
+}
+
+/// Shared handle on the delta ring (the index publishes, subscriptions
+/// poll).
+type DeltaRing = Arc<Mutex<DeltaRingInner>>;
+
+fn new_ring(capacity: usize) -> DeltaRing {
+    Arc::new(Mutex::new(DeltaRingInner {
+        buf: VecDeque::new(),
+        capacity: capacity.max(1),
+        newest_seq: 0,
+    }))
+}
+
+impl DeltaRingInner {
+    /// Publishes the delta of the batch at `seq`. Idempotent by sequence
+    /// number: a replay re-publishing a live-published batch is a no-op, so
+    /// after a crash the subscribers see exactly the deltas the never-crashed
+    /// run would have shown them, each exactly once.
+    fn publish(&mut self, seq: u64, delta: MatchDelta) {
+        if seq <= self.newest_seq {
+            return;
+        }
+        if let Some(&(back, _)) = self.buf.back() {
+            debug_assert_eq!(seq, back + 1, "delta ring published out of order");
+        }
+        self.newest_seq = seq;
+        self.buf.push_back((seq, Arc::new(delta)));
+        while self.buf.len() > self.capacity {
+            self.buf.pop_front();
+        }
+    }
+}
+
+/// A tailing consumer of a [`DurableIndex`]'s per-batch [`MatchDelta`]
+/// stream, detached from the index (`poll` never borrows it). Sequence
+/// numbers are the WAL sequence numbers of the batches: subscribing at the
+/// current [`DurableIndex::sequence`] and folding every polled delta into a
+/// snapshot of `try_matches()` reproduces every subsequent view exactly
+/// (`view(t) = view(t-1) ∖ removed ⊎ inserted`).
+///
+/// The ring behind a subscription is bounded
+/// ([`DurableOptions::delta_buffer`]); a subscriber that falls behind
+/// observes [`DeltaEvent::Lagged`] with an exact drop count instead of a
+/// silent gap. The ring survives [`DurableIndex::recover`], and recovery's
+/// WAL-tail replay re-publishes **only** the batches whose live publication
+/// the crash swallowed (publication is idempotent by sequence number).
+#[derive(Debug)]
+pub struct Subscription {
+    ring: DeltaRing,
+    next_seq: u64,
+}
+
+impl Subscription {
+    /// Returns the next event, or `None` when the subscriber is caught up.
+    pub fn poll(&mut self) -> Option<DeltaEvent> {
+        let ring = self.ring.lock().expect("delta ring lock");
+        if self.next_seq > ring.newest_seq {
+            return None;
+        }
+        let oldest = match ring.buf.front() {
+            Some(&(seq, _)) => seq,
+            // Published batches exist (newest_seq ≥ next_seq) but the buffer
+            // is empty — everything was dropped by overflow.
+            None => {
+                let missed = ring.newest_seq + 1 - self.next_seq;
+                self.next_seq = ring.newest_seq + 1;
+                return Some(DeltaEvent::Lagged { missed, resume_seq: self.next_seq });
+            }
+        };
+        if self.next_seq < oldest {
+            let missed = oldest - self.next_seq;
+            self.next_seq = oldest;
+            return Some(DeltaEvent::Lagged { missed, resume_seq: oldest });
+        }
+        // Ring sequences are contiguous, so the target sits at a fixed offset.
+        let (seq, delta) = ring.buf[(self.next_seq - oldest) as usize].clone();
+        debug_assert_eq!(seq, self.next_seq, "delta ring out of order");
+        self.next_seq += 1;
+        Some(DeltaEvent::Delta { seq, delta })
+    }
+
+    /// The sequence number the next [`DeltaEvent::Delta`] will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 }
 
@@ -171,6 +300,9 @@ pub struct DurableIndex<E> {
     /// then errors with [`ApplyError::Poisoned`] until
     /// [`DurableIndex::recover`] reconciles from disk.
     dirty: bool,
+    /// The per-index delta ring [`Subscription`]s tail. Shared (not rebuilt)
+    /// across [`DurableIndex::recover`], so subscribers stay attached.
+    deltas: DeltaRing,
 }
 
 /// True iff `dir` contains WAL segment files.
@@ -209,14 +341,22 @@ impl<E: IncrementalEngine> DurableIndex<E> {
             }
             write_checkpoint(&dir, 0, initial_graph)?;
         }
-        Self::open_existing(dir, pattern, opts)
+        let ring = new_ring(opts.delta_buffer);
+        Self::open_existing(dir, pattern, opts, ring)
     }
 
-    /// The recovery path proper: requires a checkpoint to exist.
+    /// The recovery path proper: requires a checkpoint to exist. Every
+    /// WAL-tail record replayed above the checkpoint publishes its emitted
+    /// delta into `ring` at its logged sequence number — publication is
+    /// idempotent by sequence, so an in-place [`DurableIndex::recover`]
+    /// (which passes the live ring) re-emits only the tail the crash
+    /// swallowed, while a fresh [`DurableIndex::open`] (empty ring) re-emits
+    /// the whole tail exactly as the never-crashed run did.
     fn open_existing(
         dir: PathBuf,
         pattern: &Pattern,
         opts: DurableOptions,
+        ring: DeltaRing,
     ) -> Result<Self, DurableError> {
         sweep_temp_files(&dir)?;
         let load = load_latest_checkpoint(&dir)?.ok_or(DurableError::NoCheckpoint)?;
@@ -224,6 +364,16 @@ impl<E: IncrementalEngine> DurableIndex<E> {
         let mut graph = load.checkpoint.graph;
         let mut index = E::rebuild_with_shards(pattern, &graph, opts.shards);
         let (wal, scan) = Wal::open(&dir, opts.fsync)?;
+        {
+            // Batches at or below the checkpoint are covered by it and will
+            // never be re-emitted: raise the ring's high-water mark so a
+            // subscriber behind the checkpoint observes an explicit lag
+            // instead of a silently "caught up" stream.
+            let mut ring_guard = ring.lock().expect("delta ring lock");
+            if ring_guard.newest_seq < base_seq {
+                ring_guard.newest_seq = base_seq;
+            }
+        }
         let mut seq = base_seq;
         for record in scan.records {
             if record.seq <= base_seq {
@@ -232,9 +382,10 @@ impl<E: IncrementalEngine> DurableIndex<E> {
             if record.seq != seq + 1 {
                 return Err(DurableError::SequenceGap { expected: seq + 1, found: record.seq });
             }
-            index
+            let outcome = index
                 .try_apply_batch_with_shards(&mut graph, &record.batch, opts.shards)
                 .map_err(|error| DurableError::Replay { seq: record.seq, error })?;
+            ring.lock().expect("delta ring lock").publish(record.seq, outcome.delta);
             seq = record.seq;
         }
         Ok(DurableIndex {
@@ -246,6 +397,7 @@ impl<E: IncrementalEngine> DurableIndex<E> {
             seq,
             last_checkpoint_seq: base_seq,
             dirty: false,
+            deltas: ring,
         })
     }
 
@@ -267,7 +419,7 @@ impl<E: IncrementalEngine> DurableIndex<E> {
     /// is the crash model, the in-process stand-in for `kill -9`. The object
     /// must then be treated as dead: drop it and [`DurableIndex::open`] anew
     /// (which is exactly what the crash-recovery suite does).
-    pub fn apply(&mut self, batch: &BatchUpdate) -> Result<AffStats, DurableError> {
+    pub fn apply(&mut self, batch: &BatchUpdate) -> Result<ApplyOutcome, DurableError> {
         if self.dirty || self.index.poisoned() {
             return Err(DurableError::Apply(ApplyError::Poisoned));
         }
@@ -279,15 +431,19 @@ impl<E: IncrementalEngine> DurableIndex<E> {
         self.wal.append(seq, batch)?;
         self.seq = seq;
         match self.index.try_apply_batch_with_shards(&mut self.graph, batch, self.opts.shards) {
-            Ok(stats) => {
+            Ok(outcome) => {
+                self.deltas.lock().expect("delta ring lock").publish(seq, outcome.delta.clone());
                 if self.opts.checkpoint_every > 0
                     && seq - self.last_checkpoint_seq >= self.opts.checkpoint_every
                 {
                     self.checkpoint()?;
                 }
-                Ok(stats)
+                Ok(outcome)
             }
             Err(error) => {
+                // The batch is logged but not applied (and its delta not
+                // published): `recover` replays it from the WAL and publishes
+                // the delta then — logged means committed.
                 self.dirty = true;
                 Err(DurableError::Apply(error))
             }
@@ -323,8 +479,31 @@ impl<E: IncrementalEngine> DurableIndex<E> {
     /// in-memory graph, the rebuild source is the log, which is never behind.
     pub fn recover(&mut self) -> Result<(), DurableError> {
         let pattern = self.index.pattern().clone();
-        *self = Self::open_existing(self.dir.clone(), &pattern, self.opts.clone())?;
+        // The live ring is passed through, so subscriptions survive recovery
+        // and the replay re-publishes exactly the unpublished tail.
+        *self = Self::open_existing(
+            self.dir.clone(),
+            &pattern,
+            self.opts.clone(),
+            self.deltas.clone(),
+        )?;
         Ok(())
+    }
+
+    /// Subscribes to the per-batch [`MatchDelta`] stream from the current
+    /// sequence number on: the first [`DeltaEvent::Delta`] polled is the
+    /// batch logged after this call. See [`Subscription`].
+    pub fn subscribe(&self) -> Subscription {
+        self.subscribe_from(self.seq + 1)
+    }
+
+    /// Subscribes starting at an explicit WAL sequence number (e.g. the
+    /// checkpoint sequence a consumer restored a snapshot from, plus one).
+    /// Sequences no longer buffered — published before the subscription and
+    /// beyond the ring, or covered only by a checkpoint — surface as one
+    /// [`DeltaEvent::Lagged`] before the stream resumes.
+    pub fn subscribe_from(&self, seq: u64) -> Subscription {
+        Subscription { ring: self.deltas.clone(), next_seq: seq }
     }
 
     /// The current data graph.

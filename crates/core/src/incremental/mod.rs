@@ -68,7 +68,9 @@ pub mod sim;
 
 use crate::stats::AffStats;
 use igpm_graph::update::{RejectReason, UpdateRejection};
-use igpm_graph::{ApplyError, BatchUpdate, DataGraph, MatchRelation, Pattern};
+use igpm_graph::{
+    ApplyError, BatchUpdate, DataGraph, MatchDelta, MatchRelation, NodeId, Pattern, PatternNodeId,
+};
 use std::fmt;
 
 /// The engine-shaped hole in the recovery machinery: everything an
@@ -101,13 +103,16 @@ pub trait IncrementalEngine: Sized {
 
     /// The transactional batch boundary — the engines' inherent
     /// `try_apply_batch_with_shards` (validate whole, apply whole, contain
-    /// panics as rollback-or-poison).
+    /// panics as rollback-or-poison). Returns the [`AffStats`] of the batch
+    /// *and* the emitted [`MatchDelta`] — the structured `ΔM` stream the
+    /// [`DurableIndex`](crate::durable::DurableIndex) re-emits verbatim
+    /// during WAL-tail replay.
     fn try_apply_batch_with_shards(
         &mut self,
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<AffStats, ApplyError>;
+    ) -> Result<ApplyOutcome, ApplyError>;
 
     /// The current maximum match, or [`ApplyError::Poisoned`].
     fn try_matches(&self) -> Result<MatchRelation, ApplyError>;
@@ -157,17 +162,236 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Result of one successful (transactional) batch application: the
+/// [`AffStats`] accounting plus the emitted [`MatchDelta`].
+///
+/// The delta is expressed against the observable match view and obeys the
+/// exact-view identity `view(t) = view(t-1) ∖ removed ⊎ inserted`; it is
+/// bit-identical for every shard count (the delta extension of the shard
+/// invariant, see `tests/delta_stream.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyOutcome {
+    /// Statistics of the applied batch.
+    pub stats: AffStats,
+    /// The structured `ΔM` of the batch: the match pairs that entered and
+    /// left the view, each list sorted ascending.
+    pub delta: MatchDelta,
+}
+
+impl fmt::Display for ApplyOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", self.stats, self.delta)
+    }
+}
+
 /// Result of a lenient batch application: the statistics of the applied
 /// portion plus every update that was skipped (with its reason).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LenientApply {
     /// Statistics of the applied (valid) portion of the batch.
     pub stats: AffStats,
+    /// The emitted [`MatchDelta`] of the applied portion — equal to the
+    /// delta the strict path emits for the surviving (non-rejected) updates.
+    pub delta: MatchDelta,
     /// The skipped updates, in batch order. Structurally invalid updates
-    /// (out-of-range ids) were stripped before the engine saw the batch;
-    /// redundant ones (duplicate inserts, absent deletes) were neutralised
-    /// by the net-effect reduction — either way they had no effect.
+    /// (out-of-range ids) were stripped before the engine saw the batch —
+    /// their reported positions refer to the **original** batch, not the
+    /// post-strip layout; redundant ones (duplicate inserts, absent deletes)
+    /// were neutralised by the net-effect reduction — either way they had no
+    /// effect.
     pub rejected: Vec<UpdateRejection>,
+}
+
+/// What the per-batch [`DeltaTracker`] records.
+///
+/// `Monotone` is the CALM fast path: a batch of pure insertions can only
+/// grow the maximum (bounded) simulation — edge insertions never lengthen a
+/// path and never retract a counter below its old value — so removal
+/// tracking is skipped entirely and a `debug_assert!` documents that the
+/// skipped tracker would have stayed empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) enum TrackMode {
+    /// Cold-start build / refinement: no previous view exists, record
+    /// nothing.
+    #[default]
+    Off,
+    /// Insert-only batch: record insertions; removals are impossible.
+    Monotone,
+    /// General batch: record both directions.
+    Full,
+}
+
+/// Per-batch recorder of raw match-bit transitions, owned by each engine and
+/// armed at the top of every apply path. "Raw" means mask-level: the
+/// finalisation step ([`finalize_delta`]) converts the raw transitions into
+/// the view-level [`MatchDelta`], handling the collapse to the empty view
+/// when some pattern node loses its last match (`P ⋬ G`) and the
+/// resurrection out of it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaTracker {
+    mode: TrackMode,
+    inserted: Vec<(u32, u32)>,
+    removed: Vec<(u32, u32)>,
+}
+
+impl DeltaTracker {
+    /// Starts recording for one batch. `monotone` engages the CALM fast
+    /// path (insert-only batch): removal tracking is skipped.
+    pub(crate) fn arm(&mut self, monotone: bool) {
+        self.mode = if monotone { TrackMode::Monotone } else { TrackMode::Full };
+        self.inserted.clear();
+        self.removed.clear();
+    }
+
+    /// Stops recording and drops anything recorded (build paths, panic
+    /// containment).
+    pub(crate) fn reset(&mut self) {
+        self.mode = TrackMode::Off;
+        self.inserted.clear();
+        self.removed.clear();
+    }
+
+    /// Records the raw transition `(u, v): candidate → match`.
+    #[inline]
+    pub(crate) fn record_inserted(&mut self, u: usize, v: u32) {
+        if self.mode != TrackMode::Off {
+            self.inserted.push((u as u32, v));
+        }
+    }
+
+    /// Records the raw transition `(u, v): match → candidate`. A no-op in
+    /// `Off` mode; unreachable in `Monotone` mode — the debug assertion is
+    /// the proof obligation of the fast path.
+    #[inline]
+    pub(crate) fn record_removed(&mut self, u: usize, v: u32) {
+        match self.mode {
+            TrackMode::Off => {}
+            TrackMode::Monotone => {
+                debug_assert!(
+                    false,
+                    "monotone fast path violated: insert-only batch demoted (u{u}, n{v})"
+                );
+            }
+            TrackMode::Full => self.removed.push((u as u32, v)),
+        }
+    }
+}
+
+/// What the engine should do with its cached [`MatchRelation`] view after a
+/// batch, as decided by [`finalize_delta`]. Replaces the historical
+/// unconditional `invalidate_cache()` on the apply paths: an empty delta
+/// keeps the cache, a non-empty one patches it in place, and only the
+/// collapse/resurrection transitions install a fresh value.
+pub(crate) enum CacheOp {
+    /// The view did not change — leave the cache exactly as it is.
+    Keep,
+    /// Patch a warm cache in place with the emitted delta (a cold cache
+    /// stays cold).
+    Patch,
+    /// Install this relation as the new cached view (collapse installs the
+    /// empty relation, resurrection installs the freshly rebuilt one).
+    Install(MatchRelation),
+}
+
+/// Converts the raw transitions recorded by a [`DeltaTracker`] into the
+/// view-level [`MatchDelta`] and the matching [`CacheOp`].
+///
+/// `was_match`/`now_match` are `is_match()` sampled immediately before the
+/// tracker was armed and at finalisation; `raw_current_pairs` enumerates the
+/// current mask-level pairs (consulted only on a collapse); `rebuild`
+/// materialises the current view (consulted only on a resurrection).
+pub(crate) fn finalize_delta(
+    tracker: &mut DeltaTracker,
+    was_match: bool,
+    now_match: bool,
+    pattern_nodes: usize,
+    raw_current_pairs: impl FnOnce() -> Vec<(u32, u32)>,
+    rebuild: impl FnOnce() -> MatchRelation,
+) -> (MatchDelta, CacheOp) {
+    let mut inserted = std::mem::take(&mut tracker.inserted);
+    let mut removed = std::mem::take(&mut tracker.removed);
+    tracker.reset();
+    inserted.sort_unstable();
+    removed.sort_unstable();
+    debug_assert!(inserted.windows(2).all(|w| w[0] != w[1]), "duplicate raw insertion");
+    debug_assert!(removed.windows(2).all(|w| w[0] != w[1]), "duplicate raw removal");
+    match (was_match, now_match) {
+        // The view was empty and stays empty: raw candidate churn is not
+        // observable, nothing to emit, the cache (cold, or a warm empty
+        // relation) is still exact.
+        (false, false) => (MatchDelta::empty(), CacheOp::Keep),
+        // The ordinary case: the raw transitions are the view transitions,
+        // minus the pairs that flipped both ways within the batch (demoted
+        // by the deletion half, re-promoted by the insertion half).
+        (true, true) => {
+            let (inserted, removed) = cancel_opposites(inserted, removed);
+            let delta = MatchDelta { inserted: to_pairs(inserted), removed: to_pairs(removed) };
+            if delta.is_empty() {
+                (delta, CacheOp::Keep)
+            } else {
+                (delta, CacheOp::Patch)
+            }
+        }
+        // Collapse: some pattern node lost its last match, the view drops
+        // from view(t-1) to ∅ — emit the *entire previous view* as removed,
+        // reconstructed from the current masks by undoing the raw churn.
+        (true, false) => {
+            let mut previous = raw_current_pairs();
+            previous.sort_unstable();
+            previous.retain(|pair| inserted.binary_search(pair).is_err());
+            previous.extend(removed);
+            previous.sort_unstable();
+            let delta = MatchDelta { inserted: Vec::new(), removed: to_pairs(previous) };
+            (delta, CacheOp::Install(MatchRelation::empty(pattern_nodes)))
+        }
+        // Resurrection: every pattern node (re)gained a match, the view
+        // jumps from ∅ to the full current relation — emit it whole and
+        // install it as the warm cache (it was just materialised anyway).
+        (false, true) => {
+            let view = rebuild();
+            let mut pairs: Vec<(PatternNodeId, NodeId)> = view.pairs().collect();
+            pairs.sort_unstable();
+            let delta = MatchDelta { inserted: pairs, removed: Vec::new() };
+            (delta, CacheOp::Install(view))
+        }
+    }
+}
+
+/// Sorted raw `(pattern_bit, data_index)` pairs at the mask level.
+type RawPairs = Vec<(u32, u32)>;
+
+/// Two-pointer removal of the pairs present in both sorted lists — a pair
+/// demoted and re-promoted within one batch has no net view effect.
+fn cancel_opposites(inserted: RawPairs, removed: RawPairs) -> (RawPairs, RawPairs) {
+    if inserted.is_empty() || removed.is_empty() {
+        return (inserted, removed);
+    }
+    let mut kept_inserted = Vec::with_capacity(inserted.len());
+    let mut kept_removed = Vec::with_capacity(removed.len());
+    let (mut i, mut j) = (0, 0);
+    while i < inserted.len() && j < removed.len() {
+        match inserted[i].cmp(&removed[j]) {
+            std::cmp::Ordering::Less => {
+                kept_inserted.push(inserted[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                kept_removed.push(removed[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    kept_inserted.extend_from_slice(&inserted[i..]);
+    kept_removed.extend_from_slice(&removed[j..]);
+    (kept_inserted, kept_removed)
+}
+
+fn to_pairs(raw: Vec<(u32, u32)>) -> Vec<(PatternNodeId, NodeId)> {
+    raw.into_iter().map(|(u, v)| (PatternNodeId(u), NodeId(v))).collect()
 }
 
 /// How far the batch pipeline progressed — consulted by the panic

@@ -86,8 +86,8 @@
 //! [`SimulationIndex::build_with_shards`]).
 
 use crate::incremental::{
-    panic_message, strip_out_of_range, unwrap_apply, BuildError, IncrementalEngine, LenientApply,
-    PipelineStage,
+    finalize_delta, panic_message, strip_out_of_range, unwrap_apply, ApplyOutcome, BuildError,
+    CacheOp, DeltaTracker, IncrementalEngine, LenientApply, PipelineStage,
 };
 use crate::simulation::{candidates_with_shards, simulation_result_graph};
 use crate::stats::AffStats;
@@ -96,8 +96,8 @@ use igpm_graph::hash::FastHashMap;
 use igpm_graph::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use igpm_graph::update::{net_effective_updates, reduce_batch, validate_batch, StagePanic};
 use igpm_graph::{
-    ApplyError, BatchUpdate, DataGraph, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
-    StronglyConnectedComponents, Update,
+    ApplyError, BatchUpdate, DataGraph, MatchDelta, MatchRelation, NodeId, Pattern, PatternNodeId,
+    ResultGraph, StronglyConnectedComponents, Update,
 };
 use std::cell::{Ref, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -146,8 +146,15 @@ pub struct SimulationIndex {
     /// Statistics of the cold-start refinement drain (identical for every
     /// shard count, see [`SimulationIndex::build_with_shards`]).
     build_stats: AffStats,
-    /// Lazily rebuilt sorted view of the current match, cleared on mutation.
+    /// Lazily rebuilt sorted view of the current match. Kept exact across
+    /// batches by the emitted [`MatchDelta`]s: an empty delta leaves it
+    /// untouched, a non-empty one patches it in place (see
+    /// [`SimulationIndex::finish_apply`]); only a contained panic still
+    /// invalidates it.
     cache: RefCell<Option<MatchRelation>>,
+    /// Per-batch recorder of raw match transitions, armed by every apply
+    /// path and drained into the emitted [`MatchDelta`].
+    tracker: DeltaTracker,
     /// Set by the panic containment when a mid-batch panic may have torn the
     /// auxiliary state. A poisoned index refuses reads and writes until
     /// [`SimulationIndex::recover`] rebuilds it from the graph.
@@ -262,6 +269,7 @@ impl SimulationIndex {
             has_cycle,
             build_stats: AffStats::default(),
             cache: RefCell::new(None),
+            tracker: DeltaTracker::default(),
             poisoned: false,
         };
 
@@ -370,12 +378,11 @@ impl SimulationIndex {
 
     /// Fallible [`SimulationIndex::matches`]: returns
     /// [`ApplyError::Poisoned`] instead of panicking when a contained
-    /// mid-batch panic left the auxiliary state unusable.
+    /// mid-batch panic left the auxiliary state unusable. Routed through
+    /// [`SimulationIndex::try_matches_view`], so the fallible surface has a
+    /// single poison check.
     pub fn try_matches(&self) -> Result<MatchRelation, ApplyError> {
-        if self.poisoned {
-            return Err(ApplyError::Poisoned);
-        }
-        Ok(self.matches_view().clone())
+        Ok(self.try_matches_view()?.clone())
     }
 
     /// True if a contained mid-batch panic left the auxiliary state
@@ -407,34 +414,40 @@ impl SimulationIndex {
     /// ascending node order.
     ///
     /// # Panics
-    /// Panics if the index is [poisoned](SimulationIndex::poisoned).
+    /// Panics if the index is [poisoned](SimulationIndex::poisoned); use
+    /// [`SimulationIndex::try_matches_view`] for a typed error.
     pub fn matches_view(&self) -> Ref<'_, MatchRelation> {
         assert!(!self.poisoned, "simulation index is poisoned; call recover() before reading");
+        self.try_matches_view().expect("poison checked above")
+    }
+
+    /// Fallible [`SimulationIndex::matches_view`]: returns
+    /// [`ApplyError::Poisoned`] instead of panicking, completing the
+    /// fallible read surface (`try_matches` clones, `try_matches_view`
+    /// borrows).
+    pub fn try_matches_view(&self) -> Result<Ref<'_, MatchRelation>, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
         {
             let mut cache = self.cache.borrow_mut();
             if cache.is_none() {
                 *cache = Some(self.rebuild_relation());
             }
         }
-        Ref::map(self.cache.borrow(), |cache| cache.as_ref().expect("cache filled above"))
+        Ok(Ref::map(self.cache.borrow(), |cache| cache.as_ref().expect("cache filled above")))
+    }
+
+    /// True while the lazily materialised view behind
+    /// [`SimulationIndex::matches_view`] is cached. Batches whose emitted
+    /// [`MatchDelta`] is empty keep a warm cache warm (no re-materialisation);
+    /// non-empty deltas patch it in place — the delta suite pins both.
+    pub fn view_cache_is_warm(&self) -> bool {
+        self.cache.borrow().is_some()
     }
 
     fn rebuild_relation(&self) -> MatchRelation {
-        if self.match_count.contains(&0) {
-            return MatchRelation::empty(self.np);
-        }
-        let mut lists: Vec<Vec<NodeId>> =
-            self.match_count.iter().map(|&c| Vec::with_capacity(c)).collect();
-        // Ascending v ⇒ every per-pattern-node list is already sorted.
-        for v in 0..self.nv {
-            let mut bits = self.masks[v].matched;
-            while bits != 0 {
-                let u = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                lists[u].push(NodeId::from_index(v));
-            }
-        }
-        MatchRelation::from_lists(lists)
+        rebuild_relation_from(&self.masks, &self.match_count, self.np, self.nv)
     }
 
     fn invalidate_cache(&mut self) {
@@ -484,22 +497,24 @@ impl SimulationIndex {
     // ------------------------------------------------------------------
 
     /// `IncMatch-`: deletes the edge `(from, to)` from `graph` and maintains
-    /// the match (optimal, `O(|AFF|)`, Theorem 5.1(2a)).
+    /// the match (optimal, `O(|AFF|)`, Theorem 5.1(2a)). Returns the batch
+    /// statistics plus the emitted [`MatchDelta`].
     ///
     /// # Panics
     /// Panics if the index is [poisoned](SimulationIndex::poisoned).
-    pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+    pub fn delete_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> ApplyOutcome {
         assert!(!self.poisoned, "simulation index is poisoned; call recover() before updating");
         let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        let was_match = self.is_match();
+        self.tracker.arm(false);
         // Grow the per-node arrays first: nodes added since the last index
         // operation must be classified with live masks, not skipped.
         self.ensure_node_capacity(graph);
         // Classified on the pre-update state, as in Table II.
         let relevant = self.is_ss_edge(from, to);
         if !graph.remove_edge(from, to) {
-            return stats;
+            return self.finish_apply(stats, was_match);
         }
-        self.invalidate_cache();
         // The counters must reflect the deletion even when it is not an ss
         // edge (`to` may match pattern nodes that `from` only *candidates*
         // for); Proposition 5.1 only says the match itself cannot change.
@@ -511,37 +526,40 @@ impl SimulationIndex {
         if !worklist.is_empty() {
             self.drain_demotions(graph, &mut worklist, &mut stats);
         }
-        stats
+        self.finish_apply(stats, was_match)
     }
 
     /// `IncMatch+` (general patterns) / `IncMatch+dag` (DAG patterns — the
     /// `propCC` phase simply never fires): inserts the edge `(from, to)` into
-    /// `graph` and maintains the match.
+    /// `graph` and maintains the match. Returns the batch statistics plus
+    /// the emitted [`MatchDelta`]; as an insertion, the delta rides the
+    /// monotone fast path (no removal tracking).
     ///
     /// # Panics
     /// Panics if the index is [poisoned](SimulationIndex::poisoned).
-    pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> AffStats {
+    pub fn insert_edge(&mut self, graph: &mut DataGraph, from: NodeId, to: NodeId) -> ApplyOutcome {
         assert!(!self.poisoned, "simulation index is poisoned; call recover() before updating");
         let mut stats = AffStats { delta_g: 1, ..AffStats::default() };
+        let was_match = self.is_match();
+        self.tracker.arm(true);
         // Grow the per-node arrays first: the first edge out of a node added
         // after the last index operation must see that node as a candidate.
         self.ensure_node_capacity(graph);
         let relevant = self.is_cs_or_cc_edge(from, to);
         if !graph.add_edge(from, to) {
-            return stats;
+            return self.finish_apply(stats, was_match);
         }
-        self.invalidate_cache();
         let mut worklist: Vec<(u32, u32)> = Vec::new();
         self.counters_on_inserted_edge(from, to, &mut worklist, &mut stats);
         if !relevant {
             // Proposition 5.2: only cs/cc insertions can add matches. The
             // counters above still had to absorb the new edge.
-            return stats;
+            return self.finish_apply(stats, was_match);
         }
         stats.reduced_delta_g = 1;
         let run_cc = self.has_cycle && self.inserted_touches_scc(&[(from, to)]);
         self.propagate_insertions(graph, worklist, run_cc, &mut stats);
-        stats
+        self.finish_apply(stats, was_match)
     }
 
     // ------------------------------------------------------------------
@@ -564,21 +582,22 @@ impl SimulationIndex {
     /// re-raising a contained mid-batch panic — after a rollback/poison (see
     /// the [module docs](crate::incremental)). Use
     /// [`SimulationIndex::try_apply_batch`] for typed errors.
-    pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> AffStats {
+    pub fn apply_batch(&mut self, graph: &mut DataGraph, batch: &BatchUpdate) -> ApplyOutcome {
         self.apply_batch_with_shards(graph, batch, configured_shards())
     }
 
     /// [`SimulationIndex::apply_batch`] with an explicit shard count
     /// (`IGPM_SHARDS` and machine parallelism are ignored). `shards = 1` is
     /// the sequential engine; any other count produces the same match sets,
-    /// counters and [`AffStats`].
+    /// counters, [`AffStats`] and emitted [`MatchDelta`].
     pub fn apply_batch_with_shards(
         &mut self,
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> AffStats {
-        unwrap_apply(self.apply_batch_lenient_with_shards(graph, batch, shards)).stats
+    ) -> ApplyOutcome {
+        let lenient = unwrap_apply(self.apply_batch_lenient_with_shards(graph, batch, shards));
+        ApplyOutcome { stats: lenient.stats, delta: lenient.delta }
     }
 
     /// The canonical fallible batch application: validates `batch` against
@@ -594,7 +613,7 @@ impl SimulationIndex {
         &mut self,
         graph: &mut DataGraph,
         batch: &BatchUpdate,
-    ) -> Result<AffStats, ApplyError> {
+    ) -> Result<ApplyOutcome, ApplyError> {
         self.try_apply_batch_with_shards(graph, batch, configured_shards())
     }
 
@@ -604,7 +623,7 @@ impl SimulationIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<AffStats, ApplyError> {
+    ) -> Result<ApplyOutcome, ApplyError> {
         if self.poisoned {
             return Err(ApplyError::Poisoned);
         }
@@ -639,12 +658,14 @@ impl SimulationIndex {
         if self.poisoned {
             return Err(ApplyError::Poisoned);
         }
+        // Rejections are positioned against the ORIGINAL batch; the strip
+        // below changes the layout the engine sees but not the report.
         let rejections = validate_batch(graph, batch);
-        let stats = match strip_out_of_range(batch, &rejections) {
+        let outcome = match strip_out_of_range(batch, &rejections) {
             Some(stripped) => self.apply_batch_contained(graph, &stripped, shards)?,
             None => self.apply_batch_contained(graph, batch, shards)?,
         };
-        Ok(LenientApply { stats, rejected: rejections })
+        Ok(LenientApply { stats: outcome.stats, delta: outcome.delta, rejected: rejections })
     }
 
     /// Runs the batch pipeline under `catch_unwind`, tracking how far it got
@@ -658,14 +679,14 @@ impl SimulationIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<AffStats, ApplyError> {
+    ) -> Result<ApplyOutcome, ApplyError> {
         let mut stage = PipelineStage::Prepare;
         let mut applied: Vec<Update> = Vec::new();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             self.apply_batch_stages(graph, batch, shards, &mut stage, &mut applied)
         }));
         match outcome {
-            Ok(stats) => Ok(stats),
+            Ok(outcome) => Ok(outcome),
             Err(payload) => {
                 let message = panic_message(payload.as_ref());
                 Err(ApplyError::StagePanicked(
@@ -689,8 +710,15 @@ impl SimulationIndex {
         shards: usize,
         stage: &mut PipelineStage,
         applied: &mut Vec<Update>,
-    ) -> AffStats {
+    ) -> ApplyOutcome {
         let mut stats = AffStats { delta_g: batch.len(), ..AffStats::default() };
+        // Delta tracking starts before any match-bit mutation — including the
+        // childless-pattern matches `ensure_node_capacity` grants brand-new
+        // nodes. Insert-only batches take the monotone fast path: simulation
+        // is monotone in the edge set, so insertions can only promote and the
+        // removal side of the tracker provably stays empty (CALM).
+        let was_match = self.is_match();
+        self.tracker.arm(batch.iter().all(Update::is_insert));
         // Grow the per-node arrays first (batches carry edge updates only, so
         // any node growth happened before this call): classification below
         // must see nodes added since the last index operation as candidates.
@@ -711,7 +739,7 @@ impl SimulationIndex {
         let reduction = self.min_delta_sharded(graph, batch, plan);
         stats.reduced_delta_g = reduction.relevant;
         if reduction.effective.is_empty() {
-            return stats;
+            return self.finish_apply(stats, was_match);
         }
 
         // Apply the whole (net) batch to the graph before any matching work
@@ -722,7 +750,6 @@ impl SimulationIndex {
         applied.extend_from_slice(&reduction.effective);
         fail::fire(fail::SIM_MUTATE);
         graph.apply_reduced_batch_sharded(&reduction.effective, plan);
-        self.invalidate_cache();
 
         // Phase 1 — absorption: absorb every effective edge change into the
         // counters, sharded by each update's *source* node (the only node
@@ -747,7 +774,36 @@ impl SimulationIndex {
             fail::fire(fail::SIM_PROMOTE);
             self.propagate_insertions_sharded(graph, promotion_seeds, run_cc, plan, &mut stats);
         }
-        stats
+        self.finish_apply(stats, was_match)
+    }
+
+    /// Finalises a batch: converts the tracker's raw match-bit flips into the
+    /// observable [`MatchDelta`] (collapsing to/from the empty view when
+    /// totality flips, see [`finalize_delta`]) and maintains the cached view
+    /// incrementally — kept untouched on an empty delta, patched in place
+    /// from the delta otherwise — instead of the old unconditional
+    /// invalidation.
+    fn finish_apply(&mut self, stats: AffStats, was_match: bool) -> ApplyOutcome {
+        let now_match = self.is_match();
+        let (masks, match_count, np, nv) = (&self.masks, &self.match_count, self.np, self.nv);
+        let (delta, cache_op): (MatchDelta, CacheOp) = finalize_delta(
+            &mut self.tracker,
+            was_match,
+            now_match,
+            np,
+            || raw_mask_pairs(masks, nv),
+            || rebuild_relation_from(masks, match_count, np, nv),
+        );
+        match cache_op {
+            CacheOp::Keep => {}
+            CacheOp::Patch => {
+                if let Some(cache) = self.cache.get_mut().as_mut() {
+                    delta.apply_to(cache);
+                }
+            }
+            CacheOp::Install(view) => *self.cache.get_mut() = Some(view),
+        }
+        ApplyOutcome { stats, delta }
     }
 
     /// Converts a mid-batch unwind into the transactional contract. The
@@ -768,6 +824,7 @@ impl SimulationIndex {
     ) -> StagePanic {
         graph.rollback_updates(applied);
         self.invalidate_cache();
+        self.tracker.reset();
         let poisoned = !matches!(stage, PipelineStage::Reduce | PipelineStage::Mutate);
         self.poisoned = poisoned;
         StagePanic { stage: stage.label(), message, rolled_back: true, poisoned }
@@ -974,6 +1031,7 @@ impl SimulationIndex {
             self.masks[v].matched &= !bit;
             self.masks[v].candt |= bit;
             self.match_count[u] -= 1;
+            self.tracker.record_removed(u, v as u32);
             stats.matches_removed += 1;
             stats.aux_changes += 1;
             let pmask = self.parent_mask(u);
@@ -1041,6 +1099,7 @@ impl SimulationIndex {
         self.masks[v].candt &= !bit;
         self.masks[v].matched |= bit;
         self.match_count[u] += 1;
+        self.tracker.record_inserted(u, v as u32);
         stats.matches_added += 1;
         stats.aux_changes += 1;
         let pmask = self.parent_mask(u);
@@ -1304,7 +1363,7 @@ impl SimulationIndex {
         }
         drive_rounds(&mut states, RoundKind::Demote, graph, np, parent_masks, child_mask, plan);
         for st in states {
-            merge_shard(st, &mut self.match_count, stats);
+            merge_shard(st, &mut self.match_count, stats, &mut self.tracker);
         }
     }
 
@@ -1327,7 +1386,7 @@ impl SimulationIndex {
         drive_rounds(&mut states, RoundKind::Promote, graph, np, parent_masks, child_mask, plan);
         let mut promoted = false;
         for st in states {
-            promoted |= merge_shard(st, &mut self.match_count, stats);
+            promoted |= merge_shard(st, &mut self.match_count, stats, &mut self.tracker);
         }
         promoted
     }
@@ -1380,7 +1439,6 @@ impl SimulationIndex {
         if new_nv <= self.nv {
             return;
         }
-        self.invalidate_cache();
         self.masks.resize(new_nv, NodeMasks::default());
         self.cnt.resize(new_nv * self.np, 0);
         for v in self.nv..new_nv {
@@ -1390,8 +1448,12 @@ impl SimulationIndex {
                     continue;
                 }
                 if self.child_mask[u.index()] == 0 {
+                    // A childless-pattern match is a view-level insertion the
+                    // tracker must see (it is vacuously supported, so no later
+                    // stage of this batch can demote it again).
                     self.masks[v].matched |= 1 << u.index();
                     self.match_count[u.index()] += 1;
+                    self.tracker.record_inserted(u.index(), v as u32);
                 } else {
                     self.masks[v].candt |= 1 << u.index();
                 }
@@ -1926,6 +1988,11 @@ struct ShardState<'a> {
     outboxes: Vec<Vec<CounterMsg>>,
     /// Signed per-pattern-node match-count changes, merged at phase end.
     match_delta: Vec<i64>,
+    /// Match pairs this shard promoted, replayed into the [`DeltaTracker`]
+    /// at phase end (the tracker sorts, so per-shard order is irrelevant).
+    delta_inserted: Vec<(u32, u32)>,
+    /// Match pairs this shard demoted, replayed like `delta_inserted`.
+    delta_removed: Vec<(u32, u32)>,
     /// Stats accumulated by this shard, merged at phase end.
     stats: AffStats,
     /// True if this shard promoted at least one pair during the phase.
@@ -1956,6 +2023,8 @@ fn shard_states<'a>(
             inbox: Vec::new(),
             outboxes: vec![Vec::new(); plan.count],
             match_delta: vec![0; np],
+            delta_inserted: Vec::new(),
+            delta_removed: Vec::new(),
             stats: AffStats::default(),
             promoted: false,
         });
@@ -1963,11 +2032,24 @@ fn shard_states<'a>(
     states
 }
 
-/// Folds one shard's accumulated deltas back into the global state. Returns
-/// whether the shard promoted anything.
-fn merge_shard(st: ShardState<'_>, match_count: &mut [usize], stats: &mut AffStats) -> bool {
+/// Folds one shard's accumulated deltas back into the global state,
+/// replaying its match flips into the batch's [`DeltaTracker`] (no-ops when
+/// the tracker is off, e.g. during a cold-start build). Returns whether the
+/// shard promoted anything.
+fn merge_shard(
+    st: ShardState<'_>,
+    match_count: &mut [usize],
+    stats: &mut AffStats,
+    tracker: &mut DeltaTracker,
+) -> bool {
     for (u, &delta) in st.match_delta.iter().enumerate() {
         match_count[u] = (match_count[u] as i64 + delta) as usize;
+    }
+    for (u, v) in st.delta_inserted {
+        tracker.record_inserted(u as usize, v);
+    }
+    for (u, v) in st.delta_removed {
+        tracker.record_removed(u as usize, v);
     }
     stats.merge(st.stats);
     st.promoted
@@ -2038,6 +2120,7 @@ fn drain_round(
                 st.masks[local].matched &= !bit;
                 st.masks[local].candt |= bit;
                 st.match_delta[u] -= 1;
+                st.delta_removed.push((u as u32, v as u32));
                 st.stats.matches_removed += 1;
             }
             RoundKind::Promote => {
@@ -2047,6 +2130,7 @@ fn drain_round(
                 st.masks[local].candt &= !bit;
                 st.masks[local].matched |= bit;
                 st.match_delta[u] += 1;
+                st.delta_inserted.push((u as u32, v as u32));
                 st.stats.matches_added += 1;
                 st.promoted = true;
             }
@@ -2056,6 +2140,49 @@ fn drain_round(
             st.outboxes[plan.owner(p.index())].push((p.0, u as u32));
         }
     }
+}
+
+/// Materialises the observable view from the membership masks: the empty
+/// relation when any pattern node is unmatched (`P ⋬ G`), otherwise one
+/// sorted list per pattern node. A free function over the individual fields
+/// so [`SimulationIndex::finish_apply`] can call it while the delta tracker
+/// is mutably borrowed.
+fn rebuild_relation_from(
+    masks: &[NodeMasks],
+    match_count: &[usize],
+    np: usize,
+    nv: usize,
+) -> MatchRelation {
+    if match_count.contains(&0) {
+        return MatchRelation::empty(np);
+    }
+    let mut lists: Vec<Vec<NodeId>> = match_count.iter().map(|&c| Vec::with_capacity(c)).collect();
+    // Ascending v ⇒ every per-pattern-node list is already sorted.
+    for (v, m) in masks.iter().take(nv).enumerate() {
+        let mut bits = m.matched;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            lists[u].push(NodeId::from_index(v));
+        }
+    }
+    MatchRelation::from_lists(lists)
+}
+
+/// Enumerates the raw mask-level match pairs `(u, v)` regardless of totality
+/// — the collapse case of [`finalize_delta`] reconstructs the pre-batch view
+/// from these by undoing the batch's recorded churn.
+fn raw_mask_pairs(masks: &[NodeMasks], nv: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for (v, m) in masks.iter().take(nv).enumerate() {
+        let mut bits = m.matched;
+        while bits != 0 {
+            let u = bits.trailing_zeros();
+            bits &= bits - 1;
+            pairs.push((u, v as u32));
+        }
+    }
+    pairs
 }
 
 /// One counter read per pattern child of `u` over a single node's counter row.
@@ -2138,7 +2265,7 @@ impl IncrementalEngine for SimulationIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<AffStats, ApplyError> {
+    ) -> Result<ApplyOutcome, ApplyError> {
         SimulationIndex::try_apply_batch_with_shards(self, graph, batch, shards)
     }
 
@@ -2236,8 +2363,8 @@ mod tests {
         // Deleting the ss edge (Pat, Bill) invalidates Pat as a DB match
         // (Example 5.2 / 5.3).
         let stats = index.delete_edge(&mut ff.graph, ff.pat, ff.bill);
-        assert_eq!(stats.matches_removed, 1);
-        assert!(stats.counter_updates >= 1, "deletions maintain the support counters");
+        assert_eq!(stats.stats.matches_removed, 1);
+        assert!(stats.stats.counter_updates >= 1, "deletions maintain the support counters");
         assert!(!index.match_set(PatternNodeId(1)).contains(&ff.pat));
         assert!(index.candidate_set(PatternNodeId(1)).contains(&ff.pat));
         assert!(!index.contains(PatternNodeId(1), ff.pat));
@@ -2255,7 +2382,7 @@ mod tests {
         // Inserting the cs edge (Pat, Mat) makes Pat a DB match again
         // (Example 5.4).
         let stats = index.insert_edge(&mut ff.graph, ff.pat, ff.mat);
-        assert!(stats.matches_added >= 1);
+        assert!(stats.stats.matches_added >= 1);
         assert!(index.match_set(PatternNodeId(1)).contains(&ff.pat));
         assert_consistent(&index, &p, &ff.graph, "after inserting (Pat, Mat)");
     }
@@ -2275,7 +2402,7 @@ mod tests {
         batch.insert(ff.don, ff.tom);
         batch.insert(ff.pat, ff.don);
         let stats = index.apply_batch(&mut ff.graph, &batch);
-        assert!(stats.matches_added >= 1);
+        assert!(stats.stats.matches_added >= 1);
         assert!(index.match_set(PatternNodeId(0)).contains(&ff.don));
         assert_consistent(&index, &p, &ff.graph, "after the Don insertions");
     }
@@ -2291,9 +2418,9 @@ mod tests {
         batch.delete(ff.ross, ff.tom);
         batch.insert(ff.tom, ff.ross);
         let stats = index.apply_batch(&mut ff.graph, &batch);
-        assert_eq!(stats.delta_g, 2);
-        assert_eq!(stats.reduced_delta_g, 0, "minDelta removes both updates");
-        assert_eq!(stats.delta_m(), 0);
+        assert_eq!(stats.stats.delta_g, 2);
+        assert_eq!(stats.stats.reduced_delta_g, 0, "minDelta removes both updates");
+        assert_eq!(stats.stats.delta_m(), 0);
         assert_consistent(&index, &p, &ff.graph, "after irrelevant updates");
     }
 
@@ -2307,7 +2434,7 @@ mod tests {
         batch.delete(ff.pat, ff.bill);
         batch.insert(ff.pat, ff.bill); // cancels the deletion
         let stats = index.apply_batch(&mut ff.graph, &batch);
-        assert_eq!(stats.reduced_delta_g, 0);
+        assert_eq!(stats.stats.reduced_delta_g, 0);
         assert_eq!(index.matches(), before);
         assert_consistent(&index, &p, &ff.graph, "after cancelling updates");
     }
@@ -2334,12 +2461,12 @@ mod tests {
 
         let stats = index.insert_edge(&mut g, nodes[n - 1], nodes[n]);
         assert!(!index.is_match(), "one bridge is not enough");
-        assert_eq!(stats.matches_added, 0);
+        assert_eq!(stats.stats.matches_added, 0);
         assert_consistent(&index, &p, &g, "after first bridge");
 
         let stats = index.insert_edge(&mut g, nodes[2 * n - 1], nodes[0]);
         assert!(index.is_match(), "closing the cycle matches every node");
-        assert_eq!(stats.matches_added, 4 * n, "both pattern nodes match all 2n nodes");
+        assert_eq!(stats.stats.matches_added, 4 * n, "both pattern nodes match all 2n nodes");
         assert_consistent(&index, &p, &g, "after closing the cycle");
     }
 
@@ -2523,7 +2650,7 @@ mod tests {
 
         let a = g.add_labeled_node("A");
         let stats = index.insert_edge(&mut g, a, b);
-        assert_eq!(stats.reduced_delta_g, 1, "first edge of a new node is a cs edge");
+        assert_eq!(stats.stats.reduced_delta_g, 1, "first edge of a new node is a cs edge");
         assert!(index.contains(ua, a), "new node promoted through its first edge");
         assert_consistent(&index, &p, &g, "after first edge of post-build node");
     }
@@ -2586,7 +2713,7 @@ mod tests {
         assert!(!index.is_match());
         let stats = index.insert_edge(&mut g, x, z);
         assert!(index.is_match(), "cs insertion outside the SCC must trigger propCC");
-        assert_eq!(stats.matches_added, 2, "x and y promoted jointly");
+        assert_eq!(stats.stats.matches_added, 2, "x and y promoted jointly");
         assert_consistent(&index, &p, &g, "unit path after (x, z)");
 
         // Batch path (same trigger, sharded drains).
@@ -2611,7 +2738,7 @@ mod tests {
             b
         };
         let stats = index.apply_batch(&mut ff.graph, &batch);
-        assert!(stats.counter_updates > 0);
+        assert!(stats.stats.counter_updates > 0);
         assert!(stats.to_string().contains("counters="));
         assert_consistent(&index, &p, &ff.graph, "after counter-reporting batch");
     }
@@ -2657,17 +2784,17 @@ mod tests {
 
         // Duplicate insert: (Ann, Pat) already exists.
         let stats = index.insert_edge(&mut ff.graph, ff.ann, ff.pat);
-        assert_eq!(stats.reduced_delta_g, 0, "a present edge is never relevant");
-        assert_eq!(stats.delta_m(), 0);
-        assert_eq!(stats.aux_changes, 0);
-        assert_eq!(stats.counter_updates, 0);
+        assert_eq!(stats.stats.reduced_delta_g, 0, "a present edge is never relevant");
+        assert_eq!(stats.stats.delta_m(), 0);
+        assert_eq!(stats.stats.aux_changes, 0);
+        assert_eq!(stats.stats.counter_updates, 0);
 
         // Absent delete: (Don, Tom) does not exist.
         let stats = index.delete_edge(&mut ff.graph, ff.don, ff.tom);
-        assert_eq!(stats.reduced_delta_g, 0);
-        assert_eq!(stats.delta_m(), 0);
-        assert_eq!(stats.aux_changes, 0);
-        assert_eq!(stats.counter_updates, 0);
+        assert_eq!(stats.stats.reduced_delta_g, 0);
+        assert_eq!(stats.stats.delta_m(), 0);
+        assert_eq!(stats.stats.aux_changes, 0);
+        assert_eq!(stats.stats.counter_updates, 0);
 
         assert_eq!(index.aux_snapshot(), aux, "masks/counters untouched by no-ops");
         assert_eq!(index.matches(), matches, "match relation untouched by no-ops");
@@ -2756,9 +2883,9 @@ mod tests {
         assert_eq!(lenient.matches(), control.matches());
         // The stats agree on everything except the raw |ΔG| (the lenient
         // batch still counts its redundant — but in-range — updates).
-        assert_eq!(report.stats.reduced_delta_g, control_stats.reduced_delta_g);
-        assert_eq!(report.stats.matches_added, control_stats.matches_added);
-        assert_eq!(report.stats.matches_removed, control_stats.matches_removed);
+        assert_eq!(report.stats.reduced_delta_g, control_stats.stats.reduced_delta_g);
+        assert_eq!(report.stats.matches_added, control_stats.stats.matches_added);
+        assert_eq!(report.stats.matches_removed, control_stats.stats.matches_removed);
         assert_consistent(&lenient, &p, &lenient_graph, "after lenient apply");
     }
 

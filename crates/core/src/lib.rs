@@ -48,12 +48,13 @@ pub use bounded::{
     build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
     match_bounded_with_two_hop,
 };
-pub use durable::{DurableError, DurableIndex, DurableOptions};
+pub use durable::{DeltaEvent, DurableError, DurableIndex, DurableOptions, Subscription};
 pub use igpm_graph::shard::configured_shards;
 pub use igpm_graph::update::{ApplyError, RejectReason, StagePanic, UpdateRejection};
+pub use igpm_graph::MatchDelta;
 pub use incremental::bsim::{BoundedIndex, BsimAuxSnapshot};
 pub use incremental::sim::{SimAuxSnapshot, SimulationIndex};
-pub use incremental::{BuildError, IncrementalEngine, LenientApply};
+pub use incremental::{ApplyOutcome, BuildError, IncrementalEngine, LenientApply};
 pub use simulation::{
     candidates, candidates_with_index, candidates_with_index_sharded, candidates_with_shards,
     match_simulation, simulation_result_graph,

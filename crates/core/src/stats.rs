@@ -37,6 +37,17 @@ pub struct AffStats {
 
 impl AffStats {
     /// `|ΔM|`: total change to the match result.
+    ///
+    /// This counts **raw** match-bit transitions inside one batch — a pair
+    /// demoted and re-promoted by the same batch counts twice here, and
+    /// transitions below the totality threshold (while `P ⋬ G`) count even
+    /// though the observable view stays empty. The *view-level* change is the
+    /// structured [`MatchDelta`](igpm_graph::MatchDelta) carried by
+    /// [`ApplyOutcome`](crate::incremental::ApplyOutcome), which cancels
+    /// within-batch flip-flops and collapses to/from the empty view when
+    /// totality changes — so its [`len`](igpm_graph::MatchDelta::len) can be
+    /// smaller (cancellation) or larger (a collapse emits the whole previous
+    /// view) than `delta_m()`.
     pub fn delta_m(&self) -> usize {
         self.matches_added + self.matches_removed
     }

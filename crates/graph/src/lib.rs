@@ -48,7 +48,7 @@ pub use graph::DataGraph;
 pub use hash::{FastHashMap, FastHashSet};
 pub use json::{JsonError, JsonValue};
 pub use label_index::LabelIndex;
-pub use match_relation::MatchRelation;
+pub use match_relation::{MatchDelta, MatchRelation};
 pub use node::NodeId;
 pub use pattern::{EdgeBound, Pattern, PatternEdge, PatternNodeId};
 pub use predicate::{Atom, Predicate};
@@ -69,7 +69,7 @@ pub use wal::{
 pub mod prelude {
     pub use crate::attr::{AttrValue, Attributes, CompareOp};
     pub use crate::graph::DataGraph;
-    pub use crate::match_relation::MatchRelation;
+    pub use crate::match_relation::{MatchDelta, MatchRelation};
     pub use crate::node::NodeId;
     pub use crate::pattern::{EdgeBound, Pattern, PatternNodeId};
     pub use crate::predicate::{Atom, Predicate};

@@ -141,6 +141,73 @@ impl MatchRelation {
     }
 }
 
+/// The per-batch change `ΔM` to a match relation, as explicit
+/// `(pattern node, data node)` pairs.
+///
+/// Both lists are **disjoint**, **deduplicated** and sorted ascending by
+/// `(pattern node, data node)` — the deterministic order every engine emits
+/// regardless of shard count, so two deltas can be compared with `==` and a
+/// stream of deltas is bit-identical across configurations. The delta is
+/// expressed against the *observable* match view (the empty relation when
+/// `P ⋬ G`), not against raw candidate bookkeeping: applying it to the
+/// previous view with [`MatchDelta::apply_to`] yields exactly the next view,
+/// `view(t) = view(t-1) ∖ removed ⊎ inserted`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchDelta {
+    /// Pairs that entered the match view, ascending by `(u, v)`.
+    pub inserted: Vec<(PatternNodeId, NodeId)>,
+    /// Pairs that left the match view, ascending by `(u, v)`.
+    pub removed: Vec<(PatternNodeId, NodeId)>,
+}
+
+impl MatchDelta {
+    /// The empty delta (the result of a batch with no observable effect).
+    pub fn empty() -> Self {
+        MatchDelta::default()
+    }
+
+    /// True if the batch changed nothing in the match view.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.removed.is_empty()
+    }
+
+    /// `|ΔM|` at the view level: inserted plus removed pairs.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.removed.len()
+    }
+
+    /// Patches `view` in place: removes every `removed` pair, inserts every
+    /// `inserted` pair. Applying the delta emitted for batch `t` to the full
+    /// view at `t-1` yields exactly the full view at `t`.
+    pub fn apply_to(&self, view: &mut MatchRelation) {
+        for &(u, v) in &self.removed {
+            view.remove(u, v);
+        }
+        for &(u, v) in &self.inserted {
+            view.add(u, v);
+        }
+    }
+
+    /// The delta that turns `before` into `after` (the reference diff the
+    /// differential suites compare emitted deltas against).
+    pub fn between(before: &MatchRelation, after: &MatchRelation) -> MatchDelta {
+        let mut inserted = after.difference(before);
+        let mut removed = before.difference(after);
+        inserted.sort_unstable();
+        removed.sort_unstable();
+        MatchDelta { inserted, removed }
+    }
+}
+
+impl fmt::Display for MatchDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ΔM: ∅");
+        }
+        write!(f, "ΔM: +{} / -{} pairs", self.inserted.len(), self.removed.len())
+    }
+}
+
 impl fmt::Display for MatchRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_empty() {

@@ -60,7 +60,7 @@ fn main() {
     let mut total = AffStats::default();
     for chunk in updates.chunks(200) {
         let batch: BatchUpdate = chunk.iter().copied().collect();
-        total.merge(index.apply_batch(&mut graph, &batch));
+        total.merge(index.apply_batch(&mut graph, &batch).stats);
     }
     let inc_time = t.elapsed();
     let after = index.matches();

@@ -70,8 +70,14 @@ fn main() {
     let insertions =
         [("e1", don, mat), ("e2", don, pat), ("e3", don, tom), ("e4", pat, don), ("e5", tom, don)];
     for (tag, a, b) in insertions {
-        let stats = index.insert_edge(&mut graph, a, b);
-        println!("\ninsert {tag} = ({}, {}): {stats}", name(a), name(b));
+        let outcome = index.insert_edge(&mut graph, a, b);
+        println!(
+            "\ninsert {tag} = ({}, {}): {} — {}",
+            name(a),
+            name(b),
+            outcome.stats,
+            outcome.delta
+        );
     }
     show(&index, "\nmatch after e1..e5:");
 

@@ -248,7 +248,13 @@ fn reference_run<E: TestEngine>(
 }
 
 fn opts(shards: usize, checkpoint_every: u64) -> DurableOptions {
-    DurableOptions { fsync: FsyncPolicy::Always, checkpoint_every, keep_checkpoints: 2, shards }
+    DurableOptions {
+        fsync: FsyncPolicy::Always,
+        checkpoint_every,
+        keep_checkpoints: 2,
+        shards,
+        delta_buffer: 1024,
+    }
 }
 
 /// Asserts the recovered durable index is bit-identical to the in-memory
@@ -278,14 +284,19 @@ fn assert_bit_identical<E: TestEngine>(
     // engine's aux state is canonical, the semantic fields otherwise (see
     // [`TestEngine::CANONICAL_AUX`]).
     let extra = gen_batch(rng, ref_graph, 4);
-    let durable_stats: AffStats =
+    let durable_outcome =
         durable.apply(&extra).unwrap_or_else(|e| panic!("{context}: extra batch failed: {e}"));
-    let ref_stats = ref_engine
+    let ref_outcome = ref_engine
         .try_apply_batch_with_shards(ref_graph, &extra, shards)
         .unwrap_or_else(|e| panic!("{context}: reference extra batch failed: {e}"));
     if E::CANONICAL_AUX {
-        assert_eq!(durable_stats, ref_stats, "{context}: AffStats diverged on the extra batch");
+        assert_eq!(
+            durable_outcome, ref_outcome,
+            "{context}: ApplyOutcome diverged on the extra batch"
+        );
     }
+    let (durable_stats, ref_stats): (AffStats, AffStats) =
+        (durable_outcome.stats, ref_outcome.stats);
     assert_eq!(durable_stats.delta_g, ref_stats.delta_g, "{context}: delta_g diverged");
     assert_eq!(
         durable_stats.reduced_delta_g, ref_stats.reduced_delta_g,
@@ -295,6 +306,10 @@ fn assert_bit_identical<E: TestEngine>(
         (durable_stats.matches_added, durable_stats.matches_removed),
         (ref_stats.matches_added, ref_stats.matches_removed),
         "{context}: match churn diverged on the extra batch"
+    );
+    assert_eq!(
+        durable_outcome.delta, ref_outcome.delta,
+        "{context}: ΔM diverged on the extra batch"
     );
     assert!(durable.graph().identical_to(ref_graph), "{context}: graphs diverged after extra");
     assert_eq!(durable.engine().aux(), ref_engine.aux(), "{context}: aux diverged after extra");
@@ -804,8 +819,13 @@ fn fsync_policies_produce_identical_durable_state() {
     let mut seqs = Vec::new();
     for policy in [FsyncPolicy::Always, FsyncPolicy::EveryN(4), FsyncPolicy::Never] {
         let scratch = Scratch::new("fsync");
-        let options =
-            DurableOptions { fsync: policy, checkpoint_every: 5, keep_checkpoints: 2, shards };
+        let options = DurableOptions {
+            fsync: policy,
+            checkpoint_every: 5,
+            keep_checkpoints: 2,
+            shards,
+            delta_buffer: 1024,
+        };
         {
             let mut index: DurableIndex<SimulationIndex> =
                 DurableIndex::open(scratch.path().clone(), &pattern, &initial, options.clone())

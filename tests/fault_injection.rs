@@ -159,7 +159,7 @@ trait Engine: Sized {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<igpm::core::AffStats, ApplyError>;
+    ) -> Result<igpm::core::ApplyOutcome, ApplyError>;
     fn recover(&mut self, graph: &DataGraph, shards: usize);
 }
 
@@ -185,7 +185,7 @@ impl Engine for SimulationIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<igpm::core::AffStats, ApplyError> {
+    ) -> Result<igpm::core::ApplyOutcome, ApplyError> {
         self.try_apply_batch_with_shards(graph, batch, shards)
     }
     fn recover(&mut self, graph: &DataGraph, shards: usize) {
@@ -215,7 +215,7 @@ impl Engine for BoundedIndex {
         graph: &mut DataGraph,
         batch: &BatchUpdate,
         shards: usize,
-    ) -> Result<igpm::core::AffStats, ApplyError> {
+    ) -> Result<igpm::core::ApplyOutcome, ApplyError> {
         self.try_apply_batch_with_shards(graph, batch, shards)
     }
     fn recover(&mut self, graph: &DataGraph, shards: usize) {

@@ -101,14 +101,14 @@ fn drive_sim_shards(
         }
         applied += batch.len();
 
-        let mut stats_per_shard: Vec<AffStats> = Vec::new();
+        let mut stats_per_shard: Vec<ApplyOutcome> = Vec::new();
         for (&shards, (graph, index)) in SHARD_COUNTS.iter().zip(replicas.iter_mut()) {
             stats_per_shard.push(index.apply_batch_with_shards(graph, &batch, shards));
         }
         for (i, stats) in stats_per_shard.iter().enumerate().skip(1) {
             assert_eq!(
                 *stats, stats_per_shard[0],
-                "seed {seed}, round {round}: AffStats diverged between shards={} and shards=1",
+                "seed {seed}, round {round}: ApplyOutcome diverged between shards={} and shards=1",
                 SHARD_COUNTS[i]
             );
         }
@@ -350,22 +350,26 @@ fn drive_min_delta_equivalence(
         }
         applied += batch.len();
 
-        let mut raw_results: Vec<AffStats> = Vec::new();
+        let mut raw_results: Vec<ApplyOutcome> = Vec::new();
         for (&shards, pair) in MIN_DELTA_SHARDS.iter().zip(replicas.iter_mut()) {
             // The reduction is computed against the pre-batch graph, exactly
             // as `apply_batch` does internally.
             let (effective, _) = igpm::graph::reduce_batch(&pair[1].0, &batch);
             let reduced: BatchUpdate = effective.into_iter().collect();
 
-            let raw_stats = pair[0].1.apply_batch_with_shards(&mut pair[0].0, &batch, shards);
-            let red_stats = pair[1].1.apply_batch_with_shards(&mut pair[1].0, &reduced, shards);
-            assert_eq!(raw_stats.delta_g, batch.len());
-            assert_eq!(red_stats.delta_g, reduced.len());
+            let raw_outcome = pair[0].1.apply_batch_with_shards(&mut pair[0].0, &batch, shards);
+            let red_outcome = pair[1].1.apply_batch_with_shards(&mut pair[1].0, &reduced, shards);
+            assert_eq!(raw_outcome.stats.delta_g, batch.len());
+            assert_eq!(red_outcome.stats.delta_g, reduced.len());
             let normalize = |stats: AffStats| AffStats { delta_g: 0, ..stats };
             assert_eq!(
-                normalize(raw_stats),
-                normalize(red_stats),
+                normalize(raw_outcome.stats),
+                normalize(red_outcome.stats),
                 "seed {seed}, round {round}, shards={shards}: reduced batch changed AffStats"
+            );
+            assert_eq!(
+                raw_outcome.delta, red_outcome.delta,
+                "seed {seed}, round {round}, shards={shards}: reduced batch changed \u{394}M"
             );
 
             let [(raw_graph, raw_index), (red_graph, red_index)] = pair;
@@ -381,12 +385,12 @@ fn drive_min_delta_equivalence(
                 "seed {seed}, round {round}, shards={shards}: counters/masks diverged"
             );
             assert_eq!(raw_index.matches(), red_index.matches());
-            raw_results.push(raw_stats);
+            raw_results.push(raw_outcome);
         }
         for (i, stats) in raw_results.iter().enumerate().skip(1) {
             assert_eq!(
                 *stats, raw_results[0],
-                "seed {seed}, round {round}: AffStats diverged between shards={} and shards=1",
+                "seed {seed}, round {round}: ApplyOutcome diverged between shards={} and shards=1",
                 MIN_DELTA_SHARDS[i]
             );
             assert!(
@@ -469,14 +473,14 @@ fn bounded_sharded_batches_are_bit_identical() {
                     None => break,
                 }
             }
-            let mut stats_per_shard: Vec<AffStats> = Vec::new();
+            let mut stats_per_shard: Vec<ApplyOutcome> = Vec::new();
             for (&shards, (graph, index)) in SHARD_COUNTS.iter().zip(replicas.iter_mut()) {
                 stats_per_shard.push(index.apply_batch_with_shards(graph, &batch, shards));
             }
             for (i, stats) in stats_per_shard.iter().enumerate().skip(1) {
                 assert_eq!(
                     *stats, stats_per_shard[0],
-                    "seed {seed}, round {round}: bounded AffStats diverged at shards={}",
+                    "seed {seed}, round {round}: bounded ApplyOutcome diverged at shards={}",
                     SHARD_COUNTS[i]
                 );
             }

@@ -209,7 +209,7 @@ fn drive_scc_churn(
         }
         applied += batch.len();
 
-        let mut reference_stats: Option<AffStats> = None;
+        let mut reference_stats: Option<ApplyOutcome> = None;
         for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
             let (graph, index) = &mut replicas[i];
             let stats = index.apply_batch_with_shards(graph, &batch, shards);
@@ -356,13 +356,13 @@ fn cross_scc_promotion_cascade_is_bit_identical_above_threshold() {
 
     let mut batch = BatchUpdate::new();
     batch.insert(downstream[2 * m - 1], downstream[0]);
-    let mut reference_stats: Option<AffStats> = None;
+    let mut reference_stats: Option<ApplyOutcome> = None;
     for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
         let (g, index) = &mut replicas[i];
         let stats = index.apply_batch_with_shards(g, &batch, shards);
         assert!(index.is_match(), "shards={shards}: both cycles must match after the close");
         assert_eq!(
-            stats.matches_added,
+            stats.stats.matches_added,
             4 * m,
             "shards={shards}: every node of both cycles promotes"
         );
@@ -425,7 +425,7 @@ fn bridge_storm_flips_the_whole_match() {
                 batch.delete(bridge_b.0, bridge_b.1);
             }
         }
-        let mut reference_stats: Option<AffStats> = None;
+        let mut reference_stats: Option<ApplyOutcome> = None;
         for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
             let (g, index) = &mut replicas[i];
             let stats = index.apply_batch_with_shards(g, &batch, shards);
@@ -509,7 +509,7 @@ fn bounded_index_promote_sccs_survives_scc_churn() {
             continue;
         }
         applied += batch.len();
-        let mut reference_stats: Option<AffStats> = None;
+        let mut reference_stats: Option<ApplyOutcome> = None;
         for (i, &shards) in SHARD_COUNTS.iter().enumerate() {
             let (graph, index) = &mut replicas[i];
             let stats = index.apply_batch_with_shards(graph, &batch, shards);
