@@ -92,6 +92,14 @@
 //! number is written, and the insert-only monotone fast path is measured
 //! separately (its `removed` side asserted empty).
 //!
+//! The `service` section prices the multi-pattern `MatchService` against N
+//! independent single-pattern indexes fed the same stream, swept over
+//! 1/16/256/1024 registered patterns: shared vs independent updates/s,
+//! snapshot-read p99 and the interner's candidate-set dedup, every service
+//! view asserted equal to its independent counterpart before any number is
+//! written. Ungated — the speedup depends on pattern-pool overlap, which is
+//! workload, not code.
+//!
 //! # Perf-regression gate (`--check-against`)
 //!
 //! `--check-against OLD.json` compares the freshly measured **1-shard-pinned**
@@ -107,7 +115,7 @@ use igpm_bench::legacy::LegacySimulationIndex;
 use igpm_bench::workloads::batch_scaling_workload;
 use igpm_core::{
     candidates_with_shards, match_simulation, AffStats, ApplyOutcome, DurableIndex, DurableOptions,
-    SimulationIndex,
+    MatchService, PatternId, SimulationIndex,
 };
 use igpm_generator::{
     degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
@@ -1141,6 +1149,146 @@ fn delta_sweep(graph: &DataGraph, pattern: &Pattern, seed: u64) -> JsonValue {
     ])
 }
 
+/// Prices the multi-pattern [`MatchService`] against the alternative it
+/// replaces: N independent single-pattern indexes each paying their own
+/// validation, minDelta reduction and graph mutation for every batch. One
+/// fixed graph and update stream, swept over 1/16/256/1024 registered
+/// patterns (drawn from one overlapping pool so the candidate interner has
+/// real sharing to exploit). Per pattern count the sweep reports
+///
+/// * shared-service wall time for the stream (registration excluded, like
+///   the baseline's builds) and effective updates/s;
+/// * the independent-indexes wall time for the same stream — built untimed,
+///   applies timed engine by engine — and the resulting speedup;
+/// * snapshot-read p99 (`matches(pattern_id)` round-robin over the handles);
+/// * interned candidate sets vs total pattern nodes.
+///
+/// Every service view is asserted equal to its independent counterpart
+/// before any number is written. Pinned to 1 shard so the per-update cost
+/// curve is attributable to sharing, not thread scaling. Ungated: the
+/// speedup depends on pattern-pool overlap, which is workload, not code.
+fn service_sweep(seed: u64) -> JsonValue {
+    const PATTERN_COUNTS: [usize; 4] = [1, 16, 256, 1024];
+    const BATCH_COUNT: usize = 8;
+    const PER_BATCH: usize = 200;
+    const READS: usize = 4096;
+
+    let graph = synthetic_graph(&SyntheticConfig::new(4_000, 16_000, 4, seed));
+    let pool: Vec<Pattern> = (0..PATTERN_COUNTS[PATTERN_COUNTS.len() - 1])
+        .map(|i| {
+            let shape = if i % 2 == 0 { PatternShape::General } else { PatternShape::Dag };
+            let nodes = 2 + (i % 3);
+            generate_pattern(
+                &graph,
+                &PatternGenConfig::normal(nodes, nodes + 1, 1, seed + 100 + i as u64)
+                    .with_shape(shape),
+            )
+        })
+        .collect();
+
+    // One sequentially valid stream shared by every configuration: each
+    // batch generated against the graph its predecessors left behind.
+    let mut stream: Vec<BatchUpdate> = Vec::with_capacity(BATCH_COUNT);
+    {
+        let mut g = graph.clone();
+        for i in 0..BATCH_COUNT {
+            let batch = mixed_batch(&g, PER_BATCH / 2, PER_BATCH / 2, seed + 0x300 + i as u64);
+            batch.apply(&mut g);
+            stream.push(batch);
+        }
+    }
+    let stream_updates = BATCH_COUNT * PER_BATCH;
+
+    let mut rows = Vec::new();
+    for &count in &PATTERN_COUNTS {
+        let patterns = &pool[..count];
+
+        // Shared service: register all patterns (untimed), apply the stream.
+        let mut service: MatchService<SimulationIndex> =
+            MatchService::with_shards(graph.clone(), 1);
+        let ids: Vec<PatternId> =
+            patterns.iter().map(|p| service.register(p).expect("register")).collect();
+        let interned = service.interned_candidate_sets();
+        let start = Instant::now();
+        for batch in &stream {
+            service.apply(batch).expect("stream is valid");
+        }
+        let service_ns = start.elapsed().as_nanos();
+
+        // Snapshot reads, round-robin over the registered handles.
+        let mut read_ns: Vec<u128> = Vec::with_capacity(READS);
+        for r in 0..READS {
+            let id = ids[r % ids.len()];
+            let start = Instant::now();
+            let view = service.matches(id).expect("readable");
+            read_ns.push(start.elapsed().as_nanos());
+            std::hint::black_box(view);
+        }
+        read_ns.sort_unstable();
+        let read_p99 = read_ns[(READS * 99) / 100 - 1];
+
+        // Independent baseline: each pattern owns its index *and* its graph,
+        // so it pays validation + reduction + mutation per pattern. Builds
+        // and clones are untimed (the service's registrations were too).
+        let mut baseline_ns = 0u128;
+        for (i, pattern) in patterns.iter().enumerate() {
+            let mut g = graph.clone();
+            let mut index = SimulationIndex::build_with_shards(pattern, &g, 1);
+            let start = Instant::now();
+            for batch in &stream {
+                index.try_apply_batch_with_shards(&mut g, batch, 1).expect("stream is valid");
+            }
+            baseline_ns += start.elapsed().as_nanos();
+            assert_eq!(
+                *service.matches(ids[i]).expect("readable"),
+                index.matches(),
+                "service diverged from independent index {i} at {count} patterns"
+            );
+        }
+
+        let service_tput = updates_per_sec(stream_updates, service_ns);
+        let baseline_tput = updates_per_sec(stream_updates, baseline_ns);
+        let speedup = baseline_ns as f64 / service_ns.max(1) as f64;
+        let total_nodes: usize = patterns.iter().map(Pattern::node_count).sum();
+        println!(
+            "service ({count} patterns): shared {:.3} ms ({:.0}/s), independent {:.3} ms \
+             ({:.0}/s) ⇒ {speedup:.2}x; read p99 {:.1} µs; {interned} candidate sets for \
+             {total_nodes} pattern nodes",
+            service_ns as f64 / 1e6,
+            service_tput,
+            baseline_ns as f64 / 1e6,
+            baseline_tput,
+            read_p99 as f64 / 1e3,
+        );
+        rows.push(obj(vec![
+            ("patterns", JsonValue::Int(count as i64)),
+            ("shared_median_ms", JsonValue::Float(service_ns as f64 / 1e6)),
+            ("shared_updates_per_sec", JsonValue::Float(service_tput)),
+            ("independent_total_ms", JsonValue::Float(baseline_ns as f64 / 1e6)),
+            ("independent_updates_per_sec", JsonValue::Float(baseline_tput)),
+            ("speedup_vs_independent", JsonValue::Float(speedup)),
+            ("read_p99_us", JsonValue::Float(read_p99 as f64 / 1e3)),
+            ("interned_candidate_sets", JsonValue::Int(interned as i64)),
+            ("pattern_nodes", JsonValue::Int(total_nodes as i64)),
+        ]));
+    }
+
+    obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("nodes", JsonValue::Int(4_000)),
+                ("edges", JsonValue::Int(16_000)),
+                ("batches", JsonValue::Int(BATCH_COUNT as i64)),
+                ("updates_per_batch", JsonValue::Int(PER_BATCH as i64)),
+                ("shards", JsonValue::Int(1)),
+                ("seed", JsonValue::Int(seed as i64)),
+            ]),
+        ),
+        ("runs", JsonValue::Array(rows)),
+    ])
+}
+
 /// One gated metric of the perf-regression check: a lower-is-better median
 /// read from `section.key` of both the fresh and the committed report.
 const GATED_METRICS: [(&str, &str, &str); 2] = [
@@ -1359,6 +1507,9 @@ fn main() {
     // --- Delta emission: tracked ΔM vs view diff, monotone fast path -------
     let delta_json = delta_sweep(&graph, &pattern, config.seed + 0xde);
 
+    // --- Multi-pattern service: shared classification vs N independents ----
+    let service_json = service_sweep(config.seed + 0x5e);
+
     let build_scaling = build_scaling_sweep(&scaling_graph, &scaling_pattern, &config);
     let build_scaling_json = obj(vec![
         (
@@ -1420,6 +1571,7 @@ fn main() {
         ("scan_scaling", scan_scaling_json),
         ("durability", durability_json),
         ("delta", delta_json),
+        ("service", service_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);

@@ -28,7 +28,8 @@
 //! The full recovery algorithm, the WAL record format and the fsync
 //! trade-off table live in the "Durability" section of `RECOVERY.md`.
 
-use crate::incremental::{ApplyOutcome, IncrementalEngine};
+use crate::incremental::{ApplyOutcome, BuildError, IncrementalEngine};
+use crate::service::{MatchService, PatternId, ServiceApply, ServiceError};
 use igpm_graph::io::IoError;
 use igpm_graph::shard::configured_shards;
 use igpm_graph::update::validate_batch;
@@ -108,35 +109,38 @@ pub enum DeltaEvent {
     },
 }
 
-/// Interior of the per-index delta ring: the buffered `(seq, ΔM)` tail plus
-/// the high-water mark of everything ever published, which is what makes
-/// recovery's re-publication idempotent (live-published sequence numbers are
-/// skipped; only the tail the crash swallowed is re-emitted).
-#[derive(Debug, Default)]
-struct DeltaRingInner {
-    buf: VecDeque<(u64, Arc<MatchDelta>)>,
+/// Interior of a sequence-stamped publication ring: the buffered
+/// `(seq, payload)` tail plus the high-water mark of everything ever
+/// published, which is what makes recovery's re-publication idempotent
+/// (live-published sequence numbers are skipped; only the tail the crash
+/// swallowed is re-emitted). Generic over the payload so a single-index
+/// ring carries one `ΔM` per batch ([`DurableIndex`]) and a service ring
+/// carries the pattern-keyed bundle ([`DurableMatchService`]).
+#[derive(Debug)]
+struct RingInner<T> {
+    buf: VecDeque<(u64, T)>,
     capacity: usize,
     newest_seq: u64,
 }
 
-/// Shared handle on the delta ring (the index publishes, subscriptions
+/// Shared handle on a publication ring (the index publishes, subscriptions
 /// poll).
-type DeltaRing = Arc<Mutex<DeltaRingInner>>;
+type Ring<T> = Arc<Mutex<RingInner<T>>>;
 
-fn new_ring(capacity: usize) -> DeltaRing {
-    Arc::new(Mutex::new(DeltaRingInner {
+fn new_ring<T>(capacity: usize) -> Ring<T> {
+    Arc::new(Mutex::new(RingInner {
         buf: VecDeque::new(),
         capacity: capacity.max(1),
         newest_seq: 0,
     }))
 }
 
-impl DeltaRingInner {
-    /// Publishes the delta of the batch at `seq`. Idempotent by sequence
+impl<T> RingInner<T> {
+    /// Publishes the payload of the batch at `seq`. Idempotent by sequence
     /// number: a replay re-publishing a live-published batch is a no-op, so
-    /// after a crash the subscribers see exactly the deltas the never-crashed
+    /// after a crash the subscribers see exactly the events the never-crashed
     /// run would have shown them, each exactly once.
-    fn publish(&mut self, seq: u64, delta: MatchDelta) {
+    fn publish(&mut self, seq: u64, payload: T) {
         if seq <= self.newest_seq {
             return;
         }
@@ -144,10 +148,56 @@ impl DeltaRingInner {
             debug_assert_eq!(seq, back + 1, "delta ring published out of order");
         }
         self.newest_seq = seq;
-        self.buf.push_back((seq, Arc::new(delta)));
+        self.buf.push_back((seq, payload));
         while self.buf.len() > self.capacity {
             self.buf.pop_front();
         }
+    }
+}
+
+/// The polling half of a [`Ring`]: a detached cursor that yields each
+/// published payload exactly once, surfacing ring overflow as an explicit
+/// lag. The typed subscriptions ([`Subscription`], [`ServiceSubscription`])
+/// wrap one cursor each and map its items into their event enums.
+#[derive(Debug)]
+struct RingCursor<T> {
+    ring: Ring<T>,
+    next_seq: u64,
+}
+
+/// One cursor step: a published payload, or the lag marker.
+enum RingPoll<T> {
+    Item(u64, T),
+    Lagged { missed: u64, resume_seq: u64 },
+}
+
+impl<T: Clone> RingCursor<T> {
+    /// Returns the next publication, or `None` when caught up.
+    fn poll(&mut self) -> Option<RingPoll<T>> {
+        let ring = self.ring.lock().expect("delta ring lock");
+        if self.next_seq > ring.newest_seq {
+            return None;
+        }
+        let oldest = match ring.buf.front() {
+            Some(&(seq, _)) => seq,
+            // Published batches exist (newest_seq ≥ next_seq) but the buffer
+            // is empty — everything was dropped by overflow.
+            None => {
+                let missed = ring.newest_seq + 1 - self.next_seq;
+                self.next_seq = ring.newest_seq + 1;
+                return Some(RingPoll::Lagged { missed, resume_seq: self.next_seq });
+            }
+        };
+        if self.next_seq < oldest {
+            let missed = oldest - self.next_seq;
+            self.next_seq = oldest;
+            return Some(RingPoll::Lagged { missed, resume_seq: oldest });
+        }
+        // Ring sequences are contiguous, so the target sits at a fixed offset.
+        let (seq, payload) = ring.buf[(self.next_seq - oldest) as usize].clone();
+        debug_assert_eq!(seq, self.next_seq, "delta ring out of order");
+        self.next_seq += 1;
+        Some(RingPoll::Item(seq, payload))
     }
 }
 
@@ -166,42 +216,21 @@ impl DeltaRingInner {
 /// the crash swallowed (publication is idempotent by sequence number).
 #[derive(Debug)]
 pub struct Subscription {
-    ring: DeltaRing,
-    next_seq: u64,
+    cursor: RingCursor<Arc<MatchDelta>>,
 }
 
 impl Subscription {
     /// Returns the next event, or `None` when the subscriber is caught up.
     pub fn poll(&mut self) -> Option<DeltaEvent> {
-        let ring = self.ring.lock().expect("delta ring lock");
-        if self.next_seq > ring.newest_seq {
-            return None;
-        }
-        let oldest = match ring.buf.front() {
-            Some(&(seq, _)) => seq,
-            // Published batches exist (newest_seq ≥ next_seq) but the buffer
-            // is empty — everything was dropped by overflow.
-            None => {
-                let missed = ring.newest_seq + 1 - self.next_seq;
-                self.next_seq = ring.newest_seq + 1;
-                return Some(DeltaEvent::Lagged { missed, resume_seq: self.next_seq });
-            }
-        };
-        if self.next_seq < oldest {
-            let missed = oldest - self.next_seq;
-            self.next_seq = oldest;
-            return Some(DeltaEvent::Lagged { missed, resume_seq: oldest });
-        }
-        // Ring sequences are contiguous, so the target sits at a fixed offset.
-        let (seq, delta) = ring.buf[(self.next_seq - oldest) as usize].clone();
-        debug_assert_eq!(seq, self.next_seq, "delta ring out of order");
-        self.next_seq += 1;
-        Some(DeltaEvent::Delta { seq, delta })
+        Some(match self.cursor.poll()? {
+            RingPoll::Item(seq, delta) => DeltaEvent::Delta { seq, delta },
+            RingPoll::Lagged { missed, resume_seq } => DeltaEvent::Lagged { missed, resume_seq },
+        })
     }
 
     /// The sequence number the next [`DeltaEvent::Delta`] will carry.
     pub fn next_seq(&self) -> u64 {
-        self.next_seq
+        self.cursor.next_seq
     }
 }
 
@@ -236,6 +265,12 @@ pub enum DurableError {
     /// The directory holds durable state (WAL segments) but no checkpoint,
     /// or recovery was attempted on a directory that never held one.
     NoCheckpoint,
+    /// Registering a pattern with a [`DurableMatchService`] failed (the
+    /// pattern itself is unbuildable, see [`BuildError`]).
+    Build(BuildError),
+    /// A [`PatternId`] passed to a [`DurableMatchService`] does not name a
+    /// currently registered pattern.
+    UnknownPattern(PatternId),
 }
 
 impl fmt::Display for DurableError {
@@ -253,6 +288,10 @@ impl fmt::Display for DurableError {
             DurableError::NoCheckpoint => {
                 write!(f, "durable state has no checkpoint (log present without one?)")
             }
+            DurableError::Build(error) => write!(f, "pattern registration failed: {error}"),
+            DurableError::UnknownPattern(id) => {
+                write!(f, "{id} is not registered with this service")
+            }
         }
     }
 }
@@ -263,6 +302,7 @@ impl std::error::Error for DurableError {
             DurableError::Io(error) => Some(error),
             DurableError::Snapshot(error) => Some(error),
             DurableError::Apply(error) | DurableError::Replay { error, .. } => Some(error),
+            DurableError::Build(error) => Some(error),
             _ => None,
         }
     }
@@ -302,7 +342,7 @@ pub struct DurableIndex<E> {
     dirty: bool,
     /// The per-index delta ring [`Subscription`]s tail. Shared (not rebuilt)
     /// across [`DurableIndex::recover`], so subscribers stay attached.
-    deltas: DeltaRing,
+    deltas: Ring<Arc<MatchDelta>>,
 }
 
 /// True iff `dir` contains WAL segment files.
@@ -356,7 +396,7 @@ impl<E: IncrementalEngine> DurableIndex<E> {
         dir: PathBuf,
         pattern: &Pattern,
         opts: DurableOptions,
-        ring: DeltaRing,
+        ring: Ring<Arc<MatchDelta>>,
     ) -> Result<Self, DurableError> {
         sweep_temp_files(&dir)?;
         let load = load_latest_checkpoint(&dir)?.ok_or(DurableError::NoCheckpoint)?;
@@ -385,7 +425,7 @@ impl<E: IncrementalEngine> DurableIndex<E> {
             let outcome = index
                 .try_apply_batch_with_shards(&mut graph, &record.batch, opts.shards)
                 .map_err(|error| DurableError::Replay { seq: record.seq, error })?;
-            ring.lock().expect("delta ring lock").publish(record.seq, outcome.delta);
+            ring.lock().expect("delta ring lock").publish(record.seq, Arc::new(outcome.delta));
             seq = record.seq;
         }
         Ok(DurableIndex {
@@ -432,7 +472,10 @@ impl<E: IncrementalEngine> DurableIndex<E> {
         self.seq = seq;
         match self.index.try_apply_batch_with_shards(&mut self.graph, batch, self.opts.shards) {
             Ok(outcome) => {
-                self.deltas.lock().expect("delta ring lock").publish(seq, outcome.delta.clone());
+                self.deltas
+                    .lock()
+                    .expect("delta ring lock")
+                    .publish(seq, Arc::new(outcome.delta.clone()));
                 if self.opts.checkpoint_every > 0
                     && seq - self.last_checkpoint_seq >= self.opts.checkpoint_every
                 {
@@ -503,7 +546,7 @@ impl<E: IncrementalEngine> DurableIndex<E> {
     /// beyond the ring, or covered only by a checkpoint — surface as one
     /// [`DeltaEvent::Lagged`] before the stream resumes.
     pub fn subscribe_from(&self, seq: u64) -> Subscription {
-        Subscription { ring: self.deltas.clone(), next_seq: seq }
+        Subscription { cursor: RingCursor { ring: self.deltas.clone(), next_seq: seq } }
     }
 
     /// The current data graph.
@@ -548,6 +591,398 @@ impl<E: IncrementalEngine> DurableIndex<E> {
     }
 
     /// The options the index was opened with.
+    pub fn options(&self) -> &DurableOptions {
+        &self.opts
+    }
+}
+
+/// The pattern-keyed bundle a [`DurableMatchService`] publishes per batch:
+/// one `(pattern, ΔM)` entry for every registered pattern whose pipeline
+/// committed the batch (a poisoned pattern's entry is absent for the batches
+/// it missed, and resumes after [`DurableMatchService::recover_pattern`]).
+type ServicePayload = Arc<Vec<(PatternId, Arc<MatchDelta>)>>;
+
+/// One event observed by a [`ServiceSubscription`] — the pattern-keyed
+/// counterpart of [`DeltaEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceDeltaEvent {
+    /// The delta one registered pattern emitted for the batch logged at WAL
+    /// sequence number `seq`. Every committed batch yields one event per
+    /// registered (non-poisoned) pattern, in [`PatternId`] order — empty
+    /// deltas included, so folding a pattern's events over a snapshot
+    /// reproduces every subsequent view exactly.
+    Delta {
+        /// The pattern the delta belongs to.
+        pattern_id: PatternId,
+        /// The WAL sequence number of the batch.
+        seq: u64,
+        /// The emitted `ΔM`, shared with every other subscriber.
+        delta: Arc<MatchDelta>,
+    },
+    /// The subscriber fell behind the bounded ring
+    /// ([`DurableOptions::delta_buffer`]) and the events of `missed`
+    /// *batches* (each carrying up to one delta per pattern) were dropped;
+    /// the stream resumes at `resume_seq`.
+    Lagged {
+        /// How many per-batch event bundles were dropped.
+        missed: u64,
+        /// The sequence number the next [`ServiceDeltaEvent::Delta`] will
+        /// carry.
+        resume_seq: u64,
+    },
+}
+
+/// A tailing consumer of a [`DurableMatchService`]'s pattern-keyed delta
+/// stream, detached from the service (`poll` never borrows it). The
+/// semantics are those of [`Subscription`] lifted to many patterns: sequence
+/// numbers are WAL sequence numbers, events of one batch arrive contiguously
+/// in [`PatternId`] order, lag is explicit, the ring survives recovery, and
+/// replay re-emission is idempotent by sequence number.
+#[derive(Debug)]
+pub struct ServiceSubscription {
+    cursor: RingCursor<ServicePayload>,
+    /// Events of the batch currently being drained (the cursor yields whole
+    /// per-batch bundles; subscribers consume them one pattern at a time).
+    pending: VecDeque<(PatternId, u64, Arc<MatchDelta>)>,
+}
+
+impl ServiceSubscription {
+    /// Returns the next event, or `None` when the subscriber is caught up.
+    pub fn poll(&mut self) -> Option<ServiceDeltaEvent> {
+        loop {
+            if let Some((pattern_id, seq, delta)) = self.pending.pop_front() {
+                return Some(ServiceDeltaEvent::Delta { pattern_id, seq, delta });
+            }
+            match self.cursor.poll()? {
+                RingPoll::Item(seq, payload) => {
+                    for (pattern_id, delta) in payload.iter() {
+                        self.pending.push_back((*pattern_id, seq, Arc::clone(delta)));
+                    }
+                    // An empty bundle (no patterns registered at that batch)
+                    // yields no events; keep draining.
+                }
+                RingPoll::Lagged { missed, resume_seq } => {
+                    return Some(ServiceDeltaEvent::Lagged { missed, resume_seq });
+                }
+            }
+        }
+    }
+
+    /// The WAL sequence number of the next batch fetched from the ring
+    /// (events of an already-fetched batch may still be pending).
+    pub fn next_seq(&self) -> u64 {
+        self.cursor.next_seq
+    }
+}
+
+/// A durably-backed [`MatchService`]: many registered patterns over one
+/// shared graph, one WAL. Batches are **logged once** — the log records
+/// data-graph batches only, never anything per-pattern — and fanned out to
+/// every registered pattern through the service's shared-classification
+/// apply; the per-pattern deltas are published as [`ServiceDeltaEvent`]s
+/// through the same bounded-ring/replay machinery as [`DurableIndex`].
+///
+/// The pattern set itself is *not* durable state: [`DurableMatchService::open`]
+/// takes the patterns to serve and registers them (in order) over the
+/// recovered graph — the WAL-tail replay then brings every pattern to the
+/// exact state the never-crashed run had, publishing the swallowed tail of
+/// pattern-keyed deltas idempotently.
+///
+/// Failure containment is two-level (see `SERVICE.md`): a shared-stage panic
+/// after the WAL append leaves the log ahead of memory and the whole service
+/// refuses work until [`DurableMatchService::recover`]; a panic inside one
+/// pattern's pipeline poisons that pattern only — its delta is simply absent
+/// from the batch's published bundle, every other pattern keeps serving, and
+/// [`DurableMatchService::recover_pattern`] rebuilds it from the current
+/// (fully committed) graph without touching the log.
+pub struct DurableMatchService<E: IncrementalEngine> {
+    dir: PathBuf,
+    opts: DurableOptions,
+    wal: Wal,
+    service: MatchService<E>,
+    seq: u64,
+    last_checkpoint_seq: u64,
+    /// Set when the on-disk log is ahead of the in-memory service (a
+    /// contained shared-stage panic after the batch was logged): every
+    /// mutation and read then errors with [`ApplyError::Poisoned`] until
+    /// [`DurableMatchService::recover`] reconciles from disk.
+    dirty: bool,
+    deltas: Ring<ServicePayload>,
+}
+
+/// Lifts a [`ServiceError`] into the durable error space.
+fn service_to_durable(error: ServiceError) -> DurableError {
+    match error {
+        ServiceError::Apply(error) => DurableError::Apply(error),
+        ServiceError::Build(error) => DurableError::Build(error),
+        ServiceError::UnknownPattern(id) => DurableError::UnknownPattern(id),
+    }
+}
+
+/// The pattern-keyed bundle of one committed batch: every `Ok` outcome's
+/// delta, in [`PatternId`] order (the outcomes map is ordered).
+fn service_payload(apply: &ServiceApply) -> ServicePayload {
+    Arc::new(
+        apply
+            .outcomes
+            .iter()
+            .filter_map(|(id, outcome)| {
+                outcome.as_ref().ok().map(|outcome| (*id, Arc::new(outcome.delta.clone())))
+            })
+            .collect(),
+    )
+}
+
+impl<E: IncrementalEngine> DurableMatchService<E> {
+    /// Opens (creating it on first use) the durable state in `dir` and
+    /// registers `patterns` (in order) over the recovered graph. On first
+    /// use a bootstrap checkpoint of `initial_graph` is written at sequence
+    /// number 0; afterwards `initial_graph` is ignored and the graph comes
+    /// entirely from disk. Returns the service and the [`PatternId`]s of
+    /// `patterns`, position by position.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        patterns: &[Pattern],
+        initial_graph: &DataGraph,
+        opts: DurableOptions,
+    ) -> Result<(Self, Vec<PatternId>), DurableError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        sweep_temp_files(&dir)?;
+        if list_checkpoints(&dir)?.is_empty() {
+            if has_wal_segments(&dir)? {
+                return Err(DurableError::NoCheckpoint);
+            }
+            write_checkpoint(&dir, 0, initial_graph)?;
+        }
+        let ring = new_ring(opts.delta_buffer);
+        Self::open_existing(dir, patterns, opts, ring)
+    }
+
+    /// The recovery path proper: requires a checkpoint. Registers
+    /// `patterns` over the checkpoint graph, then replays the WAL tail
+    /// through the service apply, publishing each batch's pattern-keyed
+    /// bundle at its logged sequence number (idempotent, exactly like
+    /// [`DurableIndex`]).
+    fn open_existing(
+        dir: PathBuf,
+        patterns: &[Pattern],
+        opts: DurableOptions,
+        ring: Ring<ServicePayload>,
+    ) -> Result<(Self, Vec<PatternId>), DurableError> {
+        sweep_temp_files(&dir)?;
+        let load = load_latest_checkpoint(&dir)?.ok_or(DurableError::NoCheckpoint)?;
+        let base_seq = load.checkpoint.seq;
+        let mut service: MatchService<E> =
+            MatchService::with_shards(load.checkpoint.graph, opts.shards);
+        let ids = patterns
+            .iter()
+            .map(|pattern| service.register(pattern).map_err(service_to_durable))
+            .collect::<Result<Vec<PatternId>, DurableError>>()?;
+        let (wal, scan) = Wal::open(&dir, opts.fsync)?;
+        {
+            // Batches at or below the checkpoint are covered by it and will
+            // never be re-emitted: raise the ring's high-water mark so a
+            // subscriber behind the checkpoint observes an explicit lag.
+            let mut ring_guard = ring.lock().expect("delta ring lock");
+            if ring_guard.newest_seq < base_seq {
+                ring_guard.newest_seq = base_seq;
+            }
+        }
+        let mut seq = base_seq;
+        for record in scan.records {
+            if record.seq <= base_seq {
+                continue; // covered by the checkpoint; retained for older ones
+            }
+            if record.seq != seq + 1 {
+                return Err(DurableError::SequenceGap { expected: seq + 1, found: record.seq });
+            }
+            let apply = service.apply(&record.batch).map_err(|error| {
+                let error = match error {
+                    ServiceError::Apply(error) => error,
+                    _ => unreachable!("service apply emitted a non-apply error"),
+                };
+                DurableError::Replay { seq: record.seq, error }
+            })?;
+            ring.lock().expect("delta ring lock").publish(record.seq, service_payload(&apply));
+            seq = record.seq;
+        }
+        let durable = DurableMatchService {
+            dir,
+            opts,
+            wal,
+            service,
+            seq,
+            last_checkpoint_seq: base_seq,
+            dirty: false,
+            deltas: ring,
+        };
+        Ok((durable, ids))
+    }
+
+    /// Durably applies one batch to every registered pattern: validate once
+    /// against the current graph, append to the WAL **once**, then run the
+    /// service's shared-classification apply. The returned [`ServiceApply`]
+    /// carries every pattern's outcome; the `Ok` deltas are published as one
+    /// pattern-keyed bundle at the batch's sequence number.
+    ///
+    /// A per-pattern `Err` outcome (contained pipeline panic) does **not**
+    /// fail the batch: the graph and every other pattern committed it, the
+    /// poisoned pattern's delta is absent from the bundle, and
+    /// [`DurableMatchService::recover_pattern`] restores it. Only a
+    /// shared-stage panic after the append fails the batch as a whole —
+    /// the log is then ahead of memory and the service turns
+    /// [`ApplyError::Poisoned`] until [`DurableMatchService::recover`].
+    ///
+    /// # Panics
+    /// Armed durability failpoints (`wal.*`, `ckpt.*`) panic through this
+    /// method — the in-process crash model, exactly as on [`DurableIndex`].
+    pub fn apply(&mut self, batch: &BatchUpdate) -> Result<ServiceApply, DurableError> {
+        if self.dirty {
+            return Err(DurableError::Apply(ApplyError::Poisoned));
+        }
+        let rejections = validate_batch(self.service.graph(), batch);
+        if !rejections.is_empty() {
+            return Err(DurableError::Apply(ApplyError::InvalidBatch(rejections)));
+        }
+        let seq = self.seq + 1;
+        self.wal.append(seq, batch)?;
+        self.seq = seq;
+        match self.service.apply(batch) {
+            Ok(apply) => {
+                self.deltas.lock().expect("delta ring lock").publish(seq, service_payload(&apply));
+                if self.opts.checkpoint_every > 0
+                    && seq - self.last_checkpoint_seq >= self.opts.checkpoint_every
+                {
+                    self.checkpoint()?;
+                }
+                Ok(apply)
+            }
+            Err(error) => {
+                // The batch is logged but the shared stage aborted (graph
+                // rolled back): the log is ahead of memory. `recover`
+                // replays it — logged means committed.
+                self.dirty = true;
+                let error = match error {
+                    ServiceError::Apply(error) => error,
+                    _ => unreachable!("service apply emitted a non-apply error"),
+                };
+                Err(DurableError::Apply(error))
+            }
+        }
+    }
+
+    /// Takes a checkpoint of the current graph on demand (see
+    /// [`DurableIndex::checkpoint`]). Per-pattern poison does not block
+    /// checkpointing — the graph itself is fully committed; only a pending
+    /// service-level recovery does.
+    pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        if self.dirty {
+            return Err(DurableError::Apply(ApplyError::Poisoned));
+        }
+        if self.seq == self.last_checkpoint_seq {
+            return Ok(self.seq);
+        }
+        write_checkpoint(&self.dir, self.seq, self.service.graph())?;
+        self.wal.rotate(self.seq + 1)?;
+        self.last_checkpoint_seq = self.seq;
+        if let Some(oldest_retained) = prune_checkpoints(&self.dir, self.opts.keep_checkpoints)? {
+            self.wal.prune_segments_below(oldest_retained)?;
+        }
+        Ok(self.seq)
+    }
+
+    /// Reconciles the whole service from disk after a contained shared-stage
+    /// panic: reload the newest checkpoint, re-register every currently
+    /// registered pattern (in id order) and replay the WAL tail. The live
+    /// ring is passed through, so subscriptions survive and replay re-emits
+    /// exactly the unpublished tail. Returns the id remapping (old → new);
+    /// ids are unchanged when no pattern was ever deregistered.
+    pub fn recover(
+        &mut self,
+    ) -> Result<std::collections::BTreeMap<PatternId, PatternId>, DurableError> {
+        let old_ids = self.service.pattern_ids();
+        let patterns = old_ids
+            .iter()
+            .map(|&id| self.service.pattern(id).expect("pattern_ids returned a stale id").clone())
+            .collect::<Vec<Pattern>>();
+        let (fresh, new_ids) = Self::open_existing(
+            self.dir.clone(),
+            &patterns,
+            self.opts.clone(),
+            self.deltas.clone(),
+        )?;
+        *self = fresh;
+        Ok(old_ids.into_iter().zip(new_ids).collect())
+    }
+
+    /// Rebuilds one poisoned pattern from the current graph, leaving the
+    /// log, the other patterns and every subscription untouched — the
+    /// durable lift of [`MatchService::recover`]. The pattern's delta stream
+    /// resumes with the next committed batch (the batches it missed are
+    /// visible as its absence from their bundles).
+    pub fn recover_pattern(&mut self, id: PatternId) -> Result<(), DurableError> {
+        if self.dirty {
+            return Err(DurableError::Apply(ApplyError::Poisoned));
+        }
+        self.service.recover(id).map_err(service_to_durable)
+    }
+
+    /// Subscribes to the pattern-keyed delta stream from the current
+    /// sequence number on. See [`ServiceSubscription`].
+    pub fn subscribe(&self) -> ServiceSubscription {
+        self.subscribe_from(self.seq + 1)
+    }
+
+    /// Subscribes starting at an explicit WAL sequence number — the same
+    /// `subscribe_from` semantics as [`DurableIndex::subscribe_from`]:
+    /// sequences no longer buffered surface as one
+    /// [`ServiceDeltaEvent::Lagged`] before the stream resumes.
+    pub fn subscribe_from(&self, seq: u64) -> ServiceSubscription {
+        ServiceSubscription {
+            cursor: RingCursor { ring: self.deltas.clone(), next_seq: seq },
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The wrapped in-memory service (read-only: matches, pattern ids,
+    /// interning statistics, the graph).
+    pub fn service(&self) -> &MatchService<E> {
+        &self.service
+    }
+
+    /// The current match of one pattern (see [`MatchService::matches`]), or
+    /// [`ApplyError::Poisoned`] while a service-level recovery is pending.
+    pub fn try_matches(&self, id: PatternId) -> Result<Arc<MatchRelation>, DurableError> {
+        if self.dirty {
+            return Err(DurableError::Apply(ApplyError::Poisoned));
+        }
+        self.service.matches(id).map_err(service_to_durable)
+    }
+
+    /// The sequence number of the last durably logged batch.
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    /// The sequence number the newest checkpoint covers.
+    pub fn last_checkpoint_seq(&self) -> u64 {
+        self.last_checkpoint_seq
+    }
+
+    /// True iff the log may be ahead of the in-memory service and
+    /// [`DurableMatchService::recover`] is required. Per-pattern poison is
+    /// reported per pattern ([`MatchService::poisoned`]), not here.
+    pub fn poisoned(&self) -> bool {
+        self.dirty
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The options the service was opened with.
     pub fn options(&self) -> &DurableOptions {
         &self.opts
     }

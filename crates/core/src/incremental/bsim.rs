@@ -38,7 +38,8 @@ use crate::bounded::evaluate_pair_bounds;
 use crate::incremental::sim::MAX_PATTERN_NODES;
 use crate::incremental::{
     finalize_delta, panic_message, strip_out_of_range, unwrap_apply, ApplyOutcome, BuildError,
-    CacheOp, DeltaTracker, IncrementalEngine, LenientApply, PipelineStage,
+    CacheOp, DeltaTracker, IncrementalEngine, LenientApply, PipelineStage, SharedBatch,
+    SharedMutation,
 };
 use crate::simulation::candidates_with_shards;
 use crate::stats::AffStats;
@@ -56,6 +57,7 @@ use igpm_graph::{
 };
 use std::cell::{Ref, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Auxiliary state for incremental bounded simulation over one b-pattern.
 #[derive(Debug, Clone)]
@@ -201,11 +203,29 @@ impl BoundedIndex {
             "pattern arity {} exceeds the {MAX_PATTERN_NODES}-bit membership masks",
             pattern.node_count()
         );
-        let np = pattern.node_count();
-        let nv = graph.node_count();
         // Sharded label-index pass + predicate scans (per node-range slice,
         // merged in node order) — identical lists for every shard count.
         let cand_lists = candidates_with_shards(pattern, graph, shards);
+        Self::build_with_landmarks_from_candidates(pattern, graph, landmarks, cand_lists, shards)
+    }
+
+    /// Core of the build: seeds masks and pair sets from already-computed
+    /// candidate lists, then runs the initial refinement drain. Shared by the
+    /// standalone builds (which compute the lists themselves) and
+    /// [`IncrementalEngine::build_in_service`] (which receives interned lists
+    /// from the service). The lists must be exactly what
+    /// [`candidates_with_shards`] would return for this pattern and graph.
+    fn build_with_landmarks_from_candidates(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        landmarks: LandmarkIndex,
+        cand_lists: Vec<Vec<NodeId>>,
+        shards: usize,
+    ) -> Self {
+        debug_assert!(pattern.node_count() <= MAX_PATTERN_NODES);
+        debug_assert_eq!(cand_lists.len(), pattern.node_count());
+        let np = pattern.node_count();
+        let nv = graph.node_count();
         let scc = StronglyConnectedComponents::of_pattern(pattern);
         let has_cycle = scc.components().any(|c| scc.is_nontrivial(c));
         let edge_count = pattern.edge_count();
@@ -722,6 +742,84 @@ impl BoundedIndex {
         let poisoned = !matches!(stage, PipelineStage::Reduce);
         self.poisoned = poisoned;
         StagePanic { stage: stage.label(), message, rolled_back: true, poisoned }
+    }
+
+    /// The pattern-dependent pipeline of one service batch (see
+    /// [`IncrementalEngine::try_apply_shared`]). The service has already run
+    /// the net-effect reduction, mutated the graph and maintained the shared
+    /// [`LandmarkIndex`] (`IncLM` runs exactly once per batch no matter how
+    /// many patterns are registered); what remains per pattern is the
+    /// affected-pair refresh and the demotion/promotion drains, fed by the
+    /// affected set the shared maintenance collected. The caller has already
+    /// swapped the shared landmark index into `self.landmarks`.
+    fn apply_shared_stages(
+        &mut self,
+        graph: &DataGraph,
+        batch: &SharedBatch<'_>,
+        mutation: &SharedMutation,
+        shards: usize,
+        stage: &mut PipelineStage,
+    ) -> ApplyOutcome {
+        let mut stats = AffStats { delta_g: batch.batch_len, ..AffStats::default() };
+        let was_match = self.is_match();
+        self.tracker.arm(batch.monotone);
+        self.ensure_node_capacity(graph);
+        let plan = ShardPlan::new(graph.node_count(), shards);
+
+        if batch.effective.is_empty() {
+            return self.finish_apply(stats, was_match);
+        }
+        // Mirror the standalone pipeline's accounting: the landmark
+        // maintenance ran once service-wide, so every pattern reports the
+        // same shared reduction/entry counts it would have measured itself.
+        stats.reduced_delta_g = mutation.updates_processed;
+        stats.aux_changes += mutation.affected_entries;
+        if mutation.updates_processed == 0 {
+            return self.finish_apply(stats, was_match);
+        }
+        let affected = mutation
+            .affected
+            .as_ref()
+            .expect("bounded service batches carry the shared affected set");
+
+        *stage = PipelineStage::Refresh;
+        fail::fire(fail::BSIM_REFRESH);
+        let mut demotion_seeds: Vec<(u32, u32)> = Vec::new();
+        let mut promotion_seeds: Vec<(u32, u32)> = Vec::new();
+        self.refresh_pairs(
+            graph,
+            affected,
+            shards,
+            &mut demotion_seeds,
+            &mut promotion_seeds,
+            &mut stats,
+        );
+
+        if !demotion_seeds.is_empty() {
+            *stage = PipelineStage::Demote;
+            fail::fire(fail::BSIM_DEMOTE);
+            self.process_demotions(&mut demotion_seeds, &mut stats);
+        }
+        if !promotion_seeds.is_empty() || self.has_cycle {
+            *stage = PipelineStage::Promote;
+            fail::fire(fail::BSIM_PROMOTE);
+            self.process_promotions(promotion_seeds, &mut stats, plan);
+        }
+        self.finish_apply(stats, was_match)
+    }
+
+    /// Converts a contained panic of the service-mode pipeline into the
+    /// always-poison contract of [`IncrementalEngine::try_apply_shared`]: the
+    /// graph mutation and landmark maintenance are already committed
+    /// service-wide, so the engine is behind the graph even when the panic
+    /// interrupted a stage that had not yet touched the pair sets. Recovery
+    /// rebuilds from the current graph.
+    #[cold]
+    fn contain_shared_panic(&mut self, stage: PipelineStage, message: String) -> StagePanic {
+        self.invalidate_cache();
+        self.tracker.reset();
+        self.poisoned = true;
+        StagePanic { stage: stage.label(), message, rolled_back: false, poisoned: true }
     }
 
     // ------------------------------------------------------------------
@@ -1528,6 +1626,94 @@ impl IncrementalEngine for BoundedIndex {
 
     fn poisoned(&self) -> bool {
         BoundedIndex::poisoned(self)
+    }
+
+    /// The landmark/distance index is graph-wide and pattern-independent, so
+    /// the service maintains exactly one and every registered bounded pattern
+    /// reads it — the sharing that makes multi-pattern `IncLM` cost
+    /// independent of the pattern count.
+    type Shared = LandmarkIndex;
+
+    fn shared_build(graph: &DataGraph, shards: usize) -> Self::Shared {
+        LandmarkIndex::build_with_shards(graph, LandmarkSelection::VertexCover, shards)
+    }
+
+    fn shared_stage() -> &'static str {
+        PipelineStage::Landmark.label()
+    }
+
+    fn shared_mutate(
+        shared: &mut LandmarkIndex,
+        graph: &mut DataGraph,
+        effective: &[Update],
+        shards: usize,
+    ) -> SharedMutation {
+        let _ = shards;
+        fail::fire(fail::BSIM_LANDMARK);
+        let mut affected: FastHashSet<NodeId> = FastHashSet::default();
+        let lm_stats = inc_lm_tracked_reduced(shared, graph, effective, &mut affected);
+        SharedMutation {
+            affected: Some(affected),
+            updates_processed: lm_stats.updates_processed,
+            affected_entries: lm_stats.affected_entries,
+        }
+    }
+
+    fn build_in_service(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        shared: &mut LandmarkIndex,
+        cand_lists: &[Arc<Vec<NodeId>>],
+        shards: usize,
+    ) -> Result<Self, BuildError> {
+        if pattern.node_count() > MAX_PATTERN_NODES {
+            return Err(BuildError::ArityTooLarge { arity: pattern.node_count() });
+        }
+        // The build consumes a `LandmarkIndex` by value; borrow the shared
+        // one by swapping a zero-landmark placeholder in for its duration.
+        // (`Explicit(vec![])` builds no distance vectors — it is free.)
+        let placeholder =
+            LandmarkIndex::build_with_shards(graph, LandmarkSelection::Explicit(Vec::new()), 1);
+        let landmarks = std::mem::replace(shared, placeholder);
+        let owned: Vec<Vec<NodeId>> = cand_lists.iter().map(|l| l.as_ref().clone()).collect();
+        let mut engine =
+            Self::build_with_landmarks_from_candidates(pattern, graph, landmarks, owned, shards);
+        // Hand the real landmark index back to the service; the engine keeps
+        // the placeholder and has the shared index swapped in around every
+        // `try_apply_shared` / never reads distances outside it.
+        std::mem::swap(&mut engine.landmarks, shared);
+        Ok(engine)
+    }
+
+    fn try_apply_shared(
+        &mut self,
+        graph: &DataGraph,
+        shared: &mut LandmarkIndex,
+        batch: &SharedBatch<'_>,
+        mutation: &SharedMutation,
+        shards: usize,
+    ) -> Result<ApplyOutcome, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        // Swap the shared landmark index in for the duration of the pipeline
+        // (the affected-pair refresh queries distances through
+        // `self.landmarks`), and back out unconditionally — even after a
+        // contained panic the index itself is intact: the pipeline only
+        // *reads* it, the one mutation site ran in `shared_mutate`.
+        std::mem::swap(&mut self.landmarks, shared);
+        let mut stage = PipelineStage::Prepare;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.apply_shared_stages(graph, batch, mutation, shards, &mut stage)
+        }));
+        std::mem::swap(&mut self.landmarks, shared);
+        match outcome {
+            Ok(outcome) => Ok(outcome),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                Err(ApplyError::StagePanicked(self.contain_shared_panic(stage, message)))
+            }
+        }
     }
 }
 

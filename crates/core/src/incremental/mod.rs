@@ -67,11 +67,14 @@ pub mod bsim;
 pub mod sim;
 
 use crate::stats::AffStats;
+use igpm_graph::hash::FastHashSet;
 use igpm_graph::update::{RejectReason, UpdateRejection};
 use igpm_graph::{
     ApplyError, BatchUpdate, DataGraph, MatchDelta, MatchRelation, NodeId, Pattern, PatternNodeId,
+    Update,
 };
 use std::fmt;
+use std::sync::Arc;
 
 /// The engine-shaped hole in the recovery machinery: everything an
 /// orchestrator (in-memory poison recovery, or the on-disk
@@ -128,6 +131,143 @@ pub trait IncrementalEngine: Sized {
     fn recover_with_shards(&mut self, graph: &DataGraph, shards: usize) {
         *self = Self::rebuild_with_shards(self.pattern(), graph, shards);
     }
+
+    // ------------------------------------------------------------------
+    // Service mode (MatchService)
+    // ------------------------------------------------------------------
+    //
+    // A `MatchService` registers many engines of one type over one shared
+    // `DataGraph` and splits every batch into pattern-independent work done
+    // once (validation, net-effect reduction, graph mutation, shared
+    // auxiliary maintenance) and per-pattern work fanned out to every
+    // registered engine. The methods below are that split: `shared_*` run
+    // once per batch for the whole service; `build_in_service` /
+    // `try_apply_shared` run once per registered pattern. The contract is
+    // the **shard- and sharing-invariance of outcomes**: for every shard
+    // count, a pattern's `ApplyOutcome` from the service path is
+    // bit-identical to the outcome an independent single-pattern index —
+    // built over the same graph with the same shared auxiliary state —
+    // produces for the same stream (`tests/service_conformance.rs`).
+
+    /// The pattern-independent auxiliary structure the service maintains
+    /// *once* for all registered patterns. Plain simulation needs none
+    /// (`()`); bounded simulation shares one [`igpm_distance::LandmarkIndex`]
+    /// — the distance side of `IncLM` is pattern-independent, so the
+    /// RETE-style sharing win is running it once per batch instead of once
+    /// per pattern.
+    type Shared;
+
+    /// Builds the shared auxiliary structure for the current graph, sharded.
+    /// Also the service-level *recovery* step after a contained shared-stage
+    /// panic: a freshly built value must be exact for the rolled-back graph.
+    fn shared_build(graph: &DataGraph, shards: usize) -> Self::Shared;
+
+    /// The [`igpm_graph::StagePanic`] stage label reported when
+    /// [`shared_mutate`](IncrementalEngine::shared_mutate) panics: the
+    /// engine's name for the stage that mutates the graph service-wide
+    /// (`"mutate"` for plain simulation, `"landmark"` for bounded).
+    fn shared_stage() -> &'static str;
+
+    /// The once-per-batch graph mutation: applies the net-effective updates
+    /// to `graph` and maintains `shared` alongside, returning the
+    /// [`SharedMutation`] summary every engine's
+    /// [`try_apply_shared`](IncrementalEngine::try_apply_shared) consumes.
+    /// Only called with a non-empty `effective` list (the service
+    /// early-finishes empty reductions exactly like the single-engine
+    /// pipelines). Fires the engine's graph-mutation failpoint
+    /// ([`igpm_graph::fail`]), so fault tests can interrupt the shared stage.
+    fn shared_mutate(
+        shared: &mut Self::Shared,
+        graph: &mut DataGraph,
+        effective: &[Update],
+        shards: usize,
+    ) -> SharedMutation;
+
+    /// Cold-start build *inside a service*: like
+    /// [`rebuild_with_shards`](IncrementalEngine::rebuild_with_shards) but
+    /// fallible, fed the interned per-pattern-node candidate lists the
+    /// service deduplicates across registrations (index `u` holds the
+    /// candidates of pattern node `u`, sorted ascending — exactly what
+    /// `candidates_with_shards` would compute), and borrowing the shared
+    /// auxiliary state for the duration of the build. The result is
+    /// bit-identical to an independent index built over the same graph with
+    /// the same shared state.
+    fn build_in_service(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        shared: &mut Self::Shared,
+        cand_lists: &[Arc<Vec<NodeId>>],
+        shards: usize,
+    ) -> Result<Self, BuildError>;
+
+    /// The per-pattern half of a service batch: consumes the shared
+    /// reduction ([`SharedBatch`]) and mutation summary ([`SharedMutation`])
+    /// instead of redoing them, and runs only the pattern-dependent pipeline
+    /// stages against the **already-mutated** graph. Statistics and deltas
+    /// are bit-identical to what the engine's own
+    /// [`try_apply_batch_with_shards`](IncrementalEngine::try_apply_batch_with_shards)
+    /// would have produced for the original batch.
+    ///
+    /// Unlike the single-engine path there is no rollback arm: the graph
+    /// mutation is already committed service-wide, so a contained panic
+    /// **always poisons** this engine (`rolled_back: false`) and never
+    /// touches the graph or the other registered patterns — recovery is
+    /// per-pattern, from the current graph.
+    fn try_apply_shared(
+        &mut self,
+        graph: &DataGraph,
+        shared: &mut Self::Shared,
+        batch: &SharedBatch<'_>,
+        mutation: &SharedMutation,
+        shards: usize,
+    ) -> Result<ApplyOutcome, ApplyError>;
+
+    /// The canonical candidate-set keys of this engine's pattern, one per
+    /// pattern node in node order: the [`fmt::Display`] rendering of each
+    /// node's predicate. Two pattern nodes (of any registered patterns)
+    /// share a key iff they have equal candidate sets over every graph, so
+    /// the service uses these strings to intern candidate lists across
+    /// registrations.
+    fn candidate_keys(&self) -> Vec<String> {
+        let pattern = self.pattern();
+        pattern.nodes().map(|u| pattern.predicate(u).to_string()).collect()
+    }
+}
+
+/// The pattern-independent view of one service batch, computed once and
+/// handed to every registered engine's
+/// [`IncrementalEngine::try_apply_shared`].
+#[derive(Debug, Clone, Copy)]
+pub struct SharedBatch<'a> {
+    /// Length of the *original* batch (before reduction) — what each
+    /// engine's [`AffStats::delta_g`] must report, exactly as the
+    /// single-engine path does.
+    pub batch_len: usize,
+    /// True iff every update of the original batch is an insertion — the
+    /// CALM monotone fast-path trigger, sampled on the original batch like
+    /// the single-engine pipelines sample it.
+    pub monotone: bool,
+    /// The net-effective updates in first-touch order: the output of the
+    /// shared `minDelta` net-effect reduction
+    /// ([`igpm_graph::reduce_batch_sharded`]), identical to the effective
+    /// list every engine's own reduction stage would produce.
+    pub effective: &'a [Update],
+}
+
+/// Summary of one [`IncrementalEngine::shared_mutate`] run, consumed by
+/// every engine's per-pattern apply.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMutation {
+    /// The nodes whose shared auxiliary entries changed (the `IncLM`
+    /// affected set of the bounded engine). `None` for engines whose shared
+    /// state is trivial.
+    pub affected: Option<FastHashSet<NodeId>>,
+    /// How many effective updates the shared mutation actually processed —
+    /// what the bounded engine reports as [`AffStats::reduced_delta_g`].
+    pub updates_processed: usize,
+    /// How many shared auxiliary entries changed — the bounded engine's
+    /// [`AffStats::aux_changes`] contribution of the landmark stage.
+    pub affected_entries: usize,
 }
 
 /// Typed error of the fallible index constructors

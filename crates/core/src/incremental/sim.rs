@@ -87,7 +87,8 @@
 
 use crate::incremental::{
     finalize_delta, panic_message, strip_out_of_range, unwrap_apply, ApplyOutcome, BuildError,
-    CacheOp, DeltaTracker, IncrementalEngine, LenientApply, PipelineStage,
+    CacheOp, DeltaTracker, IncrementalEngine, LenientApply, PipelineStage, SharedBatch,
+    SharedMutation,
 };
 use crate::simulation::{candidates_with_shards, simulation_result_graph};
 use crate::stats::AffStats;
@@ -101,6 +102,7 @@ use igpm_graph::{
 };
 use std::cell::{Ref, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Maximum pattern arity representable in the membership bitmasks.
 pub const MAX_PATTERN_NODES: usize = 64;
@@ -231,6 +233,25 @@ impl SimulationIndex {
         if pattern.node_count() > MAX_PATTERN_NODES {
             return Err(BuildError::ArityTooLarge { arity: pattern.node_count() });
         }
+        let cand_lists = candidates_with_shards(pattern, graph, shards);
+        let list_refs: Vec<&[NodeId]> = cand_lists.iter().map(Vec::as_slice).collect();
+        Ok(Self::build_from_candidates(pattern, graph, &list_refs, shards))
+    }
+
+    /// Build core shared by the standalone constructors and the service path
+    /// ([`IncrementalEngine::build_in_service`]): seeds masks and counters
+    /// from precomputed per-pattern-node candidate lists and runs the
+    /// initial refinement drain. Preconditions (checked by the callers):
+    /// `pattern` is normal with arity ≤ [`MAX_PATTERN_NODES`], and
+    /// `cand_lists[u]` is the ascending candidate list of pattern node `u`
+    /// exactly as [`candidates_with_shards`] computes it.
+    fn build_from_candidates(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        cand_lists: &[&[NodeId]],
+        shards: usize,
+    ) -> Self {
+        debug_assert!(pattern.is_normal() && pattern.node_count() <= MAX_PATTERN_NODES);
         let np = pattern.node_count();
         let nv = graph.node_count();
         let scc = StronglyConnectedComponents::of_pattern(pattern);
@@ -275,18 +296,16 @@ impl SimulationIndex {
 
         // Start with match(u) = all candidates of u. The candidate lists come
         // from the sharded label-index pass + predicate scans (per node-range
-        // slice, merged in node order — see `candidates_with_shards`); seeding
-        // them into the per-node masks is sharded too — each shard
-        // binary-searches its node range in the sorted lists and writes only
-        // its own mask slice.
-        let cand_lists = candidates_with_shards(pattern, graph, shards);
+        // slice, merged in node order — see `candidates_with_shards`), or
+        // interned by the service; seeding them into the per-node masks is
+        // sharded too — each shard binary-searches its node range in the
+        // sorted lists and writes only its own mask slice.
         for (u, list) in cand_lists.iter().enumerate() {
             index.match_count[u] = list.len();
         }
         let plan = ShardPlan::new(nv, shards);
         let fan_out = plan.count > 1 && nv >= PARALLEL_WORK_THRESHOLD;
         if fan_out {
-            let cand_lists = &cand_lists;
             std::thread::scope(|scope| {
                 let mut rest = index.masks.as_mut_slice();
                 for shard in 0..plan.count {
@@ -297,7 +316,7 @@ impl SimulationIndex {
                 }
             });
         } else {
-            seed_masks_shard(&mut index.masks, 0, &cand_lists);
+            seed_masks_shard(&mut index.masks, 0, cand_lists);
         }
 
         // Derive the counters and scan for unsupported pairs. Each shard owns
@@ -335,7 +354,7 @@ impl SimulationIndex {
             index.drain_demotions_sharded(graph, seeds, plan, &mut build_stats);
         }
         index.build_stats = build_stats;
-        Ok(index)
+        index
     }
 
     /// Statistics of the build's initial refinement drain — the demotions
@@ -828,6 +847,81 @@ impl SimulationIndex {
         let poisoned = !matches!(stage, PipelineStage::Reduce | PipelineStage::Mutate);
         self.poisoned = poisoned;
         StagePanic { stage: stage.label(), message, rolled_back: true, poisoned }
+    }
+
+    /// The pattern-dependent pipeline of one service batch (see
+    /// [`IncrementalEngine::try_apply_shared`]): classify the shared
+    /// net-effective list against the frozen membership masks, then run
+    /// absorption and the drains against the already-mutated graph.
+    ///
+    /// Classification ([`is_ss_edge`]/[`is_cs_or_cc_edge`]) reads only the
+    /// masks — never graph adjacency — and the masks are still pre-batch at
+    /// this point, so running it *after* the shared graph mutation yields
+    /// exactly the relevance verdicts the single-engine `minDelta` computes
+    /// before mutating; everything downstream is the single-engine pipeline
+    /// verbatim, which already runs post-mutation.
+    fn apply_shared_stages(
+        &mut self,
+        graph: &DataGraph,
+        batch: &SharedBatch<'_>,
+        shards: usize,
+        stage: &mut PipelineStage,
+    ) -> ApplyOutcome {
+        let mut stats = AffStats { delta_g: batch.batch_len, ..AffStats::default() };
+        let was_match = self.is_match();
+        self.tracker.arm(batch.monotone);
+        self.ensure_node_capacity(graph);
+        let plan = ShardPlan::new(self.nv, shards);
+
+        // The per-pattern half of minDelta: the net-effect half already ran
+        // once service-wide; what remains is the relevance classification.
+        *stage = PipelineStage::Reduce;
+        fail::fire(fail::SIM_REDUCE);
+        let mut reduction = MinDeltaReduction::default();
+        for update in batch.effective {
+            let (a, b) = update.endpoints();
+            let relevant = match update {
+                Update::DeleteEdge { .. } => is_ss_edge(&self.masks, &self.child_mask, a, b),
+                Update::InsertEdge { .. } => is_cs_or_cc_edge(&self.masks, &self.child_mask, a, b),
+            };
+            reduction.push(*update, relevant);
+        }
+        stats.reduced_delta_g = reduction.relevant;
+        if reduction.effective.is_empty() {
+            return self.finish_apply(stats, was_match);
+        }
+
+        *stage = PipelineStage::Absorb;
+        fail::fire(fail::SIM_ABSORB);
+        let (demotion_seeds, promotion_seeds) =
+            self.absorb_batch(&reduction.effective, plan, &mut stats);
+        if !demotion_seeds.is_empty() {
+            *stage = PipelineStage::Demote;
+            fail::fire(fail::SIM_DEMOTE);
+            self.drain_demotions_sharded(graph, demotion_seeds, plan, &mut stats);
+        }
+        let run_cc = self.has_cycle && self.inserted_touches_scc(&reduction.relevant_insertions);
+        if !promotion_seeds.is_empty() || run_cc {
+            *stage = PipelineStage::Promote;
+            fail::fire(fail::SIM_PROMOTE);
+            self.propagate_insertions_sharded(graph, promotion_seeds, run_cc, plan, &mut stats);
+        }
+        self.finish_apply(stats, was_match)
+    }
+
+    /// Converts a contained panic of the service-mode pipeline into the
+    /// always-poison contract of [`IncrementalEngine::try_apply_shared`].
+    /// The shared graph mutation is already committed service-wide, so there
+    /// is nothing to roll back — and even a panic in the read-only
+    /// classification stage leaves this engine *behind* the graph (its
+    /// auxiliary state never absorbed the committed batch), which is exactly
+    /// what poisoning expresses. Recovery rebuilds from the current graph.
+    #[cold]
+    fn contain_shared_panic(&mut self, stage: PipelineStage, message: String) -> StagePanic {
+        self.invalidate_cache();
+        self.tracker.reset();
+        self.poisoned = true;
+        StagePanic { stage: stage.label(), message, rolled_back: false, poisoned: true }
     }
 
     /// `minDelta` (Fig. 10 lines 1-2) as a sharded two-pass reduction.
@@ -1645,7 +1739,7 @@ fn absorb_inserted_edge(
 /// range (`masks` starts at node id `base`) from the sorted candidate lists.
 /// Each shard binary-searches its range in every list, so the work is
 /// `O(|candidates in range| + np · log |candidates|)`.
-fn seed_masks_shard(masks: &mut [NodeMasks], base: usize, cand_lists: &[Vec<NodeId>]) {
+fn seed_masks_shard(masks: &mut [NodeMasks], base: usize, cand_lists: &[&[NodeId]]) {
     let end = base + masks.len();
     for (u, list) in cand_lists.iter().enumerate() {
         // The range search (and the bit-identity of fanned-out builds with
@@ -2275,6 +2369,70 @@ impl IncrementalEngine for SimulationIndex {
 
     fn poisoned(&self) -> bool {
         SimulationIndex::poisoned(self)
+    }
+
+    /// Plain simulation needs no graph-wide auxiliary structure: candidate
+    /// membership is re-derived per pattern and the masks carry everything
+    /// else, so the shared state is the unit type.
+    type Shared = ();
+
+    fn shared_build(_graph: &DataGraph, _shards: usize) -> Self::Shared {}
+
+    fn shared_stage() -> &'static str {
+        PipelineStage::Mutate.label()
+    }
+
+    fn shared_mutate(
+        _shared: &mut (),
+        graph: &mut DataGraph,
+        effective: &[Update],
+        shards: usize,
+    ) -> SharedMutation {
+        fail::fire(fail::SIM_MUTATE);
+        let plan = ShardPlan::new(graph.node_count(), shards);
+        graph.apply_reduced_batch_sharded(effective, plan);
+        SharedMutation { affected: None, updates_processed: effective.len(), affected_entries: 0 }
+    }
+
+    fn build_in_service(
+        pattern: &Pattern,
+        graph: &DataGraph,
+        _shared: &mut (),
+        cand_lists: &[Arc<Vec<NodeId>>],
+        shards: usize,
+    ) -> Result<Self, BuildError> {
+        if !pattern.is_normal() {
+            return Err(BuildError::NotNormal);
+        }
+        if pattern.node_count() > MAX_PATTERN_NODES {
+            return Err(BuildError::ArityTooLarge { arity: pattern.node_count() });
+        }
+        let list_refs: Vec<&[NodeId]> = cand_lists.iter().map(|l| l.as_slice()).collect();
+        Ok(Self::build_from_candidates(pattern, graph, &list_refs, shards))
+    }
+
+    fn try_apply_shared(
+        &mut self,
+        graph: &DataGraph,
+        _shared: &mut (),
+        batch: &SharedBatch<'_>,
+        _mutation: &SharedMutation,
+        shards: usize,
+    ) -> Result<ApplyOutcome, ApplyError> {
+        if self.poisoned {
+            return Err(ApplyError::Poisoned);
+        }
+        let mut stage = PipelineStage::Prepare;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.apply_shared_stages(graph, batch, shards, &mut stage)
+        }));
+        match outcome {
+            Ok(outcome) => Ok(outcome),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                Err(ApplyError::StagePanicked(self.contain_shared_panic(stage, message)))
+            }
+        }
     }
 }
 

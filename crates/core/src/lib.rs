@@ -41,6 +41,7 @@
 pub mod bounded;
 pub mod durable;
 pub mod incremental;
+pub mod service;
 pub mod simulation;
 pub mod stats;
 
@@ -48,13 +49,19 @@ pub use bounded::{
     build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
     match_bounded_with_two_hop,
 };
-pub use durable::{DeltaEvent, DurableError, DurableIndex, DurableOptions, Subscription};
+pub use durable::{
+    DeltaEvent, DurableError, DurableIndex, DurableMatchService, DurableOptions, ServiceDeltaEvent,
+    ServiceSubscription, Subscription,
+};
 pub use igpm_graph::shard::configured_shards;
 pub use igpm_graph::update::{ApplyError, RejectReason, StagePanic, UpdateRejection};
 pub use igpm_graph::MatchDelta;
 pub use incremental::bsim::{BoundedIndex, BsimAuxSnapshot};
 pub use incremental::sim::{SimAuxSnapshot, SimulationIndex};
-pub use incremental::{ApplyOutcome, BuildError, IncrementalEngine, LenientApply};
+pub use incremental::{
+    ApplyOutcome, BuildError, IncrementalEngine, LenientApply, SharedBatch, SharedMutation,
+};
+pub use service::{MatchService, PatternId, ServiceApply, ServiceError};
 pub use simulation::{
     candidates, candidates_with_index, candidates_with_index_sharded, candidates_with_shards,
     match_simulation, simulation_result_graph,

@@ -13,7 +13,8 @@ use crate::stats::AffStats;
 use igpm_graph::hash::FastHashSet;
 use igpm_graph::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
 use igpm_graph::{
-    DataGraph, LabelIndex, MatchRelation, NodeId, Pattern, PatternNodeId, ResultGraph,
+    CandidateDomain, DataGraph, LabelIndex, MatchRelation, NodeId, Pattern, PatternNodeId,
+    ResultGraph,
 };
 
 /// The candidate sets: for each pattern node, the data nodes satisfying its
@@ -76,19 +77,31 @@ pub fn candidates_with_index_sharded(
 ) -> Vec<Vec<NodeId>> {
     pattern
         .nodes()
-        .map(|u| {
-            let pred = pattern.predicate(u);
-            if let Some(label) = pred.as_label() {
-                return index.nodes_with_label(label).to_vec();
-            }
-            let satisfied = |v: &NodeId| pred.satisfied_by(graph.attrs(*v));
-            if let Some(label) = pred.label_atom() {
-                return filter_sharded(index.nodes_with_label(label), &satisfied, shards);
-            }
+        .map(|u| candidates_for_predicate(pattern.predicate(u), graph, index, shards))
+        .collect()
+}
+
+/// Candidate list of one predicate — the per-pattern-node body of
+/// [`candidates_with_index_sharded`], routed through
+/// [`LabelIndex::predicate_domain`] so the selectivity triage lives in one
+/// place. Exposed crate-wide for the multi-pattern service, whose candidate
+/// interner computes lists per *distinct* predicate rather than per pattern
+/// node.
+pub(crate) fn candidates_for_predicate(
+    pred: &igpm_graph::Predicate,
+    graph: &DataGraph,
+    index: &LabelIndex,
+    shards: usize,
+) -> Vec<NodeId> {
+    let satisfied = |v: &NodeId| pred.satisfied_by(graph.attrs(*v));
+    match index.predicate_domain(pred) {
+        CandidateDomain::Bucket(bucket) => bucket.to_vec(),
+        CandidateDomain::FilteredBucket(bucket) => filter_sharded(bucket, &satisfied, shards),
+        CandidateDomain::AllNodes => {
             let all: Vec<NodeId> = graph.nodes().collect();
             filter_sharded(&all, &satisfied, shards)
-        })
-        .collect()
+        }
+    }
 }
 
 /// Filters an ascending node list through a pure predicate, fanning the

@@ -26,7 +26,11 @@
 //!   typos).
 //! * **Programmatically**: [`arm`] / [`disarm`] / [`disarm_all`], or the
 //!   RAII [`arm_scoped`] guard the fault-injection suite uses so a panicking
-//!   test cannot leave a site armed for the next one.
+//!   test cannot leave a site armed for the next one. [`arm_once`] arms a
+//!   site that *disarms itself* on its first firing — the service-layer
+//!   suite uses it to panic exactly one engine of a multi-pattern fan-out
+//!   (the first index to reach the stage trips it; every later index runs
+//!   clean).
 //!
 //! # Cost when disarmed
 //!
@@ -141,18 +145,32 @@ pub const SITES: &[&str] = &[
 /// process. [`fire`] reads this and nothing else when everything is disarmed.
 static ANY_ARMED: AtomicBool = AtomicBool::new(false);
 
+/// The armed-site sets: `persistent` sites panic on every firing until
+/// disarmed; `once` sites remove themselves as they panic (see [`arm_once`]).
+#[derive(Default)]
+struct ArmedSites {
+    persistent: HashSet<&'static str>,
+    once: HashSet<&'static str>,
+}
+
+impl ArmedSites {
+    fn is_empty(&self) -> bool {
+        self.persistent.is_empty() && self.once.is_empty()
+    }
+}
+
 /// The armed-site set. Guarded by a mutex because arming happens on the test
 /// control path only; the hot path never locks it (see [`ANY_ARMED`]).
 /// Poisoning is deliberately ignored — a failpoint's whole job is to panic
 /// near this lock, and an armed set is plain data that cannot be left
 /// half-updated.
-fn registry() -> &'static Mutex<HashSet<&'static str>> {
-    static REGISTRY: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+fn registry() -> &'static Mutex<ArmedSites> {
+    static REGISTRY: OnceLock<Mutex<ArmedSites>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        let mut armed: HashSet<&'static str> = HashSet::new();
+        let mut armed = ArmedSites::default();
         if let Ok(spec) = std::env::var("IGPM_FAILPOINTS") {
             for name in spec.split(',').map(str::trim).filter(|n| !n.is_empty()) {
-                armed.insert(resolve(name));
+                armed.persistent.insert(resolve(name));
             }
         }
         if !armed.is_empty() {
@@ -202,8 +220,19 @@ pub fn fire(site: &str) {
 #[cold]
 fn fire_armed(site: &str) {
     let armed = {
-        let guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
-        guard.contains(site)
+        let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.persistent.contains(site) {
+            true
+        } else if guard.once.remove(site) {
+            // A once-site consumes itself as it fires, so by the time the
+            // panic is observable the site is already disarmed.
+            if guard.is_empty() {
+                ANY_ARMED.store(false, Ordering::SeqCst);
+            }
+            true
+        } else {
+            false
+        }
     };
     if armed {
         panic!("failpoint `{site}` triggered");
@@ -216,15 +245,33 @@ pub fn arm(site: &str) {
     let site = resolve(site);
     ensure_seeded();
     let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
-    guard.insert(site);
+    guard.persistent.insert(site);
     ANY_ARMED.store(true, Ordering::SeqCst);
 }
 
-/// Disarms `site` (a no-op if it was not armed).
+/// Arms `site` for exactly one firing: the next [`fire`] on it panics *and
+/// disarms the site* in the same step, so every subsequent firing — from the
+/// same thread or any other — runs clean. This is how the service-layer
+/// tests poison a single pattern out of a registered fleet: the first engine
+/// whose pipeline reaches the armed stage trips the panic, and the remaining
+/// engines of the same `apply` pass through untouched. A once-armed site
+/// that never fires stays armed; pair with [`disarm_all`] (or check
+/// [`armed`]) in test cleanup. Unknown names are rejected with a panic.
+pub fn arm_once(site: &str) {
+    let site = resolve(site);
+    ensure_seeded();
+    let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.once.insert(site);
+    ANY_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms `site` (a no-op if it was not armed), whether it was armed
+/// persistently or via [`arm_once`].
 pub fn disarm(site: &str) {
     ensure_seeded();
     let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
-    guard.remove(site);
+    guard.persistent.remove(site);
+    guard.once.remove(site);
     if guard.is_empty() {
         ANY_ARMED.store(false, Ordering::SeqCst);
     }
@@ -234,15 +281,16 @@ pub fn disarm(site: &str) {
 pub fn disarm_all() {
     ensure_seeded();
     let mut guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
-    guard.clear();
+    guard.persistent.clear();
+    guard.once.clear();
     ANY_ARMED.store(false, Ordering::SeqCst);
 }
 
-/// True iff `site` is currently armed.
+/// True iff `site` is currently armed (persistently or for one firing).
 pub fn armed(site: &str) -> bool {
     ensure_seeded();
     let guard = registry().lock().unwrap_or_else(PoisonError::into_inner);
-    guard.contains(site)
+    guard.persistent.contains(site) || guard.once.contains(site)
 }
 
 /// RAII guard returned by [`arm_scoped`]: disarms its site on drop, including
@@ -303,6 +351,27 @@ mod tests {
         }
         assert!(!armed(SIM_ABSORB), "scoped guard must disarm on drop");
         fire(SIM_ABSORB);
+    }
+
+    #[test]
+    fn arm_once_fires_exactly_once() {
+        let _serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        disarm_all();
+        arm_once(BSIM_REFRESH);
+        assert!(armed(BSIM_REFRESH));
+        assert!(std::panic::catch_unwind(|| fire(BSIM_REFRESH)).is_err());
+        // Consumed by the firing: the site is disarmed before the panic is
+        // observable, so a second firing runs clean.
+        assert!(!armed(BSIM_REFRESH));
+        fire(BSIM_REFRESH);
+        // Coexists with persistent arming of a different site.
+        arm_once(SIM_ABSORB);
+        arm(SIM_DEMOTE);
+        assert!(std::panic::catch_unwind(|| fire(SIM_ABSORB)).is_err());
+        fire(SIM_ABSORB);
+        assert!(std::panic::catch_unwind(|| fire(SIM_DEMOTE)).is_err());
+        assert!(std::panic::catch_unwind(|| fire(SIM_DEMOTE)).is_err());
+        disarm_all();
     }
 
     #[test]

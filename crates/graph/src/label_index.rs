@@ -31,7 +31,30 @@ use crate::attr::Attributes;
 use crate::graph::DataGraph;
 use crate::hash::FastHashMap;
 use crate::node::NodeId;
+use crate::predicate::Predicate;
 use crate::shard::{configured_shards, ShardPlan, PARALLEL_WORK_THRESHOLD};
+
+/// The node domain a predicate's candidate scan must consider, classified by
+/// how much of the work the label index already did ([`LabelIndex::predicate_domain`]).
+///
+/// This is the selectivity triage every candidate computation in the
+/// workspace shares — the per-pattern scans in `igpm-core` and the service
+/// layer's interned candidate sets resolve predicates through the same three
+/// tiers, so a `(label, predicate)` pair always produces the same node list
+/// regardless of which path computed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateDomain<'a> {
+    /// The predicate is exactly a label-equality atom: the bucket *is* the
+    /// candidate set, already sorted by node id. No predicate evaluation is
+    /// needed.
+    Bucket(&'a [NodeId]),
+    /// The predicate contains a label atom plus further atoms: the bucket is
+    /// a superset, and the remaining atoms must be evaluated over it.
+    FilteredBucket(&'a [NodeId]),
+    /// The predicate has no label-equality atom: every node of the graph must
+    /// be evaluated.
+    AllNodes,
+}
 
 /// Inverted index from node label to the sorted list of nodes carrying it.
 ///
@@ -141,6 +164,21 @@ impl LabelIndex {
         self.buckets.get(label).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Classifies the node domain `pred`'s candidate scan must consider: the
+    /// label bucket verbatim (pure label test), the bucket as a pre-filter
+    /// (label atom plus more), or the whole node range (no label atom). The
+    /// returned slices cover exactly [`LabelIndex::covered_nodes`] ids — call
+    /// [`LabelIndex::ensure_node_capacity`] first under node churn.
+    pub fn predicate_domain(&self, pred: &Predicate) -> CandidateDomain<'_> {
+        if let Some(label) = pred.as_label() {
+            CandidateDomain::Bucket(self.nodes_with_label(label))
+        } else if let Some(label) = pred.label_atom() {
+            CandidateDomain::FilteredBucket(self.nodes_with_label(label))
+        } else {
+            CandidateDomain::AllNodes
+        }
+    }
+
     /// The nodes that carry no `label` attribute, sorted by node id.
     pub fn unlabeled_nodes(&self) -> &[NodeId] {
         &self.unlabeled
@@ -246,6 +284,31 @@ mod tests {
                 assert!(nodes.windows(2).all(|w| w[0] < w[1]), "bucket {label} not sorted");
             }
         }
+    }
+
+    #[test]
+    fn predicate_domain_triages_by_label_atom() {
+        use crate::attr::CompareOp;
+        use crate::predicate::Predicate;
+        let index = LabelIndex::build(&sample());
+        assert_eq!(
+            index.predicate_domain(&Predicate::label("CTO")),
+            CandidateDomain::Bucket(&[NodeId(0), NodeId(2)])
+        );
+        assert_eq!(
+            index.predicate_domain(&Predicate::label("CTO").and("age", CompareOp::Lt, 50)),
+            CandidateDomain::FilteredBucket(&[NodeId(0), NodeId(2)])
+        );
+        assert_eq!(
+            index.predicate_domain(&Predicate::any().and_eq("name", "anon")),
+            CandidateDomain::AllNodes
+        );
+        assert_eq!(index.predicate_domain(&Predicate::any()), CandidateDomain::AllNodes);
+        // A missing label maps to the empty bucket, not AllNodes.
+        assert_eq!(
+            index.predicate_domain(&Predicate::label("Ghost")),
+            CandidateDomain::Bucket(&[])
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use attr::{AttrValue, Attributes, CompareOp};
 pub use graph::DataGraph;
 pub use hash::{FastHashMap, FastHashSet};
 pub use json::{JsonError, JsonValue};
-pub use label_index::LabelIndex;
+pub use label_index::{CandidateDomain, LabelIndex};
 pub use match_relation::{MatchDelta, MatchRelation};
 pub use node::NodeId;
 pub use pattern::{EdgeBound, Pattern, PatternEdge, PatternNodeId};

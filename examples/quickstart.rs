@@ -1,5 +1,6 @@
 //! Quickstart: build a small data graph and a b-pattern, run bounded
-//! simulation, and keep the match up to date while the graph changes.
+//! simulation, keep the match up to date while the graph changes — and
+//! register several patterns at once on a shared [`MatchService`].
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -75,4 +76,32 @@ fn main() {
     // The incremental result always agrees with recomputing from scratch.
     assert_eq!(index.matches(), igpm::core::match_bounded_with_matrix(&pattern, &graph));
     println!("\nIncremental result verified against batch recomputation ✓");
+
+    // ---------------------------------------------------------------
+    // 5. Many patterns, one graph: the `MatchService` registers any number
+    //    of patterns over a shared `DataGraph` and classifies each update
+    //    batch once — one minDelta reduction, one graph mutation — before
+    //    fanning the result out to every registered pattern.
+    // ---------------------------------------------------------------
+    let mut service: MatchService<BoundedIndex> = MatchService::new(graph);
+    let communities = service.register(&pattern).expect("register");
+
+    let mut duo = Pattern::new();
+    let boss = duo.add_node(Predicate::any().and_eq("job", "CTO"));
+    let expert = duo.add_node(Predicate::any().and_eq("job", "DB"));
+    duo.add_edge(boss, expert, EdgeBound::Hops(1));
+    let pairs = service.register(&duo).expect("register");
+
+    // One batch, applied once, with a per-pattern outcome for each handle.
+    let mut batch = BatchUpdate::new();
+    batch.insert(don, dan);
+    let apply = service.apply(&batch).expect("apply");
+    for (id, outcome) in &apply.outcomes {
+        println!("{id}: {}", outcome.as_ref().expect("outcome").stats);
+    }
+    println!(
+        "communities sees {} CTO matches, pairs sees {}",
+        service.matches(communities).expect("view").matches(cto).len(),
+        service.matches(pairs).expect("view").matches(boss).len(),
+    );
 }

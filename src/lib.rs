@@ -55,9 +55,10 @@ pub mod prelude {
     pub use igpm_core::{
         build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
         match_bounded_with_two_hop, match_simulation, AffStats, ApplyError, ApplyOutcome,
-        BoundedIndex, BuildError, DeltaEvent, DurableError, DurableIndex, DurableOptions,
-        IncrementalEngine, LenientApply, RejectReason, SimulationIndex, Subscription,
-        UpdateRejection,
+        BoundedIndex, BuildError, DeltaEvent, DurableError, DurableIndex, DurableMatchService,
+        DurableOptions, IncrementalEngine, LenientApply, MatchService, PatternId, RejectReason,
+        ServiceApply, ServiceDeltaEvent, ServiceError, ServiceSubscription, SimulationIndex,
+        Subscription, UpdateRejection,
     };
     pub use igpm_distance::{
         BfsOracle, DistanceMatrix, DistanceOracle, LandmarkIndex, LandmarkSelection, TwoHopLabels,
