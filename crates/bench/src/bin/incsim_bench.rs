@@ -100,6 +100,14 @@
 //! written. Ungated — the speedup depends on pattern-pool overlap, which is
 //! workload, not code.
 //!
+//! The `ingest` section prices the asynchronous ingestion front-end
+//! ([`igpm_core::Ingest`]) under three open-loop arrival patterns (poisson /
+//! bursty / saturated): sustained updates/s, submit→resolve latency (p50 and
+//! p99), the coalescer's mean and max batch sizes, and how often producers hit
+//! backpressure. Every run is asserted to converge to the synchronous control
+//! before any number is written. Ungated — arrival pacing measures the host's
+//! sleep granularity and scheduler, not this codebase (see `BENCHMARKS.md`).
+//!
 //! # Perf-regression gate (`--check-against`)
 //!
 //! `--check-against OLD.json` compares the freshly measured **1-shard-pinned**
@@ -115,7 +123,7 @@ use igpm_bench::legacy::LegacySimulationIndex;
 use igpm_bench::workloads::batch_scaling_workload;
 use igpm_core::{
     candidates_with_shards, match_simulation, AffStats, ApplyOutcome, DurableIndex, DurableOptions,
-    MatchService, PatternId, SimulationIndex,
+    Ingest, IngestOptions, MatchService, PatternId, SimulationIndex,
 };
 use igpm_generator::{
     degree_biased_deletions, degree_biased_insertions, generate_pattern, mixed_batch,
@@ -125,7 +133,7 @@ use igpm_graph::wal::FsyncPolicy;
 use igpm_graph::{
     reduce_batch_sharded, BatchUpdate, DataGraph, JsonValue, MatchDelta, Pattern, ShardPlan, Update,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Config {
     nodes: usize,
@@ -1289,6 +1297,174 @@ fn service_sweep(seed: u64) -> JsonValue {
     ])
 }
 
+/// One splitmix64 step — deterministic arrival jitter without a rand
+/// dependency (mirrors the generator crate's internal PRNG discipline).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Prices the asynchronous ingestion front-end ([`Ingest`]) under three
+/// open-loop arrival patterns — `poisson` (exponential inter-arrivals,
+/// 200 µs mean), `bursty` (back-to-back bursts separated by gaps) and
+/// `saturated` (a producer submitting as fast as the blocking queue
+/// admits). One producer thread stamps each submission at the queue door;
+/// a collector waits the tickets in FIFO order, so `submit_to_resolve`
+/// latency covers queueing + coalescing + the sink's apply. Every run is
+/// asserted to converge to the synchronous control — identical match view,
+/// identical edge set (coalescing permutes the *order* net-effect reduction
+/// mutates adjacency lists in, so graphs are compared as sets) — before any
+/// number is written. Ungated: arrival pacing measures the host's sleep
+/// granularity and scheduler as much as this codebase.
+fn ingest_sweep(graph: &DataGraph, pattern: &Pattern, seed: u64) -> JsonValue {
+    const SUBMISSIONS: usize = 512;
+    const OPS_PER_SUBMISSION: usize = 4;
+    const POISSON_MEAN_US: f64 = 200.0;
+    const BURST_LEN: usize = 32;
+    const BURST_GAP_MS: u64 = 2;
+
+    // A sequentially valid stream of small submissions: each generated
+    // against (and applied to) the graph its predecessors left behind, so
+    // every strict submission passes per-submission validation.
+    let mut stream: Vec<BatchUpdate> = Vec::with_capacity(SUBMISSIONS);
+    {
+        let mut g = graph.clone();
+        for i in 0..SUBMISSIONS {
+            let batch =
+                mixed_batch(&g, OPS_PER_SUBMISSION / 2, OPS_PER_SUBMISSION / 2, seed + i as u64);
+            batch.apply(&mut g);
+            stream.push(batch);
+        }
+    }
+    let total_ops: usize = stream.iter().map(BatchUpdate::len).sum();
+
+    // Synchronous control: the same submissions applied one at a time.
+    let mut control: MatchService<SimulationIndex> = MatchService::with_shards(graph.clone(), 1);
+    let control_id = control.register(pattern).expect("register control pattern");
+    for batch in &stream {
+        control.apply(batch).expect("stream is valid");
+    }
+    let expected = control.matches(control_id).expect("control readable");
+    let mut expected_edges: Vec<_> = control.graph().edges().collect();
+    expected_edges.sort_unstable();
+
+    // Queue capacity deliberately small so the saturated pattern actually
+    // exercises backpressure; the paced patterns never fill it.
+    let opts = IngestOptions { queue_capacity: 256, ..IngestOptions::default() };
+
+    let mut rows = Vec::new();
+    for arrival in ["poisson", "bursty", "saturated"] {
+        let mut service: MatchService<SimulationIndex> =
+            MatchService::with_shards(graph.clone(), 1);
+        let pattern_id = service.register(pattern).expect("register pattern");
+        let ingest = Ingest::spawn(service, opts);
+        let handle = ingest.handle();
+        let producer_stream = stream.clone();
+        let (tickets_tx, tickets_rx) = std::sync::mpsc::channel();
+        let mut rng = seed ^ 0xA5A5_5A5A_A5A5_5A5A;
+
+        let start = Instant::now();
+        let producer = std::thread::spawn(move || {
+            for (i, batch) in producer_stream.into_iter().enumerate() {
+                match arrival {
+                    "poisson" => {
+                        // Inverse-transform sample of Exp(1/mean); `1 - u`
+                        // keeps the argument of ln strictly positive.
+                        let u = (splitmix(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                        let dt_us = -POISSON_MEAN_US * (1.0 - u).ln();
+                        std::thread::sleep(Duration::from_nanos((dt_us * 1e3) as u64));
+                    }
+                    "bursty" if i > 0 && i % BURST_LEN == 0 => {
+                        std::thread::sleep(Duration::from_millis(BURST_GAP_MS));
+                    }
+                    _ => {}
+                }
+                let submitted_at = Instant::now();
+                let ticket = handle.submit(batch).expect("ingest accepts the stream");
+                tickets_tx.send((submitted_at, ticket)).expect("collector alive");
+            }
+        });
+
+        let mut latency_ns: Vec<u128> = Vec::with_capacity(SUBMISSIONS);
+        for (submitted_at, ticket) in tickets_rx {
+            let apply = ticket.wait().expect("strict stream commits");
+            latency_ns.push(submitted_at.elapsed().as_nanos());
+            std::hint::black_box(apply.seq);
+        }
+        producer.join().expect("producer thread");
+        let wall_ns = start.elapsed().as_nanos();
+        let stats = ingest.stats();
+        let service = ingest.shutdown().expect("the sink survives a clean run");
+
+        // Equivalence before any number is written.
+        assert_eq!(latency_ns.len(), SUBMISSIONS, "every submission resolved ({arrival})");
+        assert_eq!(stats.committed_ops, total_ops as u64, "every op committed ({arrival})");
+        assert_eq!(stats.rejected_submissions, 0, "valid stream never rejected ({arrival})");
+        assert_eq!(
+            *service.matches(pattern_id).expect("ingested service readable"),
+            *expected,
+            "ingest ({arrival}) diverged from synchronous application"
+        );
+        let mut got_edges: Vec<_> = service.graph().edges().collect();
+        got_edges.sort_unstable();
+        assert_eq!(
+            got_edges, expected_edges,
+            "ingest ({arrival}) left a different edge set than synchronous application"
+        );
+
+        latency_ns.sort_unstable();
+        let p50 = latency_ns[latency_ns.len() / 2];
+        let p99 = latency_ns[(latency_ns.len() * 99) / 100 - 1];
+        let tput = updates_per_sec(total_ops, wall_ns);
+        let mean_coalesced = stats.committed_ops as f64 / stats.committed_batches.max(1) as f64;
+        println!(
+            "ingest {arrival}: {:.3} ms wall ({tput:.0}/s), submit→resolve p50 {:.1} µs / p99 \
+             {:.1} µs, {} batches (mean {mean_coalesced:.1}, max {}), {} backpressure",
+            wall_ns as f64 / 1e6,
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            stats.committed_batches,
+            stats.max_coalesced,
+            stats.backpressure_events,
+        );
+        rows.push(obj(vec![
+            ("arrival", JsonValue::Str(arrival.to_string())),
+            ("wall_ms", JsonValue::Float(wall_ns as f64 / 1e6)),
+            ("updates_per_sec", JsonValue::Float(tput)),
+            ("submit_to_resolve_p50_us", JsonValue::Float(p50 as f64 / 1e3)),
+            ("submit_to_resolve_p99_us", JsonValue::Float(p99 as f64 / 1e3)),
+            ("committed_batches", JsonValue::Int(stats.committed_batches as i64)),
+            ("mean_coalesced_ops", JsonValue::Float(mean_coalesced)),
+            ("max_coalesced_ops", JsonValue::Int(stats.max_coalesced as i64)),
+            ("backpressure_events", JsonValue::Int(stats.backpressure_events as i64)),
+            ("final_adaptive_cap", JsonValue::Int(stats.current_cap as i64)),
+        ]));
+    }
+
+    obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("submissions", JsonValue::Int(SUBMISSIONS as i64)),
+                ("ops_per_submission", JsonValue::Int(OPS_PER_SUBMISSION as i64)),
+                ("total_ops", JsonValue::Int(total_ops as i64)),
+                ("queue_capacity", JsonValue::Int(opts.queue_capacity as i64)),
+                ("min_batch", JsonValue::Int(opts.min_batch as i64)),
+                ("max_batch", JsonValue::Int(opts.max_batch as i64)),
+                ("burst_backlog", JsonValue::Int(opts.burst_backlog as i64)),
+                ("poisson_mean_us", JsonValue::Float(POISSON_MEAN_US)),
+                ("burst_len", JsonValue::Int(BURST_LEN as i64)),
+                ("burst_gap_ms", JsonValue::Int(BURST_GAP_MS as i64)),
+                ("seed", JsonValue::Int(seed as i64)),
+            ]),
+        ),
+        ("runs", JsonValue::Array(rows)),
+    ])
+}
+
 /// One gated metric of the perf-regression check: a lower-is-better median
 /// read from `section.key` of both the fresh and the committed report.
 const GATED_METRICS: [(&str, &str, &str); 2] = [
@@ -1510,6 +1686,9 @@ fn main() {
     // --- Multi-pattern service: shared classification vs N independents ----
     let service_json = service_sweep(config.seed + 0x5e);
 
+    // --- Async ingestion front-end: open-loop arrival patterns -------------
+    let ingest_json = ingest_sweep(&graph, &pattern, config.seed + 0x16);
+
     let build_scaling = build_scaling_sweep(&scaling_graph, &scaling_pattern, &config);
     let build_scaling_json = obj(vec![
         (
@@ -1572,6 +1751,7 @@ fn main() {
         ("durability", durability_json),
         ("delta", delta_json),
         ("service", service_json),
+        ("ingest", ingest_json),
     ]);
     std::fs::write(&config.out, report.to_string()).expect("write report");
     println!("wrote {}", config.out);

@@ -60,15 +60,20 @@ pub struct DurableOptions {
     /// How many checkpoints to retain (minimum 1; default 2). Retaining more
     /// than one is what makes the corrupt-newest-checkpoint fallback *work*:
     /// WAL segments are only pruned below the **oldest retained** checkpoint,
-    /// so every retained checkpoint still has its replay tail.
+    /// so every retained checkpoint still has its replay tail. `0` is
+    /// rejected at open with [`DurableError::InvalidOptions`] — it would
+    /// silently behave as 1.
     pub keep_checkpoints: usize,
     /// Shard count for builds, replays and batch application (default:
-    /// [`configured_shards`], the `IGPM_SHARDS` knob).
+    /// [`configured_shards`], the `IGPM_SHARDS` knob). `0` is rejected at
+    /// open with [`DurableError::InvalidOptions`].
     pub shards: usize,
     /// Capacity of the per-index delta ring buffer [`Subscription`]s tail
     /// (default 1024 batches). When a subscriber falls more than this many
     /// batches behind, the ring drops the oldest deltas and the subscriber
     /// observes an explicit [`DeltaEvent::Lagged`] instead of silent loss.
+    /// `0` is rejected at open with [`DurableError::InvalidOptions`] — a
+    /// ring that can hold nothing would lag every subscriber on every batch.
     pub delta_buffer: usize,
 }
 
@@ -83,6 +88,57 @@ impl Default for DurableOptions {
         }
     }
 }
+
+impl DurableOptions {
+    /// Rejects degenerate configurations with a typed error instead of
+    /// silently reinterpreting them. Called by [`DurableIndex::open`] and
+    /// [`DurableMatchService::open`] before anything touches the directory.
+    /// Note that `checkpoint_every == 0` is *not* degenerate — it is the
+    /// documented "no automatic checkpoints" setting.
+    pub fn validate(&self) -> Result<(), InvalidOptions> {
+        if self.keep_checkpoints == 0 {
+            return Err(InvalidOptions {
+                field: "keep_checkpoints",
+                value: 0,
+                requirement: "at least one checkpoint must be retained",
+            });
+        }
+        if self.shards == 0 {
+            return Err(InvalidOptions {
+                field: "shards",
+                value: 0,
+                requirement: "builds and batches need at least one shard",
+            });
+        }
+        if self.delta_buffer == 0 {
+            return Err(InvalidOptions {
+                field: "delta_buffer",
+                value: 0,
+                requirement: "the delta ring must be able to buffer at least one batch",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A [`DurableOptions`] field rejected by [`DurableOptions::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidOptions {
+    /// The rejected field.
+    pub field: &'static str,
+    /// The value it carried.
+    pub value: u64,
+    /// What the field requires instead.
+    pub requirement: &'static str,
+}
+
+impl fmt::Display for InvalidOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {} is invalid: {}", self.field, self.value, self.requirement)
+    }
+}
+
+impl std::error::Error for InvalidOptions {}
 
 /// One event observed by a [`Subscription`].
 #[derive(Debug, Clone, PartialEq)]
@@ -271,6 +327,9 @@ pub enum DurableError {
     /// A [`PatternId`] passed to a [`DurableMatchService`] does not name a
     /// currently registered pattern.
     UnknownPattern(PatternId),
+    /// The [`DurableOptions`] passed to open are degenerate (see
+    /// [`DurableOptions::validate`]); nothing was opened or created.
+    InvalidOptions(InvalidOptions),
 }
 
 impl fmt::Display for DurableError {
@@ -292,6 +351,9 @@ impl fmt::Display for DurableError {
             DurableError::UnknownPattern(id) => {
                 write!(f, "{id} is not registered with this service")
             }
+            DurableError::InvalidOptions(invalid) => {
+                write!(f, "invalid durable options: {invalid}")
+            }
         }
     }
 }
@@ -303,6 +365,7 @@ impl std::error::Error for DurableError {
             DurableError::Snapshot(error) => Some(error),
             DurableError::Apply(error) | DurableError::Replay { error, .. } => Some(error),
             DurableError::Build(error) => Some(error),
+            DurableError::InvalidOptions(invalid) => Some(invalid),
             _ => None,
         }
     }
@@ -372,6 +435,7 @@ impl<E: IncrementalEngine> DurableIndex<E> {
         initial_graph: &DataGraph,
         opts: DurableOptions,
     ) -> Result<Self, DurableError> {
+        opts.validate().map_err(DurableError::InvalidOptions)?;
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         sweep_temp_files(&dir)?;
@@ -545,8 +609,16 @@ impl<E: IncrementalEngine> DurableIndex<E> {
     /// Sequences no longer buffered — published before the subscription and
     /// beyond the ring, or covered only by a checkpoint — surface as one
     /// [`DeltaEvent::Lagged`] before the stream resumes.
+    ///
+    /// Batch sequence numbers start at 1 (0 is the bootstrap checkpoint, not
+    /// a batch), so `subscribe_from(0)` is `subscribe_from(1)`: the stream
+    /// from the very beginning, with no event to miss for the nonexistent
+    /// batch 0. A `seq` above the current high-water mark is a *future*
+    /// cursor: `poll` returns `None` until that batch commits, then the
+    /// stream starts exactly there — batches before it were skipped on
+    /// purpose and are never reported as lag.
     pub fn subscribe_from(&self, seq: u64) -> Subscription {
-        Subscription { cursor: RingCursor { ring: self.deltas.clone(), next_seq: seq } }
+        Subscription { cursor: RingCursor { ring: self.deltas.clone(), next_seq: seq.max(1) } }
     }
 
     /// The current data graph.
@@ -593,6 +665,30 @@ impl<E: IncrementalEngine> DurableIndex<E> {
     /// The options the index was opened with.
     pub fn options(&self) -> &DurableOptions {
         &self.opts
+    }
+}
+
+/// A [`DurableIndex`] ingests through its durable apply path: the coalesced
+/// batch is WAL-appended once, applied transactionally, its delta published,
+/// and [`IngestApply::seq`](crate::ingest::IngestApply::seq) carries the WAL
+/// sequence number. Poison ([`ApplyError::Poisoned`]) comes back as a typed
+/// [`IngestError::Sink`](crate::ingest::IngestError::Sink); an armed
+/// durability failpoint panics through and kills the ingest — the crash
+/// model, after which the directory reopens via [`DurableIndex::open`].
+impl<E: IncrementalEngine> crate::ingest::IngestSink for DurableIndex<E> {
+    type Outcome = ApplyOutcome;
+    type Error = DurableError;
+
+    fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<ApplyOutcome, DurableError> {
+        self.apply(batch)
+    }
+
+    fn sink_graph(&self) -> &DataGraph {
+        self.graph()
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.sequence()
     }
 }
 
@@ -746,6 +842,7 @@ impl<E: IncrementalEngine> DurableMatchService<E> {
         initial_graph: &DataGraph,
         opts: DurableOptions,
     ) -> Result<(Self, Vec<PatternId>), DurableError> {
+        opts.validate().map_err(DurableError::InvalidOptions)?;
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         sweep_temp_files(&dir)?;
@@ -937,10 +1034,13 @@ impl<E: IncrementalEngine> DurableMatchService<E> {
     /// Subscribes starting at an explicit WAL sequence number — the same
     /// `subscribe_from` semantics as [`DurableIndex::subscribe_from`]:
     /// sequences no longer buffered surface as one
-    /// [`ServiceDeltaEvent::Lagged`] before the stream resumes.
+    /// [`ServiceDeltaEvent::Lagged`] before the stream resumes,
+    /// `subscribe_from(0)` is `subscribe_from(1)` (batch sequences start at
+    /// 1), and a sequence above the high-water mark is a future cursor that
+    /// skips — never lags over — the batches before it.
     pub fn subscribe_from(&self, seq: u64) -> ServiceSubscription {
         ServiceSubscription {
-            cursor: RingCursor { ring: self.deltas.clone(), next_seq: seq },
+            cursor: RingCursor { ring: self.deltas.clone(), next_seq: seq.max(1) },
             pending: VecDeque::new(),
         }
     }
@@ -985,5 +1085,32 @@ impl<E: IncrementalEngine> DurableMatchService<E> {
     /// The options the service was opened with.
     pub fn options(&self) -> &DurableOptions {
         &self.opts
+    }
+}
+
+/// A [`DurableMatchService`] ingests through its durable apply path: one WAL
+/// append per coalesced batch, the shared-classification fan-out, one
+/// published pattern-keyed bundle;
+/// [`IngestApply::seq`](crate::ingest::IngestApply::seq) carries the WAL
+/// sequence number, so ticket groupings line up with
+/// [`ServiceSubscription`] events. Service-level poison surfaces as a typed
+/// sink error; an armed durability failpoint panics through and kills the
+/// ingest (the crash model) — reopen the directory via
+/// [`DurableMatchService::open`] and the WAL-aligned replay re-publishes
+/// whatever the crash swallowed.
+impl<E: IncrementalEngine> crate::ingest::IngestSink for DurableMatchService<E> {
+    type Outcome = ServiceApply;
+    type Error = DurableError;
+
+    fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<ServiceApply, DurableError> {
+        self.apply(batch)
+    }
+
+    fn sink_graph(&self) -> &DataGraph {
+        self.service.graph()
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.sequence()
     }
 }

@@ -41,6 +41,7 @@
 pub mod bounded;
 pub mod durable;
 pub mod incremental;
+pub mod ingest;
 pub mod service;
 pub mod simulation;
 pub mod stats;
@@ -50,8 +51,8 @@ pub use bounded::{
     match_bounded_with_two_hop,
 };
 pub use durable::{
-    DeltaEvent, DurableError, DurableIndex, DurableMatchService, DurableOptions, ServiceDeltaEvent,
-    ServiceSubscription, Subscription,
+    DeltaEvent, DurableError, DurableIndex, DurableMatchService, DurableOptions, InvalidOptions,
+    ServiceDeltaEvent, ServiceSubscription, Subscription,
 };
 pub use igpm_graph::shard::configured_shards;
 pub use igpm_graph::update::{ApplyError, RejectReason, StagePanic, UpdateRejection};
@@ -60,6 +61,10 @@ pub use incremental::bsim::{BoundedIndex, BsimAuxSnapshot};
 pub use incremental::sim::{SimAuxSnapshot, SimulationIndex};
 pub use incremental::{
     ApplyOutcome, BuildError, IncrementalEngine, LenientApply, SharedBatch, SharedMutation,
+};
+pub use ingest::{
+    Ingest, IngestApply, IngestError, IngestHandle, IngestOptions, IngestSink, IngestStats,
+    SubmitError, Ticket,
 };
 pub use service::{MatchService, PatternId, ServiceApply, ServiceError};
 pub use simulation::{

@@ -451,6 +451,27 @@ impl<E: IncrementalEngine> MatchService<E> {
     }
 }
 
+/// A [`MatchService`] ingests directly: the coalesced batch runs through
+/// [`MatchService::apply`] (one shared classification, per-pattern fan-out)
+/// and [`IngestApply::seq`](crate::ingest::IngestApply::seq) carries the
+/// epoch the batch committed as.
+impl<E: IncrementalEngine> crate::ingest::IngestSink for MatchService<E> {
+    type Outcome = ServiceApply;
+    type Error = ServiceError;
+
+    fn apply_batch(&mut self, batch: &BatchUpdate) -> Result<ServiceApply, ServiceError> {
+        self.apply(batch)
+    }
+
+    fn sink_graph(&self) -> &DataGraph {
+        self.graph()
+    }
+
+    fn committed_seq(&self) -> u64 {
+        self.epoch()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

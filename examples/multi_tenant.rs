@@ -106,7 +106,9 @@ fn main() {
         fsync: FsyncPolicy::Never,
         checkpoint_every: 0,
         keep_checkpoints: 2,
-        shards: 0,
+        // `shards: 0` is rejected at open since degenerate configurations
+        // got typed errors — pin one shard explicitly.
+        shards: 1,
         delta_buffer: 64,
     };
     let seed_graph = synthetic_graph(&SyntheticConfig::new(200, 700, 4, 0x7E58));

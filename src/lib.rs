@@ -56,9 +56,10 @@ pub mod prelude {
         build_result_graph, match_bounded, match_bounded_with_bfs, match_bounded_with_matrix,
         match_bounded_with_two_hop, match_simulation, AffStats, ApplyError, ApplyOutcome,
         BoundedIndex, BuildError, DeltaEvent, DurableError, DurableIndex, DurableMatchService,
-        DurableOptions, IncrementalEngine, LenientApply, MatchService, PatternId, RejectReason,
-        ServiceApply, ServiceDeltaEvent, ServiceError, ServiceSubscription, SimulationIndex,
-        Subscription, UpdateRejection,
+        DurableOptions, IncrementalEngine, Ingest, IngestApply, IngestError, IngestHandle,
+        IngestOptions, IngestSink, IngestStats, InvalidOptions, LenientApply, MatchService,
+        PatternId, RejectReason, ServiceApply, ServiceDeltaEvent, ServiceError,
+        ServiceSubscription, SimulationIndex, SubmitError, Subscription, Ticket, UpdateRejection,
     };
     pub use igpm_distance::{
         BfsOracle, DistanceMatrix, DistanceOracle, LandmarkIndex, LandmarkSelection, TwoHopLabels,

@@ -1037,3 +1037,203 @@ fn folding_subscription_deltas_reproduces_the_view() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// 8. `subscribe_from` edge cases: sequence 0 and cursors around checkpoints
+// ---------------------------------------------------------------------------
+
+/// Batch sequence numbers start at 1 (0 is the bootstrap checkpoint, not a
+/// batch), so `subscribe_from(0)` on a fresh index is the full stream: it
+/// must poll `None` — never a phantom `Lagged` for the nonexistent batch
+/// 0 — and then see batch 1 first. Regression for the fabricated
+/// `Lagged { missed: 1 }` the old cursor produced.
+#[test]
+fn subscribe_from_zero_is_the_full_stream_without_phantom_lag() {
+    let pattern = SimulationIndex::cyclic_pattern();
+    let initial = seed_world(16, 2);
+    let mut rng = Rng(0x5EB0);
+    let batches = gen_stream(&mut rng, &initial, 3, 6);
+    let scratch = Scratch::new("seq0");
+    let mut index: DurableIndex<SimulationIndex> =
+        DurableIndex::open(scratch.path().clone(), &pattern, &initial, durable_opts(1, 0, 1024))
+            .expect("open");
+
+    let mut from_zero = index.subscribe_from(0);
+    let mut from_one = index.subscribe_from(1);
+    assert!(from_zero.poll().is_none(), "nothing committed yet: seq 0 must poll None, not lag");
+    assert_eq!(from_zero.next_seq(), 1, "seq 0 clamps to the first real batch sequence");
+
+    for (i, batch) in batches.iter().enumerate() {
+        index.apply(batch).unwrap_or_else(|e| panic!("batch {i} failed: {e}"));
+    }
+    for expected_seq in 1..=batches.len() as u64 {
+        match (from_zero.poll(), from_one.poll()) {
+            (
+                Some(DeltaEvent::Delta { seq: a, delta: da }),
+                Some(DeltaEvent::Delta { seq: b, delta: db }),
+            ) => {
+                assert_eq!(a, expected_seq, "seq-0 cursor out of order");
+                assert_eq!(b, expected_seq, "seq-1 cursor out of order");
+                assert_eq!(da, db, "seq 0 and seq 1 must be the same stream");
+            }
+            other => panic!("expected twin deltas at {expected_seq}, got {other:?}"),
+        }
+    }
+    assert!(from_zero.poll().is_none());
+    assert!(from_one.poll().is_none());
+}
+
+/// A cursor above the high-water mark is a *future* cursor: `poll` stays
+/// `None` (no lag — the skipped prefix was skipped on purpose) until that
+/// batch commits, then the stream starts exactly there.
+#[test]
+fn future_cursor_skips_silently_then_resumes_exactly_there() {
+    let pattern = SimulationIndex::cyclic_pattern();
+    let initial = seed_world(16, 2);
+    let mut rng = Rng(0xF07E);
+    let batches = gen_stream(&mut rng, &initial, 4, 6);
+    let scratch = Scratch::new("future");
+    let mut index: DurableIndex<SimulationIndex> =
+        DurableIndex::open(scratch.path().clone(), &pattern, &initial, durable_opts(1, 0, 1024))
+            .expect("open");
+
+    let mut sub = index.subscribe_from(3);
+    for (i, batch) in batches.iter().enumerate().take(2) {
+        index.apply(batch).unwrap_or_else(|e| panic!("batch {i} failed: {e}"));
+        assert!(sub.poll().is_none(), "batch {i}: a future cursor must stay silent, not lag");
+    }
+    for (i, batch) in batches.iter().enumerate().skip(2) {
+        index.apply(batch).unwrap_or_else(|e| panic!("batch {i} failed: {e}"));
+        match sub.poll() {
+            Some(DeltaEvent::Delta { seq, .. }) => {
+                assert_eq!(seq, i as u64 + 1, "stream must start exactly at the cursor")
+            }
+            other => panic!("batch {i}: expected delta, got {other:?}"),
+        }
+    }
+    assert!(sub.poll().is_none());
+}
+
+/// After a checkpoint prunes the stream's prefix and the directory is
+/// reopened (fresh ring), `subscribe_from` below the checkpoint reports the
+/// unrecoverable gap as one exact `Lagged`; at the boundary it is a clean
+/// future cursor. `subscribe_from(0)` misses 5 batches, not 6 — there is no
+/// batch 0.
+#[test]
+fn subscribe_from_below_a_pruned_checkpoint_lags_exactly() {
+    let pattern = SimulationIndex::cyclic_pattern();
+    let initial = seed_world(18, 2);
+    let mut rng = Rng(0xC4B0);
+    let batches = gen_stream(&mut rng, &initial, 6, 6);
+    let scratch = Scratch::new("pruned");
+    let opts = durable_opts(1, 0, 1024);
+    {
+        let mut index: DurableIndex<SimulationIndex> =
+            DurableIndex::open(scratch.path().clone(), &pattern, &initial, opts.clone())
+                .expect("open");
+        for (i, batch) in batches.iter().enumerate().take(5) {
+            index.apply(batch).unwrap_or_else(|e| panic!("batch {i} failed: {e}"));
+        }
+        assert_eq!(index.checkpoint().expect("checkpoint"), 5);
+    }
+
+    let mut index: DurableIndex<SimulationIndex> =
+        DurableIndex::open(scratch.path().clone(), &pattern, &initial, opts).expect("reopen");
+    assert_eq!(index.last_checkpoint_seq(), 5);
+
+    for (from, missed) in [(0u64, 5u64), (1, 5), (3, 3), (5, 1)] {
+        let mut sub = index.subscribe_from(from);
+        match sub.poll() {
+            Some(DeltaEvent::Lagged { missed: m, resume_seq }) => {
+                assert_eq!(m, missed, "subscribe_from({from}): exact drop count");
+                assert_eq!(resume_seq, 6, "subscribe_from({from}): resume above the checkpoint");
+            }
+            other => panic!("subscribe_from({from}): expected lag, got {other:?}"),
+        }
+        assert!(sub.poll().is_none(), "subscribe_from({from}): nothing above the checkpoint yet");
+    }
+
+    // The boundary cursor is a future cursor: silent until batch 6 commits.
+    let mut boundary = index.subscribe_from(6);
+    assert!(boundary.poll().is_none(), "boundary cursor must not lag");
+    index.apply(&batches[5]).expect("batch 6");
+    match boundary.poll() {
+        Some(DeltaEvent::Delta { seq, .. }) => assert_eq!(seq, 6),
+        other => panic!("expected delta at 6, got {other:?}"),
+    }
+}
+
+/// The same three edge cases through `DurableMatchService`, whose
+/// subscription logic is a separate implementation over pattern-keyed
+/// bundles: seq 0 ≡ seq 1, future cursors stay silent, and reopening above
+/// a checkpoint lags with batch-granular counts.
+#[test]
+fn service_subscribe_from_matches_index_semantics() {
+    let pattern = SimulationIndex::cyclic_pattern();
+    let initial = seed_world(18, 2);
+    let mut rng = Rng(0x5E8F);
+    let batches = gen_stream(&mut rng, &initial, 6, 6);
+    let scratch = Scratch::new("svc-cursor");
+    let opts = durable_opts(1, 0, 1024);
+    let pid;
+    {
+        let (mut service, pids) = DurableMatchService::<SimulationIndex>::open(
+            scratch.path().clone(),
+            std::slice::from_ref(&pattern),
+            &initial,
+            opts.clone(),
+        )
+        .expect("open");
+        pid = pids[0];
+
+        let mut from_zero = service.subscribe_from(0);
+        assert!(from_zero.poll().is_none(), "seq 0 on a fresh service must poll None, not lag");
+        let mut future = service.subscribe_from(3);
+
+        for (i, batch) in batches.iter().enumerate().take(5) {
+            service.apply(batch).unwrap_or_else(|e| panic!("batch {i} failed: {e}"));
+            match from_zero.poll() {
+                Some(ServiceDeltaEvent::Delta { pattern_id, seq, .. }) => {
+                    assert_eq!(pattern_id, pid);
+                    assert_eq!(seq, i as u64 + 1, "seq-0 cursor sees the stream from batch 1");
+                }
+                other => panic!("batch {i}: expected delta, got {other:?}"),
+            }
+            if i < 2 {
+                assert!(future.poll().is_none(), "batch {i}: future cursor must stay silent");
+            } else {
+                match future.poll() {
+                    Some(ServiceDeltaEvent::Delta { seq, .. }) => assert_eq!(seq, i as u64 + 1),
+                    other => panic!("batch {i}: expected delta, got {other:?}"),
+                }
+            }
+        }
+        assert_eq!(service.checkpoint().expect("checkpoint"), 5);
+    }
+
+    let (mut service, _pids) = DurableMatchService::<SimulationIndex>::open(
+        scratch.path().clone(),
+        std::slice::from_ref(&pattern),
+        &initial,
+        opts,
+    )
+    .expect("reopen");
+    for (from, missed) in [(0u64, 5u64), (3, 3)] {
+        let mut sub = service.subscribe_from(from);
+        match sub.poll() {
+            Some(ServiceDeltaEvent::Lagged { missed: m, resume_seq }) => {
+                assert_eq!(m, missed, "service subscribe_from({from}): exact drop count");
+                assert_eq!(resume_seq, 6);
+            }
+            other => panic!("service subscribe_from({from}): expected lag, got {other:?}"),
+        }
+        assert!(sub.poll().is_none());
+    }
+    let mut boundary = service.subscribe_from(6);
+    assert!(boundary.poll().is_none(), "service boundary cursor must not lag");
+    service.apply(&batches[5]).expect("batch 6");
+    match boundary.poll() {
+        Some(ServiceDeltaEvent::Delta { seq, .. }) => assert_eq!(seq, 6),
+        other => panic!("expected service delta at 6, got {other:?}"),
+    }
+}

@@ -29,7 +29,7 @@
 
 use igpm::core::{
     configured_shards, AffStats, BoundedIndex, BsimAuxSnapshot, DurableError, DurableIndex,
-    DurableOptions, IncrementalEngine, SimAuxSnapshot, SimulationIndex,
+    DurableMatchService, DurableOptions, IncrementalEngine, SimAuxSnapshot, SimulationIndex,
 };
 use igpm::graph::fail;
 use igpm::graph::wal::FsyncPolicy;
@@ -890,4 +890,109 @@ fn contained_engine_panic_after_logging_reconciles_from_disk() {
         &mut rng,
         shards,
     );
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate configuration: typed rejection at open
+// ---------------------------------------------------------------------------
+
+/// Each degenerate knob is refused at `open` with a typed
+/// [`DurableError::InvalidOptions`] naming the field, before anything is
+/// created on disk — no half-initialised directory, no silent clamp.
+#[test]
+fn degenerate_durable_options_are_rejected_at_open() {
+    let pattern = cycle_pattern();
+    let initial = seed_world(8);
+
+    type Degrade = fn(&mut DurableOptions);
+    let cases: [(&str, Degrade, &str); 3] = [
+        (
+            "delta_buffer",
+            |o| o.delta_buffer = 0,
+            "the delta ring must be able to buffer at least one batch",
+        ),
+        (
+            "keep_checkpoints",
+            |o| o.keep_checkpoints = 0,
+            "at least one checkpoint must be retained",
+        ),
+        ("shards", |o| o.shards = 0, "builds and batches need at least one shard"),
+    ];
+
+    for (field, degrade, requirement) in cases {
+        let mut options = opts(1, 0);
+        degrade(&mut options);
+
+        // `validate` is also callable directly, ahead of any I/O.
+        let invalid = options.validate().expect_err("degenerate options must not validate");
+        assert_eq!(invalid.field, field);
+        assert_eq!(invalid.value, 0);
+        assert_eq!(invalid.requirement, requirement);
+        assert_eq!(format!("{invalid}"), format!("{field} = 0 is invalid: {requirement}"));
+
+        let scratch = Scratch::new("degenerate");
+        let result = DurableIndex::<SimulationIndex>::open(
+            scratch.path().clone(),
+            &pattern,
+            &initial,
+            options.clone(),
+        );
+        match result {
+            Err(DurableError::InvalidOptions(inv)) => {
+                assert_eq!(inv.field, field, "rejection must name the offending field");
+                assert_eq!(inv.value, 0);
+                let shown = format!("{}", DurableError::InvalidOptions(inv));
+                assert_eq!(
+                    shown,
+                    format!("invalid durable options: {field} = 0 is invalid: {requirement}")
+                );
+            }
+            Ok(_) => panic!("{field} = 0 must be rejected at open"),
+            Err(other) => panic!("{field} = 0: expected InvalidOptions, got {other}"),
+        }
+        assert!(
+            !scratch.path().exists(),
+            "{field} = 0: rejection must happen before the directory is created"
+        );
+
+        // The service front-end shares the gate.
+        let svc_scratch = Scratch::new("degenerate-svc");
+        let svc = DurableMatchService::<SimulationIndex>::open(
+            svc_scratch.path().clone(),
+            std::slice::from_ref(&pattern),
+            &initial,
+            options,
+        );
+        assert!(
+            matches!(svc, Err(DurableError::InvalidOptions(ref inv)) if inv.field == field),
+            "{field} = 0 must be rejected by DurableMatchService::open too"
+        );
+        assert!(!svc_scratch.path().exists());
+    }
+}
+
+/// `checkpoint_every = 0` is *not* degenerate: it disables automatic
+/// checkpointing (the WAL grows until an explicit `checkpoint()`), which
+/// every failpoint test in this suite relies on. Pin that it opens, never
+/// auto-checkpoints, and still honours the manual call.
+#[test]
+fn checkpoint_every_zero_only_disables_automatic_checkpoints() {
+    let pattern = cycle_pattern();
+    let initial = seed_world(10);
+    let mut rng = Rng(0xCE00);
+    let scratch = Scratch::new("ckpt-zero");
+    let mut durable: DurableIndex<SimulationIndex> =
+        DurableIndex::open(scratch.path().clone(), &pattern, &initial, opts(1, 0)).expect("open");
+    for i in 0..4u64 {
+        let batch = gen_batch(&mut rng, durable.graph(), 4);
+        durable.apply(&batch).unwrap_or_else(|e| panic!("batch {i} failed: {e}"));
+        assert_eq!(durable.sequence(), i + 1);
+        assert_eq!(
+            durable.last_checkpoint_seq(),
+            0,
+            "checkpoint_every = 0 must never auto-checkpoint (batch {i})"
+        );
+    }
+    assert_eq!(durable.checkpoint().expect("manual checkpoint"), 4);
+    assert_eq!(durable.last_checkpoint_seq(), 4);
 }
